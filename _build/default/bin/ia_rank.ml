@@ -1,0 +1,461 @@
+(* ia_rank: command-line front end for the interconnect-architecture rank
+   metric (Dasgupta/Kahng/Muddu, DATE 2003).
+
+   Subcommands:
+     rank       compute the rank of one architecture/design combination
+     table4     regenerate the paper's Table 4 sweeps (K/M/C/R)
+     cross      baseline ranks across nodes and design sizes
+     figure2    the greedy-vs-optimal counterexample
+     tables     print the paper's Table 2/3 parameter tables
+     optimize   direct IA optimization by rank (Section 6 future work) *)
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* ---- shared arguments ------------------------------------------------- *)
+
+let node_arg =
+  let parse s =
+    match Ir_tech.Node.of_string s with
+    | Some n -> Ok n
+    | None -> Error (`Msg (Printf.sprintf "unknown node %S (use 180nm, 130nm or 90nm)" s))
+  in
+  let print ppf n = Format.pp_print_string ppf (Ir_tech.Node.name n) in
+  Arg.conv (parse, print)
+
+let node =
+  Arg.(
+    value
+    & opt node_arg Ir_tech.Node.N130
+    & info [ "n"; "node" ] ~docv:"NODE"
+        ~doc:"Technology node: 180nm, 130nm or 90nm.")
+
+let gates =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "g"; "gates" ] ~docv:"N" ~doc:"Gate count of the design.")
+
+let clock =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "c"; "clock" ] ~docv:"GHZ" ~doc:"Target clock frequency in GHz.")
+
+let fraction =
+  Arg.(
+    value
+    & opt float 0.4
+    & info [ "r"; "repeater-fraction" ] ~docv:"F"
+        ~doc:"Usable repeater area as a fraction of the die.")
+
+let permittivity =
+  Arg.(
+    value
+    & opt float 3.9
+    & info [ "k"; "permittivity" ] ~docv:"K" ~doc:"ILD relative permittivity.")
+
+let miller =
+  Arg.(
+    value
+    & opt float 2.0
+    & info [ "m"; "miller" ] ~docv:"M" ~doc:"Miller coupling factor.")
+
+let bunch_size =
+  Arg.(
+    value
+    & opt int 10_000
+    & info [ "bunch-size" ] ~docv:"B"
+        ~doc:"WLD coarsening bunch size (the paper uses 10000).")
+
+let algo =
+  let algo_conv =
+    Arg.enum
+      [ ("dp", Ir_core.Rank.Dp); ("greedy", Ir_core.Rank.Greedy);
+        ("exact", Ir_core.Rank.Exact { r_steps = 16 }) ]
+  in
+  Arg.(
+    value
+    & opt algo_conv Ir_core.Rank.Dp
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Rank algorithm: $(b,dp) (optimal), $(b,greedy) (Figure 2 \
+              baseline) or $(b,exact) (paper-literal DP, tiny instances).")
+
+let csv_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write results as CSV to $(docv).")
+
+let design_of ~node ~gates ~clock ~fraction =
+  Ir_tech.Design.v ~node ~gates ~clock:(clock *. 1e9)
+    ~repeater_fraction:fraction ()
+
+let write_csv path f =
+  let buf = Buffer.create 1024 in
+  f buf;
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+(* ---- rank ------------------------------------------------------------- *)
+
+let rank_cmd =
+  let run () node gates clock fraction k m bunch_size algo =
+    let design = design_of ~node ~gates ~clock ~fraction in
+    let materials = Ir_ia.Materials.v ~k ~miller:m () in
+    let outcome =
+      Ir_core.Rank.of_design ~algo ~materials ~bunch_size design
+    in
+    Format.printf "%a@." Ir_core.Outcome.pp_human outcome;
+    if not outcome.assignable then exit 2
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ node $ gates $ clock $ fraction $ permittivity
+      $ miller $ bunch_size $ algo)
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:"Compute the rank of an interconnect architecture for a design.")
+    term
+
+(* ---- table4 ----------------------------------------------------------- *)
+
+let table4_cmd =
+  let columns =
+    Arg.(
+      value
+      & opt (list string) [ "K"; "M"; "C"; "R" ]
+      & info [ "columns" ] ~docv:"COLS"
+          ~doc:"Comma-separated subset of K,M,C,R.")
+  in
+  let run () node gates bunch_size columns csv =
+    let design = Ir_core.Rank.baseline_design ~gates node in
+    let config =
+      { Ir_sweep.Table4.default_config with design; bunch_size }
+    in
+    let wanted = List.map String.uppercase_ascii columns in
+    let sweeps =
+      List.filter_map
+        (fun (name, f) -> if List.mem name wanted then Some (f ()) else None)
+        [
+          ("K", fun () -> Ir_sweep.Table4.k_sweep ~config ());
+          ("M", fun () -> Ir_sweep.Table4.m_sweep ~config ());
+          ("C", fun () -> Ir_sweep.Table4.c_sweep ~config ());
+          ("R", fun () -> Ir_sweep.Table4.r_sweep ~config ());
+        ]
+    in
+    List.iter
+      (fun s ->
+        Ir_sweep.Report.sweep_table s Format.std_formatter;
+        Format.printf "correlation with paper: %.4f, max |delta|: %.4f@.@."
+          (Ir_sweep.Report.correlation
+             (Ir_sweep.Table4.normalized s)
+             s.paper)
+          (let m =
+             List.filter_map
+               (fun (p, v) ->
+                 Option.map
+                   (fun (_, pv) -> (v, pv))
+                   (List.find_opt (fun (pp, _) -> Float.abs (pp -. p) < 1e-6) s.paper))
+               (Ir_sweep.Table4.normalized s)
+           in
+           List.fold_left (fun a (x, y) -> Float.max a (Float.abs (x -. y))) 0.0 m))
+      sweeps;
+    Option.iter
+      (fun path ->
+        write_csv path (fun buf ->
+            List.iter (fun s -> Ir_sweep.Report.sweep_csv s buf) sweeps))
+      csv
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ node $ gates $ bunch_size $ columns $ csv_out)
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Regenerate the paper's Table 4 (K/M/C/R sweeps).")
+    term
+
+(* ---- cross ------------------------------------------------------------ *)
+
+let cross_cmd =
+  let run () bunch_size =
+    let matrix =
+      [
+        (Ir_tech.Node.N180, 1_000_000); (Ir_tech.Node.N130, 1_000_000);
+        (Ir_tech.Node.N130, 4_000_000); (Ir_tech.Node.N90, 4_000_000);
+      ]
+    in
+    Ir_sweep.Report.cross_node_table
+      (Ir_sweep.Cross_node.run ~bunch_size ~matrix ())
+      Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "cross" ~doc:"Baseline ranks across nodes and design sizes.")
+    Term.(const run $ logs_term $ bunch_size)
+
+(* ---- figure2 ---------------------------------------------------------- *)
+
+let figure2_cmd =
+  let run () =
+    let s = Ir_sweep.Figure2.scenario () in
+    Format.printf "greedy:  %a@." Ir_core.Outcome.pp_human s.greedy;
+    Format.printf "optimal: %a@." Ir_core.Outcome.pp_human s.optimal;
+    Format.printf "exact:   %a@." Ir_core.Outcome.pp_human s.exact
+  in
+  Cmd.v
+    (Cmd.info "figure2"
+       ~doc:"Reproduce the paper's Figure 2 greedy-vs-optimal counterexample.")
+    Term.(const run $ logs_term)
+
+(* ---- tables ----------------------------------------------------------- *)
+
+let tables_cmd =
+  let run () =
+    List.iter
+      (fun n ->
+        Format.printf "%a@.@." Ir_tech.Stack.pp_table3
+          (Ir_tech.Stack.of_node n))
+      [ Ir_tech.Node.N180; Ir_tech.Node.N130; Ir_tech.Node.N90 ];
+    Format.printf
+      "Baseline parameters (Table 2): k=3.9, Miller=2, repeater \
+       fraction=0.4,@.2 semi-global + 1 global layer-pairs, 500 MHz.@."
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the paper's Table 2/3 parameter tables.")
+    Term.(const run $ logs_term)
+
+(* ---- assign ----------------------------------------------------------- *)
+
+let assign_cmd =
+  let run () node gates clock fraction k m bunch_size =
+    let design = design_of ~node ~gates ~clock ~fraction in
+    let materials = Ir_ia.Materials.v ~k ~miller:m () in
+    let problem =
+      Ir_core.Rank.problem_of_design ~materials ~bunch_size design
+    in
+    let a = Ir_core.Assignment.extract problem in
+    (match Ir_core.Assignment.check problem a with
+    | Ok () -> ()
+    | Error e -> Format.printf "WITNESS INVALID: %s@." e);
+    Format.printf "%a@." (Ir_core.Assignment.pp_human problem) a
+  in
+  Cmd.v
+    (Cmd.info "assign"
+       ~doc:"Show the optimal wire assignment behind the rank (witness).")
+    Term.(
+      const run $ logs_term $ node $ gates $ clock $ fraction $ permittivity
+      $ miller $ bunch_size)
+
+(* ---- layers ----------------------------------------------------------- *)
+
+let layers_cmd =
+  let target =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target" ] ~docv:"RANK"
+          ~doc:"Normalized rank target; default checks assignability only.")
+  in
+  let run () node gates bunch_size target =
+    let design = Ir_core.Rank.baseline_design ~gates node in
+    let result =
+      match target with
+      | None -> Ir_ext.Layers.min_pairs_for_assignability ~bunch_size design
+      | Some t -> Ir_ext.Layers.min_pairs_for_rank ~bunch_size ~target:t design
+    in
+    match result with
+    | Error e ->
+        Format.printf "%s@." e;
+        exit 2
+    | Ok (first, steps) ->
+        List.iter
+          (fun (s : Ir_ext.Layers.step) ->
+            Format.printf "%d local + %d semi-global + %d global: %a@."
+              s.structure.Ir_ia.Arch.local_pairs
+              s.structure.Ir_ia.Arch.semi_global_pairs
+              s.structure.Ir_ia.Arch.global_pairs Ir_core.Outcome.pp_human
+              s.outcome)
+          steps;
+        Format.printf "-> first sufficient: %d semi-global + %d global@."
+          first.structure.Ir_ia.Arch.semi_global_pairs
+          first.structure.Ir_ia.Arch.global_pairs
+  in
+  Cmd.v
+    (Cmd.info "layers"
+       ~doc:"Minimum layer-pairs for assignability or a rank target.")
+    Term.(const run $ logs_term $ node $ gates $ bunch_size $ target)
+
+(* ---- ntier ------------------------------------------------------------ *)
+
+let ntier_cmd =
+  let tiers =
+    Arg.(
+      value & opt int 4
+      & info [ "tiers" ] ~docv:"N" ~doc:"Number of n-tier wiring tiers.")
+  in
+  let run () node gates bunch_size tiers =
+    let design = Ir_core.Rank.baseline_design ~gates node in
+    List.iter
+      (fun (t : Ir_ext.Ntier.tier) ->
+        Format.printf
+          "%-12s pitch %.3f um, lengths [%.1f, %.1f] um, demand %.2f m@."
+          (Ir_tech.Metal_class.to_string t.cls)
+          (Ir_phys.Units.to_um (Ir_tech.Geometry.pitch t.geometry))
+          (Ir_phys.Units.to_um t.l_min)
+          (Ir_phys.Units.to_um t.l_max)
+          t.demand)
+      (Ir_ext.Ntier.design_tiers ~tiers design);
+    let `Ntier n, `Baseline b =
+      Ir_ext.Ntier.compare_with_baseline ~tiers ~bunch_size design
+    in
+    Format.printf "n-tier rank  : %a@." Ir_core.Outcome.pp_human n;
+    Format.printf "baseline rank: %a@." Ir_core.Outcome.pp_human b
+  in
+  Cmd.v
+    (Cmd.info "ntier"
+       ~doc:"Generate an n-tier architecture and compare it by rank.")
+    Term.(const run $ logs_term $ node $ gates $ bunch_size $ tiers)
+
+(* ---- optimize --------------------------------------------------------- *)
+
+let optimize_cmd =
+  let anneal_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "anneal" ] ~docv:"STEPS"
+          ~doc:"Also refine with simulated annealing for $(docv) steps.")
+  in
+  let run () node gates clock fraction bunch_size anneal_steps =
+    let design = design_of ~node ~gates ~clock ~fraction in
+    let best, all = Ir_ext.Optimizer.optimize ~bunch_size design in
+    Format.printf "evaluated %d grid candidates@." (List.length all);
+    Format.printf "best: %d semi-global + %d global pairs, pitch x%.2f, \
+                   thickness x%.2f -> %a@."
+      best.structure.Ir_ia.Arch.semi_global_pairs
+      best.structure.Ir_ia.Arch.global_pairs best.pitch_scale
+      best.thickness_scale Ir_core.Outcome.pp_human best.outcome;
+    Option.iter
+      (fun steps ->
+        let r = Ir_ext.Anneal.optimize ~steps ~bunch_size design in
+        Format.printf
+          "annealed (%d evaluations, %d accepted): %a@." r.evaluations
+          r.accepted Ir_core.Outcome.pp_human r.outcome)
+      anneal_steps
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Directly optimize the architecture by rank (Section 6).")
+    Term.(
+      const run $ logs_term $ node $ gates $ clock $ fraction $ bunch_size
+      $ anneal_steps)
+
+(* ---- wld -------------------------------------------------------------- *)
+
+let wld_cmd =
+  let rent =
+    Arg.(
+      value & opt float 0.6
+      & info [ "rent" ] ~docv:"P" ~doc:"Rent exponent of the Davis WLD.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the WLD as CSV to $(docv).")
+  in
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Summarize a WLD loaded from $(docv) instead of generating \
+                one.")
+  in
+  let run () gates rent save load =
+    let wld =
+      match load with
+      | Some path -> (
+          match Ir_wld.Io.load path with
+          | Ok d -> d
+          | Error e ->
+              Format.eprintf "cannot load %s: %s@." path e;
+              exit 1)
+      | None ->
+          Ir_wld.Davis.generate
+            (Ir_wld.Davis.params ~rent_p:rent ~gates ())
+    in
+    let s = Ir_wld.Stats.summary wld in
+    Format.printf
+      "wires %d, mean %.2f, std %.2f, median %.1f, p90 %.1f, p99 %.1f, \
+       max %.1f@.total wire length %.3g (same unit as lengths)@.@."
+      s.total s.mean s.std s.median s.p90 s.p99 s.l_max s.total_length;
+    Ir_wld.Stats.pp_histogram Format.std_formatter wld;
+    Format.printf "@.";
+    Option.iter
+      (fun path ->
+        match Ir_wld.Io.save path wld with
+        | Ok () -> Format.printf "wrote %s@." path
+        | Error e ->
+            Format.eprintf "cannot save %s: %s@." path e;
+            exit 1)
+      save
+  in
+  Cmd.v
+    (Cmd.info "wld"
+       ~doc:"Generate, summarize, load or save wire length distributions.")
+    Term.(const run $ logs_term $ gates $ rent $ save $ load)
+
+(* ---- variation -------------------------------------------------------- *)
+
+let variation_cmd =
+  let samples =
+    Arg.(
+      value & opt int 25
+      & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
+  in
+  let sigma =
+    Arg.(
+      value & opt float 0.05
+      & info [ "sigma" ] ~docv:"S"
+          ~doc:"Relative standard deviation applied to every electrical \
+                parameter.")
+  in
+  let run () node gates bunch_size samples sigma =
+    let design = Ir_core.Rank.baseline_design ~gates node in
+    let spec =
+      { Ir_ext.Variation.sigma_k = sigma; sigma_miller = sigma;
+        sigma_rho = sigma; sigma_device = sigma }
+    in
+    let s = Ir_ext.Variation.run ~spec ~samples ~bunch_size design in
+    Format.printf
+      "nominal %.6f@.mean %.6f  std %.6f  min %.6f  max %.6f  (%d samples)@."
+      s.nominal s.mean s.std s.min s.max s.samples
+  in
+  Cmd.v
+    (Cmd.info "variation"
+       ~doc:"Rank sensitivity to electrical-parameter uncertainty.")
+    Term.(const run $ logs_term $ node $ gates $ bunch_size $ samples $ sigma)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "ia_rank" ~version:"1.0.0"
+             ~doc:
+               "Rank metric for interconnect architectures (DATE 2003 \
+                reproduction).")
+          [ rank_cmd; table4_cmd; cross_cmd; figure2_cmd; tables_cmd;
+            assign_cmd; layers_cmd; ntier_cmd; optimize_cmd; wld_cmd;
+            variation_cmd ]))

@@ -1,0 +1,1 @@
+examples/greedy_vs_optimal.ml: Format Ir_assign Ir_core Ir_delay Ir_ia Ir_sweep Ir_tech List

@@ -1,0 +1,1 @@
+examples/greedy_vs_optimal.mli:

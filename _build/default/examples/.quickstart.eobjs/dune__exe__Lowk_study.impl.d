@@ -1,0 +1,1 @@
+examples/lowk_study.ml: Format Ir_sweep

@@ -1,0 +1,1 @@
+examples/lowk_study.mli:

@@ -1,0 +1,1 @@
+examples/netlist_validation.ml: Array Format Ir_assign Ir_core Ir_ia Ir_netlist Ir_sweep Ir_tech Ir_wld List Printf

@@ -1,0 +1,1 @@
+examples/noise_shielding.ml: Format Ir_assign Ir_core Ir_ia Ir_rc Ir_sweep Ir_tech Ir_wld List Printf

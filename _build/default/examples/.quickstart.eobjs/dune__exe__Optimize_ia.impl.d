@@ -1,0 +1,1 @@
+examples/optimize_ia.ml: Format Ir_core Ir_ext Ir_ia Ir_sweep Ir_tech List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ir_assign Ir_core Ir_ia Ir_tech

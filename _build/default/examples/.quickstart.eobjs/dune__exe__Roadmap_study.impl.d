@@ -1,0 +1,1 @@
+examples/roadmap_study.ml: Format Ir_assign Ir_core Ir_ia Ir_sweep Ir_tech Ir_wld List Printf

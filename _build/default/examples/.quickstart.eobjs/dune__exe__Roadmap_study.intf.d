@@ -1,0 +1,1 @@
+examples/roadmap_study.mli:

@@ -1,0 +1,1 @@
+examples/target_models.ml: Format Ir_core Ir_delay Ir_sweep Ir_tech List Printf

@@ -1,0 +1,1 @@
+examples/tech_scaling.ml: Format Ir_sweep Ir_tech List

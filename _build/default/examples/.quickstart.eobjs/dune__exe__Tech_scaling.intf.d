@@ -1,0 +1,1 @@
+examples/tech_scaling.mli:

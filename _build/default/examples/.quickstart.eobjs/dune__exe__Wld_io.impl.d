@@ -1,0 +1,1 @@
+examples/wld_io.ml: Array Filename Format Ir_assign Ir_core Ir_ia Ir_tech Ir_wld List Sys

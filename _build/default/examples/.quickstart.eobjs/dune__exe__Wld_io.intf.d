@@ -1,0 +1,1 @@
+examples/wld_io.mli:

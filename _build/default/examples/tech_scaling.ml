@@ -1,0 +1,40 @@
+(* Technology scaling study: rank across nodes and design sizes.
+
+   The paper's Section 5.2 names three baseline experiments — 1M gates at
+   180nm, 1M at 130nm, 4M at 90nm — but prints only the 130nm column "for
+   space reasons".  This example regenerates all three, adds the 4M/130nm
+   and 10M/90nm points mentioned in Section 5, and prints each node's
+   Table 3 parameters alongside.
+
+   Run with:  dune exec examples/tech_scaling.exe
+   (the 10M-gate WLD takes a few seconds) *)
+
+let () =
+  List.iter
+    (fun node ->
+      Format.printf "%a@.@." Ir_tech.Stack.pp_table3
+        (Ir_tech.Stack.of_node node))
+    [ Ir_tech.Node.N180; Ir_tech.Node.N130; Ir_tech.Node.N90 ];
+
+  let matrix =
+    [
+      (Ir_tech.Node.N180, 1_000_000);
+      (Ir_tech.Node.N130, 1_000_000);
+      (Ir_tech.Node.N130, 4_000_000);
+      (Ir_tech.Node.N90, 4_000_000);
+      (Ir_tech.Node.N90, 10_000_000);
+    ]
+  in
+  Format.printf "Baseline rank across nodes and design sizes@.";
+  Format.printf "(Table 2 parameters: p = 0.6, 500 MHz, R = 0.4)@.@.";
+  let cells = Ir_sweep.Cross_node.run ~matrix () in
+  Ir_sweep.Report.cross_node_table cells Format.std_formatter;
+
+  (* The per-node clock ceilings from ITRS 2001, for context. *)
+  Format.printf "@.ITRS-2001 max MPU clocks: ";
+  List.iter
+    (fun n ->
+      Format.printf "%s %.2f GHz  " (Ir_tech.Node.name n)
+        (Ir_tech.Node.itrs_max_clock n /. 1e9))
+    [ Ir_tech.Node.N180; Ir_tech.Node.N130; Ir_tech.Node.N90 ];
+  Format.printf "@."

@@ -1,0 +1,1 @@
+lib/assign/greedy_fill.pp.ml: Array Float Ir_ia List Option Ppx_deriving_runtime Problem

@@ -1,0 +1,1 @@
+lib/assign/greedy_fill.pp.mli: Ppx_deriving_runtime Problem

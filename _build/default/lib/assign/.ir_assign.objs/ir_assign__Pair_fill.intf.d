@@ -1,0 +1,1 @@
+lib/assign/pair_fill.pp.mli: Ppx_deriving_runtime Problem

@@ -1,0 +1,1 @@
+lib/assign/problem.pp.ml: Array Ir_delay Ir_ia Ir_rc Ir_tech Ir_wld

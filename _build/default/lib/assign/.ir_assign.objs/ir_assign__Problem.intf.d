@@ -1,0 +1,1 @@
+lib/assign/problem.pp.mli: Ir_delay Ir_ia Ir_wld

@@ -1,0 +1,134 @@
+type placement = { pair : int; bunch : int; wires : int }
+[@@deriving show, eq]
+
+type context = {
+  from_bunch : int;
+  top_pair : int;
+  top_pair_used : float;
+  wires_above_top : int;
+  reps_above_top : int;
+  wires_above_below : int;
+  reps_above_below : int;
+}
+
+let context ?(top_pair_used = 0.0) ?(wires_above_top = 0)
+    ?(reps_above_top = 0) ?(wires_above_below = 0) ?(reps_above_below = 0)
+    ~from_bunch ~top_pair () =
+  {
+    from_bunch;
+    top_pair;
+    top_pair_used;
+    wires_above_top;
+    reps_above_top;
+    wires_above_below;
+    reps_above_below;
+  }
+
+(* Max wires of one bunch that fit on pair q.
+
+   Condition for x wires (given a_w wire-area already on q, and
+   suffix_above wires of the suffix currently above q besides these x):
+
+     a_w + x * wire_area
+       + v_a * (v * (base_wires + suffix_above - x) + reps) <= cap_q
+
+   i.e. x * (wire_area - v * v_a) <= room, where packing a wire onto q
+   both consumes its routing area and removes its via stack from q's
+   blockage. *)
+let max_take ~cap ~a_w ~wire_area ~via ~v ~base_wires ~reps ~suffix_above
+    ~available =
+  let vf = float_of_int v in
+  let fixed =
+    a_w +. (via *. ((vf *. float_of_int (base_wires + suffix_above))
+                    +. float_of_int reps))
+  in
+  let room = cap -. fixed in
+  let net = wire_area -. (vf *. via) in
+  if net <= 0.0 then
+    (* Packing a wire frees at least as much blockage as it consumes. *)
+    if room >= 0.0 || float_of_int available *. net <= room then available
+    else 0
+  else if room <= 0.0 then 0
+  else min available (int_of_float (Float.floor (room /. net)))
+
+let run t ctx ~record =
+  let n = Problem.n_bunches t in
+  let m = Problem.n_pairs t in
+  if ctx.from_bunch < 0 || ctx.from_bunch > n then
+    invalid_arg "Greedy_fill: from_bunch out of range";
+  if ctx.top_pair < 0 || ctx.top_pair >= m then
+    invalid_arg "Greedy_fill: top_pair out of range";
+  if ctx.wires_above_top < 0 || ctx.reps_above_top < 0
+     || ctx.wires_above_below < 0 || ctx.reps_above_below < 0 then
+    invalid_arg "Greedy_fill: negative context counts";
+  let cap = Problem.capacity t in
+  let arch = Problem.arch t in
+  let v = arch.Ir_ia.Arch.vias_per_wire in
+  let total_suffix =
+    Problem.total_wires t - Problem.wires_before t ctx.from_bunch
+  in
+  let placements = ref [] in
+  let remaining = Array.init n (fun b -> Problem.bunch_count t b) in
+  for b = 0 to ctx.from_bunch - 1 do
+    remaining.(b) <- 0
+  done;
+  let next = ref (n - 1) in
+  let packed_total = ref 0 in
+  let exception Done of bool in
+  try
+    let q = ref (m - 1) in
+    while !q >= ctx.top_pair do
+      while !next >= ctx.from_bunch && remaining.(!next) = 0 do
+        decr next
+      done;
+      if !next < ctx.from_bunch then raise (Done true);
+      let pair = Ir_ia.Arch.pair arch !q in
+      let via = pair.Ir_ia.Layer_pair.via_area in
+      let at_top = !q = ctx.top_pair in
+      let base_wires =
+        if at_top then ctx.wires_above_top else ctx.wires_above_below
+      in
+      let reps =
+        if at_top then ctx.reps_above_top else ctx.reps_above_below
+      in
+      let cap_q = if at_top then cap -. ctx.top_pair_used else cap in
+      (* Suffix wires above q (besides those being packed onto q now):
+         everything not yet packed below. *)
+      let a_w = ref 0.0 in
+      let continue_pair = ref true in
+      while !continue_pair && !next >= ctx.from_bunch do
+        if remaining.(!next) = 0 then decr next
+        else begin
+          let b = !next in
+          let wire_area =
+            Problem.bunch_length t b *. Ir_ia.Layer_pair.pitch pair
+          in
+          (* Suffix wires currently unplaced (they will sit above q unless
+             packed onto it now); max_take subtracts the x it packs. *)
+          let suffix_above = total_suffix - !packed_total in
+          let take =
+            max_take ~cap:cap_q ~a_w:!a_w ~wire_area ~via ~v ~base_wires
+              ~reps ~suffix_above ~available:remaining.(b)
+          in
+          if take > 0 then begin
+            remaining.(b) <- remaining.(b) - take;
+            packed_total := !packed_total + take;
+
+            a_w := !a_w +. (float_of_int take *. wire_area);
+            if record then
+              placements :=
+                { pair = !q; bunch = b; wires = take } :: !placements
+          end;
+          if remaining.(b) > 0 then continue_pair := false
+        end
+      done;
+      decr q
+    done;
+    while !next >= ctx.from_bunch && remaining.(!next) = 0 do
+      decr next
+    done;
+    raise (Done (!next < ctx.from_bunch))
+  with Done ok -> if ok then Some (List.rev !placements) else None
+
+let pack t ctx = run t ctx ~record:true
+let fits t ctx = Option.is_some (run t ctx ~record:false)

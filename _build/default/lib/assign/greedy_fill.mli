@@ -1,0 +1,62 @@
+(** Capacity-only wire packing — the paper's Algorithm 5 (procedure
+    [greedy_assign], the recurrence's M'' term).
+
+    Packs the suffix of the WLD (the wires below the meeting-delay
+    boundary) into the remaining layer-pairs bottom-up, shortest wires
+    first, ignoring delay.  The paper's Lemma 1 argues this bottom-up
+    packing is optimal; it is exactly the feasibility check behind
+    Definition 3.
+
+    Via blockage follows the paper's Table 1 definitions: pair [q] loses
+    [v_a(q)] per via from every wire ([v] vias each) and every repeater on
+    pairs {e strictly above} [q].  (Algorithm 5's pseudocode instead
+    charges wires packed so far — an approximation of the same quantity;
+    we implement the definition, see DESIGN.md.)  A wire's own vias are
+    part of its routing area (Section 3's assumption list).  Since the
+    number of suffix wires that end up above [q] depends on how many land
+    on [q], the per-pair fill solves the resulting linear condition in
+    closed form per bunch; bunches may split across pairs, as the paper
+    packs individual wires. *)
+
+type placement = {
+  pair : int;  (** layer-pair index (0 = topmost) *)
+  bunch : int;  (** bunch index *)
+  wires : int;  (** how many wires of the bunch landed on this pair *)
+}
+[@@deriving show, eq]
+
+type context = {
+  from_bunch : int;  (** suffix bunches [from_bunch ..] are to be packed *)
+  top_pair : int;  (** pairs [top_pair ..] are available *)
+  top_pair_used : float;
+      (** routing area already consumed on [top_pair] by meeting wires *)
+  wires_above_top : int;
+      (** wires on pairs strictly above [top_pair] (blockage for it) *)
+  reps_above_top : int;
+      (** repeaters in wires on pairs strictly above [top_pair] *)
+  wires_above_below : int;
+      (** wires on pairs [<= top_pair] that are not suffix wires — blockage
+          baseline for every pair strictly below [top_pair] *)
+  reps_above_below : int;
+      (** all repeaters (they all live at or above [top_pair]) *)
+}
+
+val context :
+  ?top_pair_used:float ->
+  ?wires_above_top:int ->
+  ?reps_above_top:int ->
+  ?wires_above_below:int ->
+  ?reps_above_below:int ->
+  from_bunch:int ->
+  top_pair:int ->
+  unit ->
+  context
+(** All optional fields default to zero. *)
+
+val pack : Problem.t -> context -> placement list option
+(** Packs the suffix; returns placements (bottom-up order) or [None] when
+    it does not fit.
+    @raise Invalid_argument on out-of-range context fields. *)
+
+val fits : Problem.t -> context -> bool
+(** {!pack} without materializing the placement list. *)

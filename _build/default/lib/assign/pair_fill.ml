@@ -1,0 +1,25 @@
+type result = { rep_area : float; rep_count : int; routing_area : float }
+[@@deriving show, eq]
+
+let assign t ~pair ~prefix_wires ~reps_above ~meet_lo ~meet_hi ~extra_hi
+    ~rep_budget =
+  let n = Problem.n_bunches t in
+  if not (0 <= meet_lo && meet_lo <= meet_hi && meet_hi <= extra_hi
+          && extra_hi <= n) then
+    invalid_arg "Pair_fill.assign: malformed bunch ranges";
+  if pair < 0 || pair >= Problem.n_pairs t then
+    invalid_arg "Pair_fill.assign: pair out of range";
+  match Problem.meeting_cost t ~pair ~lo:meet_lo ~hi:meet_hi with
+  | None -> None
+  | Some (rep_area, rep_count) ->
+      if rep_area > rep_budget then None
+      else
+        let routing_area =
+          Problem.interval_area t ~pair ~lo:meet_lo ~hi:extra_hi
+        in
+        let blocked =
+          Problem.blocked t ~pair ~wires_above:prefix_wires
+            ~reps_above
+        in
+        if routing_area +. blocked > Problem.capacity t then None
+        else Some { rep_area; rep_count; routing_area }

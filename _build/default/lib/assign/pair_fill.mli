@@ -1,0 +1,36 @@
+(** Delay-constrained assignment of wires to a single layer-pair — the
+    paper's Algorithm 4 (procedure [wire_assign], the recurrence's M' term).
+
+    Assigns bunches [meet_lo .. extra_hi - 1] to one pair, of which the
+    longest [meet_lo .. meet_hi - 1] must meet their targets within a
+    repeater-area allowance.  The paper inserts uniform-size repeaters
+    incrementally, longest wire first, until each wire meets its target;
+    because Eq. (3) is convex in the repeater count, that incremental
+    insertion uses exactly the per-wire minimum, so the procedure reduces
+    to interval queries on the precomputed tables. *)
+
+type result = {
+  rep_area : float;  (** r2: repeater area actually used, m^2 *)
+  rep_count : int;  (** repeaters inserted *)
+  routing_area : float;  (** wire area consumed on the pair, m^2 *)
+}
+[@@deriving show, eq]
+
+val assign :
+  Problem.t ->
+  pair:int ->
+  prefix_wires:int ->
+  reps_above:int ->
+  meet_lo:int ->
+  meet_hi:int ->
+  extra_hi:int ->
+  rep_budget:float ->
+  result option
+(** [assign t ~pair ~prefix_wires ~reps_above ~meet_lo ~meet_hi ~extra_hi
+    ~rep_budget] returns [None] when (a) some bunch in the meeting range
+    cannot reach its target on this pair at any repeater count, (b) the
+    minimal repeater area exceeds [rep_budget], or (c) the bunches'
+    routing area plus the via blockage from the [prefix_wires] wires and
+    [reps_above] repeaters above exceeds the pair capacity.
+    Requires [meet_lo <= meet_hi <= extra_hi].
+    @raise Invalid_argument on malformed ranges. *)

@@ -1,0 +1,158 @@
+type t = {
+  arch : Ir_ia.Arch.t;
+  target_model : Ir_delay.Target.t;
+  bunches : Ir_wld.Dist.bin array;  (* non-increasing length, meters *)
+  targets : float array;  (* per-bunch target delay, seconds *)
+  wire_prefix : int array;  (* wire_prefix.(i) = wires in bunches [0..i) *)
+  (* Per pair j, prefix tables over bunches:
+     area_prefix.(j).(i)   : routing area of bunches [0..i) on pair j
+     eta.(j).(b)           : minimal per-wire repeater count, -1 = infeasible
+     rep_area_prefix.(j).(i), rep_count_prefix.(j).(i) :
+       repeater area / count to meet targets for bunches [0..i)
+       (infeasible bunches contribute 0 and are masked by bad_prefix)
+     bad_prefix.(j).(i)    : number of infeasible bunches in [0..i) *)
+  area_prefix : float array array;
+  eta : int array array;
+  rep_area_prefix : float array array;
+  rep_count_prefix : float array array;
+  bad_prefix : int array array;
+}
+
+let arch t = t.arch
+let n_bunches t = Array.length t.bunches
+let n_pairs t = Ir_ia.Arch.pair_count t.arch
+let total_wires t = t.wire_prefix.(n_bunches t)
+let bunch_length t b = t.bunches.(b).Ir_wld.Dist.length
+let bunch_count t b = t.bunches.(b).Ir_wld.Dist.count
+let wires_before t i = t.wire_prefix.(i)
+let target t b = t.targets.(b)
+let capacity t = Ir_ia.Arch.pair_capacity t.arch
+let budget t = Ir_ia.Arch.repeater_budget t.arch
+
+let blocked t ~pair ~wires_above ~reps_above =
+  Ir_ia.Arch.blocked_area t.arch ~pair_index:pair ~wires_above
+    ~repeaters_above:reps_above
+
+let interval_area t ~pair ~lo ~hi =
+  t.area_prefix.(pair).(hi) -. t.area_prefix.(pair).(lo)
+
+let eta_min t ~pair ~bunch =
+  let e = t.eta.(pair).(bunch) in
+  if e < 0 then None else Some e
+
+let meeting_cost t ~pair ~lo ~hi =
+  if t.bad_prefix.(pair).(hi) - t.bad_prefix.(pair).(lo) > 0 then None
+  else
+    Some
+      ( t.rep_area_prefix.(pair).(hi) -. t.rep_area_prefix.(pair).(lo),
+        int_of_float
+          (t.rep_count_prefix.(pair).(hi) -. t.rep_count_prefix.(pair).(lo))
+      )
+
+let wire_delay_on_pair t ~pair ~eta l =
+  let p = Ir_ia.Arch.pair t.arch pair in
+  Ir_delay.Model.wire_delay t.arch.Ir_ia.Arch.device p.Ir_ia.Layer_pair.line
+    ~s:p.Ir_ia.Layer_pair.s_opt ~eta l
+
+let build ~arch ~target_model ~noise_limit bunches =
+  let n = Array.length bunches in
+  if n = 0 then invalid_arg "Problem: empty instance";
+  Array.iter
+    (fun (b : Ir_wld.Dist.bin) ->
+      if b.count <= 0 then invalid_arg "Problem: non-positive bunch count";
+      if not (b.length > 0.0) then
+        invalid_arg "Problem: non-positive bunch length")
+    bunches;
+  for i = 1 to n - 1 do
+    if bunches.(i).Ir_wld.Dist.length > bunches.(i - 1).Ir_wld.Dist.length
+    then invalid_arg "Problem: bunches must be sorted by non-increasing length"
+  done;
+  let design = arch.Ir_ia.Arch.design in
+  let clock = design.Ir_tech.Design.clock in
+  let l_max = bunches.(0).Ir_wld.Dist.length in
+  let targets =
+    Array.map
+      (fun (b : Ir_wld.Dist.bin) ->
+        Ir_delay.Target.delay target_model ~clock ~l_max b.length)
+      bunches
+  in
+  let wire_prefix = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    wire_prefix.(i + 1) <- wire_prefix.(i) + bunches.(i).Ir_wld.Dist.count
+  done;
+  let m = Ir_ia.Arch.pair_count arch in
+  let device = arch.Ir_ia.Arch.device in
+  let area_prefix = Array.make_matrix m (n + 1) 0.0 in
+  let eta = Array.make_matrix m n (-1) in
+  let rep_area_prefix = Array.make_matrix m (n + 1) 0.0 in
+  let rep_count_prefix = Array.make_matrix m (n + 1) 0.0 in
+  let bad_prefix = Array.make_matrix m (n + 1) 0 in
+  for j = 0 to m - 1 do
+    let p = Ir_ia.Arch.pair arch j in
+    let line = p.Ir_ia.Layer_pair.line in
+    let s = p.Ir_ia.Layer_pair.s_opt in
+    let rep_area = p.Ir_ia.Layer_pair.repeater_area in
+    (* A pair failing its crosstalk budget cannot host meeting wires: the
+       charge-sharing ratio is length-independent, so noise is a per-pair
+       verdict (see Ir_rc.Noise). *)
+    let materials = arch.Ir_ia.Arch.materials in
+    let noisy =
+      match noise_limit with
+      | None -> false
+      | Some limit ->
+          not
+            (Ir_rc.Noise.passes ~k:materials.Ir_ia.Materials.k
+               ~miller:materials.Ir_ia.Materials.miller ~limit
+               p.Ir_ia.Layer_pair.geom)
+    in
+    for b = 0 to n - 1 do
+      let { Ir_wld.Dist.length = l; count } = bunches.(b) in
+      let countf = float_of_int count in
+      area_prefix.(j).(b + 1) <-
+        area_prefix.(j).(b) +. (countf *. Ir_ia.Layer_pair.wire_area p l);
+      let need =
+        if noisy then None
+        else
+          Ir_delay.Model.repeaters_needed device line ~s ~target:targets.(b)
+            l
+      in
+      (match need with
+      | Some e ->
+          eta.(j).(b) <- e;
+          rep_area_prefix.(j).(b + 1) <-
+            rep_area_prefix.(j).(b) +. (countf *. float_of_int e *. rep_area);
+          rep_count_prefix.(j).(b + 1) <-
+            rep_count_prefix.(j).(b) +. (countf *. float_of_int e);
+          bad_prefix.(j).(b + 1) <- bad_prefix.(j).(b)
+      | None ->
+          rep_area_prefix.(j).(b + 1) <- rep_area_prefix.(j).(b);
+          rep_count_prefix.(j).(b + 1) <- rep_count_prefix.(j).(b);
+          bad_prefix.(j).(b + 1) <- bad_prefix.(j).(b) + 1)
+    done
+  done;
+  {
+    arch;
+    target_model;
+    bunches;
+    targets;
+    wire_prefix;
+    area_prefix;
+    eta;
+    rep_area_prefix;
+    rep_count_prefix;
+    bad_prefix;
+  }
+
+let of_bunches ?(target_model = Ir_delay.Target.Linear) ?noise_limit ~arch
+    ~bunches () =
+  build ~arch ~target_model ~noise_limit (Array.copy bunches)
+
+let make ?(target_model = Ir_delay.Target.Linear) ?noise_limit
+    ?(bunch_size = 10000) ~arch ~wld () =
+  if Ir_wld.Dist.is_empty wld then invalid_arg "Problem.make: empty WLD";
+  let pitch =
+    Ir_tech.Design.effective_gate_pitch arch.Ir_ia.Arch.design
+  in
+  let meters = Ir_wld.Dist.map_length (fun l -> l *. pitch) wld in
+  let bunches = Ir_wld.Coarsen.bunch ~bunch_size meters in
+  build ~arch ~target_model ~noise_limit bunches

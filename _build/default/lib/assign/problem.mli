@@ -1,0 +1,95 @@
+(** A rank-computation instance: an architecture plus a coarsened WLD with
+    per-bunch targets and precomputed assignment tables.
+
+    The unit of assignment is a {e bunch} of identical-length wires (paper
+    Section 5.1); bunch index 0 holds the longest wires.  For every
+    (layer-pair, bunch) combination the constructor precomputes the routing
+    area the bunch consumes, and the minimal per-wire repeater count that
+    meets the bunch's target delay on that pair (or its infeasibility).
+    Prefix-sum tables make every interval query O(1), which is what gives
+    the optimized rank DP its speed. *)
+
+type t
+
+val make :
+  ?target_model:Ir_delay.Target.t ->
+  ?noise_limit:float ->
+  ?bunch_size:int ->
+  arch:Ir_ia.Arch.t ->
+  wld:Ir_wld.Dist.t ->
+  unit ->
+  t
+(** [make ~arch ~wld ()] builds an instance from a WLD whose lengths are in
+    gate pitches (converted to meters with the design's effective gate
+    pitch).  Defaults: [target_model = Linear] (the paper's),
+    [bunch_size = 10000] (the paper's Section 5.2 value), no noise limit.
+
+    When [noise_limit] is given (a fraction of Vdd, e.g. 0.15), a
+    layer-pair whose {!Ir_rc.Noise.peak_ratio} exceeds it cannot host
+    meeting wires at all — a noise-aware variant of the rank metric (the
+    signal-integrity concern of the paper's Section 1).
+    @raise Invalid_argument on an empty WLD. *)
+
+val of_bunches :
+  ?target_model:Ir_delay.Target.t ->
+  ?noise_limit:float ->
+  arch:Ir_ia.Arch.t ->
+  bunches:Ir_wld.Dist.bin array ->
+  unit ->
+  t
+(** Builds an instance directly from bunches whose lengths are in {e
+    meters}, sorted by non-increasing length (checked).  Used by tests and
+    by synthetic scenarios such as the paper's Figure 2.
+    @raise Invalid_argument if bunches are empty, unsorted or have
+    non-positive counts/lengths. *)
+
+(** {1 Dimensions} *)
+
+val arch : t -> Ir_ia.Arch.t
+val n_bunches : t -> int
+val n_pairs : t -> int
+val total_wires : t -> int
+
+val bunch_length : t -> int -> float
+(** Length in meters of the wires of bunch [b]. *)
+
+val bunch_count : t -> int -> int
+(** Number of wires in bunch [b]. *)
+
+val wires_before : t -> int -> int
+(** [wires_before t i] is the total wire count of bunches [0 .. i-1]
+    (so [wires_before t 0 = 0] and
+    [wires_before t (n_bunches t) = total_wires t]). *)
+
+val target : t -> int -> float
+(** Target delay (seconds) of each wire in bunch [b]. *)
+
+(** {1 Capacities and budgets} *)
+
+val capacity : t -> float
+(** Routing capacity of each layer-pair before via blockage, m^2. *)
+
+val budget : t -> float
+(** Repeater area budget A_R, m^2. *)
+
+val blocked : t -> pair:int -> wires_above:int -> reps_above:int -> float
+(** Via-blocked area on [pair] given wires and repeaters on pairs above. *)
+
+(** {1 Interval queries (O(1))} *)
+
+val interval_area : t -> pair:int -> lo:int -> hi:int -> float
+(** Routing area consumed on [pair] by bunches [lo .. hi-1], m^2. *)
+
+val eta_min : t -> pair:int -> bunch:int -> int option
+(** Minimal per-wire repeater count for bunch [bunch] to meet its target on
+    [pair]; [None] when the target is unreachable there. *)
+
+val meeting_cost : t -> pair:int -> lo:int -> hi:int -> (float * int) option
+(** [meeting_cost t ~pair ~lo ~hi] is [Some (area, count)]: the repeater
+    area (m^2) and repeater count needed for {e every} wire of bunches
+    [lo .. hi-1] to meet its target on [pair]; [None] if any of those
+    bunches is infeasible there. *)
+
+val wire_delay_on_pair : t -> pair:int -> eta:int -> float -> float
+(** Eq. (3) delay of a single wire of the given length (m) on [pair] with
+    [eta] repeaters of the pair's uniform size — exposed for reporting. *)

@@ -1,0 +1,1 @@
+lib/core/assignment.pp.ml: Array Format Ir_assign Ir_ia Ir_tech List Outcome Ppx_deriving_runtime Printf Rank_dp String

@@ -1,0 +1,1 @@
+lib/core/assignment.pp.mli: Format Ir_assign Outcome Ppx_deriving_runtime

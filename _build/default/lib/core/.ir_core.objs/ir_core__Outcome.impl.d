@@ -1,0 +1,1 @@
+lib/core/outcome.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/outcome.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/rank.pp.ml: Ir_assign Ir_ia Ir_tech Ir_wld Ppx_deriving_runtime Rank_dp Rank_exact Rank_greedy

@@ -1,0 +1,1 @@
+lib/core/rank.pp.mli: Ir_assign Ir_delay Ir_ia Ir_tech Outcome Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/rank_brute.pp.ml: Array Ir_assign Ir_ia Outcome

@@ -1,0 +1,1 @@
+lib/core/rank_brute.pp.mli: Ir_assign Outcome

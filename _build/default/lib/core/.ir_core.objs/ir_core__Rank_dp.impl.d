@@ -1,0 +1,1 @@
+lib/core/rank_dp.pp.ml: Array Float Ir_assign List Option Outcome

@@ -1,0 +1,1 @@
+lib/core/rank_dp.pp.mli: Ir_assign Outcome

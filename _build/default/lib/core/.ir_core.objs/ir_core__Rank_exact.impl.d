@@ -1,0 +1,1 @@
+lib/core/rank_exact.pp.ml: Array Float Ir_assign Ir_ia Outcome

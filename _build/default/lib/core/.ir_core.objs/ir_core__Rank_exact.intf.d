@@ -1,0 +1,1 @@
+lib/core/rank_exact.pp.mli: Ir_assign Outcome

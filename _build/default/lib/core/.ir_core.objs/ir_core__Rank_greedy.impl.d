@@ -1,0 +1,1 @@
+lib/core/rank_greedy.pp.ml: Float Ir_assign Ir_ia Outcome

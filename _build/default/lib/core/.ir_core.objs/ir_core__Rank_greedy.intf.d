@@ -1,0 +1,1 @@
+lib/core/rank_greedy.pp.mli: Ir_assign Outcome

@@ -1,0 +1,1 @@
+lib/core/rank_threshold.pp.ml: Array Float Ir_assign Ir_delay Ir_ia Ir_tech Rank_greedy

@@ -1,0 +1,1 @@
+lib/core/rank_threshold.pp.mli: Ir_assign Outcome

@@ -1,0 +1,31 @@
+(** The result of a rank computation.
+
+    Per the paper's Definitions 1-3: the rank of an architecture w.r.t. a
+    WLD is the number of longest wires that meet their target delays under
+    the best assignment, provided {e all} wires can be assigned at all;
+    otherwise the rank is 0. *)
+
+type t = {
+  rank_wires : int;  (** r(alpha): wires meeting delay (a WLD prefix) *)
+  total_wires : int;  (** n: wires in the WLD *)
+  assignable : bool;  (** Definition 3: all wires fit in the architecture *)
+  boundary_bunch : int;
+      (** bunches [0 .. boundary_bunch) meet their targets *)
+}
+[@@deriving show, eq]
+
+val v :
+  rank_wires:int -> total_wires:int -> assignable:bool ->
+  boundary_bunch:int -> t
+(** @raise Invalid_argument if counts are negative, [rank_wires >
+    total_wires], or [rank_wires > 0] while [assignable] is false. *)
+
+val unassignable : total_wires:int -> t
+(** Rank 0 because the WLD does not fit (Definition 3). *)
+
+val normalized : t -> float
+(** [rank_wires / total_wires] — the paper's Table 4 reports this
+    normalization. *)
+
+val pp_human : Format.formatter -> t -> unit
+(** e.g. ["rank 1191864 / 3000000 (0.3973)"]. *)

@@ -1,0 +1,97 @@
+module P = Ir_assign.Problem
+
+(* For a fixed split (pair_of.(b) = pair of bunch b, non-decreasing) and
+   meeting-prefix c, verify budget and per-pair capacity. *)
+let feasible problem ~pair_of ~c =
+  let n = P.n_bunches problem in
+  let m = P.n_pairs problem in
+  let budget = P.budget problem in
+  let cap = P.capacity problem in
+  let exception No in
+  try
+    (* Per-bunch repeater needs for the meeting prefix. *)
+    let rep_count = Array.make m 0 in
+    let total_area = ref 0.0 in
+    for b = 0 to c - 1 do
+      let j = pair_of.(b) in
+      match P.eta_min problem ~pair:j ~bunch:b with
+      | None -> raise No
+      | Some eta ->
+          let cnt = P.bunch_count problem b in
+          let reps = eta * cnt in
+          let pair = Ir_ia.Arch.pair (P.arch problem) j in
+          rep_count.(j) <- rep_count.(j) + reps;
+          total_area :=
+            !total_area
+            +. (float_of_int reps *. pair.Ir_ia.Layer_pair.repeater_area)
+    done;
+    if !total_area > budget then raise No;
+    (* Capacity per pair with blockage from wires and repeaters above. *)
+    let wires_above = ref 0 and reps_above = ref 0 in
+    let routing = Array.make m 0.0 in
+    for b = 0 to n - 1 do
+      let j = pair_of.(b) in
+      let pair = Ir_ia.Arch.pair (P.arch problem) j in
+      routing.(j) <-
+        routing.(j)
+        +. (float_of_int (P.bunch_count problem b)
+            *. P.bunch_length problem b
+            *. Ir_ia.Layer_pair.pitch pair)
+    done;
+    for j = 0 to m - 1 do
+      let blocked =
+        P.blocked problem ~pair:j ~wires_above:!wires_above
+          ~reps_above:!reps_above
+      in
+      if routing.(j) +. blocked > cap then raise No;
+      (* accumulate wires and repeaters of this pair for pairs below *)
+      for b = 0 to n - 1 do
+        if pair_of.(b) = j then
+          wires_above := !wires_above + P.bunch_count problem b
+      done;
+      reps_above := !reps_above + rep_count.(j)
+    done;
+    true
+  with No -> false
+
+let compute ?(max_bunches = 14) problem =
+  let n = P.n_bunches problem in
+  let m = P.n_pairs problem in
+  if n > max_bunches then
+    invalid_arg "Rank_brute.compute: instance too large for brute force";
+  let best = ref (-1) in
+  let assignable = ref false in
+  let pair_of = Array.make n 0 in
+  (* Enumerate non-decreasing pair assignments (contiguous splits). *)
+  let rec enumerate b min_pair =
+    if b = n then begin
+      if feasible problem ~pair_of ~c:0 then assignable := true;
+      let c = ref n in
+      let continue_scan = ref true in
+      while !continue_scan && !c > !best do
+        if feasible problem ~pair_of ~c:!c then begin
+          best := max !best !c;
+          continue_scan := false
+        end
+        else decr c
+      done
+    end
+    else
+      for j = min_pair to m - 1 do
+        pair_of.(b) <- j;
+        enumerate (b + 1) j
+      done
+  in
+  if n = 0 then
+    Outcome.v ~rank_wires:0 ~total_wires:0 ~assignable:true ~boundary_bunch:0
+  else begin
+    enumerate 0 0;
+    if not !assignable then
+      Outcome.unassignable ~total_wires:(P.total_wires problem)
+    else
+      let c = max 0 !best in
+      Outcome.v
+        ~rank_wires:(P.wires_before problem c)
+        ~total_wires:(P.total_wires problem)
+        ~assignable:true ~boundary_bunch:c
+  end

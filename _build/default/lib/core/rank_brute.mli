@@ -1,0 +1,17 @@
+(** Exhaustive-search rank oracle for small instances.
+
+    Enumerates every way to split the bunch sequence into contiguous
+    per-pair intervals (the paper's constraint (i): longer wires on higher
+    pairs) and, for each split, every meeting-prefix length; checks the
+    repeater budget and per-pair capacities exactly as the DP does.  This
+    is the ground truth the property tests compare {!Rank_dp} and
+    {!Rank_greedy} against.
+
+    Cost is O(C(n+m-1, m-1) * n * m); keep [n_bunches] below ~12.  Because
+    bunches are atomic here while {!Ir_assign.Greedy_fill} may split a
+    bunch across pairs, exact agreement with the DP is guaranteed only for
+    instances with single-wire bunches (the tests use those). *)
+
+val compute : ?max_bunches:int -> Ir_assign.Problem.t -> Outcome.t
+(** @raise Invalid_argument if the instance has more than [max_bunches]
+    (default 14) bunches. *)

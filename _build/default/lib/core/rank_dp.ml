@@ -1,0 +1,211 @@
+module P = Ir_assign.Problem
+module GF = Ir_assign.Greedy_fill
+
+(* A phase-A state: repeater area and count consumed so far, plus the
+   interval ends chosen for the pairs processed so far (most recent
+   first) so a witness assignment can be reconstructed.  Dominance is on
+   (area, count) only. *)
+type elt = { area : float; count : int; splits : int list }
+
+type witness = {
+  boundary_pair : int;  (** pair holding the last meeting bunches *)
+  prefix_splits : int list;
+      (** interval end per pair above the boundary, top-down *)
+  meet_lo : int;  (** meeting interval on the boundary pair *)
+  meet_hi : int;
+  reps_above : int;  (** repeaters in pairs above the boundary *)
+  reps_total : int;  (** including the boundary pair's *)
+}
+
+let dominates a b = a.area <= b.area && a.count <= b.count
+
+let insert ~max_pareto set e =
+  if List.exists (fun x -> dominates x e) set then set
+  else
+    let survivors = List.filter (fun x -> not (dominates e x)) set in
+    let merged =
+      List.sort (fun a b -> Float.compare a.area b.area) (e :: survivors)
+    in
+    let len = List.length merged in
+    if len <= max_pareto then merged
+    else
+      (* Keep the smallest-area elements plus the min-count one (the last:
+         area-ascending implies count-descending in a Pareto set). *)
+      let arr = Array.of_list merged in
+      Array.to_list (Array.sub arr 0 (max_pareto - 1)) @ [ arr.(len - 1) ]
+
+type tables = {
+  problem : P.t;
+  dp : elt list array array;
+      (* dp.(j).(i): pairs [0..j) hold bunches [0..i), all meeting *)
+  n : int;
+  m : int;
+}
+
+let build_tables ~max_pareto problem =
+  let n = P.n_bunches problem in
+  let m = P.n_pairs problem in
+  let cap = P.capacity problem in
+  let budget = P.budget problem in
+  let dp = Array.make_matrix (m + 1) (n + 1) [] in
+  dp.(0).(0) <- [ { area = 0.0; count = 0; splits = [] } ];
+  for j = 0 to m - 1 do
+    for i = 0 to n do
+      match dp.(j).(i) with
+      | [] -> ()
+      | elts ->
+          let wires_above = P.wires_before problem i in
+          let min_area =
+            List.fold_left (fun acc e -> Float.min acc e.area) infinity elts
+          in
+          let exception Break in
+          (try
+             for i2 = i to n do
+               if i2 = i then
+                 (* Empty interval: pair j left unused. *)
+                 List.iter
+                   (fun e ->
+                     dp.(j + 1).(i) <-
+                       insert ~max_pareto dp.(j + 1).(i)
+                         { e with splits = i :: e.splits })
+                   elts
+               else begin
+                 match P.meeting_cost problem ~pair:j ~lo:i ~hi:i2 with
+                 | None -> raise Break
+                 | Some (d_area, d_count) ->
+                     if min_area +. d_area > budget then raise Break;
+                     let routing =
+                       P.interval_area problem ~pair:j ~lo:i ~hi:i2
+                     in
+                     if routing > cap then raise Break;
+                     List.iter
+                       (fun e ->
+                         let blocked =
+                           P.blocked problem ~pair:j ~wires_above
+                             ~reps_above:e.count
+                         in
+                         if e.area +. d_area <= budget
+                            && routing +. blocked <= cap then
+                           dp.(j + 1).(i2) <-
+                             insert ~max_pareto dp.(j + 1).(i2)
+                               {
+                                 area = e.area +. d_area;
+                                 count = e.count + d_count;
+                                 splits = i2 :: e.splits;
+                               })
+                       elts
+               end
+             done
+           with Break -> ())
+    done
+  done;
+  { problem; dp; n; m }
+
+(* Can the top c bunches all meet their targets in some complete
+   assignment?  Try every boundary pair j and every phase-A state
+   dp.(j).(i): bunches [i..c) meet on pair j, the rest is capacity-only.
+   Returns the witness state on success. *)
+let feasible_witness tables c =
+  let { problem; dp; n = _; m } = tables in
+  let cap = P.capacity problem in
+  let budget = P.budget problem in
+  let wires_c = P.wires_before problem c in
+  let try_state j i e =
+    match P.meeting_cost problem ~pair:j ~lo:i ~hi:c with
+    | None -> None
+    | Some (m_area, m_count) ->
+        if e.area +. m_area > budget then None
+        else
+          let used_j = P.interval_area problem ~pair:j ~lo:i ~hi:c in
+          let wires_i = P.wires_before problem i in
+          let blocked_j =
+            P.blocked problem ~pair:j ~wires_above:wires_i
+              ~reps_above:e.count
+          in
+          if used_j +. blocked_j > cap then None
+          else if
+            GF.fits problem
+              (GF.context ~top_pair_used:used_j ~wires_above_top:wires_i
+                 ~reps_above_top:e.count ~wires_above_below:wires_c
+                 ~reps_above_below:(e.count + m_count) ~from_bunch:c
+                 ~top_pair:j ())
+          then
+            Some
+              {
+                boundary_pair = j;
+                prefix_splits = List.rev e.splits;
+                meet_lo = i;
+                meet_hi = c;
+                reps_above = e.count;
+                reps_total = e.count + m_count;
+              }
+          else None
+  in
+  let exception Found of witness in
+  try
+    for j = 0 to m - 1 do
+      for i = 0 to c do
+        List.iter
+          (fun e ->
+            match try_state j i e with
+            | Some w -> raise (Found w)
+            | None -> ())
+          dp.(j).(i)
+      done
+    done;
+    None
+  with Found w -> Some w
+
+let feasible tables c = Option.is_some (feasible_witness tables c)
+
+let outcome_of_boundary problem ~assignable c =
+  Outcome.v
+    ~rank_wires:(P.wires_before problem c)
+    ~total_wires:(P.total_wires problem)
+    ~assignable ~boundary_bunch:c
+
+let search ?(max_pareto = 8) ?(exhaustive = false) problem =
+  (* Definition 3 first: if the WLD does not even fit ignoring delay,
+     the rank is 0 and the DP tables are not worth building. *)
+  if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then
+    (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
+  else
+    let tables = build_tables ~max_pareto problem in
+    let n = tables.n in
+    match feasible_witness tables 0 with
+    | None -> (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
+    | Some w0 ->
+        let best = ref 0 and best_w = ref w0 in
+        let try_c c =
+          match feasible_witness tables c with
+          | Some w ->
+              best := c;
+              best_w := w;
+              true
+          | None -> false
+        in
+        if exhaustive then begin
+          let c = ref n in
+          while !c > 0 && not (try_c !c) do
+            decr c
+          done
+        end
+        else if not (try_c n) then begin
+          (* Invariant: feasible lo (recorded), not (feasible hi). *)
+          let lo = ref 0 and hi = ref n in
+          while !hi - !lo > 1 do
+            let mid = !lo + ((!hi - !lo) / 2) in
+            if try_c mid then lo := mid else hi := mid
+          done
+        end;
+        (outcome_of_boundary problem ~assignable:true !best, Some !best_w)
+
+let compute ?max_pareto ?exhaustive problem =
+  fst (search ?max_pareto ?exhaustive problem)
+
+let compute_with_witness ?max_pareto problem = search ?max_pareto problem
+
+let feasible_boundary ?(max_pareto = 8) problem c =
+  if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then
+    false
+  else feasible (build_tables ~max_pareto problem) c

@@ -1,0 +1,58 @@
+(** Optimal rank computation — an optimized, exactly equivalent
+    reformulation of the paper's dynamic program (Section 4).
+
+    The paper's recurrence (its Eq. 1) ranges a boolean table over
+    (wires assigned, pairs used, repeater area, wires meeting delay) in
+    O(m n^4 A_R^3).  Two structural facts collapse this:
+
+    - In every entry combined by Eq. (1), the wires that meet delay are
+      exactly the {e longest} prefix of the WLD (the recurrence composes
+      [M[i'_1, j, r_1, i'_1]] — all assigned wires above the boundary pair
+      meet), so an optimal solution is described by: interval splits of the
+      bunch sequence across pairs, a boundary bunch index [c], repeaters
+      only above the boundary.
+    - Given the splits, per-wire repeater counts are forced to their
+      minima (Eq. 3 is convex in the count), so the only optimization
+      freedom is where the splits fall; repeater area and repeater count
+      (which drives via blockage below) are then determined, and dominated
+      (area, count) combinations can be pruned per state.
+
+    Phase A tabulates Pareto-minimal (repeater area, repeater count) for
+    "bunches [0..i) on pairs [0..j), all meeting"; phase B picks the
+    boundary pair, the meeting interval on it, and checks the capacity-only
+    suffix with {!Ir_assign.Greedy_fill} (the paper's M'').  A binary
+    search finds the largest feasible boundary; feasibility is monotone
+    (shrinking the meeting prefix only removes repeaters and blockage).
+
+    Complexity: O(m n^2) table construction plus O(log n) boundary probes,
+    versus the paper's O(m n^4 A_R^3) — with no repeater-area
+    discretization at all. *)
+
+type witness = {
+  boundary_pair : int;  (** pair holding the last meeting bunches *)
+  prefix_splits : int list;
+      (** interval end per pair above the boundary, top-down *)
+  meet_lo : int;  (** meeting interval on the boundary pair *)
+  meet_hi : int;
+  reps_above : int;  (** repeaters in pairs above the boundary *)
+  reps_total : int;  (** including the boundary pair's *)
+}
+(** A certificate of the rank: the phase-A interval splits above the
+    boundary pair, the boundary pair's meeting interval, and the repeater
+    counts.  {!Assignment.extract} turns it into a full placement. *)
+
+val compute : ?max_pareto:int -> ?exhaustive:bool -> Ir_assign.Problem.t -> Outcome.t
+(** [compute problem] returns the optimal rank.  [max_pareto] bounds the
+    per-state Pareto set (default 8; larger is slower and only matters on
+    adversarial instances).  [exhaustive] replaces the binary search with a
+    top-down linear scan (used by tests to cross-check monotonicity). *)
+
+val compute_with_witness :
+  ?max_pareto:int -> Ir_assign.Problem.t -> Outcome.t * witness option
+(** Like {!compute} but also returns the witness (absent only when the
+    instance is unassignable). *)
+
+val feasible_boundary : ?max_pareto:int -> Ir_assign.Problem.t -> int -> bool
+(** [feasible_boundary problem c] decides whether the top [c] bunches can
+    all meet their targets in some feasible full assignment — the
+    predicate the search maximizes; exposed for tests. *)

@@ -1,0 +1,132 @@
+module P = Ir_assign.Problem
+module GF = Ir_assign.Greedy_fill
+module PF = Ir_assign.Pair_fill
+
+(* The paper's Eq. (5): repeater count for area r on pair j is r / s_j.
+   Our repeater areas are in m^2, so the count is area / (per-repeater
+   area of the pair). *)
+let z_of_area problem ~pair area =
+  let p = Ir_ia.Arch.pair (P.arch problem) pair in
+  let unit = p.Ir_ia.Layer_pair.repeater_area in
+  if unit <= 0.0 then 0 else int_of_float (Float.round (area /. unit))
+
+(* M''(n, i, m, j+1, z): bunches [i..n) fit into pairs strictly below
+   0-based pair [jp], given z repeaters above. *)
+let m_double_prime problem ~i ~below_pair ~z =
+  let n = P.n_bunches problem in
+  let m = P.n_pairs problem in
+  if i >= n then true
+  else if below_pair >= m then false
+  else
+    let wires_above = P.wires_before problem i in
+    GF.fits problem
+      (GF.context ~wires_above_top:wires_above ~reps_above_top:z
+         ~wires_above_below:wires_above ~reps_above_below:z ~from_bunch:i
+         ~top_pair:below_pair ())
+
+let compute ?(r_steps = 16) ?(max_bunches = 14) problem =
+  let n = P.n_bunches problem in
+  let m = P.n_pairs problem in
+  if n > max_bunches then
+    invalid_arg "Rank_exact.compute: instance too large for the literal DP";
+  if r_steps < 1 then invalid_arg "Rank_exact.compute: r_steps must be >= 1";
+  let quantum = P.budget problem /. float_of_int r_steps in
+  let total = P.total_wires problem in
+  (* mm.(i).(j).(r).(i'): i bunches on (1-based) pairs 1..j+1, top i'
+     meeting, <= r quanta of repeater area, rest fits below. *)
+  let mm =
+    Array.init (n + 1) (fun _ ->
+        Array.init m (fun _ -> Array.make_matrix (r_steps + 1) (n + 1) false))
+  in
+  (* used_z.(i).(j).(r): repeater count corresponding to the cheapest
+     realization of a fully-meeting cell M[i, j, r, i] (Eq. 5 track). *)
+  let used_z =
+    Array.init (n + 1) (fun _ -> Array.make_matrix m (r_steps + 1) max_int)
+  in
+  (* Initialize_M: pair 1 (0-based 0). *)
+  for i = 0 to n do
+    for r = 0 to r_steps do
+      for i' = 0 to i do
+        let budget_area = float_of_int r *. quantum in
+        match
+          PF.assign problem ~pair:0 ~prefix_wires:0 ~reps_above:0 ~meet_lo:0
+            ~meet_hi:i' ~extra_hi:i ~rep_budget:budget_area
+        with
+        | None -> ()
+        | Some res ->
+            let z = z_of_area problem ~pair:0 res.PF.rep_area in
+            if m_double_prime problem ~i ~below_pair:1 ~z then begin
+              mm.(i).(0).(r).(i') <- true;
+              if i' = i && z < used_z.(i).(0).(r) then
+                used_z.(i).(0).(r) <- z
+            end
+      done
+    done
+  done;
+  (* update_M: the Eq. (1) recurrence, pairs 2..m. *)
+  for j = 0 to m - 2 do
+    for i = 0 to n do
+      for r = 0 to r_steps do
+        for i' = 0 to i do
+          if not mm.(i).(j + 1).(r).(i') then begin
+            let found = ref false in
+            let best_z = ref max_int in
+            for i1 = 0 to i' do
+              for r1 = 0 to r do
+                if (not !found) || i' = i then
+                  if (i1 = 0 && r1 = 0) || (i1 > 0 && mm.(i1).(j).(r1).(i1))
+                  then begin
+                    let z1 =
+                      if i1 = 0 then 0
+                      else if used_z.(i1).(j).(r1) = max_int then 0
+                      else used_z.(i1).(j).(r1)
+                    in
+                    let i2 = i' - i1 in
+                    if i1 <= i then
+                      let r3 = float_of_int (r - r1) *. quantum in
+                      match
+                        PF.assign problem ~pair:(j + 1)
+                          ~prefix_wires:(P.wires_before problem i1)
+                          ~reps_above:z1 ~meet_lo:i1 ~meet_hi:(i1 + i2)
+                          ~extra_hi:i ~rep_budget:r3
+                      with
+                      | None -> ()
+                      | Some res ->
+                          let z2 =
+                            z_of_area problem ~pair:(j + 1) res.PF.rep_area
+                          in
+                          if
+                            m_double_prime problem ~i ~below_pair:(j + 2)
+                              ~z:(z1 + z2)
+                          then begin
+                            found := true;
+                            if i' = i then best_z := min !best_z (z1 + z2)
+                          end
+                  end
+              done
+            done;
+            if !found then begin
+              mm.(i).(j + 1).(r).(i') <- true;
+              if i' = i && !best_z < used_z.(i).(j + 1).(r) then
+                used_z.(i).(j + 1).(r) <- !best_z
+            end
+          end
+        done
+      done
+    done
+  done;
+  (* Rank extraction (Algorithm 1): the best i' over cells at full budget
+     with all n bunches placed. *)
+  let best = ref (-1) in
+  for j = m - 1 downto 0 do
+    for i = n downto 0 do
+      for i' = i downto 0 do
+        if !best < i' && mm.(i).(j).(r_steps).(i') then best := i'
+      done
+    done
+  done;
+  if !best < 0 then Outcome.unassignable ~total_wires:total
+  else
+    Outcome.v
+      ~rank_wires:(P.wires_before problem !best)
+      ~total_wires:total ~assignable:true ~boundary_bunch:!best

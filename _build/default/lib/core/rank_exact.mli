@@ -1,0 +1,24 @@
+(** Paper-literal rank computation: the 4-D boolean dynamic program of the
+    paper's Section 4 (Figures 3-5, recurrence Eq. 1).
+
+    The boolean table [M[i, j, r, i']] states whether the top [i] bunches
+    can occupy layer-pairs [1..j] with the top [i'] meeting their targets
+    within [r] discrete units of repeater area, while the remaining bunches
+    still fit below (the M'' term, {!Ir_assign.Greedy_fill}).  Repeater
+    area is discretized into [r_steps] units of [budget / r_steps], and
+    repeater counts are recovered from areas via the paper's Eq. (5)
+    [z_r = r / s_j].
+
+    This is a fidelity artifact: it follows the paper's O(m n^4 A_R^3)
+    construction and is only practical for a dozen bunches — exactly the
+    regime of the paper's Figure 2 counterexample, which the tests
+    reproduce with it.  {!Rank_dp} is the production algorithm; on aligned
+    instances (uniform repeater areas, costs commensurate with the
+    quantum) the two agree, and in general
+    [Rank_exact <= Rank_dp <= Rank_exact + discretization slack]. *)
+
+val compute : ?r_steps:int -> ?max_bunches:int -> Ir_assign.Problem.t -> Outcome.t
+(** [compute problem] runs the literal DP with [r_steps] repeater-area
+    units (default 16).
+    @raise Invalid_argument if the instance exceeds [max_bunches]
+    (default 14) bunches. *)

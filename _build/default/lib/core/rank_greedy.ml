@@ -1,0 +1,86 @@
+module P = Ir_assign.Problem
+
+(* Shared top-down sweep: pair j takes bunches while capacity allows and
+   [eligible j bunch] holds; ineligible or overflowing bunches spill to
+   the next pair down.  The plain greedy baseline is the
+   everything-eligible instance; Rank_threshold restricts intake by
+   length thresholds. *)
+let sweep ?(eligible = fun _ _ -> true) problem =
+  let n = P.n_bunches problem in
+  let m = P.n_pairs problem in
+  let cap = P.capacity problem in
+  let total = P.total_wires problem in
+  let budget = ref (P.budget problem) in
+  let reps_above = ref 0 in
+  let placed_wires = ref 0 in
+  let rank_wires = ref 0 in
+  let boundary_bunch = ref 0 in
+  let failed = ref false in
+  (* Remaining wires of the bunch currently being consumed. *)
+  let b = ref 0 in
+  let remaining = ref (if n > 0 then P.bunch_count problem 0 else 0) in
+  for j = 0 to m - 1 do
+    let pair = Ir_ia.Arch.pair (P.arch problem) j in
+    let blocked =
+      P.blocked problem ~pair:j ~wires_above:!placed_wires
+        ~reps_above:!reps_above
+    in
+    let room = ref (cap -. blocked) in
+    let pair_full = ref false in
+    while (not !pair_full) && !b < n do
+      if !remaining = 0 then begin
+        incr b;
+        if !b < n then remaining := P.bunch_count problem !b
+      end
+      else begin
+        let len = P.bunch_length problem !b in
+        let wire_area = len *. Ir_ia.Layer_pair.pitch pair in
+        let fit =
+          if wire_area <= 0.0 then !remaining
+          else int_of_float (Float.floor (!room /. wire_area))
+        in
+        let take =
+          if j < m - 1 && not (eligible j !b) then 0
+          else min !remaining fit
+        in
+        if take = 0 then pair_full := true
+        else begin
+          (* Repeater insertion for the taken wires, longest-first; they
+             are identical, so the affordable count is a division. *)
+          if not !failed then begin
+            match P.eta_min problem ~pair:j ~bunch:!b with
+            | None ->
+                failed := true;
+                boundary_bunch := !b
+            | Some eta ->
+                let per_wire =
+                  float_of_int eta *. pair.Ir_ia.Layer_pair.repeater_area
+                in
+                let afford =
+                  if per_wire <= 0.0 then take
+                  else int_of_float (Float.floor (!budget /. per_wire))
+                in
+                let meet = min take afford in
+                budget := !budget -. (float_of_int meet *. per_wire);
+                reps_above := !reps_above + (meet * eta);
+                rank_wires := !rank_wires + meet;
+                if meet < take then begin
+                  failed := true;
+                  boundary_bunch := !b
+                end
+                else if !remaining = take then boundary_bunch := !b + 1
+          end;
+          room := !room -. (float_of_int take *. wire_area);
+          placed_wires := !placed_wires + take;
+          remaining := !remaining - take
+        end
+      end
+    done
+  done;
+  let assignable = !placed_wires = total in
+  if not assignable then Outcome.unassignable ~total_wires:total
+  else
+    Outcome.v ~rank_wires:!rank_wires ~total_wires:total ~assignable:true
+      ~boundary_bunch:!boundary_bunch
+
+let compute problem = sweep problem

@@ -1,0 +1,24 @@
+(** Greedy top-down rank computation — the suboptimal baseline of the
+    paper's Figure 2.
+
+    Wires are assigned strictly top-down: the topmost layer-pair is packed
+    with as many of the longest wires as its capacity allows, then the next
+    pair, and so on.  Repeaters are inserted longest-wire-first, each wire
+    taking its minimal count, until the budget runs out; once a wire fails
+    (budget exhausted or target unreachable on its pair), no further wire
+    counts toward the rank, though all wires are still placed.
+
+    The paper's Figure 2 shows why this is suboptimal: greedy fills the
+    expensive top pair and burns the repeater budget there, while the
+    optimal assignment moves wires to cheaper pairs.  Property tests assert
+    [greedy rank <= DP rank] everywhere. *)
+
+val compute : Ir_assign.Problem.t -> Outcome.t
+
+val sweep :
+  ?eligible:(int -> int -> bool) -> Ir_assign.Problem.t -> Outcome.t
+(** The underlying top-down sweep with an intake predicate
+    [eligible pair bunch]; a pair passes ineligible bunches to the pair
+    below (the bottom pair takes everything).  {!compute} is
+    [sweep ~eligible:(fun _ _ -> true)]; {!Rank_threshold} supplies
+    length thresholds. *)

@@ -1,0 +1,28 @@
+module P = Ir_assign.Problem
+
+let characteristic_length problem j =
+  let arch = P.arch problem in
+  let pair = Ir_ia.Arch.pair arch j in
+  let device = arch.Ir_ia.Arch.device in
+  let line = pair.Ir_ia.Layer_pair.line in
+  let tau0 =
+    0.7 *. device.Ir_tech.Device.r_o
+    *. (device.Ir_tech.Device.c_o +. device.Ir_tech.Device.c_p)
+  in
+  sqrt
+    (tau0
+    /. (0.4 *. line.Ir_delay.Model.r_per_m *. line.Ir_delay.Model.c_per_m))
+
+let compute ?(beta = 0.25) problem =
+  if not (beta > 0.0) then
+    invalid_arg "Rank_threshold.compute: beta must be > 0";
+  let m = P.n_pairs problem in
+  (* Per-pair thresholds, forced non-increasing from the top so that the
+     assignment is a contiguous split by length. *)
+  let thresholds = Array.make m 0.0 in
+  for j = 0 to m - 1 do
+    let t = beta *. characteristic_length problem j in
+    thresholds.(j) <- if j = 0 then t else Float.min thresholds.(j - 1) t
+  done;
+  let eligible j b = P.bunch_length problem b >= thresholds.(j) in
+  Rank_greedy.sweep ~eligible problem

@@ -1,0 +1,31 @@
+(** Length-threshold layer assignment — a baseline after Kahng–Stroobandt,
+    "Wiring layer assignment with consistent stage delays" (SLIP 2000),
+    the paper's reference [9].
+
+    Instead of optimizing the splits, each layer-pair [j] is given a
+    characteristic length
+
+    {v  lambda_j = sqrt (b r_o (c_o + c_p) / (a r̄_j c̄_j))  v}
+
+    — the optimal inter-repeater stage length of the pair — and a wire is
+    sent to the topmost pair whose characteristic length it exceeds
+    ([l >= beta * lambda_j]); wires shorter than every threshold fall to
+    the bottom pair.  Since stacks are fabricated with r̄c̄ decreasing
+    upward, the thresholds decrease downward and the assignment is a
+    contiguous split, directly comparable to the DP's.  When a pair
+    overflows its capacity the excess spills to the pair below.
+
+    Repeaters are then inserted longest-first within the budget exactly as
+    in the greedy baseline.  Property tests assert
+    [threshold rank <= DP rank]. *)
+
+val characteristic_length : Ir_assign.Problem.t -> int -> float
+(** [characteristic_length problem j] is lambda_j in meters. *)
+
+val compute : ?beta:float -> Ir_assign.Problem.t -> Outcome.t
+(** Rank achieved by the threshold assignment; [beta] (default 0.25)
+    scales every threshold.  On the Davis WLDs, large [beta] starves the
+    upper pairs — almost all wires are far shorter than any pair's stage
+    length — leaving so much capacity idle that the WLD no longer fits
+    (Definition 3 rank 0), which is itself a useful illustration of why
+    fixed threshold rules need the DP's global view. *)

@@ -1,0 +1,1 @@
+lib/delay/model.pp.ml: Float Ir_tech Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/delay/model.pp.mli: Ir_tech Ppx_deriving_runtime

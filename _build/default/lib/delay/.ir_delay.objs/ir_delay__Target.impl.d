@@ -1,0 +1,1 @@
+lib/delay/target.pp.ml: Float Ir_phys Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/delay/target.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,26 @@
+let ladder_delay ?(segments = 64) ~r_total ~c_total ?(r_source = 0.0)
+    ?(c_load = 0.0) () =
+  if segments < 1 then invalid_arg "Elmore.ladder_delay: segments < 1";
+  if r_total < 0.0 || c_total < 0.0 || r_source < 0.0 || c_load < 0.0 then
+    invalid_arg "Elmore.ladder_delay: negative value";
+  let n = float_of_int segments in
+  let r_seg = r_total /. n and c_seg = c_total /. n in
+  (* pi-sections: half the segment capacitance before the segment
+     resistance, half after.  Elmore delay to the far node is
+     sum over capacitors of (upstream resistance * capacitance). *)
+  let delay = ref (r_source *. (c_total +. c_load)) in
+  for i = 1 to segments do
+    let upstream = float_of_int i *. r_seg in
+    (* capacitance at the node after segment i: half of segment i plus
+       half of segment i+1 (or the load at the end). *)
+    let c_here =
+      if i = segments then (0.5 *. c_seg) +. c_load
+      else c_seg
+    in
+    delay := !delay +. (upstream *. c_here)
+  done;
+  !delay
+
+let distributed_limit ~r_total ~c_total = 0.5 *. r_total *. c_total
+let threshold_50_factor = 0.4
+let lumped_50_factor = log 2.0

@@ -1,0 +1,49 @@
+(** Distributed-RC ladder delays: the ground truth under Eq. (2).
+
+    The paper's segment delay (Otten–Brayton) uses switching constants
+    [a = 0.4] and [b = 0.7] — the classical 50%-threshold factors for a
+    step driven into a distributed RC line ([0.4 r c l^2]) through a
+    source resistance ([0.7 R C]).  This module computes the Elmore delay
+    of an explicit N-segment π-ladder discretization of the same wire, so
+    the coefficients can be checked against first principles instead of
+    taken on faith:
+
+    - the Elmore delay of the distributed line converges to
+      [0.5 r c l^2] as N grows (Elmore overestimates the 50% point of a
+      distributed line; the standard correction to the 50% threshold is
+      the paper's 0.4),
+    - the source-resistance term converges to [R (C + C_L)] (whose 50%
+      correction is 0.69 ≈ the paper's 0.7).
+
+    The test suite asserts both convergences and the resulting bands for
+    a and b. *)
+
+val ladder_delay :
+  ?segments:int ->
+  r_total:float ->
+  c_total:float ->
+  ?r_source:float ->
+  ?c_load:float ->
+  unit ->
+  float
+(** Elmore delay (seconds) to the far end of a wire of total resistance
+    [r_total] and capacitance [c_total], discretized into [segments]
+    (default 64) π-sections, driven through [r_source] (default 0) into a
+    far-end load [c_load] (default 0):
+
+    {v  T = sum_i R_upstream(i) * C(i)  v}
+
+    @raise Invalid_argument if [segments < 1] or any value is
+    negative. *)
+
+val distributed_limit : r_total:float -> c_total:float -> float
+(** The N -> infinity Elmore delay of the bare line, [r c / 2]. *)
+
+val threshold_50_factor : float
+(** 0.4: the 50%-threshold correction of the distributed-line Elmore
+    delay (ln 2 scaled for the diffusion step response) — the paper's
+    [a]. *)
+
+val lumped_50_factor : float
+(** ln 2 = 0.693...: the 50% threshold of a single-pole RC — the paper's
+    [b] (rounded to 0.7). *)

@@ -1,0 +1,76 @@
+type line = { r_per_m : float; c_per_m : float } [@@deriving show, eq]
+type coeffs = { a : float; b : float } [@@deriving show, eq]
+
+let default_coeffs = { a = 0.4; b = 0.7 }
+
+let line ~r_per_m ~c_per_m =
+  if not (r_per_m > 0.0 && c_per_m > 0.0) then
+    invalid_arg "Model.line: r and c per meter must be > 0";
+  { r_per_m; c_per_m }
+
+let check_s s = if not (s >= 1.0) then invalid_arg "Model: repeater size < 1"
+
+(* b r_o (c_o + c_p): the per-stage intrinsic term of Eq. (3).  The
+   parasitic capacitance scales with the repeater size, which is what
+   collapses Eq. (2) with R_tr = r_o/s, C_L = c_o s into this form. *)
+let stage_intrinsic coeffs (dev : Ir_tech.Device.t) =
+  coeffs.b *. dev.r_o *. (dev.c_o +. dev.c_p)
+
+let per_meter coeffs (dev : Ir_tech.Device.t) line ~s =
+  coeffs.b
+  *. ((line.c_per_m *. dev.r_o /. s) +. (line.r_per_m *. dev.c_o *. s))
+
+let segment_delay ?(coeffs = default_coeffs) dev line ~s l =
+  check_s s;
+  if l < 0.0 then invalid_arg "Model.segment_delay: negative length";
+  stage_intrinsic coeffs dev
+  +. (per_meter coeffs dev line ~s *. l)
+  +. (coeffs.a *. line.r_per_m *. line.c_per_m *. l *. l)
+
+let wire_delay ?(coeffs = default_coeffs) dev line ~s ~eta l =
+  check_s s;
+  if eta < 1 then invalid_arg "Model.wire_delay: eta must be >= 1";
+  if l < 0.0 then invalid_arg "Model.wire_delay: negative length";
+  let eta_f = float_of_int eta in
+  (stage_intrinsic coeffs dev *. eta_f)
+  +. (per_meter coeffs dev line ~s *. l)
+  +. (coeffs.a *. line.r_per_m *. line.c_per_m *. l *. l /. eta_f)
+
+let s_opt (dev : Ir_tech.Device.t) line =
+  Float.max 1.0
+    (sqrt (line.c_per_m *. dev.r_o /. (dev.c_o *. line.r_per_m)))
+
+let eta_opt_continuous ?(coeffs = default_coeffs) dev line l =
+  l *. sqrt (coeffs.a *. line.r_per_m *. line.c_per_m
+             /. stage_intrinsic coeffs dev)
+
+let eta_opt ?(coeffs = default_coeffs) dev line ~s l =
+  let cont = eta_opt_continuous ~coeffs dev line l in
+  let lo = max 1 (int_of_float (Float.floor cont)) in
+  let hi = lo + 1 in
+  let d eta = wire_delay ~coeffs dev line ~s ~eta l in
+  if d lo <= d hi then lo else hi
+
+let min_delay ?(coeffs = default_coeffs) dev line ~s l =
+  let eta = eta_opt ~coeffs dev line ~s l in
+  wire_delay ~coeffs dev line ~s ~eta l
+
+let repeaters_needed ?(coeffs = default_coeffs) ?(eta_cap = 1_000_000) dev
+    line ~s ~target l =
+  let d eta = wire_delay ~coeffs dev line ~s ~eta l in
+  if d 1 <= target then Some 1
+  else
+    let eta_best = eta_opt ~coeffs dev line ~s l in
+    if eta_best > eta_cap || d (min eta_best eta_cap) > target then None
+    else begin
+      (* D is decreasing on [1, eta_best]; find the first eta meeting the
+         target by binary search. *)
+      let rec search lo hi =
+        (* Invariant: d lo > target, d hi <= target. *)
+        if hi - lo <= 1 then hi
+        else
+          let mid = lo + ((hi - lo) / 2) in
+          if d mid <= target then search lo mid else search mid hi
+      in
+      Some (search 1 eta_best)
+    end

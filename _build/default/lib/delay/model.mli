@@ -1,0 +1,84 @@
+(** The Otten–Brayton repeated-wire delay model (the paper's Eq. 2 and 3).
+
+    A wire of length [l] on a layer-pair with per-unit-length resistance
+    [r̄] and capacitance [c̄], divided into [eta] equal segments by [eta]
+    uniform repeaters of size [s] (multiples of the minimum inverter), has
+    total delay
+
+    {v
+      D(eta, s, l) = b r_o (c_o + c_p) eta
+                   + b (c̄ r_o / s + r̄ c_o s) l
+                   + a r̄ c̄ l^2 / eta
+    v}
+
+    with switching constants [a = 0.4] and [b = 0.7].  [D] is convex in
+    [eta] and minimized at [s_opt = sqrt (c̄ r_o / (c_o r̄))] (the paper's
+    Eq. 4), making the repeater-insertion subproblem per wire a 1-D integer
+    search. *)
+
+type line = {
+  r_per_m : float;  (** r̄: wire resistance per meter, Ohm/m *)
+  c_per_m : float;  (** c̄: effective switching capacitance per meter, F/m *)
+}
+[@@deriving show, eq]
+
+type coeffs = { a : float; b : float } [@@deriving show, eq]
+
+val default_coeffs : coeffs
+(** [a = 0.4], [b = 0.7] — the paper's footnote 5 values. *)
+
+val line : r_per_m:float -> c_per_m:float -> line
+(** @raise Invalid_argument on non-positive values. *)
+
+val segment_delay :
+  ?coeffs:coeffs -> Ir_tech.Device.t -> line -> s:float -> float -> float
+(** [segment_delay dev line ~s l] is the Eq. (2) delay of one repeater of
+    size [s] driving a segment of length [l] meters, with
+    [R_tr = r_o / s], [C_L = s c_o] and parasitic [s c_p]. *)
+
+val wire_delay :
+  ?coeffs:coeffs ->
+  Ir_tech.Device.t ->
+  line ->
+  s:float ->
+  eta:int ->
+  float ->
+  float
+(** [wire_delay dev line ~s ~eta l] is the Eq. (3) total delay of a wire of
+    length [l] meters with [eta >= 1] repeaters of size [s].
+    @raise Invalid_argument if [eta < 1] or [s <= 0]. *)
+
+val s_opt : Ir_tech.Device.t -> line -> float
+(** Optimal repeater size for the layer-pair (Eq. 4), clamped below at 1
+    (a repeater cannot be smaller than a minimum inverter). *)
+
+val eta_opt_continuous :
+  ?coeffs:coeffs -> Ir_tech.Device.t -> line -> float -> float
+(** The real-valued repeater count minimizing Eq. (3):
+    [l * sqrt (a r̄ c̄ / (b r_o (c_o + c_p)))]. *)
+
+val eta_opt : ?coeffs:coeffs -> Ir_tech.Device.t -> line -> s:float -> float -> int
+(** Integer repeater count (>= 1) minimizing Eq. (3) for a wire of length
+    [l]; checks the two integers around {!eta_opt_continuous}. *)
+
+val min_delay :
+  ?coeffs:coeffs -> Ir_tech.Device.t -> line -> s:float -> float -> float
+(** The smallest achievable delay of the wire with unlimited repeaters of
+    size [s] (Eq. 3 at {!eta_opt}).  A wire whose target is below this value
+    can never meet it on this layer-pair. *)
+
+val repeaters_needed :
+  ?coeffs:coeffs ->
+  ?eta_cap:int ->
+  Ir_tech.Device.t ->
+  line ->
+  s:float ->
+  target:float ->
+  float ->
+  int option
+(** [repeaters_needed dev line ~s ~target l] is the minimal [eta >= 1] such
+    that [wire_delay ~eta l <= target], or [None] when even the optimal
+    count misses the target (or would exceed [eta_cap], default 1_000_000 —
+    the paper's "repeaters cannot be placed at appropriate intervals"
+    guard).  Cost is O(log eta) via binary search on the decreasing branch
+    of the convex delay curve. *)

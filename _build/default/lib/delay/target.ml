@@ -1,0 +1,33 @@
+type t =
+  | Linear
+  | Affine of { floor : float }
+  | Quadratic_blend of { weight : float }
+[@@deriving show, eq]
+
+let delay t ~clock ~l_max l =
+  if not (clock > 0.0) then invalid_arg "Target.delay: clock must be > 0";
+  if not (l_max > 0.0) then invalid_arg "Target.delay: l_max must be > 0";
+  if l < 0.0 || l > l_max *. (1.0 +. 1e-9) then
+    invalid_arg "Target.delay: length outside [0, l_max]";
+  let period = 1.0 /. clock in
+  let x = Float.min 1.0 (l /. l_max) in
+  match t with
+  | Linear -> x *. period
+  | Affine { floor } ->
+      if floor < 0.0 || floor >= period then
+        invalid_arg "Target.delay: floor must lie in [0, period)";
+      floor +. (x *. (period -. floor))
+  | Quadratic_blend { weight } ->
+      if weight < 0.0 || weight > 1.0 then
+        invalid_arg "Target.delay: weight must lie in [0, 1]";
+      period *. (((1.0 -. weight) *. x) +. (weight *. x *. x))
+
+let monotone_check t ~clock ~l_max =
+  let samples = Ir_phys.Numeric.linspace 0.0 l_max 64 in
+  let rec check prev = function
+    | [] -> true
+    | l :: rest ->
+        let d = delay t ~clock ~l_max l in
+        if d +. 1e-18 < prev then false else check d rest
+  in
+  check neg_infinity samples

@@ -1,0 +1,1 @@
+lib/ext/anneal.pp.ml: Array Float Ir_assign Ir_core Ir_ia Ir_tech Ir_wld Random

@@ -1,0 +1,1 @@
+lib/ext/anneal.pp.mli: Ir_core Ir_ia Ir_tech

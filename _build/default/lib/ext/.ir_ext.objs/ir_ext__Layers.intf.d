@@ -1,0 +1,1 @@
+lib/ext/layers.pp.mli: Ir_core Ir_ia Ir_tech Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ext/ntier.pp.ml: Array Float Ir_assign Ir_core Ir_ia Ir_tech Ir_wld List Ppx_deriving_runtime

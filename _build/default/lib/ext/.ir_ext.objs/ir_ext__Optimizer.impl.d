@@ -1,0 +1,1 @@
+lib/ext/optimizer.pp.ml: Float Ir_assign Ir_core Ir_delay Ir_ia Ir_tech Ir_wld List Logs Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ext/variation.pp.mli: Ir_tech Ppx_deriving_runtime

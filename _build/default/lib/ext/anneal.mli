@@ -1,0 +1,47 @@
+(** Simulated-annealing refinement of direct IA optimization.
+
+    {!Optimizer} scans a coarse grid of class-wide scalings; this module
+    searches the continuous space the paper's Section 6 actually poses —
+    every layer-pair's width, spacing and thickness independently — with
+    a seeded Metropolis annealer.  Moves perturb one dimension of one
+    pair by a log-uniform factor; energy is the negated normalized rank,
+    with unassignable architectures (Definition 3) heavily penalized so
+    the search retreats from them.
+
+    Deterministic for a fixed seed; the WLD is generated once and shared
+    by all evaluations.
+
+    A finding worth knowing before using this: at relaxed clocks the rank
+    metric alone rewards unboundedly thin, widely spaced wiring (smaller
+    c̄ means cheaper repeaters means more wires buffered) and the
+    annealer will happily drive the stack to the lithography floor and
+    reach rank 1.0.  Counter-pressure only appears at demanding clocks,
+    where thin wires' resistance breaks delay feasibility — or from
+    constraints outside the metric (noise budgets, cost).  That is the
+    paper's own co-optimization conclusion seen from the optimizer's
+    side. *)
+
+type result = {
+  arch : Ir_ia.Arch.t;  (** best architecture found *)
+  outcome : Ir_core.Outcome.t;  (** its rank *)
+  initial : Ir_core.Outcome.t;  (** the starting (Table-3) rank *)
+  evaluations : int;
+  accepted : int;  (** accepted moves, including uphill ones *)
+}
+
+val optimize :
+  ?seed:int ->
+  ?steps:int ->
+  ?bunch_size:int ->
+  ?initial_temperature:float ->
+  ?move_scale:float ->
+  Ir_tech.Design.t ->
+  result
+(** [optimize design] anneals for [steps] (default 120) proposals from
+    the node's baseline architecture.  [initial_temperature] (default
+    0.02, in units of normalized rank) decays geometrically to ~1% of
+    itself; [move_scale] (default 0.25) bounds the log-factor of a
+    perturbation.  The best architecture ever visited is returned, so the
+    result is never worse than the baseline.
+    @raise Invalid_argument on non-positive [steps], [bunch_size],
+    [initial_temperature] or [move_scale]. *)

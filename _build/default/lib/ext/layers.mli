@@ -1,0 +1,38 @@
+(** Layer-count analyses: the inverse of the rank metric.
+
+    The related work the paper builds on (Venkatesan et al.; Kahng,
+    Mantik, Stroobandt; Chen, Davis, Meindl) asks "how many layers does a
+    design need?", with via blockage and repeaters pushing the answer up
+    (the paper's footnote 1).  These helpers answer two versions of that
+    question with the rank machinery:
+
+    - {!min_pairs_for_assignability}: the fewest layer-pairs for which the
+      WLD fits at all (Definition 3);
+    - {!min_pairs_for_rank}: the fewest layer-pairs whose rank reaches a
+      target normalized value. *)
+
+type step = {
+  structure : Ir_ia.Arch.structure;
+  outcome : Ir_core.Outcome.t;
+}
+[@@deriving show]
+
+val ladder : Ir_tech.Stack.t -> Ir_ia.Arch.structure list
+(** The growth order explored, from smallest to largest, within what the
+    stack provides: 1 local pair, then adding semi-global pairs, then
+    global pairs. *)
+
+val min_pairs_for_assignability :
+  ?bunch_size:int -> Ir_tech.Design.t -> (step * step list, string) result
+(** Walks {!ladder} until the design becomes assignable; returns the first
+    assignable step and all steps evaluated.  [Error] when even the full
+    stack cannot hold the WLD. *)
+
+val min_pairs_for_rank :
+  ?bunch_size:int ->
+  target:float ->
+  Ir_tech.Design.t ->
+  (step * step list, string) result
+(** Like {!min_pairs_for_assignability} but requiring
+    [normalized rank >= target].
+    @raise Invalid_argument if [target] is outside [0, 1]. *)

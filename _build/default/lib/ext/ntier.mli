@@ -1,0 +1,52 @@
+(** n-tier architecture generation (after Venkatesan/Davis/Bowman/Meindl,
+    "Optimal n-tier multilevel interconnect architectures for GSI",
+    IEEE TVLSI 2001 — the paper's reference [13]).
+
+    The n-tier methodology sizes each wiring tier to its traffic: the WLD
+    is split into [n] contiguous length ranges carrying equal total wire
+    length, and each tier's routing pitch is set so that its range just
+    fits the tier's capacity at a chosen fill factor, with thickness
+    following a fixed aspect ratio.  The result is an architecture whose
+    pitches grow from bottom to top like the classic reverse-scaled
+    stacks.
+
+    Evaluating these generated architectures with the rank metric is the
+    cross-method comparison the paper's Section 6 proposes ("evaluating
+    ITRS and foundry BEOL architectures"). *)
+
+type tier = {
+  cls : Ir_tech.Metal_class.t;  (** reporting label (bottom = local) *)
+  geometry : Ir_tech.Geometry.t;
+  l_min : float;  (** shortest wire of the tier's range, meters *)
+  l_max : float;  (** longest wire, meters *)
+  demand : float;  (** total wire length of the range, meters *)
+}
+[@@deriving show]
+
+val design_tiers :
+  ?tiers:int ->
+  ?fill:float ->
+  ?aspect_ratio:float ->
+  Ir_tech.Design.t ->
+  tier list
+(** [design_tiers design] partitions the design's Davis WLD into [tiers]
+    (default 4) equal-total-length ranges and sizes each tier's pitch to
+    [fill] (default 0.6) of the pair capacity, clamped below at the
+    node's M1 pitch; [aspect_ratio] (default 2.0) sets thickness/width.
+    Returned bottom-up won't decrease in pitch. *)
+
+val architecture :
+  ?tiers:int ->
+  ?fill:float ->
+  ?aspect_ratio:float ->
+  ?materials:Ir_ia.Materials.t ->
+  Ir_tech.Design.t ->
+  Ir_ia.Arch.t
+(** The {!Ir_ia.Arch.custom} architecture built from {!design_tiers}
+    (topmost tier first). *)
+
+val compare_with_baseline :
+  ?tiers:int -> ?bunch_size:int -> Ir_tech.Design.t ->
+  [ `Ntier of Ir_core.Outcome.t ] * [ `Baseline of Ir_core.Outcome.t ]
+(** Rank of the generated n-tier architecture versus the node's Table-3
+    baseline on the same WLD. *)

@@ -1,0 +1,108 @@
+type knob = {
+  semi_global_pairs : int list;
+  global_pairs : int list;
+  pitch_scale : float list;
+  thickness_scale : float list;
+}
+
+let default_knobs =
+  {
+    semi_global_pairs = [ 1; 2 ];
+    global_pairs = [ 1 ];
+    pitch_scale = [ 0.8; 1.0; 1.25 ];
+    thickness_scale = [ 0.8; 1.0; 1.25 ];
+  }
+
+type candidate = {
+  structure : Ir_ia.Arch.structure;
+  pitch_scale : float;
+  thickness_scale : float;
+  outcome : Ir_core.Outcome.t;
+}
+[@@deriving show]
+
+let scale_geometry (g : Ir_tech.Geometry.t) ~pitch_scale ~thickness_scale =
+  Ir_tech.Geometry.v
+    ~width:(g.width *. pitch_scale)
+    ~spacing:(g.spacing *. pitch_scale)
+    ~thickness:(g.thickness *. thickness_scale)
+    ~ild_thickness:(g.ild_thickness *. thickness_scale)
+    ~via_width:g.via_width ()
+
+let scaled_stack (stack : Ir_tech.Stack.t) ~pitch_scale ~thickness_scale =
+  {
+    stack with
+    semi_global =
+      scale_geometry stack.semi_global ~pitch_scale ~thickness_scale;
+    global = scale_geometry stack.global ~pitch_scale ~thickness_scale;
+  }
+
+(* Better-candidate ordering: rank first, then fewer pairs, then the less
+   exotic geometry (scales closest to 1). *)
+let better a b =
+  let pairs c =
+    c.structure.Ir_ia.Arch.local_pairs
+    + c.structure.Ir_ia.Arch.semi_global_pairs
+    + c.structure.Ir_ia.Arch.global_pairs
+  in
+  let exoticism c =
+    Float.abs (log c.pitch_scale) +. Float.abs (log c.thickness_scale)
+  in
+  if a.outcome.Ir_core.Outcome.rank_wires
+     <> b.outcome.Ir_core.Outcome.rank_wires then
+    a.outcome.Ir_core.Outcome.rank_wires
+    > b.outcome.Ir_core.Outcome.rank_wires
+  else if pairs a <> pairs b then pairs a < pairs b
+  else exoticism a < exoticism b
+
+let optimize ?(knobs = default_knobs) ?(bunch_size = 10000)
+    ?(target_model = Ir_delay.Target.Linear) design =
+  let node = design.Ir_tech.Design.node in
+  let base_stack = Ir_tech.Stack.of_node node in
+  let wld =
+    Ir_wld.Davis.generate
+      (Ir_wld.Davis.params ~gates:design.Ir_tech.Design.gates
+         ~rent_p:design.Ir_tech.Design.rent_p
+         ~fan_out:design.Ir_tech.Design.fan_out ())
+  in
+  let evaluate ~structure ~pitch_scale ~thickness_scale =
+    let stack = scaled_stack base_stack ~pitch_scale ~thickness_scale in
+    match Ir_ia.Arch.make ~structure ~stack ~design () with
+    | exception Invalid_argument _ -> None
+    | arch ->
+        let problem =
+          Ir_assign.Problem.make ~target_model ~bunch_size ~arch ~wld ()
+        in
+        let outcome = Ir_core.Rank_dp.compute problem in
+        Some { structure; pitch_scale; thickness_scale; outcome }
+  in
+  let candidates =
+    List.concat_map
+      (fun sg ->
+        List.concat_map
+          (fun gl ->
+            List.concat_map
+              (fun ps ->
+                List.filter_map
+                  (fun ts ->
+                    let structure =
+                      { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
+                        global_pairs = gl }
+                    in
+                    Logs.debug (fun f ->
+                        f "optimizer: sg=%d gl=%d pitch=%.2f thick=%.2f" sg
+                          gl ps ts);
+                    evaluate ~structure ~pitch_scale:ps ~thickness_scale:ts)
+                  knobs.thickness_scale)
+              knobs.pitch_scale)
+          knobs.global_pairs)
+      knobs.semi_global_pairs
+  in
+  match candidates with
+  | [] -> invalid_arg "Optimizer.optimize: no buildable candidate"
+  | first :: rest ->
+      let best =
+        List.fold_left (fun acc c -> if better c acc then c else acc) first
+          rest
+      in
+      (best, candidates)

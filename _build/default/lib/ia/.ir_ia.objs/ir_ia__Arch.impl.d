@@ -1,0 +1,1 @@
+lib/ia/arch.pp.ml: Array Format Ir_delay Ir_phys Ir_tech Layer_pair List Materials Ppx_deriving_runtime Printf Via_model

@@ -1,0 +1,1 @@
+lib/ia/arch.pp.mli: Format Ir_tech Layer_pair Materials Ppx_deriving_runtime Via_model

@@ -1,0 +1,1 @@
+lib/ia/layer_pair.pp.ml: Ir_delay Ir_rc Ir_tech Materials Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ia/layer_pair.pp.mli: Ir_delay Ir_tech Materials Ppx_deriving_runtime

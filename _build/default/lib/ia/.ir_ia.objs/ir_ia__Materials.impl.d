@@ -1,0 +1,1 @@
+lib/ia/materials.pp.ml: Ir_phys Ir_rc Ir_tech Ppx_deriving_runtime

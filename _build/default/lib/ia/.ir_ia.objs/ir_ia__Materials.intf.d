@@ -1,0 +1,1 @@
+lib/ia/materials.pp.mli: Ir_rc Ir_tech Ppx_deriving_runtime

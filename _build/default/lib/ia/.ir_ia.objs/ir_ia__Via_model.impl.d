@@ -1,0 +1,1 @@
+lib/ia/via_model.pp.ml: Ir_tech Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ia/via_model.pp.mli: Ir_tech Ppx_deriving_runtime

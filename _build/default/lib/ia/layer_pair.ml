@@ -1,0 +1,30 @@
+type t = {
+  cls : Ir_tech.Metal_class.t;
+  geom : Ir_tech.Geometry.t;
+  line : Ir_delay.Model.line;
+  s_opt : float;
+  repeater_area : float;
+  via_area : float;
+}
+[@@deriving show, eq]
+
+let make ~device ~materials ~node ~cls geom =
+  let rho = Materials.resistivity materials node in
+  let r_per_m = Ir_rc.Resistance.per_m ~rho geom in
+  let c_per_m =
+    Ir_rc.Capacitance.effective_per_m ~model:materials.Materials.cap_model
+      ~k:materials.Materials.k ~miller:materials.Materials.miller geom
+  in
+  let line = Ir_delay.Model.line ~r_per_m ~c_per_m in
+  let s_opt = Ir_delay.Model.s_opt device line in
+  {
+    cls;
+    geom;
+    line;
+    s_opt;
+    repeater_area = s_opt *. device.Ir_tech.Device.area;
+    via_area = Ir_tech.Geometry.via_area geom;
+  }
+
+let pitch t = Ir_tech.Geometry.pitch t.geom
+let wire_area t l = l *. pitch t

@@ -1,0 +1,34 @@
+(** A layer-pair with its derived electrical characteristics.
+
+    A layer-pair is two adjacent metal layers of the same class, one routing
+    horizontally and one vertically, so every L-shaped wire lives entirely
+    inside one pair (paper Section 3).  All wires of a pair share the pair's
+    width/spacing/thickness and hence its r̄, c̄, optimal repeater size and
+    repeater-area unit. *)
+
+type t = {
+  cls : Ir_tech.Metal_class.t;
+  geom : Ir_tech.Geometry.t;
+  line : Ir_delay.Model.line;  (** r̄_j, c̄_j *)
+  s_opt : float;  (** uniform repeater size s_opt_j for this pair (Eq. 4) *)
+  repeater_area : float;  (** silicon area of one such repeater, m^2 *)
+  via_area : float;  (** area blocked by one via crossing this pair, m^2 *)
+}
+[@@deriving show, eq]
+
+val make :
+  device:Ir_tech.Device.t ->
+  materials:Materials.t ->
+  node:Ir_tech.Node.t ->
+  cls:Ir_tech.Metal_class.t ->
+  Ir_tech.Geometry.t ->
+  t
+(** Derives r̄ from geometry and resistivity, c̄ from the materials'
+    capacitance model (k, Miller), then the pair's repeater size and area. *)
+
+val pitch : t -> float
+(** Routing pitch [width + spacing] of the pair, m. *)
+
+val wire_area : t -> float -> float
+(** [wire_area t l] is the routing area an L-shaped wire of length [l]
+    meters consumes on this pair: [l * pitch]. *)

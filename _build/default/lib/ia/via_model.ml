@@ -1,0 +1,10 @@
+type t = Pad | Track [@@deriving show, eq]
+
+let blocked_area_per_via model (g : Ir_tech.Geometry.t) =
+  let pad = 2.0 *. g.via_width in
+  match model with
+  | Pad -> pad *. pad
+  | Track -> (pad +. g.spacing) *. (pad +. Ir_tech.Geometry.pitch g)
+
+let ratio g =
+  blocked_area_per_via Track g /. blocked_area_per_via Pad g

@@ -1,0 +1,26 @@
+(** Via blockage models.
+
+    The paper's via accounting (its reference [3], Chen–Davis–Meindl,
+    IEEE TVLSI 2000) charges routing area on every layer a via stack
+    crosses.  Two models of the charged area per via are provided:
+
+    - {!Pad}: a square landing pad of twice the drawn via width (via plus
+      enclosure) — the library default, matching
+      {!Ir_tech.Geometry.via_area}.
+    - {!Track}: the compact physical model's observation that a via does
+      not just consume its pad — it interrupts a routing {e track}, so the
+      blocked area is the pad dilated by the layer's wire spacing in one
+      direction and by the full routing pitch in the other:
+      [(2 w_v + s_j) * (2 w_v + p_j)].  This is strictly more
+      pessimistic and is what makes via blockage a first-order effect in
+      layer-count studies (the paper's footnote 1). *)
+
+type t = Pad | Track [@@deriving show, eq]
+
+val blocked_area_per_via : t -> Ir_tech.Geometry.t -> float
+(** Area charged on a layer-pair of the given geometry for one via stack
+    crossing it, m^2. *)
+
+val ratio : Ir_tech.Geometry.t -> float
+(** [Track] blocked area over [Pad] blocked area for a geometry — the
+    pessimism factor of the compact model (> 1). *)

@@ -1,0 +1,1 @@
+lib/netlist/circuit.pp.ml: Array Float Ppx_deriving_runtime Random

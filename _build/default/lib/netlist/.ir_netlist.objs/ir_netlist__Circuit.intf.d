@@ -1,0 +1,1 @@
+lib/netlist/circuit.pp.mli: Ppx_deriving_runtime

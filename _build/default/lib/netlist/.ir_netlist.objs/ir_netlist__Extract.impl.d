@@ -1,0 +1,1 @@
+lib/netlist/extract.pp.ml: Array Circuit Hashtbl Ir_wld Option Ppx_deriving_runtime

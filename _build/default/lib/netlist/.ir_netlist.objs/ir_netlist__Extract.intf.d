@@ -1,0 +1,1 @@
+lib/netlist/extract.pp.mli: Circuit Ir_wld Ppx_deriving_runtime

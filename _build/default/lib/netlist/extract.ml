@@ -1,0 +1,49 @@
+let wld circuit =
+  let counts = Hashtbl.create 256 in
+  Array.iter
+    (fun { Circuit.src; dst } ->
+      let sx, sy = Circuit.position circuit src in
+      let dx, dy = Circuit.position circuit dst in
+      let len = max 1 (abs (sx - dx) + abs (sy - dy)) in
+      Hashtbl.replace counts len
+        (1 + Option.value (Hashtbl.find_opt counts len) ~default:0))
+    circuit.Circuit.nets;
+  Ir_wld.Dist.of_bins
+    (Hashtbl.fold
+       (fun len count acc ->
+         { Ir_wld.Dist.length = float_of_int len; count } :: acc)
+       counts [])
+
+type validation = {
+  gates : int;
+  measured_mean : float;
+  davis_mean : float;
+  measured_tail : float;
+  davis_tail : float;
+  net_count_ratio : float;
+}
+[@@deriving show]
+
+let validate_against_davis circuit =
+  let gates = Circuit.gates circuit in
+  let measured = wld circuit in
+  let davis =
+    Ir_wld.Davis.generate
+      (Ir_wld.Davis.params ~gates ~rent_p:circuit.Circuit.rent_p
+         ~fan_out:circuit.Circuit.fan_out ())
+  in
+  let cutoff = sqrt (float_of_int gates) /. 4.0 in
+  let tail d =
+    float_of_int (Ir_wld.Dist.count_at_least d cutoff)
+    /. float_of_int (Ir_wld.Dist.total d)
+  in
+  {
+    gates;
+    measured_mean = Ir_wld.Dist.mean_length measured;
+    davis_mean = Ir_wld.Dist.mean_length davis;
+    measured_tail = tail measured;
+    davis_tail = tail davis;
+    net_count_ratio =
+      float_of_int (Ir_wld.Dist.total measured)
+      /. (circuit.Circuit.fan_out *. float_of_int gates);
+  }

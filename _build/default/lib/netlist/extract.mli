@@ -1,0 +1,32 @@
+(** Wire-length extraction from placed synthetic circuits.
+
+    The generated circuit's hierarchy {e is} its placement (children of a
+    block are its spatial quadrants), so point-to-point wire lengths are
+    Manhattan distances on the gate grid — the same length measure the
+    Davis derivation uses.  The result is a {!Ir_wld.Dist.t} in gate
+    pitches, directly usable by the rank pipeline in place of the
+    closed-form WLD. *)
+
+val wld : Circuit.t -> Ir_wld.Dist.t
+(** Distribution of Manhattan net lengths, in gate pitches.  Zero-length
+    nets (both pins on the same gate) are counted at length 1, the
+    shortest routable wire. *)
+
+type validation = {
+  gates : int;
+  measured_mean : float;  (** mean extracted length, gate pitches *)
+  davis_mean : float;  (** mean of the closed-form WLD, same parameters *)
+  measured_tail : float;  (** fraction of wires >= sqrt(gates)/4 *)
+  davis_tail : float;
+  net_count_ratio : float;
+      (** extracted nets / (fan_out * gates); ~0.5 by construction, see
+          {!Circuit} on terminal-pair vs directed-connection counting *)
+}
+[@@deriving show]
+
+val validate_against_davis : Circuit.t -> validation
+(** Side-by-side summary statistics of the extracted distribution and the
+    Davis closed form at the circuit's (N, p, f.o.) — the reproduction's
+    check of the paper's footnote-2 modelling assumption.  The test suite
+    asserts the means agree within a factor and the tails order
+    consistently with Rent exponents. *)

@@ -1,0 +1,1 @@
+lib/phys/const.ml:

@@ -1,0 +1,108 @@
+let close ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= atol || diff <= rtol *. Float.max (Float.abs a) (Float.abs b)
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Numeric.linspace: need n >= 2";
+  let step = (b -. a) /. float_of_int (n - 1) in
+  List.init n (fun i -> a +. (float_of_int i *. step))
+
+let frange ~start ~stop ~step =
+  if step = 0.0 then invalid_arg "Numeric.frange: zero step";
+  let keep x =
+    if step > 0.0 then x <= stop +. (0.5 *. step)
+    else x >= stop +. (0.5 *. step)
+  in
+  let rec loop acc x = if keep x then loop (x :: acc) (x +. step) else acc in
+  List.rev (loop [] start)
+
+let integrate ?(n = 512) f a b =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  if n < 2 then invalid_arg "Numeric.integrate: need n >= 2";
+  let h = (b -. a) /. float_of_int n in
+  let rec loop i acc =
+    if i > n then acc
+    else
+      let x = a +. (float_of_int i *. h) in
+      let w =
+        if i = 0 || i = n then 1.0 else if i mod 2 = 1 then 4.0 else 2.0
+      in
+      loop (i + 1) (acc +. (w *. f x))
+  in
+  loop 0 0.0 *. h /. 3.0
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then
+    invalid_arg "Numeric.bisect: no sign change over the bracket"
+  else
+    let rec loop lo hi flo i =
+      let mid = 0.5 *. (lo +. hi) in
+      if i >= max_iter || hi -. lo <= tol *. (1.0 +. Float.abs mid) then mid
+      else
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if flo *. fmid < 0.0 then loop lo mid flo (i + 1)
+        else loop mid hi fmid (i + 1)
+    in
+    loop lo hi flo 0
+
+let golden_min ?(tol = 1e-10) f a b =
+  (* Invariant: a < c < d < b with c, d at golden-ratio positions. *)
+  let invphi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let probe_lo a b = b -. (invphi *. (b -. a)) in
+  let probe_hi a b = a +. (invphi *. (b -. a)) in
+  let rec loop a b c d fc fd =
+    if Float.abs (b -. a) <= tol *. (1.0 +. Float.abs a +. Float.abs b) then
+      0.5 *. (a +. b)
+    else if fc < fd then
+      let b = d in
+      let d = c and fd = fc in
+      let c = probe_lo a b in
+      loop a b c d (f c) fd
+    else
+      let a = c in
+      let c = d and fc = fd in
+      let d = probe_hi a b in
+      loop a b c d fc (f d)
+  in
+  let c = probe_lo a b and d = probe_hi a b in
+  loop a b c d (f c) (f d)
+
+let int_search_min f lo hi =
+  if lo > hi then invalid_arg "Numeric.int_search_min: empty range";
+  let rec loop lo hi =
+    if hi - lo <= 2 then begin
+      let best = ref lo and best_v = ref (f lo) in
+      for i = lo + 1 to hi do
+        let v = f i in
+        if v < !best_v then begin
+          best := i;
+          best_v := v
+        end
+      done;
+      !best
+    end
+    else
+      let m1 = lo + ((hi - lo) / 3) in
+      let m2 = hi - ((hi - lo) / 3) in
+      if f m1 <= f m2 then loop lo m2 else loop m1 hi
+  in
+  loop lo hi
+
+let sum_floats xs =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  let add x =
+    let y = x -. !comp in
+    let t = !sum +. y in
+    comp := t -. !sum -. y;
+    sum := t
+  in
+  List.iter add xs;
+  !sum

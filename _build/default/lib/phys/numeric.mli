@@ -1,0 +1,48 @@
+(** Small numeric toolkit: comparisons, grids, quadrature, root finding and
+    1-D minimization.
+
+    These routines back the wire-length-distribution normalization
+    (quadrature), repeater sizing cross-checks (minimization) and various
+    calibration helpers.  They are deliberately simple, deterministic and
+    dependency-free. *)
+
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [close a b] is true when [a] and [b] agree within a relative tolerance
+    [rtol] (default [1e-9]) or absolute tolerance [atol] (default [1e-12]). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] limits [x] to the closed interval [lo, hi].
+    Requires [lo <= hi]. *)
+
+val linspace : float -> float -> int -> float list
+(** [linspace a b n] is [n] evenly spaced points from [a] to [b] inclusive.
+    Requires [n >= 2]. *)
+
+val frange : start:float -> stop:float -> step:float -> float list
+(** [frange ~start ~stop ~step] enumerates [start, start+step, ...] while the
+    value has not passed [stop] (inclusive within half a step).  [step] may be
+    negative for descending ranges. *)
+
+val integrate : ?n:int -> (float -> float) -> float -> float -> float
+(** [integrate f a b] approximates the integral of [f] over [a, b] with
+    composite Simpson quadrature using [n] panels (default 512, forced even).
+    [a > b] yields the negated integral. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f lo hi] finds a root of [f] in [lo, hi] by bisection.
+    Requires [f lo] and [f hi] to have opposite signs (zero counts as
+    either).  @raise Invalid_argument otherwise. *)
+
+val golden_min :
+  ?tol:float -> (float -> float) -> float -> float -> float
+(** [golden_min f a b] returns an abscissa minimizing the unimodal function
+    [f] over [a, b] via golden-section search. *)
+
+val int_search_min : (int -> float) -> int -> int -> int
+(** [int_search_min f lo hi] returns the integer in [lo, hi] minimizing [f],
+    assuming [f] is unimodal (ternary search); exact for unimodal [f].
+    Requires [lo <= hi]. *)
+
+val sum_floats : float list -> float
+(** Kahan-compensated summation, stable for long lists of small terms. *)

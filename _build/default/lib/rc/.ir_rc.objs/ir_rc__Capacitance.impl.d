@@ -1,0 +1,1 @@
+lib/rc/capacitance.pp.ml: Float Ir_phys Ir_tech Ppx_deriving_runtime

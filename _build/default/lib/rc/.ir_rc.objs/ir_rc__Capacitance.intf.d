@@ -1,0 +1,1 @@
+lib/rc/capacitance.pp.mli: Ir_tech Ppx_deriving_runtime

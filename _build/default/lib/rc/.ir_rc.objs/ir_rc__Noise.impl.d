@@ -1,0 +1,1 @@
+lib/rc/noise.pp.ml: Capacitance

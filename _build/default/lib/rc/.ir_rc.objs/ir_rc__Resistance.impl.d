@@ -1,0 +1,1 @@
+lib/rc/resistance.pp.ml: Ir_tech

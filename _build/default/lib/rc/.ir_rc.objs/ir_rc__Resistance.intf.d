@@ -1,0 +1,1 @@
+lib/rc/resistance.pp.mli: Ir_tech

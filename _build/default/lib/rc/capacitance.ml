@@ -1,0 +1,58 @@
+type model = Parallel_plate | Parallel_plate_fringe | Sakurai | Coupling_only
+[@@deriving show, eq]
+
+let default_model = Coupling_only
+
+let check_k k =
+  if not (k > 0.0) then invalid_arg "Capacitance: k must be > 0"
+
+let eps k = k *. Ir_phys.Const.eps0
+
+(* Sakurai's empirical fits (normalized to the dielectric permittivity):
+   ground:   1.15 (W/H) + 2.80 (T/H)^0.222
+   coupling: [0.03 (W/H) + 0.83 (T/H) - 0.07 (T/H)^0.222] (S/H)^-1.34 *)
+
+let ground_per_m ?(model = default_model) ~k (g : Ir_tech.Geometry.t) =
+  check_k k;
+  let w_h = g.width /. g.ild_thickness in
+  let t_h = g.thickness /. g.ild_thickness in
+  let shape =
+    match model with
+    | Parallel_plate -> w_h
+    | Parallel_plate_fringe -> w_h +. 1.0
+    | Sakurai -> (1.15 *. w_h) +. (2.80 *. Float.pow t_h 0.222)
+    | Coupling_only -> 0.0
+  in
+  eps k *. shape
+
+let coupling_per_m ?(model = default_model) ~k (g : Ir_tech.Geometry.t) =
+  check_k k;
+  let t_s = g.thickness /. g.spacing in
+  let shape =
+    match model with
+    | Parallel_plate | Parallel_plate_fringe | Coupling_only -> t_s
+    | Sakurai ->
+        let w_h = g.width /. g.ild_thickness in
+        let t_h = g.thickness /. g.ild_thickness in
+        let s_h = g.spacing /. g.ild_thickness in
+        let v =
+          (0.03 *. w_h) +. (0.83 *. t_h)
+          -. (0.07 *. Float.pow t_h 0.222)
+        in
+        (* Guard against the fit going slightly negative for very squat
+           cross-sections; lateral capacitance is physically positive. *)
+        Float.max (v *. Float.pow s_h (-1.34)) (0.1 *. t_s)
+  in
+  eps k *. shape
+
+let effective_per_m ?(model = default_model) ~k ~miller g =
+  if miller < 0.0 then invalid_arg "Capacitance: miller must be >= 0";
+  let c_g = ground_per_m ~model ~k g in
+  let c_c = coupling_per_m ~model ~k g in
+  (2.0 *. c_g) +. (2.0 *. miller *. c_c)
+
+let breakdown ?(model = default_model) ~k ~miller g =
+  if miller < 0.0 then invalid_arg "Capacitance: miller must be >= 0";
+  let c_g = 2.0 *. ground_per_m ~model ~k g in
+  let c_c = 2.0 *. miller *. coupling_per_m ~model ~k g in
+  (`Ground c_g, `Coupling c_c, `Total (c_g +. c_c))

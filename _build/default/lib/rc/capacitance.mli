@@ -1,0 +1,53 @@
+(** Wire capacitance per unit length.
+
+    The effective capacitance per unit length c̄_j of a layer-pair is the
+    quantity the paper's rank metric is most sensitive to: the ILD
+    permittivity sweep (Table 4, column K) scales it globally and the Miller
+    coupling sweep (column M) scales its lateral component.
+
+    A wire inside a layer-pair sees (i) ground capacitance to the dense
+    orthogonal layers above and below, across the ILD of height [H], and
+    (ii) lateral coupling to its two same-layer neighbors at spacing [S].
+    The Miller factor [m] multiplies the lateral component, modeling
+    worst-case simultaneous opposite switching (m = 2, the paper's baseline)
+    through fully shielded lines (m = 1, the paper's footnote 8). *)
+
+type model =
+  | Parallel_plate  (** plates only — lower bound, no fringe *)
+  | Parallel_plate_fringe  (** plates plus a constant fringe term *)
+  | Sakurai  (** Sakurai's empirical closed form (JSSC 1983/1993) *)
+  | Coupling_only
+      (** lateral parallel-plate coupling only, zero ground capacitance:
+          the model the paper's Table 4 implies, since its K and M columns
+          are numerically interchangeable — rank there depends on the
+          product [k * miller], which requires [c̄ ∝ k * m]. *)
+[@@deriving show, eq]
+
+val default_model : model
+(** {!Coupling_only} — the paper-faithful model (see above); switch to
+    {!Sakurai} for physically fuller studies (the ablation bench compares
+    all four). *)
+
+val ground_per_m : ?model:model -> k:float -> Ir_tech.Geometry.t -> float
+(** Capacitance per meter to {e one} adjacent ground plane across the ILD,
+    in F/m.  @raise Invalid_argument if [k <= 0]. *)
+
+val coupling_per_m : ?model:model -> k:float -> Ir_tech.Geometry.t -> float
+(** Lateral capacitance per meter to {e one} same-layer neighbor at minimum
+    spacing, in F/m. *)
+
+val effective_per_m :
+  ?model:model -> k:float -> miller:float -> Ir_tech.Geometry.t -> float
+(** Total switching capacitance per meter seen by the delay model:
+    two ground planes plus two neighbors weighted by the Miller factor,
+    [2*c_g + 2*miller*c_c].
+    @raise Invalid_argument if [miller < 0]. *)
+
+val breakdown :
+  ?model:model ->
+  k:float ->
+  miller:float ->
+  Ir_tech.Geometry.t ->
+  [ `Ground of float ] * [ `Coupling of float ] * [ `Total of float ]
+(** Same as {!effective_per_m} but returning the ground and (Miller-weighted)
+    coupling contributions separately, for reporting. *)

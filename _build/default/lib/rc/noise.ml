@@ -1,0 +1,14 @@
+let peak_ratio ?(k = 3.9) ?(miller = 2.0) g =
+  if miller <= 1.0 then 0.0
+  else
+    let c_g = 2.0 *. Capacitance.ground_per_m ~model:Sakurai ~k g in
+    let c_c = 2.0 *. Capacitance.coupling_per_m ~model:Sakurai ~k g in
+    (* The victim driver fights the injected charge; model it as an extra
+       holding capacitance equal to half the ground capacitance (a weak
+       holder — pessimistic, as noise analyses should be). *)
+    let c_drv = 0.5 *. c_g in
+    c_c /. (c_c +. c_g +. c_drv)
+
+let passes ?k ?miller ~limit g =
+  if limit < 0.0 then invalid_arg "Noise.passes: negative limit";
+  peak_ratio ?k ?miller g <= limit

@@ -1,0 +1,35 @@
+(** Crosstalk noise estimation.
+
+    The paper motivates the rank metric against the usual IA yardsticks of
+    "delay, crosstalk noise, number of interconnection layers and
+    congestion" (its Section 1, citing Hu et al. and Rahmat et al.).  This
+    module provides the classic charge-sharing peak-noise estimate for a
+    quiet victim wire between two switching aggressors,
+
+    {v  V_peak / V_dd = C_c / (C_c + C_g + C_drv)  v}
+
+    where [C_c] is the total lateral coupling, [C_g] the ground
+    capacitance and [C_drv] an equivalent holding capacitance of the
+    victim driver.  For long wires the per-unit-length capacitances
+    dominate and the ratio becomes length-independent, so noise acts as a
+    {e per-layer-pair} pass/fail — which is how the rank pipeline consumes
+    it (see {!Ir_assign.Problem.make}'s [noise_limit]).
+
+    Noise is always evaluated with the physically-complete {!Sakurai}
+    capacitance model: the paper's coupling-only c̄ would degenerate the
+    ratio to 1.  Shielded lines ([miller <= 1], the paper's footnote 8)
+    have one aggressor replaced by a grounded shield, halving the active
+    coupling. *)
+
+val peak_ratio :
+  ?k:float -> ?miller:float -> Ir_tech.Geometry.t -> float
+(** Peak victim noise as a fraction of Vdd for a minimum-pitch wire of the
+    given geometry.  Defaults: [k = 3.9], [miller = 2.0] (two switching
+    aggressors; [miller <= 1.0] models double-sided shielding, which
+    grounds both neighbors and returns 0).
+    The result lies in [0, 1). *)
+
+val passes : ?k:float -> ?miller:float -> limit:float ->
+  Ir_tech.Geometry.t -> bool
+(** [passes ~limit g] is [peak_ratio g <= limit].  A typical noise budget
+    is 10-15% of Vdd. *)

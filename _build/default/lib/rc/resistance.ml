@@ -1,0 +1,21 @@
+let per_m ~rho (g : Ir_tech.Geometry.t) =
+  if not (rho > 0.0) then invalid_arg "Resistance.per_m: rho must be > 0";
+  rho /. (g.width *. g.thickness)
+
+let per_m_with_barrier ~rho ~barrier (g : Ir_tech.Geometry.t) =
+  if not (rho > 0.0) then
+    invalid_arg "Resistance.per_m_with_barrier: rho must be > 0";
+  if barrier < 0.0 then
+    invalid_arg "Resistance.per_m_with_barrier: barrier must be >= 0";
+  let w = g.width -. (2.0 *. barrier) in
+  let t = g.thickness -. barrier in
+  if not (w > 0.0 && t > 0.0) then
+    invalid_arg "Resistance.per_m_with_barrier: barrier consumes conductor";
+  rho /. (w *. t)
+
+let temperature_derated ~r ~tcr ~dt = r *. (1.0 +. (tcr *. dt))
+
+let sheet_resistance ~rho ~thickness =
+  if not (thickness > 0.0) then
+    invalid_arg "Resistance.sheet_resistance: thickness must be > 0";
+  rho /. thickness

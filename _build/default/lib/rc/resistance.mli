@@ -1,0 +1,25 @@
+(** Wire resistance per unit length.
+
+    The paper's delay model needs the resistance per unit length r̄_j of a
+    layer-pair, fully determined by the wire width and thickness of the pair
+    and the metal resistivity (Section 4.1). *)
+
+val per_m : rho:float -> Ir_tech.Geometry.t -> float
+(** [per_m ~rho g] is the resistance per meter of a wire with cross-section
+    [g.width * g.thickness], in Ohm/m.
+    @raise Invalid_argument if [rho <= 0]. *)
+
+val per_m_with_barrier :
+  rho:float -> barrier:float -> Ir_tech.Geometry.t -> float
+(** Like {!per_m} but removing a diffusion-barrier liner of thickness
+    [barrier] from both sides of the width and the bottom of the thickness
+    (the Cu damascene penalty).
+    @raise Invalid_argument if the barrier consumes the whole conductor. *)
+
+val temperature_derated : r:float -> tcr:float -> dt:float -> float
+(** [temperature_derated ~r ~tcr ~dt] scales resistance [r] measured at the
+    nominal temperature by [1 + tcr * dt] for an excursion of [dt] kelvin
+    (copper tcr ~ 0.0039 / K). *)
+
+val sheet_resistance : rho:float -> thickness:float -> float
+(** [rho / thickness], Ohm/square — a convenient cross-check quantity. *)

@@ -1,0 +1,1 @@
+lib/sweep/cross_node.pp.ml: Ir_core Ir_tech List Ppx_deriving_runtime Sys

@@ -1,0 +1,1 @@
+lib/sweep/cross_node.pp.mli: Ir_core Ir_ia Ir_tech Ppx_deriving_runtime

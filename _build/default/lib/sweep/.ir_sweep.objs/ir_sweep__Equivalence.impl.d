@@ -1,0 +1,1 @@
+lib/sweep/equivalence.pp.ml: Float Ir_assign Ir_core Ir_ia Ir_phys Ir_tech Ir_wld List Ppx_deriving_runtime Table4

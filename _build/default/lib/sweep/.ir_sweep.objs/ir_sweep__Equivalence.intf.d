@@ -1,0 +1,1 @@
+lib/sweep/equivalence.pp.mli: Ppx_deriving_runtime Table4

@@ -1,0 +1,1 @@
+lib/sweep/export.pp.ml: Buffer Cross_node Filename Ir_core Ir_tech List Out_channel Printf Report String Sys Table4

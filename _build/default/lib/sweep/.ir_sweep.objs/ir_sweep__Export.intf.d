@@ -1,0 +1,1 @@
+lib/sweep/export.pp.mli: Cross_node Table4

@@ -1,0 +1,1 @@
+lib/sweep/figure2.pp.ml: Array Float Ir_assign Ir_core Ir_ia Ir_phys Ir_tech Ir_wld List

@@ -1,0 +1,1 @@
+lib/sweep/figure2.pp.mli: Ir_assign Ir_core Ir_tech

@@ -1,0 +1,1 @@
+lib/sweep/paper_data.pp.mli:

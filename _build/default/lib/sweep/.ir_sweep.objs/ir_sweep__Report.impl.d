@@ -1,0 +1,1 @@
+lib/sweep/report.pp.ml: Buffer Cross_node Float Format Ir_core Ir_tech List Option Printf String Table4

@@ -1,0 +1,1 @@
+lib/sweep/report.pp.mli: Buffer Cross_node Format Table4

@@ -1,0 +1,1 @@
+lib/sweep/table4.pp.ml: Ir_assign Ir_core Ir_delay Ir_ia Ir_phys Ir_tech Ir_wld List Logs Paper_data Ppx_deriving_runtime Sys

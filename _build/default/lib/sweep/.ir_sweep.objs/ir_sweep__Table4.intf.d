@@ -1,0 +1,1 @@
+lib/sweep/table4.pp.mli: Ir_core Ir_delay Ir_ia Ir_tech Ppx_deriving_runtime

@@ -1,0 +1,25 @@
+type cell = {
+  node : Ir_tech.Node.t;
+  gates : int;
+  outcome : Ir_core.Outcome.t;
+  seconds : float;
+}
+[@@deriving show]
+
+let default_matrix =
+  [
+    (Ir_tech.Node.N180, 1_000_000);
+    (Ir_tech.Node.N130, 1_000_000);
+    (Ir_tech.Node.N90, 4_000_000);
+  ]
+
+let run ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) () =
+  List.map
+    (fun (node, gates) ->
+      let design = Ir_core.Rank.baseline_design ~gates node in
+      let t0 = Sys.time () in
+      let outcome =
+        Ir_core.Rank.of_design ?structure ~bunch_size design
+      in
+      { node; gates; outcome; seconds = Sys.time () -. t0 })
+    matrix

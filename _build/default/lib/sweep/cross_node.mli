@@ -1,0 +1,28 @@
+(** Cross-node, cross-size rank comparison.
+
+    The paper's Section 5.2 mentions baseline experiments with 1M gates at
+    180nm, 1M at 130nm and 4M at 90nm (only the 130nm/1M column is
+    printed); Section 5 also names 1M/4M/10M-gate WLDs.  This module runs
+    the baseline rank for any (node, gate-count) matrix so those
+    unreported baselines can be regenerated and compared. *)
+
+type cell = {
+  node : Ir_tech.Node.t;
+  gates : int;
+  outcome : Ir_core.Outcome.t;
+  seconds : float;
+}
+[@@deriving show]
+
+val default_matrix : (Ir_tech.Node.t * int) list
+(** The paper's named baselines: (180nm, 1M), (130nm, 1M), (90nm, 4M). *)
+
+val run :
+  ?bunch_size:int ->
+  ?structure:Ir_ia.Arch.structure ->
+  ?matrix:(Ir_tech.Node.t * int) list ->
+  unit ->
+  cell list
+(** Computes the baseline (Table 2 parameters) rank for every matrix
+    entry.  Gate counts of 10M are supported but take a few seconds
+    each. *)

@@ -1,0 +1,51 @@
+type result = {
+  k_reduction : float;
+  k_rank : float;
+  m_reduction : float;
+  m_rank : float;
+}
+[@@deriving show]
+
+let rank_at config ~materials ~design =
+  let arch =
+    Ir_ia.Arch.make ~structure:config.Table4.structure ~materials ~design ()
+  in
+  let wld =
+    Ir_wld.Davis.generate
+      (Ir_wld.Davis.params ~gates:design.Ir_tech.Design.gates
+         ~rent_p:design.Ir_tech.Design.rent_p
+         ~fan_out:design.Ir_tech.Design.fan_out ())
+  in
+  let problem =
+    Ir_assign.Problem.make ~target_model:config.Table4.target_model
+      ~bunch_size:config.Table4.bunch_size ~arch ~wld ()
+  in
+  Ir_core.Outcome.normalized
+    (Ir_core.Rank.compute ~algo:config.Table4.algo problem)
+
+let matching_miller_reduction ?(config = Table4.default_config) ~k_reduction
+    () =
+  if not (k_reduction > 0.0 && k_reduction < 1.0) then
+    invalid_arg "Equivalence: k_reduction must lie in (0, 1)";
+  let design = config.Table4.design in
+  let k_base = Ir_phys.Const.k_sio2 in
+  let k = k_base *. (1.0 -. k_reduction) in
+  let k_rank = rank_at config ~materials:(Ir_ia.Materials.v ~k ()) ~design in
+  (* Scan Miller factors from 2.0 down to 1.0 and keep the closest rank. *)
+  let grid = Ir_phys.Numeric.frange ~start:2.0 ~stop:1.0 ~step:(-0.025) in
+  let best =
+    List.fold_left
+      (fun acc m ->
+        let r =
+          rank_at config ~materials:(Ir_ia.Materials.v ~miller:m ()) ~design
+        in
+        let d = Float.abs (r -. k_rank) in
+        match acc with
+        | Some (_, _, best_d) when best_d <= d -> acc
+        | _ -> Some (m, r, d))
+      None grid
+  in
+  match best with
+  | None -> assert false
+  | Some (m, m_rank, _) ->
+      { k_reduction; k_rank; m_reduction = (2.0 -. m) /. 2.0; m_rank }

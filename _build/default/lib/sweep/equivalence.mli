@@ -1,0 +1,22 @@
+(** The paper's headline experiment (its abstract and Section 5.2): a 42%
+    reduction in Miller coupling factor achieves the same rank improvement
+    as a 38% reduction in ILD permittivity for the 1M-gate 130nm design.
+
+    Given a K reduction, we find the M reduction whose rank matches (and
+    vice versa) by scanning the M grid and interpolating. *)
+
+type result = {
+  k_reduction : float;  (** relative reduction of ILD permittivity *)
+  k_rank : float;  (** normalized rank at the reduced K *)
+  m_reduction : float;  (** Miller reduction achieving the same rank *)
+  m_rank : float;  (** normalized rank at that Miller value *)
+}
+[@@deriving show]
+
+val matching_miller_reduction :
+  ?config:Table4.config -> k_reduction:float -> unit -> result
+(** [matching_miller_reduction ~k_reduction:0.38 ()] reproduces the
+    headline: reduce K by 38% (3.9 -> 2.418), measure the rank, then find
+    the Miller factor in [1, 2] whose rank is closest (scanning steps of
+    0.025 and refusing to extrapolate beyond the scan).
+    @raise Invalid_argument if [k_reduction] is outside (0, 1). *)

@@ -1,0 +1,67 @@
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (dir ^ " exists and is not a directory")
+  else
+    match Sys.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg
+
+let write_file path contents =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc contents)
+  with
+  | () -> Ok path
+  | exception Sys_error msg -> Error msg
+
+let sweep_csv_path ~dir (sweep : Table4.sweep) =
+  Filename.concat dir
+    (Printf.sprintf "table4_%s.csv" (String.lowercase_ascii sweep.name))
+
+let write_sweeps ~dir sweeps =
+  match ensure_dir dir with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec loop acc = function
+        | [] -> Ok (List.rev acc)
+        | sweep :: rest -> (
+            let buf = Buffer.create 1024 in
+            Report.sweep_csv sweep buf;
+            match write_file (sweep_csv_path ~dir sweep) (Buffer.contents buf)
+            with
+            | Ok path -> loop (path :: acc) rest
+            | Error _ as e -> e)
+      in
+      loop [] sweeps
+
+let write_cross ~dir cells =
+  match ensure_dir dir with
+  | Error msg -> Error msg
+  | Ok () ->
+      let buf = Buffer.create 512 in
+      Report.csv
+        ~header:[ "node"; "gates"; "normalized"; "rank_wires"; "total" ]
+        ~rows:
+          (List.map
+             (fun (c : Cross_node.cell) ->
+               [
+                 Ir_tech.Node.name c.node;
+                 string_of_int c.gates;
+                 Printf.sprintf "%.6f" (Ir_core.Outcome.normalized c.outcome);
+                 string_of_int c.outcome.Ir_core.Outcome.rank_wires;
+                 string_of_int c.outcome.Ir_core.Outcome.total_wires;
+               ])
+             cells)
+        buf;
+      write_file (Filename.concat dir "cross_node.csv") (Buffer.contents buf)
+
+let write_manifest ~dir ~entries =
+  match ensure_dir dir with
+  | Error msg -> Error msg
+  | Ok () ->
+      let buf = Buffer.create 512 in
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\n" k v))
+        entries;
+      write_file (Filename.concat dir "MANIFEST.txt") (Buffer.contents buf)

@@ -1,0 +1,22 @@
+(** Artifact export: write experiment results to a directory.
+
+    The bench harness prints its tables; this module also persists them —
+    one CSV per Table 4 column plus a cross-node CSV and a plain-text
+    manifest — so downstream plotting or regression-diffing does not have
+    to re-run hour-scale sweeps.  Paths are created as needed; existing
+    files are overwritten. *)
+
+val sweep_csv_path : dir:string -> Table4.sweep -> string
+(** The file a sweep will be written to: [<dir>/table4_<name>.csv]. *)
+
+val write_sweeps : dir:string -> Table4.sweep list -> (string list, string) result
+(** Writes each sweep's paper-vs-measured CSV; returns the written paths
+    (or the first filesystem error). *)
+
+val write_cross : dir:string -> Cross_node.cell list -> (string, string) result
+(** Writes [<dir>/cross_node.csv]. *)
+
+val write_manifest :
+  dir:string -> entries:(string * string) list -> (string, string) result
+(** Writes [<dir>/MANIFEST.txt] with one [key: value] line per entry
+    (e.g. key experiment ids, value one-line summaries). *)

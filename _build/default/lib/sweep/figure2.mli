@@ -1,0 +1,25 @@
+(** The paper's Figure 2: a concrete instance where greedy top-down
+    assignment is suboptimal.
+
+    The construction follows the figure: two layer-pairs whose RC delay is
+    {e inverted} (the upper pair is much slower than the lower one), four
+    wires of equal length, and a repeater budget that optimal assignment
+    spends on the cheap pair.  Greedy fills the expensive top pair first
+    and exhausts the budget there, achieving rank 2; the DP routes all
+    four wires onto the cheap pair and achieves rank 4. *)
+
+type scenario = {
+  problem : Ir_assign.Problem.t;
+  greedy : Ir_core.Outcome.t;
+  optimal : Ir_core.Outcome.t;
+  exact : Ir_core.Outcome.t;  (** the paper-literal DP on the same instance *)
+}
+
+val scenario : unit -> scenario
+(** Builds the counterexample.  Postconditions (asserted by the tests):
+    [greedy.rank_wires = 2], [optimal.rank_wires = 4], and the literal DP
+    agrees with the optimal DP. *)
+
+val stack : unit -> Ir_tech.Stack.t
+(** The inverted synthetic stack used by the scenario: a thin, resistive
+    "global" pair above a fat, fast "semi-global" pair. *)

@@ -1,0 +1,27 @@
+(** The numbers the paper actually publishes, embedded for
+    paper-vs-measured reporting (EXPERIMENTS.md and the bench harness).
+
+    All are from Table 4 (normalized rank for the 130nm, 1M-gate baseline)
+    and Table 2 (baseline parameters). *)
+
+val table4_k : (float * float) list
+(** ILD permittivity K -> normalized rank; K from 3.9 down to 1.8. *)
+
+val table4_m : (float * float) list
+(** Miller coupling factor M -> normalized rank; M from 2.0 down to 1.0. *)
+
+val table4_c : (float * float) list
+(** Target clock frequency (Hz) -> normalized rank; 0.5 GHz to 1.7 GHz. *)
+
+val table4_r : (float * float) list
+(** Max repeater fraction of die area -> normalized rank; 0.1 to 0.5. *)
+
+val baseline_normalized_rank : float
+(** 0.397288: the Table 4 value at the baseline point of every column. *)
+
+val headline_k_reduction : float
+(** 0.38: the abstract's ILD-permittivity reduction (3.9 -> ~2.4). *)
+
+val headline_m_reduction : float
+(** 0.425: the Section 5.2 Miller-factor reduction said to produce the
+    same rank increase (2.0 -> 1.15). *)

@@ -1,0 +1,121 @@
+let table ~header ~rows ppf =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        Format.fprintf ppf "%s%s  " cell
+          (String.make (max 0 (w - String.length cell)) ' '))
+      row;
+    Format.fprintf ppf "@,"
+  in
+  Format.fprintf ppf "@[<v>";
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  Format.fprintf ppf "@]"
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv ~header ~rows buf =
+  let line row =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  List.iter line rows
+
+let lookup_paper paper param =
+  List.find_opt (fun (p, _) -> Float.abs (p -. param) < 1e-9 *. (1. +. Float.abs param)) paper
+
+let sweep_rows (sweep : Table4.sweep) =
+  let paper = sweep.Table4.paper in
+  List.map
+    (fun (r : Table4.row) ->
+      let measured = Ir_core.Outcome.normalized r.Table4.outcome in
+      let paper_s, delta_s =
+        match lookup_paper paper r.Table4.param with
+        | Some (_, p) ->
+            (Printf.sprintf "%.6f" p, Printf.sprintf "%+.4f" (measured -. p))
+        | None -> ("-", "-")
+      in
+      [
+        Printf.sprintf "%.4g" r.Table4.param;
+        Printf.sprintf "%.6f" measured;
+        paper_s;
+        delta_s;
+        string_of_int r.Table4.outcome.Ir_core.Outcome.rank_wires;
+        Printf.sprintf "%.2f" r.Table4.seconds;
+      ])
+    sweep.Table4.rows
+
+let sweep_header (sweep : Table4.sweep) =
+  [ sweep.Table4.name; "measured"; "paper"; "delta"; "rank(wires)"; "sec" ]
+
+let sweep_table sweep ppf =
+  Format.fprintf ppf "@[<v>Table 4, column %s (%s)@," sweep.Table4.name
+    sweep.Table4.legend;
+  table ~header:(sweep_header sweep) ~rows:(sweep_rows sweep) ppf;
+  Format.fprintf ppf "@]"
+
+let sweep_csv sweep buf =
+  csv ~header:(sweep_header sweep) ~rows:(sweep_rows sweep) buf
+
+let cross_node_table cells ppf =
+  let rows =
+    List.map
+      (fun (c : Cross_node.cell) ->
+        [
+          Ir_tech.Node.name c.node;
+          string_of_int c.gates;
+          Printf.sprintf "%.6f" (Ir_core.Outcome.normalized c.outcome);
+          string_of_int c.outcome.Ir_core.Outcome.rank_wires;
+          string_of_int c.outcome.Ir_core.Outcome.total_wires;
+          Printf.sprintf "%.2f" c.seconds;
+        ])
+      cells
+  in
+  table
+    ~header:[ "node"; "gates"; "normalized"; "rank(wires)"; "total"; "sec" ]
+    ~rows ppf
+
+let matched measured paper =
+  List.filter_map
+    (fun (p, v) ->
+      Option.map (fun (_, pv) -> (v, pv)) (lookup_paper paper p))
+    measured
+
+let correlation measured paper =
+  let pairs = matched measured paper in
+  let n = List.length pairs in
+  if n < 2 then nan
+  else
+    let nf = float_of_int n in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pairs /. nf in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pairs /. nf in
+    let cov, vx, vy =
+      List.fold_left
+        (fun (c, vx, vy) (x, y) ->
+          let dx = x -. sx and dy = y -. sy in
+          (c +. (dx *. dy), vx +. (dx *. dx), vy +. (dy *. dy)))
+        (0.0, 0.0, 0.0) pairs
+    in
+    if vx = 0.0 || vy = 0.0 then nan else cov /. sqrt (vx *. vy)
+
+let max_abs_delta measured paper =
+  List.fold_left
+    (fun acc (x, y) -> Float.max acc (Float.abs (x -. y)))
+    0.0 (matched measured paper)

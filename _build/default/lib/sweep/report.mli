@@ -1,0 +1,27 @@
+(** Rendering of experiment results: fixed-width text tables, CSV, and
+    paper-vs-measured comparisons for the Table 4 sweeps. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit
+(** Prints a fixed-width table; column widths fit the widest cell. *)
+
+val csv : header:string list -> rows:string list list -> Buffer.t -> unit
+(** Appends RFC-4180-ish CSV (quoting cells containing commas/quotes). *)
+
+val sweep_table : Table4.sweep -> Format.formatter -> unit
+(** Renders one Table 4 column with, where the paper published the same
+    grid point, the paper's value and the delta alongside the measured
+    normalized rank. *)
+
+val sweep_csv : Table4.sweep -> Buffer.t -> unit
+
+val cross_node_table : Cross_node.cell list -> Format.formatter -> unit
+
+val correlation : (float * float) list -> (float * float) list -> float
+(** Pearson correlation between measured and published series, matched on
+    the parameter value (within 1e-9); used by EXPERIMENTS.md to
+    summarize trend agreement.  Returns [nan] with fewer than two matched
+    points. *)
+
+val max_abs_delta : (float * float) list -> (float * float) list -> float
+(** Largest |measured - paper| over matched grid points. *)

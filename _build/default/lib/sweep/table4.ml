@@ -1,0 +1,113 @@
+type row = { param : float; outcome : Ir_core.Outcome.t; seconds : float }
+[@@deriving show]
+
+type sweep = {
+  name : string;
+  legend : string;
+  rows : row list;
+  paper : (float * float) list;
+}
+
+type config = {
+  design : Ir_tech.Design.t;
+  structure : Ir_ia.Arch.structure;
+  bunch_size : int;
+  target_model : Ir_delay.Target.t;
+  algo : Ir_core.Rank.algo;
+}
+
+let default_config =
+  {
+    design = Ir_core.Rank.baseline_design Ir_tech.Node.N130;
+    structure = Ir_ia.Arch.baseline_structure;
+    bunch_size = 10000;
+    target_model = Ir_delay.Target.Linear;
+    algo = Ir_core.Rank.Dp;
+  }
+
+let with_design config design = { config with design }
+
+let shared_wld config =
+  let d = config.design in
+  Ir_wld.Davis.generate
+    (Ir_wld.Davis.params ~gates:d.Ir_tech.Design.gates
+       ~rent_p:d.Ir_tech.Design.rent_p ~fan_out:d.Ir_tech.Design.fan_out ())
+
+(* One sweep point: build the architecture for this parameter value,
+   bunch the shared WLD against it, compute the rank, time it. *)
+let point config wld ~materials ~design param =
+  let arch = Ir_ia.Arch.make ~structure:config.structure ~materials ~design () in
+  let problem =
+    Ir_assign.Problem.make ~target_model:config.target_model
+      ~bunch_size:config.bunch_size ~arch ~wld ()
+  in
+  let t0 = Sys.time () in
+  let outcome = Ir_core.Rank.compute ~algo:config.algo problem in
+  { param; outcome; seconds = Sys.time () -. t0 }
+
+let run config ~name ~legend ~paper points =
+  let wld = shared_wld config in
+  let rows =
+    List.map
+      (fun (param, materials, design) ->
+        Logs.debug (fun f -> f "table4 %s: param %.4g" name param);
+        point config wld ~materials ~design param)
+      points
+  in
+  { name; legend; rows; paper }
+
+let grid_desc ~from ~until ~step =
+  Ir_phys.Numeric.frange ~start:from ~stop:until ~step:(-.step)
+
+let k_sweep ?(config = default_config) () =
+  let points =
+    List.map
+      (fun k -> (k, Ir_ia.Materials.v ~k (), config.design))
+      (grid_desc ~from:3.9 ~until:1.8 ~step:0.1)
+  in
+  run config ~name:"K" ~legend:"ILD permittivity"
+    ~paper:Paper_data.table4_k points
+
+let m_sweep ?(config = default_config) () =
+  let points =
+    List.map
+      (fun m -> (m, Ir_ia.Materials.v ~miller:m (), config.design))
+      (grid_desc ~from:2.0 ~until:1.0 ~step:0.05)
+  in
+  run config ~name:"M" ~legend:"Miller coupling factor"
+    ~paper:Paper_data.table4_m points
+
+let c_sweep ?(config = default_config) () =
+  let clocks =
+    Ir_phys.Numeric.frange ~start:0.5e9 ~stop:1.7e9 ~step:0.1e9
+  in
+  let points =
+    List.map
+      (fun c ->
+        (c, Ir_ia.Materials.default, Ir_tech.Design.with_clock config.design c))
+      clocks
+  in
+  run config ~name:"C" ~legend:"target clock frequency (Hz)"
+    ~paper:Paper_data.table4_c points
+
+let r_sweep ?(config = default_config) () =
+  let fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  let points =
+    List.map
+      (fun r ->
+        ( r,
+          Ir_ia.Materials.default,
+          Ir_tech.Design.with_repeater_fraction config.design r ))
+      fractions
+  in
+  run config ~name:"R" ~legend:"max repeater fraction of die area"
+    ~paper:Paper_data.table4_r points
+
+let all ?(config = default_config) () =
+  [ k_sweep ~config (); m_sweep ~config (); c_sweep ~config ();
+    r_sweep ~config () ]
+
+let normalized sweep =
+  List.map
+    (fun r -> (r.param, Ir_core.Outcome.normalized r.outcome))
+    sweep.rows

@@ -1,0 +1,54 @@
+(** The paper's Table 4: variation of (normalized) rank with ILD
+    permittivity K, Miller coupling factor M, target clock frequency C and
+    maximum repeater fraction R, for a baseline design.
+
+    Each sweep varies one parameter over the paper's exact grid while
+    holding the Table 2 baseline for the rest, recomputing the optimal
+    rank at every point.  The WLD is generated once per design and shared
+    across the sweep. *)
+
+type row = {
+  param : float;
+  outcome : Ir_core.Outcome.t;
+  seconds : float;  (** wall time of this rank computation *)
+}
+[@@deriving show]
+
+type sweep = {
+  name : string;  (** e.g. ["K"] *)
+  legend : string;  (** e.g. ["ILD permittivity"] *)
+  rows : row list;
+  paper : (float * float) list;  (** published values for this column *)
+}
+
+type config = {
+  design : Ir_tech.Design.t;
+  structure : Ir_ia.Arch.structure;
+  bunch_size : int;
+  target_model : Ir_delay.Target.t;
+  algo : Ir_core.Rank.algo;
+}
+
+val default_config : config
+(** The paper's Table 2 baseline: 130nm, 1M gates, p = 0.6, 500 MHz,
+    repeater fraction 0.4, bunch size 10000, linear targets, optimal DP. *)
+
+val with_design : config -> Ir_tech.Design.t -> config
+
+val k_sweep : ?config:config -> unit -> sweep
+(** ILD permittivity from 3.9 down to 1.8 in steps of 0.1 (Table 4 K). *)
+
+val m_sweep : ?config:config -> unit -> sweep
+(** Miller factor from 2.0 down to 1.0 in steps of 0.05 (Table 4 M). *)
+
+val c_sweep : ?config:config -> unit -> sweep
+(** Clock from 0.5 GHz to 1.7 GHz in steps of 0.1 GHz (Table 4 C). *)
+
+val r_sweep : ?config:config -> unit -> sweep
+(** Repeater fraction from 0.1 to 0.5 in steps of 0.1 (Table 4 R). *)
+
+val all : ?config:config -> unit -> sweep list
+(** The four columns in the paper's order: K, M, C, R. *)
+
+val normalized : sweep -> (float * float) list
+(** (param, normalized rank) pairs of the measured rows. *)

@@ -1,0 +1,1 @@
+lib/tech/design.pp.ml: Node Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tech/design.pp.mli: Node Ppx_deriving_runtime

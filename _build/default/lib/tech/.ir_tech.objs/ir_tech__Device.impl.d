@@ -1,0 +1,1 @@
+lib/tech/device.pp.ml: Node Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/tech/device.pp.mli: Node Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/tech/geometry.pp.ml: Option Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/tech/geometry.pp.mli: Ppx_deriving_runtime

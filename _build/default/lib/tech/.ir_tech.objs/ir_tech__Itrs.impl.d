@@ -1,0 +1,1 @@
+lib/tech/itrs.pp.ml: Design Float List Node Option Ppx_deriving_runtime

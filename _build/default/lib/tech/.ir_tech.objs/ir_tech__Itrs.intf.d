@@ -1,0 +1,1 @@
+lib/tech/itrs.pp.mli: Design Node Ppx_deriving_runtime

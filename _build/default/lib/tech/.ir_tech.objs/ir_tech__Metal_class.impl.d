@@ -1,0 +1,1 @@
+lib/tech/metal_class.pp.ml: Ppx_deriving_runtime

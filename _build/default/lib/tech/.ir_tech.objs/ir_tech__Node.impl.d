@@ -1,0 +1,1 @@
+lib/tech/node.pp.ml: Ir_phys Ppx_deriving_runtime String

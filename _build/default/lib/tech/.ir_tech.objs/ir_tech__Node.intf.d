@@ -1,0 +1,1 @@
+lib/tech/node.pp.mli: Ppx_deriving_runtime

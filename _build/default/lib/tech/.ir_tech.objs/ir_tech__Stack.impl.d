@@ -1,0 +1,1 @@
+lib/tech/stack.pp.ml: Format Geometry Ir_phys List Metal_class Node Ppx_deriving_runtime

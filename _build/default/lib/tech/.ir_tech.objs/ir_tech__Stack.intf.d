@@ -1,0 +1,1 @@
+lib/tech/stack.pp.mli: Format Geometry Metal_class Node Ppx_deriving_runtime

@@ -1,0 +1,40 @@
+type t = {
+  node : Node.t;
+  gates : int;
+  rent_p : float;
+  fan_out : float;
+  clock : float;
+  repeater_fraction : float;
+  floorplan_reserve : float;
+}
+[@@deriving show, eq]
+
+let check t =
+  if t.gates <= 0 then invalid_arg "Design.v: gates must be > 0";
+  if not (t.rent_p > 0.0 && t.rent_p < 1.0) then
+    invalid_arg "Design.v: rent_p must lie in (0, 1)";
+  if not (t.fan_out > 0.0) then invalid_arg "Design.v: fan_out must be > 0";
+  if not (t.clock > 0.0) then invalid_arg "Design.v: clock must be > 0";
+  if not (t.repeater_fraction >= 0.0 && t.repeater_fraction <= 1.0) then
+    invalid_arg "Design.v: repeater_fraction must lie in [0, 1]";
+  if not (t.floorplan_reserve >= 0.0 && t.floorplan_reserve < 1.0) then
+    invalid_arg "Design.v: floorplan_reserve must lie in [0, 1)";
+  t
+
+let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 500e6)
+    ?(repeater_fraction = 0.4) ?(floorplan_reserve = 0.4) ~node ~gates () =
+  check
+    { node; gates; rent_p; fan_out; clock; repeater_fraction;
+      floorplan_reserve }
+
+let gate_area t =
+  let g = Node.gate_pitch t.node in
+  g *. g *. float_of_int t.gates
+
+let die_area t = gate_area t /. (1.0 -. t.floorplan_reserve)
+let repeater_area t = t.repeater_fraction *. die_area t
+let effective_gate_pitch t = sqrt (die_area t /. float_of_int t.gates)
+let with_clock t clock = check { t with clock }
+
+let with_repeater_fraction t repeater_fraction =
+  check { t with repeater_fraction }

@@ -1,0 +1,64 @@
+(** Design-level parameters and die-area bookkeeping.
+
+    A design is a gate count placed on a node, with a Rent parameter, an
+    average fan-out and a target clock.  Die area follows the paper's
+    Section 5.2: area due to gates is [g^2 * N] at gate pitch
+    [g = 12.6 * feature]; the floorplan reserves a fixed fraction of the die
+    for repeaters (Eq. 6), giving [A_d = g^2 N / (1 - reserve)].
+
+    The {e floorplan reserve} (how much area the die sets aside, fixed when
+    the design is floorplanned) is kept separate from the {e repeater
+    fraction} (how much repeater area the rank computation may use,
+    the paper's swept parameter R).  They coincide at the baseline
+    (both 0.4); sweeping R then scales the usable budget linearly while the
+    die area — and hence the WLD's physical lengths — stay fixed, which is
+    what makes the paper's Table 4 column R linear in R. *)
+
+type t = {
+  node : Node.t;
+  gates : int;  (** number of gates, N *)
+  rent_p : float;  (** Rent exponent p (paper: 0.6) *)
+  fan_out : float;  (** average gate fan-out (Davis WLD: 3.0) *)
+  clock : float;  (** target clock frequency f_c, Hz *)
+  repeater_fraction : float;  (** usable repeater area as fraction of die *)
+  floorplan_reserve : float;  (** die-area fraction reserved for repeaters *)
+}
+[@@deriving show, eq]
+
+val v :
+  ?rent_p:float ->
+  ?fan_out:float ->
+  ?clock:float ->
+  ?repeater_fraction:float ->
+  ?floorplan_reserve:float ->
+  node:Node.t ->
+  gates:int ->
+  unit ->
+  t
+(** Build a design.  Defaults follow the paper's baseline (Table 2):
+    [rent_p = 0.6], [fan_out = 3.0], [clock = 500 MHz],
+    [repeater_fraction = 0.4], [floorplan_reserve = 0.4].
+    @raise Invalid_argument if [gates <= 0], [rent_p] outside (0, 1),
+    [fan_out <= 0], [clock <= 0], [repeater_fraction] outside [0, 1], or
+    [floorplan_reserve] outside [0, 1). *)
+
+val gate_area : t -> float
+(** Die area due to gates alone: [g^2 * N], m^2. *)
+
+val die_area : t -> float
+(** Actual die area [A_d = gate_area / (1 - floorplan_reserve)], m^2. *)
+
+val repeater_area : t -> float
+(** Usable repeater area budget [A_R = repeater_fraction * die_area], m^2. *)
+
+val effective_gate_pitch : t -> float
+(** Gate pitch after redistributing the gates evenly over the actual die
+    area: [sqrt (die_area / N)], m.  This pitch converts WLD lengths from
+    gate pitches to meters. *)
+
+val with_clock : t -> float -> t
+(** Same design at a different target clock. *)
+
+val with_repeater_fraction : t -> float -> t
+(** Same design with a different usable repeater budget (the floorplan
+    reserve — and so the die area and WLD — are unchanged). *)

@@ -1,0 +1,36 @@
+type t = { r_o : float; c_o : float; c_p : float; area : float }
+[@@deriving show, eq]
+
+let v ~r_o ~c_o ~c_p ~area =
+  let check name x =
+    if not (x > 0.0) then
+      invalid_arg (Printf.sprintf "Device.v: %s must be > 0" name)
+  in
+  check "r_o" r_o;
+  check "c_o" c_o;
+  check "c_p" c_p;
+  check "area" area;
+  { r_o; c_o; c_p; area }
+
+let inv_area_f2 = 2.06
+
+let of_node node =
+  let feature = Node.feature_size node in
+  let area = inv_area_f2 *. feature *. feature in
+  (* Calibrated so that (i) the per-stage intrinsic delay b r_o (c_o + c_p)
+     stays under ~2 ps — Table 4 of the paper requires wires of 2-3 gate
+     pitches to meet their (l/l_max)/f_c targets at 500 MHz — and (ii) the
+     optimal repeater sizes land in the conventional 40-100x range.  See
+     DESIGN.md section 5 for the calibration derivation. *)
+  let r_o, c_o =
+    match node with
+    | Node.N180 -> (2.4e3, 1.0e-15)
+    | Node.N130 -> (2.0e3, 0.7e-15)
+    | Node.N90 -> (1.7e3, 0.45e-15)
+    | Node.Custom { feature; _ } ->
+        let f = feature /. 130e-9 in
+        (2.0e3, 0.7e-15 *. f)
+  in
+  v ~r_o ~c_o ~c_p:c_o ~area
+
+let intrinsic_delay t = 0.7 *. t.r_o *. (t.c_o +. t.c_p)

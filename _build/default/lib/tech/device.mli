@@ -1,0 +1,36 @@
+(** Minimum-sized inverter (repeater) device parameters per node.
+
+    The paper's delay model (its Eq. 2/3, from Otten–Brayton) needs the
+    output resistance [r_o], input capacitance [c_o] and parasitic output
+    capacitance [c_p] of a minimum-sized inverter, plus the silicon area it
+    occupies (for the repeater-area budget of Definition 2).  The paper does
+    not print these values; we use ITRS-2001-era estimates (documented in
+    DESIGN.md) that can be overridden for calibration studies. *)
+
+type t = {
+  r_o : float;  (** output resistance of a minimum inverter, Ohm *)
+  c_o : float;  (** input capacitance of a minimum inverter, F *)
+  c_p : float;  (** parasitic output capacitance, F *)
+  area : float;  (** silicon area of a minimum inverter, m^2 *)
+}
+[@@deriving show, eq]
+
+val v : r_o:float -> c_o:float -> c_p:float -> area:float -> t
+(** Constructor with positivity checks.
+    @raise Invalid_argument on non-positive values. *)
+
+val of_node : Node.t -> t
+(** Default device parameters for a node.  The inverter area is
+    [inv_area_f2 * feature^2]. *)
+
+val inv_area_f2 : float
+(** Repeater-area quantum in units of feature-size squared (default 2.06).
+    The paper's repeater-area accounting (its Eq. 5 and footnote 3) treats
+    a size-[s] repeater as occupying [s] units of area without reconciling
+    against physical cell layout; the quantum calibrates that unit so the
+    baseline 130nm/1M-gate design reproduces Table 4's normalized rank
+    scale. *)
+
+val intrinsic_delay : t -> float
+(** [b * r_o * (c_o + c_p)] with b = 0.7: the unloaded switching delay of a
+    minimum inverter, a useful sanity-check scale (~ a few ps). *)

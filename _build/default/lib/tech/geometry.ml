@@ -1,0 +1,38 @@
+type t = {
+  width : float;
+  spacing : float;
+  thickness : float;
+  ild_thickness : float;
+  via_width : float;
+}
+[@@deriving show, eq]
+
+let v ?ild_thickness ?via_width ~width ~spacing ~thickness () =
+  let ild_thickness = Option.value ild_thickness ~default:thickness in
+  let via_width = Option.value via_width ~default:width in
+  let check name x =
+    if not (x > 0.0) then
+      invalid_arg (Printf.sprintf "Geometry.v: %s must be > 0" name)
+  in
+  check "width" width;
+  check "spacing" spacing;
+  check "thickness" thickness;
+  check "ild_thickness" ild_thickness;
+  check "via_width" via_width;
+  { width; spacing; thickness; ild_thickness; via_width }
+
+let pitch g = g.width +. g.spacing
+
+let via_area g =
+  let pad = 2.0 *. g.via_width in
+  pad *. pad
+
+let scaled g f =
+  if not (f > 0.0) then invalid_arg "Geometry.scaled: factor must be > 0";
+  {
+    width = g.width *. f;
+    spacing = g.spacing *. f;
+    thickness = g.thickness *. f;
+    ild_thickness = g.ild_thickness *. f;
+    via_width = g.via_width *. f;
+  }

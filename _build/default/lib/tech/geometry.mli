@@ -1,0 +1,37 @@
+(** Per-layer-class interconnect geometry.
+
+    All dimensions are in meters.  A geometry describes the cross-section of
+    every wire in a layer-pair of that class: drawn width, spacing to the
+    adjacent wire, metal thickness, the inter-layer-dielectric (ILD) height
+    separating the pair from the orthogonal layers above/below, and the width
+    of the vias that drop from this pair towards the substrate. *)
+
+type t = {
+  width : float;  (** minimum drawn wire width *)
+  spacing : float;  (** minimum spacing between adjacent wires *)
+  thickness : float;  (** metal thickness *)
+  ild_thickness : float;  (** dielectric height to the neighboring layer *)
+  via_width : float;  (** width of a via landing on this pair *)
+}
+[@@deriving show, eq]
+
+val v : ?ild_thickness:float -> ?via_width:float ->
+  width:float -> spacing:float -> thickness:float -> unit -> t
+(** [v ~width ~spacing ~thickness ()] builds a geometry.  [ild_thickness]
+    defaults to [thickness] (aspect-ratio-1 dielectric, the common rule of
+    thumb for the 2003-era stacks modeled here) and [via_width] defaults to
+    [width].
+    @raise Invalid_argument if any dimension is not strictly positive. *)
+
+val pitch : t -> float
+(** [pitch g] is [g.width +. g.spacing], the routing pitch.  A wire of length
+    [l] consumes [l *. pitch g] of routing area on its layer-pair. *)
+
+val via_area : t -> float
+(** [via_area g] is the blocked area of one via passing through a layer of
+    this class, modeled as a square landing pad of twice the drawn via width
+    (via + enclosure), following the compact via-blockage model of
+    Chen/Davis/Meindl (IEEE TVLSI 2000). *)
+
+val scaled : t -> float -> t
+(** [scaled g f] multiplies every dimension of [g] by [f] (> 0). *)

@@ -1,0 +1,37 @@
+type entry = {
+  year : int;
+  node : Node.t;
+  max_clock : float;
+  mpu_gates : int;
+  ild_k : float;
+  metal_layers : int;
+}
+[@@deriving show, eq]
+
+let roadmap =
+  [
+    { year = 1999; node = Node.N180; max_clock = 1.25e9;
+      mpu_gates = 1_000_000; ild_k = 4.0; metal_layers = 6 };
+    { year = 2001; node = Node.N130; max_clock = 1.7e9;
+      mpu_gates = 2_000_000; ild_k = 3.7; metal_layers = 7 };
+    { year = 2004; node = Node.N90; max_clock = 3.0e9;
+      mpu_gates = 4_000_000; ild_k = 3.3; metal_layers = 8 };
+    { year = 2007; node = Node.Custom { name = "65nm"; feature = 65e-9 };
+      max_clock = 4.5e9; mpu_gates = 8_000_000; ild_k = 3.0;
+      metal_layers = 9 };
+    { year = 2010; node = Node.Custom { name = "45nm"; feature = 45e-9 };
+      max_clock = 6.0e9; mpu_gates = 16_000_000; ild_k = 2.6;
+      metal_layers = 10 };
+  ]
+
+let entry_for node =
+  let f = Node.feature_size node in
+  List.find_opt
+    (fun e -> Float.abs (Node.feature_size e.node -. f) < 1e-12)
+    roadmap
+
+let design_of_entry ?gates ?clock entry =
+  Design.v ~node:entry.node
+    ~gates:(Option.value gates ~default:entry.mpu_gates)
+    ~clock:(Option.value clock ~default:entry.max_clock)
+    ()

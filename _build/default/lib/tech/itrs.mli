@@ -1,0 +1,38 @@
+(** ITRS-2001-style technology roadmap.
+
+    The paper's clocks and gate pitches come from the 2001 ITRS (its
+    reference [8]), and its Section 6 announces rank evaluation of "ITRS
+    and foundry BEOL architectures" as the goal.  This module embeds a
+    roadmap-style sequence of technology generations — feature size,
+    maximum MPU clock, typical logic gate count, effective ILD
+    permittivity and metal layer count trends — so that roadmap studies
+    (rank across generations, with and without the roadmap's material
+    improvements) can be scripted.
+
+    Values follow the ITRS-2001 trend tables to the precision that
+    matters for trend studies; they are estimates, not normative data
+    (the published tables carry many footnotes), and each is overridable
+    through the returned records. *)
+
+type entry = {
+  year : int;
+  node : Node.t;
+  max_clock : float;  (** across-chip MPU clock, Hz *)
+  mpu_gates : int;  (** typical MPU logic gate count *)
+  ild_k : float;  (** roadmap effective ILD permittivity *)
+  metal_layers : int;
+}
+[@@deriving show, eq]
+
+val roadmap : entry list
+(** Five generations, 1999 (180nm) through 2010 (45nm); the 65nm and
+    45nm entries use [Node.Custom] nodes whose stacks scale from the
+    130nm Table 3 geometry. *)
+
+val entry_for : Node.t -> entry option
+(** The roadmap entry matching a node by feature size, if any. *)
+
+val design_of_entry : ?gates:int -> ?clock:float -> entry -> Design.t
+(** A Table-2-style baseline design for the generation: the entry's gate
+    count and clock (both overridable), Rent p 0.6, repeater
+    fraction 0.4. *)

@@ -1,0 +1,13 @@
+type t = Local | Semi_global | Global [@@deriving show, eq, ord]
+
+let all = [ Local; Semi_global; Global ]
+
+let to_string = function
+  | Local -> "local"
+  | Semi_global -> "semi-global"
+  | Global -> "global"
+
+let table_symbol = function
+  | Local -> "M1"
+  | Semi_global -> "Mx"
+  | Global -> "Mt"

@@ -1,0 +1,17 @@
+(** Metal-layer classes of a BEOL stack.
+
+    The paper's Table 3 distinguishes three classes of metal layers: the
+    bottom layer [M1] (local), the intermediate layers [Mx] (semi-global) and
+    the thick top layers [Mt] (global).  A layer-pair is made of two adjacent
+    layers of the same class, one routing horizontally and one vertically. *)
+
+type t = Local | Semi_global | Global [@@deriving show, eq, ord]
+
+val all : t list
+(** The three classes, bottom-up: local, semi-global, global. *)
+
+val to_string : t -> string
+(** Short human-readable name, e.g. ["semi-global"]. *)
+
+val table_symbol : t -> string
+(** The symbol used in the paper's Table 3: ["M1"], ["Mx"] or ["Mt"]. *)

@@ -1,0 +1,38 @@
+type t = N180 | N130 | N90 | Custom of { name : string; feature : float }
+[@@deriving show, eq]
+
+let name = function
+  | N180 -> "180nm"
+  | N130 -> "130nm"
+  | N90 -> "90nm"
+  | Custom { name; _ } -> name
+
+let feature_size = function
+  | N180 -> 180e-9
+  | N130 -> 130e-9
+  | N90 -> 90e-9
+  | Custom { feature; _ } -> feature
+
+let gate_pitch t = 12.6 *. feature_size t
+
+let itrs_max_clock = function
+  | N180 -> 1.25e9
+  | N130 -> 1.7e9
+  | N90 -> 2.5e9
+  | Custom { feature; _ } ->
+      (* Rough ITRS-2001 trend: clock scales inversely with feature size,
+         anchored at 1.7 GHz for 130nm. *)
+      1.7e9 *. (130e-9 /. feature)
+
+let resistivity = function
+  | N180 -> Ir_phys.Const.rho_al_bulk *. 1.05
+  | N130 -> Ir_phys.Const.rho_cu_bulk *. 1.30
+  | N90 -> Ir_phys.Const.rho_cu_bulk *. 1.45
+  | Custom _ -> Ir_phys.Const.rho_cu_bulk *. 1.30
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "180" | "180nm" | "n180" -> Some N180
+  | "130" | "130nm" | "n130" -> Some N130
+  | "90" | "90nm" | "n90" -> Some N90
+  | _ -> None

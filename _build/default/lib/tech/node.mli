@@ -1,0 +1,30 @@
+(** Technology nodes.
+
+    The paper studies the TSMC-style 180nm, 130nm and 90nm nodes (its
+    Table 3).  [Custom] supports synthetic nodes for tests and for the direct
+    IA-optimization extension. *)
+
+type t = N180 | N130 | N90 | Custom of { name : string; feature : float }
+[@@deriving show, eq]
+
+val name : t -> string
+(** e.g. ["180nm"]. *)
+
+val feature_size : t -> float
+(** Drawn feature size in meters (180e-9, 130e-9, 90e-9, or the custom
+    value). *)
+
+val gate_pitch : t -> float
+(** Average gate pitch [g = 12.6 *. feature_size], the paper's ITRS-based
+    empirical rule (Section 5.2), in meters. *)
+
+val itrs_max_clock : t -> float
+(** Maximum MPU clock frequency per ITRS 2001 for this node, in Hz (used by
+    the paper to pick the top of the clock sweep: 1.7 GHz at 130nm). *)
+
+val resistivity : t -> float
+(** Effective metal resistivity in Ohm-m, including a barrier/liner penalty
+    over the bulk value: Al-based at 180nm, Cu-based below. *)
+
+val of_string : string -> t option
+(** Parses ["180nm"], ["180"], ["130nm"], ["90nm"], ... *)

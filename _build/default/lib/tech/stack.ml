@@ -1,0 +1,110 @@
+type t = {
+  node : Node.t;
+  local : Geometry.t;
+  semi_global : Geometry.t;
+  global : Geometry.t;
+  mx_layers : int;
+  mt_layers : int;
+}
+[@@deriving show, eq]
+
+let geometry t = function
+  | Metal_class.Local -> t.local
+  | Metal_class.Semi_global -> t.semi_global
+  | Metal_class.Global -> t.global
+
+let layers t = 1 + t.mx_layers + t.mt_layers
+
+let um = Ir_phys.Units.um
+
+(* Exact values of the paper's Table 3. *)
+
+let stack_180 =
+  {
+    node = Node.N180;
+    local =
+      Geometry.v ~width:(um 0.230) ~spacing:(um 0.230) ~thickness:(um 0.483)
+        ~via_width:(um 0.260) ();
+    semi_global =
+      Geometry.v ~width:(um 0.280) ~spacing:(um 0.280) ~thickness:(um 0.588)
+        ~via_width:(um 0.260) ();
+    global =
+      Geometry.v ~width:(um 0.440) ~spacing:(um 0.460) ~thickness:(um 0.960)
+        ~via_width:(um 0.360) ();
+    mx_layers = 4;
+    mt_layers = 1;
+  }
+
+let stack_130 =
+  {
+    node = Node.N130;
+    local =
+      Geometry.v ~width:(um 0.160) ~spacing:(um 0.180) ~thickness:(um 0.336)
+        ~via_width:(um 0.190) ();
+    semi_global =
+      Geometry.v ~width:(um 0.200) ~spacing:(um 0.210) ~thickness:(um 0.340)
+        ~via_width:(um 0.260) ();
+    global =
+      Geometry.v ~width:(um 0.440) ~spacing:(um 0.460) ~thickness:(um 1.020)
+        ~via_width:(um 0.360) ();
+    mx_layers = 5;
+    mt_layers = 1;
+  }
+
+let stack_90 =
+  {
+    node = Node.N90;
+    local =
+      Geometry.v ~width:(um 0.120) ~spacing:(um 0.120) ~thickness:(um 0.260)
+        ~via_width:(um 0.130) ();
+    semi_global =
+      Geometry.v ~width:(um 0.140) ~spacing:(um 0.140) ~thickness:(um 0.300)
+        ~via_width:(um 0.130) ();
+    global =
+      Geometry.v ~width:(um 0.420) ~spacing:(um 0.420) ~thickness:(um 0.880)
+        ~via_width:(um 0.360) ();
+    mx_layers = 6;
+    mt_layers = 1;
+  }
+
+let of_node = function
+  | Node.N180 -> stack_180
+  | Node.N130 -> stack_130
+  | Node.N90 -> stack_90
+  | Node.Custom { feature; _ } as node ->
+      let f = feature /. Node.feature_size Node.N130 in
+      {
+        node;
+        local = Geometry.scaled stack_130.local f;
+        semi_global = Geometry.scaled stack_130.semi_global f;
+        global = Geometry.scaled stack_130.global f;
+        mx_layers = stack_130.mx_layers;
+        mt_layers = stack_130.mt_layers;
+      }
+
+let max_pairs t = function
+  | Metal_class.Local -> 1
+  | Metal_class.Semi_global -> max 1 (t.mx_layers / 2)
+  | Metal_class.Global -> (t.mt_layers + 1) / 2
+
+let pp_table3 ppf t =
+  let open Format in
+  let to_um = Ir_phys.Units.to_um in
+  let row ppf (label, value) = fprintf ppf "%-24s %8.3f um@," label value in
+  fprintf ppf "@[<v>Technology parameters, %s:@," (Node.name t.node);
+  let geom_rows sym (g : Geometry.t) =
+    [
+      (sym ^ " minimum width", to_um g.width);
+      (sym ^ " minimum spacing", to_um g.spacing);
+      (sym ^ " thickness", to_um g.thickness);
+    ]
+  in
+  List.iter (row ppf)
+    (geom_rows "M1" t.local @ geom_rows "Mx" t.semi_global
+    @ geom_rows "Mt" t.global
+    @ [
+        ("V1 minimum width", to_um t.local.via_width);
+        ("Vx-1 minimum width", to_um t.semi_global.via_width);
+        ("Vt-1 minimum width", to_um t.global.via_width);
+      ]);
+  fprintf ppf "layers: M1 + %d Mx + %d Mt@]" t.mx_layers t.mt_layers

@@ -1,0 +1,41 @@
+(** BEOL stack descriptions: the paper's Table 3.
+
+    A stack gives, per metal class, the wire geometry and the number of metal
+    layers of that class available in the node.  Layer-pairs are formed from
+    two adjacent layers of the same class; the architecture builder in
+    {!module:Ir_ia} decides how many pairs of each class a given IA uses. *)
+
+type t = {
+  node : Node.t;
+  local : Geometry.t;  (** M1-class geometry *)
+  semi_global : Geometry.t;  (** Mx-class geometry *)
+  global : Geometry.t;  (** Mt-class geometry *)
+  mx_layers : int;  (** number of Mx-class layers *)
+  mt_layers : int;  (** number of Mt-class layers *)
+}
+[@@deriving show, eq]
+
+val geometry : t -> Metal_class.t -> Geometry.t
+(** Geometry of the given class in this stack. *)
+
+val layers : t -> int
+(** Total metal layer count: 1 (M1) + Mx + Mt layers. *)
+
+val of_node : Node.t -> t
+(** The paper's Table 3 parameters for [N180], [N130] and [N90] (exact
+    values as printed).  For [Custom] nodes, geometry is scaled linearly from
+    the 130nm stack by the feature-size ratio.
+
+    Layer counts follow Table 3's caption: 6 layers at 180nm (x = 2..5,
+    t = 6), 7 at 130nm (x = 2..6, t = 7), 8 at 90nm (x = 2..7, t = 8). *)
+
+val max_pairs : t -> Metal_class.t -> int
+(** Number of layer-pairs of a class the stack can provide.  The M1 layer
+    pairs with the lowest Mx layer, so [max_pairs _ Local = 1]; Mx layers
+    give [floor (mx_layers / 2)] semi-global pairs (minimum 1 — the paper's
+    Table 2 baseline uses two semi-global pairs at every node); Mt layers
+    give [ceil (mt_layers / 2)] global pairs. *)
+
+val pp_table3 : Format.formatter -> t -> unit
+(** Renders the stack in the layout of the paper's Table 3 (dimensions in
+    micrometers). *)

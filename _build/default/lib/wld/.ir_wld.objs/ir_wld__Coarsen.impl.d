@@ -1,0 +1,1 @@
+lib/wld/coarsen.pp.ml: Array Dist List

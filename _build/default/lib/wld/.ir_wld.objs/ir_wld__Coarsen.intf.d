@@ -1,0 +1,1 @@
+lib/wld/coarsen.pp.mli: Dist

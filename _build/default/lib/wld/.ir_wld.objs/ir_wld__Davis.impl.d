@@ -1,0 +1,1 @@
+lib/wld/davis.pp.ml: Dist Float Ir_phys List Ppx_deriving_runtime

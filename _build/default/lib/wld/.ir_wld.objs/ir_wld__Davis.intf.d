@@ -1,0 +1,1 @@
+lib/wld/davis.pp.mli: Dist Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/wld/dist.pp.ml: Array Float List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/wld/dist.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/wld/io.pp.ml: Array Buffer Dist In_channel List Out_channel Printf String

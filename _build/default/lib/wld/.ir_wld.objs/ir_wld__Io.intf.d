@@ -1,0 +1,1 @@
+lib/wld/io.pp.mli: Dist

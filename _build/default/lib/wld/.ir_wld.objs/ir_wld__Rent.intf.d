@@ -1,0 +1,1 @@
+lib/wld/rent.pp.mli:

@@ -1,0 +1,1 @@
+lib/wld/stats.pp.ml: Array Dist Float Format Ir_phys List Ppx_deriving_runtime String

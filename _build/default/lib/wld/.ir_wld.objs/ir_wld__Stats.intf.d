@@ -1,0 +1,1 @@
+lib/wld/stats.pp.mli: Dist Format Ppx_deriving_runtime

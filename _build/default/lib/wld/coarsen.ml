@@ -1,0 +1,56 @@
+let split_bin ~bunch_size (b : Dist.bin) =
+  let rec loop remaining acc =
+    if remaining <= 0 then acc
+    else
+      let take = min remaining bunch_size in
+      loop (remaining - take) ({ b with Dist.count = take } :: acc)
+  in
+  loop b.Dist.count []
+
+let bunch ~bunch_size d =
+  if bunch_size <= 0 then invalid_arg "Coarsen.bunch: bunch_size must be > 0";
+  let desc = Dist.to_desc_list d in
+  let bunches = List.concat_map (split_bin ~bunch_size) desc in
+  (* split_bin returns its pieces in arbitrary-size-last order; lengths are
+     equal within a bin so only the bin order matters. *)
+  Array.of_list bunches
+
+let bunch_count ~bunch_size d =
+  if bunch_size <= 0 then
+    invalid_arg "Coarsen.bunch_count: bunch_size must be > 0";
+  Array.fold_left
+    (fun acc (b : Dist.bin) -> acc + ((b.count + bunch_size - 1) / bunch_size))
+    0 (Dist.bins d)
+
+let bin ~group d =
+  if group <= 0 then invalid_arg "Coarsen.bin: group must be > 0";
+  let bins = Dist.bins d in
+  let merged = ref [] in
+  let i = ref 0 in
+  let n = Array.length bins in
+  while !i < n do
+    let stop = min n (!i + group) in
+    let count = ref 0 and weighted = ref 0.0 in
+    for j = !i to stop - 1 do
+      count := !count + bins.(j).count;
+      weighted := !weighted +. (bins.(j).length *. float_of_int bins.(j).count)
+    done;
+    if !count > 0 then
+      merged :=
+        { Dist.length = !weighted /. float_of_int !count; count = !count }
+        :: !merged;
+    i := stop
+  done;
+  Dist.of_bins (List.rev !merged)
+
+let max_bunch_error ~bunch_size d =
+  if Dist.is_empty d then 0
+  else
+    Array.fold_left
+      (fun acc (b : Dist.bin) ->
+        let largest =
+          if b.count >= bunch_size then bunch_size
+          else b.count
+        in
+        max acc largest)
+      0 (Dist.bins d)

@@ -1,0 +1,31 @@
+(** Instance coarsening: bunching and binning (paper Section 5.1).
+
+    The rank DP is far too expensive to run one wire at a time on
+    million-gate WLDs, so the paper assigns wires in {e bunches} of uniform
+    length (bunch size 10000 in its experiments).  The rank error introduced
+    is at most the size of the largest bunch.  A second, orthogonal
+    {e binning} reduction (the paper's footnote 7) replaces groups of nearby
+    lengths by their mean. *)
+
+val bunch : bunch_size:int -> Dist.t -> Dist.bin array
+(** [bunch ~bunch_size d] splits every bin of [d] into bunches of at most
+    [bunch_size] wires of identical length — e.g. a 100-wire bin at bunch
+    size 40 becomes bunches of 40, 40 and 20 — and returns all bunches
+    sorted by {e non-increasing} length (the assignment order of the rank
+    algorithms).  Total wire count is preserved exactly.
+    @raise Invalid_argument if [bunch_size <= 0]. *)
+
+val bunch_count : bunch_size:int -> Dist.t -> int
+(** Number of bunches {!bunch} would produce, without building them. *)
+
+val bin : group:int -> Dist.t -> Dist.t
+(** [bin ~group d] merges every run of [group] consecutive bins into one bin
+    whose length is the count-weighted mean of the group and whose count is
+    the group's total — footnote 7's reduction (which uses the simple mean;
+    the weighted mean conserves total wire length better and coincides for
+    equal counts).  Total wire count is preserved exactly.
+    @raise Invalid_argument if [group <= 0]. *)
+
+val max_bunch_error : bunch_size:int -> Dist.t -> int
+(** Upper bound on the rank error introduced by bunching: the size of the
+    largest bunch actually formed. *)

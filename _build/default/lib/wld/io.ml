@@ -1,0 +1,59 @@
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.split_on_char ',' line with
+    | [ a; b ] -> (
+        match
+          (float_of_string_opt (String.trim a),
+           int_of_string_opt (String.trim b))
+        with
+        | Some length, Some count ->
+            if count < 0 then
+              Error (Printf.sprintf "line %d: negative count" lineno)
+            else if not (length > 0.0) then
+              Error (Printf.sprintf "line %d: non-positive length" lineno)
+            else Ok (Some { Dist.length; count })
+        | _ ->
+            (* Tolerate one header line. *)
+            if lineno = 1 then Ok None
+            else Error (Printf.sprintf "line %d: expected 'length,count'" lineno))
+    | _ -> Error (Printf.sprintf "line %d: expected two comma-separated fields" lineno)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> loop (lineno + 1) acc rest
+        | Ok (Some bin) -> loop (lineno + 1) (bin :: acc) rest)
+  in
+  match loop 1 [] lines with
+  | Error _ as e -> e
+  | Ok bins -> (
+      match Dist.of_bins bins with
+      | d -> Ok d
+      | exception Invalid_argument msg -> Error msg)
+
+let to_string d =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "length,count\n";
+  Array.iter
+    (fun (b : Dist.bin) ->
+      Buffer.add_string buf (Printf.sprintf "%.17g,%d\n" b.length b.count))
+    (Dist.bins d);
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let save path d =
+  match Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (to_string d))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

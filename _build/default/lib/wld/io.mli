@@ -1,0 +1,22 @@
+(** Loading and saving wire length distributions.
+
+    The paper uses the stochastic Davis WLD, but the rank metric is
+    defined for {e any} WLD — a user with extracted netlist statistics can
+    evaluate architectures against the real distribution.  The format is
+    two-column CSV, [length,count], one bin per line; a header line is
+    permitted and blank lines and [#] comments are skipped.  Lengths are
+    in whatever unit the caller declares (the rank pipeline expects gate
+    pitches from {!Ir_assign.Problem.make}). *)
+
+val of_string : string -> (Dist.t, string) result
+(** Parses CSV text into a distribution.  Bins merge and sort as in
+    {!Dist.of_bins}.  Errors carry the offending line number. *)
+
+val to_string : Dist.t -> string
+(** Renders the distribution as CSV (ascending lengths, with header). *)
+
+val load : string -> (Dist.t, string) result
+(** [load path] reads and parses the file. *)
+
+val save : string -> Dist.t -> (unit, string) result
+(** [save path d] writes the distribution. *)

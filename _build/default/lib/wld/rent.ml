@@ -1,0 +1,15 @@
+let terminals ~k_rent ~p b =
+  if b <= 0 then invalid_arg "Rent.terminals: block size must be > 0";
+  k_rent *. Float.pow (float_of_int b) p
+
+let alpha ~fan_out =
+  if not (fan_out > 0.0) then invalid_arg "Rent.alpha: fan_out must be > 0";
+  fan_out /. (fan_out +. 1.0)
+
+let k_rent_of_fan_out ~fan_out =
+  if not (fan_out > 0.0) then
+    invalid_arg "Rent.k_rent_of_fan_out: fan_out must be > 0";
+  fan_out +. 1.0
+
+let expected_interconnects ~fan_out ~gates =
+  alpha ~fan_out *. k_rent_of_fan_out ~fan_out *. float_of_int gates

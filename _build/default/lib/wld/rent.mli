@@ -1,0 +1,22 @@
+(** Rent's rule helpers.
+
+    Rent's rule [T = k_rent * B^p] relates the number of terminals [T] of a
+    logic block to its gate count [B].  The Davis wire-length distribution is
+    derived from it; these helpers expose the constants the distribution
+    needs and a few sanity-check quantities. *)
+
+val terminals : k_rent:float -> p:float -> int -> float
+(** [terminals ~k_rent ~p b] is [k_rent * b^p], the expected terminal count
+    of a [b]-gate block. *)
+
+val alpha : fan_out:float -> float
+(** Fraction of terminals that are interconnect sources,
+    [f.o. / (f.o. + 1)] (Davis Eq. for multi-fan-out correction). *)
+
+val k_rent_of_fan_out : fan_out:float -> float
+(** Average terminals per gate, [f.o. + 1].  This is the [k] of Rent's rule
+    at the single-gate anchor. *)
+
+val expected_interconnects : fan_out:float -> gates:int -> float
+(** Expected number of point-to-point connections in an [N]-gate design:
+    [alpha * k_rent * N = f.o. * N]. *)

@@ -1,0 +1,99 @@
+type summary = {
+  total : int;
+  mean : float;
+  std : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+  l_min : float;
+  l_max : float;
+  total_length : float;
+}
+[@@deriving show]
+
+let std d =
+  let n = float_of_int (Dist.total d) in
+  if n = 0.0 then 0.0
+  else
+    let mean = Dist.mean_length d in
+    let var =
+      Array.fold_left
+        (fun acc (b : Dist.bin) ->
+          let dl = b.length -. mean in
+          acc +. (float_of_int b.count *. dl *. dl))
+        0.0 (Dist.bins d)
+      /. n
+    in
+    sqrt var
+
+let quantile d q =
+  if Dist.is_empty d then invalid_arg "Stats.quantile: empty distribution";
+  if not (q > 0.0 && q <= 1.0) then
+    invalid_arg "Stats.quantile: q must lie in (0, 1]";
+  let target =
+    int_of_float (Float.ceil (q *. float_of_int (Dist.total d)))
+  in
+  let bins = Dist.bins d in
+  let rec walk i acc =
+    let acc = acc + bins.(i).count in
+    if acc >= target then bins.(i).length else walk (i + 1) acc
+  in
+  walk 0 0
+
+let summary d =
+  if Dist.is_empty d then invalid_arg "Stats.summary: empty distribution";
+  {
+    total = Dist.total d;
+    mean = Dist.mean_length d;
+    std = std d;
+    median = quantile d 0.5;
+    p90 = quantile d 0.9;
+    p99 = quantile d 0.99;
+    l_min = Dist.l_min d;
+    l_max = Dist.l_max d;
+    total_length = Dist.total_wire_length d;
+  }
+
+let histogram ?(bins = 12) d =
+  if bins < 1 then invalid_arg "Stats.histogram: bins must be >= 1";
+  if Dist.is_empty d then []
+  else
+    let lo = Dist.l_min d and hi = Dist.l_max d in
+    if lo = hi then [ (lo, hi, Dist.total d) ]
+    else
+      let log_lo = log lo and log_hi = log hi in
+      let step = (log_hi -. log_lo) /. float_of_int bins in
+      let edge i = exp (log_lo +. (float_of_int i *. step)) in
+      let counts = Array.make bins 0 in
+      Array.iter
+        (fun (b : Dist.bin) ->
+          let idx =
+            Ir_phys.Numeric.clamp ~lo:0.0
+              ~hi:(float_of_int (bins - 1))
+              (Float.floor ((log b.length -. log_lo) /. step))
+          in
+          let i = int_of_float idx in
+          counts.(i) <- counts.(i) + b.count)
+        (Dist.bins d);
+      List.init bins (fun i -> (edge i, edge (i + 1), counts.(i)))
+
+let pp_histogram ppf d =
+  let buckets = histogram d in
+  let max_count =
+    List.fold_left (fun a (_, _, c) -> max a c) 1 buckets
+  in
+  let bar c =
+    if c = 0 then ""
+    else
+      let w =
+         1 + int_of_float (40.0 *. log (float_of_int c)
+                           /. log (float_of_int (max max_count 2)))
+      in
+      String.make (min 41 (max 1 w)) '#'
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (lo, hi, c) ->
+      Format.fprintf ppf "%10.1f - %10.1f  %9d  %s@," lo hi c (bar c))
+    buckets;
+  Format.fprintf ppf "@]"

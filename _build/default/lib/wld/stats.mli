@@ -1,0 +1,40 @@
+(** Descriptive statistics of wire length distributions.
+
+    Reporting helpers over {!Dist.t}: count-weighted moments, quantiles
+    from either end, logarithmic histograms for terminal display, and a
+    one-call summary.  Lengths are in whatever unit the distribution
+    carries (gate pitches from {!Davis.generate}, meters after
+    scaling). *)
+
+type summary = {
+  total : int;
+  mean : float;
+  std : float;
+  median : float;
+  p90 : float;  (** 90th percentile of length *)
+  p99 : float;
+  l_min : float;
+  l_max : float;
+  total_length : float;
+}
+[@@deriving show]
+
+val summary : Dist.t -> summary
+(** @raise Invalid_argument on an empty distribution. *)
+
+val quantile : Dist.t -> float -> float
+(** [quantile d q] is the smallest length such that at least [q] of the
+    wires are no longer than it, [0 < q <= 1].
+    @raise Invalid_argument outside that range or on empty input. *)
+
+val std : Dist.t -> float
+(** Count-weighted standard deviation of length. *)
+
+val histogram : ?bins:int -> Dist.t -> (float * float * int) list
+(** [histogram d] buckets the wires into [bins] (default 12)
+    logarithmically spaced length ranges; each triple is
+    [(lo, hi, count)] with contiguous coverage of [l_min, l_max]. *)
+
+val pp_histogram : Format.formatter -> Dist.t -> unit
+(** ASCII bar rendering of {!histogram} (log-scaled bars, since WLD
+    counts span six decades). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Ir_assign Ir_ia Ir_phys Ir_tech Ir_wld List Printf QCheck2 QCheck_alcotest

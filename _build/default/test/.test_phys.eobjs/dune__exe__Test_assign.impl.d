@@ -1,0 +1,1 @@
+test/test_assign.ml: Alcotest Array Helpers Ir_assign Ir_ia Ir_tech Ir_wld List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Astring_contains Format Helpers Ir_assign Ir_core Ir_ia Ir_sweep Ir_tech Ir_wld List QCheck2

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Float Format Helpers Ir_delay Ir_phys Ir_tech List Printf QCheck2

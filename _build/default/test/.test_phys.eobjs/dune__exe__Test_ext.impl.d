@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Helpers Ir_core Ir_ext Ir_ia Ir_tech List

@@ -1,0 +1,1 @@
+test/test_ia.ml: Alcotest Float Helpers Ir_ia Ir_phys Ir_rc Ir_tech

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Fun Helpers Ir_assign Ir_core Ir_ia Ir_rc Ir_tech Ir_wld List Printf QCheck2

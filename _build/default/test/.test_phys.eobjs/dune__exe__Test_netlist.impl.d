@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Helpers Ir_assign Ir_core Ir_ia Ir_netlist Ir_tech Ir_wld QCheck2

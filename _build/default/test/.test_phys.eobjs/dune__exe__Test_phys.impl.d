@@ -1,0 +1,1 @@
+test/test_phys.ml: Alcotest Float Helpers Ir_phys List QCheck2

@@ -1,0 +1,1 @@
+test/test_rc.ml: Alcotest Helpers Ir_phys Ir_rc Ir_tech List

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Array Astring_contains Buffer Filename Float Format Fun Helpers In_channel Ir_sweep Ir_tech List Printf Sys

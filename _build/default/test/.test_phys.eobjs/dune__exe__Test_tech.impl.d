@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Astring_contains Format Helpers Ir_phys Ir_tech List Option

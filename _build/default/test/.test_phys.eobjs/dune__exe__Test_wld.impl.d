@@ -1,0 +1,1 @@
+test/test_wld.ml: Alcotest Array Astring_contains Filename Format Fun Helpers Ir_phys Ir_wld List QCheck2 Sys

@@ -1,0 +1,10 @@
+(* Tiny substring search used by tests (no external string library). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i = if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else at (i + 1)
+    in
+    at 0

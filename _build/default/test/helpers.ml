@@ -1,0 +1,102 @@
+(* Shared helpers for the test suites: float assertions, random instance
+   generators for the rank algorithms, and qcheck plumbing. *)
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (Ir_phys.Numeric.close ~rtol:eps ~atol:eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_in_range msg ~lo ~hi x =
+  if not (x >= lo && x <= hi) then
+    Alcotest.failf "%s: %.12g outside [%.12g, %.12g]" msg x lo hi
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Random rank instances ------------------------------------------- *)
+
+(* A synthetic stack with geometry drawn from sensible ranges; the global
+   class is not forced to be faster than the others, so layer orderings
+   both regular and inverted (the Figure 2 situation) are generated. *)
+let gen_geometry =
+  let open QCheck2.Gen in
+  let dim lo hi = map (fun x -> Ir_phys.Units.um x) (float_range lo hi) in
+  let* width = dim 0.1 0.6 in
+  let* spacing = dim 0.1 0.6 in
+  let* thickness = dim 0.15 1.2 in
+  let* via_width = dim 0.1 0.4 in
+  return (Ir_tech.Geometry.v ~width ~spacing ~thickness ~via_width ())
+
+let gen_stack =
+  let open QCheck2.Gen in
+  let* local = gen_geometry in
+  let* semi_global = gen_geometry in
+  let* global = gen_geometry in
+  return
+    {
+      Ir_tech.Stack.node =
+        Ir_tech.Node.Custom { name = "qcheck"; feature = 130e-9 };
+      local;
+      semi_global;
+      global;
+      mx_layers = 5;
+      mt_layers = 1;
+    }
+
+type instance = {
+  problem : Ir_assign.Problem.t;
+  label : string;  (* reproduction hint in failure output *)
+}
+
+(* Random instance: synthetic stack, a small design, and n single-wire
+   bunches with decreasing lengths.  Shaped so that all the interesting
+   regimes appear: sometimes everything fits, sometimes nothing, usually
+   in between. *)
+let gen_instance =
+  let open QCheck2.Gen in
+  let* stack = gen_stack in
+  let* n = int_range 2 8 in
+  let* m_total = int_range 1 3 in
+  let* gates_scale = int_range 1 40 in
+  let* clock_ghz = float_range 0.2 4.0 in
+  let* fraction = float_range 0.01 0.9 in
+  let* lengths =
+    list_repeat n (float_range 0.05 4.0)
+  in
+  let node = Ir_tech.Node.Custom { name = "qcheck"; feature = 130e-9 } in
+  let gates = 64 * gates_scale in
+  let design =
+    Ir_tech.Design.v ~node ~gates ~clock:(clock_ghz *. 1e9)
+      ~repeater_fraction:fraction ()
+  in
+  let structure =
+    match m_total with
+    | 1 -> { Ir_ia.Arch.local_pairs = 0; semi_global_pairs = 1; global_pairs = 0 }
+    | 2 -> { Ir_ia.Arch.local_pairs = 0; semi_global_pairs = 1; global_pairs = 1 }
+    | _ -> { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = 1; global_pairs = 1 }
+  in
+  let arch = Ir_ia.Arch.make ~structure ~stack ~design () in
+  let sorted = List.sort (fun a b -> Float.compare b a) lengths in
+  let bunches =
+    Array.of_list
+      (List.map
+         (fun l -> { Ir_wld.Dist.length = Ir_phys.Units.mm l; count = 1 })
+         sorted)
+  in
+  let problem = Ir_assign.Problem.of_bunches ~arch ~bunches () in
+  let label =
+    Printf.sprintf "n=%d m=%d gates=%d clock=%.2fGHz frac=%.2f" n m_total
+      gates clock_ghz fraction
+  in
+  return { problem; label }
+
+let baseline_130nm_small ?(gates = 40_000) ?(bunch_size = 500) () =
+  (* A scaled-down version of the paper's baseline that keeps sweeps
+     fast in unit tests. *)
+  let design = Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates () in
+  let arch = Ir_ia.Arch.make ~design () in
+  let wld =
+    Ir_wld.Davis.generate
+      (Ir_wld.Davis.params ~gates ~rent_p:0.6 ~fan_out:3.0 ())
+  in
+  Ir_assign.Problem.make ~bunch_size ~arch ~wld ()

@@ -1,0 +1,247 @@
+(* Tests for the assignment substrate: Problem tables, Pair_fill
+   (Algorithm 4) and Greedy_fill (Algorithm 5). *)
+
+open Helpers
+
+module P = Ir_assign.Problem
+module GF = Ir_assign.Greedy_fill
+module PF = Ir_assign.Pair_fill
+
+(* A small deterministic instance: 130nm stack, 6 single-wire bunches. *)
+let fixed_instance ?(clock = 5e8) ?(fraction = 0.4) ?(gates = 5_000) () =
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates ~clock
+      ~repeater_fraction:fraction ()
+  in
+  let arch = Ir_ia.Arch.make ~design () in
+  let lengths = [ 2.0e-4; 1.5e-4; 1.0e-4; 5.0e-5; 2.0e-5; 1.0e-5 ] in
+  let bunches =
+    Array.of_list
+      (List.map (fun l -> { Ir_wld.Dist.length = l; count = 1 }) lengths)
+  in
+  P.of_bunches ~arch ~bunches ()
+
+let test_problem_dimensions () =
+  let p = fixed_instance () in
+  Alcotest.(check int) "bunches" 6 (P.n_bunches p);
+  Alcotest.(check int) "pairs" 4 (P.n_pairs p);
+  Alcotest.(check int) "wires" 6 (P.total_wires p);
+  Alcotest.(check int) "wires_before 0" 0 (P.wires_before p 0);
+  Alcotest.(check int) "wires_before end" 6 (P.wires_before p 6);
+  check_close "longest bunch" 2.0e-4 (P.bunch_length p 0);
+  Alcotest.(check int) "count" 1 (P.bunch_count p 3)
+
+let test_problem_targets () =
+  let p = fixed_instance ~clock:5e8 () in
+  (* d_i = (l / l_max) / f_c *)
+  check_close "longest gets the period" 2e-9 (P.target p 0);
+  check_close "proportional" (2e-9 *. (1.0e-4 /. 2.0e-4)) (P.target p 2)
+
+let test_problem_interval_area () =
+  let p = fixed_instance () in
+  let pair = Ir_ia.Arch.pair (P.arch p) 1 in
+  let expected =
+    (2.0e-4 +. 1.5e-4) *. Ir_ia.Layer_pair.pitch pair
+  in
+  check_close "interval [0,2) on pair 1" expected
+    (P.interval_area p ~pair:1 ~lo:0 ~hi:2);
+  check_close "empty interval" 0.0 (P.interval_area p ~pair:1 ~lo:3 ~hi:3)
+
+let test_problem_meeting_cost () =
+  let p = fixed_instance () in
+  (* meeting_cost over an interval = sum of per-bunch minimal costs. *)
+  match
+    ( P.meeting_cost p ~pair:1 ~lo:0 ~hi:2,
+      P.eta_min p ~pair:1 ~bunch:0,
+      P.eta_min p ~pair:1 ~bunch:1 )
+  with
+  | Some (area, count), Some e0, Some e1 ->
+      let pair = Ir_ia.Arch.pair (P.arch p) 1 in
+      Alcotest.(check int) "count is sum of etas" (e0 + e1) count;
+      check_close "area is count * unit"
+        (float_of_int (e0 + e1) *. pair.Ir_ia.Layer_pair.repeater_area)
+        area
+  | _ -> Alcotest.fail "expected feasible meeting costs on pair 1"
+
+let test_problem_delay_consistency () =
+  let p = fixed_instance () in
+  (* eta_min really is minimal w.r.t. the exposed delay evaluator. *)
+  for j = 0 to P.n_pairs p - 1 do
+    for b = 0 to P.n_bunches p - 1 do
+      match P.eta_min p ~pair:j ~bunch:b with
+      | None -> ()
+      | Some eta ->
+          let l = P.bunch_length p b in
+          let d = P.wire_delay_on_pair p ~pair:j ~eta l in
+          Alcotest.(check bool)
+            (Printf.sprintf "pair %d bunch %d meets" j b)
+            true
+            (d <= P.target p b);
+          if eta > 1 then
+            Alcotest.(check bool)
+              (Printf.sprintf "pair %d bunch %d minimal" j b)
+              true
+              (P.wire_delay_on_pair p ~pair:j ~eta:(eta - 1) l > P.target p b)
+    done
+  done
+
+let test_problem_validation () =
+  let design = Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:1000 () in
+  let arch = Ir_ia.Arch.make ~design () in
+  Alcotest.check_raises "unsorted bunches"
+    (Invalid_argument "Problem: bunches must be sorted by non-increasing length")
+    (fun () ->
+      ignore
+        (P.of_bunches ~arch
+           ~bunches:
+             [|
+               { Ir_wld.Dist.length = 1.0e-5; count = 1 };
+               { Ir_wld.Dist.length = 2.0e-5; count = 1 };
+             |]
+           ()));
+  Alcotest.check_raises "empty" (Invalid_argument "Problem: empty instance")
+    (fun () -> ignore (P.of_bunches ~arch ~bunches:[||] ()))
+
+let test_pair_fill_basic () =
+  let p = fixed_instance () in
+  let budget = P.budget p in
+  (match
+     PF.assign p ~pair:1 ~prefix_wires:0 ~reps_above:0 ~meet_lo:0 ~meet_hi:2
+       ~extra_hi:3 ~rep_budget:budget
+   with
+  | None -> Alcotest.fail "assignment should fit"
+  | Some res ->
+      Alcotest.(check bool) "positive repeater count" true (res.rep_count >= 2);
+      check_close "routing area matches interval"
+        (P.interval_area p ~pair:1 ~lo:0 ~hi:3)
+        res.routing_area);
+  (* Zero budget cannot meet targets that need repeaters. *)
+  Alcotest.(check bool) "zero budget fails" true
+    (PF.assign p ~pair:1 ~prefix_wires:0 ~reps_above:0 ~meet_lo:0 ~meet_hi:2
+       ~extra_hi:2 ~rep_budget:0.0
+    = None)
+
+let test_pair_fill_capacity () =
+  let p = fixed_instance ~gates:30 () in
+  (* With an almost-zero die, the six wires overflow the pair. *)
+  Alcotest.(check bool) "tiny die rejects wires" true
+    (PF.assign p ~pair:0 ~prefix_wires:0 ~reps_above:0 ~meet_lo:0 ~meet_hi:0
+       ~extra_hi:6 ~rep_budget:(P.budget p)
+    = None)
+
+let test_pair_fill_validation () =
+  let p = fixed_instance () in
+  Alcotest.check_raises "bad ranges"
+    (Invalid_argument "Pair_fill.assign: malformed bunch ranges") (fun () ->
+      ignore
+        (PF.assign p ~pair:0 ~prefix_wires:0 ~reps_above:0 ~meet_lo:2
+           ~meet_hi:1 ~extra_hi:3 ~rep_budget:0.0))
+
+let test_greedy_fill_all () =
+  let p = fixed_instance () in
+  (* The whole WLD fits from the top pair (Definition 3 feasibility). *)
+  (match GF.pack p (GF.context ~from_bunch:0 ~top_pair:0 ()) with
+  | None -> Alcotest.fail "baseline instance must be assignable"
+  | Some placements ->
+      let wires =
+        List.fold_left (fun a pl -> a + pl.GF.wires) 0 placements
+      in
+      Alcotest.(check int) "all wires placed" 6 wires;
+      (* Bottom-up: placements are reported bottom pair first. *)
+      (match placements with
+      | first :: _ ->
+          Alcotest.(check int) "starts at bottom pair" (P.n_pairs p - 1)
+            first.GF.pair
+      | [] -> Alcotest.fail "no placements"));
+  Alcotest.(check bool) "fits agrees with pack" true
+    (GF.fits p (GF.context ~from_bunch:0 ~top_pair:0 ()))
+
+let test_greedy_fill_empty_suffix () =
+  let p = fixed_instance () in
+  Alcotest.(check bool) "empty suffix trivially fits" true
+    (GF.fits p (GF.context ~from_bunch:(P.n_bunches p) ~top_pair:0 ()))
+
+let test_greedy_fill_blockage_sensitivity () =
+  let p = fixed_instance ~gates:700 () in
+  (* On a small die, saturating the pair with used area must flip the
+     verdict. *)
+  let free = GF.fits p (GF.context ~from_bunch:0 ~top_pair:0 ()) in
+  let cap = P.capacity p in
+  let squeezed =
+    GF.fits p
+      (GF.context ~top_pair_used:(0.99 *. cap) ~from_bunch:0 ~top_pair:0 ())
+  in
+  Alcotest.(check bool) "squeezing the top pair can only hurt" true
+    ((not squeezed) || free)
+
+let test_greedy_fill_ordering () =
+  let p = fixed_instance () in
+  (* Shortest wires land lowest: bunch 5 (shortest) goes to the bottom
+     pair in a roomy instance. *)
+  match GF.pack p (GF.context ~from_bunch:0 ~top_pair:0 ()) with
+  | None -> Alcotest.fail "must fit"
+  | Some placements ->
+      let bottom = P.n_pairs p - 1 in
+      let of_shortest =
+        List.filter (fun pl -> pl.GF.bunch = 5) placements
+      in
+      Alcotest.(check bool) "shortest on bottom pair" true
+        (List.for_all (fun pl -> pl.GF.pair = bottom) of_shortest)
+
+let prop_greedy_fill_monotone_budget =
+  qtest ~count:60 "relaxing blockage never breaks a fitting pack"
+    Helpers.gen_instance (fun { problem; label } ->
+      let tight =
+        GF.fits problem
+          (GF.context ~wires_above_top:50 ~reps_above_top:500
+             ~wires_above_below:50 ~reps_above_below:500 ~from_bunch:0
+             ~top_pair:0 ())
+      in
+      let loose = GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ()) in
+      if tight && not loose then QCheck2.Test.fail_reportf "%s" label
+      else true)
+
+let prop_greedy_fill_suffix_monotone =
+  qtest ~count:60 "smaller suffixes keep fitting"
+    Helpers.gen_instance (fun { problem; label } ->
+      let fits_from i =
+        GF.fits problem (GF.context ~from_bunch:i ~top_pair:0 ())
+      in
+      let n = P.n_bunches problem in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if fits_from i && not (fits_from (i + 1)) then ok := false
+      done;
+      if not !ok then QCheck2.Test.fail_reportf "%s" label else true)
+
+let () =
+  Alcotest.run "assign"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "dimensions" `Quick test_problem_dimensions;
+          Alcotest.test_case "targets" `Quick test_problem_targets;
+          Alcotest.test_case "interval areas" `Quick test_problem_interval_area;
+          Alcotest.test_case "meeting costs" `Quick test_problem_meeting_cost;
+          Alcotest.test_case "delay consistency" `Quick
+            test_problem_delay_consistency;
+          Alcotest.test_case "validation" `Quick test_problem_validation;
+        ] );
+      ( "pair_fill",
+        [
+          Alcotest.test_case "basic" `Quick test_pair_fill_basic;
+          Alcotest.test_case "capacity" `Quick test_pair_fill_capacity;
+          Alcotest.test_case "validation" `Quick test_pair_fill_validation;
+        ] );
+      ( "greedy_fill",
+        [
+          Alcotest.test_case "packs everything" `Quick test_greedy_fill_all;
+          Alcotest.test_case "empty suffix" `Quick test_greedy_fill_empty_suffix;
+          Alcotest.test_case "blockage sensitivity" `Quick
+            test_greedy_fill_blockage_sensitivity;
+          Alcotest.test_case "bottom-up ordering" `Quick
+            test_greedy_fill_ordering;
+          prop_greedy_fill_monotone_budget;
+          prop_greedy_fill_suffix_monotone;
+        ] );
+    ]

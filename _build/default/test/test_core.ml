@@ -1,0 +1,336 @@
+(* Tests for the rank algorithms: optimal DP vs exhaustive oracle, greedy
+   baseline dominance, monotonicity laws, and the paper-literal DP. *)
+
+open Helpers
+
+module P = Ir_assign.Problem
+
+let test_outcome () =
+  let o =
+    Ir_core.Outcome.v ~rank_wires:40 ~total_wires:100 ~assignable:true
+      ~boundary_bunch:4
+  in
+  check_close "normalized" 0.4 (Ir_core.Outcome.normalized o);
+  Alcotest.check_raises "rank above total"
+    (Invalid_argument "Outcome.v: rank exceeds total") (fun () ->
+      ignore
+        (Ir_core.Outcome.v ~rank_wires:5 ~total_wires:4 ~assignable:true
+           ~boundary_bunch:0));
+  Alcotest.check_raises "positive rank needs assignability"
+    (Invalid_argument "Outcome.v: positive rank requires assignability")
+    (fun () ->
+      ignore
+        (Ir_core.Outcome.v ~rank_wires:1 ~total_wires:4 ~assignable:false
+           ~boundary_bunch:0));
+  let u = Ir_core.Outcome.unassignable ~total_wires:7 in
+  Alcotest.(check int) "unassignable rank 0" 0 u.rank_wires;
+  let s = Format.asprintf "%a" Ir_core.Outcome.pp_human u in
+  Alcotest.(check bool) "pp mentions unassignable" true
+    (Astring_contains.contains s "unassignable")
+
+(* A hand-checkable instance: roomy die, loose targets; everything meets. *)
+let test_dp_all_meet () =
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:100_000 ~clock:1e8 ()
+  in
+  let arch = Ir_ia.Arch.make ~design () in
+  let bunches =
+    Array.init 5 (fun i ->
+        { Ir_wld.Dist.length = 1e-4 /. float_of_int (i + 1); count = 2 })
+  in
+  let p = P.of_bunches ~arch ~bunches () in
+  let o = Ir_core.Rank_dp.compute p in
+  Alcotest.(check int) "all 10 wires meet" 10 o.rank_wires;
+  Alcotest.(check bool) "assignable" true o.assignable
+
+let test_dp_zero_budget () =
+  (* With zero repeater budget and tight targets, only wires meeting
+     unbuffered... which under Eq. (3)'s eta >= 1 never happens with zero
+     area.  Rank must be 0 but the instance remains assignable. *)
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:100_000 ~clock:5e8
+      ~repeater_fraction:0.0 ()
+  in
+  let arch = Ir_ia.Arch.make ~design () in
+  let bunches = [| { Ir_wld.Dist.length = 3e-3; count = 4 } |] in
+  let p = P.of_bunches ~arch ~bunches () in
+  let o = Ir_core.Rank_dp.compute p in
+  Alcotest.(check bool) "assignable" true o.assignable;
+  Alcotest.(check int) "rank 0 without budget" 0 o.rank_wires
+
+let test_dp_unassignable () =
+  let design = Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:100 () in
+  let arch = Ir_ia.Arch.make ~design () in
+  let bunches = [| { Ir_wld.Dist.length = 1e-2; count = 1000 } |] in
+  let p = P.of_bunches ~arch ~bunches () in
+  let o = Ir_core.Rank_dp.compute p in
+  Alcotest.(check bool) "not assignable" false o.assignable;
+  Alcotest.(check int) "rank 0 (Definition 3)" 0 o.rank_wires
+
+let test_dp_binary_vs_exhaustive () =
+  (* The binary search relies on boundary monotonicity; the exhaustive
+     scan cross-checks it on the scaled-down baseline. *)
+  let p = baseline_130nm_small () in
+  let fast = Ir_core.Rank_dp.compute p in
+  let slow = Ir_core.Rank_dp.compute ~exhaustive:true p in
+  Alcotest.(check int) "same rank" fast.rank_wires slow.rank_wires
+
+let test_greedy_baseline_sane () =
+  let p = baseline_130nm_small () in
+  let g = Ir_core.Rank_greedy.compute p in
+  let d = Ir_core.Rank_dp.compute p in
+  Alcotest.(check bool) "greedy assignable" true g.assignable;
+  Alcotest.(check bool) "greedy <= dp" true (g.rank_wires <= d.rank_wires);
+  Alcotest.(check bool) "dp positive on baseline" true (d.rank_wires > 0)
+
+let test_figure2 () =
+  let s = Ir_sweep.Figure2.scenario () in
+  Alcotest.(check int) "greedy rank 2" 2 s.greedy.rank_wires;
+  Alcotest.(check int) "optimal rank 4" 4 s.optimal.rank_wires;
+  Alcotest.(check int) "literal DP agrees" 4 s.exact.rank_wires
+
+let test_exact_dp_smoke () =
+  (* The literal DP on a small roomy instance finds everything meets. *)
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:100_000 ~clock:1e8 ()
+  in
+  let arch = Ir_ia.Arch.make ~design () in
+  let bunches =
+    Array.init 4 (fun i ->
+        { Ir_wld.Dist.length = 1e-4 /. float_of_int (i + 1); count = 1 })
+  in
+  let p = P.of_bunches ~arch ~bunches () in
+  let o = Ir_core.Rank_exact.compute ~r_steps:8 p in
+  Alcotest.(check int) "all meet" 4 o.rank_wires
+
+let test_exact_dp_guard () =
+  let p = baseline_130nm_small () in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Rank_exact.compute: instance too large for the literal DP")
+    (fun () -> ignore (Ir_core.Rank_exact.compute p))
+
+let test_threshold_baseline () =
+  let p = baseline_130nm_small () in
+  let t = Ir_core.Rank_threshold.compute p in
+  let dp = Ir_core.Rank_dp.compute p in
+  Alcotest.(check bool) "threshold <= dp" true
+    (t.rank_wires <= dp.rank_wires);
+  (* Characteristic lengths exist and are positive for every pair. *)
+  for j = 0 to Ir_assign.Problem.n_pairs p - 1 do
+    Alcotest.(check bool) "lambda positive" true
+      (Ir_core.Rank_threshold.characteristic_length p j > 0.0)
+  done;
+  Alcotest.check_raises "bad beta"
+    (Invalid_argument "Rank_threshold.compute: beta must be > 0") (fun () ->
+      ignore (Ir_core.Rank_threshold.compute ~beta:0.0 p))
+
+let prop_threshold_le_dp =
+  qtest ~count:80 "threshold assignment never beats the DP"
+    Helpers.gen_instance (fun { problem; label } ->
+      let dp = Ir_core.Rank_dp.compute problem in
+      let t = Ir_core.Rank_threshold.compute problem in
+      if t.rank_wires > dp.rank_wires then
+        QCheck2.Test.fail_reportf "%s: threshold=%d dp=%d" label t.rank_wires
+          dp.rank_wires
+      else true)
+
+let test_noise_limited_rank () =
+  (* A noise limit can only lower the rank; shielded wiring (miller 1)
+     restores it because the victim is quiet. *)
+  let design = Ir_core.Rank.baseline_design ~gates:40_000 Ir_tech.Node.N130 in
+  let arch = Ir_ia.Arch.make ~design () in
+  let wld =
+    Ir_wld.Davis.generate
+      (Ir_wld.Davis.params ~gates:40_000 ())
+  in
+  let rank ?noise_limit ?materials () =
+    let arch = match materials with
+      | None -> arch
+      | Some m -> Ir_ia.Arch.with_materials arch m
+    in
+    let p = Ir_assign.Problem.make ?noise_limit ~bunch_size:500 ~arch ~wld () in
+    (Ir_core.Rank_dp.compute p).Ir_core.Outcome.rank_wires
+  in
+  let free = rank () in
+  let tight = rank ~noise_limit:0.2 () in
+  Alcotest.(check bool) "noise limit can only hurt" true (tight <= free);
+  let shielded =
+    rank ~noise_limit:0.2
+      ~materials:(Ir_ia.Materials.v ~miller:1.0 ()) ()
+  in
+  Alcotest.(check bool) "shielding restores rank under noise limits" true
+    (shielded > 0)
+
+let test_assignment_witness () =
+  let p = baseline_130nm_small () in
+  let a = Ir_core.Assignment.extract p in
+  (match Ir_core.Assignment.check p a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "witness invalid: %s" e);
+  Alcotest.(check int) "witness rank equals DP rank"
+    (Ir_core.Rank_dp.compute p).rank_wires a.outcome.rank_wires;
+  let util = Ir_core.Assignment.utilization p a in
+  Alcotest.(check int) "one utilization entry per pair"
+    (Ir_assign.Problem.n_pairs p) (List.length util);
+  List.iter
+    (fun (j, u) ->
+      if u < 0.0 || u > 1.0 +. 1e-9 then
+        Alcotest.failf "pair %d utilization %.3f out of range" j u)
+    util;
+  let rendered = Format.asprintf "%a" (Ir_core.Assignment.pp_human p) a in
+  Alcotest.(check bool) "render mentions overflow" true
+    (Astring_contains.contains rendered "overflow")
+
+let prop_witness_checks =
+  qtest ~count:100 "extracted witnesses validate independently"
+    Helpers.gen_instance (fun { problem; label } ->
+      let a = Ir_core.Assignment.extract problem in
+      match Ir_core.Assignment.check problem a with
+      | Ok () -> true
+      | Error e -> QCheck2.Test.fail_reportf "%s: %s" label e)
+
+let test_rank_facade () =
+  let design = Ir_core.Rank.baseline_design ~gates:40_000 Ir_tech.Node.N130 in
+  let o = Ir_core.Rank.of_design ~bunch_size:500 design in
+  Alcotest.(check bool) "positive rank" true (o.rank_wires > 0);
+  let o_greedy =
+    Ir_core.Rank.of_design ~algo:Ir_core.Rank.Greedy ~bunch_size:500 design
+  in
+  Alcotest.(check bool) "greedy <= dp via facade" true
+    (o_greedy.rank_wires <= o.rank_wires)
+
+(* ---- properties ------------------------------------------------------- *)
+
+let prop_dp_equals_brute =
+  qtest ~count:150 "optimized DP matches the exhaustive oracle"
+    Helpers.gen_instance (fun { problem; label } ->
+      let dp = Ir_core.Rank_dp.compute problem in
+      let brute = Ir_core.Rank_brute.compute problem in
+      if dp.rank_wires <> brute.rank_wires
+         || dp.assignable <> brute.assignable then
+        QCheck2.Test.fail_reportf "%s: dp=%d/%b brute=%d/%b" label
+          dp.rank_wires dp.assignable brute.rank_wires brute.assignable
+      else true)
+
+let prop_greedy_le_dp =
+  qtest ~count:150 "greedy never beats the DP" Helpers.gen_instance
+    (fun { problem; label } ->
+      let dp = Ir_core.Rank_dp.compute problem in
+      let g = Ir_core.Rank_greedy.compute problem in
+      if g.rank_wires > dp.rank_wires then
+        QCheck2.Test.fail_reportf "%s: greedy=%d dp=%d" label g.rank_wires
+          dp.rank_wires
+      else true)
+
+let prop_exact_le_dp =
+  qtest ~count:60 "literal DP never exceeds the optimal DP"
+    Helpers.gen_instance (fun { problem; label } ->
+      let dp = Ir_core.Rank_dp.compute problem in
+      let ex = Ir_core.Rank_exact.compute ~r_steps:12 problem in
+      if ex.rank_wires > dp.rank_wires then
+        QCheck2.Test.fail_reportf "%s: exact=%d dp=%d" label ex.rank_wires
+          dp.rank_wires
+      else true)
+
+let prop_rank_monotone_in_budget =
+  qtest ~count:60 "more repeater budget never lowers the rank"
+    Helpers.gen_instance (fun { problem; label } ->
+      let arch = P.arch problem in
+      let design = arch.Ir_ia.Arch.design in
+      let fr = design.Ir_tech.Design.repeater_fraction in
+      if fr > 0.85 then true
+      else begin
+        let richer =
+          Ir_ia.Arch.with_design arch
+            (Ir_tech.Design.with_repeater_fraction design (fr +. 0.1))
+        in
+        let bunches =
+          Array.init (P.n_bunches problem) (fun b ->
+              { Ir_wld.Dist.length = P.bunch_length problem b;
+                count = P.bunch_count problem b })
+        in
+        let p2 = P.of_bunches ~arch:richer ~bunches () in
+        let r1 = (Ir_core.Rank_dp.compute problem).rank_wires in
+        let r2 = (Ir_core.Rank_dp.compute p2).rank_wires in
+        if r2 < r1 then
+          QCheck2.Test.fail_reportf "%s: budget up, rank %d -> %d" label r1 r2
+        else true
+      end)
+
+let prop_rank_monotone_in_k =
+  qtest ~count:60 "lower permittivity never lowers the rank"
+    Helpers.gen_instance (fun { problem; label } ->
+      let arch = P.arch problem in
+      let low_k =
+        Ir_ia.Arch.with_materials arch (Ir_ia.Materials.v ~k:2.0 ())
+      in
+      let bunches =
+        Array.init (P.n_bunches problem) (fun b ->
+            { Ir_wld.Dist.length = P.bunch_length problem b;
+              count = P.bunch_count problem b })
+      in
+      let p2 = P.of_bunches ~arch:low_k ~bunches () in
+      let r1 = (Ir_core.Rank_dp.compute problem).rank_wires in
+      let r2 = (Ir_core.Rank_dp.compute p2).rank_wires in
+      if r2 < r1 then
+        QCheck2.Test.fail_reportf "%s: k down, rank %d -> %d" label r1 r2
+      else true)
+
+let prop_feasible_boundary_monotone =
+  qtest ~count:60 "boundary feasibility is monotone"
+    Helpers.gen_instance (fun { problem; label } ->
+      let n = P.n_bunches problem in
+      let ok = Array.init (n + 1) (Ir_core.Rank_dp.feasible_boundary problem) in
+      let bad = ref false in
+      for c = 0 to n - 1 do
+        if ok.(c + 1) && not ok.(c) then bad := true
+      done;
+      if !bad then QCheck2.Test.fail_reportf "%s: non-monotone" label
+      else true)
+
+let () =
+  Alcotest.run "core"
+    [
+      ("outcome", [ Alcotest.test_case "basics" `Quick test_outcome ]);
+      ( "rank_dp",
+        [
+          Alcotest.test_case "all meet" `Quick test_dp_all_meet;
+          Alcotest.test_case "zero budget" `Quick test_dp_zero_budget;
+          Alcotest.test_case "unassignable" `Quick test_dp_unassignable;
+          Alcotest.test_case "binary vs exhaustive search" `Slow
+            test_dp_binary_vs_exhaustive;
+          prop_dp_equals_brute;
+          prop_feasible_boundary_monotone;
+          prop_rank_monotone_in_budget;
+          prop_rank_monotone_in_k;
+        ] );
+      ( "rank_greedy",
+        [
+          Alcotest.test_case "baseline sanity" `Quick test_greedy_baseline_sane;
+          prop_greedy_le_dp;
+        ] );
+      ( "figure 2",
+        [ Alcotest.test_case "counterexample" `Quick test_figure2 ] );
+      ( "rank_exact",
+        [
+          Alcotest.test_case "smoke" `Quick test_exact_dp_smoke;
+          Alcotest.test_case "size guard" `Quick test_exact_dp_guard;
+          prop_exact_le_dp;
+        ] );
+      ( "rank_threshold",
+        [
+          Alcotest.test_case "baseline" `Quick test_threshold_baseline;
+          prop_threshold_le_dp;
+        ] );
+      ( "noise-aware rank",
+        [ Alcotest.test_case "limits and shielding" `Quick
+            test_noise_limited_rank ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "baseline witness" `Quick
+            test_assignment_witness;
+          prop_witness_checks;
+        ] );
+      ( "facade",
+        [ Alcotest.test_case "of_design" `Quick test_rank_facade ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for the extensions: direct IA optimization, layer-count
+   analyses, the n-tier generator. *)
+
+open Helpers
+
+let small_design =
+  Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:40_000 ()
+
+let test_scaled_stack () =
+  let stack = Ir_tech.Stack.of_node Ir_tech.Node.N130 in
+  let s =
+    Ir_ext.Optimizer.scaled_stack stack ~pitch_scale:2.0 ~thickness_scale:0.5
+  in
+  check_close "Mx width doubled" (2.0 *. stack.semi_global.width)
+    s.semi_global.width;
+  check_close "Mx thickness halved" (0.5 *. stack.semi_global.thickness)
+    s.semi_global.thickness;
+  check_close "M1 untouched" stack.local.width s.local.width;
+  check_close "via untouched" stack.semi_global.via_width
+    s.semi_global.via_width
+
+let test_optimizer () =
+  let knobs =
+    {
+      Ir_ext.Optimizer.semi_global_pairs = [ 1; 2 ];
+      global_pairs = [ 1 ];
+      pitch_scale = [ 1.0; 1.25 ];
+      thickness_scale = [ 1.0 ];
+    }
+  in
+  let best, all =
+    Ir_ext.Optimizer.optimize ~knobs ~bunch_size:500 small_design
+  in
+  Alcotest.(check int) "grid size" 4 (List.length all);
+  List.iter
+    (fun (c : Ir_ext.Optimizer.candidate) ->
+      Alcotest.(check bool) "best dominates" true
+        (best.outcome.rank_wires >= c.outcome.rank_wires))
+    all;
+  (* The baseline point is in the grid, so the optimum is at least it. *)
+  let baseline =
+    Ir_core.Rank.of_design ~bunch_size:500 small_design
+  in
+  Alcotest.(check bool) "optimum >= baseline" true
+    (best.outcome.rank_wires >= baseline.rank_wires)
+
+let test_layers_ladder () =
+  let stack = Ir_tech.Stack.of_node Ir_tech.Node.N130 in
+  let ladder = Ir_ext.Layers.ladder stack in
+  Alcotest.(check int) "ladder length" 4 (List.length ladder);
+  let last = List.nth ladder 3 in
+  Alcotest.(check int) "tops out at full stack" 2
+    last.Ir_ia.Arch.semi_global_pairs;
+  Alcotest.(check int) "with global" 1 last.Ir_ia.Arch.global_pairs
+
+let test_layers_assignability () =
+  match
+    Ir_ext.Layers.min_pairs_for_assignability ~bunch_size:500 small_design
+  with
+  | Error e -> Alcotest.failf "expected assignable: %s" e
+  | Ok (first, steps) ->
+      Alcotest.(check bool) "first step assignable" true
+        first.outcome.assignable;
+      (* Steps before the first assignable one are not assignable. *)
+      let before =
+        List.filter
+          (fun (s : Ir_ext.Layers.step) ->
+            s.structure <> first.structure
+            && Ir_ia.Arch.show_structure s.structure
+               < Ir_ia.Arch.show_structure first.structure)
+          steps
+      in
+      ignore before;
+      Alcotest.(check bool) "evaluated at least one step" true
+        (List.length steps >= 1)
+
+let test_layers_rank_target () =
+  (match
+     Ir_ext.Layers.min_pairs_for_rank ~bunch_size:500 ~target:0.2
+       small_design
+   with
+  | Error e -> Alcotest.failf "0.2 should be reachable: %s" e
+  | Ok (step, _) ->
+      Alcotest.(check bool) "meets target" true
+        (Ir_core.Outcome.normalized step.outcome >= 0.2));
+  (match
+     Ir_ext.Layers.min_pairs_for_rank ~bunch_size:500 ~target:0.999
+       small_design
+   with
+  | Error _ -> ()
+  | Ok (step, _) ->
+      (* If it claims success the rank must genuinely be that high. *)
+      Alcotest.(check bool) "high target honest" true
+        (Ir_core.Outcome.normalized step.outcome >= 0.999));
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Layers.min_pairs_for_rank: target must lie in [0, 1]")
+    (fun () ->
+      ignore
+        (Ir_ext.Layers.min_pairs_for_rank ~target:1.5 small_design))
+
+let test_ntier_tiers () =
+  let tiers = Ir_ext.Ntier.design_tiers ~tiers:3 small_design in
+  Alcotest.(check int) "three tiers" 3 (List.length tiers);
+  let demands = List.map (fun (t : Ir_ext.Ntier.tier) -> t.demand) tiers in
+  let total = List.fold_left ( +. ) 0.0 demands in
+  List.iter
+    (fun d ->
+      check_in_range "roughly equal demand" ~lo:(0.15 *. total)
+        ~hi:(0.55 *. total) d)
+    demands;
+  (* ranges are increasing and disjoint *)
+  let rec check_ranges = function
+    | (a : Ir_ext.Ntier.tier) :: (b : Ir_ext.Ntier.tier) :: rest ->
+        Alcotest.(check bool) "ranges ordered" true (a.l_max <= b.l_min);
+        check_ranges (b :: rest)
+    | _ -> ()
+  in
+  check_ranges tiers;
+  (* pitch floor respected *)
+  let floor =
+    Ir_tech.Geometry.pitch (Ir_tech.Stack.of_node Ir_tech.Node.N130).local
+  in
+  List.iter
+    (fun (t : Ir_ext.Ntier.tier) ->
+      Alcotest.(check bool) "pitch above floor" true
+        (Ir_tech.Geometry.pitch t.geometry >= floor -. 1e-12))
+    tiers
+
+let test_ntier_architecture () =
+  let arch = Ir_ext.Ntier.architecture ~tiers:3 small_design in
+  Alcotest.(check int) "three pairs" 3 (Ir_ia.Arch.pair_count arch);
+  (* topmost pair is the global tier *)
+  Alcotest.(check bool) "top is global" true
+    ((Ir_ia.Arch.pair arch 0).cls = Ir_tech.Metal_class.Global)
+
+let test_ntier_compare () =
+  let `Ntier n, `Baseline b =
+    Ir_ext.Ntier.compare_with_baseline ~bunch_size:500 small_design
+  in
+  Alcotest.(check bool) "both computed" true
+    (n.total_wires = b.total_wires);
+  Alcotest.(check bool) "n-tier routes the design" true n.assignable
+
+let test_ntier_validation () =
+  Alcotest.check_raises "bad tiers"
+    (Invalid_argument "Ntier.design_tiers: tiers must be >= 1") (fun () ->
+      ignore (Ir_ext.Ntier.design_tiers ~tiers:0 small_design));
+  Alcotest.check_raises "bad fill"
+    (Invalid_argument "Ntier.design_tiers: fill must lie in (0, 1]")
+    (fun () -> ignore (Ir_ext.Ntier.design_tiers ~fill:0.0 small_design))
+
+let test_anneal () =
+  (* At a demanding clock the annealer improves on the baseline without
+     degenerating; the best outcome is never worse than the start. *)
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:40_000 ~clock:1.2e9 ()
+  in
+  let r = Ir_ext.Anneal.optimize ~steps:30 ~bunch_size:500 design in
+  Alcotest.(check bool) "never worse than baseline" true
+    (r.outcome.rank_wires >= r.initial.rank_wires);
+  Alcotest.(check int) "one eval per step plus initial" 31 r.evaluations;
+  Alcotest.(check bool) "some moves accepted" true (r.accepted > 0);
+  (* Deterministic under a seed. *)
+  let r2 = Ir_ext.Anneal.optimize ~steps:30 ~bunch_size:500 design in
+  Alcotest.(check int) "deterministic" r.outcome.rank_wires
+    r2.outcome.rank_wires;
+  Alcotest.check_raises "bad steps"
+    (Invalid_argument "Anneal.optimize: steps must be > 0") (fun () ->
+      ignore (Ir_ext.Anneal.optimize ~steps:0 design))
+
+let test_variation () =
+  let s =
+    Ir_ext.Variation.run ~samples:8 ~bunch_size:500 small_design
+  in
+  Alcotest.(check int) "sample count" 8 s.samples;
+  Alcotest.(check bool) "min <= mean <= max" true
+    (s.min <= s.mean && s.mean <= s.max);
+  Alcotest.(check bool) "nominal in a sane band" true
+    (s.nominal > 0.0 && s.nominal < 1.0);
+  (* 5% parameter noise should not move the rank by an order of
+     magnitude. *)
+  check_in_range "mean near nominal" ~lo:(0.5 *. s.nominal)
+    ~hi:(1.5 *. s.nominal) s.mean;
+  (* Determinism: same seed, same summary. *)
+  let s2 = Ir_ext.Variation.run ~samples:8 ~bunch_size:500 small_design in
+  check_close "deterministic" s.mean s2.mean;
+  (* Different seed perturbs the draws. *)
+  let s3 =
+    Ir_ext.Variation.run ~samples:8 ~seed:7 ~bunch_size:500 small_design
+  in
+  Alcotest.(check bool) "seed matters" true (s3.mean <> s.mean || s3.std <> s.std);
+  Alcotest.check_raises "bad samples"
+    (Invalid_argument "Variation.run: samples must be > 0") (fun () ->
+      ignore (Ir_ext.Variation.run ~samples:0 small_design))
+
+let test_variation_zero_sigma () =
+  let spec =
+    { Ir_ext.Variation.sigma_k = 0.0; sigma_miller = 0.0; sigma_rho = 0.0;
+      sigma_device = 0.0 }
+  in
+  let s =
+    Ir_ext.Variation.run ~spec ~samples:4 ~bunch_size:500 small_design
+  in
+  check_close "no noise, no spread" 0.0 s.std;
+  check_close "mean is nominal" s.nominal s.mean
+
+let () =
+  Alcotest.run "ext"
+    [
+      ( "optimizer",
+        [
+          Alcotest.test_case "stack scaling" `Quick test_scaled_stack;
+          Alcotest.test_case "grid search" `Slow test_optimizer;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "ladder" `Quick test_layers_ladder;
+          Alcotest.test_case "min pairs for assignability" `Slow
+            test_layers_assignability;
+          Alcotest.test_case "min pairs for rank" `Slow
+            test_layers_rank_target;
+        ] );
+      ( "anneal",
+        [ Alcotest.test_case "improves and is deterministic" `Slow
+            test_anneal ] );
+      ( "variation",
+        [
+          Alcotest.test_case "summary" `Slow test_variation;
+          Alcotest.test_case "zero sigma" `Slow test_variation_zero_sigma;
+        ] );
+      ( "ntier",
+        [
+          Alcotest.test_case "tier design" `Quick test_ntier_tiers;
+          Alcotest.test_case "architecture" `Quick test_ntier_architecture;
+          Alcotest.test_case "compare with baseline" `Slow test_ntier_compare;
+          Alcotest.test_case "validation" `Quick test_ntier_validation;
+        ] );
+    ]

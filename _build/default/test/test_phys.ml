@@ -1,0 +1,125 @@
+(* Unit and property tests for the numeric/units substrate. *)
+
+open Helpers
+
+let test_constants () =
+  check_in_range "eps0" ~lo:8.8e-12 ~hi:8.9e-12 Ir_phys.Const.eps0;
+  check_in_range "rho Cu" ~lo:1.5e-8 ~hi:1.9e-8 Ir_phys.Const.rho_cu_bulk;
+  check_close "k SiO2" 3.9 Ir_phys.Const.k_sio2;
+  Alcotest.(check bool)
+    "Al more resistive than Cu" true
+    (Ir_phys.Const.rho_al_bulk > Ir_phys.Const.rho_cu_bulk)
+
+let test_units_roundtrip () =
+  check_close "um" 1e-6 (Ir_phys.Units.um 1.0);
+  check_close "nm" 130e-9 (Ir_phys.Units.nm 130.0);
+  check_close "um roundtrip" 0.23 (Ir_phys.Units.to_um (Ir_phys.Units.um 0.23));
+  check_close "ps roundtrip" 17.5 (Ir_phys.Units.to_ps (Ir_phys.Units.ps 17.5));
+  check_close "ns" 2e-9 (Ir_phys.Units.ns 2.0);
+  check_close "ghz" 1.7e9 (Ir_phys.Units.ghz 1.7);
+  check_close "mhz" 5e8 (Ir_phys.Units.mhz 500.0);
+  check_close "ff roundtrip" 0.7 (Ir_phys.Units.to_ff (Ir_phys.Units.ff 0.7));
+  check_close "mm2" 4.47 (Ir_phys.Units.to_mm2 4.47e-6)
+
+let test_close () =
+  Alcotest.(check bool) "equal" true (Ir_phys.Numeric.close 1.0 1.0);
+  Alcotest.(check bool)
+    "within rtol" true
+    (Ir_phys.Numeric.close ~rtol:1e-6 1.0 (1.0 +. 1e-8));
+  Alcotest.(check bool)
+    "outside rtol" false
+    (Ir_phys.Numeric.close ~rtol:1e-9 1.0 1.001);
+  Alcotest.(check bool)
+    "atol catches near-zero" true
+    (Ir_phys.Numeric.close ~atol:1e-9 0.0 1e-12)
+
+let test_clamp () =
+  check_close "below" 1.0 (Ir_phys.Numeric.clamp ~lo:1.0 ~hi:2.0 0.5);
+  check_close "above" 2.0 (Ir_phys.Numeric.clamp ~lo:1.0 ~hi:2.0 3.0);
+  check_close "inside" 1.5 (Ir_phys.Numeric.clamp ~lo:1.0 ~hi:2.0 1.5)
+
+let test_linspace () =
+  let xs = Ir_phys.Numeric.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (List.length xs);
+  check_close "first" 0.0 (List.nth xs 0);
+  check_close "middle" 0.5 (List.nth xs 2);
+  check_close "last" 1.0 (List.nth xs 4);
+  Alcotest.check_raises "n=1 rejected" (Invalid_argument "Numeric.linspace: need n >= 2")
+    (fun () -> ignore (Ir_phys.Numeric.linspace 0.0 1.0 1))
+
+let test_frange () =
+  let xs = Ir_phys.Numeric.frange ~start:3.9 ~stop:1.8 ~step:(-0.1) in
+  Alcotest.(check int) "descending length" 22 (List.length xs);
+  check_close ~eps:1e-6 "last" 1.8 (List.nth xs 21);
+  let ys = Ir_phys.Numeric.frange ~start:0.1 ~stop:0.5 ~step:0.1 in
+  Alcotest.(check int) "ascending length" 5 (List.length ys)
+
+let test_integrate () =
+  let r = Ir_phys.Numeric.integrate (fun x -> x *. x) 0.0 1.0 in
+  check_close ~eps:1e-8 "x^2 over [0,1]" (1.0 /. 3.0) r;
+  let s = Ir_phys.Numeric.integrate sin 0.0 Float.pi in
+  check_close ~eps:1e-8 "sin over [0,pi]" 2.0 s;
+  let rev = Ir_phys.Numeric.integrate (fun x -> x) 1.0 0.0 in
+  check_close ~eps:1e-8 "reversed bounds negate" (-0.5) rev
+
+let test_bisect () =
+  let root = Ir_phys.Numeric.bisect (fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  check_close ~eps:1e-9 "sqrt 2" (Float.sqrt 2.0) root;
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument "Numeric.bisect: no sign change over the bracket")
+    (fun () -> ignore (Ir_phys.Numeric.bisect (fun x -> x +. 10.0) 0.0 1.0))
+
+let test_golden_min () =
+  let x = Ir_phys.Numeric.golden_min (fun x -> (x -. 1.3) ** 2.0) 0.0 4.0 in
+  check_close ~eps:1e-6 "quadratic minimum" 1.3 x
+
+let test_int_search_min () =
+  let f i = abs (i - 17) in
+  Alcotest.(check int) "unimodal" 17
+    (Ir_phys.Numeric.int_search_min (fun i -> float_of_int (f i)) 0 100);
+  Alcotest.(check int) "boundary lo" 0
+    (Ir_phys.Numeric.int_search_min float_of_int 0 100);
+  Alcotest.(check int) "single point" 7
+    (Ir_phys.Numeric.int_search_min (fun _ -> 0.0) 7 7)
+
+let test_sum_floats () =
+  let xs = List.init 10000 (fun _ -> 0.1) in
+  check_close ~eps:1e-12 "kahan" 1000.0 (Ir_phys.Numeric.sum_floats xs)
+
+let prop_integrate_linearity =
+  qtest "integrate is linear in the integrand"
+    QCheck2.Gen.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let f x = (a *. x) +. b in
+      let got = Ir_phys.Numeric.integrate f 0.0 2.0 in
+      Ir_phys.Numeric.close ~rtol:1e-6 ~atol:1e-9 got ((2.0 *. a) +. (2.0 *. b)))
+
+let prop_golden_finds_min =
+  qtest "golden section finds quadratic minimum"
+    QCheck2.Gen.(float_range (-3.0) 3.0)
+    (fun c ->
+      let x = Ir_phys.Numeric.golden_min (fun x -> (x -. c) ** 2.0) (-4.0) 4.0 in
+      Float.abs (x -. c) < 1e-5)
+
+let () =
+  Alcotest.run "phys"
+    [
+      ( "const",
+        [ Alcotest.test_case "values plausible" `Quick test_constants ] );
+      ( "units",
+        [ Alcotest.test_case "roundtrips" `Quick test_units_roundtrip ] );
+      ( "numeric",
+        [
+          Alcotest.test_case "close" `Quick test_close;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "frange" `Quick test_frange;
+          Alcotest.test_case "integrate" `Quick test_integrate;
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "golden_min" `Quick test_golden_min;
+          Alcotest.test_case "int_search_min" `Quick test_int_search_min;
+          Alcotest.test_case "sum_floats" `Quick test_sum_floats;
+          prop_integrate_linearity;
+          prop_golden_finds_min;
+        ] );
+    ]

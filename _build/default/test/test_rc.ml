@@ -1,0 +1,156 @@
+(* Tests for the resistance/capacitance models. *)
+
+open Helpers
+
+let um = Ir_phys.Units.um
+
+let geom =
+  Ir_tech.Geometry.v ~width:(um 0.2) ~spacing:(um 0.21) ~thickness:(um 0.34)
+    ()
+
+let test_resistance () =
+  let rho = 2.2e-8 in
+  let r = Ir_rc.Resistance.per_m ~rho geom in
+  check_close "rho / (W T)" (rho /. (um 0.2 *. um 0.34)) r;
+  check_in_range "plausible ohm/um at 130nm Mx" ~lo:0.1e6 ~hi:1.0e6 r;
+  Alcotest.check_raises "bad rho"
+    (Invalid_argument "Resistance.per_m: rho must be > 0") (fun () ->
+      ignore (Ir_rc.Resistance.per_m ~rho:0.0 geom))
+
+let test_resistance_barrier () =
+  let rho = 2.2e-8 in
+  let r0 = Ir_rc.Resistance.per_m ~rho geom in
+  let rb = Ir_rc.Resistance.per_m_with_barrier ~rho ~barrier:(um 0.01) geom in
+  Alcotest.(check bool) "barrier increases resistance" true (rb > r0);
+  check_close "zero barrier is plain" r0
+    (Ir_rc.Resistance.per_m_with_barrier ~rho ~barrier:0.0 geom);
+  Alcotest.check_raises "barrier eats conductor"
+    (Invalid_argument "Resistance.per_m_with_barrier: barrier consumes conductor")
+    (fun () ->
+      ignore (Ir_rc.Resistance.per_m_with_barrier ~rho ~barrier:(um 0.2) geom))
+
+let test_temperature () =
+  check_close "tcr derating" 1.39
+    (Ir_rc.Resistance.temperature_derated ~r:1.0 ~tcr:0.0039 ~dt:100.0);
+  check_close "sheet" (2.2e-8 /. um 0.34)
+    (Ir_rc.Resistance.sheet_resistance ~rho:2.2e-8 ~thickness:(um 0.34))
+
+let test_capacitance_models () =
+  let k = 3.9 in
+  (* Plate ground is W/H. *)
+  check_close "plate ground"
+    (k *. Ir_phys.Const.eps0 *. (um 0.2 /. um 0.34))
+    (Ir_rc.Capacitance.ground_per_m ~model:Parallel_plate ~k geom);
+  (* Coupling_only has zero ground... *)
+  check_close "coupling-only ground" 0.0
+    (Ir_rc.Capacitance.ground_per_m ~model:Coupling_only ~k geom);
+  (* ...and plate coupling T/S. *)
+  check_close "lateral plate"
+    (k *. Ir_phys.Const.eps0 *. (um 0.34 /. um 0.21))
+    (Ir_rc.Capacitance.coupling_per_m ~model:Coupling_only ~k geom);
+  (* Sakurai exceeds bare plates (fringe). *)
+  Alcotest.(check bool)
+    "sakurai ground > plate ground" true
+    (Ir_rc.Capacitance.ground_per_m ~model:Sakurai ~k geom
+    > Ir_rc.Capacitance.ground_per_m ~model:Parallel_plate ~k geom)
+
+let test_effective () =
+  let k = 3.9 in
+  let c2 = Ir_rc.Capacitance.effective_per_m ~model:Coupling_only ~k
+      ~miller:2.0 geom in
+  let c1 = Ir_rc.Capacitance.effective_per_m ~model:Coupling_only ~k
+      ~miller:1.0 geom in
+  check_close "coupling-only scales with miller" 2.0 (c2 /. c1);
+  let ck = Ir_rc.Capacitance.effective_per_m ~model:Coupling_only ~k:1.95
+      ~miller:2.0 geom in
+  check_close "scales with k" 2.0 (c2 /. ck);
+  let `Ground g, `Coupling c, `Total t =
+    Ir_rc.Capacitance.breakdown ~model:Sakurai ~k ~miller:2.0 geom
+  in
+  check_close "breakdown sums" t (g +. c);
+  check_close "breakdown matches effective"
+    (Ir_rc.Capacitance.effective_per_m ~model:Sakurai ~k ~miller:2.0 geom)
+    t
+
+let test_validation () =
+  Alcotest.check_raises "bad k" (Invalid_argument "Capacitance: k must be > 0")
+    (fun () -> ignore (Ir_rc.Capacitance.ground_per_m ~k:0.0 geom));
+  Alcotest.check_raises "bad miller"
+    (Invalid_argument "Capacitance: miller must be >= 0") (fun () ->
+      ignore (Ir_rc.Capacitance.effective_per_m ~k:3.9 ~miller:(-1.0) geom))
+
+let prop_capacitance_positive =
+  qtest "all models give positive coupling" Helpers.gen_geometry (fun g ->
+      List.for_all
+        (fun model ->
+          Ir_rc.Capacitance.coupling_per_m ~model ~k:3.9 g > 0.0)
+        [ Ir_rc.Capacitance.Parallel_plate; Parallel_plate_fringe; Sakurai;
+          Coupling_only ])
+
+let prop_capacitance_monotone_k =
+  qtest "effective capacitance increases with k" Helpers.gen_geometry
+    (fun g ->
+      let at k =
+        Ir_rc.Capacitance.effective_per_m ~model:Sakurai ~k ~miller:2.0 g
+      in
+      at 3.9 > at 2.0 && at 2.0 > at 1.5)
+
+let prop_resistance_monotone =
+  qtest "resistance decreases with cross-section" Helpers.gen_geometry
+    (fun g ->
+      let bigger = Ir_tech.Geometry.scaled g 1.5 in
+      Ir_rc.Resistance.per_m ~rho:2.2e-8 bigger
+      < Ir_rc.Resistance.per_m ~rho:2.2e-8 g)
+
+let test_noise_basics () =
+  let r = Ir_rc.Noise.peak_ratio geom in
+  check_in_range "peak ratio sensible" ~lo:0.05 ~hi:0.8 r;
+  check_close "shielded victim is quiet" 0.0
+    (Ir_rc.Noise.peak_ratio ~miller:1.0 geom);
+  Alcotest.(check bool) "passes generous limit" true
+    (Ir_rc.Noise.passes ~limit:0.9 geom);
+  Alcotest.(check bool) "fails tiny limit" false
+    (Ir_rc.Noise.passes ~limit:0.01 geom);
+  Alcotest.check_raises "negative limit"
+    (Invalid_argument "Noise.passes: negative limit") (fun () ->
+      ignore (Ir_rc.Noise.passes ~limit:(-0.1) geom))
+
+let prop_noise_bounded =
+  qtest "peak noise ratio lies in [0, 1)" Helpers.gen_geometry (fun g ->
+      let r = Ir_rc.Noise.peak_ratio g in
+      r >= 0.0 && r < 1.0)
+
+let prop_noise_wider_spacing_quieter =
+  qtest "wider spacing lowers noise" Helpers.gen_geometry (fun g ->
+      let wider =
+        Ir_tech.Geometry.v ~width:g.width ~spacing:(2.0 *. g.spacing)
+          ~thickness:g.thickness ~ild_thickness:g.ild_thickness
+          ~via_width:g.via_width ()
+      in
+      Ir_rc.Noise.peak_ratio wider <= Ir_rc.Noise.peak_ratio g +. 1e-12)
+
+let () =
+  Alcotest.run "rc"
+    [
+      ( "resistance",
+        [
+          Alcotest.test_case "per_m" `Quick test_resistance;
+          Alcotest.test_case "barrier" `Quick test_resistance_barrier;
+          Alcotest.test_case "temperature/sheet" `Quick test_temperature;
+          prop_resistance_monotone;
+        ] );
+      ( "capacitance",
+        [
+          Alcotest.test_case "models" `Quick test_capacitance_models;
+          Alcotest.test_case "effective" `Quick test_effective;
+          Alcotest.test_case "validation" `Quick test_validation;
+          prop_capacitance_positive;
+          prop_capacitance_monotone_k;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "basics" `Quick test_noise_basics;
+          prop_noise_bounded;
+          prop_noise_wider_spacing_quieter;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Tests for the experiment harness: Table 4 sweeps (scaled down), the
+   headline equivalence, cross-node runs, paper data and reporting. *)
+
+open Helpers
+
+let small_config =
+  (* A scaled-down baseline keeps each sweep point ~milliseconds. *)
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:40_000 ()
+  in
+  { Ir_sweep.Table4.default_config with design; bunch_size = 500 }
+
+let normalized_ranks sweep = List.map snd (Ir_sweep.Table4.normalized sweep)
+
+let assert_monotone ~dir name xs =
+  let ok = ref true in
+  List.iteri
+    (fun i x ->
+      if i > 0 then
+        let prev = List.nth xs (i - 1) in
+        let good =
+          match dir with
+          | `Nonincreasing -> x <= prev +. 1e-12
+          | `Nondecreasing -> x >= prev -. 1e-12
+        in
+        if not good then ok := false)
+    xs;
+  Alcotest.(check bool) (name ^ " monotone") true !ok
+
+let test_k_sweep () =
+  let s = Ir_sweep.Table4.k_sweep ~config:small_config () in
+  Alcotest.(check int) "22 grid points" 22 (List.length s.rows);
+  (* K decreases along the sweep; rank must not decrease. *)
+  assert_monotone ~dir:`Nondecreasing "K" (normalized_ranks s);
+  let first = List.hd (normalized_ranks s) in
+  let last = List.nth (normalized_ranks s) 21 in
+  Alcotest.(check bool) "low-k clearly better" true (last > first *. 1.15)
+
+let test_m_sweep () =
+  let s = Ir_sweep.Table4.m_sweep ~config:small_config () in
+  Alcotest.(check int) "21 grid points" 21 (List.length s.rows);
+  assert_monotone ~dir:`Nondecreasing "M" (normalized_ranks s)
+
+let test_c_sweep () =
+  let s = Ir_sweep.Table4.c_sweep ~config:small_config () in
+  Alcotest.(check int) "13 grid points" 13 (List.length s.rows);
+  (* Clock increases along the sweep; rank must not increase. *)
+  assert_monotone ~dir:`Nonincreasing "C" (normalized_ranks s)
+
+let test_r_sweep () =
+  let s = Ir_sweep.Table4.r_sweep ~config:small_config () in
+  Alcotest.(check int) "5 grid points" 5 (List.length s.rows);
+  assert_monotone ~dir:`Nondecreasing "R" (normalized_ranks s);
+  (* Near-linearity: the paper's R column is linear in R. *)
+  let xs = normalized_ranks s in
+  let r01 = List.nth xs 0 and r03 = List.nth xs 2 and r05 = List.nth xs 4 in
+  let interpolated = (r01 +. r05) /. 2.0 in
+  Alcotest.(check bool) "midpoint close to linear" true
+    (Float.abs (r03 -. interpolated) < 0.05)
+
+let test_k_m_interchangeable () =
+  (* The paper's central observation: K and M act through the product
+     k * miller, so equal relative reductions give equal ranks. *)
+  let k = Ir_sweep.Table4.k_sweep ~config:small_config () in
+  let m = Ir_sweep.Table4.m_sweep ~config:small_config () in
+  let rank_at sweep p =
+    List.assoc_opt p
+      (List.map (fun (a, b) -> (Float.round (a *. 100.), b))
+         (Ir_sweep.Table4.normalized sweep))
+  in
+  (* K = 1.95 is a 50% reduction; M = 1.0 is a 50% reduction.  The K grid
+     has no 1.95 point, so compare K=2.0 against M=1.025... instead use
+     K=3.9*0.5=1.95 absent; compare 2.0 vs 1.0256*2... Simplest: measure
+     K=2.0 (48.7% cut) and M=1.05 (47.5% cut) and allow a loose band. *)
+  match (rank_at k 200., rank_at m 105.) with
+  | Some rk, Some rm ->
+      Alcotest.(check bool)
+        (Printf.sprintf "K=2.0 (%.4f) ~ M=1.05 (%.4f)" rk rm)
+        true
+        (Float.abs (rk -. rm) < 0.03)
+  | _ -> Alcotest.fail "expected grid points missing"
+
+let test_equivalence_headline () =
+  let r =
+    Ir_sweep.Equivalence.matching_miller_reduction
+      ~config:small_config ~k_reduction:0.38 ()
+  in
+  (* The paper reports ~42.5%; with c ~ k*m the match is analytic, so the
+     scaled-down design should land in a generous band around it. *)
+  check_in_range "miller reduction near 42%" ~lo:0.30 ~hi:0.55 r.m_reduction;
+  Alcotest.(check bool) "ranks actually match" true
+    (Float.abs (r.k_rank -. r.m_rank) < 0.02)
+
+let test_cross_node () =
+  let cells =
+    Ir_sweep.Cross_node.run ~bunch_size:500
+      ~matrix:
+        [ (Ir_tech.Node.N180, 40_000); (Ir_tech.Node.N130, 40_000);
+          (Ir_tech.Node.N90, 40_000) ]
+      ()
+  in
+  Alcotest.(check int) "three cells" 3 (List.length cells);
+  List.iter
+    (fun (c : Ir_sweep.Cross_node.cell) ->
+      Alcotest.(check bool)
+        (Ir_tech.Node.name c.node ^ " assignable")
+        true c.outcome.assignable)
+    cells
+
+let test_paper_data () =
+  Alcotest.(check int) "K column size" 22 (List.length Ir_sweep.Paper_data.table4_k);
+  Alcotest.(check int) "M column size" 21 (List.length Ir_sweep.Paper_data.table4_m);
+  Alcotest.(check int) "C column size" 13 (List.length Ir_sweep.Paper_data.table4_c);
+  Alcotest.(check int) "R column size" 5 (List.length Ir_sweep.Paper_data.table4_r);
+  check_close "baseline value" 0.397288
+    Ir_sweep.Paper_data.baseline_normalized_rank;
+  (* Published columns share the baseline row. *)
+  List.iter
+    (fun col ->
+      check_close "baseline row" 0.397288 (snd (List.hd col)))
+    [ Ir_sweep.Paper_data.table4_k; Ir_sweep.Paper_data.table4_m;
+      Ir_sweep.Paper_data.table4_c ]
+
+let test_report_table () =
+  let buf = Format.asprintf "%t"
+      (Ir_sweep.Report.table ~header:[ "a"; "b" ]
+         ~rows:[ [ "1"; "22" ]; [ "333"; "4" ] ])
+  in
+  Alcotest.(check bool) "has header" true (Astring_contains.contains buf "a");
+  Alcotest.(check bool) "has separator" true
+    (Astring_contains.contains buf "---")
+
+let test_report_csv () =
+  let buf = Buffer.create 64 in
+  Ir_sweep.Report.csv ~header:[ "x"; "y" ]
+    ~rows:[ [ "1"; "he,llo" ]; [ "2"; "quo\"te" ] ]
+    buf;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "quoted comma" true
+    (Astring_contains.contains s "\"he,llo\"");
+  Alcotest.(check bool) "escaped quote" true
+    (Astring_contains.contains s "\"quo\"\"te\"")
+
+let test_report_correlation () =
+  let xs = [ (1.0, 1.0); (2.0, 2.0); (3.0, 3.0) ] in
+  check_close "perfect correlation" 1.0 (Ir_sweep.Report.correlation xs xs);
+  let ys = [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ] in
+  check_close "perfect anticorrelation" (-1.0)
+    (Ir_sweep.Report.correlation xs ys);
+  check_close "max delta" 2.0 (Ir_sweep.Report.max_abs_delta xs ys);
+  Alcotest.(check bool) "nan on no overlap" true
+    (Float.is_nan (Ir_sweep.Report.correlation xs [ (9.0, 9.0) ]))
+
+let test_sweep_render () =
+  let s = Ir_sweep.Table4.r_sweep ~config:small_config () in
+  let txt = Format.asprintf "%t" (Ir_sweep.Report.sweep_table s) in
+  Alcotest.(check bool) "mentions column name" true
+    (Astring_contains.contains txt "column R");
+  Alcotest.(check bool) "includes paper values" true
+    (Astring_contains.contains txt "0.117438");
+  let buf = Buffer.create 256 in
+  Ir_sweep.Report.sweep_csv s buf;
+  Alcotest.(check bool) "csv has header" true
+    (Astring_contains.contains (Buffer.contents buf) "measured")
+
+let test_export () =
+  let dir = Filename.temp_file "ia_rank" "_results" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let sweep = Ir_sweep.Table4.r_sweep ~config:small_config () in
+      (match Ir_sweep.Export.write_sweeps ~dir [ sweep ] with
+      | Error e -> Alcotest.failf "write_sweeps: %s" e
+      | Ok paths ->
+          Alcotest.(check int) "one file" 1 (List.length paths);
+          let contents =
+            In_channel.with_open_text (List.hd paths) In_channel.input_all
+          in
+          Alcotest.(check bool) "csv has paper column" true
+            (Astring_contains.contains contents "0.117438"));
+      (match
+         Ir_sweep.Export.write_cross ~dir
+           (Ir_sweep.Cross_node.run ~bunch_size:500
+              ~matrix:[ (Ir_tech.Node.N130, 40_000) ] ())
+       with
+      | Error e -> Alcotest.failf "write_cross: %s" e
+      | Ok path ->
+          Alcotest.(check bool) "cross file exists" true
+            (Sys.file_exists path));
+      match
+        Ir_sweep.Export.write_manifest ~dir
+          ~entries:[ ("E4", "table4 column R") ]
+      with
+      | Error e -> Alcotest.failf "write_manifest: %s" e
+      | Ok path ->
+          let contents = In_channel.with_open_text path In_channel.input_all in
+          Alcotest.(check bool) "manifest entry" true
+            (Astring_contains.contains contents "E4: table4 column R"))
+
+let test_export_bad_dir () =
+  match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected filesystem error"
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "table4",
+        [
+          Alcotest.test_case "K column" `Slow test_k_sweep;
+          Alcotest.test_case "M column" `Slow test_m_sweep;
+          Alcotest.test_case "C column" `Slow test_c_sweep;
+          Alcotest.test_case "R column" `Slow test_r_sweep;
+          Alcotest.test_case "K and M interchangeable" `Slow
+            test_k_m_interchangeable;
+        ] );
+      ( "equivalence",
+        [ Alcotest.test_case "headline 38% K ~ 42% M" `Slow
+            test_equivalence_headline ] );
+      ( "cross node",
+        [ Alcotest.test_case "matrix" `Slow test_cross_node ] );
+      ( "paper data",
+        [ Alcotest.test_case "columns" `Quick test_paper_data ] );
+      ( "export",
+        [
+          Alcotest.test_case "round trip" `Slow test_export;
+          Alcotest.test_case "bad directory" `Quick test_export_bad_dir;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_table;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "correlation" `Quick test_report_correlation;
+          Alcotest.test_case "sweep render" `Quick test_sweep_render;
+        ] );
+    ]

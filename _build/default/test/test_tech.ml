@@ -1,0 +1,228 @@
+(* Tests for the technology database: Table 3 values, device parameters,
+   design/die-area arithmetic. *)
+
+open Helpers
+
+let um = Ir_phys.Units.um
+
+let test_geometry_basics () =
+  let g = Ir_tech.Geometry.v ~width:(um 0.2) ~spacing:(um 0.3)
+      ~thickness:(um 0.4) () in
+  check_close "pitch" (um 0.5) (Ir_tech.Geometry.pitch g);
+  check_close "ild defaults to thickness" (um 0.4) g.ild_thickness;
+  check_close "via defaults to width" (um 0.2) g.via_width;
+  check_close "via pad area" (um 0.4 *. um 0.4) (Ir_tech.Geometry.via_area g);
+  let s = Ir_tech.Geometry.scaled g 2.0 in
+  check_close "scaled width" (um 0.4) s.width;
+  check_close "scaled pitch" (um 1.0) (Ir_tech.Geometry.pitch s)
+
+let test_geometry_validation () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Geometry.v: width must be > 0") (fun () ->
+      ignore
+        (Ir_tech.Geometry.v ~width:0.0 ~spacing:(um 0.1) ~thickness:(um 0.1)
+           ()));
+  Alcotest.check_raises "negative scale"
+    (Invalid_argument "Geometry.scaled: factor must be > 0") (fun () ->
+      ignore
+        (Ir_tech.Geometry.scaled
+           (Ir_tech.Geometry.v ~width:(um 0.1) ~spacing:(um 0.1)
+              ~thickness:(um 0.1) ())
+           (-1.0)))
+
+(* The paper's Table 3, exact values. *)
+let test_table3_130nm () =
+  let s = Ir_tech.Stack.of_node Ir_tech.Node.N130 in
+  check_close "M1 width" (um 0.160) s.local.width;
+  check_close "M1 spacing" (um 0.180) s.local.spacing;
+  check_close "M1 thickness" (um 0.336) s.local.thickness;
+  check_close "Mx width" (um 0.200) s.semi_global.width;
+  check_close "Mx spacing" (um 0.210) s.semi_global.spacing;
+  check_close "Mx thickness" (um 0.340) s.semi_global.thickness;
+  check_close "Mt width" (um 0.440) s.global.width;
+  check_close "Mt spacing" (um 0.460) s.global.spacing;
+  check_close "Mt thickness" (um 1.020) s.global.thickness;
+  check_close "V1" (um 0.190) s.local.via_width;
+  check_close "Vx-1" (um 0.260) s.semi_global.via_width;
+  check_close "Vt-1" (um 0.360) s.global.via_width;
+  Alcotest.(check int) "7 layers" 7 (Ir_tech.Stack.layers s)
+
+let test_table3_180nm () =
+  let s = Ir_tech.Stack.of_node Ir_tech.Node.N180 in
+  check_close "M1 width" (um 0.230) s.local.width;
+  check_close "Mx thickness" (um 0.588) s.semi_global.thickness;
+  check_close "Mt thickness" (um 0.960) s.global.thickness;
+  Alcotest.(check int) "6 layers" 6 (Ir_tech.Stack.layers s)
+
+let test_table3_90nm () =
+  let s = Ir_tech.Stack.of_node Ir_tech.Node.N90 in
+  check_close "M1 width" (um 0.120) s.local.width;
+  check_close "Mx width" (um 0.140) s.semi_global.width;
+  check_close "Mt thickness" (um 0.880) s.global.thickness;
+  Alcotest.(check int) "8 layers" 8 (Ir_tech.Stack.layers s)
+
+let test_max_pairs () =
+  let s130 = Ir_tech.Stack.of_node Ir_tech.Node.N130 in
+  Alcotest.(check int) "local" 1
+    (Ir_tech.Stack.max_pairs s130 Ir_tech.Metal_class.Local);
+  Alcotest.(check int) "semi-global at 130" 2
+    (Ir_tech.Stack.max_pairs s130 Ir_tech.Metal_class.Semi_global);
+  Alcotest.(check int) "global at 130" 1
+    (Ir_tech.Stack.max_pairs s130 Ir_tech.Metal_class.Global);
+  let s90 = Ir_tech.Stack.of_node Ir_tech.Node.N90 in
+  Alcotest.(check int) "semi-global at 90" 3
+    (Ir_tech.Stack.max_pairs s90 Ir_tech.Metal_class.Semi_global);
+  let s180 = Ir_tech.Stack.of_node Ir_tech.Node.N180 in
+  Alcotest.(check int) "semi-global at 180" 2
+    (Ir_tech.Stack.max_pairs s180 Ir_tech.Metal_class.Semi_global)
+
+let test_custom_stack_scaling () =
+  let custom = Ir_tech.Node.Custom { name = "65nm-ish"; feature = 65e-9 } in
+  let s = Ir_tech.Stack.of_node custom in
+  let s130 = Ir_tech.Stack.of_node Ir_tech.Node.N130 in
+  check_close "half of 130nm width" (s130.local.width /. 2.0) s.local.width
+
+let test_node_basics () =
+  check_close "gate pitch 130" (12.6 *. 130e-9)
+    (Ir_tech.Node.gate_pitch Ir_tech.Node.N130);
+  check_close "itrs clock 130" 1.7e9
+    (Ir_tech.Node.itrs_max_clock Ir_tech.Node.N130);
+  Alcotest.(check bool)
+    "resistivity decreases after 180 (Al to Cu)" true
+    (Ir_tech.Node.resistivity Ir_tech.Node.N130
+    < Ir_tech.Node.resistivity Ir_tech.Node.N180);
+  Alcotest.(check (option string))
+    "of_string" (Some "130nm")
+    (Option.map Ir_tech.Node.name (Ir_tech.Node.of_string "130nm"));
+  Alcotest.(check (option string))
+    "of_string bare" (Some "90nm")
+    (Option.map Ir_tech.Node.name (Ir_tech.Node.of_string " 90 "));
+  Alcotest.(check bool)
+    "of_string junk" true
+    (Ir_tech.Node.of_string "45nm" = None)
+
+let test_device () =
+  let d = Ir_tech.Device.of_node Ir_tech.Node.N130 in
+  check_in_range "intrinsic delay in ps" ~lo:0.5e-12 ~hi:3e-12
+    (Ir_tech.Device.intrinsic_delay d);
+  Alcotest.(check bool)
+    "area is the calibrated quantum" true
+    (Ir_phys.Numeric.close d.area
+       (Ir_tech.Device.inv_area_f2 *. 130e-9 *. 130e-9));
+  Alcotest.check_raises "negative r_o"
+    (Invalid_argument "Device.v: r_o must be > 0") (fun () ->
+      ignore (Ir_tech.Device.v ~r_o:(-1.0) ~c_o:1e-15 ~c_p:1e-15 ~area:1e-12));
+  let d90 = Ir_tech.Device.of_node Ir_tech.Node.N90 in
+  Alcotest.(check bool)
+    "90nm device faster than 130nm" true
+    (Ir_tech.Device.intrinsic_delay d90 < Ir_tech.Device.intrinsic_delay d)
+
+let test_design_areas () =
+  let d = Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:1_000_000 () in
+  let g = Ir_tech.Node.gate_pitch Ir_tech.Node.N130 in
+  check_close "gate area" (g *. g *. 1e6) (Ir_tech.Design.gate_area d);
+  check_close "die area = gate area / 0.6"
+    (Ir_tech.Design.gate_area d /. 0.6)
+    (Ir_tech.Design.die_area d);
+  check_close "repeater budget"
+    (0.4 *. Ir_tech.Design.die_area d)
+    (Ir_tech.Design.repeater_area d);
+  check_close "effective pitch"
+    (sqrt (Ir_tech.Design.die_area d /. 1e6))
+    (Ir_tech.Design.effective_gate_pitch d);
+  (* Sweeping R must keep the die (and hence WLD scale) fixed. *)
+  let d2 = Ir_tech.Design.with_repeater_fraction d 0.1 in
+  check_close "die area invariant under R sweep"
+    (Ir_tech.Design.die_area d) (Ir_tech.Design.die_area d2);
+  check_close "budget scales linearly"
+    (0.25 *. Ir_tech.Design.repeater_area d)
+    (Ir_tech.Design.repeater_area d2)
+
+let test_design_validation () =
+  let mk ?(rent_p = 0.6) ?(clock = 5e8) ?(fraction = 0.4) () =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:1000 ~rent_p ~clock
+      ~repeater_fraction:fraction ()
+  in
+  Alcotest.check_raises "rent out of range"
+    (Invalid_argument "Design.v: rent_p must lie in (0, 1)") (fun () ->
+      ignore (mk ~rent_p:1.5 ()));
+  Alcotest.check_raises "clock" (Invalid_argument "Design.v: clock must be > 0")
+    (fun () -> ignore (mk ~clock:0.0 ()));
+  Alcotest.check_raises "fraction"
+    (Invalid_argument "Design.v: repeater_fraction must lie in [0, 1]")
+    (fun () -> ignore (mk ~fraction:1.5 ()));
+  ignore (mk ())
+
+let test_metal_class () =
+  Alcotest.(check int) "three classes" 3 (List.length Ir_tech.Metal_class.all);
+  Alcotest.(check string) "symbol" "Mx"
+    (Ir_tech.Metal_class.table_symbol Ir_tech.Metal_class.Semi_global)
+
+let test_pp_table3 () =
+  let s = Ir_tech.Stack.of_node Ir_tech.Node.N130 in
+  let str = Format.asprintf "%a" Ir_tech.Stack.pp_table3 s in
+  Alcotest.(check bool) "mentions M1" true
+    (Astring_contains.contains str "M1 minimum width");
+  Alcotest.(check bool) "mentions node" true
+    (Astring_contains.contains str "130nm")
+
+let test_itrs () =
+  Alcotest.(check int) "five generations" 5
+    (List.length Ir_tech.Itrs.roadmap);
+  (* Monotone trends along the roadmap. *)
+  let rec check_trends = function
+    | (a : Ir_tech.Itrs.entry) :: (b : Ir_tech.Itrs.entry) :: rest ->
+        Alcotest.(check bool) "years increase" true (a.year < b.year);
+        Alcotest.(check bool) "features shrink" true
+          (Ir_tech.Node.feature_size a.node > Ir_tech.Node.feature_size b.node);
+        Alcotest.(check bool) "clocks rise" true (a.max_clock < b.max_clock);
+        Alcotest.(check bool) "k falls" true (a.ild_k >= b.ild_k);
+        Alcotest.(check bool) "layers grow" true
+          (a.metal_layers <= b.metal_layers);
+        check_trends (b :: rest)
+    | _ -> ()
+  in
+  check_trends Ir_tech.Itrs.roadmap;
+  (match Ir_tech.Itrs.entry_for Ir_tech.Node.N130 with
+  | Some e -> Alcotest.(check int) "130nm is the 2001 entry" 2001 e.year
+  | None -> Alcotest.fail "130nm entry missing");
+  Alcotest.(check bool) "unknown node" true
+    (Ir_tech.Itrs.entry_for
+       (Ir_tech.Node.Custom { name = "x"; feature = 1e-9 })
+    = None);
+  let e = List.hd Ir_tech.Itrs.roadmap in
+  let d = Ir_tech.Itrs.design_of_entry ~gates:1234 e in
+  Alcotest.(check int) "gates override" 1234 d.gates;
+  check_close "clock from entry" e.max_clock d.clock
+
+let () =
+  Alcotest.run "tech"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "basics" `Quick test_geometry_basics;
+          Alcotest.test_case "validation" `Quick test_geometry_validation;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "table3 130nm" `Quick test_table3_130nm;
+          Alcotest.test_case "table3 180nm" `Quick test_table3_180nm;
+          Alcotest.test_case "table3 90nm" `Quick test_table3_90nm;
+          Alcotest.test_case "max pairs" `Quick test_max_pairs;
+          Alcotest.test_case "custom scaling" `Quick test_custom_stack_scaling;
+          Alcotest.test_case "pp_table3" `Quick test_pp_table3;
+        ] );
+      ( "node",
+        [ Alcotest.test_case "basics" `Quick test_node_basics ] );
+      ( "device",
+        [ Alcotest.test_case "parameters" `Quick test_device ] );
+      ( "design",
+        [
+          Alcotest.test_case "areas" `Quick test_design_areas;
+          Alcotest.test_case "validation" `Quick test_design_validation;
+        ] );
+      ( "metal class",
+        [ Alcotest.test_case "basics" `Quick test_metal_class ] );
+      ( "itrs",
+        [ Alcotest.test_case "roadmap" `Quick test_itrs ] );
+    ]
