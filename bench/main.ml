@@ -26,9 +26,32 @@ let experiment_tables () =
     "Baseline (Table 2): k=3.9, Miller=2.0, repeater fraction=0.4,@.2 \
      semi-global + 1 global layer-pairs, 500 MHz target clock.@."
 
+(* Worker count for the parallel table4 leg.  On many-core hosts this is
+   the Ir_exec default; on small boxes we still spawn 4 domains so the
+   determinism check exercises real cross-domain interleaving (the
+   speedup column then just reports ~1x). *)
+let par_jobs () = max 4 (Ir_exec.default_jobs ())
+
+let sweep_ranks (s : Ir_sweep.Table4.sweep) =
+  List.map
+    (fun (r : Ir_sweep.Table4.row) ->
+      (r.param, r.outcome.Ir_core.Outcome.rank_wires))
+    s.rows
+
 let experiment_table4 () =
   section "E1-E4: Table 4 (rank vs K, M, C, R; 130nm, 1M gates)";
-  let sweeps = Ir_sweep.Table4.all () in
+  let t0 = Ir_exec.now () in
+  let seq = Ir_sweep.Table4.all ~jobs:1 () in
+  let seq_s = Ir_exec.now () -. t0 in
+  let jobs = par_jobs () in
+  let t0 = Ir_exec.now () in
+  let sweeps = Ir_sweep.Table4.all ~jobs () in
+  let par_s = Ir_exec.now () -. t0 in
+  let identical =
+    List.for_all2
+      (fun a b -> sweep_ranks a = sweep_ranks b)
+      seq sweeps
+  in
   List.iter
     (fun s ->
       Ir_sweep.Report.sweep_table s Format.std_formatter;
@@ -41,7 +64,24 @@ let experiment_table4 () =
            (Ir_sweep.Table4.normalized s)
            s.Ir_sweep.Table4.paper))
     sweeps;
-  sweeps
+  Ir_sweep.Report.table
+    ~header:[ "table4 leg"; "wall time"; "speedup"; "ranks identical" ]
+    ~rows:
+      [
+        [ "jobs=1 (before)"; Printf.sprintf "%.2f s" seq_s; "1.00x"; "-" ];
+        [
+          Printf.sprintf "jobs=%d (after)" jobs;
+          Printf.sprintf "%.2f s" par_s;
+          Printf.sprintf "%.2fx" (seq_s /. Float.max 1e-9 par_s);
+          (if identical then "yes" else "NO (BUG)");
+        ];
+      ]
+    Format.std_formatter;
+  if not identical then
+    failwith "table4: parallel ranks differ from sequential ranks";
+  ( sweeps,
+    [ ("table4_jobs1_seconds", seq_s);
+      (Printf.sprintf "table4_jobs%d_seconds" jobs, par_s) ] )
 
 let experiment_figure2 () =
   section "E5: Figure 2 (suboptimality of greedy assignment)";
@@ -466,7 +506,7 @@ let study_netlist () =
      lengths; the@.closed form the paper adopts in footnote 2 tracks the \
      measured shape.)@."
 
-let export_artifacts sweeps cells =
+let export_artifacts sweeps cells timings =
   section "Artifacts";
   let dir = "results" in
   (match Ir_sweep.Export.write_sweeps ~dir sweeps with
@@ -475,6 +515,12 @@ let export_artifacts sweeps cells =
   (match Ir_sweep.Export.write_cross ~dir cells with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "cross export failed: %s@." e);
+  (match
+     Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
+       ~sweeps ~cross:cells
+   with
+  | Ok path -> Format.printf "wrote %s@." path
+  | Error e -> Format.printf "bench json export failed: %s@." e);
   match
     Ir_sweep.Export.write_manifest ~dir
       ~entries:
@@ -577,28 +623,48 @@ let run_bechamel () =
   Ir_sweep.Report.table ~header:[ "benchmark"; "time/run"; "r^2" ] ~rows
     Format.std_formatter
 
+(* Section selector: `dune exec bench/main.exe` runs the full harness;
+   `-- sweeps` runs only the sections that feed results/BENCH_sweeps.json
+   (table4 before/after legs, cross-node, artifact export); `-- micro`
+   runs only the Bechamel micro-benchmarks. *)
 let () =
-  let t0 = Sys.time () in
-  experiment_tables ();
-  let sweeps = experiment_table4 () in
-  experiment_figure2 ();
-  experiment_headline ();
-  let cells = experiment_cross_node () in
-  experiment_runtime_claim ();
-  ablation_bunch_size ();
-  ablation_binning ();
-  ablation_cap_model ();
-  ablation_greedy_gap ();
-  ablation_pareto ();
-  ablation_target_model ();
-  ablation_via_model ();
-  comparison_algorithms ();
-  comparison_ntier ();
-  study_noise ();
-  study_layers ();
-  study_anneal ();
-  study_variation ();
-  study_netlist ();
-  export_artifacts sweeps cells;
-  run_bechamel ();
-  Format.printf "@.total harness cpu time: %.1f s@." (Sys.time () -. t0)
+  let what =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> `All
+    | [ _; "sweeps" ] -> `Sweeps
+    | [ _; "micro" ] -> `Micro
+    | _ ->
+        prerr_endline "usage: main.exe [sweeps|micro]";
+        exit 2
+  in
+  let t0 = Ir_exec.now () in
+  (match what with
+  | `Micro -> run_bechamel ()
+  | `Sweeps ->
+      let sweeps, timings = experiment_table4 () in
+      let cells = experiment_cross_node () in
+      export_artifacts sweeps cells timings
+  | `All ->
+      experiment_tables ();
+      let sweeps, timings = experiment_table4 () in
+      experiment_figure2 ();
+      experiment_headline ();
+      let cells = experiment_cross_node () in
+      experiment_runtime_claim ();
+      ablation_bunch_size ();
+      ablation_binning ();
+      ablation_cap_model ();
+      ablation_greedy_gap ();
+      ablation_pareto ();
+      ablation_target_model ();
+      ablation_via_model ();
+      comparison_algorithms ();
+      comparison_ntier ();
+      study_noise ();
+      study_layers ();
+      study_anneal ();
+      study_variation ();
+      study_netlist ();
+      export_artifacts sweeps cells timings;
+      run_bechamel ());
+  Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

@@ -25,7 +25,13 @@ let node_arg =
   let parse s =
     match Ir_tech.Node.of_string s with
     | Some n -> Ok n
-    | None -> Error (`Msg (Printf.sprintf "unknown node %S (use 180nm, 130nm or 90nm)" s))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown node %S (use 180nm, 130nm, 90nm, or any feature \
+                size such as 65nm for a scaled custom node)"
+               s))
   in
   let print ppf n = Format.pp_print_string ppf (Ir_tech.Node.name n) in
   Arg.conv (parse, print)
@@ -35,7 +41,24 @@ let node =
     value
     & opt node_arg Ir_tech.Node.N130
     & info [ "n"; "node" ] ~docv:"NODE"
-        ~doc:"Technology node: 180nm, 130nm or 90nm.")
+        ~doc:
+          "Technology node: $(b,180nm), $(b,130nm) or $(b,90nm) use the \
+           paper's Table 3 stacks; any other feature size (e.g. \
+           $(b,65nm)) builds a custom node with ITRS-trend-scaled \
+           parameters.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sweeps and grids (also the \
+           $(b,IA_RANK_JOBS) environment variable; default: hardware \
+           parallelism minus one).  $(b,-j 1) forces sequential \
+           execution; results are identical either way.")
+
+let set_jobs jobs = Ir_exec.set_default_jobs jobs
 
 let gates =
   Arg.(
@@ -109,7 +132,8 @@ let write_csv path f =
 (* ---- rank ------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run () node gates clock fraction k m bunch_size algo =
+  let run () jobs node gates clock fraction k m bunch_size algo =
+    set_jobs jobs;
     let design = design_of ~node ~gates ~clock ~fraction in
     let materials = Ir_ia.Materials.v ~k ~miller:m () in
     let outcome =
@@ -120,8 +144,8 @@ let rank_cmd =
   in
   let term =
     Term.(
-      const run $ logs_term $ node $ gates $ clock $ fraction $ permittivity
-      $ miller $ bunch_size $ algo)
+      const run $ logs_term $ jobs $ node $ gates $ clock $ fraction
+      $ permittivity $ miller $ bunch_size $ algo)
   in
   Cmd.v
     (Cmd.info "rank"
@@ -138,7 +162,8 @@ let table4_cmd =
       & info [ "columns" ] ~docv:"COLS"
           ~doc:"Comma-separated subset of K,M,C,R.")
   in
-  let run () node gates bunch_size columns csv =
+  let run () jobs node gates bunch_size columns csv =
+    set_jobs jobs;
     let design = Ir_core.Rank.baseline_design ~gates node in
     let config =
       { Ir_sweep.Table4.default_config with design; bunch_size }
@@ -179,7 +204,8 @@ let table4_cmd =
   in
   let term =
     Term.(
-      const run $ logs_term $ node $ gates $ bunch_size $ columns $ csv_out)
+      const run $ logs_term $ jobs $ node $ gates $ bunch_size $ columns
+      $ csv_out)
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Regenerate the paper's Table 4 (K/M/C/R sweeps).")
@@ -188,7 +214,8 @@ let table4_cmd =
 (* ---- cross ------------------------------------------------------------ *)
 
 let cross_cmd =
-  let run () bunch_size =
+  let run () jobs bunch_size =
+    set_jobs jobs;
     let matrix =
       [
         (Ir_tech.Node.N180, 1_000_000); (Ir_tech.Node.N130, 1_000_000);
@@ -201,7 +228,7 @@ let cross_cmd =
   in
   Cmd.v
     (Cmd.info "cross" ~doc:"Baseline ranks across nodes and design sizes.")
-    Term.(const run $ logs_term $ bunch_size)
+    Term.(const run $ logs_term $ jobs $ bunch_size)
 
 (* ---- figure2 ---------------------------------------------------------- *)
 
@@ -336,7 +363,8 @@ let optimize_cmd =
       & info [ "anneal" ] ~docv:"STEPS"
           ~doc:"Also refine with simulated annealing for $(docv) steps.")
   in
-  let run () node gates clock fraction bunch_size anneal_steps =
+  let run () jobs node gates clock fraction bunch_size anneal_steps =
+    set_jobs jobs;
     let design = design_of ~node ~gates ~clock ~fraction in
     let best, all = Ir_ext.Optimizer.optimize ~bunch_size design in
     Format.printf "evaluated %d grid candidates@." (List.length all);
@@ -357,8 +385,8 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Directly optimize the architecture by rank (Section 6).")
     Term.(
-      const run $ logs_term $ node $ gates $ clock $ fraction $ bunch_size
-      $ anneal_steps)
+      const run $ logs_term $ jobs $ node $ gates $ clock $ fraction
+      $ bunch_size $ anneal_steps)
 
 (* ---- wld -------------------------------------------------------------- *)
 

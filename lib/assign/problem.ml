@@ -1,6 +1,7 @@
 type t = {
   arch : Ir_ia.Arch.t;
   target_model : Ir_delay.Target.t;
+  noise_limit : float option;
   bunches : Ir_wld.Dist.bin array;  (* non-increasing length, meters *)
   targets : float array;  (* per-bunch target delay, seconds *)
   wire_prefix : int array;  (* wire_prefix.(i) = wires in bunches [0..i) *)
@@ -10,11 +11,17 @@ type t = {
      rep_area_prefix.(j).(i), rep_count_prefix.(j).(i) :
        repeater area / count to meet targets for bunches [0..i)
        (infeasible bunches contribute 0 and are masked by bad_prefix)
-     bad_prefix.(j).(i)    : number of infeasible bunches in [0..i) *)
+     bad_prefix.(j).(i)    : number of infeasible bunches in [0..i)
+
+     Repeater counts are integers by construction (count * eta summed over
+     bunches), so the count prefix is kept as an int array: differencing a
+     float prefix and truncating back with int_of_float can lose a unit to
+     cancellation (6.9999... -> 6), under-counting repeaters and hence the
+     via blockage they charge below. *)
   area_prefix : float array array;
   eta : int array array;
   rep_area_prefix : float array array;
-  rep_count_prefix : float array array;
+  rep_count_prefix : int array array;
   bad_prefix : int array array;
 }
 
@@ -45,47 +52,49 @@ let meeting_cost t ~pair ~lo ~hi =
   else
     Some
       ( t.rep_area_prefix.(pair).(hi) -. t.rep_area_prefix.(pair).(lo),
-        int_of_float
-          (t.rep_count_prefix.(pair).(hi) -. t.rep_count_prefix.(pair).(lo))
-      )
+        t.rep_count_prefix.(pair).(hi) - t.rep_count_prefix.(pair).(lo) )
 
 let wire_delay_on_pair t ~pair ~eta l =
   let p = Ir_ia.Arch.pair t.arch pair in
   Ir_delay.Model.wire_delay t.arch.Ir_ia.Arch.device p.Ir_ia.Layer_pair.line
     ~s:p.Ir_ia.Layer_pair.s_opt ~eta l
 
-let build ~arch ~target_model ~noise_limit bunches =
-  let n = Array.length bunches in
-  if n = 0 then invalid_arg "Problem: empty instance";
-  Array.iter
-    (fun (b : Ir_wld.Dist.bin) ->
-      if b.count <= 0 then invalid_arg "Problem: non-positive bunch count";
-      if not (b.length > 0.0) then
-        invalid_arg "Problem: non-positive bunch length")
-    bunches;
-  for i = 1 to n - 1 do
-    if bunches.(i).Ir_wld.Dist.length > bunches.(i - 1).Ir_wld.Dist.length
-    then invalid_arg "Problem: bunches must be sorted by non-increasing length"
-  done;
-  let design = arch.Ir_ia.Arch.design in
-  let clock = design.Ir_tech.Design.clock in
+let targets_for ~arch ~target_model bunches =
+  let clock = arch.Ir_ia.Arch.design.Ir_tech.Design.clock in
   let l_max = bunches.(0).Ir_wld.Dist.length in
-  let targets =
-    Array.map
-      (fun (b : Ir_wld.Dist.bin) ->
-        Ir_delay.Target.delay target_model ~clock ~l_max b.length)
-      bunches
-  in
-  let wire_prefix = Array.make (n + 1) 0 in
-  for i = 0 to n - 1 do
-    wire_prefix.(i + 1) <- wire_prefix.(i) + bunches.(i).Ir_wld.Dist.count
+  Array.map
+    (fun (b : Ir_wld.Dist.bin) ->
+      Ir_delay.Target.delay target_model ~clock ~l_max b.length)
+    bunches
+
+(* Routing-area prefixes: per pair, geometry-only — independent of the
+   targets (clock), the repeater budget and the noise limit. *)
+let area_tables ~arch bunches =
+  let n = Array.length bunches in
+  let m = Ir_ia.Arch.pair_count arch in
+  let area_prefix = Array.make_matrix m (n + 1) 0.0 in
+  for j = 0 to m - 1 do
+    let p = Ir_ia.Arch.pair arch j in
+    for b = 0 to n - 1 do
+      let { Ir_wld.Dist.length = l; count } = bunches.(b) in
+      area_prefix.(j).(b + 1) <-
+        area_prefix.(j).(b)
+        +. (float_of_int count *. Ir_ia.Layer_pair.wire_area p l)
+    done
   done;
+  area_prefix
+
+(* Repeater tables: per pair, the minimal per-wire count meeting each
+   bunch's target, with area/count/infeasibility prefixes.  Depends on the
+   targets (hence the clock) and the noise limit, but not on the repeater
+   budget. *)
+let repeater_tables ~arch ~noise_limit ~targets bunches =
+  let n = Array.length bunches in
   let m = Ir_ia.Arch.pair_count arch in
   let device = arch.Ir_ia.Arch.device in
-  let area_prefix = Array.make_matrix m (n + 1) 0.0 in
   let eta = Array.make_matrix m n (-1) in
   let rep_area_prefix = Array.make_matrix m (n + 1) 0.0 in
-  let rep_count_prefix = Array.make_matrix m (n + 1) 0.0 in
+  let rep_count_prefix = Array.make_matrix m (n + 1) 0 in
   let bad_prefix = Array.make_matrix m (n + 1) 0 in
   for j = 0 to m - 1 do
     let p = Ir_ia.Arch.pair arch j in
@@ -107,32 +116,55 @@ let build ~arch ~target_model ~noise_limit bunches =
     in
     for b = 0 to n - 1 do
       let { Ir_wld.Dist.length = l; count } = bunches.(b) in
-      let countf = float_of_int count in
-      area_prefix.(j).(b + 1) <-
-        area_prefix.(j).(b) +. (countf *. Ir_ia.Layer_pair.wire_area p l);
       let need =
         if noisy then None
         else
           Ir_delay.Model.repeaters_needed device line ~s ~target:targets.(b)
             l
       in
-      (match need with
+      match need with
       | Some e ->
           eta.(j).(b) <- e;
           rep_area_prefix.(j).(b + 1) <-
-            rep_area_prefix.(j).(b) +. (countf *. float_of_int e *. rep_area);
+            rep_area_prefix.(j).(b)
+            +. (float_of_int count *. float_of_int e *. rep_area);
           rep_count_prefix.(j).(b + 1) <-
-            rep_count_prefix.(j).(b) +. (countf *. float_of_int e);
+            rep_count_prefix.(j).(b) + (count * e);
           bad_prefix.(j).(b + 1) <- bad_prefix.(j).(b)
       | None ->
           rep_area_prefix.(j).(b + 1) <- rep_area_prefix.(j).(b);
           rep_count_prefix.(j).(b + 1) <- rep_count_prefix.(j).(b);
-          bad_prefix.(j).(b + 1) <- bad_prefix.(j).(b) + 1)
+          bad_prefix.(j).(b + 1) <- bad_prefix.(j).(b) + 1
     done
   done;
+  (eta, rep_area_prefix, rep_count_prefix, bad_prefix)
+
+let build ~arch ~target_model ~noise_limit bunches =
+  let n = Array.length bunches in
+  if n = 0 then invalid_arg "Problem: empty instance";
+  Array.iter
+    (fun (b : Ir_wld.Dist.bin) ->
+      if b.count <= 0 then invalid_arg "Problem: non-positive bunch count";
+      if not (b.length > 0.0) then
+        invalid_arg "Problem: non-positive bunch length")
+    bunches;
+  for i = 1 to n - 1 do
+    if bunches.(i).Ir_wld.Dist.length > bunches.(i - 1).Ir_wld.Dist.length
+    then invalid_arg "Problem: bunches must be sorted by non-increasing length"
+  done;
+  let targets = targets_for ~arch ~target_model bunches in
+  let wire_prefix = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    wire_prefix.(i + 1) <- wire_prefix.(i) + bunches.(i).Ir_wld.Dist.count
+  done;
+  let area_prefix = area_tables ~arch bunches in
+  let eta, rep_area_prefix, rep_count_prefix, bad_prefix =
+    repeater_tables ~arch ~noise_limit ~targets bunches
+  in
   {
     arch;
     target_model;
+    noise_limit;
     bunches;
     targets;
     wire_prefix;
@@ -156,3 +188,27 @@ let make ?(target_model = Ir_delay.Target.Linear) ?noise_limit
   let meters = Ir_wld.Dist.map_length (fun l -> l *. pitch) wld in
   let bunches = Ir_wld.Coarsen.bunch ~bunch_size meters in
   build ~arch ~target_model ~noise_limit bunches
+
+(* ---- rescale-reuse paths ---------------------------------------------- *)
+
+(* The repeater budget A_R = fraction * die_area enters no precomputed
+   table (the DP reads it through [budget] at query time), and the die
+   area itself depends on the floorplan reserve, not on the usable
+   fraction, so rescaling R keeps every table valid verbatim. *)
+let with_repeater_fraction t fraction =
+  let design =
+    Ir_tech.Design.with_repeater_fraction t.arch.Ir_ia.Arch.design fraction
+  in
+  { t with arch = Ir_ia.Arch.with_design t.arch design }
+
+(* A clock change moves only the per-bunch targets and everything derived
+   from them (eta and the repeater prefixes); the bunching, wire prefix
+   and routing-area prefixes are geometry-only and are reused. *)
+let with_clock t clock =
+  let design = Ir_tech.Design.with_clock t.arch.Ir_ia.Arch.design clock in
+  let arch = Ir_ia.Arch.with_design t.arch design in
+  let targets = targets_for ~arch ~target_model:t.target_model t.bunches in
+  let eta, rep_area_prefix, rep_count_prefix, bad_prefix =
+    repeater_tables ~arch ~noise_limit:t.noise_limit ~targets t.bunches
+  in
+  { t with arch; targets; eta; rep_area_prefix; rep_count_prefix; bad_prefix }

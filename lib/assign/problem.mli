@@ -88,8 +88,31 @@ val meeting_cost : t -> pair:int -> lo:int -> hi:int -> (float * int) option
 (** [meeting_cost t ~pair ~lo ~hi] is [Some (area, count)]: the repeater
     area (m^2) and repeater count needed for {e every} wire of bunches
     [lo .. hi-1] to meet its target on [pair]; [None] if any of those
-    bunches is infeasible there. *)
+    bunches is infeasible there.  The count is exact — it is differenced
+    from an integer prefix table, never recovered from floats. *)
 
 val wire_delay_on_pair : t -> pair:int -> eta:int -> float -> float
 (** Eq. (3) delay of a single wire of the given length (m) on [pair] with
     [eta] repeaters of the pair's uniform size — exposed for reporting. *)
+
+(** {1 Rescale-reuse constructors}
+
+    Sweeps that vary only the repeater budget or the target clock (the
+    paper's Table 4 columns R and C) need not re-bunch the WLD or rebuild
+    every prefix table; these constructors derive a new instance from an
+    existing one, reusing everything a parameter change leaves valid.
+    Both return a fresh immutable value — the original stays usable, so
+    the sweep points built from one base instance can be evaluated
+    concurrently. *)
+
+val with_repeater_fraction : t -> float -> t
+(** [with_repeater_fraction t r] is [t] with the usable repeater fraction
+    set to [r].  The budget enters no precomputed table, so every table is
+    shared with [t] as-is.
+    @raise Invalid_argument if [r] is outside [0, 1]. *)
+
+val with_clock : t -> float -> t
+(** [with_clock t f] is [t] with the target clock set to [f] Hz.  Reuses
+    the bunching, wire and routing-area prefixes; recomputes the targets
+    and the repeater tables they determine.
+    @raise Invalid_argument if [f <= 0]. *)

@@ -42,7 +42,7 @@ type tables = {
   m : int;
 }
 
-let build_tables ~max_pareto problem =
+let build_tables ?(max_pareto = 8) problem =
   let n = P.n_bunches problem in
   let m = P.n_pairs problem in
   let cap = P.capacity problem in
@@ -164,41 +164,72 @@ let outcome_of_boundary problem ~assignable c =
     ~total_wires:(P.total_wires problem)
     ~assignable ~boundary_bunch:c
 
-let search ?(max_pareto = 8) ?(exhaustive = false) problem =
+(* Monotonicity of [feasible] in the boundary c — why the binary search
+   below is exact.
+
+   Claim: if the top c bunches can all meet their targets in some complete
+   assignment (c > 0), so can the top c - 1.
+
+   Take a witness for c: prefix splits on pairs [0..j), meeting interval
+   [i, c) on the boundary pair j (repeater area a, count r on it), and a
+   greedy-fill certificate (Definition 3 / Lemma 1) packing bunches
+   [c..n) on pairs [j..m) below it.  Shrink the meeting interval to
+   [i, c-1): bunch c-1 gives up its repeaters, so repeater area and count
+   only decrease — the budget constraint stays satisfied, and the via
+   blockage repeaters charge on every pair below pair j only shrinks.
+   Bunch c-1 then joins the capacity-only suffix: the area it occupied on
+   pair j is exactly freed, so the packing that places bunch c-1 back on
+   pair j in its old position and keeps every other suffix wire where the
+   certificate for c put it is feasible — every pair's routing area is
+   unchanged and its blockage is no larger (wires above each pair are the
+   same wires; repeaters above are fewer).  Greedy_fill packs bottom-up
+   shortest-first, which Lemma 1 shows dominates any particular feasible
+   packing, so [GF.fits] accepts the suffix from c-1.  Hence the witness
+   survives with boundary c-1, and {exists witness for c} is a downward-
+   closed property of c: binary search over it is exact.  (The
+   [~exhaustive] scan below and the randomized property test in
+   [test_core.ml] cross-check this equivalence.) *)
+
+let search_tables ?(exhaustive = false) tables =
+  let problem = tables.problem in
+  let n = tables.n in
+  match feasible_witness tables 0 with
+  | None -> (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
+  | Some w0 ->
+      let best = ref 0 and best_w = ref w0 in
+      let try_c c =
+        match feasible_witness tables c with
+        | Some w ->
+            best := c;
+            best_w := w;
+            true
+        | None -> false
+      in
+      if exhaustive then begin
+        let c = ref n in
+        while !c > 0 && not (try_c !c) do
+          decr c
+        done
+      end
+      else if not (try_c n) then begin
+        (* Invariant: feasible lo (recorded), not (feasible hi).  [best]
+           only ever holds a boundary that produced a witness, so the
+           reported rank is feasible unconditionally; monotonicity (proof
+           above) is what makes it also maximal. *)
+        let lo = ref 0 and hi = ref n in
+        while !hi - !lo > 1 do
+          let mid = !lo + ((!hi - !lo) / 2) in
+          if try_c mid then lo := mid else hi := mid
+        done
+      end;
+      (outcome_of_boundary problem ~assignable:true !best, Some !best_w)
+
+let search ?(max_pareto = 8) ?exhaustive problem =
   (* Definition 3 first: if the WLD does not even fit ignoring delay,
      the rank is 0 and the DP tables are not worth building. *)
   if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then
     (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
-  else
-    let tables = build_tables ~max_pareto problem in
-    let n = tables.n in
-    match feasible_witness tables 0 with
-    | None -> (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
-    | Some w0 ->
-        let best = ref 0 and best_w = ref w0 in
-        let try_c c =
-          match feasible_witness tables c with
-          | Some w ->
-              best := c;
-              best_w := w;
-              true
-          | None -> false
-        in
-        if exhaustive then begin
-          let c = ref n in
-          while !c > 0 && not (try_c !c) do
-            decr c
-          done
-        end
-        else if not (try_c n) then begin
-          (* Invariant: feasible lo (recorded), not (feasible hi). *)
-          let lo = ref 0 and hi = ref n in
-          while !hi - !lo > 1 do
-            let mid = !lo + ((!hi - !lo) / 2) in
-            if try_c mid then lo := mid else hi := mid
-          done
-        end;
-        (outcome_of_boundary problem ~assignable:true !best, Some !best_w)
+  else search_tables ?exhaustive (build_tables ~max_pareto problem)
 
 let compute ?max_pareto ?exhaustive problem =
   fst (search ?max_pareto ?exhaustive problem)

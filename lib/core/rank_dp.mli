@@ -41,6 +41,25 @@ type witness = {
     boundary pair, the boundary pair's meeting interval, and the repeater
     counts.  {!Assignment.extract} turns it into a full placement. *)
 
+type tables
+(** The phase-A DP tables of one problem instance, reusable across
+    boundary probes.  They are immutable once built, so feasibility
+    queries against the same tables may run concurrently (e.g. from an
+    {!Ir_exec} domain pool).  The tables bake in the repeater {e budget}
+    (it prunes states during construction), so a problem derived with
+    {!Ir_assign.Problem.with_repeater_fraction} or
+    {!Ir_assign.Problem.with_clock} needs its own tables — what those
+    reuse paths save is the per-pair prefix-table rebuild, not this. *)
+
+val build_tables : ?max_pareto:int -> Ir_assign.Problem.t -> tables
+(** Tabulates phase A (default [max_pareto = 8]). *)
+
+val search_tables : ?exhaustive:bool -> tables -> Outcome.t * witness option
+(** Runs the boundary search on prebuilt tables — {!compute} minus table
+    construction.  Unlike {!compute} it skips the Definition-3 pre-check
+    (a no-fit instance simply reports unassignable through the [c = 0]
+    probe). *)
+
 val compute : ?max_pareto:int -> ?exhaustive:bool -> Ir_assign.Problem.t -> Outcome.t
 (** [compute problem] returns the optimal rank.  [max_pareto] bounds the
     per-state Pareto set (default 8; larger is slower and only matters on

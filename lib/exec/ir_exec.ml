@@ -1,0 +1,83 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let override = Atomic.make None
+
+let set_default_jobs jobs =
+  Atomic.set override (Option.map (fun j -> max 1 j) jobs)
+
+let env_jobs () =
+  match Sys.getenv_opt "IA_RANK_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with Some j -> j | None -> recommended_jobs ())
+
+(* One parallel run: [workers] domains (the caller included) pull work
+   units off an atomic counter.  Each unit is a contiguous index range
+   [start, start + chunk) of the input; results are written to the slot of
+   the element that produced them, which is what makes the output order
+   independent of scheduling.  A raising [f] marks its slot instead of
+   tearing the pool down; after the join, the lowest-indexed recorded
+   exception is re-raised with its original backtrace. *)
+let run_pool ~jobs ~chunk f xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          match f xs.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              errors.(i) <- Some (e, bt)
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+    errors;
+  Array.map (function Some y -> y | None -> assert false) results
+
+let resolve_jobs jobs n =
+  let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  min j (max 1 n)
+
+let parallel_map ?jobs f xs =
+  let jobs = resolve_jobs jobs (Array.length xs) in
+  if jobs <= 1 then Array.map f xs else run_pool ~jobs ~chunk:1 f xs
+
+let parallel_map_chunked ?jobs ?chunk f xs =
+  let n = Array.length xs in
+  let jobs = resolve_jobs jobs n in
+  let chunk =
+    match chunk with
+    | Some c when c <= 0 ->
+        invalid_arg "Ir_exec.parallel_map_chunked: chunk must be > 0"
+    | Some c -> c
+    | None -> max 1 (n / (jobs * 4))
+  in
+  if jobs <= 1 then Array.map f xs else run_pool ~jobs ~chunk f xs
+
+let parallel_list_map ?jobs f xs =
+  Array.to_list (parallel_map ?jobs f (Array.of_list xs))
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,73 @@
+(** Parallel execution over OCaml 5 domains.
+
+    The evaluation layer of this reproduction recomputes the optimal rank
+    at every sweep point; the points are independent, so the sweeps are
+    embarrassingly parallel.  This module provides the small domain pool
+    they all share: a work-stealing [parallel_map] over arrays whose
+    results are written back by input index, so the output order — and
+    therefore every table, CSV and JSON artifact built from it — is {e
+    byte-identical} to a sequential run regardless of how the items were
+    scheduled across domains.
+
+    {2 Job-count resolution}
+
+    The worker count used when [?jobs] is omitted is resolved, in order,
+    from:
+
+    + the process-wide override installed with {!set_default_jobs}
+      (the CLI's [-j] flag);
+    + the [IA_RANK_JOBS] environment variable;
+    + [Domain.recommended_domain_count () - 1], the hardware parallelism
+      minus one domain's worth of headroom for the caller's process.
+
+    The result is clamped to at least 1.  With [jobs = 1] every function
+    degrades to its sequential [Array.map]/[List.map] equivalent on the
+    calling domain — no domain is spawned, so existing single-threaded
+    behavior (allocation pattern included) is exactly reproducible.
+
+    {2 Determinism and exceptions}
+
+    [f] runs at most once per element.  Results land at the index of the
+    element that produced them.  If one or more applications of [f] raise,
+    the remaining items are still drained (the pool never abandons a
+    domain), and the exception raised by the {e lowest-indexed} failing
+    element is re-raised in the caller with its original backtrace — again
+    independent of scheduling.
+
+    Sharing read-only data (e.g. an {!Ir_assign.Problem.t} after [build])
+    across the workers is safe; mutating shared state from [f] is the
+    caller's responsibility. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
+    the hardware default before overrides. *)
+
+val set_default_jobs : int option -> unit
+(** Install ([Some n], clamped to at least 1) or clear ([None]) the
+    process-wide job-count override.  Used by the CLI's [-j]. *)
+
+val default_jobs : unit -> int
+(** The job count used when [?jobs] is omitted (see resolution order
+    above). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs] evaluated by up to [jobs]
+    domains (the caller included), one element per work unit.  Result
+    order is the input order. *)
+
+val parallel_map_chunked :
+  ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map} but workers claim contiguous chunks of [chunk]
+    elements (default: a chunk size targeting ~4 chunks per worker) —
+    lower scheduling overhead when [f] is cheap relative to an atomic
+    fetch-and-add.  Same ordering and exception guarantees.
+    @raise Invalid_argument if [chunk <= 0]. *)
+
+val parallel_list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} for lists; preserves list order. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]).  The sweep layer's per-point
+    timings use wall time, not [Sys.time]: under parallel execution the
+    process CPU time aggregates every domain and stops measuring the
+    latency a user actually observes. *)

@@ -55,7 +55,7 @@ let better a b =
   else if pairs a <> pairs b then pairs a < pairs b
   else exoticism a < exoticism b
 
-let optimize ?(knobs = default_knobs) ?(bunch_size = 10000)
+let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
     ?(target_model = Ir_delay.Target.Linear) design =
   let node = design.Ir_tech.Design.node in
   let base_stack = Ir_tech.Stack.of_node node in
@@ -76,27 +76,35 @@ let optimize ?(knobs = default_knobs) ?(bunch_size = 10000)
         let outcome = Ir_core.Rank_dp.compute problem in
         Some { structure; pitch_scale; thickness_scale; outcome }
   in
-  let candidates =
+  (* Enumerate the grid first, then evaluate every candidate on the
+     Ir_exec pool.  Evaluations are independent (each builds its own arch
+     and problem; the WLD is shared read-only), and the result list keeps
+     grid order, so the [better] fold below picks the same winner as a
+     sequential scan. *)
+  let combos =
     List.concat_map
       (fun sg ->
         List.concat_map
           (fun gl ->
             List.concat_map
               (fun ps ->
-                List.filter_map
-                  (fun ts ->
-                    let structure =
-                      { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
-                        global_pairs = gl }
-                    in
-                    Logs.debug (fun f ->
-                        f "optimizer: sg=%d gl=%d pitch=%.2f thick=%.2f" sg
-                          gl ps ts);
-                    evaluate ~structure ~pitch_scale:ps ~thickness_scale:ts)
-                  knobs.thickness_scale)
+                List.map (fun ts -> (sg, gl, ps, ts)) knobs.thickness_scale)
               knobs.pitch_scale)
           knobs.global_pairs)
       knobs.semi_global_pairs
+  in
+  let candidates =
+    List.filter_map Fun.id
+      (Ir_exec.parallel_list_map ?jobs
+         (fun (sg, gl, ps, ts) ->
+           let structure =
+             { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
+               global_pairs = gl }
+           in
+           Logs.debug (fun f ->
+               f "optimizer: sg=%d gl=%d pitch=%.2f thick=%.2f" sg gl ps ts);
+           evaluate ~structure ~pitch_scale:ps ~thickness_scale:ts)
+         combos)
   in
   match candidates with
   | [] -> invalid_arg "Optimizer.optimize: no buildable candidate"

@@ -31,6 +31,7 @@ type candidate = {
 [@@deriving show]
 
 val optimize :
+  ?jobs:int ->
   ?knobs:knob ->
   ?bunch_size:int ->
   ?target_model:Ir_delay.Target.t ->
@@ -40,7 +41,9 @@ val optimize :
     candidates the node's stack cannot provide) and returns the best
     candidate (largest rank; ties broken toward fewer pairs, then
     unscaled geometry) together with all evaluated candidates.
-    The WLD is generated once and shared.
+    The WLD is generated once and shared; candidates are evaluated on the
+    {!Ir_exec} pool ([?jobs]) and reported in grid order, so the winner
+    does not depend on the job count.
     @raise Invalid_argument if no candidate is buildable. *)
 
 val scaled_stack :

@@ -13,13 +13,15 @@ let default_matrix =
     (Ir_tech.Node.N90, 4_000_000);
   ]
 
-let run ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) () =
-  List.map
+(* Matrix cells are independent (each builds its own design, WLD and
+   problem), so they run on the Ir_exec pool; results come back in matrix
+   order. *)
+let run ?jobs ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) ()
+    =
+  Ir_exec.parallel_list_map ?jobs
     (fun (node, gates) ->
       let design = Ir_core.Rank.baseline_design ~gates node in
-      let t0 = Sys.time () in
-      let outcome =
-        Ir_core.Rank.of_design ?structure ~bunch_size design
-      in
-      { node; gates; outcome; seconds = Sys.time () -. t0 })
+      let t0 = Ir_exec.now () in
+      let outcome = Ir_core.Rank.of_design ?structure ~bunch_size design in
+      { node; gates; outcome; seconds = Ir_exec.now () -. t0 })
     matrix

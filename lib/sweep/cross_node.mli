@@ -18,6 +18,7 @@ val default_matrix : (Ir_tech.Node.t * int) list
 (** The paper's named baselines: (180nm, 1M), (130nm, 1M), (90nm, 4M). *)
 
 val run :
+  ?jobs:int ->
   ?bunch_size:int ->
   ?structure:Ir_ia.Arch.structure ->
   ?matrix:(Ir_tech.Node.t * int) list ->
@@ -25,4 +26,6 @@ val run :
   cell list
 (** Computes the baseline (Table 2 parameters) rank for every matrix
     entry.  Gate counts of 10M are supported but take a few seconds
-    each. *)
+    each.  Cells are evaluated on the {!Ir_exec} pool ([?jobs]); the
+    returned list keeps the matrix order and is independent of the job
+    count (timings aside). *)

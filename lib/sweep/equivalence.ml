@@ -23,27 +23,33 @@ let rank_at config ~materials ~design =
   Ir_core.Outcome.normalized
     (Ir_core.Rank.compute ~algo:config.Table4.algo problem)
 
-let matching_miller_reduction ?(config = Table4.default_config) ~k_reduction
-    () =
+let matching_miller_reduction ?jobs ?(config = Table4.default_config)
+    ~k_reduction () =
   if not (k_reduction > 0.0 && k_reduction < 1.0) then
     invalid_arg "Equivalence: k_reduction must lie in (0, 1)";
   let design = config.Table4.design in
   let k_base = Ir_phys.Const.k_sio2 in
   let k = k_base *. (1.0 -. k_reduction) in
   let k_rank = rank_at config ~materials:(Ir_ia.Materials.v ~k ()) ~design in
-  (* Scan Miller factors from 2.0 down to 1.0 and keep the closest rank. *)
+  (* Scan Miller factors from 2.0 down to 1.0 and keep the closest rank.
+     The probes are independent rank computations, so they run on the
+     Ir_exec pool; the winner is picked by a sequential fold in grid
+     order, which preserves the sequential tie-breaking exactly. *)
   let grid = Ir_phys.Numeric.frange ~start:2.0 ~stop:1.0 ~step:(-0.025) in
+  let probes =
+    Ir_exec.parallel_list_map ?jobs
+      (fun m ->
+        (m, rank_at config ~materials:(Ir_ia.Materials.v ~miller:m ()) ~design))
+      grid
+  in
   let best =
     List.fold_left
-      (fun acc m ->
-        let r =
-          rank_at config ~materials:(Ir_ia.Materials.v ~miller:m ()) ~design
-        in
+      (fun acc (m, r) ->
         let d = Float.abs (r -. k_rank) in
         match acc with
         | Some (_, _, best_d) when best_d <= d -> acc
         | _ -> Some (m, r, d))
-      None grid
+      None probes
   in
   match best with
   | None -> assert false

@@ -14,9 +14,11 @@ type result = {
 [@@deriving show]
 
 val matching_miller_reduction :
-  ?config:Table4.config -> k_reduction:float -> unit -> result
+  ?jobs:int -> ?config:Table4.config -> k_reduction:float -> unit -> result
 (** [matching_miller_reduction ~k_reduction:0.38 ()] reproduces the
     headline: reduce K by 38% (3.9 -> 2.418), measure the rank, then find
     the Miller factor in [1, 2] whose rank is closest (scanning steps of
-    0.025 and refusing to extrapolate beyond the scan).
+    0.025 and refusing to extrapolate beyond the scan).  The grid probes
+    run on the {!Ir_exec} pool ([?jobs]); the selected match is
+    independent of the job count.
     @raise Invalid_argument if [k_reduction] is outside (0, 1). *)

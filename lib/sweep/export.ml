@@ -56,6 +56,96 @@ let write_cross ~dir cells =
         buf;
       write_file (Filename.concat dir "cross_node.csv") (Buffer.contents buf)
 
+(* ---- machine-readable sweep benchmark -------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* %.17g round-trips every finite float; ranks and wall times are always
+   finite here. *)
+let json_float x = Printf.sprintf "%.17g" x
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let bench_json_path ~dir = Filename.concat dir "BENCH_sweeps.json"
+
+let write_bench_json ~dir ~jobs ~timings ~sweeps ~cross =
+  match ensure_dir dir with
+  | Error msg -> Error msg
+  | Ok () ->
+      let row (r : Table4.row) =
+        json_obj
+          [
+            ("param", json_float r.param);
+            ( "normalized",
+              json_float (Ir_core.Outcome.normalized r.outcome) );
+            ( "rank_wires",
+              string_of_int r.outcome.Ir_core.Outcome.rank_wires );
+            ( "total_wires",
+              string_of_int r.outcome.Ir_core.Outcome.total_wires );
+            ("seconds", json_float r.seconds);
+          ]
+      in
+      let sweep (s : Table4.sweep) =
+        json_obj
+          [
+            ("name", json_string s.name);
+            ("legend", json_string s.legend);
+            ( "seconds",
+              json_float
+                (List.fold_left
+                   (fun a (r : Table4.row) -> a +. r.seconds)
+                   0.0 s.rows) );
+            ("rows", json_list row s.rows);
+          ]
+      in
+      let cell (c : Cross_node.cell) =
+        json_obj
+          [
+            ("node", json_string (Ir_tech.Node.name c.node));
+            ("gates", string_of_int c.gates);
+            ( "normalized",
+              json_float (Ir_core.Outcome.normalized c.outcome) );
+            ( "rank_wires",
+              string_of_int c.outcome.Ir_core.Outcome.rank_wires );
+            ("seconds", json_float c.seconds);
+          ]
+      in
+      let contents =
+        json_obj
+          [
+            ("schema", json_string "ia-rank/bench-sweeps/1");
+            ("jobs", string_of_int jobs);
+            ( "timings",
+              json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
+            );
+            ("table4", json_list sweep sweeps);
+            ("cross_node", json_list cell cross);
+          ]
+        ^ "\n"
+      in
+      write_file (bench_json_path ~dir) contents
+
 let write_manifest ~dir ~entries =
   match ensure_dir dir with
   | Error msg -> Error msg

@@ -20,3 +20,20 @@ val write_manifest :
   dir:string -> entries:(string * string) list -> (string, string) result
 (** Writes [<dir>/MANIFEST.txt] with one [key: value] line per entry
     (e.g. key experiment ids, value one-line summaries). *)
+
+val bench_json_path : dir:string -> string
+(** The file {!write_bench_json} writes: [<dir>/BENCH_sweeps.json]. *)
+
+val write_bench_json :
+  dir:string ->
+  jobs:int ->
+  timings:(string * float) list ->
+  sweeps:Table4.sweep list ->
+  cross:Cross_node.cell list ->
+  (string, string) result
+(** Writes the machine-readable sweep benchmark
+    ([<dir>/BENCH_sweeps.json]) used to track the perf trajectory across
+    PRs: the named wall-clock [timings] (e.g. the sequential and parallel
+    table4 legs), every Table 4 row (param, normalized rank, rank wires,
+    per-point seconds) and the cross-node cells.  [jobs] records the
+    worker count of the parallel leg. *)

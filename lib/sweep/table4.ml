@@ -33,79 +33,108 @@ let shared_wld config =
     (Ir_wld.Davis.params ~gates:d.Ir_tech.Design.gates
        ~rent_p:d.Ir_tech.Design.rent_p ~fan_out:d.Ir_tech.Design.fan_out ())
 
-(* One sweep point: build the architecture for this parameter value,
-   bunch the shared WLD against it, compute the rank, time it. *)
-let point config wld ~materials ~design param =
-  let arch = Ir_ia.Arch.make ~structure:config.structure ~materials ~design () in
-  let problem =
-    Ir_assign.Problem.make ~target_model:config.target_model
-      ~bunch_size:config.bunch_size ~arch ~wld ()
-  in
-  let t0 = Sys.time () in
-  let outcome = Ir_core.Rank.compute ~algo:config.algo problem in
-  { param; outcome; seconds = Sys.time () -. t0 }
+(* How one sweep point differs from the baseline.  [Rebuild] changes the
+   electrical model and needs a full instance; the rescales derive from a
+   shared base instance via the [Problem] reuse paths, skipping the WLD
+   bunching and (for the budget) every prefix table. *)
+type spec =
+  | Rebuild of { materials : Ir_ia.Materials.t; design : Ir_tech.Design.t }
+  | Rescale_clock of float
+  | Rescale_budget of float
 
-let run config ~name ~legend ~paper points =
+let build_problem config ~materials ~design wld =
+  let arch =
+    Ir_ia.Arch.make ~structure:config.structure ~materials ~design ()
+  in
+  Ir_assign.Problem.make ~target_model:config.target_model
+    ~bunch_size:config.bunch_size ~arch ~wld ()
+
+(* One sweep point: realize the instance for this parameter value, compute
+   the rank, time the rank computation (wall clock; under parallel
+   execution CPU time would aggregate every domain). *)
+let point config wld ~base (param, spec) =
+  Logs.debug (fun f -> f "table4: param %.4g" param);
+  let problem =
+    match (spec, base) with
+    | Rebuild { materials; design }, _ ->
+        build_problem config ~materials ~design wld
+    | Rescale_clock clock, Some base ->
+        Ir_assign.Problem.with_clock base clock
+    | Rescale_budget r, Some base ->
+        Ir_assign.Problem.with_repeater_fraction base r
+    | (Rescale_clock _ | Rescale_budget _), None -> assert false
+  in
+  let t0 = Ir_exec.now () in
+  let outcome = Ir_core.Rank.compute ~algo:config.algo problem in
+  { param; outcome; seconds = Ir_exec.now () -. t0 }
+
+let run ?jobs config ~name ~legend ~paper points =
   let wld = shared_wld config in
+  (* The shared base instance for rescale points is immutable after build,
+     so they may all read it concurrently; build it eagerly rather than
+     behind a [lazy] (forcing a [lazy] from several domains would race). *)
+  let base =
+    if
+      List.exists
+        (fun (_, s) -> match s with Rebuild _ -> false | _ -> true)
+        points
+    then
+      Some
+        (build_problem config ~materials:Ir_ia.Materials.default
+           ~design:config.design wld)
+    else None
+  in
   let rows =
-    List.map
-      (fun (param, materials, design) ->
-        Logs.debug (fun f -> f "table4 %s: param %.4g" name param);
-        point config wld ~materials ~design param)
-      points
+    Array.to_list
+      (Ir_exec.parallel_map ?jobs
+         (point config wld ~base)
+         (Array.of_list points))
   in
   { name; legend; rows; paper }
 
 let grid_desc ~from ~until ~step =
   Ir_phys.Numeric.frange ~start:from ~stop:until ~step:(-.step)
 
-let k_sweep ?(config = default_config) () =
+let k_sweep ?jobs ?(config = default_config) () =
   let points =
     List.map
-      (fun k -> (k, Ir_ia.Materials.v ~k (), config.design))
+      (fun k ->
+        (k, Rebuild { materials = Ir_ia.Materials.v ~k (); design = config.design }))
       (grid_desc ~from:3.9 ~until:1.8 ~step:0.1)
   in
-  run config ~name:"K" ~legend:"ILD permittivity"
+  run ?jobs config ~name:"K" ~legend:"ILD permittivity"
     ~paper:Paper_data.table4_k points
 
-let m_sweep ?(config = default_config) () =
+let m_sweep ?jobs ?(config = default_config) () =
   let points =
     List.map
-      (fun m -> (m, Ir_ia.Materials.v ~miller:m (), config.design))
+      (fun m ->
+        ( m,
+          Rebuild
+            { materials = Ir_ia.Materials.v ~miller:m (); design = config.design }
+        ))
       (grid_desc ~from:2.0 ~until:1.0 ~step:0.05)
   in
-  run config ~name:"M" ~legend:"Miller coupling factor"
+  run ?jobs config ~name:"M" ~legend:"Miller coupling factor"
     ~paper:Paper_data.table4_m points
 
-let c_sweep ?(config = default_config) () =
+let c_sweep ?jobs ?(config = default_config) () =
   let clocks =
     Ir_phys.Numeric.frange ~start:0.5e9 ~stop:1.7e9 ~step:0.1e9
   in
-  let points =
-    List.map
-      (fun c ->
-        (c, Ir_ia.Materials.default, Ir_tech.Design.with_clock config.design c))
-      clocks
-  in
-  run config ~name:"C" ~legend:"target clock frequency (Hz)"
+  let points = List.map (fun c -> (c, Rescale_clock c)) clocks in
+  run ?jobs config ~name:"C" ~legend:"target clock frequency (Hz)"
     ~paper:Paper_data.table4_c points
 
-let r_sweep ?(config = default_config) () =
+let r_sweep ?jobs ?(config = default_config) () =
   let fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
-  let points =
-    List.map
-      (fun r ->
-        ( r,
-          Ir_ia.Materials.default,
-          Ir_tech.Design.with_repeater_fraction config.design r ))
-      fractions
-  in
-  run config ~name:"R" ~legend:"max repeater fraction of die area"
+  let points = List.map (fun r -> (r, Rescale_budget r)) fractions in
+  run ?jobs config ~name:"R" ~legend:"max repeater fraction of die area"
     ~paper:Paper_data.table4_r points
 
-let all ?(config = default_config) () =
-  [ k_sweep ~config (); m_sweep ~config (); c_sweep ~config ();
-    r_sweep ~config () ]
+let all ?jobs ?(config = default_config) () =
+  [ k_sweep ?jobs ~config (); m_sweep ?jobs ~config ();
+    c_sweep ?jobs ~config (); r_sweep ?jobs ~config () ]
 
 let normalized sweep =
   List.map

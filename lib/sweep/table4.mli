@@ -5,7 +5,16 @@
     Each sweep varies one parameter over the paper's exact grid while
     holding the Table 2 baseline for the rest, recomputing the optimal
     rank at every point.  The WLD is generated once per design and shared
-    across the sweep. *)
+    across the sweep.
+
+    Sweep points are independent and run on the {!Ir_exec} domain pool
+    ([?jobs], default {!Ir_exec.default_jobs}); rows come back in grid
+    order with identical ranks whatever the job count, so sequential and
+    parallel runs produce byte-identical tables (only the [seconds]
+    timings differ).  The C and R columns rescale a shared base instance
+    through {!Ir_assign.Problem.with_clock} and
+    {!Ir_assign.Problem.with_repeater_fraction} instead of rebuilding the
+    problem at every point. *)
 
 type row = {
   param : float;
@@ -35,19 +44,19 @@ val default_config : config
 
 val with_design : config -> Ir_tech.Design.t -> config
 
-val k_sweep : ?config:config -> unit -> sweep
+val k_sweep : ?jobs:int -> ?config:config -> unit -> sweep
 (** ILD permittivity from 3.9 down to 1.8 in steps of 0.1 (Table 4 K). *)
 
-val m_sweep : ?config:config -> unit -> sweep
+val m_sweep : ?jobs:int -> ?config:config -> unit -> sweep
 (** Miller factor from 2.0 down to 1.0 in steps of 0.05 (Table 4 M). *)
 
-val c_sweep : ?config:config -> unit -> sweep
+val c_sweep : ?jobs:int -> ?config:config -> unit -> sweep
 (** Clock from 0.5 GHz to 1.7 GHz in steps of 0.1 GHz (Table 4 C). *)
 
-val r_sweep : ?config:config -> unit -> sweep
+val r_sweep : ?jobs:int -> ?config:config -> unit -> sweep
 (** Repeater fraction from 0.1 to 0.5 in steps of 0.1 (Table 4 R). *)
 
-val all : ?config:config -> unit -> sweep list
+val all : ?jobs:int -> ?config:config -> unit -> sweep list
 (** The four columns in the paper's order: K, M, C, R. *)
 
 val normalized : sweep -> (float * float) list

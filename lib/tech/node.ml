@@ -31,8 +31,23 @@ let resistivity = function
   | Custom _ -> Ir_phys.Const.rho_cu_bulk *. 1.30
 
 let of_string s =
-  match String.lowercase_ascii (String.trim s) with
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
   | "180" | "180nm" | "n180" -> Some N180
   | "130" | "130nm" | "n130" -> Some N130
   | "90" | "90nm" | "n90" -> Some N90
-  | _ -> None
+  | _ ->
+      (* Any other positive feature size becomes a Custom node with the
+         ITRS-trend defaults of this module (resistivity, clock, pitch all
+         scale off the feature size). *)
+      let digits =
+        if String.length s > 2 && String.sub s (String.length s - 2) 2 = "nm"
+        then String.sub s 0 (String.length s - 2)
+        else if String.length s > 1 && s.[0] = 'n' then
+          String.sub s 1 (String.length s - 1)
+        else s
+      in
+      (match float_of_string_opt digits with
+      | Some f when f > 0.0 && Float.is_finite f ->
+          Some (Custom { name = Printf.sprintf "%gnm" f; feature = f *. 1e-9 })
+      | _ -> None)

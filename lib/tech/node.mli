@@ -27,4 +27,7 @@ val resistivity : t -> float
     over the bulk value: Al-based at 180nm, Cu-based below. *)
 
 val of_string : string -> t option
-(** Parses ["180nm"], ["180"], ["130nm"], ["90nm"], ... *)
+(** Parses the paper's nodes (["180nm"], ["180"], ["n180"], ...) and any
+    other positive feature size — ["65nm"], ["45"], ["32.5nm"] — as a
+    [Custom] node whose electrical parameters follow this module's scaled
+    ITRS trends.  Returns [None] for non-numeric or non-positive input. *)

@@ -188,6 +188,125 @@ let test_greedy_fill_ordering () =
       Alcotest.(check bool) "shortest on bottom pair" true
         (List.for_all (fun pl -> pl.GF.pair = bottom) of_shortest)
 
+(* ---- rescale-reuse constructors --------------------------------------- *)
+
+(* Rebuild a problem from scratch with the given design knobs, keeping the
+   same bunches — the reference the reuse paths must match exactly. *)
+let rebuild_like problem ~clock ~fraction =
+  let arch = P.arch problem in
+  let design = Ir_tech.Design.with_clock arch.Ir_ia.Arch.design clock in
+  let design = Ir_tech.Design.with_repeater_fraction design fraction in
+  let arch = Ir_ia.Arch.with_design arch design in
+  let bunches =
+    Array.init (P.n_bunches problem) (fun b ->
+        { Ir_wld.Dist.length = P.bunch_length problem b;
+          count = P.bunch_count problem b })
+  in
+  P.of_bunches ~arch ~bunches ()
+
+let check_problems_agree label a b =
+  Alcotest.(check int) (label ^ ": bunches") (P.n_bunches a) (P.n_bunches b);
+  check_close (label ^ ": budget") (P.budget a) (P.budget b);
+  check_close (label ^ ": capacity") (P.capacity a) (P.capacity b);
+  for bn = 0 to P.n_bunches a - 1 do
+    check_close
+      (Printf.sprintf "%s: target %d" label bn)
+      (P.target a bn) (P.target b bn)
+  done;
+  for j = 0 to P.n_pairs a - 1 do
+    for bn = 0 to P.n_bunches a - 1 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s: eta pair %d bunch %d" label j bn)
+        (P.eta_min a ~pair:j ~bunch:bn)
+        (P.eta_min b ~pair:j ~bunch:bn)
+    done;
+    for lo = 0 to P.n_bunches a do
+      for hi = lo to P.n_bunches a do
+        match
+          (P.meeting_cost a ~pair:j ~lo ~hi, P.meeting_cost b ~pair:j ~lo ~hi)
+        with
+        | None, None -> ()
+        | Some (_, ca), Some (_, cb) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s: count pair %d [%d,%d)" label j lo hi)
+              ca cb
+        | _ ->
+            Alcotest.failf "%s: feasibility differs on pair %d [%d,%d)" label
+              j lo hi
+      done
+    done
+  done
+
+let test_with_repeater_fraction () =
+  let p = fixed_instance ~fraction:0.4 () in
+  let rescaled = P.with_repeater_fraction p 0.1 in
+  let fresh =
+    rebuild_like p ~clock:(P.arch p).Ir_ia.Arch.design.Ir_tech.Design.clock
+      ~fraction:0.1
+  in
+  check_problems_agree "fraction 0.4 -> 0.1" fresh rescaled;
+  check_close "budget scaled by 1/4" (P.budget p /. 4.0) (P.budget rescaled);
+  (* The original is untouched (fresh immutable value). *)
+  check_close "original budget intact"
+    (P.budget (fixed_instance ~fraction:0.4 ()))
+    (P.budget p);
+  Alcotest.check_raises "fraction out of range"
+    (Invalid_argument "Design.v: repeater_fraction must lie in [0, 1]")
+    (fun () -> ignore (P.with_repeater_fraction p 1.5))
+
+let test_with_clock () =
+  let p = fixed_instance ~clock:5e8 () in
+  let rescaled = P.with_clock p 1e9 in
+  let fresh = rebuild_like p ~clock:1e9 ~fraction:0.4 in
+  check_problems_agree "clock 0.5 -> 1 GHz" fresh rescaled;
+  (* Doubling the clock halves every target. *)
+  check_close "target halves" (P.target p 0 /. 2.0) (P.target rescaled 0)
+
+let prop_rescale_paths_match_rebuild =
+  qtest ~count:40 "rescale-reuse constructors match full rebuilds"
+    Helpers.gen_instance (fun { problem; label } ->
+      let clock =
+        (P.arch problem).Ir_ia.Arch.design.Ir_tech.Design.clock *. 1.7
+      in
+      let a = P.with_clock problem clock in
+      let b = rebuild_like problem ~clock ~fraction:0.2 in
+      let b = P.with_repeater_fraction b 0.2 in
+      (* Compare via the DP-visible quantities on a coarse probe. *)
+      let a = P.with_repeater_fraction a 0.2 in
+      let ok = ref true in
+      for j = 0 to P.n_pairs a - 1 do
+        for bn = 0 to P.n_bunches a - 1 do
+          if P.eta_min a ~pair:j ~bunch:bn <> P.eta_min b ~pair:j ~bunch:bn
+          then ok := false
+        done
+      done;
+      if (not !ok) || Float.abs (P.budget a -. P.budget b) > 1e-18 then
+        QCheck2.Test.fail_reportf "%s" label
+      else true)
+
+(* Regression for the float-truncation bug: repeater counts are exact
+   integers, so meeting-cost counts must be exactly additive over interval
+   splits (int_of_float on differenced float prefixes broke this). *)
+let prop_meeting_cost_additive =
+  qtest ~count:60 "meeting-cost counts are exactly additive"
+    Helpers.gen_instance (fun { problem; label } ->
+      let n = P.n_bunches problem in
+      let ok = ref true in
+      for j = 0 to P.n_pairs problem - 1 do
+        for mid = 0 to n do
+          match
+            ( P.meeting_cost problem ~pair:j ~lo:0 ~hi:n,
+              P.meeting_cost problem ~pair:j ~lo:0 ~hi:mid,
+              P.meeting_cost problem ~pair:j ~lo:mid ~hi:n )
+          with
+          | Some (_, whole), Some (_, left), Some (_, right) ->
+              if whole <> left + right then ok := false
+          | _ -> ()
+        done
+      done;
+      if not !ok then QCheck2.Test.fail_reportf "%s: counts not additive" label
+      else true)
+
 let prop_greedy_fill_monotone_budget =
   qtest ~count:60 "relaxing blockage never breaks a fitting pack"
     Helpers.gen_instance (fun { problem; label } ->
@@ -226,6 +345,14 @@ let () =
           Alcotest.test_case "delay consistency" `Quick
             test_problem_delay_consistency;
           Alcotest.test_case "validation" `Quick test_problem_validation;
+          prop_meeting_cost_additive;
+        ] );
+      ( "rescale reuse",
+        [
+          Alcotest.test_case "repeater fraction" `Quick
+            test_with_repeater_fraction;
+          Alcotest.test_case "clock" `Quick test_with_clock;
+          prop_rescale_paths_match_rebuild;
         ] );
       ( "pair_fill",
         [

@@ -276,6 +276,35 @@ let prop_rank_monotone_in_k =
         QCheck2.Test.fail_reportf "%s: k down, rank %d -> %d" label r1 r2
       else true)
 
+let prop_binary_matches_exhaustive =
+  (* The issue's satellite check: the binary boundary search rests on the
+     monotonicity argument documented in Rank_dp; the exhaustive scan is
+     its oracle on random instances (which include the inverted-stack
+     regimes the baseline never shows). *)
+  qtest ~count:120 "binary boundary search matches the exhaustive scan"
+    Helpers.gen_instance (fun { problem; label } ->
+      let fast = Ir_core.Rank_dp.compute problem in
+      let slow = Ir_core.Rank_dp.compute ~exhaustive:true problem in
+      if
+        fast.rank_wires <> slow.rank_wires
+        || fast.assignable <> slow.assignable
+      then
+        QCheck2.Test.fail_reportf "%s: binary=%d/%b exhaustive=%d/%b" label
+          fast.rank_wires fast.assignable slow.rank_wires slow.assignable
+      else true)
+
+let test_tables_reuse () =
+  (* search_tables over prebuilt tables must equal the one-shot search,
+     and the tables survive repeated queries (they are immutable). *)
+  let p = baseline_130nm_small () in
+  let tables = Ir_core.Rank_dp.build_tables p in
+  let via_tables = fst (Ir_core.Rank_dp.search_tables tables) in
+  let direct = Ir_core.Rank_dp.compute p in
+  Alcotest.(check int) "same rank" direct.rank_wires via_tables.rank_wires;
+  let again = fst (Ir_core.Rank_dp.search_tables ~exhaustive:true tables) in
+  Alcotest.(check int) "repeat query stable" direct.rank_wires
+    again.rank_wires
+
 let prop_feasible_boundary_monotone =
   qtest ~count:60 "boundary feasibility is monotone"
     Helpers.gen_instance (fun { problem; label } ->
@@ -299,6 +328,8 @@ let () =
           Alcotest.test_case "unassignable" `Quick test_dp_unassignable;
           Alcotest.test_case "binary vs exhaustive search" `Slow
             test_dp_binary_vs_exhaustive;
+          Alcotest.test_case "prebuilt tables reuse" `Quick test_tables_reuse;
+          prop_binary_matches_exhaustive;
           prop_dp_equals_brute;
           prop_feasible_boundary_monotone;
           prop_rank_monotone_in_budget;

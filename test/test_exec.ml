@@ -1,0 +1,143 @@
+(* Tests for the Ir_exec domain pool: ordering determinism across worker
+   counts, edge cases (empty input, more workers than items), exception
+   propagation, and the jobs-resolution chain. *)
+
+let check_int_array msg expected actual =
+  Alcotest.(check (array int)) msg expected actual
+
+let test_matches_sequential () =
+  let xs = Array.init 57 (fun i -> i) in
+  let f x = (x * 37) mod 101 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      check_int_array
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Ir_exec.parallel_map ~jobs f xs))
+    [ 1; 2; 4; 9 ]
+
+let test_empty () =
+  check_int_array "empty input" [||]
+    (Ir_exec.parallel_map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (list int))
+    "empty list" []
+    (Ir_exec.parallel_list_map ~jobs:4 (fun x -> x) [])
+
+let test_jobs_exceed_items () =
+  (* More workers than elements: jobs is clamped to the item count, so no
+     domain spins on an empty range. *)
+  check_int_array "jobs=16 over 3 items" [| 2; 4; 6 |]
+    (Ir_exec.parallel_map ~jobs:16 (fun x -> 2 * x) [| 1; 2; 3 |])
+
+let test_singleton_sequential () =
+  (* jobs=1 must not spawn: detectable because Domain.self () is stable. *)
+  let self = Domain.self () in
+  let seen = ref None in
+  ignore
+    (Ir_exec.parallel_map ~jobs:1
+       (fun x ->
+         seen := Some (Domain.self ());
+         x)
+       [| 1; 2; 3 |]);
+  Alcotest.(check bool) "ran on the calling domain" true (!seen = Some self)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* Multiple elements raise; the lowest-indexed exception must win,
+     independent of scheduling. *)
+  List.iter
+    (fun jobs ->
+      match
+        Ir_exec.parallel_map ~jobs
+          (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+          (Array.init 20 (fun i -> i))
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom i ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d lowest index wins" jobs)
+            2 i)
+    [ 1; 2; 4 ]
+
+let test_chunked_equivalence () =
+  let xs = Array.init 100 (fun i -> i) in
+  let f x = x * x in
+  let expected = Array.map f xs in
+  List.iter
+    (fun chunk ->
+      check_int_array
+        (Printf.sprintf "chunk=%d" chunk)
+        expected
+        (Ir_exec.parallel_map_chunked ~jobs:4 ~chunk f xs))
+    [ 1; 3; 7; 100; 1000 ];
+  check_int_array "default chunk" expected
+    (Ir_exec.parallel_map_chunked ~jobs:4 f xs);
+  Alcotest.check_raises "chunk must be positive"
+    (Invalid_argument "Ir_exec.parallel_map_chunked: chunk must be > 0")
+    (fun () ->
+      ignore (Ir_exec.parallel_map_chunked ~jobs:2 ~chunk:0 f xs))
+
+let test_list_map_order () =
+  Alcotest.(check (list string))
+    "order preserved"
+    [ "0"; "1"; "2"; "3"; "4" ]
+    (Ir_exec.parallel_list_map ~jobs:3 string_of_int [ 0; 1; 2; 3; 4 ])
+
+let test_jobs_resolution () =
+  (* override > IA_RANK_JOBS > recommended, and the override clamps to
+     >= 1.  Restore a clean state afterwards: the suite shares the
+     process-global default. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Ir_exec.set_default_jobs None;
+      Unix.putenv "IA_RANK_JOBS" "")
+    (fun () ->
+      Ir_exec.set_default_jobs None;
+      Unix.putenv "IA_RANK_JOBS" "";
+      Alcotest.(check int)
+        "no override, no env" (Ir_exec.recommended_jobs ())
+        (Ir_exec.default_jobs ());
+      Unix.putenv "IA_RANK_JOBS" "6";
+      Alcotest.(check int) "env honoured" 6 (Ir_exec.default_jobs ());
+      Unix.putenv "IA_RANK_JOBS" "garbage";
+      Alcotest.(check int)
+        "bad env ignored" (Ir_exec.recommended_jobs ())
+        (Ir_exec.default_jobs ());
+      Unix.putenv "IA_RANK_JOBS" "6";
+      Ir_exec.set_default_jobs (Some 3);
+      Alcotest.(check int) "override beats env" 3 (Ir_exec.default_jobs ());
+      Ir_exec.set_default_jobs (Some 0);
+      Alcotest.(check int) "override clamps to 1" 1 (Ir_exec.default_jobs ()))
+
+let test_recommended_positive () =
+  Alcotest.(check bool) "at least one worker" true
+    (Ir_exec.recommended_jobs () >= 1)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "parallel_map",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_matches_sequential;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "jobs exceed items" `Quick
+            test_jobs_exceed_items;
+          Alcotest.test_case "jobs=1 stays on caller" `Quick
+            test_singleton_sequential;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+        ] );
+      ( "parallel_map_chunked",
+        [ Alcotest.test_case "chunk sizes" `Quick test_chunked_equivalence ] );
+      ( "parallel_list_map",
+        [ Alcotest.test_case "order" `Quick test_list_map_order ] );
+      ( "configuration",
+        [
+          Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
+          Alcotest.test_case "recommended positive" `Quick
+            test_recommended_positive;
+        ] );
+    ]

@@ -107,6 +107,53 @@ let test_cross_node () =
         true c.outcome.assignable)
     cells
 
+let test_parallel_determinism () =
+  (* The acceptance criterion for the Ir_exec rewiring: running the full
+     Table 4 grid on 4 worker domains must reproduce the sequential ranks
+     and row ordering byte-for-byte. *)
+  let tiny =
+    let design = Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:20_000 () in
+    { Ir_sweep.Table4.default_config with design; bunch_size = 400 }
+  in
+  let strip (s : Ir_sweep.Table4.sweep) =
+    ( s.name,
+      List.map
+        (fun (r : Ir_sweep.Table4.row) ->
+          (r.param, r.outcome.Ir_core.Outcome.rank_wires,
+           r.outcome.Ir_core.Outcome.total_wires))
+        s.rows )
+  in
+  let seq = List.map strip (Ir_sweep.Table4.all ~jobs:1 ~config:tiny ()) in
+  let par = List.map strip (Ir_sweep.Table4.all ~jobs:4 ~config:tiny ()) in
+  Alcotest.(check int) "same sweep count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (name_s, rows_s) (name_p, rows_p) ->
+      Alcotest.(check string) "sweep order" name_s name_p;
+      Alcotest.(check bool)
+        (name_s ^ ": identical rows") true (rows_s = rows_p))
+    seq par;
+  let cseq =
+    Ir_sweep.Cross_node.run ~jobs:1 ~bunch_size:400
+      ~matrix:[ (Ir_tech.Node.N130, 20_000); (Ir_tech.Node.N90, 20_000) ]
+      ()
+  in
+  let cpar =
+    Ir_sweep.Cross_node.run ~jobs:4 ~bunch_size:400
+      ~matrix:[ (Ir_tech.Node.N130, 20_000); (Ir_tech.Node.N90, 20_000) ]
+      ()
+  in
+  Alcotest.(check bool) "cross-node identical" true
+    (List.map
+       (fun (c : Ir_sweep.Cross_node.cell) ->
+         (Ir_tech.Node.name c.node, c.gates,
+          c.outcome.Ir_core.Outcome.rank_wires))
+       cseq
+    = List.map
+        (fun (c : Ir_sweep.Cross_node.cell) ->
+          (Ir_tech.Node.name c.node, c.gates,
+           c.outcome.Ir_core.Outcome.rank_wires))
+        cpar)
+
 let test_paper_data () =
   Alcotest.(check int) "K column size" 22 (List.length Ir_sweep.Paper_data.table4_k);
   Alcotest.(check int) "M column size" 21 (List.length Ir_sweep.Paper_data.table4_m);
@@ -193,15 +240,38 @@ let test_export () =
       | Ok path ->
           Alcotest.(check bool) "cross file exists" true
             (Sys.file_exists path));
-      match
-        Ir_sweep.Export.write_manifest ~dir
-          ~entries:[ ("E4", "table4 column R") ]
-      with
+      (match
+         Ir_sweep.Export.write_manifest ~dir
+           ~entries:[ ("E4", "table4 column R") ]
+       with
       | Error e -> Alcotest.failf "write_manifest: %s" e
       | Ok path ->
           let contents = In_channel.with_open_text path In_channel.input_all in
           Alcotest.(check bool) "manifest entry" true
-            (Astring_contains.contains contents "E4: table4 column R"))
+            (Astring_contains.contains contents "E4: table4 column R"));
+      match
+        Ir_sweep.Export.write_bench_json ~dir ~jobs:4
+          ~timings:[ ("table4_jobs1_seconds", 1.25) ]
+          ~sweeps:[ sweep ] ~cross:[]
+      with
+      | Error e -> Alcotest.failf "write_bench_json: %s" e
+      | Ok path ->
+          Alcotest.(check string) "path" (Ir_sweep.Export.bench_json_path ~dir)
+            path;
+          let contents = In_channel.with_open_text path In_channel.input_all in
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool)
+                ("bench json has " ^ needle)
+                true
+                (Astring_contains.contains contents needle))
+            [
+              "\"schema\":\"ia-rank/bench-sweeps/1\"";
+              "\"jobs\":4";
+              "\"table4_jobs1_seconds\":1.25";
+              "\"rank_wires\"";
+              "\"cross_node\":[]";
+            ])
 
 let test_export_bad_dir () =
   match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
@@ -225,6 +295,9 @@ let () =
             test_equivalence_headline ] );
       ( "cross node",
         [ Alcotest.test_case "matrix" `Slow test_cross_node ] );
+      ( "parallel execution",
+        [ Alcotest.test_case "jobs=4 reproduces jobs=1" `Slow
+            test_parallel_determinism ] );
       ( "paper data",
         [ Alcotest.test_case "columns" `Quick test_paper_data ] );
       ( "export",

@@ -96,10 +96,42 @@ let test_node_basics () =
     (Option.map Ir_tech.Node.name (Ir_tech.Node.of_string "130nm"));
   Alcotest.(check (option string))
     "of_string bare" (Some "90nm")
-    (Option.map Ir_tech.Node.name (Ir_tech.Node.of_string " 90 "));
-  Alcotest.(check bool)
-    "of_string junk" true
-    (Ir_tech.Node.of_string "45nm" = None)
+    (Option.map Ir_tech.Node.name (Ir_tech.Node.of_string " 90 "))
+
+let test_node_of_string_custom () =
+  (match Ir_tech.Node.of_string "65nm" with
+  | Some (Ir_tech.Node.Custom { name; feature }) ->
+      Alcotest.(check string) "custom name" "65nm" name;
+      check_close "custom feature" 65e-9 feature
+  | other ->
+      Alcotest.failf "65nm: expected a custom node, got %a"
+        Fmt.(Dump.option Ir_tech.Node.pp)
+        other);
+  (match Ir_tech.Node.of_string "n45" with
+  | Some (Ir_tech.Node.Custom { feature; _ }) ->
+      check_close "n-prefixed feature" 45e-9 feature
+  | _ -> Alcotest.fail "n45 should parse as a custom node");
+  (match Ir_tech.Node.of_string "32.5nm" with
+  | Some (Ir_tech.Node.Custom { name; feature }) ->
+      Alcotest.(check string) "fractional name" "32.5nm" name;
+      check_close "fractional feature" 32.5e-9 feature
+  | _ -> Alcotest.fail "32.5nm should parse as a custom node");
+  (* Custom nodes feed the scaled electrical model. *)
+  (match Ir_tech.Node.of_string "65nm" with
+  | Some node ->
+      check_close "feature size" 65e-9 (Ir_tech.Node.feature_size node);
+      Alcotest.(check bool)
+        "gate pitch follows the ITRS rule" true
+        (Ir_phys.Numeric.close (12.6 *. 65e-9)
+           (Ir_tech.Node.gate_pitch node))
+  | None -> Alcotest.fail "65nm should parse");
+  List.iter
+    (fun junk ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" junk)
+        true
+        (Ir_tech.Node.of_string junk = None))
+    [ "abc"; ""; "0"; "-45nm"; "nan"; "infnm"; "45xm" ]
 
 let test_device () =
   let d = Ir_tech.Device.of_node Ir_tech.Node.N130 in
@@ -213,7 +245,11 @@ let () =
           Alcotest.test_case "pp_table3" `Quick test_pp_table3;
         ] );
       ( "node",
-        [ Alcotest.test_case "basics" `Quick test_node_basics ] );
+        [
+          Alcotest.test_case "basics" `Quick test_node_basics;
+          Alcotest.test_case "custom node parsing" `Quick
+            test_node_of_string_custom;
+        ] );
       ( "device",
         [ Alcotest.test_case "parameters" `Quick test_device ] );
       ( "design",
