@@ -40,17 +40,29 @@ let sweep_ranks (s : Ir_sweep.Table4.sweep) =
 
 let experiment_table4 () =
   section "E1-E4: Table 4 (rank vs K, M, C, R; 130nm, 1M gates)";
+  (* Each leg runs from a zeroed metrics registry so the two counter
+     snapshots are comparable: every Ir_obs counter counts a
+     deterministic quantity, so jobs=1 and jobs=N must agree exactly —
+     a cross-domain determinism check on the whole DP + packing stack,
+     on top of the rank-identity check below. *)
+  Ir_obs.reset ();
   let t0 = Ir_exec.now () in
   let seq = Ir_sweep.Table4.all ~jobs:1 () in
   let seq_s = Ir_exec.now () -. t0 in
+  let seq_snap = Ir_obs.snapshot () in
+  Ir_obs.reset ();
   let jobs = par_jobs () in
   let t0 = Ir_exec.now () in
   let sweeps = Ir_sweep.Table4.all ~jobs () in
   let par_s = Ir_exec.now () -. t0 in
+  let par_snap = Ir_obs.snapshot () in
   let identical =
     List.for_all2
       (fun a b -> sweep_ranks a = sweep_ranks b)
       seq sweeps
+  in
+  let counters_identical =
+    seq_snap.Ir_obs.counters = par_snap.Ir_obs.counters
   in
   List.iter
     (fun s ->
@@ -77,8 +89,24 @@ let experiment_table4 () =
         ];
       ]
     Format.std_formatter;
+  Ir_sweep.Report.table
+    ~header:[ "counter"; "jobs=1"; Printf.sprintf "jobs=%d" jobs; "match" ]
+    ~rows:
+      (List.map
+         (fun (name, v1) ->
+           let vn = Ir_obs.find_counter par_snap name in
+           [
+             name;
+             string_of_int v1;
+             (match vn with Some v -> string_of_int v | None -> "-");
+             (if vn = Some v1 then "yes" else "NO (BUG)");
+           ])
+         seq_snap.Ir_obs.counters)
+    Format.std_formatter;
   if not identical then
     failwith "table4: parallel ranks differ from sequential ranks";
+  if not counters_identical then
+    failwith "table4: parallel counters differ from sequential counters";
   ( sweeps,
     [ ("table4_jobs1_seconds", seq_s);
       (Printf.sprintf "table4_jobs%d_seconds" jobs, par_s) ] )
@@ -277,7 +305,13 @@ let ablation_pareto () =
     List.map
       (fun width ->
         let t0 = Sys.time () in
-        let o = Ir_core.Rank_dp.compute ~max_pareto:width problem in
+        (* Widening would retry every truncated width at a larger one,
+           making all rows identical — this ablation wants the fixed-width
+           behaviour. *)
+        let o =
+          Ir_core.Rank_dp.compute ~max_pareto:width ~widen_on_overflow:false
+            problem
+        in
         let dt = Sys.time () -. t0 in
         [
           string_of_int width;
@@ -516,8 +550,10 @@ let export_artifacts sweeps cells timings =
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "cross export failed: %s@." e);
   (match
+     (* The snapshot covers everything since the last [Ir_obs.reset] —
+        in `sweeps` mode: the parallel table4 leg plus cross-node. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ~sweeps ~cross:cells
+       ~metrics:(Ir_obs.snapshot ()) ~sweeps ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);

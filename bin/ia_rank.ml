@@ -60,6 +60,30 @@ let jobs =
 
 let set_jobs jobs = Ir_exec.set_default_jobs jobs
 
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the metrics report — event counters and cumulative span \
+           timers (see lib/obs) — to standard error when the command \
+           finishes.  Also enabled by $(b,IA_RANK_STATS=1).  Counters are \
+           deterministic: the same command prints the same counts at any \
+           $(b,-j).")
+
+let env_stats () =
+  match Sys.getenv_opt "IA_RANK_STATS" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "yes" -> true
+      | _ -> false)
+  | None -> false
+
+(* To stderr so it composes with --csv/redirected stdout. *)
+let print_stats enabled =
+  if enabled || env_stats () then
+    Format.eprintf "%a@." Ir_obs.pp_report (Ir_obs.snapshot ())
+
 let gates =
   Arg.(
     value
@@ -132,7 +156,7 @@ let write_csv path f =
 (* ---- rank ------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run () jobs node gates clock fraction k m bunch_size algo =
+  let run () jobs node gates clock fraction k m bunch_size algo stats =
     set_jobs jobs;
     let design = design_of ~node ~gates ~clock ~fraction in
     let materials = Ir_ia.Materials.v ~k ~miller:m () in
@@ -140,12 +164,14 @@ let rank_cmd =
       Ir_core.Rank.of_design ~algo ~materials ~bunch_size design
     in
     Format.printf "%a@." Ir_core.Outcome.pp_human outcome;
+    (* Before the unassignable exit, so --stats is never swallowed. *)
+    print_stats stats;
     if not outcome.assignable then exit 2
   in
   let term =
     Term.(
       const run $ logs_term $ jobs $ node $ gates $ clock $ fraction
-      $ permittivity $ miller $ bunch_size $ algo)
+      $ permittivity $ miller $ bunch_size $ algo $ stats_flag)
   in
   Cmd.v
     (Cmd.info "rank"
@@ -162,7 +188,7 @@ let table4_cmd =
       & info [ "columns" ] ~docv:"COLS"
           ~doc:"Comma-separated subset of K,M,C,R.")
   in
-  let run () jobs node gates bunch_size columns csv =
+  let run () jobs node gates bunch_size columns csv stats =
     set_jobs jobs;
     let design = Ir_core.Rank.baseline_design ~gates node in
     let config =
@@ -200,12 +226,13 @@ let table4_cmd =
       (fun path ->
         write_csv path (fun buf ->
             List.iter (fun s -> Ir_sweep.Report.sweep_csv s buf) sweeps))
-      csv
+      csv;
+    print_stats stats
   in
   let term =
     Term.(
       const run $ logs_term $ jobs $ node $ gates $ bunch_size $ columns
-      $ csv_out)
+      $ csv_out $ stats_flag)
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Regenerate the paper's Table 4 (K/M/C/R sweeps).")
@@ -214,7 +241,7 @@ let table4_cmd =
 (* ---- cross ------------------------------------------------------------ *)
 
 let cross_cmd =
-  let run () jobs bunch_size =
+  let run () jobs bunch_size stats =
     set_jobs jobs;
     let matrix =
       [
@@ -224,11 +251,12 @@ let cross_cmd =
     in
     Ir_sweep.Report.cross_node_table
       (Ir_sweep.Cross_node.run ~bunch_size ~matrix ())
-      Format.std_formatter
+      Format.std_formatter;
+    print_stats stats
   in
   Cmd.v
     (Cmd.info "cross" ~doc:"Baseline ranks across nodes and design sizes.")
-    Term.(const run $ logs_term $ jobs $ bunch_size)
+    Term.(const run $ logs_term $ jobs $ bunch_size $ stats_flag)
 
 (* ---- figure2 ---------------------------------------------------------- *)
 
@@ -363,7 +391,7 @@ let optimize_cmd =
       & info [ "anneal" ] ~docv:"STEPS"
           ~doc:"Also refine with simulated annealing for $(docv) steps.")
   in
-  let run () jobs node gates clock fraction bunch_size anneal_steps =
+  let run () jobs node gates clock fraction bunch_size anneal_steps stats =
     set_jobs jobs;
     let design = design_of ~node ~gates ~clock ~fraction in
     let best, all = Ir_ext.Optimizer.optimize ~bunch_size design in
@@ -379,14 +407,15 @@ let optimize_cmd =
         Format.printf
           "annealed (%d evaluations, %d accepted): %a@." r.evaluations
           r.accepted Ir_core.Outcome.pp_human r.outcome)
-      anneal_steps
+      anneal_steps;
+    print_stats stats
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Directly optimize the architecture by rank (Section 6).")
     Term.(
       const run $ logs_term $ jobs $ node $ gates $ clock $ fraction
-      $ bunch_size $ anneal_steps)
+      $ bunch_size $ anneal_steps $ stats_flag)
 
 (* ---- wld -------------------------------------------------------------- *)
 

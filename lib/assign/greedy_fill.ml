@@ -1,6 +1,13 @@
 type placement = { pair : int; bunch : int; wires : int }
 [@@deriving show, eq]
 
+(* All deterministic quantities — totals depend only on the calls made,
+   not on domain scheduling (see Ir_obs). *)
+let stat_calls = Ir_obs.counter "greedy_fill/calls"
+let stat_wires = Ir_obs.counter "greedy_fill/wires_packed"
+let stat_early = Ir_obs.counter "greedy_fill/early_exits"
+let stat_take_adjust = Ir_obs.counter "greedy_fill/take_adjustments"
+
 type context = {
   from_bunch : int;
   top_pair : int;
@@ -38,20 +45,60 @@ let context ?(top_pair_used = 0.0) ?(wires_above_top = 0)
 let max_take ~cap ~a_w ~wire_area ~via ~v ~base_wires ~reps ~suffix_above
     ~available =
   let vf = float_of_int v in
-  let fixed =
-    a_w +. (via *. ((vf *. float_of_int (base_wires + suffix_above))
-                    +. float_of_int reps))
+  (* The feasibility condition for taking x wires, in its original
+     uncollapsed form.  The closed-form estimate below rearranges it
+     algebraically, but float algebra is not equivalence-preserving —
+     every candidate is verified against this predicate, which is the
+     single source of truth. *)
+  let ok x =
+    a_w
+    +. (float_of_int x *. wire_area)
+    +. (via
+       *. ((vf *. float_of_int (base_wires + suffix_above - x))
+          +. float_of_int reps))
+    <= cap
   in
-  let room = cap -. fixed in
   let net = wire_area -. (vf *. via) in
   if net <= 0.0 then
-    (* Packing a wire frees at least as much blockage as it consumes. *)
-    if room >= 0.0 || float_of_int available *. net <= room then available
-    else 0
-  else if room <= 0.0 then 0
-  else min available (int_of_float (Float.floor (room /. net)))
+    (* Packing a wire frees at least as much blockage as it consumes, so
+       feasibility is monotone increasing in x: all or nothing. *)
+    if ok available then available else 0
+  else if ok available then available
+  else begin
+    (* Estimate x by the rearranged linear solve x <= room / net, then
+       verify-and-adjust: the division can land one off in either
+       direction (e.g. room/net = 7.000000000000001 when only 6 wires
+       actually fit, or 6.999999999999999 when 7 do), and [room] itself
+       compounds rearrangement error.  The estimate is within rounding
+       of the true boundary, so the adjustment loops take at most a
+       couple of steps. *)
+    let fixed =
+      a_w
+      +. (via
+         *. ((vf *. float_of_int (base_wires + suffix_above))
+            +. float_of_int reps))
+    in
+    let room = cap -. fixed in
+    let estimate =
+      if room <= 0.0 then 0
+      else min available (int_of_float (Float.floor (room /. net)))
+    in
+    let x = ref (max 0 estimate) in
+    let adjusted = ref 0 in
+    while !x > 0 && not (ok !x) do
+      decr x;
+      incr adjusted
+    done;
+    while !x < available && ok (!x + 1) do
+      incr x;
+      incr adjusted
+    done;
+    Ir_obs.add stat_take_adjust !adjusted;
+    !x
+  end
 
 let run t ctx ~record =
+  Ir_obs.incr stat_calls;
   let n = Problem.n_bunches t in
   let m = Problem.n_pairs t in
   if ctx.from_bunch < 0 || ctx.from_bunch > n then
@@ -81,7 +128,11 @@ let run t ctx ~record =
       while !next >= ctx.from_bunch && remaining.(!next) = 0 do
         decr next
       done;
-      if !next < ctx.from_bunch then raise (Done true);
+      if !next < ctx.from_bunch then begin
+        (* Everything packed with pairs to spare. *)
+        Ir_obs.incr stat_early;
+        raise (Done true)
+      end;
       let pair = Ir_ia.Arch.pair arch !q in
       let via = pair.Ir_ia.Layer_pair.via_area in
       let at_top = !q = ctx.top_pair in
@@ -128,7 +179,9 @@ let run t ctx ~record =
       decr next
     done;
     raise (Done (!next < ctx.from_bunch))
-  with Done ok -> if ok then Some (List.rev !placements) else None
+  with Done ok ->
+    Ir_obs.add stat_wires !packed_total;
+    if ok then Some (List.rev !placements) else None
 
 let pack t ctx = run t ctx ~record:true
 let fits t ctx = Option.is_some (run t ctx ~record:false)

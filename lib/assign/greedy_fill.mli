@@ -53,6 +53,27 @@ val context :
   context
 (** All optional fields default to zero. *)
 
+val max_take :
+  cap:float ->
+  a_w:float ->
+  wire_area:float ->
+  via:float ->
+  v:int ->
+  base_wires:int ->
+  reps:int ->
+  suffix_above:int ->
+  available:int ->
+  int
+(** The per-pair fill step: the largest [x <= available] wires of one
+    bunch that fit on a pair with capacity [cap], [a_w] wire-area already
+    packed on it, [via]/[v] the via area and vias per wire, [base_wires]
+    non-suffix wires above, [reps] repeaters above, and [suffix_above]
+    suffix wires currently above the pair (including the candidates).
+    The returned [x] is verified against the exact capacity inequality —
+    the closed-form [floor (room / net)] solve alone can be off by one in
+    either direction from float rounding.  Exposed for the regression
+    tests pinning that behaviour. *)
+
 val pack : Problem.t -> context -> placement list option
 (** Packs the suffix; returns placements (bottom-up order) or [None] when
     it does not fit.

@@ -3,26 +3,29 @@ type t = {
   total_wires : int;
   assignable : bool;
   boundary_bunch : int;
+  exact : bool;
 }
 [@@deriving show, eq]
 
-let v ~rank_wires ~total_wires ~assignable ~boundary_bunch =
+let v ?(exact = true) ~rank_wires ~total_wires ~assignable ~boundary_bunch ()
+    =
   if rank_wires < 0 || total_wires < 0 || boundary_bunch < 0 then
     invalid_arg "Outcome.v: negative counts";
   if rank_wires > total_wires then
     invalid_arg "Outcome.v: rank exceeds total";
   if rank_wires > 0 && not assignable then
     invalid_arg "Outcome.v: positive rank requires assignability";
-  { rank_wires; total_wires; assignable; boundary_bunch }
+  { rank_wires; total_wires; assignable; boundary_bunch; exact }
 
-let unassignable ~total_wires =
-  v ~rank_wires:0 ~total_wires ~assignable:false ~boundary_bunch:0
+let unassignable ?exact ~total_wires () =
+  v ?exact ~rank_wires:0 ~total_wires ~assignable:false ~boundary_bunch:0 ()
 
 let normalized t =
   if t.total_wires = 0 then 0.0
   else float_of_int t.rank_wires /. float_of_int t.total_wires
 
 let pp_human ppf t =
-  Format.fprintf ppf "rank %d / %d (%.6f)%s" t.rank_wires t.total_wires
+  Format.fprintf ppf "rank %d / %d (%.6f)%s%s" t.rank_wires t.total_wires
     (normalized t)
     (if t.assignable then "" else " [unassignable]")
+    (if t.exact then "" else " [pareto-truncated: lower bound]")

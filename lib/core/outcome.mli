@@ -11,16 +11,30 @@ type t = {
   assignable : bool;  (** Definition 3: all wires fit in the architecture *)
   boundary_bunch : int;
       (** bunches [0 .. boundary_bunch) meet their targets *)
+  exact : bool;
+      (** [true] unless the producing algorithm knowingly degraded to a
+          heuristic — for {!Rank_dp}, [false] iff a Pareto set overflowed
+          [max_pareto] during the winning search, in which case
+          [rank_wires] is only a lower bound on the true rank.  The
+          default search widens [max_pareto] on overflow until the DP is
+          exact again, so [false] escapes only when widening is disabled
+          or capped out. *)
 }
 [@@deriving show, eq]
 
 val v :
-  rank_wires:int -> total_wires:int -> assignable:bool ->
-  boundary_bunch:int -> t
-(** @raise Invalid_argument if counts are negative, [rank_wires >
+  ?exact:bool ->
+  rank_wires:int ->
+  total_wires:int ->
+  assignable:bool ->
+  boundary_bunch:int ->
+  unit ->
+  t
+(** [exact] defaults to [true].
+    @raise Invalid_argument if counts are negative, [rank_wires >
     total_wires], or [rank_wires > 0] while [assignable] is false. *)
 
-val unassignable : total_wires:int -> t
+val unassignable : ?exact:bool -> total_wires:int -> unit -> t
 (** Rank 0 because the WLD does not fit (Definition 3). *)
 
 val normalized : t -> float
@@ -28,4 +42,5 @@ val normalized : t -> float
     normalization. *)
 
 val pp_human : Format.formatter -> t -> unit
-(** e.g. ["rank 1191864 / 3000000 (0.3973)"]. *)
+(** e.g. ["rank 1191864 / 3000000 (0.3973)"]; appends markers for
+    unassignable and inexact (Pareto-truncated) outcomes. *)

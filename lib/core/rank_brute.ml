@@ -84,14 +84,15 @@ let compute ?(max_bunches = 14) problem =
   in
   if n = 0 then
     Outcome.v ~rank_wires:0 ~total_wires:0 ~assignable:true ~boundary_bunch:0
+      ()
   else begin
     enumerate 0 0;
     if not !assignable then
-      Outcome.unassignable ~total_wires:(P.total_wires problem)
+      Outcome.unassignable ~total_wires:(P.total_wires problem) ()
     else
       let c = max 0 !best in
       Outcome.v
         ~rank_wires:(P.wires_before problem c)
         ~total_wires:(P.total_wires problem)
-        ~assignable:true ~boundary_bunch:c
+        ~assignable:true ~boundary_bunch:c ()
   end

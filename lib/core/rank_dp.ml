@@ -1,6 +1,22 @@
 module P = Ir_assign.Problem
 module GF = Ir_assign.Greedy_fill
 
+(* Observability instruments (see Ir_obs).  Every counter here is a
+   deterministic quantity: its total depends only on the instances
+   processed, never on domain scheduling — the cross-domain determinism
+   tests compare these between jobs=1 and jobs=N runs.  Counters on the
+   hot paths are accumulated in local refs and flushed once per call, so
+   the inner loops never touch an atomic. *)
+let stat_states = Ir_obs.counter "rank_dp/states_expanded"
+let stat_inserts = Ir_obs.counter "rank_dp/pareto_inserts"
+let stat_dominated = Ir_obs.counter "rank_dp/pareto_dominated"
+let stat_truncations = Ir_obs.counter "rank_dp/pareto_truncations"
+let stat_witness_probes = Ir_obs.counter "rank_dp/witness_probes"
+let stat_search_probes = Ir_obs.counter "rank_dp/search_probes"
+let stat_widen_retries = Ir_obs.counter "rank_dp/widen_retries"
+let span_build = Ir_obs.span "rank_dp/build_tables"
+let span_search = Ir_obs.span "rank_dp/search"
+
 (* A phase-A state: repeater area and count consumed so far, plus the
    interval ends chosen for the pairs processed so far (most recent
    first) so a witness assignment can be reconstructed.  Dominance is on
@@ -17,10 +33,22 @@ type witness = {
   reps_total : int;  (** including the boundary pair's *)
 }
 
+(* Per-build tallies, flushed to the Ir_obs counters once per build. *)
+type build_stats = {
+  mutable inserts : int;
+  mutable dominated : int;
+  mutable truncations : int;
+  mutable states : int;
+}
+
 let dominates a b = a.area <= b.area && a.count <= b.count
 
-let insert ~max_pareto set e =
-  if List.exists (fun x -> dominates x e) set then set
+let insert ~max_pareto ~stats set e =
+  stats.inserts <- stats.inserts + 1;
+  if List.exists (fun x -> dominates x e) set then begin
+    stats.dominated <- stats.dominated + 1;
+    set
+  end
   else
     let survivors = List.filter (fun x -> not (dominates e x)) set in
     let merged =
@@ -28,11 +56,16 @@ let insert ~max_pareto set e =
     in
     let len = List.length merged in
     if len <= max_pareto then merged
-    else
+    else begin
+      (* Dropping a non-dominated state: the DP may now under-report the
+         rank.  Count it — [truncations = 0] is what licenses the
+         [exact] claim on the outcome. *)
+      stats.truncations <- stats.truncations + (len - max_pareto);
       (* Keep the smallest-area elements plus the min-count one (the last:
          area-ascending implies count-descending in a Pareto set). *)
       let arr = Array.of_list merged in
       Array.to_list (Array.sub arr 0 (max_pareto - 1)) @ [ arr.(len - 1) ]
+    end
 
 type tables = {
   problem : P.t;
@@ -40,9 +73,15 @@ type tables = {
       (* dp.(j).(i): pairs [0..j) hold bunches [0..i), all meeting *)
   n : int;
   m : int;
+  max_pareto : int;
+  truncations : int;
+      (* non-dominated states dropped past max_pareto during the build;
+         0 means the phase-A front is complete and the search is exact *)
 }
 
 let build_tables ?(max_pareto = 8) problem =
+  Ir_obs.time span_build @@ fun () ->
+  let stats = { inserts = 0; dominated = 0; truncations = 0; states = 0 } in
   let n = P.n_bunches problem in
   let m = P.n_pairs problem in
   let cap = P.capacity problem in
@@ -54,6 +93,7 @@ let build_tables ?(max_pareto = 8) problem =
       match dp.(j).(i) with
       | [] -> ()
       | elts ->
+          stats.states <- stats.states + List.length elts;
           let wires_above = P.wires_before problem i in
           let min_area =
             List.fold_left (fun acc e -> Float.min acc e.area) infinity elts
@@ -66,7 +106,7 @@ let build_tables ?(max_pareto = 8) problem =
                  List.iter
                    (fun e ->
                      dp.(j + 1).(i) <-
-                       insert ~max_pareto dp.(j + 1).(i)
+                       insert ~max_pareto ~stats dp.(j + 1).(i)
                          { e with splits = i :: e.splits })
                    elts
                else begin
@@ -87,7 +127,7 @@ let build_tables ?(max_pareto = 8) problem =
                          if e.area +. d_area <= budget
                             && routing +. blocked <= cap then
                            dp.(j + 1).(i2) <-
-                             insert ~max_pareto dp.(j + 1).(i2)
+                             insert ~max_pareto ~stats dp.(j + 1).(i2)
                                {
                                  area = e.area +. d_area;
                                  count = e.count + d_count;
@@ -99,18 +139,26 @@ let build_tables ?(max_pareto = 8) problem =
            with Break -> ())
     done
   done;
-  { problem; dp; n; m }
+  Ir_obs.add stat_states stats.states;
+  Ir_obs.add stat_inserts stats.inserts;
+  Ir_obs.add stat_dominated stats.dominated;
+  Ir_obs.add stat_truncations stats.truncations;
+  { problem; dp; n; m; max_pareto; truncations = stats.truncations }
+
+let table_truncations tables = tables.truncations
 
 (* Can the top c bunches all meet their targets in some complete
    assignment?  Try every boundary pair j and every phase-A state
    dp.(j).(i): bunches [i..c) meet on pair j, the rest is capacity-only.
    Returns the witness state on success. *)
 let feasible_witness tables c =
-  let { problem; dp; n = _; m } = tables in
+  let { problem; dp; n = _; m; _ } = tables in
   let cap = P.capacity problem in
   let budget = P.budget problem in
   let wires_c = P.wires_before problem c in
+  let probes = ref 0 in
   let try_state j i e =
+    incr probes;
     match P.meeting_cost problem ~pair:j ~lo:i ~hi:c with
     | None -> None
     | Some (m_area, m_count) ->
@@ -142,27 +190,31 @@ let feasible_witness tables c =
           else None
   in
   let exception Found of witness in
-  try
-    for j = 0 to m - 1 do
-      for i = 0 to c do
-        List.iter
-          (fun e ->
-            match try_state j i e with
-            | Some w -> raise (Found w)
-            | None -> ())
-          dp.(j).(i)
-      done
-    done;
-    None
-  with Found w -> Some w
+  let result =
+    try
+      for j = 0 to m - 1 do
+        for i = 0 to c do
+          List.iter
+            (fun e ->
+              match try_state j i e with
+              | Some w -> raise (Found w)
+              | None -> ())
+            dp.(j).(i)
+        done
+      done;
+      None
+    with Found w -> Some w
+  in
+  Ir_obs.add stat_witness_probes !probes;
+  result
 
 let feasible tables c = Option.is_some (feasible_witness tables c)
 
-let outcome_of_boundary problem ~assignable c =
-  Outcome.v
+let outcome_of_boundary problem ~assignable ~exact c =
+  Outcome.v ~exact
     ~rank_wires:(P.wires_before problem c)
     ~total_wires:(P.total_wires problem)
-    ~assignable ~boundary_bunch:c
+    ~assignable ~boundary_bunch:c ()
 
 (* Monotonicity of [feasible] in the boundary c — why the binary search
    below is exact.
@@ -191,50 +243,94 @@ let outcome_of_boundary problem ~assignable c =
    [test_core.ml] cross-check this equivalence.) *)
 
 let search_tables ?(exhaustive = false) tables =
+  Ir_obs.time span_search @@ fun () ->
   let problem = tables.problem in
   let n = tables.n in
-  match feasible_witness tables 0 with
-  | None -> (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
-  | Some w0 ->
-      let best = ref 0 and best_w = ref w0 in
-      let try_c c =
-        match feasible_witness tables c with
-        | Some w ->
-            best := c;
-            best_w := w;
-            true
-        | None -> false
-      in
-      if exhaustive then begin
-        let c = ref n in
-        while !c > 0 && not (try_c !c) do
-          decr c
-        done
-      end
-      else if not (try_c n) then begin
-        (* Invariant: feasible lo (recorded), not (feasible hi).  [best]
-           only ever holds a boundary that produced a witness, so the
-           reported rank is feasible unconditionally; monotonicity (proof
-           above) is what makes it also maximal. *)
-        let lo = ref 0 and hi = ref n in
-        while !hi - !lo > 1 do
-          let mid = !lo + ((!hi - !lo) / 2) in
-          if try_c mid then lo := mid else hi := mid
-        done
-      end;
-      (outcome_of_boundary problem ~assignable:true !best, Some !best_w)
+  let exact = tables.truncations = 0 in
+  let probes = ref 0 in
+  let result =
+    match feasible_witness tables 0 with
+    | None ->
+        ( Outcome.unassignable ~exact ~total_wires:(P.total_wires problem) (),
+          None )
+    | Some w0 ->
+        let best = ref 0 and best_w = ref w0 in
+        let try_c c =
+          incr probes;
+          match feasible_witness tables c with
+          | Some w ->
+              best := c;
+              best_w := w;
+              true
+          | None -> false
+        in
+        if exhaustive then begin
+          let c = ref n in
+          while !c > 0 && not (try_c !c) do
+            decr c
+          done
+        end
+        else if not (try_c n) then begin
+          (* Invariant: feasible lo (recorded), not (feasible hi).  [best]
+             only ever holds a boundary that produced a witness, so the
+             reported rank is feasible unconditionally; monotonicity (proof
+             above) is what makes it also maximal. *)
+          let lo = ref 0 and hi = ref n in
+          while !hi - !lo > 1 do
+            let mid = !lo + ((!hi - !lo) / 2) in
+            if try_c mid then lo := mid else hi := mid
+          done
+        end;
+        (outcome_of_boundary problem ~assignable:true ~exact !best,
+         Some !best_w)
+  in
+  Ir_obs.add stat_search_probes !probes;
+  result
 
-let search ?(max_pareto = 8) ?exhaustive problem =
+let default_widen_cap = 128
+
+let search ?(max_pareto = 8) ?(widen_on_overflow = true)
+    ?(widen_cap = default_widen_cap) ?exhaustive problem =
   (* Definition 3 first: if the WLD does not even fit ignoring delay,
      the rank is 0 and the DP tables are not worth building. *)
   if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then
-    (Outcome.unassignable ~total_wires:(P.total_wires problem), None)
-  else search_tables ?exhaustive (build_tables ~max_pareto problem)
+    (Outcome.unassignable ~total_wires:(P.total_wires problem) (), None)
+  else
+    (* If the Pareto front overflowed, the tables may have lost the state
+       behind the true optimum — silently returning a lower bound while
+       claiming exactness was the bug this retry fixes.  Double
+       [max_pareto] while the overflow looks eliminable: the first retry
+       is always taken, and each further doubling requires the previous
+       one to have at least halved the truncation count.  Small overflows
+       (a front of 9-20 states at width 8) converge to zero in one or two
+       doublings; a genuinely exponential front (millions of truncations
+       that barely move when the width doubles) would otherwise multiply
+       the build cost by the whole ladder and still come back truncated,
+       so it is abandoned after one probe and reported as a lower bound
+       ([exact = false]) — callers can pass a larger [max_pareto]
+       explicitly.  Build cost grows superlinearly with the width, which
+       is why the ladder is gated on convergence rather than run to
+       [widen_cap] unconditionally. *)
+    let rec attempt mp prev_truncations =
+      let tables = build_tables ~max_pareto:mp problem in
+      let t = tables.truncations in
+      let converging =
+        match prev_truncations with None -> true | Some p -> 2 * t <= p
+      in
+      if t > 0 && widen_on_overflow && mp < widen_cap && converging
+      then begin
+        Ir_obs.incr stat_widen_retries;
+        attempt (min widen_cap (2 * mp)) (Some t)
+      end
+      else search_tables ?exhaustive tables
+    in
+    attempt (max 1 max_pareto) None
 
-let compute ?max_pareto ?exhaustive problem =
-  fst (search ?max_pareto ?exhaustive problem)
+let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem =
+  fst (search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem)
 
-let compute_with_witness ?max_pareto problem = search ?max_pareto problem
+let compute_with_witness ?max_pareto ?widen_on_overflow problem =
+  search ?max_pareto ?widen_on_overflow problem
 
 let feasible_boundary ?(max_pareto = 8) problem c =
   if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then

@@ -54,20 +54,48 @@ type tables
 val build_tables : ?max_pareto:int -> Ir_assign.Problem.t -> tables
 (** Tabulates phase A (default [max_pareto = 8]). *)
 
+val table_truncations : tables -> int
+(** Number of non-dominated states dropped because a per-state Pareto set
+    exceeded [max_pareto] during the build.  [0] means phase A is
+    complete and any search over these tables is exact; positive means
+    outcomes derived from them carry [exact = false] (a lower bound). *)
+
 val search_tables : ?exhaustive:bool -> tables -> Outcome.t * witness option
 (** Runs the boundary search on prebuilt tables — {!compute} minus table
     construction.  Unlike {!compute} it skips the Definition-3 pre-check
     (a no-fit instance simply reports unassignable through the [c = 0]
-    probe). *)
+    probe).  The outcome's [exact] flag is [table_truncations t = 0]. *)
 
-val compute : ?max_pareto:int -> ?exhaustive:bool -> Ir_assign.Problem.t -> Outcome.t
+val default_widen_cap : int
+(** Default ceiling (128) for [widen_cap] below. *)
+
+val compute :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?exhaustive:bool ->
+  Ir_assign.Problem.t ->
+  Outcome.t
 (** [compute problem] returns the optimal rank.  [max_pareto] bounds the
     per-state Pareto set (default 8; larger is slower and only matters on
-    adversarial instances).  [exhaustive] replaces the binary search with a
-    top-down linear scan (used by tests to cross-check monotonicity). *)
+    adversarial instances).  If a build truncates a non-dominated state,
+    the result could silently under-report the rank; by default
+    ([widen_on_overflow = true]) the tables are rebuilt with [max_pareto]
+    doubled — the first retry unconditionally, further doublings only
+    while each one at least halves the truncation count, up to
+    [widen_cap] (default {!default_widen_cap}).  Small overflows
+    therefore converge to an exact result, while genuinely exponential
+    fronts (where widening cannot win) cost one probe retry and come
+    back as an honest lower bound with [exact = false]; pass a larger
+    [max_pareto] explicitly to push further.  [exhaustive] replaces the
+    binary search with a top-down linear scan (used by tests to
+    cross-check monotonicity). *)
 
 val compute_with_witness :
-  ?max_pareto:int -> Ir_assign.Problem.t -> Outcome.t * witness option
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  Ir_assign.Problem.t ->
+  Outcome.t * witness option
 (** Like {!compute} but also returns the witness (absent only when the
     instance is unassignable). *)
 

@@ -125,8 +125,8 @@ let compute ?(r_steps = 16) ?(max_bunches = 14) problem =
       done
     done
   done;
-  if !best < 0 then Outcome.unassignable ~total_wires:total
+  if !best < 0 then Outcome.unassignable ~total_wires:total ()
   else
     Outcome.v
       ~rank_wires:(P.wires_before problem !best)
-      ~total_wires:total ~assignable:true ~boundary_bunch:!best
+      ~total_wires:total ~assignable:true ~boundary_bunch:!best ()

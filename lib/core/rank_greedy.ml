@@ -78,9 +78,9 @@ let sweep ?(eligible = fun _ _ -> true) problem =
     done
   done;
   let assignable = !placed_wires = total in
-  if not assignable then Outcome.unassignable ~total_wires:total
+  if not assignable then Outcome.unassignable ~total_wires:total ()
   else
     Outcome.v ~rank_wires:!rank_wires ~total_wires:total ~assignable:true
-      ~boundary_bunch:!boundary_bunch
+      ~boundary_bunch:!boundary_bunch ()
 
 let compute problem = sweep problem

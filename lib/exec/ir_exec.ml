@@ -19,6 +19,27 @@ let default_jobs () =
   | None -> (
       match env_jobs () with Some j -> j | None -> recommended_jobs ())
 
+type pool_stats = {
+  jobs : int;
+  wall_seconds : float;
+  units : int array;
+  busy_seconds : float array;
+}
+
+let last_stats : pool_stats option Atomic.t = Atomic.make None
+let last_pool_stats () = Atomic.get last_stats
+
+let effective_parallelism s =
+  if s.wall_seconds <= 0.0 then 1.0
+  else Array.fold_left ( +. ) 0.0 s.busy_seconds /. s.wall_seconds
+
+(* Deterministic counters (totals are scheduling-independent; both the
+   sequential and the pooled path count identically) plus a busy-time
+   span, which is cumulative across worker domains. *)
+let stat_runs = Ir_obs.counter "exec/pool_runs"
+let stat_items = Ir_obs.counter "exec/items_processed"
+let span_busy = Ir_obs.span "exec/worker_busy"
+
 (* One parallel run: [workers] domains (the caller included) pull work
    units off an atomic counter.  Each unit is a contiguous index range
    [start, start + chunk) of the input; results are written to the slot of
@@ -31,11 +52,17 @@ let run_pool ~jobs ~chunk f xs =
   let results = Array.make n None in
   let errors = Array.make n None in
   let next = Atomic.make 0 in
-  let worker () =
+  let units = Array.make jobs 0 in
+  let busy = Array.make jobs 0.0 in
+  (* Worker w writes only units.(w)/busy.(w); Domain.join makes the
+     writes visible to the caller, same as [results]. *)
+  let worker w =
+    let t0 = Unix.gettimeofday () in
     let rec loop () =
       let start = Atomic.fetch_and_add next chunk in
       if start < n then begin
         let stop = min n (start + chunk) in
+        units.(w) <- units.(w) + (stop - start);
         for i = start to stop - 1 do
           match f xs.(i) with
           | y -> results.(i) <- Some y
@@ -46,16 +73,51 @@ let run_pool ~jobs ~chunk f xs =
         loop ()
       end
     in
-    loop ()
+    loop ();
+    let dt = Unix.gettimeofday () -. t0 in
+    busy.(w) <- dt;
+    Ir_obs.record span_busy dt
   in
-  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+  in
+  worker 0;
   Array.iter Domain.join spawned;
+  Atomic.set last_stats
+    (Some
+       {
+         jobs;
+         wall_seconds = Unix.gettimeofday () -. t0;
+         units;
+         busy_seconds = busy;
+       });
+  Ir_obs.incr stat_runs;
+  Ir_obs.add stat_items n;
   Array.iter
     (function
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
     errors;
   Array.map (function Some y -> y | None -> assert false) results
+
+(* The jobs = 1 degenerate pool: same accounting, no domain spawned. *)
+let seq_map f xs =
+  let n = Array.length xs in
+  let t0 = Unix.gettimeofday () in
+  let result = Array.map f xs in
+  let dt = Unix.gettimeofday () -. t0 in
+  Atomic.set last_stats
+    (Some
+       {
+         jobs = 1;
+         wall_seconds = dt;
+         units = [| n |];
+         busy_seconds = [| dt |];
+       });
+  Ir_obs.incr stat_runs;
+  Ir_obs.add stat_items n;
+  Ir_obs.record span_busy dt;
+  result
 
 let resolve_jobs jobs n =
   let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
@@ -63,7 +125,7 @@ let resolve_jobs jobs n =
 
 let parallel_map ?jobs f xs =
   let jobs = resolve_jobs jobs (Array.length xs) in
-  if jobs <= 1 then Array.map f xs else run_pool ~jobs ~chunk:1 f xs
+  if jobs <= 1 then seq_map f xs else run_pool ~jobs ~chunk:1 f xs
 
 let parallel_map_chunked ?jobs ?chunk f xs =
   let n = Array.length xs in
@@ -75,7 +137,7 @@ let parallel_map_chunked ?jobs ?chunk f xs =
     | Some c -> c
     | None -> max 1 (n / (jobs * 4))
   in
-  if jobs <= 1 then Array.map f xs else run_pool ~jobs ~chunk f xs
+  if jobs <= 1 then seq_map f xs else run_pool ~jobs ~chunk f xs
 
 let parallel_list_map ?jobs f xs =
   Array.to_list (parallel_map ?jobs f (Array.of_list xs))

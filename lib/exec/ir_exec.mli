@@ -50,6 +50,30 @@ val default_jobs : unit -> int
 (** The job count used when [?jobs] is omitted (see resolution order
     above). *)
 
+type pool_stats = {
+  jobs : int;  (** workers used, caller domain included *)
+  wall_seconds : float;  (** elapsed time of the whole run *)
+  units : int array;
+      (** elements processed per worker (index 0 = caller domain).
+          Individual entries are scheduling-dependent; the sum is always
+          the input length. *)
+  busy_seconds : float array;  (** per-worker busy wall time *)
+}
+(** Accounting for one [parallel_map]/[parallel_map_chunked] run.  A
+    sequential ([jobs = 1]) run produces the degenerate single-worker
+    record, so callers can report uniformly. *)
+
+val last_pool_stats : unit -> pool_stats option
+(** Stats of the most recent map run in this process, if any.  Written
+    after the join, so reading it right after a map call is race-free;
+    concurrent maps from multiple domains overwrite each other (the
+    sweep drivers run one map at a time). *)
+
+val effective_parallelism : pool_stats -> float
+(** Sum of per-worker busy time over wall time — ~[jobs] when workers
+    stay saturated, lower when work is skewed or spawn overhead
+    dominates.  [1.0] when wall time is too small to measure. *)
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f xs] is [Array.map f xs] evaluated by up to [jobs]
     domains (the caller included), one element per work unit.  Result

@@ -1,0 +1,117 @@
+type counter = int Atomic.t
+
+(* Spans accumulate integer nanoseconds: [Atomic.fetch_and_add] exists
+   for ints only, and ns precision over decades of accumulated busy time
+   stays far within 63 bits. *)
+type span = { calls : int Atomic.t; ns : int Atomic.t }
+
+(* Registration is rare (module init, first use) and mutex-guarded; the
+   instruments themselves are lock-free atomics, safe to bump from any
+   domain. *)
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let spans : (string, span) Hashtbl.t = Hashtbl.create 32
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add counters name c;
+          c)
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let span name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt spans name with
+      | Some s -> s
+      | None ->
+          let s = { calls = Atomic.make 0; ns = Atomic.make 0 } in
+          Hashtbl.add spans name s;
+          s)
+
+let record s dt =
+  ignore (Atomic.fetch_and_add s.calls 1);
+  ignore (Atomic.fetch_and_add s.ns (int_of_float (dt *. 1e9)))
+
+let time s f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record s (Unix.gettimeofday () -. t0)) f
+
+type span_stat = { calls : int; seconds : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * span_stat) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  with_lock (fun () ->
+      {
+        counters =
+          List.sort by_name
+            (Hashtbl.fold
+               (fun name c acc -> (name, Atomic.get c) :: acc)
+               counters []);
+        spans =
+          List.sort by_name
+            (Hashtbl.fold
+               (fun name (s : span) acc ->
+                 ( name,
+                   {
+                     calls = Atomic.get s.calls;
+                     seconds = float_of_int (Atomic.get s.ns) /. 1e9;
+                   } )
+                 :: acc)
+               spans []);
+      })
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter
+        (fun _ (s : span) ->
+          Atomic.set s.calls 0;
+          Atomic.set s.ns 0)
+        spans)
+
+let find_counter snap name = List.assoc_opt name snap.counters
+let find_span snap name = List.assoc_opt name snap.spans
+
+let pp_report ppf snap =
+  let name_width rows =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
+  in
+  Format.fprintf ppf "@[<v>";
+  if snap.counters = [] && snap.spans = [] then
+    Format.fprintf ppf "(no metrics registered)@,";
+  if snap.counters <> [] then begin
+    let w = max (name_width snap.counters) (String.length "counter") in
+    Format.fprintf ppf "%-*s  %12s@," w "counter" "value";
+    Format.fprintf ppf "%s  %s@," (String.make w '-') (String.make 12 '-');
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "%-*s  %12d@," w n v)
+      snap.counters
+  end;
+  if snap.spans <> [] then begin
+    if snap.counters <> [] then Format.fprintf ppf "@,";
+    let w = max (name_width snap.spans) (String.length "span") in
+    Format.fprintf ppf "%-*s  %8s  %12s@," w "span" "calls" "seconds";
+    Format.fprintf ppf "%s  %s  %s@," (String.make w '-') (String.make 8 '-')
+      (String.make 12 '-');
+    List.iter
+      (fun (n, { calls; seconds }) ->
+        Format.fprintf ppf "%-*s  %8d  %12.6f@," w n calls seconds)
+      snap.spans
+  end;
+  Format.fprintf ppf "@]"

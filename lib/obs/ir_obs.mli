@@ -1,0 +1,90 @@
+(** Domain-safe counters and span timers with a process-wide registry.
+
+    The sweep engine fans rank computations out over OCaml 5 domains
+    ({!Ir_exec}); this module is how the hot paths underneath it
+    ({!Ir_core.Rank_dp}, {!Ir_assign.Greedy_fill}, the sweep drivers)
+    report what they did.  Two kinds of instruments:
+
+    - {e counters} — monotone integer event counts ([Atomic] adds, so
+      concurrent increments from worker domains never lose updates).
+      Every counter in this codebase counts a {e deterministic} quantity:
+      its total after a run depends only on the work performed, not on
+      how that work was scheduled across domains.  Running the same
+      sweep at [jobs = 1] and [jobs = N] must therefore produce {e
+      identical} counter snapshots — an invariant the test suite and the
+      bench harness both assert, and a cheap cross-domain determinism
+      check for every future caching or sharding change.
+    - {e spans} — cumulative wall-clock timers with call counts.  Spans
+      may nest freely (a [rank_dp/search] span inside a
+      [sweep/point_search] span records into both), and workers time
+      concurrently, so span seconds are {e cumulative across domains}
+      and may exceed elapsed wall time; ratios of span totals (busy /
+      wall = effective parallelism) are the meaningful reading.  Span
+      values are scheduling-dependent — only counters are deterministic.
+
+    Instruments are registered by name on first use and cached by the
+    instrumented module (lookup is mutex-guarded; the increments
+    themselves are lock-free).  Names are [subsystem/event], e.g.
+    [rank_dp/pareto_truncations].  {!reset} zeroes every registered
+    instrument without unregistering it, so cached handles stay valid.
+
+    Collection is always on — an atomic add costs nanoseconds, far below
+    the table builds it counts — and the CLI [--stats] flag (or
+    [IA_RANK_STATS=1]) merely controls whether the report is printed. *)
+
+type counter
+(** A named monotone event counter. *)
+
+val counter : string -> counter
+(** [counter name] returns the registered counter for [name], creating
+    it (at zero) on first use.  The same name always yields the same
+    underlying counter. *)
+
+val incr : counter -> unit
+(** Add 1 (atomic). *)
+
+val add : counter -> int -> unit
+(** Add [n] (atomic).  Negative [n] is allowed but unused here; counters
+    are treated as monotone. *)
+
+val value : counter -> int
+(** Current value. *)
+
+type span
+(** A named cumulative wall-clock timer with a call count. *)
+
+val span : string -> span
+(** [span name] returns the registered span for [name], creating it on
+    first use. *)
+
+val record : span -> float -> unit
+(** [record s dt] adds [dt] seconds and one call (atomic). *)
+
+val time : span -> (unit -> 'a) -> 'a
+(** [time s f] runs [f ()] and records its wall-clock duration into [s]
+    whether it returns or raises.  Nested [time] calls (on the same or
+    different spans) are safe — each records its own full duration. *)
+
+type span_stat = { calls : int; seconds : float }
+
+type snapshot = {
+  counters : (string * int) list;  (** name-sorted *)
+  spans : (string * span_stat) list;  (** name-sorted *)
+}
+(** A consistent-enough point-in-time copy of the registry: each
+    instrument is read atomically; the set is not fenced against
+    concurrent increments (snapshots are taken between sweep legs). *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered counter and span (registrations survive, so
+    handles cached by instrumented modules remain valid). *)
+
+val find_counter : snapshot -> string -> int option
+val find_span : snapshot -> string -> span_stat option
+
+val pp_report : Format.formatter -> snapshot -> unit
+(** Two aligned tables: counters (name, value) then spans (name, calls,
+    seconds).  Empty sections are omitted; an entirely empty snapshot
+    prints a single placeholder line. *)

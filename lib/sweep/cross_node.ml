@@ -13,15 +13,28 @@ let default_matrix =
     (Ir_tech.Node.N90, 4_000_000);
   ]
 
+let stat_cells = Ir_obs.counter "sweep/cross_cells"
+let span_cell_build = Ir_obs.span "sweep/cross_build"
+let span_cell_search = Ir_obs.span "sweep/cross_search"
+
 (* Matrix cells are independent (each builds its own design, WLD and
    problem), so they run on the Ir_exec pool; results come back in matrix
-   order. *)
+   order.  The spans split the per-cell cost into WLD + architecture
+   construction vs rank search. *)
 let run ?jobs ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) ()
     =
   Ir_exec.parallel_list_map ?jobs
     (fun (node, gates) ->
+      Ir_obs.incr stat_cells;
       let design = Ir_core.Rank.baseline_design ~gates node in
       let t0 = Ir_exec.now () in
-      let outcome = Ir_core.Rank.of_design ?structure ~bunch_size design in
+      let problem =
+        Ir_obs.time span_cell_build @@ fun () ->
+        Ir_core.Rank.problem_of_design ?structure ~bunch_size design
+      in
+      let outcome =
+        Ir_obs.time span_cell_search @@ fun () ->
+        Ir_core.Rank.compute problem
+      in
       { node; gates; outcome; seconds = Ir_exec.now () -. t0 })
     matrix

@@ -1,11 +1,26 @@
-let ensure_dir dir =
+let rec ensure_dir dir =
   if Sys.file_exists dir then
     if Sys.is_directory dir then Ok ()
-    else Error (dir ^ " exists and is not a directory")
+    else
+      Error
+        (Printf.sprintf
+           "%s exists and is not a directory (remove it or pick another \
+            output directory)"
+           dir)
   else
-    match Sys.mkdir dir 0o755 with
-    | () -> Ok ()
-    | exception Sys_error msg -> Error msg
+    let parent = Filename.dirname dir in
+    (* [dirname] is a fixpoint at roots ("/", "."), which always exist,
+       so the recursion terminates there. *)
+    match if parent = dir then Ok () else ensure_dir parent with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Sys.mkdir dir 0o755 with
+        | () -> Ok ()
+        | exception Sys_error msg ->
+            (* Another process may have created it between the existence
+               check and the mkdir; that is success, not an error. *)
+            if Sys.file_exists dir && Sys.is_directory dir then Ok ()
+            else Error msg)
 
 let write_file path contents =
   match
@@ -19,21 +34,45 @@ let sweep_csv_path ~dir (sweep : Table4.sweep) =
   Filename.concat dir
     (Printf.sprintf "table4_%s.csv" (String.lowercase_ascii sweep.name))
 
+(* [sweep_csv_path] lowercases the sweep name, so distinct sweeps can
+   collide on one file ("K" and "k" both map to table4_k.csv) — detect
+   that up front instead of silently overwriting the earlier sweep. *)
+let sweep_path_collision ~dir sweeps =
+  let seen = Hashtbl.create 8 in
+  List.find_map
+    (fun (s : Table4.sweep) ->
+      let path = sweep_csv_path ~dir s in
+      match Hashtbl.find_opt seen path with
+      | Some earlier when earlier <> s.name ->
+          Some
+            (Printf.sprintf
+               "sweeps %S and %S both export to %s; rename one" earlier
+               s.name path)
+      | _ ->
+          Hashtbl.replace seen path s.name;
+          None)
+    sweeps
+
 let write_sweeps ~dir sweeps =
-  match ensure_dir dir with
-  | Error _ as e -> e
-  | Ok () ->
-      let rec loop acc = function
-        | [] -> Ok (List.rev acc)
-        | sweep :: rest -> (
-            let buf = Buffer.create 1024 in
-            Report.sweep_csv sweep buf;
-            match write_file (sweep_csv_path ~dir sweep) (Buffer.contents buf)
-            with
-            | Ok path -> loop (path :: acc) rest
-            | Error _ as e -> e)
-      in
-      loop [] sweeps
+  match sweep_path_collision ~dir sweeps with
+  | Some msg -> Error msg
+  | None -> (
+      match ensure_dir dir with
+      | Error _ as e -> e
+      | Ok () ->
+          let rec loop acc = function
+            | [] -> Ok (List.rev acc)
+            | sweep :: rest -> (
+                let buf = Buffer.create 1024 in
+                Report.sweep_csv sweep buf;
+                match
+                  write_file (sweep_csv_path ~dir sweep)
+                    (Buffer.contents buf)
+                with
+                | Ok path -> loop (path :: acc) rest
+                | Error _ as e -> e)
+          in
+          loop [] sweeps)
 
 let write_cross ~dir cells =
   match ensure_dir dir with
@@ -89,7 +128,28 @@ let json_obj fields =
 
 let bench_json_path ~dir = Filename.concat dir "BENCH_sweeps.json"
 
-let write_bench_json ~dir ~jobs ~timings ~sweeps ~cross =
+let json_metrics (snap : Ir_obs.snapshot) =
+  json_obj
+    [
+      ( "counters",
+        json_obj
+          (List.map
+             (fun (name, v) -> (name, string_of_int v))
+             snap.Ir_obs.counters) );
+      ( "spans",
+        json_obj
+          (List.map
+             (fun (name, { Ir_obs.calls; seconds }) ->
+               ( name,
+                 json_obj
+                   [
+                     ("calls", string_of_int calls);
+                     ("seconds", json_float seconds);
+                   ] ))
+             snap.Ir_obs.spans) );
+    ]
+
+let write_bench_json ~dir ~jobs ~timings ?metrics ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -103,6 +163,8 @@ let write_bench_json ~dir ~jobs ~timings ~sweeps ~cross =
               string_of_int r.outcome.Ir_core.Outcome.rank_wires );
             ( "total_wires",
               string_of_int r.outcome.Ir_core.Outcome.total_wires );
+            ( "exact",
+              if r.outcome.Ir_core.Outcome.exact then "true" else "false" );
             ("seconds", json_float r.seconds);
           ]
       in
@@ -128,20 +190,27 @@ let write_bench_json ~dir ~jobs ~timings ~sweeps ~cross =
               json_float (Ir_core.Outcome.normalized c.outcome) );
             ( "rank_wires",
               string_of_int c.outcome.Ir_core.Outcome.rank_wires );
+            ( "exact",
+              if c.outcome.Ir_core.Outcome.exact then "true" else "false" );
             ("seconds", json_float c.seconds);
           ]
       in
       let contents =
         json_obj
-          [
-            ("schema", json_string "ia-rank/bench-sweeps/1");
-            ("jobs", string_of_int jobs);
-            ( "timings",
-              json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
-            );
-            ("table4", json_list sweep sweeps);
-            ("cross_node", json_list cell cross);
-          ]
+          ([
+             ("schema", json_string "ia-rank/bench-sweeps/2");
+             ("jobs", string_of_int jobs);
+             ( "timings",
+               json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
+             );
+           ]
+          @ (match metrics with
+            | None -> []
+            | Some snap -> [ ("metrics", json_metrics snap) ])
+          @ [
+              ("table4", json_list sweep sweeps);
+              ("cross_node", json_list cell cross);
+            ])
         ^ "\n"
       in
       write_file (bench_json_path ~dir) contents

@@ -3,15 +3,24 @@
     The bench harness prints its tables; this module also persists them —
     one CSV per Table 4 column plus a cross-node CSV and a plain-text
     manifest — so downstream plotting or regression-diffing does not have
-    to re-run hour-scale sweeps.  Paths are created as needed; existing
-    files are overwritten. *)
+    to re-run hour-scale sweeps.  Output directories are created
+    recursively as needed; existing files are overwritten. *)
+
+val ensure_dir : string -> (unit, string) result
+(** Creates [dir] and any missing parents ([mkdir -p]); tolerates a
+    concurrent creator.  [Error] names the path when a non-directory is
+    in the way. *)
 
 val sweep_csv_path : dir:string -> Table4.sweep -> string
-(** The file a sweep will be written to: [<dir>/table4_<name>.csv]. *)
+(** The file a sweep will be written to: [<dir>/table4_<name>.csv].  The
+    sweep name is lowercased, so names differing only in case collide —
+    {!write_sweeps} rejects such batches. *)
 
 val write_sweeps : dir:string -> Table4.sweep list -> (string list, string) result
 (** Writes each sweep's paper-vs-measured CSV; returns the written paths
-    (or the first filesystem error). *)
+    (or the first filesystem error).  Fails up front, before writing
+    anything, if two sweeps in the batch would export to the same file
+    (see {!sweep_csv_path}). *)
 
 val write_cross : dir:string -> Cross_node.cell list -> (string, string) result
 (** Writes [<dir>/cross_node.csv]. *)
@@ -28,12 +37,17 @@ val write_bench_json :
   dir:string ->
   jobs:int ->
   timings:(string * float) list ->
+  ?metrics:Ir_obs.snapshot ->
   sweeps:Table4.sweep list ->
   cross:Cross_node.cell list ->
+  unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json]) used to track the perf trajectory across
-    PRs: the named wall-clock [timings] (e.g. the sequential and parallel
-    table4 legs), every Table 4 row (param, normalized rank, rank wires,
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/2]) used to
+    track the perf trajectory across PRs: the named wall-clock [timings]
+    (e.g. the sequential and parallel table4 legs), an optional
+    [metrics] object (an {!Ir_obs.snapshot} rendered as
+    [{"counters": {name: int}, "spans": {name: {"calls", "seconds"}}}]),
+    every Table 4 row (param, normalized rank, rank wires, exactness,
     per-point seconds) and the cross-node cells.  [jobs] records the
     worker count of the parallel leg. *)

@@ -49,12 +49,19 @@ let build_problem config ~materials ~design wld =
   Ir_assign.Problem.make ~target_model:config.target_model
     ~bunch_size:config.bunch_size ~arch ~wld ()
 
+let stat_points = Ir_obs.counter "sweep/points"
+let span_point_build = Ir_obs.span "sweep/point_build"
+let span_point_search = Ir_obs.span "sweep/point_search"
+
 (* One sweep point: realize the instance for this parameter value, compute
    the rank, time the rank computation (wall clock; under parallel
-   execution CPU time would aggregate every domain). *)
+   execution CPU time would aggregate every domain).  The spans split the
+   per-point cost into instance realization vs rank search. *)
 let point config wld ~base (param, spec) =
   Logs.debug (fun f -> f "table4: param %.4g" param);
+  Ir_obs.incr stat_points;
   let problem =
+    Ir_obs.time span_point_build @@ fun () ->
     match (spec, base) with
     | Rebuild { materials; design }, _ ->
         build_problem config ~materials ~design wld
@@ -65,7 +72,10 @@ let point config wld ~base (param, spec) =
     | (Rescale_clock _ | Rescale_budget _), None -> assert false
   in
   let t0 = Ir_exec.now () in
-  let outcome = Ir_core.Rank.compute ~algo:config.algo problem in
+  let outcome =
+    Ir_obs.time span_point_search @@ fun () ->
+    Ir_core.Rank.compute ~algo:config.algo problem
+  in
   { param; outcome; seconds = Ir_exec.now () -. t0 }
 
 let run ?jobs config ~name ~legend ~paper points =

@@ -333,6 +333,79 @@ let prop_greedy_fill_suffix_monotone =
       done;
       if not !ok then QCheck2.Test.fail_reportf "%s" label else true)
 
+(* [max_take] regression: the closed-form estimate floor(room / net) can
+   land one off in either direction because float division is not exact.
+   These literals were found by searching doubles for exactly that
+   rounding; the pre-fix code (floor alone, no verify-and-adjust)
+   returned the "old" value on each. *)
+let test_max_take_rounding () =
+  let take ~cap ~wire_area ~available =
+    GF.max_take ~cap ~a_w:0.0 ~wire_area ~via:0.0 ~v:0 ~base_wires:0 ~reps:0
+      ~suffix_above:available ~available
+  in
+  (* floor (2.2439999999999998 /. 0.374) = 5, yet 6 *. 0.374 <= cap:
+     the old code under-packed by one wire. *)
+  Alcotest.(check int) "undercount fixed" 6
+    (take ~cap:2.2439999999999998 ~wire_area:0.374 ~available:10);
+  (* floor (29.541 /. 0.687) = 43, yet 43 *. 0.687 > cap: the old code
+     claimed an infeasible 43rd wire fit. *)
+  Alcotest.(check int) "overcount fixed" 42
+    (take ~cap:29.541 ~wire_area:0.687 ~available:100);
+  (* Clamps and degenerate branches are unaffected. *)
+  Alcotest.(check int) "available clamp" 3
+    (take ~cap:29.541 ~wire_area:0.687 ~available:3);
+  Alcotest.(check int) "no room" 0
+    (take ~cap:0.0 ~wire_area:1.0 ~available:5);
+  (* net <= 0: packing frees blockage, all-or-nothing on the exact
+     inequality. *)
+  Alcotest.(check int) "non-positive net takes all" 7
+    (GF.max_take ~cap:10.0 ~a_w:0.0 ~wire_area:0.5 ~via:0.5 ~v:2
+       ~base_wires:0 ~reps:0 ~suffix_above:7 ~available:7)
+
+(* The returned count must always be maximal-feasible w.r.t. the exact
+   inequality: taking it satisfies capacity, taking one more violates it
+   (or exhausts the bunch). *)
+let prop_max_take_maximal =
+  let gen =
+    QCheck2.Gen.(
+      let* cap = float_range 0.0 50.0 in
+      let* wire_area = float_range 0.001 5.0 in
+      let* via = float_range 0.0 0.5 in
+      let* v = int_range 0 4 in
+      let* a_w = float_range 0.0 10.0 in
+      let* base_wires = int_range 0 20 in
+      let* reps = int_range 0 50 in
+      let* extra = int_range 0 30 in
+      let* available = int_range 0 60 in
+      return (cap, wire_area, via, v, a_w, base_wires, reps, extra, available))
+  in
+  qtest ~count:500 "max_take is maximal-feasible" gen
+    (fun (cap, wire_area, via, v, a_w, base_wires, reps, extra, available) ->
+      let suffix_above = available + extra in
+      let ok x =
+        a_w
+        +. (float_of_int x *. wire_area)
+        +. (via
+           *. ((float_of_int v *. float_of_int (base_wires + suffix_above - x))
+              +. float_of_int reps))
+        <= cap
+      in
+      let x =
+        GF.max_take ~cap ~a_w ~wire_area ~via ~v ~base_wires ~reps
+          ~suffix_above ~available
+      in
+      if x < 0 || x > available then
+        QCheck2.Test.fail_reportf "take %d outside [0, %d]" x available
+      else if x > 0 && not (ok x) then
+        QCheck2.Test.fail_reportf "take %d violates capacity" x
+      else if
+        (* With net > 0 feasibility is downward-closed, so x + 1 must not
+           fit; with net <= 0 the contract is all-or-nothing. *)
+        wire_area -. (float_of_int v *. via) > 0.0
+        && x < available && ok (x + 1)
+      then QCheck2.Test.fail_reportf "take %d not maximal" x
+      else true)
+
 let () =
   Alcotest.run "assign"
     [
@@ -368,7 +441,10 @@ let () =
             test_greedy_fill_blockage_sensitivity;
           Alcotest.test_case "bottom-up ordering" `Quick
             test_greedy_fill_ordering;
+          Alcotest.test_case "max_take float rounding" `Quick
+            test_max_take_rounding;
           prop_greedy_fill_monotone_budget;
           prop_greedy_fill_suffix_monotone;
+          prop_max_take_maximal;
         ] );
     ]

@@ -8,21 +8,21 @@ module P = Ir_assign.Problem
 let test_outcome () =
   let o =
     Ir_core.Outcome.v ~rank_wires:40 ~total_wires:100 ~assignable:true
-      ~boundary_bunch:4
+      ~boundary_bunch:4 ()
   in
   check_close "normalized" 0.4 (Ir_core.Outcome.normalized o);
   Alcotest.check_raises "rank above total"
     (Invalid_argument "Outcome.v: rank exceeds total") (fun () ->
       ignore
         (Ir_core.Outcome.v ~rank_wires:5 ~total_wires:4 ~assignable:true
-           ~boundary_bunch:0));
+           ~boundary_bunch:0 ()));
   Alcotest.check_raises "positive rank needs assignability"
     (Invalid_argument "Outcome.v: positive rank requires assignability")
     (fun () ->
       ignore
         (Ir_core.Outcome.v ~rank_wires:1 ~total_wires:4 ~assignable:false
-           ~boundary_bunch:0));
-  let u = Ir_core.Outcome.unassignable ~total_wires:7 in
+           ~boundary_bunch:0 ()));
+  let u = Ir_core.Outcome.unassignable ~total_wires:7 () in
   Alcotest.(check int) "unassignable rank 0" 0 u.rank_wires;
   let s = Format.asprintf "%a" Ir_core.Outcome.pp_human u in
   Alcotest.(check bool) "pp mentions unassignable" true
@@ -305,6 +305,153 @@ let test_tables_reuse () =
   Alcotest.(check int) "repeat query stable" direct.rank_wires
     again.rank_wires
 
+(* ---- Pareto overflow / exactness ------------------------------------- *)
+
+(* Adversarial instances found by randomized search over the same space as
+   Helpers.gen_instance (plus multi-wire bunches): the geometry, clock and
+   length literals below are the exact doubles the search reported, frozen
+   so the tests stay deterministic.  [adversarial_problem] rebuilds the
+   instance the way the generator does: lengths sorted descending, then
+   zipped with the per-bunch counts. *)
+let adversarial_problem ~local ~semi ~global ~gates ~clock ~fraction ~counts
+    ~lengths_mm =
+  let geometry (width, spacing, thickness, via_width) =
+    Ir_tech.Geometry.v ~width ~spacing ~thickness ~via_width ()
+  in
+  let stack =
+    {
+      Ir_tech.Stack.node =
+        Ir_tech.Node.Custom { name = "adversarial"; feature = 130e-9 };
+      local = geometry local;
+      semi_global = geometry semi;
+      global = geometry global;
+      mx_layers = 5;
+      mt_layers = 1;
+    }
+  in
+  let design =
+    Ir_tech.Design.v
+      ~node:(Ir_tech.Node.Custom { name = "adversarial"; feature = 130e-9 })
+      ~gates ~clock ~repeater_fraction:fraction ()
+  in
+  let structure =
+    { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = 1; global_pairs = 1 }
+  in
+  let arch = Ir_ia.Arch.make ~structure ~stack ~design () in
+  let sorted = List.sort (fun a b -> Float.compare b a) lengths_mm in
+  let bunches =
+    Array.of_list
+      (List.map2
+         (fun l c -> { Ir_wld.Dist.length = Ir_phys.Units.mm l; count = c })
+         sorted counts)
+  in
+  P.of_bunches ~arch ~bunches ()
+
+(* Its phase-A Pareto front exceeds the default width 8. *)
+let overflowing_problem () =
+  adversarial_problem
+    ~local:
+      ( 5.3095550389360423e-07, 3.0831268735062441e-07,
+        7.1844591095434606e-07, 1.0005558635294242e-07 )
+    ~semi:
+      ( 1.598659805087945e-07, 1.3802776320216007e-07,
+        2.1555315676358843e-07, 1.0241727322044422e-07 )
+    ~global:
+      ( 5.4754699139350477e-07, 2.6784899853456654e-07,
+        1.0539778775924268e-06, 1.7812977071127073e-07 )
+    ~gates:2432 ~clock:3.9872599080504165e9 ~fraction:0.74686733954949214
+    ~counts:[ 1; 2; 2; 1; 1; 2; 2; 1; 1; 1; 2 ]
+    ~lengths_mm:
+      [ 3.6520963231125698; 0.98958431651449208; 3.9076515829026501;
+        1.6763933135456763; 2.5346613973237861; 2.9093155040911229;
+        0.81223700481588268; 0.95906533186011544; 2.8563330453106883;
+        0.3352962962129703; 3.0536133535762913 ]
+
+(* A width-1 front already loses the state behind the true optimum. *)
+let rank_changing_problem () =
+  adversarial_problem
+    ~local:
+      ( 5.3007315779987603e-07, 5.8166095207083609e-07,
+        8.8424995898149244e-07, 2.5527989868773304e-07 )
+    ~semi:
+      ( 2.3596112983832349e-07, 5.1950525291214761e-07,
+        1.0498093669450101e-06, 3.0977913655409793e-07 )
+    ~global:
+      ( 1.7463812613679033e-07, 2.7922280425742262e-07,
+        2.0443424792061323e-07, 2.5232221581787872e-07 )
+    ~gates:1088 ~clock:3.9995243316415632e9 ~fraction:0.012119371512830416
+    ~counts:[ 2; 1; 2; 1; 1; 2; 2; 2; 2; 2; 1; 1 ]
+    ~lengths_mm:
+      [ 3.3418262525457809; 2.8134743144834737; 3.1462396277935394;
+        3.3033780217361279; 0.077756138535907043; 1.769624564453558;
+        1.0026169337562272; 1.6336512198251629; 1.9652216164557261;
+        1.0192798875341027; 2.5463811372616458; 0.43069454568339277 ]
+
+let test_pareto_overflow_widens () =
+  let p = overflowing_problem () in
+  let tables = Ir_core.Rank_dp.build_tables ~max_pareto:8 p in
+  Alcotest.(check bool) "front exceeds default width 8" true
+    (Ir_core.Rank_dp.table_truncations tables > 0);
+  let narrow =
+    Ir_core.Rank_dp.compute ~max_pareto:8 ~widen_on_overflow:false p
+  in
+  Alcotest.(check bool) "unwidened result flagged inexact" false narrow.exact;
+  let widen_retries_before =
+    Option.value ~default:0
+      (Ir_obs.find_counter (Ir_obs.snapshot ()) "rank_dp/widen_retries")
+  in
+  let wide = Ir_core.Rank_dp.compute ~max_pareto:8 p in
+  let widen_retries_after =
+    Option.value ~default:0
+      (Ir_obs.find_counter (Ir_obs.snapshot ()) "rank_dp/widen_retries")
+  in
+  Alcotest.(check bool) "default search widened" true
+    (widen_retries_after > widen_retries_before);
+  Alcotest.(check bool) "widened result exact" true wide.exact;
+  let brute = Ir_core.Rank_brute.compute p in
+  Alcotest.(check int) "widened rank matches the exhaustive oracle"
+    brute.rank_wires wide.rank_wires;
+  Alcotest.(check bool) "lower bound stays a lower bound" true
+    (narrow.rank_wires <= wide.rank_wires)
+
+let test_pareto_truncation_changes_rank () =
+  let p = rank_changing_problem () in
+  let brute = Ir_core.Rank_brute.compute p in
+  (* The pre-fix behaviour: truncate silently and report the resulting
+     lower bound as if it were the rank. *)
+  let narrow =
+    Ir_core.Rank_dp.compute ~max_pareto:1 ~widen_on_overflow:false p
+  in
+  Alcotest.(check bool) "truncation changes the reported rank" true
+    (narrow.rank_wires < brute.rank_wires);
+  Alcotest.(check bool) "and is flagged inexact" false narrow.exact;
+  let marker = Format.asprintf "%a" Ir_core.Outcome.pp_human narrow in
+  Alcotest.(check bool) "pp flags the lower bound" true
+    (Astring_contains.contains marker "pareto-truncated");
+  (* The fixed default: widening from the same starting width recovers
+     the brute-force rank.  The convergence-gated ladder may stop before
+     it can prove exactness, but it must never over-claim: if the flag
+     says exact, the value must be the oracle's. *)
+  let widened = Ir_core.Rank_dp.compute ~max_pareto:1 p in
+  Alcotest.(check int) "widening recovers the exact rank" brute.rank_wires
+    widened.rank_wires;
+  Alcotest.(check bool) "flag never over-claims" true
+    ((not widened.exact) || widened.rank_wires = brute.rank_wires);
+  (* At the default width the instance does not truncate at all, so the
+     default configuration reports it exact. *)
+  let dflt = Ir_core.Rank_dp.compute p in
+  Alcotest.(check int) "default width is exact here" brute.rank_wires
+    dflt.rank_wires;
+  Alcotest.(check bool) "and says so" true dflt.exact
+
+let prop_default_search_exact =
+  qtest ~count:100 "default search always reports exact"
+    Helpers.gen_instance (fun { problem; label } ->
+      let o = Ir_core.Rank_dp.compute problem in
+      if not o.exact then
+        QCheck2.Test.fail_reportf "%s: default search left exact=false" label
+      else true)
+
 let prop_feasible_boundary_monotone =
   qtest ~count:60 "boundary feasibility is monotone"
     Helpers.gen_instance (fun { problem; label } ->
@@ -329,6 +476,11 @@ let () =
           Alcotest.test_case "binary vs exhaustive search" `Slow
             test_dp_binary_vs_exhaustive;
           Alcotest.test_case "prebuilt tables reuse" `Quick test_tables_reuse;
+          Alcotest.test_case "pareto overflow widens to exact" `Quick
+            test_pareto_overflow_widens;
+          Alcotest.test_case "pareto truncation changes rank" `Quick
+            test_pareto_truncation_changes_rank;
+          prop_default_search_exact;
           prop_binary_matches_exhaustive;
           prop_dp_equals_brute;
           prop_feasible_boundary_monotone;

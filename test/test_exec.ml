@@ -115,6 +115,52 @@ let test_recommended_positive () =
   Alcotest.(check bool) "at least one worker" true
     (Ir_exec.recommended_jobs () >= 1)
 
+let test_pool_stats_accounting () =
+  let n = 57 in
+  let xs = Array.init n (fun i -> i) in
+  ignore (Ir_exec.parallel_map ~jobs:4 (fun x -> 2 * x) xs);
+  (match Ir_exec.last_pool_stats () with
+  | None -> Alcotest.fail "no stats after a parallel run"
+  | Some st ->
+      Alcotest.(check int) "jobs recorded" 4 st.Ir_exec.jobs;
+      Alcotest.(check int) "one units slot per worker" 4
+        (Array.length st.Ir_exec.units);
+      Alcotest.(check int) "one busy slot per worker" 4
+        (Array.length st.Ir_exec.busy_seconds);
+      Alcotest.(check int) "per-worker units sum to n" n
+        (Array.fold_left ( + ) 0 st.Ir_exec.units);
+      Array.iter
+        (fun u ->
+          Alcotest.(check bool) "units non-negative" true (u >= 0))
+        st.Ir_exec.units;
+      Alcotest.(check bool) "wall time non-negative" true
+        (st.Ir_exec.wall_seconds >= 0.0);
+      let p = Ir_exec.effective_parallelism st in
+      Alcotest.(check bool) "effective parallelism sane" true
+        (p >= 0.0 && p <= float_of_int st.Ir_exec.jobs +. 1.0));
+  (* The jobs = 1 path must produce the degenerate single-worker record
+     so callers can report uniformly. *)
+  ignore (Ir_exec.parallel_map ~jobs:1 (fun x -> x) xs);
+  match Ir_exec.last_pool_stats () with
+  | None -> Alcotest.fail "no stats after a sequential run"
+  | Some st ->
+      Alcotest.(check int) "seq jobs" 1 st.Ir_exec.jobs;
+      check_int_array "seq units" [| n |] st.Ir_exec.units
+
+(* The unit split across workers is scheduling-dependent, but the sum is
+   an invariant: every element is processed exactly once. *)
+let prop_units_sum_to_n =
+  Helpers.qtest ~count:50 "pool units sum to n"
+    QCheck2.Gen.(pair (int_range 0 40) (int_range 1 6))
+    (fun (n, jobs) ->
+      ignore
+        (Ir_exec.parallel_map ~jobs
+           (fun x -> x + 1)
+           (Array.init n (fun i -> i)));
+      match Ir_exec.last_pool_stats () with
+      | None -> false
+      | Some st -> Array.fold_left ( + ) 0 st.Ir_exec.units = n)
+
 let () =
   Alcotest.run "exec"
     [
@@ -139,5 +185,10 @@ let () =
           Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
           Alcotest.test_case "recommended positive" `Quick
             test_recommended_positive;
+        ] );
+      ( "pool_stats",
+        [
+          Alcotest.test_case "accounting" `Quick test_pool_stats_accounting;
+          prop_units_sum_to_n;
         ] );
     ]

@@ -252,7 +252,7 @@ let test_export () =
       match
         Ir_sweep.Export.write_bench_json ~dir ~jobs:4
           ~timings:[ ("table4_jobs1_seconds", 1.25) ]
-          ~sweeps:[ sweep ] ~cross:[]
+          ~metrics:(Ir_obs.snapshot ()) ~sweeps:[ sweep ] ~cross:[] ()
       with
       | Error e -> Alcotest.failf "write_bench_json: %s" e
       | Ok path ->
@@ -266,10 +266,13 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/1\"";
+              "\"schema\":\"ia-rank/bench-sweeps/2\"";
               "\"jobs\":4";
               "\"table4_jobs1_seconds\":1.25";
               "\"rank_wires\"";
+              "\"exact\":true";
+              "\"metrics\":{\"counters\":{";
+              "\"sweep/points\"";
               "\"cross_node\":[]";
             ])
 
@@ -277,6 +280,63 @@ let test_export_bad_dir () =
   match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected filesystem error"
+
+let with_temp_root f =
+  let root = Filename.temp_file "ia_rank" "_dirs" in
+  Sys.remove root;
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm root) (fun () -> f root)
+
+let test_ensure_dir_recursive () =
+  with_temp_root @@ fun root ->
+  let nested = Filename.concat (Filename.concat root "a") "b" in
+  (match Ir_sweep.Export.ensure_dir nested with
+  | Error e -> Alcotest.failf "ensure_dir nested: %s" e
+  | Ok () ->
+      Alcotest.(check bool) "nested dir exists" true (Sys.is_directory nested));
+  (* Idempotent on an existing directory. *)
+  (match Ir_sweep.Export.ensure_dir nested with
+  | Error e -> Alcotest.failf "ensure_dir existing: %s" e
+  | Ok () -> ());
+  (* A regular file in the way is a clear error naming the path. *)
+  let blocked = Filename.concat nested "file" in
+  Out_channel.with_open_text blocked (fun oc ->
+      Out_channel.output_string oc "x");
+  match Ir_sweep.Export.ensure_dir (Filename.concat blocked "below") with
+  | Ok () -> Alcotest.fail "expected error through a regular file"
+  | Error e ->
+      Alcotest.(check bool) "error names the blocking path" true
+        (Astring_contains.contains e blocked)
+
+let rename_sweep (s : Ir_sweep.Table4.sweep) name = { s with name }
+
+let test_sweep_csv_collision () =
+  with_temp_root @@ fun root ->
+  let sweep = Ir_sweep.Table4.r_sweep ~config:small_config () in
+  let upper = rename_sweep sweep "R" and lower = rename_sweep sweep "r" in
+  (* [sweep_csv_path] lowercases, so "R" and "r" map to the same file. *)
+  Alcotest.(check string) "paths collide"
+    (Ir_sweep.Export.sweep_csv_path ~dir:root upper)
+    (Ir_sweep.Export.sweep_csv_path ~dir:root lower);
+  (match Ir_sweep.Export.write_sweeps ~dir:root [ upper; lower ] with
+  | Ok _ -> Alcotest.fail "expected collision error"
+  | Error e ->
+      Alcotest.(check bool) "error names both sweeps" true
+        (Astring_contains.contains e "\"R\""
+        && Astring_contains.contains e "\"r\"");
+      Alcotest.(check bool) "nothing written" true
+        (not (Sys.file_exists (Ir_sweep.Export.sweep_csv_path ~dir:root upper))));
+  (* The same sweep listed twice is not a collision (last write wins). *)
+  match Ir_sweep.Export.write_sweeps ~dir:root [ upper; upper ] with
+  | Ok paths -> Alcotest.(check int) "two writes" 2 (List.length paths)
+  | Error e -> Alcotest.failf "same-name sweeps should write: %s" e
 
 let () =
   Alcotest.run "sweep"
@@ -304,6 +364,10 @@ let () =
         [
           Alcotest.test_case "round trip" `Slow test_export;
           Alcotest.test_case "bad directory" `Quick test_export_bad_dir;
+          Alcotest.test_case "recursive directory creation" `Quick
+            test_ensure_dir_recursive;
+          Alcotest.test_case "lowercase csv collision" `Slow
+            test_sweep_csv_collision;
         ] );
       ( "report",
         [
