@@ -12,6 +12,28 @@
 
 let section title = Format.printf "@.==== %s ====@.@." title
 
+(* IA_RANK_BENCH_QUICK=1 shrinks the sweep workload (100k-gate design,
+   small cross-node matrix, short microbenchmarks) so the whole `sweeps`
+   pipeline — including the jobs=1 vs jobs=N rank/counter identity
+   checks — runs in seconds.  `dune runtest` drives this mode via a rule
+   in bench/dune, making the determinism checks part of tier-1 verify.
+   Quick runs export to results-quick/ so they can never clobber the
+   committed full-workload results/. *)
+let quick =
+  match Sys.getenv_opt "IA_RANK_BENCH_QUICK" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let sweep_config () =
+  if quick then
+    {
+      Ir_sweep.Table4.default_config with
+      design = Ir_core.Rank.baseline_design ~gates:100_000 Ir_tech.Node.N130;
+    }
+  else Ir_sweep.Table4.default_config
+
+let results_dir () = if quick then "results-quick" else "results"
+
 (* ---------------------------------------------------------------------- *)
 (* Part 1: experiment regeneration                                         *)
 (* ---------------------------------------------------------------------- *)
@@ -38,22 +60,34 @@ let sweep_ranks (s : Ir_sweep.Table4.sweep) =
       (r.param, r.outcome.Ir_core.Outcome.rank_wires))
     s.rows
 
+(* The per-leg phase split: how much of a leg's (cumulative, across
+   domains) busy time went into phase-A table builds vs boundary
+   searches. *)
+let phase_cell snap name =
+  match Ir_obs.find_span snap name with
+  | Some { Ir_obs.calls; seconds } ->
+      Printf.sprintf "%.2f s / %d calls" seconds calls
+  | None -> "-"
+
 let experiment_table4 () =
-  section "E1-E4: Table 4 (rank vs K, M, C, R; 130nm, 1M gates)";
-  (* Each leg runs from a zeroed metrics registry so the two counter
-     snapshots are comparable: every Ir_obs counter counts a
-     deterministic quantity, so jobs=1 and jobs=N must agree exactly —
-     a cross-domain determinism check on the whole DP + packing stack,
-     on top of the rank-identity check below. *)
+  section
+    (if quick then "E1-E4: Table 4 (QUICK mode; 130nm, 100k gates)"
+     else "E1-E4: Table 4 (rank vs K, M, C, R; 130nm, 1M gates)");
+  let config = sweep_config () in
+  (* Each leg runs from a zeroed metrics registry so the two snapshots
+     are comparable: every Ir_obs counter (and gauge) is a deterministic
+     quantity, so jobs=1 and jobs=N must agree exactly — a cross-domain
+     determinism check on the whole DP + packing stack, on top of the
+     rank-identity check below. *)
   Ir_obs.reset ();
   let t0 = Ir_exec.now () in
-  let seq = Ir_sweep.Table4.all ~jobs:1 () in
+  let seq = Ir_sweep.Table4.all ~jobs:1 ~config () in
   let seq_s = Ir_exec.now () -. t0 in
   let seq_snap = Ir_obs.snapshot () in
   Ir_obs.reset ();
   let jobs = par_jobs () in
   let t0 = Ir_exec.now () in
-  let sweeps = Ir_sweep.Table4.all ~jobs () in
+  let sweeps = Ir_sweep.Table4.all ~jobs ~config () in
   let par_s = Ir_exec.now () -. t0 in
   let par_snap = Ir_obs.snapshot () in
   let identical =
@@ -63,6 +97,7 @@ let experiment_table4 () =
   in
   let counters_identical =
     seq_snap.Ir_obs.counters = par_snap.Ir_obs.counters
+    && seq_snap.Ir_obs.gauges = par_snap.Ir_obs.gauges
   in
   List.iter
     (fun s ->
@@ -76,19 +111,37 @@ let experiment_table4 () =
            (Ir_sweep.Table4.normalized s)
            s.Ir_sweep.Table4.paper))
     sweeps;
+  (* Both legs run the same code on the same workload — the labels name
+     only the worker count.  Per-phase spans are cumulative busy time
+     across all domains of the leg, so the jobs=N row can exceed its own
+     wall time. *)
   Ir_sweep.Report.table
-    ~header:[ "table4 leg"; "wall time"; "speedup"; "ranks identical" ]
+    ~header:
+      [ "table4 leg"; "wall time"; "speedup vs jobs=1";
+        "rank_dp/build_tables"; "rank_dp/search"; "ranks identical" ]
     ~rows:
       [
-        [ "jobs=1 (before)"; Printf.sprintf "%.2f s" seq_s; "1.00x"; "-" ];
         [
-          Printf.sprintf "jobs=%d (after)" jobs;
+          "jobs=1"; Printf.sprintf "%.2f s" seq_s; "1.00x";
+          phase_cell seq_snap "rank_dp/build_tables";
+          phase_cell seq_snap "rank_dp/search"; "-";
+        ];
+        [
+          Printf.sprintf "jobs=%d" jobs;
           Printf.sprintf "%.2f s" par_s;
           Printf.sprintf "%.2fx" (seq_s /. Float.max 1e-9 par_s);
+          phase_cell par_snap "rank_dp/build_tables";
+          phase_cell par_snap "rank_dp/search";
           (if identical then "yes" else "NO (BUG)");
         ];
       ]
     Format.std_formatter;
+  if par_s > seq_s then
+    Format.printf
+      "@.*** WARNING: the jobs=%d leg (%.2f s) is SLOWER than jobs=1 (%.2f \
+       s). ***@.*** Parallel execution is losing to its own overhead on \
+       this machine/workload. ***@."
+      jobs par_s seq_s;
   Ir_sweep.Report.table
     ~header:[ "counter"; "jobs=1"; Printf.sprintf "jobs=%d" jobs; "match" ]
     ~rows:
@@ -101,15 +154,26 @@ let experiment_table4 () =
              (match vn with Some v -> string_of_int v | None -> "-");
              (if vn = Some v1 then "yes" else "NO (BUG)");
            ])
-         seq_snap.Ir_obs.counters)
+         seq_snap.Ir_obs.counters
+      @ List.map
+          (fun (name, v1) ->
+            let vn = Ir_obs.find_gauge par_snap name in
+            [
+              name ^ " (gauge)";
+              string_of_int v1;
+              (match vn with Some v -> string_of_int v | None -> "-");
+              (if vn = Some v1 then "yes" else "NO (BUG)");
+            ])
+          seq_snap.Ir_obs.gauges)
     Format.std_formatter;
   if not identical then
     failwith "table4: parallel ranks differ from sequential ranks";
   if not counters_identical then
-    failwith "table4: parallel counters differ from sequential counters";
+    failwith "table4: parallel counters/gauges differ from sequential";
   ( sweeps,
     [ ("table4_jobs1_seconds", seq_s);
-      (Printf.sprintf "table4_jobs%d_seconds" jobs, par_s) ] )
+      (Printf.sprintf "table4_jobs%d_seconds" jobs, par_s) ],
+    (seq_s, par_s) )
 
 let experiment_figure2 () =
   section "E5: Figure 2 (suboptimality of greedy assignment)";
@@ -134,31 +198,98 @@ let experiment_headline () =
 let experiment_cross_node () =
   section "E9: unreported cross-node baselines (Section 5.2)";
   let matrix =
-    [
-      (Ir_tech.Node.N180, 1_000_000);
-      (Ir_tech.Node.N130, 1_000_000);
-      (Ir_tech.Node.N130, 4_000_000);
-      (Ir_tech.Node.N90, 4_000_000);
-      (Ir_tech.Node.N90, 10_000_000);
-    ]
+    if quick then
+      [
+        (Ir_tech.Node.N180, 100_000);
+        (Ir_tech.Node.N130, 100_000);
+        (Ir_tech.Node.N90, 100_000);
+      ]
+    else
+      [
+        (Ir_tech.Node.N180, 1_000_000);
+        (Ir_tech.Node.N130, 1_000_000);
+        (Ir_tech.Node.N130, 4_000_000);
+        (Ir_tech.Node.N90, 4_000_000);
+        (Ir_tech.Node.N90, 10_000_000);
+      ]
   in
   let cells = Ir_sweep.Cross_node.run ~matrix () in
   Ir_sweep.Report.cross_node_table cells Format.std_formatter;
-  (* A 10M-gate design does not fit the baseline 4-pair architecture at
-     all (Definition 3, rank 0) — the paper's footnote 1 point that via
-     blockage and wiring demand drive layer count.  The 90nm stack has the
-     layers for a third semi-global pair; with it the design routes. *)
-  Format.printf
-    "@.Same 90nm/10M design with a third semi-global pair (8-layer \
-     stack):@.";
-  let structure =
-    { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = 3; global_pairs = 1 }
-  in
-  Ir_sweep.Report.cross_node_table
-    (Ir_sweep.Cross_node.run ~structure
-       ~matrix:[ (Ir_tech.Node.N90, 10_000_000) ] ())
-    Format.std_formatter;
+  if not quick then begin
+    (* A 10M-gate design does not fit the baseline 4-pair architecture at
+       all (Definition 3, rank 0) — the paper's footnote 1 point that via
+       blockage and wiring demand drive layer count.  The 90nm stack has
+       the layers for a third semi-global pair; with it the design
+       routes. *)
+    Format.printf
+      "@.Same 90nm/10M design with a third semi-global pair (8-layer \
+       stack):@.";
+    let structure =
+      { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = 3; global_pairs = 1 }
+    in
+    Ir_sweep.Report.cross_node_table
+      (Ir_sweep.Cross_node.run ~structure
+         ~matrix:[ (Ir_tech.Node.N90, 10_000_000) ] ())
+      Format.std_formatter
+  end;
   cells
+
+(* Kernel microbenchmarks for the BENCH_sweeps.json "kernel" object:
+   raw Front insert throughput (synthetic workload, deterministic LCG)
+   and one timed phase-A [Rank_dp.build_tables] on the baseline
+   instance.  Runs after the metrics snapshot is taken so its spans do
+   not pollute the exported sweep metrics. *)
+let kernel_bench () =
+  section "Kernel micro-benchmark (flat Pareto front)";
+  let module Front = Ir_core.Front in
+  let cells = 512 and width = 8 in
+  let inserts = if quick then 200_000 else 2_000_000 in
+  let front = Front.create ~cells ~width in
+  (* Deterministic 64-bit LCG (MMIX constants) — no Random state, so the
+     workload is identical run to run. *)
+  let seed = ref 0x9E3779B97F4A7C15L in
+  let next () =
+    seed := Int64.add (Int64.mul !seed 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical !seed 17)
+  in
+  let t0 = Ir_exec.now () in
+  for _ = 1 to inserts do
+    let r = next () in
+    let cell = r mod cells in
+    let area = float_of_int ((r lsr 10) land 0xFFFF) in
+    let count = (r lsr 26) land 0xFF in
+    ignore
+      (Front.insert front cell ~area ~count ~split:0 ~parent:(-1))
+  done;
+  let insert_s = Ir_exec.now () -. t0 in
+  let per_insert_ns = insert_s *. 1e9 /. float_of_int inserts in
+  let gates = if quick then 100_000 else 1_000_000 in
+  let design = Ir_core.Rank.baseline_design ~gates Ir_tech.Node.N130 in
+  let problem = Ir_core.Rank.problem_of_design design in
+  let t0 = Ir_exec.now () in
+  let tables = Ir_core.Rank_dp.build_tables problem in
+  let build_s = Ir_exec.now () -. t0 in
+  ignore (Sys.opaque_identity tables);
+  Ir_sweep.Report.table
+    ~header:[ "kernel benchmark"; "result" ]
+    ~rows:
+      [
+        [
+          Printf.sprintf "front/insert x%d (%d cells, width %d)" inserts
+            cells width;
+          Printf.sprintf "%.3f s total, %.0f ns/insert" insert_s
+            per_insert_ns;
+        ];
+        [
+          Printf.sprintf "rank_dp/build_tables (130nm, %d gates)" gates;
+          Printf.sprintf "%.3f s" build_s;
+        ];
+      ]
+    Format.std_formatter;
+  [
+    ("front_insert_ns", per_insert_ns);
+    ("build_tables_seconds", build_s);
+  ]
 
 let experiment_runtime_claim () =
   section "E8: runtime claim (paper: < 200 s per rank on a 2003 Xeon)";
@@ -540,9 +671,9 @@ let study_netlist () =
      lengths; the@.closed form the paper adopts in footnote 2 tracks the \
      measured shape.)@."
 
-let export_artifacts sweeps cells timings =
+let export_artifacts ?metrics ?kernel sweeps cells timings =
   section "Artifacts";
-  let dir = "results" in
+  let dir = results_dir () in
   (match Ir_sweep.Export.write_sweeps ~dir sweeps with
   | Ok paths -> List.iter (Format.printf "wrote %s@.") paths
   | Error e -> Format.printf "sweep export failed: %s@." e);
@@ -550,10 +681,11 @@ let export_artifacts sweeps cells timings =
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "cross export failed: %s@." e);
   (match
-     (* The snapshot covers everything since the last [Ir_obs.reset] —
-        in `sweeps` mode: the parallel table4 leg plus cross-node. *)
+     (* [metrics] is the snapshot taken right after the sweep sections
+        (parallel table4 leg plus cross-node), before the kernel
+        microbenchmarks pollute the span registry. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ~metrics:(Ir_obs.snapshot ()) ~sweeps ~cross:cells ()
+       ?metrics ?kernel ~sweeps ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);
@@ -674,18 +806,31 @@ let () =
         exit 2
   in
   let t0 = Ir_exec.now () in
+  (* The kernel object tracks the perf trajectory across PRs: the
+     microbenchmarks, the cumulative phase-A build span of the parallel
+     leg + cross-node (the snapshot taken before kernel_bench), and both
+     table4 leg wall times. *)
+  let kernel_entries metrics (seq_s, par_s) =
+    (match Ir_obs.find_span metrics "rank_dp/build_tables" with
+    | Some { Ir_obs.seconds; _ } -> [ ("span_build_tables_seconds", seconds) ]
+    | None -> [])
+    @ [ ("table4_jobs1_seconds", seq_s); ("table4_jobsN_seconds", par_s) ]
+  in
   (match what with
   | `Micro -> run_bechamel ()
   | `Sweeps ->
-      let sweeps, timings = experiment_table4 () in
+      let sweeps, timings, legs = experiment_table4 () in
       let cells = experiment_cross_node () in
-      export_artifacts sweeps cells timings
+      let metrics = Ir_obs.snapshot () in
+      let kernel = kernel_bench () @ kernel_entries metrics legs in
+      export_artifacts ~metrics ~kernel sweeps cells timings
   | `All ->
       experiment_tables ();
-      let sweeps, timings = experiment_table4 () in
+      let sweeps, timings, legs = experiment_table4 () in
       experiment_figure2 ();
       experiment_headline ();
       let cells = experiment_cross_node () in
+      let metrics = Ir_obs.snapshot () in
       experiment_runtime_claim ();
       ablation_bunch_size ();
       ablation_binning ();
@@ -701,6 +846,7 @@ let () =
       study_anneal ();
       study_variation ();
       study_netlist ();
-      export_artifacts sweeps cells timings;
+      let kernel = kernel_bench () @ kernel_entries metrics legs in
+      export_artifacts ~metrics ~kernel sweeps cells timings;
       run_bechamel ());
   Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

@@ -47,12 +47,19 @@ let eta_min t ~pair ~bunch =
   let e = t.eta.(pair).(bunch) in
   if e < 0 then None else Some e
 
+let meeting_feasible t ~pair ~lo ~hi =
+  t.bad_prefix.(pair).(hi) - t.bad_prefix.(pair).(lo) = 0
+
+let meeting_area t ~pair ~lo ~hi =
+  t.rep_area_prefix.(pair).(hi) -. t.rep_area_prefix.(pair).(lo)
+
+let meeting_count t ~pair ~lo ~hi =
+  t.rep_count_prefix.(pair).(hi) - t.rep_count_prefix.(pair).(lo)
+
 let meeting_cost t ~pair ~lo ~hi =
-  if t.bad_prefix.(pair).(hi) - t.bad_prefix.(pair).(lo) > 0 then None
-  else
-    Some
-      ( t.rep_area_prefix.(pair).(hi) -. t.rep_area_prefix.(pair).(lo),
-        t.rep_count_prefix.(pair).(hi) - t.rep_count_prefix.(pair).(lo) )
+  if meeting_feasible t ~pair ~lo ~hi then
+    Some (meeting_area t ~pair ~lo ~hi, meeting_count t ~pair ~lo ~hi)
+  else None
 
 let wire_delay_on_pair t ~pair ~eta l =
   let p = Ir_ia.Arch.pair t.arch pair in

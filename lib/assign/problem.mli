@@ -91,6 +91,20 @@ val meeting_cost : t -> pair:int -> lo:int -> hi:int -> (float * int) option
     bunches is infeasible there.  The count is exact — it is differenced
     from an integer prefix table, never recovered from floats. *)
 
+val meeting_feasible : t -> pair:int -> lo:int -> hi:int -> bool
+(** [meeting_cost] is [Some _] — as a bare boolean, for the DP hot loop. *)
+
+val meeting_area : t -> pair:int -> lo:int -> hi:int -> float
+(** The area component of {!meeting_cost}, unboxed.  Meaningful only when
+    {!meeting_feasible} holds (infeasible bunches contribute 0). *)
+
+val meeting_count : t -> pair:int -> lo:int -> hi:int -> int
+(** The count component of {!meeting_cost}, unboxed; same caveat.
+
+    These three exist because {!meeting_cost} allocates a [Some (float *
+    int)] per call — hundreds of millions of calls per table build in the
+    rank DP made that option the dominant allocation source. *)
+
 val wire_delay_on_pair : t -> pair:int -> eta:int -> float -> float
 (** Eq. (3) delay of a single wire of the given length (m) on [pair] with
     [eta] repeaters of the pair's uniform size — exposed for reporting. *)

@@ -1,0 +1,168 @@
+(* Flat struct-of-arrays Pareto-front store for the phase-A rank DP.
+
+   One [t] holds every (pair, bunch) cell of a DP build: per cell a
+   fixed-capacity slice of parallel arrays sorted area-ascending (hence,
+   by the Pareto invariant, count-descending).  Dominance checks are a
+   binary search over the slice, insertion is an in-place [Array.blit]
+   shift, and the interval splits previously carried by every state as an
+   [int list] live in a compact parent-pointer arena instead — the hot
+   loop allocates nothing per insert (the arena grows only for states
+   that actually enter a front, by doubling).
+
+   The semantics are exactly those of the historical list-based kernel
+   (kept as the reference implementation in [test_core.ml]'s differential
+   property test): same surviving states in the same order, same
+   dominated/truncation tallies, including the width-overflow rule that
+   keeps the [width - 1] smallest-area states plus the min-count last
+   one. *)
+
+type t = {
+  width : int;  (* max states per cell (max_pareto) *)
+  stride : int;  (* width + 1: one slack slot for the overflow shuffle *)
+  cells : int;
+  area : float array;  (* cells * stride, area-ascending per cell *)
+  count : int array;  (* cells * stride, count-descending per cell *)
+  state : int array;  (* cells * stride, arena id per element *)
+  len : int array;  (* cells *)
+  (* Parent-pointer arena: one (split, parent) pair per state that ever
+     entered a front.  Ids are stable across growth; states evicted later
+     keep their slots (they may be parents of live states). *)
+  mutable arena_split : int array;
+  mutable arena_parent : int array;
+  mutable arena_len : int;
+  (* Per-build tallies, flushed to Ir_obs by the caller. *)
+  mutable inserts : int;
+  mutable dominated : int;
+  mutable truncations : int;
+}
+
+let no_parent = -1
+
+let create ~cells ~width =
+  if cells <= 0 then invalid_arg "Front.create: cells must be positive";
+  if width <= 0 then invalid_arg "Front.create: width must be positive";
+  let stride = width + 1 in
+  {
+    width;
+    stride;
+    cells;
+    area = Array.make (cells * stride) 0.0;
+    count = Array.make (cells * stride) 0;
+    state = Array.make (cells * stride) no_parent;
+    len = Array.make cells 0;
+    arena_split = Array.make 256 0;
+    arena_parent = Array.make 256 no_parent;
+    arena_len = 0;
+    inserts = 0;
+    dominated = 0;
+    truncations = 0;
+  }
+
+let width t = t.width
+let length t cell = t.len.(cell)
+let area t cell k = t.area.((cell * t.stride) + k)
+let count t cell k = t.count.((cell * t.stride) + k)
+let state t cell k = t.state.((cell * t.stride) + k)
+
+(* Area-ascending order makes the minimum the first element. *)
+let min_area t cell = t.area.(cell * t.stride)
+let stride t = t.stride
+
+(* The array fields are never reallocated (only the arena grows), so
+   these aliases stay valid for the lifetime of [t]. *)
+let raw_area t = t.area
+let raw_count t = t.count
+let raw_len t = t.len
+let inserts t = t.inserts
+let dominated t = t.dominated
+let truncations t = t.truncations
+let arena_states t = t.arena_len
+
+let alloc_state t ~split ~parent =
+  let cap = Array.length t.arena_split in
+  if t.arena_len = cap then begin
+    let splits = Array.make (2 * cap) 0 in
+    let parents = Array.make (2 * cap) no_parent in
+    Array.blit t.arena_split 0 splits 0 cap;
+    Array.blit t.arena_parent 0 parents 0 cap;
+    t.arena_split <- splits;
+    t.arena_parent <- parents
+  end;
+  let id = t.arena_len in
+  t.arena_split.(id) <- split;
+  t.arena_parent.(id) <- parent;
+  t.arena_len <- id + 1;
+  id
+
+let seed t cell ~area ~count =
+  if t.len.(cell) <> 0 then invalid_arg "Front.seed: cell not empty";
+  let base = cell * t.stride in
+  t.area.(base) <- area;
+  t.count.(base) <- count;
+  t.state.(base) <- alloc_state t ~split:(-1) ~parent:no_parent;
+  t.len.(cell) <- 1
+
+let insert t cell ~area:a ~count:c ~split ~parent =
+  t.inserts <- t.inserts + 1;
+  let base = cell * t.stride in
+  let n = t.len.(cell) in
+  (* Upper bound: first index whose area exceeds [a]. *)
+  let lo = ref 0 and hi = ref n in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if t.area.(base + mid) <= a then lo := mid + 1 else hi := mid
+  done;
+  let p = !lo in
+  (* Everything in [0, p) has area <= a; counts descend, so the last of
+     them carries their minimum count — it dominates the candidate iff
+     any element does. *)
+  if p > 0 && t.count.(base + p - 1) <= c then
+    t.dominated <- t.dominated + 1
+  else begin
+    (* Elements dominated by the candidate (area >= a and count >= c)
+       form the contiguous run [s, q): area >= a is a suffix starting at
+       p — or at p - 1 when that element ties on area, in which case the
+       dominance check above guarantees its count exceeds c — and
+       count >= c is a prefix. *)
+    let s = if p > 0 && t.area.(base + p - 1) = a then p - 1 else p in
+    let lo = ref s and hi = ref n in
+    while !hi > !lo do
+      let mid = (!lo + !hi) / 2 in
+      if t.count.(base + mid) >= c then lo := mid + 1 else hi := mid
+    done;
+    let q = !lo in
+    let tail = n - q in
+    if tail > 0 then begin
+      Array.blit t.area (base + q) t.area (base + s + 1) tail;
+      Array.blit t.count (base + q) t.count (base + s + 1) tail;
+      Array.blit t.state (base + q) t.state (base + s + 1) tail
+    end;
+    t.area.(base + s) <- a;
+    t.count.(base + s) <- c;
+    t.state.(base + s) <- alloc_state t ~split ~parent;
+    let n' = n - (q - s) + 1 in
+    if n' > t.width then begin
+      (* Dropping a non-dominated state: the DP may now under-report the
+         rank.  Count it — [truncations = 0] is what licenses the [exact]
+         claim on the outcome.  Keep the smallest-area states plus the
+         min-count last one (the same rule as the list kernel). *)
+      t.truncations <- t.truncations + (n' - t.width);
+      t.area.(base + t.width - 1) <- t.area.(base + n' - 1);
+      t.count.(base + t.width - 1) <- t.count.(base + n' - 1);
+      t.state.(base + t.width - 1) <- t.state.(base + n' - 1);
+      t.len.(cell) <- t.width
+    end
+    else t.len.(cell) <- n'
+  end
+
+let splits t id =
+  (* Seeds record split -1 (they carry no interval end); every other
+     state contributes its split and continues into its parent chain,
+     which ends either at a seed or at a root-parented insert. *)
+  let rec walk id acc =
+    if id = no_parent then acc
+    else
+      let split = t.arena_split.(id) in
+      if split < 0 then acc else walk t.arena_parent.(id) (split :: acc)
+  in
+  walk id []

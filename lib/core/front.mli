@@ -1,0 +1,94 @@
+(** Flat struct-of-arrays Pareto-front store for the phase-A rank DP.
+
+    A single value holds the fronts of {e every} DP cell of one
+    {!Rank_dp.build_tables} run as pre-allocated parallel arrays: per
+    cell, areas ascend strictly and repeater counts descend strictly (the
+    Pareto invariant), so a dominance check is an O(log width) binary
+    search and an insertion an in-place [Array.blit] shift — the hot loop
+    performs no per-insert allocation.  The interval split carried by
+    each state lives in a compact growable parent-pointer arena;
+    {!splits} rebuilds the historical [splits : int list] on demand (only
+    for the O(log n) witness probes, never in the build loop).
+
+    Semantics — surviving states, their order, and the
+    dominated/truncation tallies — are exactly those of the list-based
+    kernel this replaces; [test_core]'s differential property test keeps
+    that reference implementation and checks equality on random insert
+    sequences. *)
+
+type t
+
+val create : cells : int -> width : int -> t
+(** [create ~cells ~width] pre-allocates [cells] empty fronts of capacity
+    [width] ([max_pareto]) each.  Raises [Invalid_argument] unless both
+    are positive. *)
+
+val width : t -> int
+
+(** {1 Front access}
+
+    Cells are caller-numbered [0 .. cells-1]; elements of a cell are
+    indexed [0 .. length t cell - 1] in ascending-area order. *)
+
+val length : t -> int -> int
+val area : t -> int -> int -> float
+val count : t -> int -> int -> int
+
+val state : t -> int -> int -> int
+(** Arena id of the element, for {!splits} and as [~parent] of successor
+    states. *)
+
+val min_area : t -> int -> float
+(** Smallest area in the cell — undefined when the cell is empty. *)
+
+(** {1 Expert read-only access}
+
+    Aliases of the live internal arrays, for callers whose inner loop
+    cannot afford a function call per element (without flambda, every
+    call boxes float arguments and returns).  Element [k] of [cell]
+    lives at index [cell * stride t + k]; the live length of a cell is
+    [(raw_len t).(cell)].  The aliases stay valid for the lifetime of
+    [t] and reflect mutations made by {!insert}.  Never write through
+    them — all updates must go through {!seed} and {!insert} or the
+    Pareto invariant and the statistics break. *)
+
+val stride : t -> int
+val raw_area : t -> float array
+val raw_count : t -> int array
+val raw_len : t -> int array
+
+(** {1 Building} *)
+
+val seed : t -> int -> area : float -> count : int -> unit
+(** Places a root state ([splits = []]) in an empty cell directly,
+    without touching the insert statistics (mirrors the old kernel's
+    direct [dp.(0).(0) <- ...] seeding).  Raises [Invalid_argument] if
+    the cell is non-empty. *)
+
+val insert :
+  t -> int -> area : float -> count : int -> split : int -> parent : int -> unit
+(** [insert t cell ~area ~count ~split ~parent] offers a candidate state
+    to the cell's front: dropped if a present element dominates it
+    (area and count both [<=], counted in {!dominated}); otherwise placed
+    in order, evicting the elements it dominates.  If the front then
+    exceeds [width], the smallest-area [width - 1] elements plus the
+    min-count last one are kept and {!truncations} grows by the number
+    dropped.  [parent] is the arena id of the predecessor state
+    ({!Front.state}), or [-1] for a root. *)
+
+(** {1 Witness reconstruction} *)
+
+val splits : t -> int -> int list
+(** [splits t id] walks the parent chain of arena state [id] and returns
+    the recorded splits top-down — the [splits] list the historical
+    per-state representation carried inline. *)
+
+(** {1 Statistics} *)
+
+val inserts : t -> int
+val dominated : t -> int
+val truncations : t -> int
+
+val arena_states : t -> int
+(** Number of states that survived insertion at least once — the arena
+    high-water mark reported to the [rank_dp/front_arena] gauge. *)

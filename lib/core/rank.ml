@@ -17,6 +17,17 @@ let compute ?(algo = Dp) problem =
   | Greedy -> Rank_greedy.compute problem
   | Exact { r_steps } -> Rank_exact.compute ~r_steps problem
 
+let compute_budgets ?(algo = Dp) problem fractions =
+  match algo with
+  | Dp -> Rank_dp.search_budgets problem fractions
+  | Greedy | Exact _ ->
+      (* No shared-tables path for these algorithms; evaluate each
+         fraction independently. *)
+      List.map
+        (fun f ->
+          compute ~algo (Ir_assign.Problem.with_repeater_fraction problem f))
+        fractions
+
 let of_design ?algo ?structure ?materials ?target_model ?bunch_size design =
   compute ?algo
     (problem_of_design ?structure ?materials ?target_model ?bunch_size

@@ -27,6 +27,15 @@ val problem_of_design :
 val compute : ?algo:algo -> Ir_assign.Problem.t -> Outcome.t
 (** Runs the chosen algorithm (default [Dp]) on a prepared instance. *)
 
+val compute_budgets :
+  ?algo:algo -> Ir_assign.Problem.t -> float list -> Outcome.t list
+(** [compute_budgets problem fractions] is the rank of [problem] at each
+    repeater fraction, in list order.  With [Dp] (the default) this is
+    {!Rank_dp.search_budgets} — one phase-A build shared across the whole
+    budget sweep; other algorithms evaluate each fraction independently.
+    Results are identical to mapping {!compute} over
+    {!Ir_assign.Problem.with_repeater_fraction}. *)
+
 val of_design :
   ?algo:algo ->
   ?structure:Ir_ia.Arch.structure ->

@@ -5,8 +5,12 @@ module GF = Ir_assign.Greedy_fill
    deterministic quantity: its total depends only on the instances
    processed, never on domain scheduling — the cross-domain determinism
    tests compare these between jobs=1 and jobs=N runs.  Counters on the
-   hot paths are accumulated in local refs and flushed once per call, so
-   the inner loops never touch an atomic. *)
+   hot paths are accumulated locally (inside Front for the kernel ones)
+   and flushed once per call, so the inner loops never touch an atomic.
+   The gauge records the largest per-build state arena, i.e. how many
+   states survived insertion at least once in the worst build — a
+   capacity watermark for the flat kernel, and deterministic like the
+   counters (a maximum is order-independent). *)
 let stat_states = Ir_obs.counter "rank_dp/states_expanded"
 let stat_inserts = Ir_obs.counter "rank_dp/pareto_inserts"
 let stat_dominated = Ir_obs.counter "rank_dp/pareto_dominated"
@@ -14,14 +18,9 @@ let stat_truncations = Ir_obs.counter "rank_dp/pareto_truncations"
 let stat_witness_probes = Ir_obs.counter "rank_dp/witness_probes"
 let stat_search_probes = Ir_obs.counter "rank_dp/search_probes"
 let stat_widen_retries = Ir_obs.counter "rank_dp/widen_retries"
+let gauge_arena = Ir_obs.gauge "rank_dp/front_arena_states"
 let span_build = Ir_obs.span "rank_dp/build_tables"
 let span_search = Ir_obs.span "rank_dp/search"
-
-(* A phase-A state: repeater area and count consumed so far, plus the
-   interval ends chosen for the pairs processed so far (most recent
-   first) so a witness assignment can be reconstructed.  Dominance is on
-   (area, count) only. *)
-type elt = { area : float; count : int; splits : int list }
 
 type witness = {
   boundary_pair : int;  (** pair holding the last meeting bunches *)
@@ -33,44 +32,13 @@ type witness = {
   reps_total : int;  (** including the boundary pair's *)
 }
 
-(* Per-build tallies, flushed to the Ir_obs counters once per build. *)
-type build_stats = {
-  mutable inserts : int;
-  mutable dominated : int;
-  mutable truncations : int;
-  mutable states : int;
-}
-
-let dominates a b = a.area <= b.area && a.count <= b.count
-
-let insert ~max_pareto ~stats set e =
-  stats.inserts <- stats.inserts + 1;
-  if List.exists (fun x -> dominates x e) set then begin
-    stats.dominated <- stats.dominated + 1;
-    set
-  end
-  else
-    let survivors = List.filter (fun x -> not (dominates e x)) set in
-    let merged =
-      List.sort (fun a b -> Float.compare a.area b.area) (e :: survivors)
-    in
-    let len = List.length merged in
-    if len <= max_pareto then merged
-    else begin
-      (* Dropping a non-dominated state: the DP may now under-report the
-         rank.  Count it — [truncations = 0] is what licenses the
-         [exact] claim on the outcome. *)
-      stats.truncations <- stats.truncations + (len - max_pareto);
-      (* Keep the smallest-area elements plus the min-count one (the last:
-         area-ascending implies count-descending in a Pareto set). *)
-      let arr = Array.of_list merged in
-      Array.to_list (Array.sub arr 0 (max_pareto - 1)) @ [ arr.(len - 1) ]
-    end
-
 type tables = {
   problem : P.t;
-  dp : elt list array array;
-      (* dp.(j).(i): pairs [0..j) hold bunches [0..i), all meeting *)
+  front : Front.t;
+      (* cell j * (n + 1) + i: pairs [0..j) hold bunches [0..i), all
+         meeting.  Dominance is on (repeater area, repeater count); the
+         interval splits live in the front's parent-pointer arena and are
+         reconstructed only for witness probes. *)
   n : int;
   m : int;
   max_pareto : int;
@@ -79,127 +47,190 @@ type tables = {
          0 means the phase-A front is complete and the search is exact *)
 }
 
+let cell ~n j i = (j * (n + 1)) + i
+
+exception Break
+
 let build_tables ?(max_pareto = 8) problem =
   Ir_obs.time span_build @@ fun () ->
-  let stats = { inserts = 0; dominated = 0; truncations = 0; states = 0 } in
   let n = P.n_bunches problem in
   let m = P.n_pairs problem in
   let cap = P.capacity problem in
   let budget = P.budget problem in
-  let dp = Array.make_matrix (m + 1) (n + 1) [] in
-  dp.(0).(0) <- [ { area = 0.0; count = 0; splits = [] } ];
+  let width = max 1 max_pareto in
+  let front = Front.create ~cells:((m + 1) * (n + 1)) ~width in
+  Front.seed front (cell ~n 0 0) ~area:0.0 ~count:0;
+  (* Raw views into the front's arrays, for the inlined dominance
+     pre-check below.  Without flambda every [Front.insert] call boxes
+     its float [~area] argument, and ~99.7% of candidates are rejected
+     as dominated — running the same binary search here first skips the
+     call (and its allocation) on that path.  The atomics stay
+     byte-identical: each skip would have counted as one insert and one
+     dominated drop, so both are added back at the flush. *)
+  let f_area = Front.raw_area front in
+  let f_count = Front.raw_count front in
+  let f_len = Front.raw_len front in
+  let stride = Front.stride front in
+  let skipped = ref 0 in
+  (* [P.blocked] depends on the pair, [wires_above], and the state's
+     repeater count — not on the interval end — so one scratch fill per
+     (pair, start) replaces a boxed call per (state, end). *)
+  let blocked_k = Array.make width 0.0 in
+  let states = ref 0 in
   for j = 0 to m - 1 do
     for i = 0 to n do
-      match dp.(j).(i) with
-      | [] -> ()
-      | elts ->
-          stats.states <- stats.states + List.length elts;
-          let wires_above = P.wires_before problem i in
-          let min_area =
-            List.fold_left (fun acc e -> Float.min acc e.area) infinity elts
-          in
-          let exception Break in
-          (try
-             for i2 = i to n do
-               if i2 = i then
-                 (* Empty interval: pair j left unused. *)
-                 List.iter
-                   (fun e ->
-                     dp.(j + 1).(i) <-
-                       insert ~max_pareto ~stats dp.(j + 1).(i)
-                         { e with splits = i :: e.splits })
-                   elts
-               else begin
-                 match P.meeting_cost problem ~pair:j ~lo:i ~hi:i2 with
-                 | None -> raise Break
-                 | Some (d_area, d_count) ->
-                     if min_area +. d_area > budget then raise Break;
-                     let routing =
-                       P.interval_area problem ~pair:j ~lo:i ~hi:i2
-                     in
-                     if routing > cap then raise Break;
-                     List.iter
-                       (fun e ->
-                         let blocked =
-                           P.blocked problem ~pair:j ~wires_above
-                             ~reps_above:e.count
-                         in
-                         if e.area +. d_area <= budget
-                            && routing +. blocked <= cap then
-                           dp.(j + 1).(i2) <-
-                             insert ~max_pareto ~stats dp.(j + 1).(i2)
-                               {
-                                 area = e.area +. d_area;
-                                 count = e.count + d_count;
-                                 splits = i2 :: e.splits;
-                               })
-                       elts
-               end
-             done
-           with Break -> ())
+      let src = cell ~n j i in
+      let len = Front.length front src in
+      if len > 0 then begin
+        states := !states + len;
+        let wires_above = P.wires_before problem i in
+        let min_area = Front.min_area front src in
+        let sbase = src * stride in
+        for k = 0 to len - 1 do
+          blocked_k.(k) <-
+            P.blocked problem ~pair:j ~wires_above
+              ~reps_above:f_count.(sbase + k)
+        done;
+        try
+          for i2 = i to n do
+            if i2 = i then begin
+              (* Empty interval: pair j left unused. *)
+              let dst = cell ~n (j + 1) i in
+              let dbase = dst * stride in
+              for k = 0 to len - 1 do
+                let a = f_area.(sbase + k) in
+                let c = f_count.(sbase + k) in
+                let lo = ref 0 and hi = ref f_len.(dst) in
+                while !hi > !lo do
+                  let mid = (!lo + !hi) / 2 in
+                  if f_area.(dbase + mid) <= a then lo := mid + 1
+                  else hi := mid
+                done;
+                let p = !lo in
+                if p > 0 && f_count.(dbase + p - 1) <= c then incr skipped
+                else
+                  Front.insert front dst ~area:a ~count:c ~split:i
+                    ~parent:(Front.state front src k)
+              done
+            end
+            else if not (P.meeting_feasible problem ~pair:j ~lo:i ~hi:i2)
+            then raise Break
+            else begin
+              let d_area = P.meeting_area problem ~pair:j ~lo:i ~hi:i2 in
+              if min_area +. d_area > budget then raise Break;
+              let routing = P.interval_area problem ~pair:j ~lo:i ~hi:i2 in
+              if routing > cap then raise Break;
+              let d_count = P.meeting_count problem ~pair:j ~lo:i ~hi:i2 in
+              let dst = cell ~n (j + 1) i2 in
+              let dbase = dst * stride in
+              for k = 0 to len - 1 do
+                let a = f_area.(sbase + k) +. d_area in
+                let c = f_count.(sbase + k) + d_count in
+                if a <= budget && routing +. blocked_k.(k) <= cap then begin
+                  let lo = ref 0 and hi = ref f_len.(dst) in
+                  while !hi > !lo do
+                    let mid = (!lo + !hi) / 2 in
+                    if f_area.(dbase + mid) <= a then lo := mid + 1
+                    else hi := mid
+                  done;
+                  let p = !lo in
+                  if p > 0 && f_count.(dbase + p - 1) <= c then
+                    incr skipped
+                  else
+                    Front.insert front dst ~area:a ~count:c ~split:i2
+                      ~parent:(Front.state front src k)
+                end
+              done
+            end
+          done
+        with Break -> ()
+      end
     done
   done;
-  Ir_obs.add stat_states stats.states;
-  Ir_obs.add stat_inserts stats.inserts;
-  Ir_obs.add stat_dominated stats.dominated;
-  Ir_obs.add stat_truncations stats.truncations;
-  { problem; dp; n; m; max_pareto; truncations = stats.truncations }
+  Ir_obs.add stat_states !states;
+  Ir_obs.add stat_inserts (Front.inserts front + !skipped);
+  Ir_obs.add stat_dominated (Front.dominated front + !skipped);
+  Ir_obs.add stat_truncations (Front.truncations front);
+  Ir_obs.set_max gauge_arena (Front.arena_states front);
+  {
+    problem;
+    front;
+    n;
+    m;
+    max_pareto;
+    truncations = Front.truncations front;
+  }
 
 let table_truncations tables = tables.truncations
 
 (* Can the top c bunches all meet their targets in some complete
-   assignment?  Try every boundary pair j and every phase-A state
-   dp.(j).(i): bunches [i..c) meet on pair j, the rest is capacity-only.
-   Returns the witness state on success. *)
+   assignment?  Try every boundary pair j and every phase-A state of
+   cell (j, i): bunches [i..c) meet on pair j, the rest is capacity-only.
+   Returns the witness state on success.
+
+   The budget is read from [tables.problem] here, at query time — which
+   is what lets [search_budgets] reuse one build across budgets: a state
+   within a smaller budget is accepted or rejected per probe, and states
+   over it are filtered by the [e.area + m_area > budget] check (prefix
+   areas only grow along a chain, so no over-budget prefix can lead to a
+   within-budget witness). *)
 let feasible_witness tables c =
-  let { problem; dp; n = _; m; _ } = tables in
+  let { problem; front; n; m; _ } = tables in
   let cap = P.capacity problem in
   let budget = P.budget problem in
   let wires_c = P.wires_before problem c in
   let probes = ref 0 in
-  let try_state j i e =
-    incr probes;
-    match P.meeting_cost problem ~pair:j ~lo:i ~hi:c with
-    | None -> None
-    | Some (m_area, m_count) ->
-        if e.area +. m_area > budget then None
-        else
-          let used_j = P.interval_area problem ~pair:j ~lo:i ~hi:c in
-          let wires_i = P.wires_before problem i in
-          let blocked_j =
-            P.blocked problem ~pair:j ~wires_above:wires_i
-              ~reps_above:e.count
-          in
-          if used_j +. blocked_j > cap then None
-          else if
-            GF.fits problem
-              (GF.context ~top_pair_used:used_j ~wires_above_top:wires_i
-                 ~reps_above_top:e.count ~wires_above_below:wires_c
-                 ~reps_above_below:(e.count + m_count) ~from_bunch:c
-                 ~top_pair:j ())
-          then
-            Some
-              {
-                boundary_pair = j;
-                prefix_splits = List.rev e.splits;
-                meet_lo = i;
-                meet_hi = c;
-                reps_above = e.count;
-                reps_total = e.count + m_count;
-              }
-          else None
-  in
   let exception Found of witness in
   let result =
     try
       for j = 0 to m - 1 do
         for i = 0 to c do
-          List.iter
-            (fun e ->
-              match try_state j i e with
-              | Some w -> raise (Found w)
-              | None -> ())
-            dp.(j).(i)
+          let src = cell ~n j i in
+          let len = Front.length front src in
+          if len > 0 then begin
+            (* Probes are counted per state even when the whole cell is
+               rejected below, matching the historical per-state counter. *)
+            probes := !probes + len;
+            (* Everything depending only on (j, i, c) is hoisted out of
+               the per-state loop: the meeting interval's feasibility and
+               cost, its routing area, and the wires above. *)
+            if P.meeting_feasible problem ~pair:j ~lo:i ~hi:c then begin
+              let m_area = P.meeting_area problem ~pair:j ~lo:i ~hi:c in
+              let m_count = P.meeting_count problem ~pair:j ~lo:i ~hi:c in
+              let used_j = P.interval_area problem ~pair:j ~lo:i ~hi:c in
+              let wires_i = P.wires_before problem i in
+              for k = 0 to len - 1 do
+                let area = Front.area front src k in
+                let count = Front.count front src k in
+                if area +. m_area <= budget then begin
+                  let blocked_j =
+                    P.blocked problem ~pair:j ~wires_above:wires_i
+                      ~reps_above:count
+                  in
+                  if
+                    used_j +. blocked_j <= cap
+                    && GF.fits problem
+                         (GF.context ~top_pair_used:used_j
+                            ~wires_above_top:wires_i ~reps_above_top:count
+                            ~wires_above_below:wires_c
+                            ~reps_above_below:(count + m_count)
+                            ~from_bunch:c ~top_pair:j ())
+                  then
+                    raise
+                      (Found
+                         {
+                           boundary_pair = j;
+                           prefix_splits =
+                             Front.splits front (Front.state front src k);
+                           meet_lo = i;
+                           meet_hi = c;
+                           reps_above = count;
+                           reps_total = count + m_count;
+                         })
+                end
+              done
+            end
+          end
         done
       done;
       None
@@ -289,42 +320,48 @@ let search_tables ?(exhaustive = false) tables =
 
 let default_widen_cap = 128
 
-let search ?(max_pareto = 8) ?(widen_on_overflow = true)
-    ?(widen_cap = default_widen_cap) ?exhaustive problem =
-  (* Definition 3 first: if the WLD does not even fit ignoring delay,
-     the rank is 0 and the DP tables are not worth building. *)
-  if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then
+(* If the Pareto front overflowed, the tables may have lost the state
+   behind the true optimum — silently returning a lower bound while
+   claiming exactness was the bug this retry fixes.  Double [max_pareto]
+   while the overflow looks eliminable: the first retry is always taken,
+   and each further doubling requires the previous one to have at least
+   halved the truncation count.  Small overflows (a front of 9-20 states
+   at width 8) converge to zero in one or two doublings; a genuinely
+   exponential front (millions of truncations that barely move when the
+   width doubles) would otherwise multiply the build cost by the whole
+   ladder and still come back truncated, so it is abandoned after one
+   probe and reported as a lower bound ([exact = false]) — callers can
+   pass a larger [max_pareto] explicitly.  Build cost grows superlinearly
+   with the width, which is why the ladder is gated on convergence rather
+   than run to [widen_cap] unconditionally. *)
+let build_widened ?(max_pareto = 8) ?(widen_on_overflow = true)
+    ?(widen_cap = default_widen_cap) problem =
+  let rec attempt mp prev_truncations =
+    let tables = build_tables ~max_pareto:mp problem in
+    let t = tables.truncations in
+    let converging =
+      match prev_truncations with None -> true | Some p -> 2 * t <= p
+    in
+    if t > 0 && widen_on_overflow && mp < widen_cap && converging then begin
+      Ir_obs.incr stat_widen_retries;
+      attempt (min widen_cap (2 * mp)) (Some t)
+    end
+    else tables
+  in
+  attempt (max 1 max_pareto) None
+
+let unfittable problem =
+  (* Definition 3: if the WLD does not even fit ignoring delay, the rank
+     is 0 and the DP tables are not worth building.  Capacity-only, so
+     the verdict is independent of the repeater budget. *)
+  not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ()))
+
+let search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem =
+  if unfittable problem then
     (Outcome.unassignable ~total_wires:(P.total_wires problem) (), None)
   else
-    (* If the Pareto front overflowed, the tables may have lost the state
-       behind the true optimum — silently returning a lower bound while
-       claiming exactness was the bug this retry fixes.  Double
-       [max_pareto] while the overflow looks eliminable: the first retry
-       is always taken, and each further doubling requires the previous
-       one to have at least halved the truncation count.  Small overflows
-       (a front of 9-20 states at width 8) converge to zero in one or two
-       doublings; a genuinely exponential front (millions of truncations
-       that barely move when the width doubles) would otherwise multiply
-       the build cost by the whole ladder and still come back truncated,
-       so it is abandoned after one probe and reported as a lower bound
-       ([exact = false]) — callers can pass a larger [max_pareto]
-       explicitly.  Build cost grows superlinearly with the width, which
-       is why the ladder is gated on convergence rather than run to
-       [widen_cap] unconditionally. *)
-    let rec attempt mp prev_truncations =
-      let tables = build_tables ~max_pareto:mp problem in
-      let t = tables.truncations in
-      let converging =
-        match prev_truncations with None -> true | Some p -> 2 * t <= p
-      in
-      if t > 0 && widen_on_overflow && mp < widen_cap && converging
-      then begin
-        Ir_obs.incr stat_widen_retries;
-        attempt (min widen_cap (2 * mp)) (Some t)
-      end
-      else search_tables ?exhaustive tables
-    in
-    attempt (max 1 max_pareto) None
+    search_tables ?exhaustive
+      (build_widened ?max_pareto ?widen_on_overflow ?widen_cap problem)
 
 let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem =
   fst (search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem)
@@ -332,7 +369,48 @@ let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem =
 let compute_with_witness ?max_pareto ?widen_on_overflow problem =
   search ?max_pareto ?widen_on_overflow problem
 
+(* One build, many budgets.  The repeater budget prunes states during
+   construction, so tables built at the largest requested fraction hold
+   every state any smaller budget admits: a budget prunes only states
+   whose (monotone non-decreasing along a chain) prefix area exceeds it,
+   and a state within a small budget can only be displaced from a wider
+   build's front by a dominator — lower area and count — which is itself
+   within that budget and passes every query check the displaced state
+   would have (budget, blockage and the greedy-fill suffix are all
+   monotone in (area, count)).  Hence, as long as the shared build
+   truncates nothing, querying it with the budget rebound per fraction
+   returns exactly the per-fraction builds' outcomes.  If it does
+   truncate, the displacement argument no longer holds and we fall back
+   to independent per-fraction computes (paying the historical cost, but
+   never a wrong answer). *)
+let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
+    fractions =
+  match fractions with
+  | [] -> []
+  | _ when unfittable problem ->
+      List.map
+        (fun _ ->
+          Outcome.unassignable ~total_wires:(P.total_wires problem) ())
+        fractions
+  | _ ->
+      let f_max = List.fold_left Float.max neg_infinity fractions in
+      let shared =
+        build_widened ?max_pareto ?widen_on_overflow ?widen_cap
+          (P.with_repeater_fraction problem f_max)
+      in
+      if shared.truncations = 0 then
+        List.map
+          (fun f ->
+            let p = P.with_repeater_fraction problem f in
+            fst (search_tables { shared with problem = p }))
+          fractions
+      else
+        List.map
+          (fun f ->
+            compute ?max_pareto ?widen_on_overflow ?widen_cap
+              (P.with_repeater_fraction problem f))
+          fractions
+
 let feasible_boundary ?(max_pareto = 8) problem c =
-  if not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ())) then
-    false
+  if unfittable problem then false
   else feasible (build_tables ~max_pareto problem) c

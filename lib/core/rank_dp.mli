@@ -43,13 +43,19 @@ type witness = {
 
 type tables
 (** The phase-A DP tables of one problem instance, reusable across
-    boundary probes.  They are immutable once built, so feasibility
-    queries against the same tables may run concurrently (e.g. from an
-    {!Ir_exec} domain pool).  The tables bake in the repeater {e budget}
-    (it prunes states during construction), so a problem derived with
-    {!Ir_assign.Problem.with_repeater_fraction} or
-    {!Ir_assign.Problem.with_clock} needs its own tables — what those
-    reuse paths save is the per-pair prefix-table rebuild, not this. *)
+    boundary probes.  Since this PR they are a flat struct-of-arrays
+    {!Front} store: per-cell area/count arrays (binary-search dominance,
+    blit insertion, no per-insert allocation) plus a parent-pointer arena
+    from which witness splits are reconstructed on demand.  They are not
+    mutated after the build, so feasibility queries against the same
+    tables may run concurrently (e.g. from an {!Ir_exec} domain pool).
+
+    The repeater {e budget} prunes states during construction, so a
+    problem derived with {!Ir_assign.Problem.with_clock} (or a {e
+    larger} budget) needs its own tables.  A {e smaller} budget does
+    not: the budget is re-read from the problem at query time, which is
+    what {!search_budgets} exploits to answer a whole budget sweep from
+    one build. *)
 
 val build_tables : ?max_pareto:int -> Ir_assign.Problem.t -> tables
 (** Tabulates phase A (default [max_pareto = 8]). *)
@@ -68,6 +74,26 @@ val search_tables : ?exhaustive:bool -> tables -> Outcome.t * witness option
 
 val default_widen_cap : int
 (** Default ceiling (128) for [widen_cap] below. *)
+
+val search_budgets :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  Ir_assign.Problem.t ->
+  float list ->
+  Outcome.t list
+(** [search_budgets problem fractions] computes the rank of [problem] at
+    each repeater fraction (in list order), building the phase-A tables
+    {e once} at the largest fraction and re-querying them with the budget
+    rebound per fraction — the paper's Table 4 R column in one build
+    instead of one per point.  Outcomes are identical to running
+    {!compute} on {!Ir_assign.Problem.with_repeater_fraction} per
+    fraction: tables built at the widest budget contain every state a
+    narrower budget admits (or a dominator of it, which passes the same
+    query checks), so sharing is exact whenever the shared build has no
+    Pareto truncation; if it does truncate, this function transparently
+    falls back to independent per-fraction computes.  The widening ladder
+    options are as in {!compute}. *)
 
 val compute :
   ?max_pareto:int ->

@@ -40,6 +40,22 @@ let stat_runs = Ir_obs.counter "exec/pool_runs"
 let stat_items = Ir_obs.counter "exec/items_processed"
 let span_busy = Ir_obs.span "exec/worker_busy"
 
+(* OCaml 5 minor collections are stop-the-world: every running domain
+   must reach a safepoint before any of them can collect, so with the
+   default 256k-word minor heap an allocating workload degenerates into
+   a synchronization storm as soon as several domains run (measured on
+   the Table-4 bench leg: the jobs=4 run was ~3x slower than jobs=1 on
+   one core from this alone).  Raising the per-domain minor heap bounds
+   the sync rate.  One-way ratchet: a caller's own larger setting is
+   respected, and we never shrink after the pool returns — repeated
+   resizing would itself force collections. *)
+let pool_minor_heap_words = 4 * 1024 * 1024
+
+let ensure_pool_minor_heap () =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < pool_minor_heap_words then
+    Gc.set { g with Gc.minor_heap_size = pool_minor_heap_words }
+
 (* One parallel run: [workers] domains (the caller included) pull work
    units off an atomic counter.  Each unit is a contiguous index range
    [start, start + chunk) of the input; results are written to the slot of
@@ -48,6 +64,7 @@ let span_busy = Ir_obs.span "exec/worker_busy"
    tearing the pool down; after the join, the lowest-indexed recorded
    exception is re-raised with its original backtrace. *)
 let run_pool ~jobs ~chunk f xs =
+  ensure_pool_minor_heap ();
   let n = Array.length xs in
   let results = Array.make n None in
   let errors = Array.make n None in
@@ -141,5 +158,29 @@ let parallel_map_chunked ?jobs ?chunk f xs =
 
 let parallel_list_map ?jobs f xs =
   Array.to_list (parallel_map ?jobs f (Array.of_list xs))
+
+(* Heaviest-first dispatch: items are handed to the pool in decreasing
+   [weight] order (ties by input index, so the permutation is
+   deterministic) and results scattered back to input order.  With
+   unequal task costs — one sweep group dominating a fused run, the
+   10M-gate cell dominating a cross-node matrix — starting the heavy
+   items first bounds the makespan: a heavy item claimed last would
+   otherwise run alone after every other worker has drained. *)
+let parallel_group_map ?jobs ?weight f xs =
+  match weight with
+  | None -> parallel_map ?jobs f xs
+  | Some w ->
+      let n = Array.length xs in
+      let order = Array.init n Fun.id in
+      let wt = Array.map w xs in
+      Array.sort
+        (fun a b ->
+          match compare wt.(b) wt.(a) with 0 -> compare a b | c -> c)
+        order;
+      let permuted = Array.map (fun i -> xs.(i)) order in
+      let res = parallel_map ?jobs f permuted in
+      let out = Array.make n None in
+      Array.iteri (fun k i -> out.(i) <- Some res.(k)) order;
+      Array.map (function Some y -> y | None -> assert false) out
 
 let now () = Unix.gettimeofday ()

@@ -36,7 +36,18 @@
 
     Sharing read-only data (e.g. an {!Ir_assign.Problem.t} after [build])
     across the workers is safe; mutating shared state from [f] is the
-    caller's responsibility. *)
+    caller's responsibility.
+
+    {2 GC tuning}
+
+    OCaml 5 minor collections are stop-the-world across all running
+    domains, so the default 256k-word minor heap makes an allocating
+    parallel workload pay a synchronization barrier every few hundred
+    kilobytes of allocation.  Spawning a pool therefore raises the
+    per-domain minor heap to at least 4M words (one-way: an existing
+    larger setting — [OCAMLRUNPARAM=s=...] or the caller's own [Gc.set]
+    — is respected, and the pool never shrinks it back).  [jobs = 1]
+    runs never touch GC parameters. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
@@ -89,6 +100,20 @@ val parallel_map_chunked :
 
 val parallel_list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!parallel_map} for lists; preserves list order. *)
+
+val parallel_group_map :
+  ?jobs:int -> ?weight:('a -> int) -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map}, but when [weight] is given the items are
+    dispatched to the workers in decreasing weight order (ties broken by
+    input index — the schedule is deterministic) while results still come
+    back in {e input} order.  Use it when task costs are skewed and known
+    up front (a fused multi-sweep run, a cross-node matrix whose largest
+    design dominates): heaviest-first dispatch keeps the long poles from
+    being claimed last and stretching the makespan.  Without [weight]
+    this is exactly {!parallel_map}.  Determinism and accounting are as
+    in {!parallel_map}; when several items raise, the re-raised exception
+    is the {e earliest-dispatched} (heaviest) failing item's — still
+    deterministic, since the dispatch order is. *)
 
 val now : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]).  The sweep layer's per-point

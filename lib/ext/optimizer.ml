@@ -65,13 +65,22 @@ let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
          ~rent_p:design.Ir_tech.Design.rent_p
          ~fan_out:design.Ir_tech.Design.fan_out ())
   in
+  (* Bunching depends only on the design's gate pitch — the candidates
+     vary structure and geometry, never the design — so one bunching
+     serves the whole grid instead of re-coarsening the WLD per
+     candidate. *)
+  let bunches =
+    let pitch = Ir_tech.Design.effective_gate_pitch design in
+    Ir_wld.Coarsen.bunch ~bunch_size
+      (Ir_wld.Dist.map_length (fun l -> l *. pitch) wld)
+  in
   let evaluate ~structure ~pitch_scale ~thickness_scale =
     let stack = scaled_stack base_stack ~pitch_scale ~thickness_scale in
     match Ir_ia.Arch.make ~structure ~stack ~design () with
     | exception Invalid_argument _ -> None
     | arch ->
         let problem =
-          Ir_assign.Problem.make ~target_model ~bunch_size ~arch ~wld ()
+          Ir_assign.Problem.of_bunches ~target_model ~arch ~bunches ()
         in
         let outcome = Ir_core.Rank_dp.compute problem in
         Some { structure; pitch_scale; thickness_scale; outcome }

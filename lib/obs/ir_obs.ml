@@ -1,4 +1,5 @@
 type counter = int Atomic.t
+type gauge = int Atomic.t
 
 (* Spans accumulate integer nanoseconds: [Atomic.fetch_and_add] exists
    for ints only, and ns precision over decades of accumulated busy time
@@ -10,6 +11,7 @@ type span = { calls : int Atomic.t; ns : int Atomic.t }
    domain. *)
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 let spans : (string, span) Hashtbl.t = Hashtbl.create 32
 
 let with_lock f =
@@ -28,6 +30,25 @@ let counter name =
 let incr c = ignore (Atomic.fetch_and_add c 1)
 let add c n = ignore (Atomic.fetch_and_add c n)
 let value c = Atomic.get c
+
+let gauge name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+          let g = Atomic.make 0 in
+          Hashtbl.add gauges name g;
+          g)
+
+(* CAS loop: the max of concurrent [set_max] calls always lands, from
+   any domain, and the result is order-independent — a gauge over
+   deterministic per-call values is itself deterministic across
+   schedulings, like the counters. *)
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
+let gauge_value g = Atomic.get g
 
 let span name =
   with_lock (fun () ->
@@ -50,6 +71,7 @@ type span_stat = { calls : int; seconds : float }
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   spans : (string * span_stat) list;
 }
 
@@ -63,6 +85,11 @@ let snapshot () =
             (Hashtbl.fold
                (fun name c acc -> (name, Atomic.get c) :: acc)
                counters []);
+        gauges =
+          List.sort by_name
+            (Hashtbl.fold
+               (fun name g acc -> (name, Atomic.get g) :: acc)
+               gauges []);
         spans =
           List.sort by_name
             (Hashtbl.fold
@@ -79,6 +106,7 @@ let snapshot () =
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0) gauges;
       Hashtbl.iter
         (fun _ (s : span) ->
           Atomic.set s.calls 0;
@@ -86,6 +114,7 @@ let reset () =
         spans)
 
 let find_counter snap name = List.assoc_opt name snap.counters
+let find_gauge snap name = List.assoc_opt name snap.gauges
 let find_span snap name = List.assoc_opt name snap.spans
 
 let pp_report ppf snap =
@@ -93,7 +122,7 @@ let pp_report ppf snap =
     List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 rows
   in
   Format.fprintf ppf "@[<v>";
-  if snap.counters = [] && snap.spans = [] then
+  if snap.counters = [] && snap.gauges = [] && snap.spans = [] then
     Format.fprintf ppf "(no metrics registered)@,";
   if snap.counters <> [] then begin
     let w = max (name_width snap.counters) (String.length "counter") in
@@ -103,8 +132,17 @@ let pp_report ppf snap =
       (fun (n, v) -> Format.fprintf ppf "%-*s  %12d@," w n v)
       snap.counters
   end;
-  if snap.spans <> [] then begin
+  if snap.gauges <> [] then begin
     if snap.counters <> [] then Format.fprintf ppf "@,";
+    let w = max (name_width snap.gauges) (String.length "gauge") in
+    Format.fprintf ppf "%-*s  %12s@," w "gauge" "max";
+    Format.fprintf ppf "%s  %s@," (String.make w '-') (String.make 12 '-');
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "%-*s  %12d@," w n v)
+      snap.gauges
+  end;
+  if snap.spans <> [] then begin
+    if snap.counters <> [] || snap.gauges <> [] then Format.fprintf ppf "@,";
     let w = max (name_width snap.spans) (String.length "span") in
     Format.fprintf ppf "%-*s  %8s  %12s@," w "span" "calls" "seconds";
     Format.fprintf ppf "%s  %s  %s@," (String.make w '-') (String.make 8 '-')

@@ -3,7 +3,7 @@
     The sweep engine fans rank computations out over OCaml 5 domains
     ({!Ir_exec}); this module is how the hot paths underneath it
     ({!Ir_core.Rank_dp}, {!Ir_assign.Greedy_fill}, the sweep drivers)
-    report what they did.  Two kinds of instruments:
+    report what they did.  Three kinds of instruments:
 
     - {e counters} — monotone integer event counts ([Atomic] adds, so
       concurrent increments from worker domains never lose updates).
@@ -14,6 +14,8 @@
       identical} counter snapshots — an invariant the test suite and the
       bench harness both assert, and a cheap cross-domain determinism
       check for every future caching or sharding change.
+    - {e gauges} — high-water marks ([set_max]); deterministic under the
+      same condition as counters, since a maximum is order-independent.
     - {e spans} — cumulative wall-clock timers with call counts.  Spans
       may nest freely (a [rank_dp/search] span inside a
       [sweep/point_search] span records into both), and workers time
@@ -50,6 +52,25 @@ val add : counter -> int -> unit
 val value : counter -> int
 (** Current value. *)
 
+type gauge
+(** A named high-water mark: holds the maximum value ever offered via
+    {!set_max}.  Unlike counters, gauges do not accumulate — but like
+    them they are deterministic across schedulings whenever the offered
+    values are (a maximum is order-independent), so the jobs=1 vs jobs=N
+    identity checks cover gauges too.  Used for kernel capacity
+    watermarks, e.g. [rank_dp/front_arena_states]. *)
+
+val gauge : string -> gauge
+(** [gauge name] returns the registered gauge for [name], creating it
+    (at zero) on first use. *)
+
+val set_max : gauge -> int -> unit
+(** [set_max g v] raises [g] to [v] if [v] is larger (atomic CAS loop;
+    the max of concurrent calls wins regardless of interleaving). *)
+
+val gauge_value : gauge -> int
+(** Current high-water mark. *)
+
 type span
 (** A named cumulative wall-clock timer with a call count. *)
 
@@ -69,6 +90,7 @@ type span_stat = { calls : int; seconds : float }
 
 type snapshot = {
   counters : (string * int) list;  (** name-sorted *)
+  gauges : (string * int) list;  (** name-sorted *)
   spans : (string * span_stat) list;  (** name-sorted *)
 }
 (** A consistent-enough point-in-time copy of the registry: each
@@ -82,9 +104,10 @@ val reset : unit -> unit
     handles cached by instrumented modules remain valid). *)
 
 val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> int option
 val find_span : snapshot -> string -> span_stat option
 
 val pp_report : Format.formatter -> snapshot -> unit
-(** Two aligned tables: counters (name, value) then spans (name, calls,
-    seconds).  Empty sections are omitted; an entirely empty snapshot
-    prints a single placeholder line. *)
+(** Aligned tables: counters (name, value), gauges (name, max), then
+    spans (name, calls, seconds).  Empty sections are omitted; an
+    entirely empty snapshot prints a single placeholder line. *)

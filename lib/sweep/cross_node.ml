@@ -18,23 +18,28 @@ let span_cell_build = Ir_obs.span "sweep/cross_build"
 let span_cell_search = Ir_obs.span "sweep/cross_search"
 
 (* Matrix cells are independent (each builds its own design, WLD and
-   problem), so they run on the Ir_exec pool; results come back in matrix
-   order.  The spans split the per-cell cost into WLD + architecture
-   construction vs rank search. *)
+   problem — distinct designs share no tables), so every cell is its own
+   scheduling group; the gate count is the weight, so the largest design
+   (which dominates the matrix wall time) is dispatched first instead of
+   possibly being claimed last by an otherwise-drained pool.  Results
+   come back in matrix order.  The spans split the per-cell cost into
+   WLD + architecture construction vs rank search. *)
 let run ?jobs ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) ()
     =
-  Ir_exec.parallel_list_map ?jobs
-    (fun (node, gates) ->
-      Ir_obs.incr stat_cells;
-      let design = Ir_core.Rank.baseline_design ~gates node in
-      let t0 = Ir_exec.now () in
-      let problem =
-        Ir_obs.time span_cell_build @@ fun () ->
-        Ir_core.Rank.problem_of_design ?structure ~bunch_size design
-      in
-      let outcome =
-        Ir_obs.time span_cell_search @@ fun () ->
-        Ir_core.Rank.compute problem
-      in
-      { node; gates; outcome; seconds = Ir_exec.now () -. t0 })
-    matrix
+  Array.to_list
+    (Ir_exec.parallel_group_map ?jobs
+       ~weight:(fun (_, gates) -> gates)
+       (fun (node, gates) ->
+         Ir_obs.incr stat_cells;
+         let design = Ir_core.Rank.baseline_design ~gates node in
+         let t0 = Ir_exec.now () in
+         let problem =
+           Ir_obs.time span_cell_build @@ fun () ->
+           Ir_core.Rank.problem_of_design ?structure ~bunch_size design
+         in
+         let outcome =
+           Ir_obs.time span_cell_search @@ fun () ->
+           Ir_core.Rank.compute problem
+         in
+         { node; gates; outcome; seconds = Ir_exec.now () -. t0 })
+       (Array.of_list matrix))

@@ -136,6 +136,11 @@ let json_metrics (snap : Ir_obs.snapshot) =
           (List.map
              (fun (name, v) -> (name, string_of_int v))
              snap.Ir_obs.counters) );
+      ( "gauges",
+        json_obj
+          (List.map
+             (fun (name, v) -> (name, string_of_int v))
+             snap.Ir_obs.gauges) );
       ( "spans",
         json_obj
           (List.map
@@ -149,7 +154,7 @@ let json_metrics (snap : Ir_obs.snapshot) =
              snap.Ir_obs.spans) );
     ]
 
-let write_bench_json ~dir ~jobs ~timings ?metrics ~sweeps ~cross () =
+let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -198,12 +203,20 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ~sweeps ~cross () =
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/2");
+             ("schema", json_string "ia-rank/bench-sweeps/3");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
              );
            ]
+          @ (match kernel with
+            | None -> []
+            | Some ks ->
+                [
+                  ( "kernel",
+                    json_obj
+                      (List.map (fun (k, v) -> (k, json_float v)) ks) );
+                ])
           @ (match metrics with
             | None -> []
             | Some snap -> [ ("metrics", json_metrics snap) ])

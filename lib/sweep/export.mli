@@ -38,16 +38,20 @@ val write_bench_json :
   jobs:int ->
   timings:(string * float) list ->
   ?metrics:Ir_obs.snapshot ->
+  ?kernel:(string * float) list ->
   sweeps:Table4.sweep list ->
   cross:Cross_node.cell list ->
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/2]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/3]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
-    (e.g. the sequential and parallel table4 legs), an optional
-    [metrics] object (an {!Ir_obs.snapshot} rendered as
-    [{"counters": {name: int}, "spans": {name: {"calls", "seconds"}}}]),
-    every Table 4 row (param, normalized rank, rank wires, exactness,
-    per-point seconds) and the cross-node cells.  [jobs] records the
-    worker count of the parallel leg. *)
+    (e.g. the sequential and parallel table4 legs), an optional [kernel]
+    timings object (flat name/seconds pairs from the kernel
+    microbenchmarks — front insert cost, a timed phase-A build, the two
+    table4 legs), an optional [metrics] object (an {!Ir_obs.snapshot}
+    rendered as [{"counters": {name: int}, "gauges": {name: int},
+    "spans": {name: {"calls", "seconds"}}}]), every Table 4 row (param,
+    normalized rank, rank wires, exactness, per-point seconds) and the
+    cross-node cells.  [jobs] records the worker count of the parallel
+    leg. *)

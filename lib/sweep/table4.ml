@@ -34,117 +34,225 @@ let shared_wld config =
        ~rent_p:d.Ir_tech.Design.rent_p ~fan_out:d.Ir_tech.Design.fan_out ())
 
 (* How one sweep point differs from the baseline.  [Rebuild] changes the
-   electrical model and needs a full instance; the rescales derive from a
-   shared base instance via the [Problem] reuse paths, skipping the WLD
-   bunching and (for the budget) every prefix table. *)
+   electrical model and needs a full instance (on the shared bunches —
+   the bunching depends only on the design's gate pitch, which every
+   point of a config shares); [Rescale_clock] derives from the shared
+   base instance via [Problem.with_clock], reusing the geometry tables.
+   Budget points carry no per-point spec at all: the whole budget grid of
+   a sweep is one table-sharing group answered by
+   [Rank.compute_budgets] from a single phase-A build. *)
 type spec =
-  | Rebuild of { materials : Ir_ia.Materials.t; design : Ir_tech.Design.t }
+  | Rebuild of Ir_ia.Materials.t
   | Rescale_clock of float
-  | Rescale_budget of float
 
-let build_problem config ~materials ~design wld =
-  let arch =
-    Ir_ia.Arch.make ~structure:config.structure ~materials ~design ()
-  in
-  Ir_assign.Problem.make ~target_model:config.target_model
-    ~bunch_size:config.bunch_size ~arch ~wld ()
+(* One sweep's points: independent per-point tasks, or a budget grid
+   evaluated as one shared-tables group. *)
+type points = Each of (float * spec) list | Budgets of float list
+
+type def = {
+  d_name : string;
+  d_legend : string;
+  d_paper : (float * float) list;
+  d_points : points;
+}
+
+(* A schedulable work unit of a (possibly fused multi-sweep) run.  The
+   pool parallelizes across tasks; table reuse happens within one. *)
+type task =
+  | Point of { sweep : int; idx : int; param : float; spec : spec }
+  | Budget_group of { sweep : int; pts : (int * float) array }
 
 let stat_points = Ir_obs.counter "sweep/points"
 let span_point_build = Ir_obs.span "sweep/point_build"
 let span_point_search = Ir_obs.span "sweep/point_search"
 
-(* One sweep point: realize the instance for this parameter value, compute
-   the rank, time the rank computation (wall clock; under parallel
-   execution CPU time would aggregate every domain).  The spans split the
-   per-point cost into instance realization vs rank search. *)
-let point config wld ~base (param, spec) =
-  Logs.debug (fun f -> f "table4: param %.4g" param);
-  Ir_obs.incr stat_points;
-  let problem =
-    Ir_obs.time span_point_build @@ fun () ->
-    match (spec, base) with
-    | Rebuild { materials; design }, _ ->
-        build_problem config ~materials ~design wld
-    | Rescale_clock clock, Some base ->
-        Ir_assign.Problem.with_clock base clock
-    | Rescale_budget r, Some base ->
-        Ir_assign.Problem.with_repeater_fraction base r
-    | (Rescale_clock _ | Rescale_budget _), None -> assert false
-  in
-  let t0 = Ir_exec.now () in
-  let outcome =
-    Ir_obs.time span_point_search @@ fun () ->
-    Ir_core.Rank.compute ~algo:config.algo problem
-  in
-  { param; outcome; seconds = Ir_exec.now () -. t0 }
+let def_length d =
+  match d.d_points with Each pts -> List.length pts | Budgets fs -> List.length fs
 
-let run ?jobs config ~name ~legend ~paper points =
+(* Rough relative cost, for heaviest-first dispatch: every task is about
+   one phase-A build; a budget group adds its per-fraction searches. *)
+let task_weight = function Point _ -> 1 | Budget_group _ -> 2
+
+let run_defs ?jobs config defs =
   let wld = shared_wld config in
-  (* The shared base instance for rescale points is immutable after build,
-     so they may all read it concurrently; build it eagerly rather than
-     behind a [lazy] (forcing a [lazy] from several domains would race). *)
+  (* Bunching depends only on the design (WLD + gate pitch), not on the
+     materials, clock or budget a point varies — one bunching serves
+     every task of the run. *)
+  let pitch = Ir_tech.Design.effective_gate_pitch config.design in
+  let bunches =
+    Ir_wld.Coarsen.bunch ~bunch_size:config.bunch_size
+      (Ir_wld.Dist.map_length (fun l -> l *. pitch) wld)
+  in
+  let problem_of_materials materials =
+    let arch =
+      Ir_ia.Arch.make ~structure:config.structure ~materials
+        ~design:config.design ()
+    in
+    Ir_assign.Problem.of_bunches ~target_model:config.target_model ~arch
+      ~bunches ()
+  in
+  (* The shared base instance for rescale/budget tasks is immutable after
+     build, so they may all read it concurrently; build it eagerly rather
+     than behind a [lazy] (forcing a [lazy] from several domains would
+     race). *)
   let base =
     if
       List.exists
-        (fun (_, s) -> match s with Rebuild _ -> false | _ -> true)
-        points
-    then
-      Some
-        (build_problem config ~materials:Ir_ia.Materials.default
-           ~design:config.design wld)
+        (fun d ->
+          match d.d_points with
+          | Budgets _ -> true
+          | Each pts ->
+              List.exists
+                (fun (_, s) ->
+                  match s with Rescale_clock _ -> true | Rebuild _ -> false)
+                pts)
+        defs
+    then Some (problem_of_materials Ir_ia.Materials.default)
     else None
   in
-  let rows =
-    Array.to_list
-      (Ir_exec.parallel_map ?jobs
-         (point config wld ~base)
-         (Array.of_list points))
+  let tasks =
+    List.concat
+      (List.mapi
+         (fun sweep d ->
+           match d.d_points with
+           | Each pts ->
+               List.mapi
+                 (fun idx (param, spec) -> Point { sweep; idx; param; spec })
+                 pts
+           | Budgets fs ->
+               [
+                 Budget_group
+                   {
+                     sweep;
+                     pts = Array.of_list (List.mapi (fun i f -> (i, f)) fs);
+                   };
+               ])
+         defs)
   in
-  { name; legend; rows; paper }
+  let exec = function
+    | Point { sweep; idx; param; spec } ->
+        Logs.debug (fun f -> f "table4: param %.4g" param);
+        Ir_obs.incr stat_points;
+        let problem =
+          Ir_obs.time span_point_build @@ fun () ->
+          match (spec, base) with
+          | Rebuild materials, _ -> problem_of_materials materials
+          | Rescale_clock clock, Some base ->
+              Ir_assign.Problem.with_clock base clock
+          | Rescale_clock _, None -> assert false
+        in
+        let t0 = Ir_exec.now () in
+        let outcome =
+          Ir_obs.time span_point_search @@ fun () ->
+          Ir_core.Rank.compute ~algo:config.algo problem
+        in
+        [| (sweep, idx, { param; outcome; seconds = Ir_exec.now () -. t0 }) |]
+    | Budget_group { sweep; pts } ->
+        Logs.debug (fun f ->
+            f "table4: budget group of %d fractions" (Array.length pts));
+        Array.iter (fun _ -> Ir_obs.incr stat_points) pts;
+        let base =
+          match base with Some b -> b | None -> assert false
+        in
+        let t0 = Ir_exec.now () in
+        let outcomes =
+          Ir_obs.time span_point_search @@ fun () ->
+          Ir_core.Rank.compute_budgets ~algo:config.algo base
+            (Array.to_list (Array.map snd pts))
+        in
+        (* The group's cost is shared by construction; report it
+           amortized evenly across its rows. *)
+        let per =
+          (Ir_exec.now () -. t0) /. float_of_int (max 1 (Array.length pts))
+        in
+        Array.of_list
+          (List.map2
+             (fun (idx, param) outcome ->
+               (sweep, idx, { param; outcome; seconds = per }))
+             (Array.to_list pts) outcomes)
+  in
+  let results =
+    Ir_exec.parallel_group_map ?jobs ~weight:task_weight exec
+      (Array.of_list tasks)
+  in
+  let rows =
+    Array.of_list (List.map (fun d -> Array.make (def_length d) None) defs)
+  in
+  Array.iter
+    (Array.iter (fun (s, i, row) -> rows.(s).(i) <- Some row))
+    results;
+  List.mapi
+    (fun s d ->
+      {
+        name = d.d_name;
+        legend = d.d_legend;
+        paper = d.d_paper;
+        rows =
+          Array.to_list
+            (Array.map
+               (function Some r -> r | None -> assert false)
+               rows.(s));
+      })
+    defs
 
 let grid_desc ~from ~until ~step =
   Ir_phys.Numeric.frange ~start:from ~stop:until ~step:(-.step)
 
-let k_sweep ?jobs ?(config = default_config) () =
-  let points =
-    List.map
-      (fun k ->
-        (k, Rebuild { materials = Ir_ia.Materials.v ~k (); design = config.design }))
-      (grid_desc ~from:3.9 ~until:1.8 ~step:0.1)
-  in
-  run ?jobs config ~name:"K" ~legend:"ILD permittivity"
-    ~paper:Paper_data.table4_k points
+let k_def () =
+  {
+    d_name = "K";
+    d_legend = "ILD permittivity";
+    d_paper = Paper_data.table4_k;
+    d_points =
+      Each
+        (List.map
+           (fun k -> (k, Rebuild (Ir_ia.Materials.v ~k ())))
+           (grid_desc ~from:3.9 ~until:1.8 ~step:0.1));
+  }
 
-let m_sweep ?jobs ?(config = default_config) () =
-  let points =
-    List.map
-      (fun m ->
-        ( m,
-          Rebuild
-            { materials = Ir_ia.Materials.v ~miller:m (); design = config.design }
-        ))
-      (grid_desc ~from:2.0 ~until:1.0 ~step:0.05)
-  in
-  run ?jobs config ~name:"M" ~legend:"Miller coupling factor"
-    ~paper:Paper_data.table4_m points
+let m_def () =
+  {
+    d_name = "M";
+    d_legend = "Miller coupling factor";
+    d_paper = Paper_data.table4_m;
+    d_points =
+      Each
+        (List.map
+           (fun m -> (m, Rebuild (Ir_ia.Materials.v ~miller:m ())))
+           (grid_desc ~from:2.0 ~until:1.0 ~step:0.05));
+  }
 
-let c_sweep ?jobs ?(config = default_config) () =
-  let clocks =
-    Ir_phys.Numeric.frange ~start:0.5e9 ~stop:1.7e9 ~step:0.1e9
-  in
-  let points = List.map (fun c -> (c, Rescale_clock c)) clocks in
-  run ?jobs config ~name:"C" ~legend:"target clock frequency (Hz)"
-    ~paper:Paper_data.table4_c points
+let c_def () =
+  {
+    d_name = "C";
+    d_legend = "target clock frequency (Hz)";
+    d_paper = Paper_data.table4_c;
+    d_points =
+      Each
+        (List.map
+           (fun c -> (c, Rescale_clock c))
+           (Ir_phys.Numeric.frange ~start:0.5e9 ~stop:1.7e9 ~step:0.1e9));
+  }
 
-let r_sweep ?jobs ?(config = default_config) () =
-  let fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
-  let points = List.map (fun r -> (r, Rescale_budget r)) fractions in
-  run ?jobs config ~name:"R" ~legend:"max repeater fraction of die area"
-    ~paper:Paper_data.table4_r points
+let r_def () =
+  {
+    d_name = "R";
+    d_legend = "max repeater fraction of die area";
+    d_paper = Paper_data.table4_r;
+    d_points = Budgets [ 0.1; 0.2; 0.3; 0.4; 0.5 ];
+  }
 
+let one ?jobs config d = List.hd (run_defs ?jobs config [ d ])
+let k_sweep ?jobs ?(config = default_config) () = one ?jobs config (k_def ())
+let m_sweep ?jobs ?(config = default_config) () = one ?jobs config (m_def ())
+let c_sweep ?jobs ?(config = default_config) () = one ?jobs config (c_def ())
+let r_sweep ?jobs ?(config = default_config) () = one ?jobs config (r_def ())
+
+(* The four columns fused into one pool run: with per-sweep runs the pool
+   drains between columns (the tail of one sweep idles workers the next
+   could use); fusing exposes every task at once. *)
 let all ?jobs ?(config = default_config) () =
-  [ k_sweep ?jobs ~config (); m_sweep ?jobs ~config ();
-    c_sweep ?jobs ~config (); r_sweep ?jobs ~config () ]
+  run_defs ?jobs config [ k_def (); m_def (); c_def (); r_def () ]
 
 let normalized sweep =
   List.map

@@ -4,17 +4,25 @@
 
     Each sweep varies one parameter over the paper's exact grid while
     holding the Table 2 baseline for the rest, recomputing the optimal
-    rank at every point.  The WLD is generated once per design and shared
-    across the sweep.
+    rank at every point.  The WLD is generated — and bunched — once per
+    config and shared across every point (bunching depends only on the
+    design's gate pitch, not on the materials, clock or budget a point
+    varies).
 
-    Sweep points are independent and run on the {!Ir_exec} domain pool
-    ([?jobs], default {!Ir_exec.default_jobs}); rows come back in grid
-    order with identical ranks whatever the job count, so sequential and
+    Work is scheduled in {e table-sharing groups} on the {!Ir_exec}
+    domain pool ([?jobs], default {!Ir_exec.default_jobs}): the K and M
+    points rebuild their own instance (on the shared bunches), the C
+    points derive from a shared base instance via
+    {!Ir_assign.Problem.with_clock}, and the whole R column is a single
+    group answered by {!Ir_core.Rank.compute_budgets} from {e one}
+    phase-A table build (the repeater budget is only a query-time pruning
+    bound).  Workers parallelize across groups — {!all} fuses the four
+    columns into one pool run — and reuse tables within a group.  Rows
+    come back in grid order with identical ranks and identical
+    {!Ir_obs} counters whatever the job count, so sequential and
     parallel runs produce byte-identical tables (only the [seconds]
-    timings differ).  The C and R columns rescale a shared base instance
-    through {!Ir_assign.Problem.with_clock} and
-    {!Ir_assign.Problem.with_repeater_fraction} instead of rebuilding the
-    problem at every point. *)
+    timings differ; grouped rows report their group's cost amortized
+    evenly). *)
 
 type row = {
   param : float;
@@ -57,7 +65,9 @@ val r_sweep : ?jobs:int -> ?config:config -> unit -> sweep
 (** Repeater fraction from 0.1 to 0.5 in steps of 0.1 (Table 4 R). *)
 
 val all : ?jobs:int -> ?config:config -> unit -> sweep list
-(** The four columns in the paper's order: K, M, C, R. *)
+(** The four columns in the paper's order: K, M, C, R — fused into a
+    single pool run so the tail of one column cannot idle workers the
+    next could use. *)
 
 val normalized : sweep -> (float * float) list
 (** (param, normalized rank) pairs of the measured rows. *)

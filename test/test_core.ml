@@ -444,6 +444,285 @@ let test_pareto_truncation_changes_rank () =
     dflt.rank_wires;
   Alcotest.(check bool) "and says so" true dflt.exact
 
+(* ---- flat front vs the list-based reference --------------------------- *)
+
+module Front = Ir_core.Front
+
+(* The list-based Pareto insert the flat kernel replaced, kept verbatim
+   (modulo field names) as the reference semantics the differential
+   properties below compare against: surviving states, their
+   ascending-area order, the dominated / truncation tallies, and the
+   splits history must all be identical. *)
+type relt = { r_area : float; r_count : int; r_splits : int list }
+
+type rstats = {
+  mutable r_inserts : int;
+  mutable r_dominated : int;
+  mutable r_truncations : int;
+}
+
+let rdominates a b = a.r_area <= b.r_area && a.r_count <= b.r_count
+
+let rinsert ~width ~stats set e =
+  stats.r_inserts <- stats.r_inserts + 1;
+  if List.exists (fun x -> rdominates x e) set then begin
+    stats.r_dominated <- stats.r_dominated + 1;
+    set
+  end
+  else
+    let survivors = List.filter (fun x -> not (rdominates e x)) set in
+    let merged =
+      List.sort (fun a b -> Float.compare a.r_area b.r_area) (e :: survivors)
+    in
+    let len = List.length merged in
+    if len <= width then merged
+    else begin
+      stats.r_truncations <- stats.r_truncations + (len - width);
+      let arr = Array.of_list merged in
+      Array.to_list (Array.sub arr 0 (width - 1)) @ [ arr.(len - 1) ]
+    end
+
+(* One front cell checked element-by-element against its reference list;
+   [r_splits] is most-recent-first, {!Front.splits} returns top-down. *)
+let check_cell_equal ~label front cell reference =
+  let len = Front.length front cell in
+  if len <> List.length reference then
+    QCheck2.Test.fail_reportf "%s: cell %d length front=%d ref=%d" label cell
+      len (List.length reference);
+  List.iteri
+    (fun k r ->
+      let a = Front.area front cell k and c = Front.count front cell k in
+      if a <> r.r_area || c <> r.r_count then
+        QCheck2.Test.fail_reportf
+          "%s: cell %d elt %d front=(%.17g,%d) ref=(%.17g,%d)" label cell k a
+          c r.r_area r.r_count;
+      let splits = Front.splits front (Front.state front cell k) in
+      if splits <> List.rev r.r_splits then
+        QCheck2.Test.fail_reportf "%s: cell %d elt %d splits differ" label
+          cell k)
+    reference;
+  true
+
+let check_stats_equal ~label front stats =
+  if
+    Front.inserts front <> stats.r_inserts
+    || Front.dominated front <> stats.r_dominated
+    || Front.truncations front <> stats.r_truncations
+  then
+    QCheck2.Test.fail_reportf
+      "%s: stats front=(%d,%d,%d) ref=(%d,%d,%d)" label
+      (Front.inserts front) (Front.dominated front)
+      (Front.truncations front) stats.r_inserts stats.r_dominated
+      stats.r_truncations
+  else true
+
+(* Random insert sequences with deliberately tiny area/count alphabets so
+   exact ties (equal area, equal count, both directions of dominance) are
+   common.  Checked after every insert, not only at the end. *)
+let gen_insert_seq =
+  let open QCheck2.Gen in
+  let* width = int_range 1 8 in
+  let* ops =
+    list_size (int_range 1 60)
+      (pair (map float_of_int (int_range 0 9)) (int_range 0 9))
+  in
+  return (width, ops)
+
+let prop_front_insert_matches_reference =
+  qtest ~count:500 "flat front insert matches the list reference"
+    gen_insert_seq (fun (width, ops) ->
+      let label = Printf.sprintf "width=%d n_ops=%d" width (List.length ops) in
+      let stats = { r_inserts = 0; r_dominated = 0; r_truncations = 0 } in
+      let front = Front.create ~cells:1 ~width in
+      let reference = ref [] in
+      List.iteri
+        (fun k (area, count) ->
+          reference :=
+            rinsert ~width ~stats !reference
+              { r_area = area; r_count = count; r_splits = [ k ] };
+          Front.insert front 0 ~area ~count ~split:k ~parent:(-1);
+          ignore (check_cell_equal ~label front 0 !reference))
+        ops;
+      check_stats_equal ~label front stats)
+
+(* Replays the phase-A build loop of [Rank_dp.build_tables] — the same
+   iteration order, prune conditions and insert sequence — into {e both}
+   a reference list matrix and a [Front], then requires every cell, every
+   splits chain and all three tallies to agree.  Parent ids are read back
+   from the front as the build goes, so this also pins the arena wiring. *)
+let mirror_build ~width problem =
+  let n = P.n_bunches problem and m = P.n_pairs problem in
+  let cap = P.capacity problem and budget = P.budget problem in
+  let stats = { r_inserts = 0; r_dominated = 0; r_truncations = 0 } in
+  let dp = Array.make_matrix (m + 1) (n + 1) [] in
+  let front = Front.create ~cells:((m + 1) * (n + 1)) ~width in
+  let cell j i = (j * (n + 1)) + i in
+  dp.(0).(0) <- [ { r_area = 0.0; r_count = 0; r_splits = [] } ];
+  Front.seed front (cell 0 0) ~area:0.0 ~count:0;
+  for j = 0 to m - 1 do
+    for i = 0 to n do
+      match dp.(j).(i) with
+      | [] -> ()
+      | elts ->
+          let src = cell j i in
+          let parents =
+            Array.init (List.length elts) (Front.state front src)
+          in
+          let ins dst ~split k (e : relt) ~d_area ~d_count =
+            dp.(j + 1).(dst) <-
+              rinsert ~width ~stats dp.(j + 1).(dst)
+                {
+                  r_area = e.r_area +. d_area;
+                  r_count = e.r_count + d_count;
+                  r_splits = split :: e.r_splits;
+                };
+            Front.insert front
+              (cell (j + 1) dst)
+              ~area:(e.r_area +. d_area)
+              ~count:(e.r_count + d_count)
+              ~split ~parent:parents.(k)
+          in
+          let wires_above = P.wires_before problem i in
+          let min_area =
+            List.fold_left
+              (fun acc e -> Float.min acc e.r_area)
+              infinity elts
+          in
+          let exception Break in
+          (try
+             for i2 = i to n do
+               if i2 = i then
+                 (* Empty interval: pair j left unused. *)
+                 List.iteri
+                   (fun k e -> ins i ~split:i k e ~d_area:0.0 ~d_count:0)
+                   elts
+               else
+                 match P.meeting_cost problem ~pair:j ~lo:i ~hi:i2 with
+                 | None -> raise Break
+                 | Some (d_area, d_count) ->
+                     if min_area +. d_area > budget then raise Break;
+                     let routing =
+                       P.interval_area problem ~pair:j ~lo:i ~hi:i2
+                     in
+                     if routing > cap then raise Break;
+                     List.iteri
+                       (fun k e ->
+                         let blocked =
+                           P.blocked problem ~pair:j ~wires_above
+                             ~reps_above:e.r_count
+                         in
+                         if
+                           e.r_area +. d_area <= budget
+                           && routing +. blocked <= cap
+                         then ins i2 ~split:i2 k e ~d_area ~d_count)
+                       elts
+             done
+           with Break -> ())
+    done
+  done;
+  (dp, front, stats, cell)
+
+let check_mirror ~label ~width problem =
+  let dp, front, stats, cell = mirror_build ~width problem in
+  let n = P.n_bunches problem and m = P.n_pairs problem in
+  for j = 0 to m do
+    for i = 0 to n do
+      ignore (check_cell_equal ~label front (cell j i) dp.(j).(i))
+    done
+  done;
+  ignore (check_stats_equal ~label front stats);
+  (* The tallies must also match the real kernel's build — same loop,
+     same sequence, so the real [build_tables] sees the same overflow. *)
+  let tables = Ir_core.Rank_dp.build_tables ~max_pareto:width problem in
+  if Ir_core.Rank_dp.table_truncations tables <> stats.r_truncations then
+    QCheck2.Test.fail_reportf "%s: build_tables truncations %d <> mirror %d"
+      label
+      (Ir_core.Rank_dp.table_truncations tables)
+      stats.r_truncations
+  else true
+
+let prop_front_mirror_build =
+  qtest ~count:80 "mirrored DP build: flat front equals reference lists"
+    Helpers.gen_instance (fun { problem; label } ->
+      check_mirror ~label:(label ^ " width=8") ~width:8 problem
+      && check_mirror ~label:(label ^ " width=1") ~width:1 problem)
+
+let test_front_mirror_adversarial () =
+  (* The frozen instances: one overflowing the default width 8, one where
+     a width-1 front drops the optimum-bearing state. *)
+  let p8 = overflowing_problem () in
+  ignore (check_mirror ~label:"overflowing width=8" ~width:8 p8);
+  let _, _, stats, _ = mirror_build ~width:8 p8 in
+  Alcotest.(check bool) "overflowing instance truncates at width 8" true
+    (stats.r_truncations > 0);
+  let p1 = rank_changing_problem () in
+  ignore (check_mirror ~label:"rank-changing width=1" ~width:1 p1);
+  ignore (check_mirror ~label:"rank-changing width=8" ~width:8 p1)
+
+let test_front_basics () =
+  Alcotest.check_raises "create rejects zero width"
+    (Invalid_argument "Front.create: width must be positive") (fun () ->
+      ignore (Front.create ~cells:1 ~width:0));
+  Alcotest.check_raises "create rejects zero cells"
+    (Invalid_argument "Front.create: cells must be positive") (fun () ->
+      ignore (Front.create ~cells:0 ~width:4));
+  let f = Front.create ~cells:2 ~width:4 in
+  Alcotest.(check int) "fresh cell empty" 0 (Front.length f 0);
+  Front.seed f 0 ~area:0.0 ~count:0;
+  Alcotest.(check int) "seeded" 1 (Front.length f 0);
+  Alcotest.(check (list int)) "seed has no splits" []
+    (Front.splits f (Front.state f 0 0));
+  Alcotest.(check int) "seed bypasses stats" 0 (Front.inserts f);
+  Alcotest.check_raises "seed requires an empty cell"
+    (Invalid_argument "Front.seed: cell not empty") (fun () ->
+      Front.seed f 0 ~area:1.0 ~count:1)
+
+(* ---- shared-tables budget sweep --------------------------------------- *)
+
+let gen_budget_instance =
+  let open QCheck2.Gen in
+  let* inst = Helpers.gen_instance in
+  let* fractions = list_size (int_range 0 4) (float_range 0.01 0.9) in
+  return (inst, fractions)
+
+let prop_search_budgets_matches_individual =
+  qtest ~count:120
+    "shared-tables budget sweep matches per-fraction computes"
+    gen_budget_instance (fun ({ problem; label }, fractions) ->
+      let shared = Ir_core.Rank.compute_budgets problem fractions in
+      let individual =
+        List.map
+          (fun f ->
+            Ir_core.Rank_dp.compute
+              (P.with_repeater_fraction problem f))
+          fractions
+      in
+      if List.length shared <> List.length fractions then
+        QCheck2.Test.fail_reportf "%s: %d outcomes for %d fractions" label
+          (List.length shared) (List.length fractions)
+      else begin
+        List.iteri
+          (fun idx (s, ind) ->
+            let ok =
+              Ir_core.Outcome.equal s ind
+              (* The shared build can be exact where an individual
+                 widening ladder gave up: then the shared rank is the
+                 true one and the individual only a lower bound. *)
+              || (s.Ir_core.Outcome.exact
+                 && (not ind.Ir_core.Outcome.exact)
+                 && s.Ir_core.Outcome.rank_wires
+                    >= ind.Ir_core.Outcome.rank_wires)
+            in
+            if not ok then
+              QCheck2.Test.fail_reportf
+                "%s: fraction #%d shared=%d/%b/%b individual=%d/%b/%b" label
+                idx s.Ir_core.Outcome.rank_wires s.Ir_core.Outcome.assignable
+                s.Ir_core.Outcome.exact ind.Ir_core.Outcome.rank_wires
+                ind.Ir_core.Outcome.assignable ind.Ir_core.Outcome.exact)
+          (List.combine shared individual);
+        true
+      end)
+
 let prop_default_search_exact =
   qtest ~count:100 "default search always reports exact"
     Helpers.gen_instance (fun { problem; label } ->
@@ -486,6 +765,15 @@ let () =
           prop_feasible_boundary_monotone;
           prop_rank_monotone_in_budget;
           prop_rank_monotone_in_k;
+          prop_search_budgets_matches_individual;
+        ] );
+      ( "front",
+        [
+          Alcotest.test_case "basics" `Quick test_front_basics;
+          Alcotest.test_case "adversarial mirrored builds" `Quick
+            test_front_mirror_adversarial;
+          prop_front_insert_matches_reference;
+          prop_front_mirror_build;
         ] );
       ( "rank_greedy",
         [

@@ -86,6 +86,57 @@ let test_report_contents () =
         (Astring_contains.contains text needle))
     [ "test/report_counter"; "12345"; "test/report_span" ]
 
+let test_gauge_basics () =
+  let g = Ir_obs.gauge "test/basics_gauge" in
+  Ir_obs.reset ();
+  Alcotest.(check int) "starts at zero" 0 (Ir_obs.gauge_value g);
+  Ir_obs.set_max g 7;
+  Ir_obs.set_max g 3;
+  Alcotest.(check int) "set_max keeps the maximum" 7 (Ir_obs.gauge_value g);
+  Ir_obs.set_max g 11;
+  Alcotest.(check int) "larger value wins" 11 (Ir_obs.gauge_value g);
+  (* Same name resolves to the same underlying gauge. *)
+  Ir_obs.set_max (Ir_obs.gauge "test/basics_gauge") 13;
+  Alcotest.(check int) "same name, same gauge" 13 (Ir_obs.gauge_value g);
+  let snap = Ir_obs.snapshot () in
+  Alcotest.(check (option int))
+    "find_gauge present" (Some 13)
+    (Ir_obs.find_gauge snap "test/basics_gauge");
+  Alcotest.(check (option int))
+    "find_gauge absent" None
+    (Ir_obs.find_gauge snap "test/never_registered_gauge");
+  let names = List.map fst snap.Ir_obs.gauges in
+  Alcotest.(check (list string))
+    "gauges name-sorted"
+    (List.sort compare names)
+    names;
+  let text = Format.asprintf "%a" Ir_obs.pp_report snap in
+  Alcotest.(check bool) "report mentions the gauge" true
+    (Astring_contains.contains text "test/basics_gauge");
+  Ir_obs.reset ();
+  Alcotest.(check int) "reset zeroes gauges" 0 (Ir_obs.gauge_value g);
+  Alcotest.(check (option int))
+    "registration survives reset" (Some 0)
+    (Ir_obs.find_gauge (Ir_obs.snapshot ()) "test/basics_gauge")
+
+let test_multi_domain_gauge () =
+  (* Concurrent set_max races must never lose the global maximum. *)
+  let g = Ir_obs.gauge "test/domains_gauge" in
+  Ir_obs.reset ();
+  let worker lo () =
+    for v = lo to lo + 10_000 do
+      Ir_obs.set_max g v
+    done
+  in
+  let domains =
+    List.init 4 (fun d -> Domain.spawn (worker (1 + (d * 5_000))))
+  in
+  worker 0 ();
+  List.iter Domain.join domains;
+  Alcotest.(check int) "maximum survives the race"
+    (1 + (3 * 5_000) + 10_000)
+    (Ir_obs.gauge_value g)
+
 let test_multi_domain_increments () =
   (* Four spawned domains plus the caller hammer one counter; Atomic
      adds must not lose updates. *)
@@ -141,11 +192,14 @@ let () =
           Alcotest.test_case "reset keeps registrations" `Quick
             test_reset_keeps_registrations;
           Alcotest.test_case "report contents" `Quick test_report_contents;
+          Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
         ] );
       ( "concurrency",
         [
           Alcotest.test_case "multi-domain increments" `Quick
             test_multi_domain_increments;
+          Alcotest.test_case "multi-domain gauge max" `Quick
+            test_multi_domain_gauge;
           Alcotest.test_case "counters deterministic across jobs" `Slow
             test_counters_deterministic_across_jobs;
         ] );

@@ -252,7 +252,9 @@ let test_export () =
       match
         Ir_sweep.Export.write_bench_json ~dir ~jobs:4
           ~timings:[ ("table4_jobs1_seconds", 1.25) ]
-          ~metrics:(Ir_obs.snapshot ()) ~sweeps:[ sweep ] ~cross:[] ()
+          ~metrics:(Ir_obs.snapshot ())
+          ~kernel:[ ("front_insert_ns", 12.5) ]
+          ~sweeps:[ sweep ] ~cross:[] ()
       with
       | Error e -> Alcotest.failf "write_bench_json: %s" e
       | Ok path ->
@@ -266,8 +268,10 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/2\"";
+              "\"schema\":\"ia-rank/bench-sweeps/3\"";
               "\"jobs\":4";
+              "\"kernel\":{\"front_insert_ns\":12.5}";
+              "\"gauges\":{";
               "\"table4_jobs1_seconds\":1.25";
               "\"rank_wires\"";
               "\"exact\":true";
