@@ -671,7 +671,7 @@ let study_netlist () =
      lengths; the@.closed form the paper adopts in footnote 2 tracks the \
      measured shape.)@."
 
-let export_artifacts ?metrics ?kernel sweeps cells timings =
+let export_artifacts ?metrics ?kernel ?parallel sweeps cells timings =
   section "Artifacts";
   let dir = results_dir () in
   (match Ir_sweep.Export.write_sweeps ~dir sweeps with
@@ -685,7 +685,7 @@ let export_artifacts ?metrics ?kernel sweeps cells timings =
         (parallel table4 leg plus cross-node), before the kernel
         microbenchmarks pollute the span registry. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ?metrics ?kernel ~sweeps ~cross:cells ()
+       ?metrics ?kernel ?parallel ~sweeps ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);
@@ -816,6 +816,14 @@ let () =
     | None -> [])
     @ [ ("table4_jobs1_seconds", seq_s); ("table4_jobsN_seconds", par_s) ]
   in
+  let parallel_report (seq_s, par_s) =
+    {
+      Ir_sweep.Export.requested_jobs = par_jobs ();
+      effective_jobs = min (par_jobs ()) (Ir_exec.hardware_jobs ());
+      jobs1_seconds = seq_s;
+      jobsn_seconds = par_s;
+    }
+  in
   (match what with
   | `Micro -> run_bechamel ()
   | `Sweeps ->
@@ -823,7 +831,9 @@ let () =
       let cells = experiment_cross_node () in
       let metrics = Ir_obs.snapshot () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
-      export_artifacts ~metrics ~kernel sweeps cells timings
+      export_artifacts ~metrics ~kernel
+        ~parallel:(parallel_report legs)
+        sweeps cells timings
   | `All ->
       experiment_tables ();
       let sweeps, timings, legs = experiment_table4 () in
@@ -847,6 +857,8 @@ let () =
       study_variation ();
       study_netlist ();
       let kernel = kernel_bench () @ kernel_entries metrics legs in
-      export_artifacts ~metrics ~kernel sweeps cells timings;
+      export_artifacts ~metrics ~kernel
+        ~parallel:(parallel_report legs)
+        sweeps cells timings;
       run_bechamel ());
   Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

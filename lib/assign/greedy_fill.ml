@@ -7,6 +7,7 @@ let stat_calls = Ir_obs.counter "greedy_fill/calls"
 let stat_wires = Ir_obs.counter "greedy_fill/wires_packed"
 let stat_early = Ir_obs.counter "greedy_fill/early_exits"
 let stat_take_adjust = Ir_obs.counter "greedy_fill/take_adjustments"
+let stat_fast_fail = Ir_obs.counter "greedy_fill/fast_fails"
 
 type context = {
   from_bunch : int;
@@ -114,6 +115,41 @@ let run t ctx ~record =
   let total_suffix =
     Problem.total_wires t - Problem.wires_before t ctx.from_bunch
   in
+  (* O(pairs) fast-fail before the O(bunches) packing loop: compare an
+     area {e demand lower bound} (the whole suffix routed at the
+     narrowest available pitch — any real split across pairs costs at
+     least that) against an {e availability upper bound} (per-pair
+     capacity minus the blockage floor: via stacks of the context wires
+     and repeaters only, as if no unplaced suffix wire ever crossed the
+     pair).  Demand strictly above availability is a certain reject; the
+     relative slack keeps float summation-order noise (both sides are
+     prefix-table differences, the packer accumulates in another order)
+     from ever rejecting a context the packer could satisfy. *)
+  let fast_reject =
+    total_suffix > 0
+    &&
+    let demand_lb = ref infinity and avail_ub = ref 0.0 in
+    for q = ctx.top_pair to m - 1 do
+      let area = Problem.interval_area t ~pair:q ~lo:ctx.from_bunch ~hi:n in
+      if area < !demand_lb then demand_lb := area;
+      let at_top = q = ctx.top_pair in
+      let cap_q = if at_top then cap -. ctx.top_pair_used else cap in
+      let blocked_lb =
+        Problem.blocked t ~pair:q
+          ~wires_above:
+            (if at_top then ctx.wires_above_top else ctx.wires_above_below)
+          ~reps_above:
+            (if at_top then ctx.reps_above_top else ctx.reps_above_below)
+      in
+      avail_ub := !avail_ub +. Float.max 0.0 (cap_q -. blocked_lb)
+    done;
+    !demand_lb > !avail_ub *. (1.0 +. 1e-9)
+  in
+  if fast_reject then begin
+    Ir_obs.incr stat_fast_fail;
+    None
+  end
+  else
   let placements = ref [] in
   let remaining = Array.init n (fun b -> Problem.bunch_count t b) in
   for b = 0 to ctx.from_bunch - 1 do

@@ -77,7 +77,15 @@ val max_take :
 val pack : Problem.t -> context -> placement list option
 (** Packs the suffix; returns placements (bottom-up order) or [None] when
     it does not fit.
-    @raise Invalid_argument on out-of-range context fields. *)
+    @raise Invalid_argument on out-of-range context fields.
+
+    Both entry points first run an O(pairs) capacity screen: when the
+    suffix's area demand at the narrowest available pitch already
+    exceeds the summed per-pair capacity net of the context's blockage
+    floor, the packing loop cannot succeed and is skipped (counter
+    [greedy_fill/fast_fails]).  The screen is conservative — same
+    verdicts, with a relative slack absorbing float summation-order
+    differences — so only [greedy_fill/wires_packed] totals change. *)
 
 val fits : Problem.t -> context -> bool
 (** {!pack} without materializing the placement list. *)

@@ -1,0 +1,182 @@
+(* Memoized front-end for [Greedy_fill.fits].
+
+   A phase-B feasibility probe asks whether the WLD suffix [from_bunch..n)
+   packs below a prospective boundary, under scalar load parameters (area
+   already used on the top pair, wires/repeaters above it and above the
+   pairs below).  [Greedy_fill.fits] answers by packing the whole suffix —
+   O(bunches) per call, ~10M wires on the large bench cells — yet the
+   answer is {e antitone} in every load coordinate: raising any of
+   [top_pair_used], [wires_above_*] or [reps_above_*] with the rest fixed
+   only removes capacity or adds blockage, so a feasible packing for the
+   harder context is feasible verbatim for the easier one, and greedy
+   fill (which dominates any particular feasible packing, Lemma 1)
+   preserves the verdict.
+
+   This module exploits that monotonicity without trusting it to float
+   algebra: per [(from_bunch, top_pair)] it keeps two small frontiers of
+   {e oracle-answered} contexts — Pareto-maximal feasible ones and
+   Pareto-minimal infeasible ones.  A query pointwise-dominated by a
+   known-feasible context is feasible; one that pointwise-dominates a
+   known-infeasible context is infeasible; anything else goes to the real
+   [Greedy_fill.fits] and its answer joins the frontier.  Every cached
+   verdict is therefore derived from actual oracle calls by coordinatewise
+   comparison only — no rearranged arithmetic — so the answers are
+   byte-identical to always calling the oracle (the differential QCheck
+   property in [test_assign] pins this).
+
+   The big win is cross-query reuse where identical contexts repeat: the
+   R-column of Table 4 re-probes the same boundaries under different
+   repeater budgets, and [Greedy_fill.fits] never reads the budget, so a
+   memo shared across the fractions (see [Rank_dp.search_budgets]) turns
+   the repeats into O(frontier) comparisons.
+
+   A [t] is single-domain mutable state: share it across sequential
+   searches of one problem family (budget rebinds included — the oracle
+   ignores the budget), never across concurrently-running probes. *)
+
+let stat_hits = Ir_obs.counter "suffix_fit/hits"
+let stat_misses = Ir_obs.counter "suffix_fit/misses"
+
+(* One bounded Pareto frontier: parallel arrays of answered contexts.
+   [used] is the float load; the other four are the int load counts.
+   Capacity-bounded with round-robin replacement — dropping an entry can
+   only cause extra oracle calls, never a wrong answer. *)
+type frontier = {
+  mutable len : int;
+  mutable next : int;  (* replacement cursor once full *)
+  used : float array;
+  wt : int array;  (* wires above the top pair *)
+  rt : int array;  (* repeaters above the top pair *)
+  wb : int array;  (* wires above the pairs below *)
+  rb : int array;  (* repeaters above the pairs below *)
+}
+
+let width = 16
+
+let frontier () =
+  {
+    len = 0;
+    next = 0;
+    used = Array.make width 0.0;
+    wt = Array.make width 0;
+    rt = Array.make width 0;
+    wb = Array.make width 0;
+    rb = Array.make width 0;
+  }
+
+type cell = { feas : frontier; infeas : frontier }
+
+type t = {
+  problem : Problem.t;
+  stride : int;  (* n_pairs, for the (from_bunch, top_pair) key *)
+  cells : (int, cell) Hashtbl.t;
+}
+
+let create problem =
+  {
+    problem;
+    stride = Problem.n_pairs problem;
+    cells = Hashtbl.create 64;
+  }
+
+(* Does frontier [f] contain an entry >= (resp. <=) the query in every
+   coordinate?  [ge = true] scans for a harder-or-equal entry (used by
+   the feasible side), [ge = false] for an easier-or-equal one. *)
+let covered f ~ge ~used ~wt ~rt ~wb ~rb =
+  let hit = ref false in
+  let i = ref 0 in
+  while (not !hit) && !i < f.len do
+    let k = !i in
+    (if ge then
+       f.used.(k) >= used && f.wt.(k) >= wt && f.rt.(k) >= rt
+       && f.wb.(k) >= wb && f.rb.(k) >= rb
+     else
+       f.used.(k) <= used && f.wt.(k) <= wt && f.rt.(k) <= rt
+       && f.wb.(k) <= wb && f.rb.(k) <= rb)
+    |> fun c -> if c then hit := true;
+    incr i
+  done;
+  !hit
+
+(* Insert an answered context, first evicting entries it makes redundant:
+   on the feasible side an entry <= the newcomer everywhere is dominated
+   (the newcomer certifies strictly more), on the infeasible side an
+   entry >= it everywhere is. *)
+let remember f ~dominates_if_ge ~used ~wt ~rt ~wb ~rb =
+  let w = ref 0 in
+  for k = 0 to f.len - 1 do
+    let redundant =
+      if dominates_if_ge then
+        f.used.(k) <= used && f.wt.(k) <= wt && f.rt.(k) <= rt
+        && f.wb.(k) <= wb && f.rb.(k) <= rb
+      else
+        f.used.(k) >= used && f.wt.(k) >= wt && f.rt.(k) >= rt
+        && f.wb.(k) >= wb && f.rb.(k) >= rb
+    in
+    if not redundant then begin
+      if !w < k then begin
+        f.used.(!w) <- f.used.(k);
+        f.wt.(!w) <- f.wt.(k);
+        f.rt.(!w) <- f.rt.(k);
+        f.wb.(!w) <- f.wb.(k);
+        f.rb.(!w) <- f.rb.(k)
+      end;
+      incr w
+    end
+  done;
+  f.len <- !w;
+  let slot =
+    if f.len < width then begin
+      let s = f.len in
+      f.len <- f.len + 1;
+      s
+    end
+    else begin
+      (* Full of mutually-incomparable entries: rotate one out. *)
+      let s = f.next mod width in
+      f.next <- s + 1;
+      s
+    end
+  in
+  f.used.(slot) <- used;
+  f.wt.(slot) <- wt;
+  f.rt.(slot) <- rt;
+  f.wb.(slot) <- wb;
+  f.rb.(slot) <- rb
+
+let fits t ~from_bunch ~top_pair ~top_pair_used ~wires_above_top
+    ~reps_above_top ~wires_above_below ~reps_above_below =
+  let key = (from_bunch * t.stride) + top_pair in
+  let cell =
+    match Hashtbl.find_opt t.cells key with
+    | Some c -> c
+    | None ->
+        let c = { feas = frontier (); infeas = frontier () } in
+        Hashtbl.add t.cells key c;
+        c
+  in
+  let used = top_pair_used
+  and wt = wires_above_top
+  and rt = reps_above_top
+  and wb = wires_above_below
+  and rb = reps_above_below in
+  if covered cell.feas ~ge:true ~used ~wt ~rt ~wb ~rb then begin
+    Ir_obs.incr stat_hits;
+    true
+  end
+  else if covered cell.infeas ~ge:false ~used ~wt ~rt ~wb ~rb then begin
+    Ir_obs.incr stat_hits;
+    false
+  end
+  else begin
+    Ir_obs.incr stat_misses;
+    let answer =
+      Greedy_fill.fits t.problem
+        (Greedy_fill.context ~top_pair_used ~wires_above_top ~reps_above_top
+           ~wires_above_below ~reps_above_below ~from_bunch ~top_pair ())
+    in
+    (if answer then
+       remember cell.feas ~dominates_if_ge:true ~used ~wt ~rt ~wb ~rb
+     else remember cell.infeas ~dominates_if_ge:false ~used ~wt ~rt ~wb ~rb);
+    answer
+  end

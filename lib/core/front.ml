@@ -24,12 +24,24 @@ type t = {
   count : int array;  (* cells * stride, count-descending per cell *)
   state : int array;  (* cells * stride, arena id per element *)
   len : int array;  (* cells *)
-  (* Parent-pointer arena: one (split, parent) pair per state that ever
-     entered a front.  Ids are stable across growth; states evicted later
-     keep their slots (they may be parents of live states). *)
+  (* Parent-pointer arena: one (split, parent) pair per live state.  Ids
+     are stable across growth.  Slots of evicted states are recycled
+     through a free list threaded via [arena_parent]: the DP build only
+     inserts into a cell {e before} that cell is expanded, so a state
+     evicted from its front can never be the parent of a live state and
+     its slot is immediately reusable.  (Callers must therefore never
+     retain an id past its element's eviction — [Rank_dp] reads parent
+     ids fresh from live elements at expansion time.)  Without recycling
+     the arena grows with every insert that survives even briefly: the
+     10M-gate N90 bench cell reached 70.8M slots (~GBs of int arrays,
+     doubling copies and page-fault churn) against a live-state peak
+     three orders of magnitude smaller. *)
   mutable arena_split : int array;
   mutable arena_parent : int array;
-  mutable arena_len : int;
+  mutable arena_len : int;  (* slots ever touched: free list + live *)
+  mutable arena_free : int;  (* head of the free list, or [no_parent] *)
+  mutable arena_live : int;
+  mutable arena_hw : int;  (* high-water mark of [arena_live] *)
   (* Per-build tallies, flushed to Ir_obs by the caller. *)
   mutable inserts : int;
   mutable dominated : int;
@@ -53,6 +65,9 @@ let create ~cells ~width =
     arena_split = Array.make 256 0;
     arena_parent = Array.make 256 no_parent;
     arena_len = 0;
+    arena_free = no_parent;
+    arena_live = 0;
+    arena_hw = 0;
     inserts = 0;
     dominated = 0;
     truncations = 0;
@@ -76,23 +91,43 @@ let raw_len t = t.len
 let inserts t = t.inserts
 let dominated t = t.dominated
 let truncations t = t.truncations
-let arena_states t = t.arena_len
+let arena_states t = t.arena_hw
 
 let alloc_state t ~split ~parent =
-  let cap = Array.length t.arena_split in
-  if t.arena_len = cap then begin
-    let splits = Array.make (2 * cap) 0 in
-    let parents = Array.make (2 * cap) no_parent in
-    Array.blit t.arena_split 0 splits 0 cap;
-    Array.blit t.arena_parent 0 parents 0 cap;
-    t.arena_split <- splits;
-    t.arena_parent <- parents
-  end;
-  let id = t.arena_len in
+  let id =
+    if t.arena_free <> no_parent then begin
+      let id = t.arena_free in
+      t.arena_free <- t.arena_parent.(id);
+      id
+    end
+    else begin
+      let cap = Array.length t.arena_split in
+      if t.arena_len = cap then begin
+        let splits = Array.make (2 * cap) 0 in
+        let parents = Array.make (2 * cap) no_parent in
+        Array.blit t.arena_split 0 splits 0 cap;
+        Array.blit t.arena_parent 0 parents 0 cap;
+        t.arena_split <- splits;
+        t.arena_parent <- parents
+      end;
+      let id = t.arena_len in
+      t.arena_len <- id + 1;
+      id
+    end
+  in
   t.arena_split.(id) <- split;
   t.arena_parent.(id) <- parent;
-  t.arena_len <- id + 1;
+  t.arena_live <- t.arena_live + 1;
+  if t.arena_live > t.arena_hw then t.arena_hw <- t.arena_live;
   id
+
+(* Return an evicted state's slot to the free list.  Sound because of
+   the insert-before-expand discipline documented on the arena fields:
+   nothing live can still point at [id]. *)
+let release_state t id =
+  t.arena_parent.(id) <- t.arena_free;
+  t.arena_free <- id;
+  t.arena_live <- t.arena_live - 1
 
 let seed t cell ~area ~count =
   if t.len.(cell) <> 0 then invalid_arg "Front.seed: cell not empty";
@@ -131,6 +166,9 @@ let insert t cell ~area:a ~count:c ~split ~parent =
       if t.count.(base + mid) >= c then lo := mid + 1 else hi := mid
     done;
     let q = !lo in
+    for d = s to q - 1 do
+      release_state t t.state.(base + d)
+    done;
     let tail = n - q in
     if tail > 0 then begin
       Array.blit t.area (base + q) t.area (base + s + 1) tail;
@@ -147,6 +185,9 @@ let insert t cell ~area:a ~count:c ~split ~parent =
          claim on the outcome.  Keep the smallest-area states plus the
          min-count last one (the same rule as the list kernel). *)
       t.truncations <- t.truncations + (n' - t.width);
+      for d = t.width - 1 to n' - 2 do
+        release_state t t.state.(base + d)
+      done;
       t.area.(base + t.width - 1) <- t.area.(base + n' - 1);
       t.count.(base + t.width - 1) <- t.count.(base + n' - 1);
       t.state.(base + t.width - 1) <- t.state.(base + n' - 1);

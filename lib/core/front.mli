@@ -36,7 +36,12 @@ val count : t -> int -> int -> int
 
 val state : t -> int -> int -> int
 (** Arena id of the element, for {!splits} and as [~parent] of successor
-    states. *)
+    states.  An id is valid only while its element remains in the front:
+    eviction (dominance or truncation) recycles the arena slot, so read
+    ids fresh from live elements at use time — never cache one across
+    inserts into the same cell.  The DP build respects this by
+    construction: every insert into a cell happens before that cell is
+    expanded, so an evicted state can have no live descendants. *)
 
 val min_area : t -> int -> float
 (** Smallest area in the cell — undefined when the cell is empty. *)
@@ -90,5 +95,7 @@ val dominated : t -> int
 val truncations : t -> int
 
 val arena_states : t -> int
-(** Number of states that survived insertion at least once — the arena
-    high-water mark reported to the [rank_dp/front_arena] gauge. *)
+(** High-water mark of {e live} arena states — evicted states return
+    their slots to a free list, so this is the peak concurrent state
+    population (the kernel's true memory footprint), not the historical
+    insert count.  Reported to the [rank_dp/front_arena] gauge. *)

@@ -24,8 +24,14 @@ val problem_of_design :
     structure and materials by default) and bunches the instance
     (default bunch size 10000, the paper's). *)
 
-val compute : ?algo:algo -> Ir_assign.Problem.t -> Outcome.t
-(** Runs the chosen algorithm (default [Dp]) on a prepared instance. *)
+val compute :
+  ?algo:algo -> ?hint:int -> ?probe_fan:int -> Ir_assign.Problem.t -> Outcome.t
+(** Runs the chosen algorithm (default [Dp]) on a prepared instance.
+    [hint] (an expected boundary bunch, e.g. a neighbouring sweep point's
+    [boundary_bunch]) and [probe_fan] (speculative concurrent boundary
+    probes for an otherwise idle machine) are forwarded to
+    {!Rank_dp.search_tables} under [Dp] and ignored by the other
+    algorithms; either way the result bytes are unaffected. *)
 
 val compute_budgets :
   ?algo:algo -> Ir_assign.Problem.t -> float list -> Outcome.t list

@@ -18,6 +18,9 @@ let stat_truncations = Ir_obs.counter "rank_dp/pareto_truncations"
 let stat_witness_probes = Ir_obs.counter "rank_dp/witness_probes"
 let stat_search_probes = Ir_obs.counter "rank_dp/search_probes"
 let stat_widen_retries = Ir_obs.counter "rank_dp/widen_retries"
+let stat_hinted = Ir_obs.counter "rank_dp/hinted_searches"
+let stat_hint_saved = Ir_obs.counter "rank_dp/hint_saved_probes"
+let stat_fan_rounds = Ir_obs.counter "rank_dp/probe_fan_rounds"
 let gauge_arena = Ir_obs.gauge "rank_dp/front_arena_states"
 let span_build = Ir_obs.span "rank_dp/build_tables"
 let span_search = Ir_obs.span "rank_dp/search"
@@ -174,11 +177,30 @@ let table_truncations tables = tables.truncations
    over it are filtered by the [e.area + m_area > budget] check (prefix
    areas only grow along a chain, so no over-budget prefix can lead to a
    within-budget witness). *)
-let feasible_witness tables c =
+let feasible_witness ?memo tables c =
   let { problem; front; n; m; _ } = tables in
   let cap = P.capacity problem in
   let budget = P.budget problem in
   let wires_c = P.wires_before problem c in
+  (* With a memo, the greedy-fill suffix check goes through the
+     [Suffix_fit] frontier cache (byte-identical verdicts, fewer oracle
+     packings); without one, straight to the oracle.  The memo's oracle
+     runs against the problem it was created for — sound here because a
+     memo is only ever shared within a budget-rebound family and the
+     suffix check never reads the budget (see [search_budgets]). *)
+  let suffix_fits ~top_pair_used ~wires_above_top ~reps_above_top
+      ~reps_above_below ~top_pair =
+    match memo with
+    | Some sf ->
+        Ir_assign.Suffix_fit.fits sf ~from_bunch:c ~top_pair ~top_pair_used
+          ~wires_above_top ~reps_above_top ~wires_above_below:wires_c
+          ~reps_above_below
+    | None ->
+        GF.fits problem
+          (GF.context ~top_pair_used ~wires_above_top ~reps_above_top
+             ~wires_above_below:wires_c ~reps_above_below ~from_bunch:c
+             ~top_pair ())
+  in
   let probes = ref 0 in
   let exception Found of witness in
   let result =
@@ -209,12 +231,9 @@ let feasible_witness tables c =
                   in
                   if
                     used_j +. blocked_j <= cap
-                    && GF.fits problem
-                         (GF.context ~top_pair_used:used_j
-                            ~wires_above_top:wires_i ~reps_above_top:count
-                            ~wires_above_below:wires_c
-                            ~reps_above_below:(count + m_count)
-                            ~from_bunch:c ~top_pair:j ())
+                    && suffix_fits ~top_pair_used:used_j
+                         ~wires_above_top:wires_i ~reps_above_top:count
+                         ~reps_above_below:(count + m_count) ~top_pair:j
                   then
                     raise
                       (Found
@@ -273,14 +292,27 @@ let outcome_of_boundary problem ~assignable ~exact c =
    [~exhaustive] scan below and the randomized property test in
    [test_core.ml] cross-check this equivalence.) *)
 
-let search_tables ?(exhaustive = false) tables =
+(* Nominal probe cost of a cold (hint-less, fan-less) search: the first
+   probe at [n] plus one bisection probe per halving of [0, n].  The real
+   cold path can differ by one probe depending on which half each odd
+   split descends into; this deterministic figure is the baseline the
+   [hint_saved_probes] counter is measured against. *)
+let cold_probe_cost n =
+  let steps = ref 1 and w = ref n in
+  while !w > 1 do
+    incr steps;
+    w := !w - (!w / 2)
+  done;
+  !steps
+
+let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) tables =
   Ir_obs.time span_search @@ fun () ->
   let problem = tables.problem in
   let n = tables.n in
   let exact = tables.truncations = 0 in
   let probes = ref 0 in
   let result =
-    match feasible_witness tables 0 with
+    match feasible_witness ?memo tables 0 with
     | None ->
         ( Outcome.unassignable ~exact ~total_wires:(P.total_wires problem) (),
           None )
@@ -288,12 +320,77 @@ let search_tables ?(exhaustive = false) tables =
         let best = ref 0 and best_w = ref w0 in
         let try_c c =
           incr probes;
-          match feasible_witness tables c with
+          match feasible_witness ?memo tables c with
           | Some w ->
               best := c;
               best_w := w;
               true
           | None -> false
+        in
+        (* Invariant threaded through every strategy below: [!best] is a
+           boundary that produced a witness (feasible unconditionally),
+           [hi] when < n + 1 was probed infeasible.  Monotonicity (proof
+           above) makes the final [best] also maximal. *)
+        let lo = ref 0 and hi = ref (n + 1) in
+        let bisect () =
+          while !hi - !lo > 1 do
+            let mid = !lo + ((!hi - !lo) / 2) in
+            if try_c mid then lo := mid else hi := mid
+          done
+        in
+        (* Speculative multi-section rounds for an otherwise idle pool:
+           split [lo, hi] at [fan] interior points and evaluate them all
+           concurrently — every probe runs to completion (no cancellation),
+           so probe and greedy-fill counter totals depend only on the
+           configured fan, never on scheduling.  The round keeps the
+           largest feasible probe and smallest infeasible one; with [fan]
+           probes the interval shrinks by a factor [fan + 1] per round, so
+           wall time drops to log_(fan+1) while total probe work grows —
+           a trade only worth making when the extra domains are idle
+           (Cross_node's starved-pool searches).  Probes bypass the memo:
+           a [Suffix_fit.t] is single-domain state. *)
+        let fan_rounds () =
+          while !hi - !lo > 1 do
+            let width = !hi - !lo in
+            let k = min probe_fan (width - 1) in
+            let pts = Array.make k 0 in
+            let prev = ref !lo in
+            for t = 0 to k - 1 do
+              let pos = !lo + (width * (t + 1) / (k + 1)) in
+              let pos = max (!prev + 1) pos in
+              pts.(t) <- pos;
+              prev := pos
+            done;
+            Ir_obs.incr stat_fan_rounds;
+            probes := !probes + k;
+            let answers =
+              if k = 1 then [| (pts.(0), feasible_witness tables pts.(0)) |]
+              else begin
+                (* Plain [Domain.spawn] per probe rather than the Ir_exec
+                   pool: a search may itself be running inside a pool
+                   worker, and a nested pool run would clobber
+                   [last_pool_stats] for the driver that launched us. *)
+                let spawned =
+                  Array.init (k - 1) (fun t ->
+                      let c = pts.(t + 1) in
+                      Domain.spawn (fun () -> (c, feasible_witness tables c)))
+                in
+                let first = (pts.(0), feasible_witness tables pts.(0)) in
+                Array.append [| first |] (Array.map Domain.join spawned)
+              end
+            in
+            (* Deterministic sequential fold of the round's verdicts. *)
+            Array.iter
+              (fun (c, w) ->
+                match w with
+                | Some w when c > !best ->
+                    best := c;
+                    best_w := w;
+                    lo := c
+                | Some _ -> ()
+                | None -> if c < !hi then hi := c)
+              answers
+          done
         in
         if exhaustive then begin
           let c = ref n in
@@ -301,16 +398,53 @@ let search_tables ?(exhaustive = false) tables =
             decr c
           done
         end
-        else if not (try_c n) then begin
-          (* Invariant: feasible lo (recorded), not (feasible hi).  [best]
-             only ever holds a boundary that produced a witness, so the
-             reported rank is feasible unconditionally; monotonicity (proof
-             above) is what makes it also maximal. *)
-          let lo = ref 0 and hi = ref n in
-          while !hi - !lo > 1 do
-            let mid = !lo + ((!hi - !lo) / 2) in
-            if try_c mid then lo := mid else hi := mid
-          done
+        else begin
+          (match hint with
+          | Some h when n > 0 ->
+              (* Warm start: bracket the boundary by galloping away from
+                 the hint.  Any hint value is sound — the bracket is
+                 established by probes, the hint only chooses where they
+                 land — so stale or out-of-range hints cost extra probes,
+                 never a wrong rank. *)
+              Ir_obs.incr stat_hinted;
+              let h = min (max h 1) n in
+              if try_c h then begin
+                lo := h;
+                let step = ref 1 in
+                (try
+                   while !lo < n do
+                     let c = min n (!lo + !step) in
+                     if try_c c then lo := c else begin
+                       hi := c;
+                       raise Break
+                     end;
+                     step := 2 * !step
+                   done
+                 with Break -> ())
+              end
+              else begin
+                hi := h;
+                let step = ref 1 in
+                (try
+                   while !hi > 1 do
+                     let c = max 1 (!hi - !step) in
+                     if try_c c then begin
+                       lo := c;
+                       raise Break
+                     end
+                     else hi := c;
+                     step := 2 * !step
+                   done
+                 with Break -> ())
+              end
+          | _ ->
+              (* Cold: probe [n] first (the historical path — also what
+                 the [cold_probe_cost] baseline models). *)
+              if try_c n then lo := n else hi := n);
+          if !hi - !lo > 1 then
+            if probe_fan > 1 then fan_rounds () else bisect ();
+          if hint <> None then
+            Ir_obs.add stat_hint_saved (max 0 (cold_probe_cost n - !probes))
         end;
         (outcome_of_boundary problem ~assignable:true ~exact !best,
          Some !best_w)
@@ -356,15 +490,19 @@ let unfittable problem =
      the verdict is independent of the repeater budget. *)
   not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ()))
 
-let search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem =
+let search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
+    ?probe_fan problem =
   if unfittable problem then
     (Outcome.unassignable ~total_wires:(P.total_wires problem) (), None)
   else
-    search_tables ?exhaustive
+    search_tables ?exhaustive ?hint ?probe_fan
       (build_widened ?max_pareto ?widen_on_overflow ?widen_cap problem)
 
-let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem =
-  fst (search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive problem)
+let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
+    ?probe_fan problem =
+  fst
+    (search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
+       ?probe_fan problem)
 
 let compute_with_witness ?max_pareto ?widen_on_overflow problem =
   search ?max_pareto ?widen_on_overflow problem
@@ -398,12 +536,26 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
         build_widened ?max_pareto ?widen_on_overflow ?widen_cap
           (P.with_repeater_fraction problem f_max)
       in
-      if shared.truncations = 0 then
+      if shared.truncations = 0 then begin
+        (* The greedy-fill verdict never reads the budget, so one
+           suffix-fit memo serves every fraction — the per-boundary probe
+           contexts repeat exactly across budgets and answer as cache
+           hits.  The boundary is monotone in the budget too, so each
+           fraction's result (fractions ascend in the Table-4 R column)
+           warm-starts the next search. *)
+        let memo = Ir_assign.Suffix_fit.create shared.problem in
+        let hint = ref None in
         List.map
           (fun f ->
             let p = P.with_repeater_fraction problem f in
-            fst (search_tables { shared with problem = p }))
+            let outcome =
+              fst (search_tables ~memo ?hint:!hint { shared with problem = p })
+            in
+            if outcome.Outcome.assignable then
+              hint := Some outcome.Outcome.boundary_bunch;
+            outcome)
           fractions
+      end
       else
         List.map
           (fun f ->

@@ -66,11 +66,41 @@ val table_truncations : tables -> int
     complete and any search over these tables is exact; positive means
     outcomes derived from them carry [exact = false] (a lower bound). *)
 
-val search_tables : ?exhaustive:bool -> tables -> Outcome.t * witness option
+val search_tables :
+  ?exhaustive:bool ->
+  ?memo:Ir_assign.Suffix_fit.t ->
+  ?hint:int ->
+  ?probe_fan:int ->
+  tables ->
+  Outcome.t * witness option
 (** Runs the boundary search on prebuilt tables — {!compute} minus table
     construction.  Unlike {!compute} it skips the Definition-3 pre-check
     (a no-fit instance simply reports unassignable through the [c = 0]
-    probe).  The outcome's [exact] flag is [table_truncations t = 0]. *)
+    probe).  The outcome's [exact] flag is [table_truncations t = 0].
+
+    The result bytes are identical whatever the options; they change only
+    how many probes run and where:
+
+    - [memo]: a {!Ir_assign.Suffix_fit} cache the greedy-fill suffix
+      checks answer through.  Pass one shared across sequential searches
+      of a budget-rebound family to convert repeated probe contexts into
+      O(1) dominance hits ({!search_budgets} does).  Single-domain state:
+      never share across concurrent searches.
+    - [hint]: expected boundary (e.g. the neighbouring sweep point's
+      [boundary_bunch]).  The search brackets the true boundary by
+      galloping from the hint, then bisects the bracket — an accurate
+      hint answers in O(log distance) probes instead of O(log n).  {e
+      Any} value is sound (out-of-range hints are clamped, stale ones
+      just gallop further); savings land on [rank_dp/hint_saved_probes],
+      measured against the nominal cold cost.
+    - [probe_fan]: when > 1, bisection is replaced by speculative
+      multi-section rounds — [fan] boundary probes evaluated concurrently
+      on their own domains, each run to completion, shrinking the bracket
+      by [fan + 1] per round.  Total probe work grows (it lands on the
+      same deterministic counters, independent of scheduling); wall time
+      shrinks when the machine is otherwise idle.  Meant for
+      starved-pool searches ({!Ir_sweep.Cross_node}); fan probes bypass
+      [memo]. *)
 
 val default_widen_cap : int
 (** Default ceiling (128) for [widen_cap] below. *)
@@ -93,16 +123,26 @@ val search_budgets :
     query checks), so sharing is exact whenever the shared build has no
     Pareto truncation; if it does truncate, this function transparently
     falls back to independent per-fraction computes.  The widening ladder
-    options are as in {!compute}. *)
+    options are as in {!compute}.
+
+    The shared-build path also shares one {!Ir_assign.Suffix_fit} memo
+    across the fractions (the greedy-fill verdict ignores the budget, so
+    repeated probe contexts answer as cache hits) and warm-starts each
+    fraction's search with the previous fraction's boundary — pure probe
+    savings, same outcomes. *)
 
 val compute :
   ?max_pareto:int ->
   ?widen_on_overflow:bool ->
   ?widen_cap:int ->
   ?exhaustive:bool ->
+  ?hint:int ->
+  ?probe_fan:int ->
   Ir_assign.Problem.t ->
   Outcome.t
-(** [compute problem] returns the optimal rank.  [max_pareto] bounds the
+(** [compute problem] returns the optimal rank.  [hint]/[probe_fan] are
+    forwarded to {!search_tables} (same results, different probe
+    schedule).  [max_pareto] bounds the
     per-state Pareto set (default 8; larger is slower and only matters on
     adversarial instances).  If a build truncates a non-dominated state,
     the result could silently under-report the rank; by default

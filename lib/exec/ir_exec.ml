@@ -1,4 +1,18 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let hardware_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Spawning more domains than the hardware can run is a pure loss for
+   this CPU-bound workload: OCaml 5 minor collections are stop-the-world,
+   so every collection must wait for each runnable-but-descheduled domain
+   to get a timeslice and reach its safepoint.  Measured on the Table-4
+   bench leg (one core): jobs=4 took 5.1 s against 2.4 s sequential with
+   identical work — pure oversubscription, not GC frequency (the minor
+   heap ratchet below was already active).  Worker counts are therefore
+   clamped to the hardware parallelism unless a caller that {e wants}
+   contended multi-domain scheduling — the cross-domain determinism
+   tests, which exist to exercise real interleaving — opts out. *)
+let oversubscribe = Atomic.make false
+let set_allow_oversubscribe b = Atomic.set oversubscribe b
 
 let override = Atomic.make None
 
@@ -138,6 +152,7 @@ let seq_map f xs =
 
 let resolve_jobs jobs n =
   let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let j = if Atomic.get oversubscribe then j else min j (hardware_jobs ()) in
   min j (max 1 n)
 
 let parallel_map ?jobs f xs =

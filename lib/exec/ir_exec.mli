@@ -25,6 +25,16 @@
     calling domain — no domain is spawned, so existing single-threaded
     behavior (allocation pattern included) is exactly reproducible.
 
+    Whatever the request, the {e effective} worker count is additionally
+    clamped to {!hardware_jobs}: running more CPU-bound domains than
+    cores is a pure loss under OCaml 5's stop-the-world minor GC (each
+    collection waits for every runnable-but-descheduled domain to reach
+    a safepoint — measured 2x slower than sequential on the Table-4
+    bench leg at jobs=4 on one core).  Tests that deliberately want
+    contended multi-domain scheduling can lift the clamp with
+    {!set_allow_oversubscribe}.  Result bytes never depend on the
+    worker count either way.
+
     {2 Determinism and exceptions}
 
     [f] runs at most once per element.  Results land at the index of the
@@ -52,6 +62,16 @@
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], clamped to at least 1 —
     the hardware default before overrides. *)
+
+val hardware_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1 — the
+    ceiling on effective workers unless oversubscription is allowed. *)
+
+val set_allow_oversubscribe : bool -> unit
+(** [set_allow_oversubscribe true] lets an explicit [?jobs] (or
+    override/env) request spawn more workers than {!hardware_jobs}.
+    Off by default; meant for determinism tests that must exercise
+    real cross-domain interleaving even on small machines. *)
 
 val set_default_jobs : int option -> unit
 (** Install ([Some n], clamped to at least 1) or clear ([None]) the

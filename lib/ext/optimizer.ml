@@ -74,7 +74,7 @@ let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
     Ir_wld.Coarsen.bunch ~bunch_size
       (Ir_wld.Dist.map_length (fun l -> l *. pitch) wld)
   in
-  let evaluate ~structure ~pitch_scale ~thickness_scale =
+  let evaluate ?hint ~structure ~pitch_scale ~thickness_scale () =
     let stack = scaled_stack base_stack ~pitch_scale ~thickness_scale in
     match Ir_ia.Arch.make ~structure ~stack ~design () with
     | exception Invalid_argument _ -> None
@@ -82,7 +82,7 @@ let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
         let problem =
           Ir_assign.Problem.of_bunches ~target_model ~arch ~bunches ()
         in
-        let outcome = Ir_core.Rank_dp.compute problem in
+        let outcome = Ir_core.Rank_dp.compute ?hint problem in
         Some { structure; pitch_scale; thickness_scale; outcome }
   in
   (* Enumerate the grid first, then evaluate every candidate on the
@@ -102,18 +102,36 @@ let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
           knobs.global_pairs)
       knobs.semi_global_pairs
   in
+  let eval_combo ?hint (sg, gl, ps, ts) =
+    let structure =
+      { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
+        global_pairs = gl }
+    in
+    Logs.debug (fun f ->
+        f "optimizer: sg=%d gl=%d pitch=%.2f thick=%.2f" sg gl ps ts);
+    evaluate ?hint ~structure ~pitch_scale:ps ~thickness_scale:ts ()
+  in
+  (* The whole grid searches boundaries over the {e same} bunch sequence,
+     so one candidate's boundary is a decent warm start for every other.
+     Evaluate the first combo sequentially as the anchor, then fan the
+     rest out with its boundary as the hint — a fixed value independent
+     of scheduling, so probe counters stay deterministic under any job
+     count (and results are hint-independent anyway). *)
   let candidates =
-    List.filter_map Fun.id
-      (Ir_exec.parallel_list_map ?jobs
-         (fun (sg, gl, ps, ts) ->
-           let structure =
-             { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
-               global_pairs = gl }
-           in
-           Logs.debug (fun f ->
-               f "optimizer: sg=%d gl=%d pitch=%.2f thick=%.2f" sg gl ps ts);
-           evaluate ~structure ~pitch_scale:ps ~thickness_scale:ts)
-         combos)
+    match combos with
+    | [] -> []
+    | anchor_combo :: rest_combos ->
+        let anchor = eval_combo anchor_combo in
+        let hint =
+          match anchor with
+          | Some c when c.outcome.Ir_core.Outcome.assignable ->
+              Some c.outcome.Ir_core.Outcome.boundary_bunch
+          | _ -> None
+        in
+        let rest =
+          Ir_exec.parallel_list_map ?jobs (eval_combo ?hint) rest_combos
+        in
+        List.filter_map Fun.id (anchor :: rest)
   in
   match candidates with
   | [] -> invalid_arg "Optimizer.optimize: no buildable candidate"

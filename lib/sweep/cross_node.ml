@@ -23,9 +23,30 @@ let span_cell_search = Ir_obs.span "sweep/cross_search"
    (which dominates the matrix wall time) is dispatched first instead of
    possibly being claimed last by an otherwise-drained pool.  Results
    come back in matrix order.  The spans split the per-cell cost into
-   WLD + architecture construction vs rank search. *)
-let run ?jobs ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) ()
-    =
+   WLD + architecture construction vs rank search.
+
+   The matrix is typically {e narrower} than the pool (a handful of
+   cells), so once the small cells drain, spare domains idle while the
+   largest cell bisects alone.  The default [probe_fan] hands those
+   spare domains to the boundary search as speculative probes: with
+   [w] effective workers over [k] cells each search fans
+   [max 1 (w / k)] wide.  That default is machine-coupled (the probe
+   counters then depend on the core count); pass [~probe_fan:1] when
+   counter totals must be machine-independent. *)
+let run ?jobs ?probe_fan ?(bunch_size = 10000) ?structure
+    ?(matrix = default_matrix) () =
+  let probe_fan =
+    match probe_fan with
+    | Some f -> max 1 f
+    | None ->
+        let workers =
+          let requested =
+            match jobs with Some j -> j | None -> Ir_exec.default_jobs ()
+          in
+          min (max 1 requested) (Ir_exec.hardware_jobs ())
+        in
+        max 1 (workers / max 1 (List.length matrix))
+  in
   Array.to_list
     (Ir_exec.parallel_group_map ?jobs
        ~weight:(fun (_, gates) -> gates)
@@ -39,7 +60,7 @@ let run ?jobs ?(bunch_size = 10000) ?structure ?(matrix = default_matrix) ()
          in
          let outcome =
            Ir_obs.time span_cell_search @@ fun () ->
-           Ir_core.Rank.compute problem
+           Ir_core.Rank.compute ~probe_fan problem
          in
          { node; gates; outcome; seconds = Ir_exec.now () -. t0 })
        (Array.of_list matrix))

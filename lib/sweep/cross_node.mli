@@ -19,6 +19,7 @@ val default_matrix : (Ir_tech.Node.t * int) list
 
 val run :
   ?jobs:int ->
+  ?probe_fan:int ->
   ?bunch_size:int ->
   ?structure:Ir_ia.Arch.structure ->
   ?matrix:(Ir_tech.Node.t * int) list ->
@@ -28,4 +29,13 @@ val run :
     entry.  Gate counts of 10M are supported but take a few seconds
     each.  Cells are evaluated on the {!Ir_exec} pool ([?jobs]); the
     returned list keeps the matrix order and is independent of the job
-    count (timings aside). *)
+    count (timings aside).
+
+    [probe_fan] is forwarded to each cell's boundary search
+    ({!Ir_core.Rank.compute}): the matrix usually has fewer cells than
+    the pool has workers, so by default every search fans out over the
+    spare hardware parallelism ([effective workers / cells], at least
+    1) with speculative concurrent probes.  Results are identical for
+    any fan; the probe {e counters} scale with it, so pass
+    [~probe_fan:1] when counter totals must not depend on the
+    machine. *)

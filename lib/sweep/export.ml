@@ -154,7 +154,31 @@ let json_metrics (snap : Ir_obs.snapshot) =
              snap.Ir_obs.spans) );
     ]
 
-let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ~sweeps ~cross () =
+type parallel_report = {
+  requested_jobs : int;
+  effective_jobs : int;
+  jobs1_seconds : float;
+  jobsn_seconds : float;
+}
+
+let json_parallel p =
+  json_obj
+    [
+      ("requested_jobs", string_of_int p.requested_jobs);
+      ("effective_jobs", string_of_int p.effective_jobs);
+      ("jobs1_seconds", json_float p.jobs1_seconds);
+      ("jobsN_seconds", json_float p.jobsn_seconds);
+      ( "speedup",
+        json_float (p.jobs1_seconds /. Float.max 1e-9 p.jobsn_seconds) );
+      (* The machine-readable version of the bench's stdout warning: the
+         parallel table4 leg took longer than the sequential one, i.e.
+         parallelism lost to its own overhead on this machine/workload. *)
+      ( "parallel_regression",
+        if p.jobsn_seconds > p.jobs1_seconds then "true" else "false" );
+    ]
+
+let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ~sweeps
+    ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -203,12 +227,15 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ~sweeps ~cross () =
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/3");
+             ("schema", json_string "ia-rank/bench-sweeps/4");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
              );
            ]
+          @ (match parallel with
+            | None -> []
+            | Some p -> [ ("parallel", json_parallel p) ])
           @ (match kernel with
             | None -> []
             | Some ks ->

@@ -33,25 +33,42 @@ val write_manifest :
 val bench_json_path : dir:string -> string
 (** The file {!write_bench_json} writes: [<dir>/BENCH_sweeps.json]. *)
 
+type parallel_report = {
+  requested_jobs : int;  (** the [?jobs] the parallel leg asked for *)
+  effective_jobs : int;  (** workers after the {!Ir_exec} hardware clamp *)
+  jobs1_seconds : float;
+  jobsn_seconds : float;
+}
+(** Scaling summary of the two table4 legs, exported under ["parallel"]
+    with a derived ["speedup"] and a machine-readable
+    ["parallel_regression"] flag ([true] when the parallel leg was slower
+    than the sequential one — the condition the bench also warns about on
+    stdout). *)
+
 val write_bench_json :
   dir:string ->
   jobs:int ->
   timings:(string * float) list ->
   ?metrics:Ir_obs.snapshot ->
   ?kernel:(string * float) list ->
+  ?parallel:parallel_report ->
   sweeps:Table4.sweep list ->
   cross:Cross_node.cell list ->
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/3]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/4]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
     (e.g. the sequential and parallel table4 legs), an optional [kernel]
     timings object (flat name/seconds pairs from the kernel
     microbenchmarks — front insert cost, a timed phase-A build, the two
     table4 legs), an optional [metrics] object (an {!Ir_obs.snapshot}
     rendered as [{"counters": {name: int}, "gauges": {name: int},
-    "spans": {name: {"calls", "seconds"}}}]), every Table 4 row (param,
-    normalized rank, rank wires, exactness, per-point seconds) and the
-    cross-node cells.  [jobs] records the worker count of the parallel
-    leg. *)
+    "spans": {name: {"calls", "seconds"}}}] — since schema 4 the counters
+    include the phase-B probe economics: [suffix_fit/hits]/[misses],
+    [rank_dp/hinted_searches], [rank_dp/hint_saved_probes],
+    [rank_dp/probe_fan_rounds] and [greedy_fill/fast_fails]), an optional
+    [parallel] scaling report (see {!parallel_report}), every Table 4 row
+    (param, normalized rank, rank wires, exactness, per-point seconds)
+    and the cross-node cells.  [jobs] records the worker count the
+    parallel leg requested. *)

@@ -57,10 +57,20 @@ type def = {
 }
 
 (* A schedulable work unit of a (possibly fused multi-sweep) run.  The
-   pool parallelizes across tasks; table reuse happens within one. *)
+   pool parallelizes across tasks; table reuse — and boundary-hint
+   threading — happens within one.  [Each] points are grouped into
+   {e chains} of [chain_len] consecutive grid points: the rank boundary
+   is monotone along a sweep column, so each point's search warm-starts
+   from its chain predecessor's boundary ([?hint]).  The chain length is
+   a fixed constant — never derived from the job count — so the probe
+   and greedy-fill counter totals stay identical whatever the
+   parallelism; it only bounds how much column-locality one worker
+   exploits before the next chunk can start on another domain. *)
 type task =
-  | Point of { sweep : int; idx : int; param : float; spec : spec }
+  | Chain of { sweep : int; pts : (int * float * spec) array }
   | Budget_group of { sweep : int; pts : (int * float) array }
+
+let chain_len = 6
 
 let stat_points = Ir_obs.counter "sweep/points"
 let span_point_build = Ir_obs.span "sweep/point_build"
@@ -69,9 +79,12 @@ let span_point_search = Ir_obs.span "sweep/point_search"
 let def_length d =
   match d.d_points with Each pts -> List.length pts | Budgets fs -> List.length fs
 
-(* Rough relative cost, for heaviest-first dispatch: every task is about
-   one phase-A build; a budget group adds its per-fraction searches. *)
-let task_weight = function Point _ -> 1 | Budget_group _ -> 2
+(* Relative cost, for heaviest-first dispatch: a chain is about one
+   phase-A build per point; a budget group is one build plus cheap
+   shared-tables searches. *)
+let task_weight = function
+  | Chain { pts; _ } -> Array.length pts
+  | Budget_group _ -> 2
 
 let run_defs ?jobs config defs =
   let wld = shared_wld config in
@@ -116,9 +129,20 @@ let run_defs ?jobs config defs =
          (fun sweep d ->
            match d.d_points with
            | Each pts ->
-               List.mapi
-                 (fun idx (param, spec) -> Point { sweep; idx; param; spec })
-                 pts
+               let pts =
+                 Array.of_list
+                   (List.mapi (fun idx (param, spec) -> (idx, param, spec)) pts)
+               in
+               let n = Array.length pts in
+               List.init
+                 ((n + chain_len - 1) / chain_len)
+                 (fun chunk ->
+                   let lo = chunk * chain_len in
+                   Chain
+                     {
+                       sweep;
+                       pts = Array.sub pts lo (min chain_len (n - lo));
+                     })
            | Budgets fs ->
                [
                  Budget_group
@@ -130,23 +154,34 @@ let run_defs ?jobs config defs =
          defs)
   in
   let exec = function
-    | Point { sweep; idx; param; spec } ->
-        Logs.debug (fun f -> f "table4: param %.4g" param);
-        Ir_obs.incr stat_points;
-        let problem =
-          Ir_obs.time span_point_build @@ fun () ->
-          match (spec, base) with
-          | Rebuild materials, _ -> problem_of_materials materials
-          | Rescale_clock clock, Some base ->
-              Ir_assign.Problem.with_clock base clock
-          | Rescale_clock _, None -> assert false
-        in
-        let t0 = Ir_exec.now () in
-        let outcome =
-          Ir_obs.time span_point_search @@ fun () ->
-          Ir_core.Rank.compute ~algo:config.algo problem
-        in
-        [| (sweep, idx, { param; outcome; seconds = Ir_exec.now () -. t0 }) |]
+    | Chain { sweep; pts } ->
+        (* Consecutive grid points of one column: thread each point's
+           boundary into the next search as its warm-start hint.  The
+           hint chain restarts at every chunk boundary, so the hint a
+           point receives depends only on the (fixed) chunking — not on
+           which worker ran the previous chunk. *)
+        let hint = ref None in
+        Array.map
+          (fun (idx, param, spec) ->
+            Logs.debug (fun f -> f "table4: param %.4g" param);
+            Ir_obs.incr stat_points;
+            let problem =
+              Ir_obs.time span_point_build @@ fun () ->
+              match (spec, base) with
+              | Rebuild materials, _ -> problem_of_materials materials
+              | Rescale_clock clock, Some base ->
+                  Ir_assign.Problem.with_clock base clock
+              | Rescale_clock _, None -> assert false
+            in
+            let t0 = Ir_exec.now () in
+            let outcome =
+              Ir_obs.time span_point_search @@ fun () ->
+              Ir_core.Rank.compute ~algo:config.algo ?hint:!hint problem
+            in
+            if outcome.Ir_core.Outcome.assignable then
+              hint := Some outcome.Ir_core.Outcome.boundary_bunch;
+            (sweep, idx, { param; outcome; seconds = Ir_exec.now () -. t0 }))
+          pts
     | Budget_group { sweep; pts } ->
         Logs.debug (fun f ->
             f "table4: budget group of %d fractions" (Array.length pts));

@@ -723,6 +723,64 @@ let prop_search_budgets_matches_individual =
         true
       end)
 
+(* ---- phase-B probe scheduling: hints, probe fan, counter canary ------- *)
+
+let gen_hint_instance =
+  let open QCheck2.Gen in
+  let* inst = Helpers.gen_instance in
+  let* hint = int_range (-5) 30 in
+  return (inst, hint)
+
+let prop_hinted_search_matches_cold =
+  qtest ~count:100 "hinted and fanned searches match the cold search"
+    gen_hint_instance (fun ({ problem; label }, hint) ->
+      let tables = Ir_core.Rank_dp.build_tables problem in
+      let cold, cold_w = Ir_core.Rank_dp.search_tables tables in
+      let check name (o, w) =
+        if not (Ir_core.Outcome.equal cold o) || cold_w <> w then
+          QCheck2.Test.fail_reportf "%s: %s search diverges: %d/%b vs %d/%b"
+            label name cold.Ir_core.Outcome.rank_wires
+            cold.Ir_core.Outcome.assignable o.Ir_core.Outcome.rank_wires
+            o.Ir_core.Outcome.assignable
+        else true
+      in
+      (* A random (usually wrong) hint, the correct boundary, an
+         out-of-range hint, and a speculative fan: probe schedules differ,
+         outcome and witness must not. *)
+      check "random-hint" (Ir_core.Rank_dp.search_tables ~hint tables)
+      && check "exact-hint"
+           (Ir_core.Rank_dp.search_tables
+              ~hint:cold.Ir_core.Outcome.boundary_bunch tables)
+      && check "overshoot-hint"
+           (Ir_core.Rank_dp.search_tables
+              ~hint:(P.n_bunches problem + 17)
+              tables)
+      && check "fan" (Ir_core.Rank_dp.search_tables ~probe_fan:3 tables))
+
+let test_counter_canary () =
+  (* Frozen mid-size instance; the measured footprint when this canary was
+     recorded was 5483 witness probes and 733197 packed wires (with the
+     greedy-fill capacity screen already deflecting 75 of 83 suffix
+     checks).  The ceilings leave ~25% headroom: a change that bursts them
+     is doing materially more feasibility work per search and should be
+     understood, not ratified by bumping the numbers. *)
+  let p = baseline_130nm_small () in
+  let before = Ir_obs.snapshot () in
+  let o = Ir_core.Rank_dp.compute p in
+  let after = Ir_obs.snapshot () in
+  let delta name =
+    Option.value ~default:0 (Ir_obs.find_counter after name)
+    - Option.value ~default:0 (Ir_obs.find_counter before name)
+  in
+  Alcotest.(check bool) "canary assignable and exact" true
+    (o.assignable && o.exact);
+  let probes = delta "rank_dp/witness_probes" in
+  if probes > 7_000 then
+    Alcotest.failf "witness-probe budget burst: %d > 7000" probes;
+  let packed = delta "greedy_fill/wires_packed" in
+  if packed > 950_000 then
+    Alcotest.failf "greedy-fill packing budget burst: %d > 950000" packed
+
 let prop_default_search_exact =
   qtest ~count:100 "default search always reports exact"
     Helpers.gen_instance (fun { problem; label } ->
@@ -759,6 +817,9 @@ let () =
             test_pareto_overflow_widens;
           Alcotest.test_case "pareto truncation changes rank" `Quick
             test_pareto_truncation_changes_rank;
+          Alcotest.test_case "counter-budget canary" `Quick
+            test_counter_canary;
+          prop_hinted_search_matches_cold;
           prop_default_search_exact;
           prop_binary_matches_exhaustive;
           prop_dp_equals_brute;

@@ -1,9 +1,32 @@
 (* Tests for the Ir_exec domain pool: ordering determinism across worker
    counts, edge cases (empty input, more workers than items), exception
-   propagation, and the jobs-resolution chain. *)
+   propagation, and the jobs-resolution chain.
+
+   The suite opts into oversubscription: its multi-worker cases exist to
+   exercise real cross-domain scheduling (and to pin the historical
+   pool-stats shape), which the hardware clamp would otherwise collapse
+   to a single worker on a small CI box. *)
+let () = Ir_exec.set_allow_oversubscribe true
 
 let check_int_array msg expected actual =
   Alcotest.(check (array int)) msg expected actual
+
+let test_hardware_clamp () =
+  (* With oversubscription off (the default), an outsized [?jobs] request
+     spawns at most [hardware_jobs] workers; results are unaffected. *)
+  Ir_exec.set_allow_oversubscribe false;
+  Fun.protect ~finally:(fun () -> Ir_exec.set_allow_oversubscribe true)
+  @@ fun () ->
+  let xs = Array.init 64 (fun i -> i) in
+  check_int_array "clamped run matches" (Array.map (fun x -> x + 1) xs)
+    (Ir_exec.parallel_map ~jobs:16 (fun x -> x + 1) xs);
+  match Ir_exec.last_pool_stats () with
+  | None -> Alcotest.fail "no pool stats"
+  | Some st ->
+      Alcotest.(check int)
+        "workers clamped to hardware"
+        (min 16 (Ir_exec.hardware_jobs ()))
+        st.Ir_exec.jobs
 
 let test_matches_sequential () =
   let xs = Array.init 57 (fun i -> i) in
@@ -185,6 +208,7 @@ let () =
           Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
           Alcotest.test_case "recommended positive" `Quick
             test_recommended_positive;
+          Alcotest.test_case "hardware clamp" `Quick test_hardware_clamp;
         ] );
       ( "pool_stats",
         [

@@ -2,7 +2,12 @@
    snapshot/reset semantics, report rendering, lost-update safety under
    concurrent domains, and the cross-domain counter-determinism
    invariant — running the same rank computations at jobs=1 and jobs=4
-   must yield byte-identical counter snapshots. *)
+   must yield byte-identical counter snapshots.
+
+   Oversubscription is enabled so the jobs=4 legs really interleave
+   domains even on a one-core box — that contention is exactly what the
+   determinism tests exist to exercise. *)
+let () = Ir_exec.set_allow_oversubscribe true
 
 let test_counter_basics () =
   let c = Ir_obs.counter "test/basics_counter" in

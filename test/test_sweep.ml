@@ -254,6 +254,13 @@ let test_export () =
           ~timings:[ ("table4_jobs1_seconds", 1.25) ]
           ~metrics:(Ir_obs.snapshot ())
           ~kernel:[ ("front_insert_ns", 12.5) ]
+          ~parallel:
+            {
+              Ir_sweep.Export.requested_jobs = 4;
+              effective_jobs = 1;
+              jobs1_seconds = 1.25;
+              jobsn_seconds = 2.5;
+            }
           ~sweeps:[ sweep ] ~cross:[] ()
       with
       | Error e -> Alcotest.failf "write_bench_json: %s" e
@@ -268,8 +275,12 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/3\"";
+              "\"schema\":\"ia-rank/bench-sweeps/4\"";
               "\"jobs\":4";
+              "\"requested_jobs\":4";
+              "\"effective_jobs\":1";
+              "\"speedup\":0.5";
+              "\"parallel_regression\":true";
               "\"kernel\":{\"front_insert_ns\":12.5}";
               "\"gauges\":{";
               "\"table4_jobs1_seconds\":1.25";
