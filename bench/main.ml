@@ -291,6 +291,111 @@ let kernel_bench () =
     ("build_tables_seconds", build_s);
   ]
 
+(* Serving leg: replay a fixed query trace against an in-process rank
+   server — fresh cache, fresh warm-table pool — once at jobs=1 and once
+   at jobs=N, asserting the serve/serve_cache counter identity the rest
+   of the harness asserts for the DP counters.  The trace visits each
+   distinct query three times, so the steady-state hit rate is exactly
+   2/3 and every counter is trace-determined.  Runs after the sweep
+   metrics snapshot so its instruments never pollute the exported sweep
+   metrics (and resets the registry on exit for the same reason). *)
+let serving_bench () =
+  section "Serving leg: replayed query trace against the rank service";
+  let gates = if quick then 50_000 else 400_000 in
+  let fractions =
+    if quick then [ 0.3; 0.4; 0.5 ] else [ 0.2; 0.3; 0.4; 0.5; 0.6 ]
+  in
+  let nodes = if quick then [ "130nm" ] else [ "130nm"; "90nm" ] in
+  let distinct =
+    List.concat_map
+      (fun node -> List.map (fun f -> (node, f)) fractions)
+      nodes
+  in
+  let trace = distinct @ distinct @ distinct in
+  let replay jobs =
+    Ir_obs.reset ();
+    Ir_exec.with_default_jobs (Some jobs) @@ fun () ->
+    let cache =
+      match Ir_serve.Cache.create ~capacity:64 () with
+      | Ok c -> c
+      | Error e -> failwith ("serving leg: " ^ e)
+    in
+    let server = Ir_serve.Server.create ~workers:2 ~cache () in
+    let latencies =
+      List.mapi
+        (fun i (node, f) ->
+          let q =
+            Ir_serve.Protocol.query ~repeater_fraction:f ~node ~gates ()
+          in
+          let req =
+            {
+              Ir_serve.Protocol.id = Printf.sprintf "t%d" i;
+              op = Ir_serve.Protocol.Query q;
+            }
+          in
+          let t0 = Ir_exec.now () in
+          let resp = Ir_serve.Server.handle server req in
+          (match resp.Ir_serve.Protocol.body with
+          | Ir_serve.Protocol.Result _ -> ()
+          | Ir_serve.Protocol.Error e ->
+              failwith
+                ("serving leg: " ^ Ir_serve.Protocol.error_message e)
+          | _ -> failwith "serving leg: unexpected response body");
+          (Ir_exec.now () -. t0) *. 1e3)
+        trace
+    in
+    Ir_serve.Server.shutdown server;
+    Ir_serve.Server.join server;
+    (Ir_obs.filter ~prefix:"serve" (Ir_obs.snapshot ()), latencies)
+  in
+  let snap1, lat1 = replay 1 in
+  let snapn, _ = replay (par_jobs ()) in
+  if
+    not
+      (snap1.Ir_obs.counters = snapn.Ir_obs.counters
+      && snap1.Ir_obs.gauges = snapn.Ir_obs.gauges)
+  then begin
+    Format.printf "jobs=1 serving metrics:@.%a@." Ir_obs.pp_report snap1;
+    Format.printf "jobs=N serving metrics:@.%a@." Ir_obs.pp_report snapn;
+    failwith
+      "serving leg: serve counters differ between jobs=1 and jobs=N replays"
+  end;
+  Ir_obs.reset ();
+  let pct p =
+    let arr = Array.of_list lat1 in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    arr.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let counter name =
+    Option.value ~default:0 (Ir_obs.find_counter snap1 name)
+  in
+  let hits =
+    counter "serve_cache/mem_hits" + counter "serve_cache/disk_hits"
+  in
+  let misses = counter "serve_cache/misses" in
+  let report =
+    {
+      Ir_sweep.Export.trace_requests = List.length trace;
+      distinct_queries = List.length distinct;
+      hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses));
+      p50_ms = pct 0.50;
+      p95_ms = pct 0.95;
+      p99_ms = pct 0.99;
+      computes = counter "serve/computes";
+      table_builds = counter "serve/table_builds";
+      counters_match = true;
+    }
+  in
+  Format.printf
+    "%d requests (%d distinct): hit rate %.2f, latency p50 %.1f / p95 %.1f \
+     / p99 %.1f ms@.computes %d, warm-table builds %d, jobs=1 vs jobs=N \
+     counters identical@."
+    report.trace_requests report.distinct_queries report.hit_rate
+    report.p50_ms report.p95_ms report.p99_ms report.computes
+    report.table_builds;
+  report
+
 let experiment_runtime_claim () =
   section "E8: runtime claim (paper: < 200 s per rank on a 2003 Xeon)";
   let rows =
@@ -671,7 +776,8 @@ let study_netlist () =
      lengths; the@.closed form the paper adopts in footnote 2 tracks the \
      measured shape.)@."
 
-let export_artifacts ?metrics ?kernel ?parallel sweeps cells timings =
+let export_artifacts ?metrics ?kernel ?parallel ?serving sweeps cells timings
+    =
   section "Artifacts";
   let dir = results_dir () in
   (match Ir_sweep.Export.write_sweeps ~dir sweeps with
@@ -685,7 +791,7 @@ let export_artifacts ?metrics ?kernel ?parallel sweeps cells timings =
         (parallel table4 leg plus cross-node), before the kernel
         microbenchmarks pollute the span registry. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ?metrics ?kernel ?parallel ~sweeps ~cross:cells ()
+       ?metrics ?kernel ?parallel ?serving ~sweeps ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);
@@ -700,7 +806,20 @@ let export_artifacts ?metrics ?kernel ?parallel sweeps cells timings =
                   (Ir_sweep.Report.correlation
                      (Ir_sweep.Table4.normalized s)
                      s.paper) ))
-            sweeps)
+            sweeps
+        @
+        match serving with
+        | None -> []
+        | Some (s : Ir_sweep.Export.serving_report) ->
+            [
+              ( "serving",
+                Printf.sprintf
+                  "%d requests (%d distinct): hit rate %.2f, p95 %.1f ms, \
+                   counters %s"
+                  s.trace_requests s.distinct_queries s.hit_rate s.p95_ms
+                  (if s.counters_match then "jobs-identical" else "MISMATCH")
+              );
+            ])
   with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "manifest export failed: %s@." e
@@ -830,10 +949,11 @@ let () =
       let sweeps, timings, legs = experiment_table4 () in
       let cells = experiment_cross_node () in
       let metrics = Ir_obs.snapshot () in
+      let serving = serving_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        sweeps cells timings
+        ~serving sweeps cells timings
   | `All ->
       experiment_tables ();
       let sweeps, timings, legs = experiment_table4 () in
@@ -856,9 +976,10 @@ let () =
       study_anneal ();
       study_variation ();
       study_netlist ();
+      let serving = serving_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        sweeps cells timings;
+        ~serving sweeps cells timings;
       run_bechamel ());
   Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

@@ -7,7 +7,17 @@
      cross      baseline ranks across nodes and design sizes
      figure2    the greedy-vs-optimal counterexample
      tables     print the paper's Table 2/3 parameter tables
-     optimize   direct IA optimization by rank (Section 6 future work) *)
+     optimize   direct IA optimization by rank (Section 6 future work)
+     serve      rank query daemon (unix socket or stdio)
+     query      client for a running serve daemon
+
+   Exit codes: 0 success, 1 operational error (I/O, protocol, invalid
+   input), 2 domain verdicts (unassignable design, no sufficient
+   structure); cmdliner itself answers malformed command lines (unknown
+   node, unparsable flag, unknown subcommand) with its documented 124.
+   Every error path must land on a non-zero exit — [guard]
+   below converts stray exceptions from library code into a clean
+   message and exit 1 instead of a backtrace. *)
 
 open Cmdliner
 
@@ -145,18 +155,42 @@ let design_of ~node ~gates ~clock ~fraction =
   Ir_tech.Design.v ~node ~gates ~clock:(clock *. 1e9)
     ~repeater_fraction:fraction ()
 
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "ia_rank: %s@." msg;
+      exit 1)
+    fmt
+
+(* Wrap every subcommand body: library preconditions and I/O failures
+   become a one-line message and exit 1 (Cmdliner's own catch-all would
+   exit 125 with a backtrace, which scripts cannot distinguish from a
+   crash). *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg -> fail "%s" msg
+  | Unix.Unix_error (e, fn, arg) ->
+      fail "%s%s: %s" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e)
+
 let write_csv path f =
   let buf = Buffer.create 1024 in
   f buf;
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Format.printf "wrote %s@." path
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Buffer.contents buf))
+  with
+  | () -> Format.printf "wrote %s@." path
+  | exception Sys_error msg -> fail "cannot write %s: %s" path msg
 
 (* ---- rank ------------------------------------------------------------- *)
 
 let rank_cmd =
   let run () jobs node gates clock fraction k m bunch_size algo stats =
+    guard @@ fun () ->
     set_jobs jobs;
     let design = design_of ~node ~gates ~clock ~fraction in
     let materials = Ir_ia.Materials.v ~k ~miller:m () in
@@ -189,6 +223,7 @@ let table4_cmd =
           ~doc:"Comma-separated subset of K,M,C,R.")
   in
   let run () jobs node gates bunch_size columns csv stats =
+    guard @@ fun () ->
     set_jobs jobs;
     let design = Ir_core.Rank.baseline_design ~gates node in
     let config =
@@ -242,6 +277,7 @@ let table4_cmd =
 
 let cross_cmd =
   let run () jobs bunch_size stats =
+    guard @@ fun () ->
     set_jobs jobs;
     let matrix =
       [
@@ -262,6 +298,7 @@ let cross_cmd =
 
 let figure2_cmd =
   let run () =
+    guard @@ fun () ->
     let s = Ir_sweep.Figure2.scenario () in
     Format.printf "greedy:  %a@." Ir_core.Outcome.pp_human s.greedy;
     Format.printf "optimal: %a@." Ir_core.Outcome.pp_human s.optimal;
@@ -293,16 +330,24 @@ let tables_cmd =
 
 let assign_cmd =
   let run () node gates clock fraction k m bunch_size =
+    guard @@ fun () ->
     let design = design_of ~node ~gates ~clock ~fraction in
     let materials = Ir_ia.Materials.v ~k ~miller:m () in
     let problem =
       Ir_core.Rank.problem_of_design ~materials ~bunch_size design
     in
     let a = Ir_core.Assignment.extract problem in
-    (match Ir_core.Assignment.check problem a with
-    | Ok () -> ()
-    | Error e -> Format.printf "WITNESS INVALID: %s@." e);
-    Format.printf "%a@." (Ir_core.Assignment.pp_human problem) a
+    let witness_ok =
+      match Ir_core.Assignment.check problem a with
+      | Ok () -> true
+      | Error e ->
+          Format.printf "WITNESS INVALID: %s@." e;
+          false
+    in
+    Format.printf "%a@." (Ir_core.Assignment.pp_human problem) a;
+    (* An invalid witness is an internal-consistency failure, not a
+       result — scripts must see it in the exit status. *)
+    if not witness_ok then exit 1
   in
   Cmd.v
     (Cmd.info "assign"
@@ -322,6 +367,7 @@ let layers_cmd =
           ~doc:"Normalized rank target; default checks assignability only.")
   in
   let run () node gates bunch_size target =
+    guard @@ fun () ->
     let design = Ir_core.Rank.baseline_design ~gates node in
     let result =
       match target with
@@ -359,6 +405,7 @@ let ntier_cmd =
       & info [ "tiers" ] ~docv:"N" ~doc:"Number of n-tier wiring tiers.")
   in
   let run () node gates bunch_size tiers =
+    guard @@ fun () ->
     let design = Ir_core.Rank.baseline_design ~gates node in
     List.iter
       (fun (t : Ir_ext.Ntier.tier) ->
@@ -392,6 +439,7 @@ let optimize_cmd =
           ~doc:"Also refine with simulated annealing for $(docv) steps.")
   in
   let run () jobs node gates clock fraction bunch_size anneal_steps stats =
+    guard @@ fun () ->
     set_jobs jobs;
     let design = design_of ~node ~gates ~clock ~fraction in
     let best, all = Ir_ext.Optimizer.optimize ~bunch_size design in
@@ -440,6 +488,7 @@ let wld_cmd =
                 one.")
   in
   let run () gates rent save load =
+    guard @@ fun () ->
     let wld =
       match load with
       | Some path -> (
@@ -489,6 +538,7 @@ let variation_cmd =
                 parameter.")
   in
   let run () node gates bunch_size samples sigma =
+    guard @@ fun () ->
     let design = Ir_core.Rank.baseline_design ~gates node in
     let spec =
       { Ir_ext.Variation.sigma_k = sigma; sigma_miller = sigma;
@@ -504,6 +554,204 @@ let variation_cmd =
        ~doc:"Rank sensitivity to electrical-parameter uncertainty.")
     Term.(const run $ logs_term $ node $ gates $ bunch_size $ samples $ sigma)
 
+(* ---- serve ------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve one line-delimited session on stdin/stdout instead \
+                of listening on a socket.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist results under $(docv) (validated on read; survives \
+                restarts).")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"In-memory result cache capacity (LRU).")
+  in
+  let table_pool =
+    Arg.(
+      value & opt int 8
+      & info [ "table-pool" ] ~docv:"N"
+          ~doc:"Warm DP-table families kept resident (LRU).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Pending-request bound; requests beyond it are shed with a \
+                retryable overloaded error.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Computation worker threads.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 300.
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline; a waiter past it receives a timeout \
+                error while the computation still populates the cache.")
+  in
+  let run () stdio socket cache_dir cache_entries table_pool queue_capacity
+      workers request_timeout stats =
+    guard @@ fun () ->
+    let cache =
+      match Ir_serve.Cache.create ~capacity:cache_entries ?dir:cache_dir () with
+      | Ok c -> c
+      | Error e -> fail "cache: %s" e
+    in
+    let srv =
+      Ir_serve.Server.create ~workers ~queue_capacity ~table_pool
+        ~request_timeout ~cache ()
+    in
+    let finish () =
+      Ir_serve.Server.shutdown srv;
+      Ir_serve.Server.join srv;
+      print_stats stats
+    in
+    if stdio then begin
+      Ir_serve.Server.serve_stdio srv stdin stdout;
+      finish ()
+    end
+    else
+      match socket with
+      | None -> fail "serve needs either --socket PATH or --stdio"
+      | Some path ->
+          (* [shutdown] is an atomic flag plus a self-pipe write, so it is
+             safe to call straight from the signal handler; the accept
+             loop notices via select and drains. *)
+          let stop _ = Ir_serve.Server.shutdown srv in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Logs.app (fun m -> m "serving on %s" path);
+          (match Ir_serve.Server.serve_unix srv ~socket:path with
+          | Ok () -> ()
+          | Error e -> fail "serve: %s" e);
+          finish ()
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ stdio $ socket_arg $ cache_dir $ cache_entries
+      $ table_pool $ queue_capacity $ workers $ request_timeout $ stats_flag)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the rank query daemon: content-addressed result cache, \
+             request coalescing, warm DP-table reuse.")
+    term
+
+(* ---- query ------------------------------------------------------------ *)
+
+let query_cmd =
+  let rent =
+    Arg.(
+      value & opt float 0.6
+      & info [ "rent" ] ~docv:"P" ~doc:"Rent exponent of the Davis WLD.")
+  in
+  let fan_out =
+    Arg.(
+      value & opt float 3.0
+      & info [ "fan-out" ] ~docv:"F" ~doc:"Average fan-out of the Davis WLD.")
+  in
+  let wld_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wld" ] ~docv:"FILE"
+          ~doc:"Send the WLD from $(docv) (CSV, strictly ascending \
+                lengths) instead of the design's Davis distribution.")
+  in
+  let greedy =
+    Arg.(
+      value & flag
+      & info [ "greedy" ] ~doc:"Use the greedy baseline algorithm.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the canonical result payload (JSON) instead of the \
+                human form.")
+  in
+  let ping =
+    Arg.(
+      value & flag
+      & info [ "ping" ] ~doc:"Just check that the server is answering.")
+  in
+  let run () socket node gates clock fraction k m bunch_size rent fan_out
+      wld_file greedy json ping =
+    guard @@ fun () ->
+    let socket =
+      match socket with
+      | Some s -> s
+      | None -> fail "query needs --socket PATH"
+    in
+    let client =
+      match Ir_serve.Client.connect ~socket with
+      | Ok c -> c
+      | Error e -> fail "%s" e
+    in
+    Fun.protect ~finally:(fun () -> Ir_serve.Client.close client)
+    @@ fun () ->
+    if ping then (
+      match Ir_serve.Client.ping client with
+      | Ok () -> Format.printf "pong@."
+      | Error e -> fail "%s" e)
+    else begin
+      let wld_csv =
+        Option.map
+          (fun path ->
+            match In_channel.with_open_text path In_channel.input_all with
+            | s -> s
+            | exception Sys_error e -> fail "cannot read %s: %s" path e)
+          wld_file
+      in
+      let q =
+        Ir_serve.Protocol.query ~rent_p:rent ~fan_out ~clock:(clock *. 1e9)
+          ~repeater_fraction:fraction ~k ~miller:m ~bunch_size ~greedy
+          ?wld_csv
+          ~node:(Ir_tech.Node.name node)
+          ~gates ()
+      in
+      match Ir_serve.Client.query client q with
+      | Error e -> fail "%s" e
+      | Ok (outcome, source, payload) ->
+          if json then print_string (payload ^ "\n")
+          else
+            Format.printf "%a@.(served from %s)@." Ir_core.Outcome.pp_human
+              outcome source;
+          if not outcome.assignable then exit 2
+    end
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ socket_arg $ node $ gates $ clock $ fraction
+      $ permittivity $ miller $ bunch_size $ rent $ fan_out $ wld_file
+      $ greedy $ json $ ping)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Ask a running serve daemon for a rank (exit 2 when the design \
+             is unassignable, like $(b,rank)).")
+    term
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -515,4 +763,4 @@ let () =
                 reproduction).")
           [ rank_cmd; table4_cmd; cross_cmd; figure2_cmd; tables_cmd;
             assign_cmd; layers_cmd; ntier_cmd; optimize_cmd; wld_cmd;
-            variation_cmd ]))
+            variation_cmd; serve_cmd; query_cmd ]))

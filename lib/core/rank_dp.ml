@@ -563,6 +563,17 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
               (P.with_repeater_fraction problem f))
           fractions
 
+let build_tables_widened = build_widened
+
+(* The serving layer's warm path: one pool entry's tables (built at the
+   full repeater budget) answer any smaller fraction of the same family.
+   Soundness is the [search_budgets] displacement argument above — the
+   caller must check [table_truncations t = 0] before relying on
+   exactness (the server falls back to a cold compute otherwise). *)
+let search_tables_rebudget ?memo ?hint ?probe_fan ~fraction tables =
+  search_tables ?memo ?hint ?probe_fan
+    { tables with problem = P.with_repeater_fraction tables.problem fraction }
+
 let feasible_boundary ?(max_pareto = 8) problem c =
   if unfittable problem then false
   else feasible (build_tables ~max_pareto problem) c

@@ -105,6 +105,36 @@ val search_tables :
 val default_widen_cap : int
 (** Default ceiling (128) for [widen_cap] below. *)
 
+val build_tables_widened :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  Ir_assign.Problem.t ->
+  tables
+(** {!build_tables} behind the widening ladder {!compute} uses: on Pareto
+    overflow the build retries with [max_pareto] doubled (first retry
+    unconditionally, then only while each doubling at least halves the
+    truncation count, up to [widen_cap]).  This is how long-lived table
+    holders — the {!Ir_serve} warm pool — get the same
+    exactness-restoring behaviour as one-shot computes; check
+    {!table_truncations} on the result before relying on exactness. *)
+
+val search_tables_rebudget :
+  ?memo:Ir_assign.Suffix_fit.t ->
+  ?hint:int ->
+  ?probe_fan:int ->
+  fraction:float ->
+  tables ->
+  Outcome.t * witness option
+(** {!search_tables} with the problem's repeater fraction rebound to
+    [fraction] first.  Exact — byte-identical to a cold {!compute} at
+    [fraction] — iff [fraction] does not exceed the fraction the tables
+    were built at {e and} [table_truncations t = 0] (the
+    {!search_budgets} displacement argument); callers must fall back to
+    a fresh compute otherwise.  This is the warm path of the serving
+    layer's table pool: tables built once at fraction 1.0 answer every
+    repeater fraction of the (node, architecture, WLD, clock) family. *)
+
 val search_budgets :
   ?max_pareto:int ->
   ?widen_on_overflow:bool ->

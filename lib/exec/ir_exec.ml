@@ -19,6 +19,11 @@ let override = Atomic.make None
 let set_default_jobs jobs =
   Atomic.set override (Option.map (fun j -> max 1 j) jobs)
 
+let with_default_jobs jobs f =
+  let saved = Atomic.get override in
+  set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Atomic.set override saved) f
+
 let env_jobs () =
   match Sys.getenv_opt "IA_RANK_JOBS" with
   | None -> None

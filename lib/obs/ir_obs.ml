@@ -113,6 +113,17 @@ let reset () =
           Atomic.set s.ns 0)
         spans)
 
+let filter ~prefix snap =
+  let keep (name, _) =
+    String.length name >= String.length prefix
+    && String.sub name 0 (String.length prefix) = prefix
+  in
+  {
+    counters = List.filter keep snap.counters;
+    gauges = List.filter keep snap.gauges;
+    spans = List.filter keep snap.spans;
+  }
+
 let find_counter snap name = List.assoc_opt name snap.counters
 let find_gauge snap name = List.assoc_opt name snap.gauges
 let find_span snap name = List.assoc_opt name snap.spans

@@ -103,6 +103,11 @@ val reset : unit -> unit
 (** Zero every registered counter and span (registrations survive, so
     handles cached by instrumented modules remain valid). *)
 
+val filter : prefix:string -> snapshot -> snapshot
+(** The sub-snapshot of instruments whose names start with [prefix]
+    (e.g. [~prefix:"serve"] isolates the serving layer's counters for
+    the bench's determinism comparison). *)
+
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option
 val find_span : snapshot -> string -> span_stat option

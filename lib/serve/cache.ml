@@ -1,0 +1,204 @@
+let stat_mem_hits = Ir_obs.counter "serve_cache/mem_hits"
+let stat_disk_hits = Ir_obs.counter "serve_cache/disk_hits"
+let stat_misses = Ir_obs.counter "serve_cache/misses"
+let stat_evictions = Ir_obs.counter "serve_cache/evictions"
+let stat_disk_corrupt = Ir_obs.counter "serve_cache/disk_corrupt"
+let stat_disk_errors = Ir_obs.counter "serve_cache/disk_errors"
+let stat_stores = Ir_obs.counter "serve_cache/stores"
+
+(* ---- in-memory LRU ---------------------------------------------------- *)
+
+(* Classic doubly-linked recency list + hashtable.  [head] is the most
+   recently used end, [tail] the next eviction victim.  All mutation
+   happens under the cache lock. *)
+type node = {
+  digest : string;
+  payload : string;
+  mutable prev : node option;  (* towards head (more recent) *)
+  mutable next : node option;  (* towards tail (less recent) *)
+}
+
+type t = {
+  capacity : int;
+  dir : string option;
+  lock : Mutex.t;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+(* Insert or refresh under the lock; evicts past capacity. *)
+let mem_store_locked t ~digest payload =
+  (match Hashtbl.find_opt t.table digest with
+  | Some n -> unlink t n; Hashtbl.remove t.table digest
+  | None -> ());
+  let n = { digest; payload; prev = None; next = None } in
+  push_front t n;
+  Hashtbl.replace t.table digest n;
+  while Hashtbl.length t.table > t.capacity do
+    match t.tail with
+    | None -> assert false
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.digest;
+        Ir_obs.incr stat_evictions
+  done
+
+let mem_find_locked t ~digest =
+  match Hashtbl.find_opt t.table digest with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.payload
+
+(* ---- on-disk store ---------------------------------------------------- *)
+
+(* Entry file layout (text, four lines):
+     ia-rank/cache/1
+     digest: <fingerprint digest hex>
+     payload-md5: <hex md5 of the payload line, without its newline>
+     <payload>
+   The schema tag versions the whole serving stack's result semantics: a
+   future PR that changes what a payload means bumps it and every old
+   entry self-invalidates on load. *)
+let schema_tag = "ia-rank/cache/1"
+
+let entry_path ~dir ~digest =
+  (* Digests are hex, so the filename needs no escaping; reject anything
+     else outright rather than building a traversal path. *)
+  if
+    digest = ""
+    || String.exists
+         (fun c ->
+           not
+             ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+             || (c >= 'A' && c <= 'F')))
+         digest
+  then invalid_arg "Cache.entry_path: digest is not hex";
+  Filename.concat dir (digest ^ ".entry")
+
+let render_entry ~digest payload =
+  String.concat ""
+    [
+      schema_tag; "\n"; "digest: "; digest; "\n"; "payload-md5: ";
+      Digest.to_hex (Digest.string payload); "\n"; payload; "\n";
+    ]
+
+let disk_store t ~digest payload =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      (* Temp-file + rename: concurrent servers sharing a cache dir (or a
+         crash mid-write) can never publish a torn entry — readers see
+         the old file or the complete new one. *)
+      match
+        let tmp =
+          Filename.temp_file ~temp_dir:dir ("." ^ digest) ".tmp"
+        in
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (render_entry ~digest payload));
+        Sys.rename tmp (entry_path ~dir ~digest)
+      with
+      | () -> ()
+      | exception Sys_error _ -> Ir_obs.incr stat_disk_errors)
+
+let discard_corrupt ~path =
+  Ir_obs.incr stat_disk_corrupt;
+  try Sys.remove path with Sys_error _ -> ()
+
+(* Validate everything before believing anything: schema tag, recorded
+   digest vs the digest requested, payload checksum.  The filename alone
+   proves nothing (an attacker or a confused sync tool can rename
+   files). *)
+let disk_find t ~digest =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = entry_path ~dir ~digest in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error _ -> None (* absent: a plain miss, not corruption *)
+      | contents -> (
+          match String.split_on_char '\n' contents with
+          | [ tag; digest_line; md5_line; payload; "" ]
+            when tag = schema_tag
+                 && digest_line = "digest: " ^ digest
+                 && md5_line
+                    = "payload-md5: "
+                      ^ Digest.to_hex (Digest.string payload) ->
+              Some payload
+          | _ ->
+              discard_corrupt ~path;
+              None))
+
+(* ---- public API ------------------------------------------------------- *)
+
+let create ?(capacity = 512) ?dir () =
+  let capacity = max 1 capacity in
+  let make () =
+    {
+      capacity;
+      dir;
+      lock = Mutex.create ();
+      table = Hashtbl.create (2 * capacity);
+      head = None;
+      tail = None;
+    }
+  in
+  match dir with
+  | None -> Ok (make ())
+  | Some d -> (
+      match Ir_sweep.Export.ensure_dir d with
+      | Ok () -> Ok (make ())
+      | Error e -> Error e)
+
+type source = Memory | Disk
+
+let find t ~digest =
+  match with_lock t (fun () -> mem_find_locked t ~digest) with
+  | Some payload ->
+      Ir_obs.incr stat_mem_hits;
+      Some (payload, Memory)
+  | None -> (
+      match disk_find t ~digest with
+      | Some payload ->
+          (* Promote: the next lookup is a memory hit. *)
+          with_lock t (fun () -> mem_store_locked t ~digest payload);
+          Ir_obs.incr stat_disk_hits;
+          Some (payload, Disk)
+      | None ->
+          Ir_obs.incr stat_misses;
+          None)
+
+let store t ~digest payload =
+  Ir_obs.incr stat_stores;
+  with_lock t (fun () -> mem_store_locked t ~digest payload);
+  disk_store t ~digest payload
+
+let mem_count t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let mem_keys_lru_first t =
+  with_lock t (fun () ->
+      let rec walk acc = function
+        | None -> acc
+        | Some n -> walk (n.digest :: acc) n.next
+      in
+      (* Walk head->tail collects most-recent-first; the accumulator
+         reverses it into LRU-first. *)
+      walk [] t.head)

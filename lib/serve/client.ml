@@ -1,0 +1,103 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          next_id = 0;
+        }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket
+           (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t op =
+  let ( let* ) = Result.bind in
+  t.next_id <- t.next_id + 1;
+  let id = Printf.sprintf "c%d" t.next_id in
+  let* () =
+    match
+      Out_channel.output_string t.oc
+        (Protocol.encode_request { Protocol.id; op });
+      Out_channel.output_char t.oc '\n';
+      Out_channel.flush t.oc
+    with
+    | () -> Ok ()
+    | exception Sys_error e -> Error ("send failed: " ^ e)
+  in
+  let* line =
+    match In_channel.input_line t.ic with
+    | Some l -> Ok l
+    | None -> Error "server closed the connection"
+    | exception Sys_error e -> Error ("receive failed: " ^ e)
+  in
+  let* resp = Protocol.decode_response line in
+  if resp.Protocol.id <> id then
+    Error
+      (Printf.sprintf "response id %S does not match request id %S"
+         resp.Protocol.id id)
+  else Ok resp.Protocol.body
+
+let ping t =
+  match request t Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok (Protocol.Error e) -> Error (Protocol.error_message e)
+  | Ok _ -> Error "unexpected response to ping"
+  | Error e -> Error e
+
+let stats t =
+  match request t Protocol.Stats with
+  | Ok (Protocol.Stats_reply kvs) -> Ok kvs
+  | Ok (Protocol.Error e) -> Error (Protocol.error_message e)
+  | Ok _ -> Error "unexpected response to stats"
+  | Error e -> Error e
+
+let outcome_of_payload payload =
+  let ( let* ) = Result.bind in
+  let* j = Json.of_string payload in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let bool k = Option.bind (Json.member k j) Json.to_bool in
+  match (int "rank_wires", int "total_wires", bool "assignable",
+         int "boundary_bunch", bool "exact")
+  with
+  | Some rank_wires, Some total_wires, Some assignable, Some boundary_bunch,
+    Some exact -> (
+      match
+        Ir_core.Outcome.v ~exact ~rank_wires ~total_wires ~assignable
+          ~boundary_bunch ()
+      with
+      | o -> Ok o
+      | exception Invalid_argument m -> Error ("inconsistent outcome: " ^ m))
+  | _ -> Error "result payload is missing outcome fields"
+
+let query t q =
+  match request t (Protocol.Query q) with
+  | Ok (Protocol.Result { source; payload }) -> (
+      match outcome_of_payload payload with
+      | Ok outcome -> Ok (outcome, source, payload)
+      | Error e -> Error e)
+  | Ok (Protocol.Error e) ->
+      Error
+        (Printf.sprintf "%s: %s"
+           (match e with
+           | Protocol.Bad_request _ -> "bad request"
+           | Protocol.Overloaded -> "overloaded"
+           | Protocol.Timeout -> "timeout"
+           | Protocol.Shutting_down -> "shutting down"
+           | Protocol.Internal _ -> "internal error")
+           (Protocol.error_message e))
+  | Ok _ -> Error "unexpected response to query"
+  | Error e -> Error e

@@ -1,0 +1,161 @@
+type algo = Dp | Greedy
+
+type t = {
+  node : Ir_tech.Node.t;
+  gates : int;
+  rent_p : float;
+  fan_out : float;
+  clock : float;
+  repeater_fraction : float;
+  k : float;
+  miller : float;
+  bunch_size : int;
+  structure : Ir_ia.Arch.structure;
+  algo : algo;
+  wld : Ir_wld.Dist.t option;
+}
+
+let algo_name = function Dp -> "dp" | Greedy -> "greedy"
+
+let design q =
+  Ir_tech.Design.v ~node:q.node ~gates:q.gates ~rent_p:q.rent_p
+    ~fan_out:q.fan_out ~clock:q.clock ~repeater_fraction:q.repeater_fraction
+    ()
+
+let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 0.5e9)
+    ?(repeater_fraction = 0.4) ?(k = 3.9) ?(miller = 2.0)
+    ?(bunch_size = 10_000) ?(structure = Ir_ia.Arch.baseline_structure)
+    ?(algo = Dp) ?wld ~node ~gates () =
+  match Ir_tech.Node.of_string node with
+  | None ->
+      Error
+        (Printf.sprintf
+           "unknown node %S (use 180nm, 130nm, 90nm or a feature size such \
+            as 65nm)"
+           node)
+  | Some node -> (
+      let q =
+        {
+          node;
+          gates;
+          rent_p;
+          fan_out;
+          clock;
+          repeater_fraction;
+          k;
+          miller;
+          bunch_size;
+          structure;
+          algo;
+          wld;
+        }
+      in
+      if bunch_size <= 0 then Error "bunch_size must be positive"
+      else
+        (* Drive every remaining validation through the real constructors
+           so the accepted query space is exactly what the pipeline can
+           compute: design parameters, materials, the structure-vs-stack
+           compatibility check, and (when no WLD is inline) the Davis
+           parameter ranges. *)
+        match
+          let d = design q in
+          let materials = Ir_ia.Materials.v ~k ~miller () in
+          let (_ : Ir_ia.Arch.t) =
+            Ir_ia.Arch.make ~structure ~materials ~design:d ()
+          in
+          (match wld with
+          | None ->
+              ignore (Ir_wld.Davis.params ~gates ~rent_p ~fan_out ())
+          | Some w ->
+              if Ir_wld.Dist.is_empty w then invalid_arg "empty WLD");
+          q
+        with
+        | q -> Ok q
+        | exception Invalid_argument msg -> Error msg)
+
+let version_tag = "ia-rank/fingerprint/1"
+
+(* %.17g round-trips every finite float, so bit-equal parameters — and
+   only those — canonicalize identically. *)
+let fl = Printf.sprintf "%.17g"
+
+let canonical_fields q =
+  [
+    ("algo", algo_name q.algo);
+    ("bunch_size", string_of_int q.bunch_size);
+    ("clock_hz", fl q.clock);
+    ("fan_out", fl q.fan_out);
+    ("gates", string_of_int q.gates);
+    ("k", fl q.k);
+    ("miller", fl q.miller);
+    ("node", Ir_tech.Node.name q.node);
+    ("rent_p", fl q.rent_p);
+    ("repeater_fraction", fl q.repeater_fraction);
+    ( "structure",
+      Printf.sprintf "%d,%d,%d" q.structure.Ir_ia.Arch.local_pairs
+        q.structure.Ir_ia.Arch.semi_global_pairs
+        q.structure.Ir_ia.Arch.global_pairs );
+    ( "wld",
+      match q.wld with
+      | None -> "davis"
+      (* The inline WLD contributes the digest of its canonical CSV
+         rendering (ascending merged bins), so equal distributions —
+         whatever order the client listed them in — fingerprint equal. *)
+      | Some w ->
+          "inline:" ^ Digest.to_hex (Digest.string (Ir_wld.Io.to_string w))
+    );
+  ]
+
+let canonical_of_fields fields =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf version_tag;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\n')
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) fields);
+  Buffer.contents buf
+
+let canonical q = canonical_of_fields (canonical_fields q)
+let digest q = Digest.to_hex (Digest.string (canonical q))
+
+(* The warm-table pool serves every repeater fraction of a family from
+   tables built once at the full budget, and the algorithm choice never
+   enters phase A — mask both out of the key. *)
+let table_key q =
+  let masked =
+    List.map
+      (function
+        | "repeater_fraction", _ -> ("repeater_fraction", "*")
+        | "algo", _ -> ("algo", "*")
+        | kv -> kv)
+      (canonical_fields q)
+  in
+  Digest.to_hex (Digest.string (canonical_of_fields masked))
+
+let problem q =
+  let d = design q in
+  let materials = Ir_ia.Materials.v ~k:q.k ~miller:q.miller () in
+  let arch =
+    Ir_ia.Arch.make ~structure:q.structure ~materials ~design:d ()
+  in
+  let wld =
+    match q.wld with
+    | Some w -> w
+    | None ->
+        Ir_wld.Davis.generate
+          (Ir_wld.Davis.params ~gates:q.gates ~rent_p:q.rent_p
+             ~fan_out:q.fan_out ())
+  in
+  Ir_assign.Problem.make ~bunch_size:q.bunch_size ~arch ~wld ()
+
+let compute_cold q =
+  let algo =
+    match q.algo with
+    | Dp -> Ir_core.Rank.Dp
+    | Greedy -> Ir_core.Rank.Greedy
+  in
+  Ir_core.Rank.compute ~algo (problem q)

@@ -1,0 +1,93 @@
+(** Canonical, version-tagged identity of a rank query.
+
+    The serving layer is only sound if {e semantically identical} queries
+    collapse onto one cache slot and one in-flight computation.  This
+    module defines the query record, its canonical text form, and its
+    digest:
+
+    - the node is canonicalized through {!Ir_tech.Node.of_string} (so
+      ["130nm"], ["130"] and ["n130"] fingerprint identically);
+    - an inline WLD is canonicalized through {!Ir_wld.Dist} (ascending,
+      merged bins) and contributes the digest of its canonical CSV, not
+      its raw upload bytes;
+    - floats are rendered [%.17g] (round-trips every finite value), so
+      two queries fingerprint equal iff their parameters are bit-equal;
+    - the canonical form opens with a version tag
+      ([ia-rank/fingerprint/1]); any future change to the canonical
+      rules must bump it, which automatically invalidates every
+      previously persisted cache entry instead of silently aliasing old
+      results onto new semantics.
+
+    The {e table key} is the fingerprint with the repeater fraction and
+    algorithm masked out: phase-A DP tables built once at the full
+    budget answer any repeater fraction of the same (node, architecture,
+    WLD, clock) family ({!Ir_core.Rank_dp.search_tables_rebudget}), so
+    queries differing only in those fields share a warm-table pool slot. *)
+
+type algo = Dp | Greedy
+
+type t = private {
+  node : Ir_tech.Node.t;
+  gates : int;
+  rent_p : float;
+  fan_out : float;
+  clock : float;  (** Hz *)
+  repeater_fraction : float;
+  k : float;  (** ILD permittivity *)
+  miller : float;
+  bunch_size : int;
+  structure : Ir_ia.Arch.structure;
+  algo : algo;
+  wld : Ir_wld.Dist.t option;
+      (** explicit WLD in gate pitches; [None] generates the design's
+          Davis WLD, exactly as {!Ir_core.Rank.problem_of_design} does *)
+}
+
+val v :
+  ?rent_p:float ->
+  ?fan_out:float ->
+  ?clock:float ->
+  ?repeater_fraction:float ->
+  ?k:float ->
+  ?miller:float ->
+  ?bunch_size:int ->
+  ?structure:Ir_ia.Arch.structure ->
+  ?algo:algo ->
+  ?wld:Ir_wld.Dist.t ->
+  node:string ->
+  gates:int ->
+  unit ->
+  (t, string) result
+(** Builds and validates a query.  Defaults mirror the [ia_rank rank]
+    subcommand: 0.5 GHz clock, repeater fraction 0.4, k 3.9, Miller 2.0,
+    bunch size 10000, Rent 0.6, fan-out 3.0, baseline structure, [Dp].
+    Validation reuses the constructors underneath
+    ({!Ir_tech.Design.v}, {!Ir_ia.Arch.make}, {!Ir_wld.Davis.params}), so
+    anything they reject — bad node strings, out-of-range parameters, a
+    structure the node's stack cannot host — comes back as [Error]
+    with the constructor's message, never as a crash in the server. *)
+
+val canonical : t -> string
+(** The canonical text form the digest is computed over (one sorted
+    [key=value] line per field under the version tag).  Exposed for
+    tests and for the DESIGN.md §12 contract. *)
+
+val digest : t -> string
+(** Hex digest (MD5 content address) of {!canonical}.  Equal queries —
+    however they were spelled — digest equal; the cache, the coalescing
+    map and the on-disk store are all keyed by this. *)
+
+val table_key : t -> string
+(** Hex digest of the canonical form with [repeater_fraction] and [algo]
+    masked — the warm-table pool key (see above). *)
+
+val problem : t -> Ir_assign.Problem.t
+(** The assignment instance of the query, built exactly as the CLI
+    builds it (same WLD generation, same architecture defaults), so a
+    served answer is byte-comparable with [ia_rank rank].
+    @raise Invalid_argument only on states {!v} cannot produce. *)
+
+val compute_cold : t -> Ir_core.Outcome.t
+(** [problem] followed by the query's algorithm, with no serving-layer
+    reuse at all — the reference the cache and warm paths are
+    differentially tested against. *)

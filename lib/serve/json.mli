@@ -1,0 +1,53 @@
+(** Minimal JSON values for the serving protocol.
+
+    The container ships no JSON library, and the serving layer needs both
+    directions — the bench exporter only ever {e prints} JSON
+    ({!Ir_sweep.Export}), but a server must also {e parse} untrusted
+    request lines.  This module is deliberately small: a value type, a
+    deterministic printer and a hardened recursive-descent parser.
+
+    {b Determinism.}  {!to_string} is canonical for a fixed value: object
+    fields print in construction order, floats as [%.17g] (round-trips
+    every finite float), integers in decimal.  The cache and the
+    coalescing layer rely on this — byte-identical values encode to
+    byte-identical strings.
+
+    {b Hardening.}  The parser enforces a nesting-depth cap and rejects
+    trailing garbage, non-finite numbers, unpaired surrogates and control
+    characters in strings, so a malicious request line cannot blow the
+    stack or smuggle unrepresentable values into the cache. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** finite; the printer rejects NaN/inf *)
+  | Str of string  (** UTF-8 bytes; escapes are decoded on parse *)
+  | Arr of t list
+  | Obj of (string * t) list  (** field order preserved *)
+
+val to_string : t -> string
+(** Canonical single-line rendering (no insignificant whitespace).
+    @raise Invalid_argument on a non-finite [Float]. *)
+
+val of_string : ?max_depth:int -> string -> (t, string) result
+(** Parses one JSON value spanning the whole input (trailing whitespace
+    permitted, anything else is an error).  [max_depth] (default 64)
+    bounds array/object nesting.  Errors name the byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on other
+    constructors. *)
+
+val to_int : t -> int option
+(** [Int n] directly; [Float f] when [f] is integral (JSON writers are
+    free to render [3] as [3.0]). *)
+
+val to_float : t -> float option
+(** [Float] or [Int] widened. *)
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option

@@ -1,0 +1,418 @@
+let stat_requests = Ir_obs.counter "serve/requests"
+let stat_coalesced = Ir_obs.counter "serve/coalesced"
+let stat_shed = Ir_obs.counter "serve/shed"
+let stat_timeouts = Ir_obs.counter "serve/timeouts"
+let stat_computes = Ir_obs.counter "serve/computes"
+let stat_cold = Ir_obs.counter "serve/cold_computes"
+let stat_table_builds = Ir_obs.counter "serve/table_builds"
+let stat_table_hits = Ir_obs.counter "serve/table_hits"
+let gauge_queue = Ir_obs.gauge "serve/queue_depth_max"
+let span_request = Ir_obs.span "serve/request"
+let span_compute = Ir_obs.span "serve/compute"
+
+type job = {
+  digest : string;
+  fp : Fingerprint.t;
+  mutable payload : (string, Protocol.error) result option;
+  mutable attached : int;  (* coalesced waiters beyond the creator *)
+}
+
+(* One warm-table family ({!Fingerprint.table_key}).  [entry_lock]
+   serializes searches within the family: the suffix-fit memo and the
+   boundary hint are single-domain mutable state, and under systhreads
+   the computations could not overlap anyway. *)
+type entry_state =
+  | Unbuilt
+  | Built of { tables : Ir_core.Rank_dp.tables; memo : Ir_assign.Suffix_fit.t }
+  | Truncated
+      (* even the widened build truncated Pareto states: budget rebinding
+         would be a silent lower bound, so the family is pinned cold *)
+
+type pool_entry = {
+  entry_lock : Mutex.t;
+  mutable state : entry_state;
+  mutable hint : int option;  (* last boundary served for this family *)
+  mutable last_used : int;  (* pool's logical clock, for LRU eviction *)
+}
+
+type t = {
+  cache : Cache.t;
+  queue_capacity : int;
+  table_pool : int;
+  request_timeout : float;
+  on_compute_start : string -> unit;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  inflight : (string, job) Hashtbl.t;
+  pool : (string, pool_entry) Hashtbl.t;
+  mutable pool_clock : int;
+  draining : bool Atomic.t;
+  ticker_stop : bool Atomic.t;
+  stop_pipe_r : Unix.file_descr;
+  stop_pipe_w : Unix.file_descr;
+  mutable threads : Thread.t list;  (* workers + ticker *)
+}
+
+let draining t = Atomic.get t.draining
+
+(* ---- warm-table pool -------------------------------------------------- *)
+
+let pool_entry t key =
+  Mutex.lock t.mutex;
+  let entry =
+    match Hashtbl.find_opt t.pool key with
+    | Some e -> e
+    | None ->
+        if Hashtbl.length t.pool >= t.table_pool then begin
+          (* Evict the least recently used family.  A worker still
+             holding the evicted entry keeps its own reference; dropping
+             it from the table only stops new queries from finding it. *)
+          let victim =
+            Hashtbl.fold
+              (fun k e acc ->
+                match acc with
+                | Some (_, best) when best.last_used <= e.last_used -> acc
+                | _ -> Some (k, e))
+              t.pool None
+          in
+          match victim with
+          | Some (k, _) -> Hashtbl.remove t.pool k
+          | None -> ()
+        end;
+        let e =
+          {
+            entry_lock = Mutex.create ();
+            state = Unbuilt;
+            hint = None;
+            last_used = 0;
+          }
+        in
+        Hashtbl.replace t.pool key e;
+        e
+  in
+  t.pool_clock <- t.pool_clock + 1;
+  entry.last_used <- t.pool_clock;
+  Mutex.unlock t.mutex;
+  entry
+
+(* The warm path is taken only when provably exact: DP algorithm, pool
+   tables built at the full repeater budget with zero Pareto truncation
+   (the {!Ir_core.Rank_dp.search_budgets} displacement argument).
+   Everything else falls through to a cold compute, so served outcomes
+   are always byte-identical to [Fingerprint.compute_cold]. *)
+let compute_outcome t (fp : Fingerprint.t) =
+  let warm () =
+    match fp.algo with
+    | Fingerprint.Greedy -> None
+    | Fingerprint.Dp ->
+        let entry = pool_entry t (Fingerprint.table_key fp) in
+        Mutex.lock entry.entry_lock;
+        Fun.protect ~finally:(fun () -> Mutex.unlock entry.entry_lock)
+        @@ fun () ->
+        (match entry.state with
+        | Unbuilt ->
+            Ir_obs.incr stat_table_builds;
+            let full =
+              Ir_assign.Problem.with_repeater_fraction (Fingerprint.problem fp)
+                1.0
+            in
+            let tables = Ir_core.Rank_dp.build_tables_widened full in
+            entry.state <-
+              (if Ir_core.Rank_dp.table_truncations tables = 0 then
+                 Built { tables; memo = Ir_assign.Suffix_fit.create full }
+               else Truncated)
+        | Built _ | Truncated -> Ir_obs.incr stat_table_hits);
+        match entry.state with
+        | Built { tables; memo } ->
+            let outcome, _ =
+              Ir_core.Rank_dp.search_tables_rebudget ~memo ?hint:entry.hint
+                ~fraction:fp.repeater_fraction tables
+            in
+            if outcome.Ir_core.Outcome.assignable then
+              entry.hint <- Some outcome.Ir_core.Outcome.boundary_bunch;
+            Some outcome
+        | Unbuilt | Truncated -> None
+  in
+  match warm () with
+  | Some outcome -> outcome
+  | None ->
+      Ir_obs.incr stat_cold;
+      Fingerprint.compute_cold fp
+
+let compute_payload t fp =
+  Ir_obs.time span_compute @@ fun () ->
+  Protocol.result_payload (compute_outcome t fp)
+
+(* ---- workers ---------------------------------------------------------- *)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if draining t then None
+    else begin
+      (* Woken by submitters and by the ticker (which also converts a
+         [shutdown] — async-signal-safe, so it cannot broadcast — into a
+         wakeup within one tick). *)
+      Condition.wait t.cond t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      Ir_obs.incr stat_computes;
+      t.on_compute_start job.digest;
+      let result =
+        match compute_payload t job.fp with
+        | payload -> Ok payload
+        | exception e -> Error (Protocol.Internal (Printexc.to_string e))
+      in
+      (* Publish to the cache before waking waiters: a racing duplicate
+         query that misses the inflight table must still hit the cache. *)
+      (match result with
+      | Ok payload -> Cache.store t.cache ~digest:job.digest payload
+      | Error _ -> ());
+      Mutex.lock t.mutex;
+      job.payload <- Some result;
+      Hashtbl.remove t.inflight job.digest;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      worker_loop t
+
+let ticker_loop t =
+  while not (Atomic.get t.ticker_stop) do
+    Thread.delay 0.05;
+    Mutex.lock t.mutex;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  done
+
+let create ?(workers = 2) ?(queue_capacity = 64) ?(table_pool = 8)
+    ?(request_timeout = 300.) ?(on_compute_start = fun _ -> ()) ~cache () =
+  let stop_pipe_r, stop_pipe_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      cache;
+      queue_capacity = max 1 queue_capacity;
+      table_pool = max 1 table_pool;
+      request_timeout;
+      on_compute_start;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 64;
+      pool = Hashtbl.create 16;
+      pool_clock = 0;
+      draining = Atomic.make false;
+      ticker_stop = Atomic.make false;
+      stop_pipe_r;
+      stop_pipe_w;
+      threads = [];
+    }
+  in
+  let workers = max 1 workers in
+  t.threads <-
+    Thread.create ticker_loop t
+    :: List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let shutdown t =
+  (* Callable from a SIGTERM handler: an atomic store and a pipe write,
+     no locks.  Sleeping workers notice at the next ticker broadcast;
+     the accept loop notices through the pipe immediately. *)
+  if not (Atomic.exchange t.draining true) then
+    ignore (Unix.write t.stop_pipe_w (Bytes.of_string "x") 0 1)
+
+let join t =
+  Atomic.set t.ticker_stop true;
+  List.iter (fun th -> try Thread.join th with _ -> ()) t.threads;
+  t.threads <- []
+
+(* ---- the request path ------------------------------------------------- *)
+
+let pending_waiters t ~digest =
+  Mutex.lock t.mutex;
+  let n =
+    match Hashtbl.find_opt t.inflight digest with
+    | Some job -> job.attached
+    | None -> 0
+  in
+  Mutex.unlock t.mutex;
+  n
+
+(* Wait (holding [t.mutex]) until the job resolves or the deadline
+   passes.  OCaml's [Condition] has no timed wait; the ticker bounds how
+   long past the deadline a waiter can sleep. *)
+let rec await_job t job ~deadline =
+  match job.payload with
+  | Some r -> r
+  | None ->
+      if Ir_exec.now () > deadline then begin
+        Ir_obs.incr stat_timeouts;
+        (* The computation carries on and still populates the cache;
+           only this waiter gives up. *)
+        Error Protocol.Timeout
+      end
+      else begin
+        Condition.wait t.cond t.mutex;
+        await_job t job ~deadline
+      end
+
+let submit_query t fp =
+  let digest = Fingerprint.digest fp in
+  match Cache.find t.cache ~digest with
+  | Some (payload, Cache.Memory) -> Ok (payload, "memory")
+  | Some (payload, Cache.Disk) -> Ok (payload, "disk")
+  | None ->
+      let deadline = Ir_exec.now () +. t.request_timeout in
+      Mutex.lock t.mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+      if draining t then Error Protocol.Shutting_down
+      else begin
+        let job =
+          match Hashtbl.find_opt t.inflight digest with
+          | Some job ->
+              job.attached <- job.attached + 1;
+              Ir_obs.incr stat_coalesced;
+              Ok job
+          | None ->
+              if Queue.length t.queue >= t.queue_capacity then begin
+                Ir_obs.incr stat_shed;
+                Error Protocol.Overloaded
+              end
+              else begin
+                let job = { digest; fp; payload = None; attached = 0 } in
+                Hashtbl.replace t.inflight digest job;
+                Queue.push job t.queue;
+                Ir_obs.set_max gauge_queue (Queue.length t.queue);
+                Condition.broadcast t.cond;
+                Ok job
+              end
+        in
+        match job with
+        | Error e -> Error e
+        | Ok job -> (
+            match await_job t job ~deadline with
+            | Ok payload ->
+                (* Coalesced waiters and the creator answer identically:
+                   the payload was computed for this very request, so the
+                   source is "cold" for all of them — byte-identical
+                   responses for identical concurrent queries. *)
+                Ok (payload, "cold")
+            | Error e -> Error e)
+      end
+
+let stats t =
+  ignore t;
+  (* Both serve/* and serve_cache/* — the whole serving layer. *)
+  (Ir_obs.filter ~prefix:"serve" (Ir_obs.snapshot ())).Ir_obs.counters
+
+let handle t (req : Protocol.request) =
+  Ir_obs.time span_request @@ fun () ->
+  Ir_obs.incr stat_requests;
+  let body =
+    match req.op with
+    | Protocol.Ping -> Protocol.Pong
+    | Protocol.Stats -> Protocol.Stats_reply (stats t)
+    | Protocol.Query q -> (
+        match Protocol.fingerprint_of_query q with
+        | Error msg -> Protocol.Error (Protocol.Bad_request msg)
+        | Ok fp -> (
+            match submit_query t fp with
+            | Ok (payload, source) -> Protocol.Result { source; payload }
+            | Error e -> Protocol.Error e))
+  in
+  { Protocol.id = req.id; body }
+
+(* ---- transports ------------------------------------------------------- *)
+
+let serve_stdio t ic oc =
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+        let resp =
+          match Protocol.decode_request line with
+          | Ok req -> handle t req
+          | Error e -> { Protocol.id = ""; body = Protocol.Error e }
+        in
+        Out_channel.output_string oc (Protocol.encode_response resp);
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc;
+        loop ()
+  in
+  loop ()
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (match serve_stdio t ic oc with () -> () | exception _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_unix t ~socket =
+  let ( let* ) = Result.bind in
+  let* () =
+    match (Unix.lstat socket).Unix.st_kind with
+    | Unix.S_SOCK ->
+        (* A previous server's leftover; safe to replace. *)
+        (match Unix.unlink socket with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot remove stale socket %s: %s" socket
+                 (Unix.error_message e)))
+    | _ ->
+        Error
+          (Printf.sprintf
+             "%s exists and is not a socket; refusing to replace it" socket)
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
+  in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+    Unix.listen listen_fd 64
+  with
+  | exception Unix.Unix_error (e, fn, _) ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s %s: %s" fn socket (Unix.error_message e))
+  | () ->
+      let conns = ref [] in
+      let rec accept_loop () =
+        if draining t then ()
+        else
+          (* Select on the stop pipe too, so [shutdown] (e.g. from a
+             SIGTERM handler) interrupts a blocked accept. *)
+          match Unix.select [ listen_fd; t.stop_pipe_r ] [] [] (-1.0) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | ready, _, _ ->
+              if List.mem t.stop_pipe_r ready then ()
+              else begin
+                (match Unix.accept ~cloexec:true listen_fd with
+                | fd, _ ->
+                    conns :=
+                      (Thread.create (fun () -> serve_connection t fd) (), fd)
+                      :: !conns
+                | exception Unix.Unix_error _ -> ());
+                accept_loop ()
+              end
+      in
+      accept_loop ();
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      (* Unblock connection threads parked in [input_line] on clients
+         that never hang up (their in-progress requests already answer
+         [Shutting_down]); then wait for them and the workers. *)
+      List.iter
+        (fun (_, fd) ->
+          try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        !conns;
+      List.iter (fun (th, _) -> try Thread.join th with _ -> ()) !conns;
+      shutdown t;
+      join t;
+      Ok ()

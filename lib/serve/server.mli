@@ -1,0 +1,103 @@
+(** The rank query daemon.
+
+    A server owns a bounded request queue drained by a small pool of
+    worker threads, a two-tier result {!Cache}, and a keyed pool of warm
+    phase-A DP tables.  Requests flow:
+
+    + cache lookup by fingerprint digest (memory, then validated disk);
+    + on a miss, {e coalescing}: if an identical query (same digest) is
+      already queued or computing, the request attaches to that in-flight
+      job instead of enqueueing a duplicate — one computation fans its
+      payload out to every waiter, byte-identically;
+    + otherwise the job is enqueued — unless the queue is at capacity, in
+      which case the request is {e shed} with the retryable
+      [Overloaded] error (backpressure, never unbounded memory);
+    + a worker computes it on the {e warm path} when it can: phase-A
+      tables are built once per (node, architecture, WLD, clock) family
+      ({!Fingerprint.table_key}) at the full repeater budget and answer
+      any repeater fraction by budget rebinding
+      ({!Ir_core.Rank_dp.search_tables_rebudget}), warm-started from the
+      family's last boundary.  The warm path is used only when it is
+      provably exact (no Pareto truncation in the pool build); anything
+      else — greedy-algorithm queries included — takes the cold path, so
+      a served payload is always byte-identical to a cold computation.
+
+    Each waiter observes a per-request deadline; a timeout releases the
+    {e waiter} with the [Timeout] error while the computation itself
+    finishes and populates the cache for the next asker.  {!shutdown}
+    drains: queued jobs complete, new queries get [Shutting_down].
+
+    Every thread shares one process ({!Thread}), so computations do not
+    run in parallel with each other — the concurrency this layer buys is
+    in {e waiting} (coalescing, socket I/O, backpressure), which is
+    where a query service spends its life.  Counters land on [serve/*]:
+    [requests], [coalesced], [shed], [timeouts], [computes],
+    [cold_computes], [table_builds], [table_hits]; gauge
+    [serve/queue_depth_max]; spans [serve/request] and [serve/compute].
+    All are deterministic for a sequentially replayed trace against a
+    fresh server — the bench's serving leg asserts exactly that. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?table_pool:int ->
+  ?request_timeout:float ->
+  ?on_compute_start:(string -> unit) ->
+  cache:Cache.t ->
+  unit ->
+  t
+(** Starts the worker and timeout-ticker threads immediately.
+    [workers] (default 2) drain the queue; [queue_capacity] (default 64)
+    bounds it; [table_pool] (default 8) bounds the warm-table pool
+    (least-recently-used family evicted); [request_timeout] (default
+    300 s) is each waiter's deadline.  [on_compute_start] runs in the
+    worker thread just before a computation, with the job's digest — a
+    test seam for making coalescing races deterministic; it must not
+    call back into the server. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Serves one request to completion (blocking — call from a
+    per-connection thread or a stdio loop).  Never raises: validation
+    failures are [Bad_request], computation bugs [Internal]. *)
+
+val submit_query :
+  t -> Fingerprint.t -> (string * string, Protocol.error) result
+(** The query path of {!handle} on an already-validated fingerprint:
+    [(payload, source)] with [source] one of ["memory"], ["disk"],
+    ["cold"]. *)
+
+val pending_waiters : t -> digest:string -> int
+(** How many requests are currently {e attached} to the in-flight job
+    for [digest] beyond the one that created it (0 when none is in
+    flight).  A test seam: together with [on_compute_start] it lets a
+    test hold a computation until all racing clients have coalesced. *)
+
+val stats : t -> (string * int) list
+(** Name-sorted [serve/*] and [serve_cache/*] counters (the [Stats]
+    reply). *)
+
+val shutdown : t -> unit
+(** Begins draining: listeners stop accepting, queued jobs finish, new
+    queries answer [Shutting_down].  Idempotent; does not block. *)
+
+val join : t -> unit
+(** Waits for the workers and the ticker to exit (call after
+    {!shutdown}). *)
+
+val draining : t -> bool
+
+val serve_stdio : t -> in_channel -> out_channel -> unit
+(** Line-delimited request/response loop until EOF ([--stdio] mode: the
+    transport for tests, pipes and supervisors that speak stdin). *)
+
+val serve_unix : t -> socket:string -> (unit, string) result
+(** Binds a Unix-domain socket at [socket] (an existing {e socket} file
+    is replaced; any other file is an error), accepts connections, and
+    serves each on its own thread until {!shutdown} — installing a
+    SIGTERM handler is the caller's job ({!Ir_serve.Server.shutdown} is
+    async-signal-usable through a self-pipe: the handler may simply call
+    [shutdown]).  Returns after the listener closed, every connection
+    thread finished, and the workers were joined; the socket file is
+    removed on the way out. *)

@@ -177,8 +177,34 @@ let json_parallel p =
         if p.jobsn_seconds > p.jobs1_seconds then "true" else "false" );
     ]
 
-let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ~sweeps
-    ~cross () =
+type serving_report = {
+  trace_requests : int;
+  distinct_queries : int;
+  hit_rate : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  computes : int;
+  table_builds : int;
+  counters_match : bool;
+}
+
+let json_serving s =
+  json_obj
+    [
+      ("trace_requests", string_of_int s.trace_requests);
+      ("distinct_queries", string_of_int s.distinct_queries);
+      ("hit_rate", json_float s.hit_rate);
+      ("p50_ms", json_float s.p50_ms);
+      ("p95_ms", json_float s.p95_ms);
+      ("p99_ms", json_float s.p99_ms);
+      ("computes", string_of_int s.computes);
+      ("table_builds", string_of_int s.table_builds);
+      ("counters_match", if s.counters_match then "true" else "false");
+    ]
+
+let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?serving
+    ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -227,7 +253,7 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ~sweeps
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/4");
+             ("schema", json_string "ia-rank/bench-sweeps/5");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
@@ -244,6 +270,9 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ~sweeps
                     json_obj
                       (List.map (fun (k, v) -> (k, json_float v)) ks) );
                 ])
+          @ (match serving with
+            | None -> []
+            | Some s -> [ ("serving", json_serving s) ])
           @ (match metrics with
             | None -> []
             | Some snap -> [ ("metrics", json_metrics snap) ])

@@ -45,6 +45,23 @@ type parallel_report = {
     than the sequential one — the condition the bench also warns about on
     stdout). *)
 
+type serving_report = {
+  trace_requests : int;  (** requests replayed against the query server *)
+  distinct_queries : int;  (** distinct fingerprints in the trace *)
+  hit_rate : float;  (** cache hits / requests over the whole trace *)
+  p50_ms : float;  (** request latency percentiles, milliseconds *)
+  p95_ms : float;
+  p99_ms : float;
+  computes : int;  (** actual rank computations the trace triggered *)
+  table_builds : int;  (** warm-table families built for it *)
+  counters_match : bool;
+      (** the [serve]/[serve_cache] counter identity between the jobs=1
+          and jobs=N replays — the serving layer's determinism check *)
+}
+(** The bench's serving leg, exported under ["serving"] (since schema 5):
+    a query trace replayed against an in-process server, summarized by
+    hit rate, latency percentiles and the counter-identity verdict. *)
+
 val write_bench_json :
   dir:string ->
   jobs:int ->
@@ -52,12 +69,13 @@ val write_bench_json :
   ?metrics:Ir_obs.snapshot ->
   ?kernel:(string * float) list ->
   ?parallel:parallel_report ->
+  ?serving:serving_report ->
   sweeps:Table4.sweep list ->
   cross:Cross_node.cell list ->
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/4]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/5]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
     (e.g. the sequential and parallel table4 legs), an optional [kernel]
     timings object (flat name/seconds pairs from the kernel

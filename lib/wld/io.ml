@@ -1,3 +1,9 @@
+(* Server inputs are untrusted: every failure names the line (and file,
+   when the caller provides one) and nothing non-finite or negative gets
+   past parsing.  [float_of_string_opt] happily accepts "nan" and "inf",
+   so the positivity check below is written to reject NaN too
+   (NaN > 0.0 is false). *)
+
 let parse_line lineno line =
   let line = String.trim line in
   if line = "" || line.[0] = '#' then Ok None
@@ -10,32 +16,64 @@ let parse_line lineno line =
         with
         | Some length, Some count ->
             if count < 0 then
-              Error (Printf.sprintf "line %d: negative count" lineno)
+              Error (Printf.sprintf "line %d: negative count %d" lineno count)
+            else if Float.is_nan length then
+              Error (Printf.sprintf "line %d: NaN length" lineno)
+            else if not (Float.is_finite length) then
+              Error (Printf.sprintf "line %d: non-finite length" lineno)
             else if not (length > 0.0) then
-              Error (Printf.sprintf "line %d: non-positive length" lineno)
+              Error
+                (Printf.sprintf "line %d: non-positive length %.17g" lineno
+                   length)
             else Ok (Some { Dist.length; count })
         | _ ->
             (* Tolerate one header line. *)
             if lineno = 1 then Ok None
-            else Error (Printf.sprintf "line %d: expected 'length,count'" lineno))
-    | _ -> Error (Printf.sprintf "line %d: expected two comma-separated fields" lineno)
+            else
+              Error
+                (Printf.sprintf "line %d: expected 'length,count', got %S"
+                   lineno line))
+    | _ ->
+        Error
+          (Printf.sprintf "line %d: expected two comma-separated fields"
+             lineno)
 
-let of_string text =
+let of_string ?name ?(strict = false) text =
+  let where msg = match name with None -> msg | Some n -> n ^ ": " ^ msg in
   let lines = String.split_on_char '\n' text in
-  let rec loop lineno acc = function
+  (* [prev] tracks the last accepted data line for the strict monotone
+     check: untrusted files must list lengths strictly increasing, so a
+     shuffled or duplicated (truncated-and-reuploaded) file is rejected
+     instead of silently merged into a different distribution. *)
+  let rec loop lineno prev acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
         match parse_line lineno line with
-        | Error _ as e -> e
-        | Ok None -> loop (lineno + 1) acc rest
-        | Ok (Some bin) -> loop (lineno + 1) (bin :: acc) rest)
+        | Error e -> Error (where e)
+        | Ok None -> loop (lineno + 1) prev acc rest
+        | Ok (Some bin) ->
+            (match prev with
+            | Some (prev_lineno, prev_len)
+              when strict && bin.Dist.length <= prev_len ->
+                Error
+                  (where
+                     (Printf.sprintf
+                        "line %d: length %.17g not strictly greater than \
+                         %.17g on line %d (strict mode requires ascending \
+                         lengths)"
+                        lineno bin.Dist.length prev_len prev_lineno))
+            | _ ->
+                loop (lineno + 1)
+                  (Some (lineno, bin.Dist.length))
+                  (bin :: acc) rest))
   in
-  match loop 1 [] lines with
+  match loop 1 None [] lines with
   | Error _ as e -> e
+  | Ok [] -> Error (where "no data lines (empty distribution)")
   | Ok bins -> (
       match Dist.of_bins bins with
       | d -> Ok d
-      | exception Invalid_argument msg -> Error msg)
+      | exception Invalid_argument msg -> Error (where msg))
 
 let to_string d =
   let buf = Buffer.create 1024 in
@@ -46,9 +84,9 @@ let to_string d =
     (Dist.bins d);
   Buffer.contents buf
 
-let load path =
+let load ?strict path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> of_string text
+  | text -> of_string ~name:path ?strict text
   | exception Sys_error msg -> Error msg
 
 let save path d =

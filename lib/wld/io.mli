@@ -6,17 +6,34 @@
     two-column CSV, [length,count], one bin per line; a header line is
     permitted and blank lines and [#] comments are skipped.  Lengths are
     in whatever unit the caller declares (the rank pipeline expects gate
-    pitches from {!Ir_assign.Problem.make}). *)
+    pitches from {!Ir_assign.Problem.make}).
 
-val of_string : string -> (Dist.t, string) result
+    {b Untrusted input.}  The serving layer feeds client-supplied WLDs
+    through this parser, so every malformed entry must be rejected with a
+    descriptive error rather than silently repaired: lengths and counts
+    that fail to parse, negative counts, non-positive / NaN / infinite
+    lengths all name the offending line (and the file, when [name] is
+    given).  [strict] additionally rejects files whose data lines are not
+    strictly increasing in length — a trusting caller relies on
+    {!Dist.of_bins} to sort and merge, but for untrusted input an
+    out-of-order or duplicated line is far more likely a corrupted or
+    truncated upload than a deliberate encoding, and merging it would
+    silently change the query being answered. *)
+
+val of_string : ?name:string -> ?strict:bool -> string -> (Dist.t, string) result
 (** Parses CSV text into a distribution.  Bins merge and sort as in
-    {!Dist.of_bins}.  Errors carry the offending line number. *)
+    {!Dist.of_bins}.  Errors carry the offending line number, prefixed
+    with [name] when given (e.g. ["wld.csv:3: ..."]).  [strict] (default
+    [false]) rejects non-monotone data lines — see above. *)
 
 val to_string : Dist.t -> string
-(** Renders the distribution as CSV (ascending lengths, with header). *)
+(** Renders the distribution as CSV (ascending lengths, with header).
+    The rendering is canonical: equal distributions render to identical
+    bytes ({!Ir_serve.Fingerprint} hashes it). *)
 
-val load : string -> (Dist.t, string) result
-(** [load path] reads and parses the file. *)
+val load : ?strict:bool -> string -> (Dist.t, string) result
+(** [load path] reads and parses the file; parse errors are prefixed
+    with [path] and the line number. *)
 
 val save : string -> Dist.t -> (unit, string) result
 (** [save path d] writes the distribution. *)

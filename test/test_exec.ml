@@ -134,6 +134,28 @@ let test_jobs_resolution () =
       Ir_exec.set_default_jobs (Some 0);
       Alcotest.(check int) "override clamps to 1" 1 (Ir_exec.default_jobs ()))
 
+let test_with_default_jobs () =
+  Fun.protect
+    ~finally:(fun () ->
+      Ir_exec.set_default_jobs None;
+      Unix.putenv "IA_RANK_JOBS" "")
+    (fun () ->
+      Unix.putenv "IA_RANK_JOBS" "";
+      (* restores the previous override, not merely None *)
+      Ir_exec.set_default_jobs (Some 5);
+      let inside =
+        Ir_exec.with_default_jobs (Some 2) (fun () ->
+            Ir_exec.default_jobs ())
+      in
+      Alcotest.(check int) "scoped override visible" 2 inside;
+      Alcotest.(check int) "outer override restored" 5
+        (Ir_exec.default_jobs ());
+      (* restores on exceptions too *)
+      (try
+         Ir_exec.with_default_jobs (Some 3) (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check int) "restored after raise" 5 (Ir_exec.default_jobs ()))
+
 let test_recommended_positive () =
   Alcotest.(check bool) "at least one worker" true
     (Ir_exec.recommended_jobs () >= 1)
@@ -206,6 +228,7 @@ let () =
       ( "configuration",
         [
           Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
+          Alcotest.test_case "scoped override" `Quick test_with_default_jobs;
           Alcotest.test_case "recommended positive" `Quick
             test_recommended_positive;
           Alcotest.test_case "hardware clamp" `Quick test_hardware_clamp;

@@ -164,6 +164,85 @@ let prop_full_pipeline_never_crashes =
       let o = Ir_core.Rank.of_design ~bunch_size:500 design in
       o.rank_wires >= 0 && o.rank_wires <= o.total_wires)
 
+(* ---- CLI exit codes --------------------------------------------------- *)
+
+(* The policy bin/ia_rank.ml declares: 0 success, 1 operational error
+   (bad input, I/O failure, unreachable server), 2 domain verdicts
+   (unassignable design).  The binary — a declared dune dep — sits next
+   to this test in the build tree; resolving it relative to the test
+   executable works under both `dune runtest` and `dune exec`. *)
+let ia_rank =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "ia_rank.exe"))
+
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>&1" ia_rank
+      (String.concat " " (List.map Filename.quote args))
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED code -> code
+  | Unix.WSIGNALED s -> Alcotest.failf "ia_rank killed by signal %d" s
+  | Unix.WSTOPPED s -> Alcotest.failf "ia_rank stopped by signal %d" s
+
+let check_exit what expected args =
+  Alcotest.(check int) what expected (run_cli args)
+
+let test_cli_success_paths () =
+  check_exit "rank on a small design" 0
+    [ "rank"; "-n"; "130nm"; "-g"; "20000"; "--bunch-size"; "500" ];
+  check_exit "wld summary" 0 [ "wld"; "-g"; "10000" ]
+
+let test_cli_error_exit_codes () =
+  (* operational failures (valid command line, runtime error) exit 1 *)
+  check_exit "wld load from a missing file" 1
+    [ "wld"; "--load"; "/nonexistent/really/not/here.csv" ];
+  check_exit "wld save into an uncreatable path" 1
+    [ "wld"; "-g"; "1000"; "--save"; "/dev/null/cannot/exist.csv" ];
+  check_exit "query without a server" 1
+    [ "query"; "--socket"; "/nonexistent/ia.sock"; "-n"; "130nm";
+      "-g"; "20000" ];
+  check_exit "serve refuses a non-socket path" 1
+    [ "serve"; "--socket"; "/dev/null" ];
+  (* command-line faults are cmdliner's documented exit 124 *)
+  check_exit "unknown node" 124 [ "rank"; "-n"; "bogus"; "-g"; "20000" ];
+  check_exit "negative gate count" 124 [ "rank"; "-n"; "130nm"; "-g"; "-5" ];
+  check_exit "unreadable wld argument" 124
+    [ "rank"; "-n"; "130nm"; "-g"; "20000"; "--wld";
+      "/nonexistent/really/not/here.csv" ];
+  check_exit "unknown subcommand" 124 [ "frobnicate" ]
+
+let test_cli_query_stdio_roundtrip () =
+  (* `serve --stdio` + `query` exit codes through a real pipe: a good
+     query exits 0, a malformed one exits 1. *)
+  let run_stdio line =
+    let ic, oc =
+      Unix.open_process
+        (Printf.sprintf "%s serve --stdio 2>/dev/null" ia_rank)
+    in
+    output_string oc (line ^ "\n");
+    close_out oc;
+    let resp = try input_line ic with End_of_file -> "" in
+    match Unix.close_process (ic, oc) with
+    | Unix.WEXITED 0 -> resp
+    | Unix.WEXITED code -> Alcotest.failf "serve --stdio exited %d" code
+    | _ -> Alcotest.fail "serve --stdio killed"
+  in
+  let resp =
+    run_stdio
+      "{\"v\":1,\"id\":\"t\",\"op\":\"query\",\"query\":{\"node\":\"130nm\",\"gates\":20000,\"bunch_size\":500}}"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stdio query answered ok (got %s)" resp)
+    true
+    (Astring_contains.contains resp "\"status\":\"ok\"");
+  let bad = run_stdio "{\"v\":1,\"id\":\"t\",\"op\":\"frobnicate\"}" in
+  Alcotest.(check bool)
+    (Printf.sprintf "stdio bad request reported (got %s)" bad)
+    true
+    (Astring_contains.contains bad "bad_request")
+
 let () =
   Alcotest.run "integration"
     [
@@ -194,5 +273,13 @@ let () =
             test_roadmap_entries_buildable;
           Alcotest.test_case "exact vs dp on real instance" `Slow
             test_exact_agrees_on_small_real_instance;
+        ] );
+      ( "cli exit codes",
+        [
+          Alcotest.test_case "success paths" `Quick test_cli_success_paths;
+          Alcotest.test_case "error paths exit 1" `Quick
+            test_cli_error_exit_codes;
+          Alcotest.test_case "serve --stdio roundtrip" `Quick
+            test_cli_query_stdio_roundtrip;
         ] );
     ]

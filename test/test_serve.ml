@@ -1,0 +1,675 @@
+(* The serving layer: fingerprint canonicalization, JSON hardening,
+   protocol round-trips, the two-tier cache (LRU model check, disk
+   corruption handling), and end-to-end server behaviour over a real
+   Unix socket — coalescing, restart persistence, shedding, timeouts,
+   and the differential guarantee that every served payload is
+   byte-identical to a cold computation. *)
+
+open Helpers
+module F = Ir_serve.Fingerprint
+module J = Ir_serve.Json
+module Pr = Ir_serve.Protocol
+module C = Ir_serve.Cache
+module S = Ir_serve.Server
+module Cl = Ir_serve.Client
+
+let ok_exn what = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let counter name =
+  Option.value ~default:0 (Ir_obs.find_counter (Ir_obs.snapshot ()) name)
+
+(* Bounded busy-wait for cross-thread conditions in the e2e tests. *)
+let wait_for ?(timeout = 10.0) what pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let small_query ?repeater_fraction ?algo ?wld () =
+  ok_exn "small query"
+    (F.v ?repeater_fraction ?algo ?wld ~bunch_size:500 ~node:"130nm"
+       ~gates:20_000 ())
+
+(* ---- fingerprint ------------------------------------------------------ *)
+
+let test_fp_deterministic () =
+  let a = small_query () and b = small_query () in
+  Alcotest.(check string) "same digest" (F.digest a) (F.digest b);
+  Alcotest.(check bool) "version-tagged canonical form" true
+    (String.length (F.canonical a) > 22
+    && String.sub (F.canonical a) 0 22 = "ia-rank/fingerprint/1\n")
+
+let test_fp_node_spellings () =
+  let d spelling =
+    F.digest (ok_exn "query" (F.v ~node:spelling ~gates:1000 ()))
+  in
+  Alcotest.(check string) "130nm = 130" (d "130nm") (d "130");
+  Alcotest.(check string) "130nm = n130" (d "130nm") (d "n130");
+  Alcotest.(check bool) "130nm <> 90nm" true (d "130nm" <> d "90nm")
+
+let test_fp_defaults_explicit () =
+  let omitted = ok_exn "omitted" (F.v ~node:"130nm" ~gates:1000 ()) in
+  let explicit =
+    ok_exn "explicit"
+      (F.v ~rent_p:0.6 ~fan_out:3.0 ~clock:0.5e9 ~repeater_fraction:0.4
+         ~k:3.9 ~miller:2.0 ~bunch_size:10_000 ~algo:F.Dp ~node:"130nm"
+         ~gates:1000 ())
+  in
+  Alcotest.(check string) "defaults fingerprint identically"
+    (F.digest omitted) (F.digest explicit)
+
+let test_fp_param_sensitivity () =
+  let base = ok_exn "base" (F.v ~node:"130nm" ~gates:1000 ()) in
+  let variants =
+    [
+      ("gates", F.v ~node:"130nm" ~gates:1001 ());
+      ("clock", F.v ~clock:0.6e9 ~node:"130nm" ~gates:1000 ());
+      ("k", F.v ~k:2.7 ~node:"130nm" ~gates:1000 ());
+      ("fraction", F.v ~repeater_fraction:0.5 ~node:"130nm" ~gates:1000 ());
+      ("algo", F.v ~algo:F.Greedy ~node:"130nm" ~gates:1000 ());
+    ]
+  in
+  List.iter
+    (fun (what, q) ->
+      Alcotest.(check bool)
+        (what ^ " changes the digest")
+        true
+        (F.digest (ok_exn what q) <> F.digest base))
+    variants
+
+let test_fp_inline_wld_canonical () =
+  (* The same distribution listed in a different bin order fingerprints
+     identically: the digest covers the canonical (merged, ascending)
+     rendering, not the upload bytes. *)
+  let wld text = ok_exn "wld" (Ir_wld.Io.of_string text) in
+  let a = wld "1,2\n3.5,4\n" and b = wld "3.5,4\n1,2\n" in
+  let q w = ok_exn "query" (F.v ~wld:w ~node:"130nm" ~gates:1000 ()) in
+  Alcotest.(check string) "order-independent" (F.digest (q a))
+    (F.digest (q b));
+  Alcotest.(check bool) "inline wld differs from davis" true
+    (F.digest (q a)
+    <> F.digest (ok_exn "davis" (F.v ~node:"130nm" ~gates:1000 ())))
+
+let test_fp_table_key_masks () =
+  let q f algo =
+    ok_exn "query" (F.v ~repeater_fraction:f ~algo ~node:"130nm" ~gates:1000 ())
+  in
+  Alcotest.(check string) "fraction masked"
+    (F.table_key (q 0.2 F.Dp))
+    (F.table_key (q 0.8 F.Dp));
+  Alcotest.(check string) "algo masked"
+    (F.table_key (q 0.4 F.Dp))
+    (F.table_key (q 0.4 F.Greedy));
+  Alcotest.(check bool) "digest itself not masked" true
+    (F.digest (q 0.2 F.Dp) <> F.digest (q 0.8 F.Dp));
+  let other = ok_exn "90nm" (F.v ~node:"90nm" ~gates:1000 ()) in
+  Alcotest.(check bool) "node not masked" true
+    (F.table_key (q 0.4 F.Dp) <> F.table_key other)
+
+let test_fp_validation () =
+  (match F.v ~node:"bogus" ~gates:1000 () with
+  | Error e ->
+      Alcotest.(check bool) "names the node" true
+        (Astring_contains.contains e "bogus")
+  | Ok _ -> Alcotest.fail "bogus node accepted");
+  (match F.v ~bunch_size:0 ~node:"130nm" ~gates:1000 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bunch_size 0 accepted");
+  match F.v ~repeater_fraction:1.5 ~node:"130nm" ~gates:1000 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "repeater fraction 1.5 accepted"
+
+(* ---- JSON ------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\nd");
+        ("i", J.Int (-42));
+        ("f", J.Float 0.1);
+        ("t", J.Bool true);
+        ("n", J.Null);
+        ("a", J.Arr [ J.Int 1; J.Str "x"; J.Obj [] ]);
+      ]
+  in
+  let s = J.to_string v in
+  let v2 = ok_exn "parse" (J.of_string s) in
+  Alcotest.(check string) "print-parse-print fixpoint" s (J.to_string v2)
+
+let test_json_hardening () =
+  let rejected what s =
+    match J.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted: %s" what s
+  in
+  rejected "trailing garbage" "{} x";
+  rejected "raw control char" "\"a\x01b\"";
+  rejected "bare word" "nul";
+  rejected "unterminated string" "\"abc";
+  rejected "lone surrogate" "\"\\ud800\"";
+  rejected "infinite number" "1e999999";
+  rejected "deep nesting"
+    (String.concat "" (List.init 100 (fun _ -> "[")) );
+  (* an integral float is still an int to readers *)
+  Alcotest.(check (option int)) "3.0 readable as int" (Some 3)
+    (J.to_int (ok_exn "3.0" (J.of_string "3.0")));
+  match J.to_string (J.Float Float.nan) with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "NaN printed as %s" s
+
+(* ---- protocol --------------------------------------------------------- *)
+
+let gen_query =
+  let open QCheck2.Gen in
+  let id_string = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let opt_f lo hi = option (float_range lo hi) in
+  let* node = oneofl [ "130nm"; "90nm"; "weird node \"x\"" ] in
+  let* gates = int_range 1 10_000_000 in
+  let* rent_p = opt_f 0.1 0.9 in
+  let* fan_out = opt_f 1.0 5.0 in
+  let* clock = opt_f 1e8 5e9 in
+  let* repeater_fraction = opt_f 0.0 1.0 in
+  let* k = opt_f 1.0 5.0 in
+  let* miller = opt_f 1.0 3.0 in
+  let* bunch_size = option (int_range 1 100_000) in
+  let* structure =
+    option (triple (int_range 0 4) (int_range 0 4) (int_range 0 4))
+  in
+  let* greedy = bool in
+  let* wld_csv =
+    option (map (fun s -> s ^ "\n1,2") id_string)
+  in
+  let* id = id_string in
+  return
+    ( id,
+      Pr.query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller
+        ?bunch_size ?structure ~greedy ?wld_csv ~node ~gates () )
+
+let prop_request_roundtrip =
+  qtest ~count:200 "request encode/decode/encode is the identity" gen_query
+    (fun (id, q) ->
+      let line = Pr.encode_request { Pr.id; op = Pr.Query q } in
+      match Pr.decode_request line with
+      | Error _ -> false
+      | Ok req -> Pr.encode_request req = line)
+
+let gen_body =
+  let open QCheck2.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 10) in
+  let outcome =
+    let* total = int_range 1 1_000_000 in
+    let* assignable = bool in
+    let* rank = if assignable then int_range 0 total else return 0 in
+    let* boundary = if assignable then int_range 0 1000 else return 0 in
+    let* exact = bool in
+    return
+      (Ir_core.Outcome.v ~exact ~rank_wires:rank ~total_wires:total
+         ~assignable ~boundary_bunch:boundary ())
+  in
+  oneof
+    [
+      return Pr.Pong;
+      (let* kvs = list_size (int_range 0 5) (pair name (int_range 0 1000)) in
+       return (Pr.Stats_reply kvs));
+      (let* o = outcome in
+       let* source = oneofl [ "cold"; "memory"; "disk" ] in
+       return (Pr.Result { source; payload = Pr.result_payload o }));
+      (let* e =
+         oneof
+           [
+             map (fun m -> Pr.Bad_request m) name; return Pr.Overloaded;
+             return Pr.Timeout; return Pr.Shutting_down;
+             map (fun m -> Pr.Internal m) name;
+           ]
+       in
+       return (Pr.Error e));
+    ]
+
+let prop_response_roundtrip =
+  qtest ~count:200 "response encode/decode/encode is the identity"
+    QCheck2.Gen.(
+      pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) gen_body)
+    (fun (id, body) ->
+      let line = Pr.encode_response { Pr.id; body } in
+      match Pr.decode_response line with
+      | Error _ -> false
+      | Ok resp -> Pr.encode_response resp = line)
+
+let test_protocol_errors () =
+  let bad line =
+    match Pr.decode_request line with
+    | Error (Pr.Bad_request _) -> ()
+    | Error _ -> Alcotest.failf "non-bad-request error for %s" line
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  bad "not json";
+  bad "{}";
+  bad "{\"v\":99,\"id\":\"a\",\"op\":\"ping\"}";
+  bad "{\"v\":1,\"id\":\"a\",\"op\":\"frobnicate\"}";
+  bad "{\"v\":1,\"id\":\"a\",\"op\":\"query\"}";
+  bad "{\"v\":1,\"id\":\"a\",\"op\":\"query\",\"query\":{\"node\":\"130nm\"}}";
+  Alcotest.(check bool) "overloaded retryable" true (Pr.retryable Pr.Overloaded);
+  Alcotest.(check bool) "timeout not retryable" false (Pr.retryable Pr.Timeout)
+
+(* ---- cache: LRU model check ------------------------------------------- *)
+
+(* Reference model: MRU-first key list, no payloads.  [mem_keys_lru_first]
+   must equal its reverse after any op sequence, and membership must
+   agree with [find]. *)
+let prop_lru_model =
+  qtest ~count:300 "memory tier behaves as textbook LRU"
+    QCheck2.Gen.(
+      pair (int_range 1 6)
+        (list_size (int_range 0 60) (pair (int_range 0 9) bool)))
+    (fun (capacity, ops) ->
+      let cache = Result.get_ok (C.create ~capacity ()) in
+      let key k = Digest.to_hex (Digest.string (string_of_int k)) in
+      let model = ref [] in
+      let model_touch k =
+        model := k :: List.filter (fun x -> x <> k) !model
+      in
+      List.for_all
+        (fun (k, is_store) ->
+          if is_store then begin
+            C.store cache ~digest:(key k) (string_of_int k);
+            model_touch k;
+            (model :=
+               List.filteri (fun i _ -> i < capacity) !model);
+            true
+          end
+          else
+            let hit = C.find cache ~digest:(key k) in
+            let in_model = List.mem k !model in
+            (match hit with
+            | Some (payload, C.Memory) ->
+                model_touch k;
+                payload = string_of_int k
+            | Some (_, C.Disk) -> false
+            | None -> true)
+            && Option.is_some hit = in_model)
+        ops
+      && C.mem_count cache = List.length !model
+      && C.mem_keys_lru_first cache = List.rev_map key !model)
+
+let test_lru_eviction_order () =
+  let cache = ok_exn "cache" (C.create ~capacity:2 ()) in
+  let k i = Digest.to_hex (Digest.string (string_of_int i)) in
+  C.store cache ~digest:(k 1) "one";
+  C.store cache ~digest:(k 2) "two";
+  (* touch 1 so 2 becomes the eviction victim *)
+  ignore (C.find cache ~digest:(k 1));
+  C.store cache ~digest:(k 3) "three";
+  Alcotest.(check bool) "2 evicted" true (C.find cache ~digest:(k 2) = None);
+  Alcotest.(check bool) "1 kept" true (C.find cache ~digest:(k 1) <> None);
+  Alcotest.(check int) "bounded" 2 (C.mem_count cache)
+
+(* ---- cache: disk tier ------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ia_serve_test_%d_%d" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let digest_of s = Digest.to_hex (Digest.string s)
+
+let test_disk_persistence () =
+  with_temp_dir @@ fun dir ->
+  let d = digest_of "q1" in
+  let c1 = ok_exn "cache1" (C.create ~dir ()) in
+  C.store c1 ~digest:d "payload-bytes";
+  (* a fresh cache over the same directory — the restart case *)
+  let c2 = ok_exn "cache2" (C.create ~dir ()) in
+  (match C.find c2 ~digest:d with
+  | Some ("payload-bytes", C.Disk) -> ()
+  | Some (p, C.Memory) -> Alcotest.failf "unexpected memory hit %s" p
+  | Some _ -> Alcotest.fail "wrong payload from disk"
+  | None -> Alcotest.fail "disk entry not found");
+  (* promoted: second lookup is a memory hit *)
+  match C.find c2 ~digest:d with
+  | Some (_, C.Memory) -> ()
+  | _ -> Alcotest.fail "disk hit was not promoted to memory"
+
+let test_disk_corruption_rejected () =
+  with_temp_dir @@ fun dir ->
+  let cases =
+    [
+      ("garbage", fun _ -> "total garbage");
+      ("truncated", fun s -> String.sub s 0 (String.length s / 2));
+      ( "payload flipped",
+        fun s ->
+          String.map (fun c -> if c = 'p' then 'q' else c) s );
+      ("empty", fun _ -> "");
+    ]
+  in
+  List.iteri
+    (fun i (what, corrupt) ->
+      let d = digest_of (Printf.sprintf "q%d" i) in
+      let c1 = ok_exn "cache" (C.create ~dir ()) in
+      C.store c1 ~digest:d "payload";
+      let path = C.entry_path ~dir ~digest:d in
+      let original =
+        In_channel.with_open_bin path In_channel.input_all
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (corrupt original));
+      let before = counter "serve_cache/disk_corrupt" in
+      let fresh = ok_exn "fresh" (C.create ~dir ()) in
+      (match C.find fresh ~digest:d with
+      | None -> ()
+      | Some _ -> Alcotest.failf "%s entry accepted" what);
+      Alcotest.(check bool) (what ^ " counted") true
+        (counter "serve_cache/disk_corrupt" = before + 1);
+      Alcotest.(check bool) (what ^ " deleted") false (Sys.file_exists path))
+    cases
+
+let test_disk_digest_mismatch () =
+  with_temp_dir @@ fun dir ->
+  let d1 = digest_of "a" and d2 = digest_of "b" in
+  let c = ok_exn "cache" (C.create ~dir ()) in
+  C.store c ~digest:d1 "payload-a";
+  (* a confused sync tool renames the valid entry under another digest:
+     internally consistent, but it answers the wrong question *)
+  Sys.rename (C.entry_path ~dir ~digest:d1) (C.entry_path ~dir ~digest:d2);
+  let fresh = ok_exn "fresh" (C.create ~dir ()) in
+  (match C.find fresh ~digest:d2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "entry accepted under the wrong digest");
+  Alcotest.(check bool) "rejected entry deleted" false
+    (Sys.file_exists (C.entry_path ~dir ~digest:d2))
+
+(* ---- server: differential cached = cold ------------------------------- *)
+
+let test_differential_cached_equals_cold () =
+  Ir_obs.reset ();
+  let cache = ok_exn "cache" (C.create ~capacity:64 ()) in
+  let srv = S.create ~workers:2 ~cache () in
+  let corpus =
+    [
+      F.v ~bunch_size:500 ~node:"130nm" ~gates:20_000 ();
+      F.v ~bunch_size:500 ~repeater_fraction:0.2 ~node:"130nm"
+        ~gates:20_000 ();
+      F.v ~bunch_size:500 ~repeater_fraction:0.7 ~node:"130nm"
+        ~gates:20_000 ();
+      F.v ~bunch_size:500 ~node:"90nm" ~gates:20_000 ();
+      F.v ~bunch_size:500 ~algo:F.Greedy ~node:"130nm" ~gates:20_000 ();
+      F.v ~bunch_size:400 ~clock:2.0e9 ~node:"130nm" ~gates:30_000 ();
+      F.v ~bunch_size:400 ~k:2.7 ~miller:1.5 ~node:"90nm" ~gates:30_000 ();
+      (let wld = Result.get_ok (Ir_wld.Io.of_string "1,500\n4,200\n9,60\n") in
+       F.v ~wld ~bunch_size:100 ~node:"130nm" ~gates:5_000 ());
+    ]
+  in
+  List.iteri
+    (fun i q ->
+      let q = ok_exn (Printf.sprintf "corpus %d" i) q in
+      let cold = Pr.result_payload (F.compute_cold q) in
+      let served =
+        match S.submit_query srv q with
+        | Ok (payload, _) -> payload
+        | Error e -> Alcotest.failf "corpus %d: %s" i (Pr.error_message e)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "corpus %d: served = cold" i)
+        cold served;
+      (* and again, now through the cache *)
+      match S.submit_query srv q with
+      | Ok (payload, source) ->
+          Alcotest.(check string)
+            (Printf.sprintf "corpus %d: cache hit identical" i)
+            cold payload;
+          Alcotest.(check string)
+            (Printf.sprintf "corpus %d: second ask from memory" i)
+            "memory" source
+      | Error e -> Alcotest.failf "corpus %d: %s" i (Pr.error_message e))
+    corpus;
+  (* the repeater-fraction family shares one warm table build *)
+  Alcotest.(check bool) "warm tables reused" true
+    (counter "serve/table_hits" >= 2);
+  S.shutdown srv;
+  S.join srv
+
+(* ---- server: e2e over a unix socket ----------------------------------- *)
+
+let temp_socket () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ia_serve_%d_%d.sock" (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+
+let start_server srv socket =
+  let th =
+    Thread.create (fun () -> ok_exn "serve_unix" (S.serve_unix srv ~socket)) ()
+  in
+  wait_for "socket to appear" (fun () -> Sys.file_exists socket);
+  th
+
+let test_e2e_coalescing_and_restart () =
+  Ir_obs.reset ();
+  with_temp_dir @@ fun dir ->
+  let socket = temp_socket () in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ~dir ()) in
+  let srv =
+    S.create ~workers:2 ~cache
+      ~on_compute_start:(fun _ ->
+        Atomic.set started true;
+        (* hold the computation until the test saw all waiters attach *)
+        while not (Atomic.get release) do
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let server_thread = start_server srv socket in
+  let q = Pr.query ~bunch_size:500 ~node:"130nm" ~gates:20_000 () in
+  let fp = ok_exn "fp" (Pr.fingerprint_of_query q) in
+  let digest = F.digest fp in
+  (* 4 concurrent clients, byte-identical request lines *)
+  let line = Pr.encode_request { Pr.id = "x"; op = Pr.Query q } in
+  let responses = Array.make 4 "" in
+  let clients =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let oc = Unix.out_channel_of_descr fd in
+            let ic = Unix.in_channel_of_descr fd in
+            output_string oc (line ^ "\n");
+            flush oc;
+            (match In_channel.input_line ic with
+            | Some resp -> responses.(i) <- resp
+            | None -> ());
+            Unix.close fd)
+          ())
+  in
+  wait_for "compute to start" (fun () -> Atomic.get started);
+  wait_for "3 waiters to coalesce" (fun () ->
+      S.pending_waiters srv ~digest = 3);
+  Atomic.set release true;
+  List.iter Thread.join clients;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "client %d answered" i) true
+        (String.length r > 0);
+      Alcotest.(check string)
+        (Printf.sprintf "client %d byte-identical" i)
+        responses.(0) r)
+    responses;
+  Alcotest.(check int) "exactly one computation" 1 (counter "serve/computes");
+  Alcotest.(check int) "three requests coalesced" 3
+    (counter "serve/coalesced");
+  S.shutdown srv;
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket removed on drain" false
+    (Sys.file_exists socket);
+  (* restart over the same cache dir: the 5th ask hits the disk store *)
+  let cache2 = ok_exn "cache2" (C.create ~capacity:16 ~dir ()) in
+  let srv2 = S.create ~workers:1 ~cache:cache2 () in
+  let server_thread2 = start_server srv2 socket in
+  let client = ok_exn "connect" (Cl.connect ~socket) in
+  (match Cl.query client q with
+  | Ok (_, source, payload) ->
+      let body =
+        ok_exn "resp0" (Pr.decode_response responses.(0))
+      in
+      (match body.Pr.body with
+      | Pr.Result r ->
+          Alcotest.(check string) "restart payload identical" r.payload
+            payload
+      | _ -> Alcotest.fail "first response was not a result");
+      Alcotest.(check string) "served from disk" "disk" source
+  | Error e -> Alcotest.failf "restart query: %s" e);
+  Cl.close client;
+  S.shutdown srv2;
+  Thread.join server_thread2
+
+let fp_at f =
+  ok_exn "fp"
+    (F.v ~repeater_fraction:f ~bunch_size:500 ~node:"130nm" ~gates:20_000 ())
+
+let test_e2e_shed () =
+  Ir_obs.reset ();
+  let release = Atomic.make false in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv =
+    S.create ~workers:1 ~queue_capacity:1 ~cache
+      ~on_compute_start:(fun _ ->
+        while not (Atomic.get release) do
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  (* A occupies the single worker (held by the hook); B and C then race
+     for the one queue slot — whichever loses is shed with the retryable
+     Overloaded error while the winner completes normally. *)
+  let ra = ref (Error Pr.Overloaded)
+  and rb = ref (Error Pr.Overloaded)
+  and rc = ref (Error Pr.Overloaded) in
+  let ta = Thread.create (fun () -> ra := S.submit_query srv (fp_at 0.3)) () in
+  wait_for "A to occupy the worker" (fun () -> counter "serve/computes" = 1);
+  let tb = Thread.create (fun () -> rb := S.submit_query srv (fp_at 0.4)) () in
+  let tc = Thread.create (fun () -> rc := S.submit_query srv (fp_at 0.5)) () in
+  wait_for "one of B/C to be shed" (fun () -> counter "serve/shed" = 1);
+  Atomic.set release true;
+  List.iter Thread.join [ ta; tb; tc ];
+  (match !ra with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "A failed: %s" (Pr.error_message e));
+  let shed, served =
+    List.partition (fun r -> r = Error Pr.Overloaded) [ !rb; !rc ]
+  in
+  Alcotest.(check int) "exactly one shed" 1 (List.length shed);
+  (match served with
+  | [ Ok _ ] -> ()
+  | [ Error e ] ->
+      Alcotest.failf "queued request failed: %s" (Pr.error_message e)
+  | _ -> Alcotest.fail "expected exactly one served request");
+  Alcotest.(check bool) "overloaded is retryable" true
+    (Pr.retryable Pr.Overloaded);
+  (* draining refuses new queries *)
+  S.shutdown srv;
+  (match S.submit_query srv (fp_at 0.6) with
+  | Error Pr.Shutting_down -> ()
+  | Ok _ -> Alcotest.fail "query accepted while draining"
+  | Error e ->
+      Alcotest.failf "expected shutting down, got %s" (Pr.error_message e));
+  S.join srv
+
+let test_e2e_timeout () =
+  Ir_obs.reset ();
+  let release = Atomic.make false in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv =
+    S.create ~workers:1 ~request_timeout:0.15 ~cache
+      ~on_compute_start:(fun _ ->
+        while not (Atomic.get release) do
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  (* The hook holds the computation past the 0.15 s deadline: the waiter
+     is released with Timeout… *)
+  (match S.submit_query srv (fp_at 0.3) with
+  | Error Pr.Timeout -> ()
+  | Ok _ -> Alcotest.fail "expected a timeout"
+  | Error e -> Alcotest.failf "expected timeout, got %s" (Pr.error_message e));
+  Alcotest.(check int) "timeout counted" 1 (counter "serve/timeouts");
+  (* …but the computation itself still completes and publishes, so the
+     next asker gets a memory hit. *)
+  Atomic.set release true;
+  wait_for "the abandoned result to be cached" (fun () ->
+      C.find cache ~digest:(F.digest (fp_at 0.3)) <> None);
+  (match S.submit_query srv (fp_at 0.3) with
+  | Ok (_, "memory") -> ()
+  | Ok (_, s) -> Alcotest.failf "expected memory hit, got %s" s
+  | Error e -> Alcotest.failf "post-timeout ask: %s" (Pr.error_message e));
+  S.shutdown srv;
+  S.join srv
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fp_deterministic;
+          Alcotest.test_case "node spellings" `Quick test_fp_node_spellings;
+          Alcotest.test_case "defaults explicit" `Quick
+            test_fp_defaults_explicit;
+          Alcotest.test_case "parameter sensitivity" `Quick
+            test_fp_param_sensitivity;
+          Alcotest.test_case "inline wld canonical" `Quick
+            test_fp_inline_wld_canonical;
+          Alcotest.test_case "table key masks" `Quick test_fp_table_key_masks;
+          Alcotest.test_case "validation" `Quick test_fp_validation;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "hardening" `Quick test_json_hardening;
+        ] );
+      ( "protocol",
+        [
+          prop_request_roundtrip;
+          prop_response_roundtrip;
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+        ] );
+      ( "cache",
+        [
+          prop_lru_model;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "disk persistence" `Quick test_disk_persistence;
+          Alcotest.test_case "disk corruption rejected" `Quick
+            test_disk_corruption_rejected;
+          Alcotest.test_case "disk digest mismatch" `Quick
+            test_disk_digest_mismatch;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "differential cached = cold" `Quick
+            test_differential_cached_equals_cold;
+          Alcotest.test_case "e2e coalescing + restart" `Quick
+            test_e2e_coalescing_and_restart;
+          Alcotest.test_case "shed and drain" `Quick test_e2e_shed;
+          Alcotest.test_case "timeout" `Quick test_e2e_timeout;
+        ] );
+    ]

@@ -261,6 +261,18 @@ let test_export () =
               jobs1_seconds = 1.25;
               jobsn_seconds = 2.5;
             }
+          ~serving:
+            {
+              Ir_sweep.Export.trace_requests = 9;
+              distinct_queries = 3;
+              hit_rate = 0.75;
+              p50_ms = 1.0;
+              p95_ms = 2.0;
+              p99_ms = 3.0;
+              computes = 3;
+              table_builds = 1;
+              counters_match = true;
+            }
           ~sweeps:[ sweep ] ~cross:[] ()
       with
       | Error e -> Alcotest.failf "write_bench_json: %s" e
@@ -275,8 +287,11 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/4\"";
+              "\"schema\":\"ia-rank/bench-sweeps/5\"";
               "\"jobs\":4";
+              "\"serving\":{\"trace_requests\":9";
+              "\"counters_match\":true";
+              "\"hit_rate\":0.75";
               "\"requested_jobs\":4";
               "\"effective_jobs\":1";
               "\"speedup\":0.5";

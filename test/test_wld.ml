@@ -239,6 +239,70 @@ let test_io_parsing () =
         (Astring_contains.contains e "negative")
   | Ok _ -> Alcotest.fail "expected negative-count error"
 
+(* Every malformed-entry failure mode the serving layer relies on: the
+   parser is the trust boundary for client-supplied WLDs, so each
+   rejection must carry the line number (and file name, when given)
+   rather than silently repairing the data. *)
+let test_io_failure_modes () =
+  let rejected what input substrings =
+    match Ir_wld.Io.of_string input with
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | Error e ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s error mentions %S (got %S)" what s e)
+              true
+              (Astring_contains.contains e s))
+          substrings
+  in
+  rejected "three-field line" "1,2\n3,4,5\n" [ "line 2" ];
+  rejected "missing count" "1,2\n7\n" [ "line 2" ];
+  (* unparsable fields on line 1 are the one tolerated header; from
+     line 2 on they are errors *)
+  rejected "unparsable length" "1,2\nabc,2\n" [ "line 2" ];
+  rejected "fractional count" "1,2\n3,2.5\n" [ "line 2" ];
+  rejected "negative count" "1,2\n3,-4\n" [ "line 2"; "negative" ];
+  rejected "negative length" "-1,2\n" [ "line 1" ];
+  rejected "zero length" "0,2\n" [ "line 1" ];
+  rejected "NaN length" "nan,2\n" [ "line 1" ];
+  rejected "infinite length" "inf,2\n" [ "line 1" ];
+  rejected "empty input" "" [ "no data" ];
+  rejected "comments only" "# nothing\n\n# here\n" [ "no data" ]
+
+let test_io_strict_mode () =
+  (* Non-monotone data is legal by default (Dist.of_bins sorts and
+     merges) but rejected under [strict] — the serving layer treats an
+     out-of-order upload as corruption, not as an encoding choice. *)
+  (match Ir_wld.Io.of_string "3.5,4\n1,2\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "default mode rejected unsorted data: %s" e);
+  (match Ir_wld.Io.of_string ~strict:true "3.5,4\n1,2\n" with
+  | Ok _ -> Alcotest.fail "strict mode accepted unsorted data"
+  | Error e ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "strict error mentions %S (got %S)" s e)
+            true
+            (Astring_contains.contains e s))
+        [ "line 1"; "line 2" ]);
+  (match Ir_wld.Io.of_string ~strict:true "1,2\n1,3\n" with
+  | Ok _ -> Alcotest.fail "strict mode accepted a duplicated length"
+  | Error _ -> ());
+  (* a header line and sorted data are fine under strict *)
+  (match Ir_wld.Io.of_string ~strict:true "length,count\n1,2\n3.5,4\n" with
+  | Ok d -> Alcotest.(check int) "strict parse total" 6 (Ir_wld.Dist.total d)
+  | Error e -> Alcotest.failf "strict rejected valid input: %s" e);
+  (* the [name] prefix lands in front of the line number *)
+  match Ir_wld.Io.of_string ~name:"upload.csv" "1,-2\n" with
+  | Ok _ -> Alcotest.fail "negative count accepted"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "named error %S" e)
+        true
+        (Astring_contains.contains e "upload.csv: line 1")
+
 let test_io_files () =
   let path = Filename.temp_file "wld" ".csv" in
   Fun.protect
@@ -357,6 +421,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "parsing" `Quick test_io_parsing;
+          Alcotest.test_case "failure modes" `Quick test_io_failure_modes;
+          Alcotest.test_case "strict mode" `Quick test_io_strict_mode;
           Alcotest.test_case "files" `Quick test_io_files;
           prop_io_roundtrip;
         ] );
