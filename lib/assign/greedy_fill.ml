@@ -98,7 +98,7 @@ let max_take ~cap ~a_w ~wire_area ~via ~v ~base_wires ~reps ~suffix_above
     !x
   end
 
-let run t ctx ~record =
+let run ?scratch t ctx ~record =
   Ir_obs.incr stat_calls;
   let n = Problem.n_bunches t in
   let m = Problem.n_pairs t in
@@ -151,7 +151,19 @@ let run t ctx ~record =
   end
   else
   let placements = ref [] in
-  let remaining = Array.init n (fun b -> Problem.bunch_count t b) in
+  (* The packing loop only ever touches [remaining.(b)] for [b < n], so a
+     scratch buffer longer than [n] is fine; the refill writes exactly
+     the values [Array.init] would. *)
+  let remaining =
+    match scratch with
+    | None -> Array.init n (fun b -> Problem.bunch_count t b)
+    | Some s ->
+        let r = Scratch.ints s n in
+        for b = 0 to n - 1 do
+          r.(b) <- Problem.bunch_count t b
+        done;
+        r
+  in
   for b = 0 to ctx.from_bunch - 1 do
     remaining.(b) <- 0
   done;
@@ -219,5 +231,5 @@ let run t ctx ~record =
     Ir_obs.add stat_wires !packed_total;
     if ok then Some (List.rev !placements) else None
 
-let pack t ctx = run t ctx ~record:true
-let fits t ctx = Option.is_some (run t ctx ~record:false)
+let pack ?scratch t ctx = run ?scratch t ctx ~record:true
+let fits ?scratch t ctx = Option.is_some (run ?scratch t ctx ~record:false)

@@ -74,9 +74,12 @@ val max_take :
     either direction from float rounding.  Exposed for the regression
     tests pinning that behaviour. *)
 
-val pack : Problem.t -> context -> placement list option
+val pack : ?scratch:Scratch.t -> Problem.t -> context -> placement list option
 (** Packs the suffix; returns placements (bottom-up order) or [None] when
-    it does not fit.
+    it does not fit.  [?scratch] reuses the arena's int buffer for the
+    O(bunches) per-call working array instead of allocating — verdicts,
+    placements and counters are byte-identical either way (the refill
+    writes exactly what fresh allocation would).
     @raise Invalid_argument on out-of-range context fields.
 
     Both entry points first run an O(pairs) capacity screen: when the
@@ -87,5 +90,5 @@ val pack : Problem.t -> context -> placement list option
     verdicts, with a relative slack absorbing float summation-order
     differences — so only [greedy_fill/wires_packed] totals change. *)
 
-val fits : Problem.t -> context -> bool
+val fits : ?scratch:Scratch.t -> Problem.t -> context -> bool
 (** {!pack} without materializing the placement list. *)

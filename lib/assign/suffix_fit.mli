@@ -30,10 +30,12 @@
 
 type t
 
-val create : Problem.t -> t
+val create : ?scratch:Scratch.t -> Problem.t -> t
 (** A fresh, empty memo for [problem]'s capacity/architecture/WLD family.
     Valid for the problem itself and any [Problem.with_repeater_fraction]
-    rebinding of it. *)
+    rebinding of it.  [?scratch] is handed to {!Greedy_fill.fits} on
+    every miss, reusing one arena across the memo's oracle calls; it is
+    single-user, exactly like the memo. *)
 
 val fits :
   t ->

@@ -73,6 +73,42 @@ let create ~cells ~width =
     truncations = 0;
   }
 
+(* Rebind [old]'s backing arrays to a fresh logical store when they are
+   big enough, else allocate.  Only [len] (the per-cell live lengths) and
+   the arena bookkeeping need resetting: [seed]/[insert] never read an
+   element beyond a cell's length, so stale [area]/[count]/[state]
+   contents are unreachable.  The arena arrays keep their grown capacity
+   — that is the point: a sweep reusing one scratch front stops paying
+   the doubling climb per build.  The source becomes invalid (it shares
+   every array with the result). *)
+let recycle old ~cells ~width =
+  if cells <= 0 then invalid_arg "Front.recycle: cells must be positive";
+  if width <= 0 then invalid_arg "Front.recycle: width must be positive";
+  let stride = width + 1 in
+  if cells * stride > Array.length old.area || cells > Array.length old.len
+  then create ~cells ~width
+  else begin
+    Array.fill old.len 0 cells 0;
+    {
+      width;
+      stride;
+      cells;
+      area = old.area;
+      count = old.count;
+      state = old.state;
+      len = old.len;
+      arena_split = old.arena_split;
+      arena_parent = old.arena_parent;
+      arena_len = 0;
+      arena_free = no_parent;
+      arena_live = 0;
+      arena_hw = 0;
+      inserts = 0;
+      dominated = 0;
+      truncations = 0;
+    }
+  end
+
 let width t = t.width
 let length t cell = t.len.(cell)
 let area t cell k = t.area.((cell * t.stride) + k)

@@ -23,6 +23,20 @@ val create : cells : int -> width : int -> t
     [width] ([max_pareto]) each.  Raises [Invalid_argument] unless both
     are positive. *)
 
+val recycle : t -> cells : int -> width : int -> t
+(** [recycle old ~cells ~width] is {!create} that reuses [old]'s backing
+    arrays when they are large enough for the requested geometry (falling
+    back to a fresh allocation when not).  The result is an empty store
+    indistinguishable from [create ~cells ~width] — same behaviour, same
+    statistics from zero — because no reader ever looks past a cell's
+    live length or the arena's reset length; only the allocation traffic
+    differs.  [old] is {e consumed}: it shares every array with the
+    result and must not be touched again.  This is the per-domain scratch
+    path of the parallel sweeps ({!Rank_dp.with_scratch}); tables that
+    outlive a computation (the serve layer's warm pool) must keep using
+    {!create}.  Raises [Invalid_argument] unless both arguments are
+    positive. *)
+
 val width : t -> int
 
 (** {1 Front access}

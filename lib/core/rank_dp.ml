@@ -1,5 +1,6 @@
 module P = Ir_assign.Problem
 module GF = Ir_assign.Greedy_fill
+module Scratch = Ir_assign.Scratch
 
 (* Observability instruments (see Ir_obs).  Every counter here is a
    deterministic quantity: its total depends only on the instances
@@ -52,16 +53,62 @@ type tables = {
 
 let cell ~n j i = (j * (n + 1)) + i
 
+(* Per-domain scratch for the transient compute paths: a greedy-fill
+   arena plus the previous build's [Front.t], recycled into the next
+   build instead of reallocated ([Front.recycle] — indistinguishable from
+   a fresh store, so results and counters are byte-identical).  Holding a
+   scratch makes the tables it builds {e transient}: the next build with
+   the same scratch reuses their arrays.  The entry points that return
+   plain outcomes ([compute], [search], [search_budgets],
+   [feasible_boundary]) thread one automatically; [build_tables] without
+   an explicit scratch always allocates fresh, which is what table
+   holders like the serve warm pool need. *)
+type scratch = {
+  gf : Scratch.t;
+  mutable front : Front.t option;
+  busy : bool Atomic.t;
+}
+
+let create_scratch () =
+  { gf = Scratch.create (); front = None; busy = Atomic.make false }
+
+let scratch_key : scratch Domain.DLS.key = Domain.DLS.new_key create_scratch
+
+(* Same borrow discipline as [Scratch.with_arena]: the domain's scratch
+   by CAS, a throwaway one when a sibling systhread already holds it. *)
+let with_domain_scratch f =
+  let s = Domain.DLS.get scratch_key in
+  if Atomic.compare_and_set s.busy false true then
+    Fun.protect ~finally:(fun () -> Atomic.set s.busy false) (fun () -> f s)
+  else f (create_scratch ())
+
+let with_scratch ?scratch f =
+  match scratch with Some s -> f s | None -> with_domain_scratch f
+
 exception Break
 
-let build_tables ?(max_pareto = 8) problem =
+let build_tables ?(max_pareto = 8) ?scratch problem =
   Ir_obs.time span_build @@ fun () ->
   let n = P.n_bunches problem in
   let m = P.n_pairs problem in
   let cap = P.capacity problem in
   let budget = P.budget problem in
   let width = max 1 max_pareto in
-  let front = Front.create ~cells:((m + 1) * (n + 1)) ~width in
+  let cells = (m + 1) * (n + 1) in
+  let front =
+    match scratch with
+    | None -> Front.create ~cells ~width
+    | Some s ->
+        (* Consumes the previous transient build's store (if any) — the
+           scratch contract says those tables are dead by now. *)
+        let fr =
+          match s.front with
+          | Some old -> Front.recycle old ~cells ~width
+          | None -> Front.create ~cells ~width
+        in
+        s.front <- Some fr;
+        fr
+  in
   Front.seed front (cell ~n 0 0) ~area:0.0 ~count:0;
   (* Raw views into the front's arrays, for the inlined dominance
      pre-check below.  Without flambda every [Front.insert] call boxes
@@ -78,7 +125,13 @@ let build_tables ?(max_pareto = 8) problem =
   (* [P.blocked] depends on the pair, [wires_above], and the state's
      repeater count — not on the interval end — so one scratch fill per
      (pair, start) replaces a boxed call per (state, end). *)
-  let blocked_k = Array.make width 0.0 in
+  let blocked_k =
+    (* Only [0 .. len-1] (len <= width) is written-then-read per cell, so
+       an arena buffer longer than [width] behaves like the fresh array. *)
+    match scratch with
+    | None -> Array.make width 0.0
+    | Some s -> Scratch.floats s.gf width
+  in
   let states = ref 0 in
   for j = 0 to m - 1 do
     for i = 0 to n do
@@ -177,7 +230,7 @@ let table_truncations tables = tables.truncations
    over it are filtered by the [e.area + m_area > budget] check (prefix
    areas only grow along a chain, so no over-budget prefix can lead to a
    within-budget witness). *)
-let feasible_witness ?memo tables c =
+let feasible_witness ?memo ?gf tables c =
   let { problem; front; n; m; _ } = tables in
   let cap = P.capacity problem in
   let budget = P.budget problem in
@@ -196,7 +249,7 @@ let feasible_witness ?memo tables c =
           ~wires_above_top ~reps_above_top ~wires_above_below:wires_c
           ~reps_above_below
     | None ->
-        GF.fits problem
+        GF.fits ?scratch:gf problem
           (GF.context ~top_pair_used ~wires_above_top ~reps_above_top
              ~wires_above_below:wires_c ~reps_above_below ~from_bunch:c
              ~top_pair ())
@@ -258,7 +311,7 @@ let feasible_witness ?memo tables c =
   Ir_obs.add stat_witness_probes !probes;
   result
 
-let feasible tables c = Option.is_some (feasible_witness tables c)
+let feasible ?gf tables c = Option.is_some (feasible_witness ?gf tables c)
 
 let outcome_of_boundary problem ~assignable ~exact c =
   Outcome.v ~exact
@@ -305,14 +358,17 @@ let cold_probe_cost n =
   done;
   !steps
 
-let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) tables =
+let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) ?scratch
+    tables =
   Ir_obs.time span_search @@ fun () ->
+  with_scratch ?scratch @@ fun s ->
+  let gf = s.gf in
   let problem = tables.problem in
   let n = tables.n in
   let exact = tables.truncations = 0 in
   let probes = ref 0 in
   let result =
-    match feasible_witness ?memo tables 0 with
+    match feasible_witness ?memo ~gf tables 0 with
     | None ->
         ( Outcome.unassignable ~exact ~total_wires:(P.total_wires problem) (),
           None )
@@ -320,7 +376,7 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) tables =
         let best = ref 0 and best_w = ref w0 in
         let try_c c =
           incr probes;
-          match feasible_witness ?memo tables c with
+          match feasible_witness ?memo ~gf tables c with
           | Some w ->
               best := c;
               best_w := w;
@@ -364,18 +420,22 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) tables =
             Ir_obs.incr stat_fan_rounds;
             probes := !probes + k;
             let answers =
-              if k = 1 then [| (pts.(0), feasible_witness tables pts.(0)) |]
+              if k = 1 then
+                [| (pts.(0), feasible_witness ~gf tables pts.(0)) |]
               else begin
                 (* Plain [Domain.spawn] per probe rather than the Ir_exec
                    pool: a search may itself be running inside a pool
                    worker, and a nested pool run would clobber
-                   [last_pool_stats] for the driver that launched us. *)
+                   [last_pool_stats] for the driver that launched us.
+                   Spawned probes allocate fresh — their domain (and any
+                   arena in it) dies at the join, so there is nothing to
+                   reuse; only the caller-domain probe gets the arena. *)
                 let spawned =
                   Array.init (k - 1) (fun t ->
                       let c = pts.(t + 1) in
                       Domain.spawn (fun () -> (c, feasible_witness tables c)))
                 in
-                let first = (pts.(0), feasible_witness tables pts.(0)) in
+                let first = (pts.(0), feasible_witness ~gf tables pts.(0)) in
                 Array.append [| first |] (Array.map Domain.join spawned)
               end
             in
@@ -469,9 +529,12 @@ let default_widen_cap = 128
    with the width, which is why the ladder is gated on convergence rather
    than run to [widen_cap] unconditionally. *)
 let build_widened ?(max_pareto = 8) ?(widen_on_overflow = true)
-    ?(widen_cap = default_widen_cap) problem =
+    ?(widen_cap = default_widen_cap) ?scratch problem =
   let rec attempt mp prev_truncations =
-    let tables = build_tables ~max_pareto:mp problem in
+    (* Each widened retry recycles the abandoned attempt's store through
+       the scratch — the doubled width usually forces a fresh allocation
+       anyway, but the arena capacity carries over. *)
+    let tables = build_tables ~max_pareto:mp ?scratch problem in
     let t = tables.truncations in
     let converging =
       match prev_truncations with None -> true | Some p -> 2 * t <= p
@@ -484,25 +547,27 @@ let build_widened ?(max_pareto = 8) ?(widen_on_overflow = true)
   in
   attempt (max 1 max_pareto) None
 
-let unfittable problem =
+let unfittable ?gf problem =
   (* Definition 3: if the WLD does not even fit ignoring delay, the rank
      is 0 and the DP tables are not worth building.  Capacity-only, so
      the verdict is independent of the repeater budget. *)
-  not (GF.fits problem (GF.context ~from_bunch:0 ~top_pair:0 ()))
+  not (GF.fits ?scratch:gf problem (GF.context ~from_bunch:0 ~top_pair:0 ()))
 
 let search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
-    ?probe_fan problem =
-  if unfittable problem then
+    ?probe_fan ?scratch problem =
+  with_scratch ?scratch @@ fun s ->
+  if unfittable ~gf:s.gf problem then
     (Outcome.unassignable ~total_wires:(P.total_wires problem) (), None)
   else
-    search_tables ?exhaustive ?hint ?probe_fan
-      (build_widened ?max_pareto ?widen_on_overflow ?widen_cap problem)
+    search_tables ?exhaustive ?hint ?probe_fan ~scratch:s
+      (build_widened ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
+         problem)
 
 let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
-    ?probe_fan problem =
+    ?probe_fan ?scratch problem =
   fst
     (search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
-       ?probe_fan problem)
+       ?probe_fan ?scratch problem)
 
 let compute_with_witness ?max_pareto ?widen_on_overflow problem =
   search ?max_pareto ?widen_on_overflow problem
@@ -521,11 +586,12 @@ let compute_with_witness ?max_pareto ?widen_on_overflow problem =
    truncate, the displacement argument no longer holds and we fall back
    to independent per-fraction computes (paying the historical cost, but
    never a wrong answer). *)
-let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
+let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap ?scratch problem
     fractions =
+  with_scratch ?scratch @@ fun s ->
   match fractions with
   | [] -> []
-  | _ when unfittable problem ->
+  | _ when unfittable ~gf:s.gf problem ->
       List.map
         (fun _ ->
           Outcome.unassignable ~total_wires:(P.total_wires problem) ())
@@ -533,7 +599,7 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
   | _ ->
       let f_max = List.fold_left Float.max neg_infinity fractions in
       let shared =
-        build_widened ?max_pareto ?widen_on_overflow ?widen_cap
+        build_widened ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
           (P.with_repeater_fraction problem f_max)
       in
       if shared.truncations = 0 then begin
@@ -543,13 +609,15 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
            hits.  The boundary is monotone in the budget too, so each
            fraction's result (fractions ascend in the Table-4 R column)
            warm-starts the next search. *)
-        let memo = Ir_assign.Suffix_fit.create shared.problem in
+        let memo = Ir_assign.Suffix_fit.create ~scratch:s.gf shared.problem in
         let hint = ref None in
         List.map
           (fun f ->
             let p = P.with_repeater_fraction problem f in
             let outcome =
-              fst (search_tables ~memo ?hint:!hint { shared with problem = p })
+              fst
+                (search_tables ~memo ?hint:!hint ~scratch:s
+                   { shared with problem = p })
             in
             if outcome.Outcome.assignable then
               hint := Some outcome.Outcome.boundary_bunch;
@@ -557,9 +625,11 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap problem
           fractions
       end
       else
+        (* [shared] is dead from here on (its front may be recycled by the
+           per-fraction builds below — they run through the same scratch). *)
         List.map
           (fun f ->
-            compute ?max_pareto ?widen_on_overflow ?widen_cap
+            compute ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
               (P.with_repeater_fraction problem f))
           fractions
 
@@ -575,5 +645,6 @@ let search_tables_rebudget ?memo ?hint ?probe_fan ~fraction tables =
     { tables with problem = P.with_repeater_fraction tables.problem fraction }
 
 let feasible_boundary ?(max_pareto = 8) problem c =
-  if unfittable problem then false
-  else feasible (build_tables ~max_pareto problem) c
+  with_domain_scratch @@ fun s ->
+  if unfittable ~gf:s.gf problem then false
+  else feasible ~gf:s.gf (build_tables ~max_pareto ~scratch:s problem) c

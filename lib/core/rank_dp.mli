@@ -57,8 +57,35 @@ type tables
     what {!search_budgets} exploits to answer a whole budget sweep from
     one build. *)
 
-val build_tables : ?max_pareto:int -> Ir_assign.Problem.t -> tables
-(** Tabulates phase A (default [max_pareto = 8]). *)
+type scratch
+(** Per-domain reusable buffers for the transient compute paths: a
+    {!Ir_assign.Scratch} arena for the greedy-fill working arrays plus
+    the previous build's {!Front} store, recycled into the next build
+    instead of reallocated.  Purely an allocation-traffic optimization —
+    results, counters and gauges are byte-identical with or without one
+    (the recycled store is indistinguishable from a fresh allocation; the
+    differential tests in [test_core] assert it) — but under parallel
+    sweeps it is what keeps per-probe allocation churn from triggering
+    stop-the-world minor collections across every worker domain.
+
+    A scratch is single-user mutable state, and tables built through one
+    are {e transient}: the next build with the same scratch consumes
+    their arrays.  Entry points returning plain outcomes ([compute],
+    [search_budgets], [feasible_boundary], the searches) borrow the
+    calling domain's scratch automatically when [?scratch] is omitted
+    (CAS-guarded, so sibling systhreads sharing the domain fall back to
+    fresh allocation); pass one explicitly only to pin reuse across a
+    caller-managed sequence. *)
+
+val create_scratch : unit -> scratch
+(** A fresh private scratch, independent of any domain's. *)
+
+val build_tables : ?max_pareto:int -> ?scratch:scratch -> Ir_assign.Problem.t -> tables
+(** Tabulates phase A (default [max_pareto = 8]).  Without [?scratch]
+    the tables own freshly allocated storage and stay valid forever —
+    required for holders like the serve warm pool.  With [?scratch] the
+    build recycles the scratch's previous store: cheaper, but the result
+    is only valid until the next build through the same scratch. *)
 
 val table_truncations : tables -> int
 (** Number of non-dominated states dropped because a per-state Pareto set
@@ -71,6 +98,7 @@ val search_tables :
   ?memo:Ir_assign.Suffix_fit.t ->
   ?hint:int ->
   ?probe_fan:int ->
+  ?scratch:scratch ->
   tables ->
   Outcome.t * witness option
 (** Runs the boundary search on prebuilt tables — {!compute} minus table
@@ -109,6 +137,7 @@ val build_tables_widened :
   ?max_pareto:int ->
   ?widen_on_overflow:bool ->
   ?widen_cap:int ->
+  ?scratch:scratch ->
   Ir_assign.Problem.t ->
   tables
 (** {!build_tables} behind the widening ladder {!compute} uses: on Pareto
@@ -139,6 +168,7 @@ val search_budgets :
   ?max_pareto:int ->
   ?widen_on_overflow:bool ->
   ?widen_cap:int ->
+  ?scratch:scratch ->
   Ir_assign.Problem.t ->
   float list ->
   Outcome.t list
@@ -168,6 +198,7 @@ val compute :
   ?exhaustive:bool ->
   ?hint:int ->
   ?probe_fan:int ->
+  ?scratch:scratch ->
   Ir_assign.Problem.t ->
   Outcome.t
 (** [compute problem] returns the optimal rank.  [hint]/[probe_fan] are

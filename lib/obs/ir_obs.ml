@@ -113,15 +113,23 @@ let reset () =
           Atomic.set s.ns 0)
         spans)
 
+let has_prefix ~prefix name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
 let filter ~prefix snap =
-  let keep (name, _) =
-    String.length name >= String.length prefix
-    && String.sub name 0 (String.length prefix) = prefix
-  in
   {
-    counters = List.filter keep snap.counters;
-    gauges = List.filter keep snap.gauges;
-    spans = List.filter keep snap.spans;
+    counters = List.filter (fun (n, _) -> has_prefix ~prefix n) snap.counters;
+    gauges = List.filter (fun (n, _) -> has_prefix ~prefix n) snap.gauges;
+    spans = List.filter (fun (n, _) -> has_prefix ~prefix n) snap.spans;
+  }
+
+let filter_out ~prefix snap =
+  {
+    counters =
+      List.filter (fun (n, _) -> not (has_prefix ~prefix n)) snap.counters;
+    gauges = List.filter (fun (n, _) -> not (has_prefix ~prefix n)) snap.gauges;
+    spans = List.filter (fun (n, _) -> not (has_prefix ~prefix n)) snap.spans;
   }
 
 let find_counter snap name = List.assoc_opt name snap.counters

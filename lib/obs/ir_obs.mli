@@ -7,13 +7,17 @@
 
     - {e counters} — monotone integer event counts ([Atomic] adds, so
       concurrent increments from worker domains never lose updates).
-      Every counter in this codebase counts a {e deterministic} quantity:
-      its total after a run depends only on the work performed, not on
-      how that work was scheduled across domains.  Running the same
-      sweep at [jobs = 1] and [jobs = N] must therefore produce {e
-      identical} counter snapshots — an invariant the test suite and the
-      bench harness both assert, and a cheap cross-domain determinism
-      check for every future caching or sharding change.
+      With one carve-out, every counter in this codebase counts a {e
+      deterministic} quantity: its total after a run depends only on the
+      work performed, not on how that work was scheduled across domains.
+      Running the same sweep at [jobs = 1] and [jobs = N] must therefore
+      produce {e identical} counter snapshots — an invariant the test
+      suite and the bench harness both assert, and a cheap cross-domain
+      determinism check for every future caching or sharding change.
+      The carve-out is the [exec/sched/] namespace: counters there
+      (steal counts, hardware-clamp events) describe the {e schedule
+      itself} and legitimately differ between worker counts — identity
+      checks strip them with {!filter_out} before comparing.
     - {e gauges} — high-water marks ([set_max]); deterministic under the
       same condition as counters, since a maximum is order-independent.
     - {e spans} — cumulative wall-clock timers with call counts.  Spans
@@ -107,6 +111,13 @@ val filter : prefix:string -> snapshot -> snapshot
 (** The sub-snapshot of instruments whose names start with [prefix]
     (e.g. [~prefix:"serve"] isolates the serving layer's counters for
     the bench's determinism comparison). *)
+
+val filter_out : prefix:string -> snapshot -> snapshot
+(** The complement of {!filter}: drops instruments whose names start
+    with [prefix].  The jobs=1 vs jobs=N identity checks use
+    [~prefix:"exec/sched/"] to strip the scheduling-dependent scheduler
+    counters (steals, clamp events) before comparing — everything else
+    must still match exactly. *)
 
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option

@@ -158,24 +158,85 @@ type parallel_report = {
   requested_jobs : int;
   effective_jobs : int;
   jobs1_seconds : float;
-  jobsn_seconds : float;
+  jobsn_seconds : float option;
 }
 
 let json_parallel p =
   json_obj
-    [
-      ("requested_jobs", string_of_int p.requested_jobs);
-      ("effective_jobs", string_of_int p.effective_jobs);
-      ("jobs1_seconds", json_float p.jobs1_seconds);
-      ("jobsN_seconds", json_float p.jobsn_seconds);
-      ( "speedup",
-        json_float (p.jobs1_seconds /. Float.max 1e-9 p.jobsn_seconds) );
-      (* The machine-readable version of the bench's stdout warning: the
-         parallel table4 leg took longer than the sequential one, i.e.
-         parallelism lost to its own overhead on this machine/workload. *)
-      ( "parallel_regression",
-        if p.jobsn_seconds > p.jobs1_seconds then "true" else "false" );
-    ]
+    ([
+       ("requested_jobs", string_of_int p.requested_jobs);
+       ("effective_jobs", string_of_int p.effective_jobs);
+       ("jobs1_seconds", json_float p.jobs1_seconds);
+     ]
+    @
+    match p.jobsn_seconds with
+    | None ->
+        (* Single-core box: the parallel leg would have rerun identical
+           work at effective_jobs = 1 and flagged its own overhead as a
+           "regression".  Schema 6 reports the skip explicitly instead
+           of a false positive. *)
+        [ ("parallel_regression", json_string "skipped_single_core") ]
+    | Some jn ->
+        [
+          ("jobsN_seconds", json_float jn);
+          ("speedup", json_float (p.jobs1_seconds /. Float.max 1e-9 jn));
+          (* The machine-readable version of the bench's stdout warning:
+             the parallel table4 leg took longer than the sequential one,
+             i.e. parallelism lost to its own overhead on this
+             machine/workload. *)
+          ( "parallel_regression",
+            if jn > p.jobs1_seconds then "true" else "false" );
+        ])
+
+type scaling_report = {
+  max_jobs : int;
+  points : (int * float) list;
+}
+
+(* Marginal-gain knee: walk the ascending-jobs curve and keep the last
+   point whose speedup still improves on the previous point's by >= 5% —
+   past it, extra workers buy nothing worth their GC synchronization. *)
+let scaling_knee ~jobs1 points =
+  let speedup s = jobs1 /. Float.max 1e-9 s in
+  let rec walk knee prev = function
+    | [] -> knee
+    | (j, s) :: rest ->
+        if speedup s >= 1.05 *. speedup prev then walk j s rest
+        else walk knee prev rest
+  in
+  match points with
+  | [] -> 1
+  | (j0, s0) :: rest -> walk j0 s0 rest
+
+let json_scaling sc =
+  match List.assoc_opt 1 sc.points with
+  | None -> json_string "missing_jobs1_point"
+  | Some jobs1 ->
+      let point (j, s) =
+        json_obj
+          ([
+             ("jobs", string_of_int j);
+             ("seconds", json_float s);
+             ("speedup", json_float (jobs1 /. Float.max 1e-9 s));
+           ]
+          @
+          if j = 1 then []
+          else
+            [ ("parallel_regression", if s > jobs1 then "true" else "false") ])
+      in
+      let multi = List.filter (fun (j, _) -> j > 1) sc.points in
+      let status =
+        if multi = [] then "skipped_single_core"
+        else if List.exists (fun (_, s) -> s > jobs1) multi then "regression"
+        else "ok"
+      in
+      json_obj
+        [
+          ("max_jobs", string_of_int sc.max_jobs);
+          ("status", json_string status);
+          ("knee_jobs", string_of_int (scaling_knee ~jobs1 sc.points));
+          ("points", json_list point sc.points);
+        ]
 
 type serving_report = {
   trace_requests : int;
@@ -203,8 +264,8 @@ let json_serving s =
       ("counters_match", if s.counters_match then "true" else "false");
     ]
 
-let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?serving
-    ~sweeps ~cross () =
+let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
+    ?serving ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -253,7 +314,7 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?serving
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/5");
+             ("schema", json_string "ia-rank/bench-sweeps/6");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
@@ -262,6 +323,9 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?serving
           @ (match parallel with
             | None -> []
             | Some p -> [ ("parallel", json_parallel p) ])
+          @ (match scaling with
+            | None -> []
+            | Some sc -> [ ("scaling", json_scaling sc) ])
           @ (match kernel with
             | None -> []
             | Some ks ->

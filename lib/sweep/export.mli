@@ -37,13 +37,33 @@ type parallel_report = {
   requested_jobs : int;  (** the [?jobs] the parallel leg asked for *)
   effective_jobs : int;  (** workers after the {!Ir_exec} hardware clamp *)
   jobs1_seconds : float;
-  jobsn_seconds : float;
+  jobsn_seconds : float option;
+      (** [None] when the parallel leg was skipped because the hardware
+          has a single core — rerunning identical work at
+          [effective_jobs = 1] can only measure its own overhead *)
 }
 (** Scaling summary of the two table4 legs, exported under ["parallel"]
     with a derived ["speedup"] and a machine-readable
-    ["parallel_regression"] flag ([true] when the parallel leg was slower
-    than the sequential one — the condition the bench also warns about on
-    stdout). *)
+    ["parallel_regression"] flag: [true] when the parallel leg was slower
+    than the sequential one (the condition the bench also warns about on
+    stdout), [false] when it was not, and the string
+    ["skipped_single_core"] when [jobsn_seconds = None] — a single-core
+    box previously reported a {e false} [true] here. *)
+
+type scaling_report = {
+  max_jobs : int;  (** {!Ir_exec.hardware_jobs} at bench time *)
+  points : (int * float) list;
+      (** [(jobs, seconds)] per measured worker count, ascending,
+          starting at the jobs=1 baseline *)
+}
+(** The [--scaling] bench mode's jobs=1..ncores curve, exported under
+    ["scaling"] (schema 6).  Export derives the rest from the raw
+    timings: per-point ["speedup"] (jobs1 seconds over the point's) and
+    ["parallel_regression"] (point slower than jobs=1), a ["knee_jobs"]
+    marginal-gain knee (the last point whose speedup improves on its
+    predecessor's by at least 5%), and an overall ["status"] — ["ok"],
+    ["regression"] (some jobs>1 point is slower than jobs=1), or
+    ["skipped_single_core"] (no jobs>1 point exists to measure). *)
 
 type serving_report = {
   trace_requests : int;  (** requests replayed against the query server *)
@@ -69,13 +89,14 @@ val write_bench_json :
   ?metrics:Ir_obs.snapshot ->
   ?kernel:(string * float) list ->
   ?parallel:parallel_report ->
+  ?scaling:scaling_report ->
   ?serving:serving_report ->
   sweeps:Table4.sweep list ->
   cross:Cross_node.cell list ->
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/5]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/6]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
     (e.g. the sequential and parallel table4 legs), an optional [kernel]
     timings object (flat name/seconds pairs from the kernel
@@ -86,7 +107,8 @@ val write_bench_json :
     include the phase-B probe economics: [suffix_fit/hits]/[misses],
     [rank_dp/hinted_searches], [rank_dp/hint_saved_probes],
     [rank_dp/probe_fan_rounds] and [greedy_fill/fast_fails]), an optional
-    [parallel] scaling report (see {!parallel_report}), every Table 4 row
+    [parallel] two-leg report (see {!parallel_report}), an optional
+    [scaling] jobs curve (see {!scaling_report}), every Table 4 row
     (param, normalized rank, rank wires, exactness, per-point seconds)
     and the cross-node cells.  [jobs] records the worker count the
     parallel leg requested. *)

@@ -545,6 +545,62 @@ let prop_front_insert_matches_reference =
         ops;
       check_stats_equal ~label front stats)
 
+(* [Front.recycle] must be indistinguishable from [create]: pre-dirty a
+   donor front with its own insert sequence (under a different geometry,
+   so both the reuse path and the too-small fallback are exercised),
+   recycle it into the test geometry, and replay one insert sequence
+   into both the recycled front and a fresh one — every element, every
+   splits chain and all four tallies must agree. *)
+let gen_recycle_seq =
+  let open QCheck2.Gen in
+  let* width, ops = gen_insert_seq in
+  let* donor_width = int_range 1 10 in
+  let* donor_ops =
+    list_size (int_range 0 30)
+      (pair (map float_of_int (int_range 0 9)) (int_range 0 9))
+  in
+  return (width, ops, donor_width, donor_ops)
+
+let prop_front_recycle_matches_create =
+  qtest ~count:300 "recycled front matches a fresh create" gen_recycle_seq
+    (fun (width, ops, donor_width, donor_ops) ->
+      let label =
+        Printf.sprintf "width=%d donor_width=%d n_donor=%d" width donor_width
+          (List.length donor_ops)
+      in
+      let donor = Front.create ~cells:2 ~width:donor_width in
+      List.iteri
+        (fun k (area, count) ->
+          Front.insert donor (k mod 2) ~area ~count ~split:k ~parent:(-1))
+        donor_ops;
+      let recycled = Front.recycle donor ~cells:1 ~width in
+      let fresh = Front.create ~cells:1 ~width in
+      List.iteri
+        (fun k (area, count) ->
+          Front.insert fresh 0 ~area ~count ~split:k ~parent:(-1);
+          Front.insert recycled 0 ~area ~count ~split:k ~parent:(-1))
+        ops;
+      let len_f = Front.length fresh 0 in
+      if len_f <> Front.length recycled 0 then
+        QCheck2.Test.fail_reportf "%s: lengths differ" label
+      else begin
+        for k = 0 to len_f - 1 do
+          if
+            Front.area fresh 0 k <> Front.area recycled 0 k
+            || Front.count fresh 0 k <> Front.count recycled 0 k
+            || Front.splits fresh (Front.state fresh 0 k)
+               <> Front.splits recycled (Front.state recycled 0 k)
+          then QCheck2.Test.fail_reportf "%s: element %d differs" label k
+        done;
+        if
+          Front.inserts fresh <> Front.inserts recycled
+          || Front.dominated fresh <> Front.dominated recycled
+          || Front.truncations fresh <> Front.truncations recycled
+          || Front.arena_states fresh <> Front.arena_states recycled
+        then QCheck2.Test.fail_reportf "%s: statistics differ" label
+        else true
+      end)
+
 (* Replays the phase-A build loop of [Rank_dp.build_tables] — the same
    iteration order, prune conditions and insert sequence — into {e both}
    a reference list matrix and a [Front], then requires every cell, every
@@ -684,6 +740,34 @@ let gen_budget_instance =
   let* inst = Helpers.gen_instance in
   let* fractions = list_size (int_range 0 4) (float_range 0.01 0.9) in
   return (inst, fractions)
+
+(* The per-domain scratch is a pure allocation-traffic optimization:
+   builds and searches through an explicit reused scratch (the second
+   build recycles the first one's Front store and working arrays) must
+   be byte-identical — outcome, exact flag, and every deterministic
+   counter — to the scratch-free path that allocates fresh tables. *)
+let prop_scratch_reuse_invisible =
+  qtest ~count:80 "scratch reuse is observationally invisible"
+    Helpers.gen_instance (fun { problem; label } ->
+      let leg scratch =
+        Ir_obs.reset ();
+        let t = Ir_core.Rank_dp.build_tables ?scratch problem in
+        let o, w = Ir_core.Rank_dp.search_tables ?scratch t in
+        (o, w, (Ir_obs.snapshot ()).Ir_obs.counters)
+      in
+      let fresh_o, fresh_w, fresh_c = leg None in
+      let s = Ir_core.Rank_dp.create_scratch () in
+      (* Prime the scratch with a full build + search first, so the
+         measured leg really runs on recycled storage. *)
+      ignore (leg (Some s));
+      let reused_o, reused_w, reused_c = leg (Some s) in
+      if not (Ir_core.Outcome.equal fresh_o reused_o) then
+        QCheck2.Test.fail_reportf "%s: outcomes differ" label
+      else if fresh_w <> reused_w then
+        QCheck2.Test.fail_reportf "%s: witnesses differ" label
+      else if fresh_c <> reused_c then
+        QCheck2.Test.fail_reportf "%s: counters differ" label
+      else true)
 
 let prop_search_budgets_matches_individual =
   qtest ~count:120
@@ -827,6 +911,7 @@ let () =
           prop_rank_monotone_in_budget;
           prop_rank_monotone_in_k;
           prop_search_budgets_matches_individual;
+          prop_scratch_reuse_invisible;
         ] );
       ( "front",
         [
@@ -834,6 +919,7 @@ let () =
           Alcotest.test_case "adversarial mirrored builds" `Quick
             test_front_mirror_adversarial;
           prop_front_insert_matches_reference;
+          prop_front_recycle_matches_create;
           prop_front_mirror_build;
         ] );
       ( "rank_greedy",

@@ -192,6 +192,112 @@ let test_pool_stats_accounting () =
       Alcotest.(check int) "seq jobs" 1 st.Ir_exec.jobs;
       check_int_array "seq units" [| n |] st.Ir_exec.units
 
+(* ---- work-stealing scheduler invariants ------------------------------ *)
+
+(* Differential oracle for the weighted scheduler: whatever the weights,
+   worker count and steal schedule, [parallel_group_map] must return the
+   plain sequential map, and the deterministic counters (everything
+   outside exec/sched/) must be byte-identical between the jobs=1 and
+   jobs=4 legs.  Weights are skewed on purpose: a 0 draw becomes a giant
+   group, the shape that forces thieves onto other queues. *)
+let group_counters jobs weights =
+  Ir_obs.reset ();
+  let work = Ir_obs.counter "test/group_work" in
+  let out =
+    Ir_exec.parallel_group_map ~jobs
+      ~weight:(fun (_, w) -> w)
+      (fun (i, w) ->
+        Ir_obs.add work ((i * 7) + w);
+        (i * 31) + w)
+      (Array.of_list (List.mapi (fun i w -> (i, w)) weights))
+  in
+  let counters =
+    (Ir_obs.filter_out ~prefix:"exec/sched/" (Ir_obs.snapshot ()))
+      .Ir_obs.counters
+  in
+  (out, counters)
+
+let prop_group_map_differential =
+  Helpers.qtest ~count:60 "group map: stealing == sequential"
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (map (fun w -> if w = 0 then 512 else w) (int_range 0 20)))
+    (fun weights ->
+      let seq_out, seq_counters = group_counters 1 weights in
+      let par_out, par_counters = group_counters 4 weights in
+      seq_out = par_out && seq_counters = par_counters)
+
+let test_group_map_one_giant () =
+  (* Frozen adversarial instance: one group outweighs the rest of the
+     workload combined, so every other worker drains its own queue and
+     must steal to stay busy — the exact shape that regressed before the
+     work-stealing scheduler. *)
+  let weights =
+    Array.to_list (Array.init 33 (fun i -> if i = 0 then 512 else 1))
+  in
+  let seq_out, seq_counters = group_counters 1 weights in
+  let par_out, par_counters = group_counters 4 weights in
+  Alcotest.(check (array int)) "one-giant results identical" seq_out par_out;
+  Alcotest.(check (list (pair string int)))
+    "one-giant counters identical" seq_counters par_counters
+
+let test_steals_accounted () =
+  ignore
+    (Ir_exec.parallel_map ~jobs:4 (fun x -> x) (Array.init 32 Fun.id));
+  (match Ir_exec.last_pool_stats () with
+  | None -> Alcotest.fail "no stats"
+  | Some st ->
+      Alcotest.(check int) "one steals slot per worker" 4
+        (Array.length st.Ir_exec.steals);
+      Array.iter
+        (fun s -> Alcotest.(check bool) "steals non-negative" true (s >= 0))
+        st.Ir_exec.steals);
+  ignore (Ir_exec.parallel_map ~jobs:1 (fun x -> x) (Array.init 3 Fun.id));
+  match Ir_exec.last_pool_stats () with
+  | None -> Alcotest.fail "no stats"
+  | Some st ->
+      check_int_array "sequential run steals nothing" [| 0 |]
+        st.Ir_exec.steals
+
+let test_clamp_counter () =
+  (* With oversubscription off, an over-hardware request must bump the
+     exec/sched/jobs_clamped counter (satellite of the scheduler PR: the
+     clamp used to be completely silent). *)
+  Ir_exec.set_allow_oversubscribe false;
+  Fun.protect ~finally:(fun () -> Ir_exec.set_allow_oversubscribe true)
+  @@ fun () ->
+  let clamped = Ir_obs.counter "exec/sched/jobs_clamped" in
+  let before = Ir_obs.value clamped in
+  let jobs = Ir_exec.hardware_jobs () + 3 in
+  ignore (Ir_exec.parallel_map ~jobs (fun x -> x) (Array.init 16 Fun.id));
+  Alcotest.(check int) "clamp counted" (before + 1) (Ir_obs.value clamped);
+  (* An in-range request does not count as a clamp. *)
+  ignore (Ir_exec.parallel_map ~jobs:1 (fun x -> x) (Array.init 4 Fun.id));
+  Alcotest.(check int) "no spurious count" (before + 1)
+    (Ir_obs.value clamped)
+
+let test_pool_heap_restore () =
+  (* The 4M-word pool minor heap is scoped: once the outermost scope
+     drains, the pre-pool size must be back (satellite of the scheduler
+     PR — previously a one-way ratchet). *)
+  let before = (Gc.get ()).Gc.minor_heap_size in
+  let inside =
+    Ir_exec.with_pool_heap @@ fun () ->
+    ignore
+      (Ir_exec.parallel_map ~jobs:4 (fun x -> x * 2) (Array.init 32 Fun.id));
+    (Gc.get ()).Gc.minor_heap_size
+  in
+  Alcotest.(check int) "raised (or already larger) inside the scope"
+    (max before Ir_exec.pool_minor_heap_words)
+    inside;
+  Alcotest.(check int) "restored after the scope drains" before
+    ((Gc.get ()).Gc.minor_heap_size);
+  (* Restores on the exception path too. *)
+  (try Ir_exec.with_pool_heap (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "restored after a raise" before
+    ((Gc.get ()).Gc.minor_heap_size)
+
 (* The unit split across workers is scheduling-dependent, but the sum is
    an invariant: every element is processed exactly once. *)
 let prop_units_sum_to_n =
@@ -236,6 +342,18 @@ let () =
       ( "pool_stats",
         [
           Alcotest.test_case "accounting" `Quick test_pool_stats_accounting;
+          Alcotest.test_case "steal accounting" `Quick test_steals_accounted;
           prop_units_sum_to_n;
+        ] );
+      ( "work stealing",
+        [
+          Alcotest.test_case "one giant group" `Quick test_group_map_one_giant;
+          prop_group_map_differential;
+        ] );
+      ( "gc scoping",
+        [
+          Alcotest.test_case "clamp counter" `Quick test_clamp_counter;
+          Alcotest.test_case "pool heap restored" `Quick
+            test_pool_heap_restore;
         ] );
     ]

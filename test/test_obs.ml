@@ -160,9 +160,11 @@ let test_multi_domain_increments () =
     (before + (5 * per_domain))
     (Ir_obs.value c)
 
-(* The tentpole invariant: every counter in the codebase counts a
-   scheduling-independent quantity, so a rank sweep at jobs=1 and the
-   same sweep at jobs=4 must produce identical counter snapshots.
+(* The tentpole invariant: outside the [exec/sched/] carve-out, every
+   counter in the codebase counts a scheduling-independent quantity, so
+   a rank sweep at jobs=1 and the same sweep at jobs=4 must produce
+   identical counter snapshots once {!Ir_obs.filter_out} strips the
+   scheduler's own counters (steal tallies differ by construction).
    Random instances exercise Rank_dp (Pareto inserts, dominated drops,
    truncations, search probes) and Greedy_fill underneath it. *)
 let test_counters_deterministic_across_jobs () =
@@ -176,7 +178,8 @@ let test_counters_deterministic_across_jobs () =
     ignore
       (Ir_exec.parallel_map ~jobs Ir_core.Rank_dp.compute problems
         : Ir_core.Outcome.t array);
-    (Ir_obs.snapshot ()).Ir_obs.counters
+    (Ir_obs.filter_out ~prefix:"exec/sched/" (Ir_obs.snapshot ()))
+      .Ir_obs.counters
   in
   let seq = counters_at 1 in
   let par = counters_at 4 in
@@ -184,6 +187,25 @@ let test_counters_deterministic_across_jobs () =
     "jobs=1 and jobs=4 counters identical" seq par;
   Alcotest.(check bool) "counters are non-trivial" true
     (List.exists (fun (_, v) -> v > 0) seq)
+
+let test_filter_out () =
+  Ir_obs.reset ();
+  Ir_obs.add (Ir_obs.counter "exec/sched/steals") 7;
+  Ir_obs.add (Ir_obs.counter "test/filter_kept") 3;
+  let snap = Ir_obs.snapshot () in
+  let stripped = Ir_obs.filter_out ~prefix:"exec/sched/" snap in
+  Alcotest.(check (option int))
+    "stripped counter gone" None
+    (Ir_obs.find_counter stripped "exec/sched/steals");
+  Alcotest.(check (option int))
+    "other counters survive" (Some 3)
+    (Ir_obs.find_counter stripped "test/filter_kept");
+  (* filter and filter_out partition the snapshot. *)
+  let kept = Ir_obs.filter ~prefix:"exec/sched/" snap in
+  Alcotest.(check int) "partition: counter counts add up"
+    (List.length snap.Ir_obs.counters)
+    (List.length kept.Ir_obs.counters
+    + List.length stripped.Ir_obs.counters)
 
 let () =
   Alcotest.run "obs"
@@ -198,6 +220,8 @@ let () =
             test_reset_keeps_registrations;
           Alcotest.test_case "report contents" `Quick test_report_contents;
           Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+          Alcotest.test_case "filter_out strips a namespace" `Quick
+            test_filter_out;
         ] );
       ( "concurrency",
         [

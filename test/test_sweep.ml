@@ -259,7 +259,12 @@ let test_export () =
               Ir_sweep.Export.requested_jobs = 4;
               effective_jobs = 1;
               jobs1_seconds = 1.25;
-              jobsn_seconds = 2.5;
+              jobsn_seconds = Some 2.5;
+            }
+          ~scaling:
+            {
+              Ir_sweep.Export.max_jobs = 4;
+              points = [ (1, 4.0); (2, 2.0); (4, 1.95) ];
             }
           ~serving:
             {
@@ -287,7 +292,7 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/5\"";
+              "\"schema\":\"ia-rank/bench-sweeps/6\"";
               "\"jobs\":4";
               "\"serving\":{\"trace_requests\":9";
               "\"counters_match\":true";
@@ -296,6 +301,13 @@ let test_export () =
               "\"effective_jobs\":1";
               "\"speedup\":0.5";
               "\"parallel_regression\":true";
+              (* The scaling curve: 4.0 s at jobs=1, 2.0 s at jobs=2
+                 (speedup 2, the >=5% knee), 1.95 s at jobs=4 (speedup
+                 2.05 — under the 5% marginal-gain bar). *)
+              "\"scaling\":{\"max_jobs\":4";
+              "\"status\":\"ok\"";
+              "\"knee_jobs\":2";
+              "\"speedup\":2,\"parallel_regression\":false";
               "\"kernel\":{\"front_insert_ns\":12.5}";
               "\"gauges\":{";
               "\"table4_jobs1_seconds\":1.25";
@@ -305,6 +317,56 @@ let test_export () =
               "\"sweep/points\"";
               "\"cross_node\":[]";
             ])
+
+(* Satellite of the scheduler PR: on a single-core box the parallel leg
+   is skipped, and both the two-leg report and the scaling curve must
+   say "skipped_single_core" instead of flagging a false regression. *)
+let test_export_single_core () =
+  let dir = Filename.temp_file "ia_rank" "_single" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+  @@ fun () ->
+  match
+    Ir_sweep.Export.write_bench_json ~dir ~jobs:4
+      ~timings:[ ("table4_jobs1_seconds", 1.25) ]
+      ~parallel:
+        {
+          Ir_sweep.Export.requested_jobs = 4;
+          effective_jobs = 1;
+          jobs1_seconds = 1.25;
+          jobsn_seconds = None;
+        }
+      ~scaling:{ Ir_sweep.Export.max_jobs = 1; points = [ (1, 1.25) ] }
+      ~sweeps:[] ~cross:[] ()
+  with
+  | Error e -> Alcotest.failf "write_bench_json: %s" e
+  | Ok path ->
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            ("single-core json has " ^ needle)
+            true
+            (Astring_contains.contains contents needle))
+        [
+          "\"parallel_regression\":\"skipped_single_core\"";
+          "\"status\":\"skipped_single_core\"";
+          "\"knee_jobs\":1";
+        ];
+      (* No fabricated jobs=N numbers anywhere. *)
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            ("single-core json lacks " ^ needle)
+            false
+            (Astring_contains.contains contents needle))
+        [ "\"jobsN_seconds\""; "\"parallel_regression\":true" ]
 
 let test_export_bad_dir () =
   match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
@@ -393,6 +455,8 @@ let () =
       ( "export",
         [
           Alcotest.test_case "round trip" `Slow test_export;
+          Alcotest.test_case "single-core skip report" `Quick
+            test_export_single_core;
           Alcotest.test_case "bad directory" `Quick test_export_bad_dir;
           Alcotest.test_case "recursive directory creation" `Quick
             test_ensure_dir_recursive;
