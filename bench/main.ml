@@ -508,6 +508,307 @@ let serving_bench () =
     report.table_builds;
   report
 
+(* Sharded serving leg: a real fleet — N forked [ia_rank serve] worker
+   processes behind the in-process shard router on an ephemeral TCP port
+   — under a zipf-skewed storm of concurrent client threads.  After the
+   storm, every distinct query is re-asked through the router and
+   compared byte-for-byte against a local cold compute, and each shard's
+   [serve/table_builds] is collected: their sum must not exceed the
+   number of distinct warm-table families, which is the family-affinity
+   routing claim (no family built twice anywhere in the fleet).  Any
+   violation fails the bench process, not just the exported status. *)
+let serving_sharded_bench () =
+  section "Sharded serving leg: TCP client storm against a shard fleet";
+  let exe =
+    let candidate =
+      match Sys.getenv_opt "IA_RANK_EXE" with
+      | Some p when p <> "" -> p
+      | _ ->
+          (* Relative to the bench binary inside _build/default. *)
+          Filename.concat
+            (Filename.dirname (Filename.dirname Sys.executable_name))
+            (Filename.concat "bin" "ia_rank.exe")
+    in
+    if Sys.file_exists candidate then candidate
+    else
+      failwith
+        (Printf.sprintf
+           "sharded serving leg: ia_rank binary not found at %s (build \
+            bin/ia_rank.exe or set IA_RANK_EXE)"
+           candidate)
+  in
+  let shards = if quick then 2 else 4 in
+  let clients = if quick then 32 else 1000 in
+  let per_client = if quick then 6 else 10 in
+  let gates_list = if quick then [ 50_000 ] else [ 200_000; 400_000 ] in
+  let fractions =
+    if quick then [ 0.25; 0.3; 0.35; 0.4; 0.45; 0.5 ]
+    else [ 0.2; 0.25; 0.3; 0.35; 0.4; 0.45; 0.5; 0.55; 0.6; 0.65; 0.7; 0.75 ]
+  in
+  let nodes = [ "130nm"; "90nm" ] in
+  let distinct =
+    List.concat_map
+      (fun node ->
+        List.concat_map
+          (fun gates ->
+            List.map
+              (fun f ->
+                Ir_serve.Protocol.query ~repeater_fraction:f ~node ~gates ())
+              fractions
+            (* One greedy query per (node, gates): exercises the cold
+               path through the fleet without adding a table family. *)
+            @ [
+                Ir_serve.Protocol.query ~repeater_fraction:0.4 ~greedy:true
+                  ~node ~gates ();
+              ])
+          gates_list)
+      nodes
+  in
+  let fingerprints =
+    List.map
+      (fun q ->
+        match Ir_serve.Protocol.fingerprint_of_query q with
+        | Ok fp -> fp
+        | Error e -> failwith ("sharded serving leg: bad query: " ^ e))
+      distinct
+  in
+  let families =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (fp : Ir_serve.Fingerprint.t) ->
+           match fp.algo with
+           | Ir_serve.Fingerprint.Dp -> Some (Ir_serve.Fingerprint.table_key fp)
+           | Ir_serve.Fingerprint.Greedy -> None)
+         fingerprints)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ia-rank-sharded-bench-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun name -> rm_rf (Filename.concat path name))
+          (try Sys.readdir path with Sys_error _ -> [||]);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  rm_rf dir;
+  Ir_obs.reset ();
+  let fleet =
+    match
+      Ir_serve.Shard.start ~workers:2 ~queue_capacity:128
+        ~cache_dir:(Filename.concat dir "cache")
+        ~snapshot_dir:(Filename.concat dir "snap")
+        ~exe ~shards ~dir ()
+    with
+    | Ok f -> f
+    | Error e -> failwith ("sharded serving leg: " ^ e)
+  in
+  let port_mu = Mutex.create () in
+  let port = ref None in
+  let serve_th =
+    Thread.create
+      (fun () ->
+        match
+          Ir_serve.Shard.serve fleet
+            ~tcp:("127.0.0.1", 0)
+            ~on_tcp_listen:(fun p ->
+              Mutex.lock port_mu;
+              port := Some p;
+              Mutex.unlock port_mu)
+            ()
+        with
+        | Ok () -> ()
+        | Error e -> prerr_endline ("sharded serving leg: serve: " ^ e))
+      ()
+  in
+  let rec await_port n =
+    let p =
+      Mutex.lock port_mu;
+      let p = !port in
+      Mutex.unlock port_mu;
+      p
+    in
+    match p with
+    | Some p -> p
+    | None ->
+        if n > 500 then failwith "sharded serving leg: router did not come up"
+        else begin
+          Thread.delay 0.02;
+          await_port (n + 1)
+        end
+  in
+  let tcp_port = await_port 0 in
+  (* Zipf-skewed query mix (s ~ 1.1) over the distinct corpus, sampled
+     through a per-client deterministic LCG: a few hot families absorb
+     most of the traffic — the regime coalescing and the warm pool are
+     built for — while the tail still touches every query. *)
+  let queries = Array.of_list distinct in
+  let zipf_cum =
+    let n = Array.length queries in
+    let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) 1.1) in
+    let c = Array.make n 0.0 in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i wi ->
+        total := !total +. wi;
+        c.(i) <- !total)
+      w;
+    Array.map (fun x -> x /. !total) c
+  in
+  let pick u =
+    let n = Array.length zipf_cum in
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if zipf_cum.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+    in
+    queries.(bisect 0 (n - 1))
+  in
+  let agg_mu = Mutex.create () in
+  let all_latencies = ref [] in
+  let sheds = ref 0 in
+  let failures = ref [] in
+  let storm_requests = clients * per_client in
+  let client_thread ci () =
+    let seed = ref ((ci + 1) * 2654435761) in
+    let next_u () =
+      seed := ((!seed * 25214903917) + 11) land max_int;
+      float_of_int (!seed land 0xFFFFFF) /. float_of_int 0x1000000
+    in
+    match Ir_serve.Client.connect_tcp ~host:"127.0.0.1" ~port:tcp_port with
+    | Error e ->
+        Mutex.lock agg_mu;
+        failures := ("connect: " ^ e) :: !failures;
+        Mutex.unlock agg_mu
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Ir_serve.Client.close c) @@ fun () ->
+        for _ = 1 to per_client do
+          let q = pick (next_u ()) in
+          let t0 = Ir_exec.now () in
+          let r = Ir_serve.Client.request c (Ir_serve.Protocol.Query q) in
+          let dt = (Ir_exec.now () -. t0) *. 1e3 in
+          Mutex.lock agg_mu;
+          (match r with
+          | Ok (Ir_serve.Protocol.Result _) ->
+              all_latencies := dt :: !all_latencies
+          | Ok (Ir_serve.Protocol.Error Ir_serve.Protocol.Overloaded) ->
+              incr sheds
+          | Ok (Ir_serve.Protocol.Error e) ->
+              failures := Ir_serve.Protocol.error_message e :: !failures
+          | Ok _ -> failures := "unexpected response body" :: !failures
+          | Error e -> failures := e :: !failures);
+          Mutex.unlock agg_mu
+        done
+  in
+  let storm_threads =
+    List.init clients (fun ci -> Thread.create (client_thread ci) ())
+  in
+  List.iter Thread.join storm_threads;
+  (match !failures with
+  | [] -> ()
+  | e :: _ ->
+      failwith
+        (Printf.sprintf "sharded serving leg: %d storm failures (first: %s)"
+           (List.length !failures) e));
+  (* Post-storm byte-identity: every distinct query through the router
+     must equal a local cold compute, byte for byte. *)
+  let byte_identical =
+    match Ir_serve.Client.connect_tcp ~host:"127.0.0.1" ~port:tcp_port with
+    | Error e -> failwith ("sharded serving leg: verify connect: " ^ e)
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Ir_serve.Client.close c) @@ fun () ->
+        List.for_all2
+          (fun q fp ->
+            match Ir_serve.Client.request c (Ir_serve.Protocol.Query q) with
+            | Ok (Ir_serve.Protocol.Result { payload; _ }) ->
+                payload
+                = Ir_serve.Protocol.result_payload
+                    (Ir_serve.Fingerprint.compute_cold fp)
+            | _ -> false)
+          distinct fingerprints
+  in
+  (* Fleet-wide rates through the router's aggregated stats; per-shard
+     build counts straight from each shard's own socket. *)
+  let router_stats =
+    match Ir_serve.Client.connect_tcp ~host:"127.0.0.1" ~port:tcp_port with
+    | Error e -> failwith ("sharded serving leg: stats connect: " ^ e)
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Ir_serve.Client.close c) @@ fun () ->
+        (match Ir_serve.Client.stats c with
+        | Ok kvs -> kvs
+        | Error e -> failwith ("sharded serving leg: stats: " ^ e))
+  in
+  let stat kvs name = Option.value ~default:0 (List.assoc_opt name kvs) in
+  let builds_per_shard =
+    Array.to_list
+      (Array.map
+         (fun socket ->
+           match Ir_serve.Client.connect ~socket with
+           | Error e ->
+               failwith ("sharded serving leg: shard stats: " ^ e)
+           | Ok c ->
+               Fun.protect ~finally:(fun () -> Ir_serve.Client.close c)
+               @@ fun () ->
+               (match Ir_serve.Client.stats c with
+               | Ok kvs -> stat kvs "serve/table_builds"
+               | Error e ->
+                   failwith ("sharded serving leg: shard stats: " ^ e)))
+         (Ir_serve.Shard.shard_sockets fleet))
+  in
+  Ir_serve.Shard.shutdown fleet;
+  (try Thread.join serve_th with _ -> ());
+  rm_rf dir;
+  let latencies = Array.of_list !all_latencies in
+  Array.sort compare latencies;
+  let pct p =
+    let n = Array.length latencies in
+    if n = 0 then 0.0
+    else latencies.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let report =
+    {
+      Ir_sweep.Export.shards;
+      clients;
+      storm_requests;
+      distinct_families = List.length families;
+      sh_distinct_queries = List.length distinct;
+      sh_p50_ms = pct 0.50;
+      sh_p95_ms = pct 0.95;
+      sh_p99_ms = pct 0.99;
+      shed_rate = float_of_int !sheds /. float_of_int (max 1 storm_requests);
+      coalesce_rate =
+        float_of_int (stat router_stats "serve/coalesced")
+        /. float_of_int (max 1 (stat router_stats "serve/requests"));
+      table_builds_per_shard = builds_per_shard;
+      byte_identical;
+    }
+  in
+  Ir_obs.reset ();
+  Format.printf
+    "%d shards, %d clients x %d requests (%d distinct, %d families): \
+     latency p50 %.1f / p95 %.1f / p99 %.1f ms@.shed rate %.3f, coalesce \
+     rate %.3f, table builds per shard [%s], byte-identical %b@."
+    shards clients per_client report.sh_distinct_queries
+    report.distinct_families report.sh_p50_ms report.sh_p95_ms
+    report.sh_p99_ms report.shed_rate report.coalesce_rate
+    (String.concat "; " (List.map string_of_int builds_per_shard))
+    byte_identical;
+  if not byte_identical then
+    failwith
+      "sharded serving leg: sharded answers are not byte-identical to local \
+       cold computes";
+  if List.fold_left ( + ) 0 builds_per_shard > List.length families then
+    failwith
+      "sharded serving leg: some warm-table family was built by more than \
+       one shard (family-affinity routing broken)";
+  report
+
 let experiment_runtime_claim () =
   section "E8: runtime claim (paper: < 200 s per rank on a 2003 Xeon)";
   let rows =
@@ -888,8 +1189,8 @@ let study_netlist () =
      lengths; the@.closed form the paper adopts in footnote 2 tracks the \
      measured shape.)@."
 
-let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving sweeps
-    cells timings =
+let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving
+    ?serving_sharded sweeps cells timings =
   section "Artifacts";
   let dir = results_dir () in
   (match Ir_sweep.Export.write_sweeps ~dir sweeps with
@@ -903,7 +1204,8 @@ let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving sweeps
         (parallel table4 leg plus cross-node), before the kernel
         microbenchmarks pollute the span registry. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ?metrics ?kernel ?parallel ?scaling ?serving ~sweeps ~cross:cells ()
+       ?metrics ?kernel ?parallel ?scaling ?serving ?serving_sharded ~sweeps
+       ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);
@@ -919,18 +1221,30 @@ let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving sweeps
                      (Ir_sweep.Table4.normalized s)
                      s.paper) ))
             sweeps
+        @ (match serving with
+          | None -> []
+          | Some (s : Ir_sweep.Export.serving_report) ->
+              [
+                ( "serving",
+                  Printf.sprintf
+                    "%d requests (%d distinct): hit rate %.2f, p95 %.1f ms, \
+                     counters %s"
+                    s.trace_requests s.distinct_queries s.hit_rate s.p95_ms
+                    (if s.counters_match then "jobs-identical" else "MISMATCH")
+                );
+              ])
         @
-        match serving with
+        match serving_sharded with
         | None -> []
-        | Some (s : Ir_sweep.Export.serving_report) ->
+        | Some (s : Ir_sweep.Export.serving_sharded_report) ->
             [
-              ( "serving",
+              ( "serving_sharded",
                 Printf.sprintf
-                  "%d requests (%d distinct): hit rate %.2f, p95 %.1f ms, \
-                   counters %s"
-                  s.trace_requests s.distinct_queries s.hit_rate s.p95_ms
-                  (if s.counters_match then "jobs-identical" else "MISMATCH")
-              );
+                  "%d shards, %d clients, %d requests: status %s, p95 %.1f \
+                   ms, shed %.3f"
+                  s.shards s.clients s.storm_requests
+                  (Ir_sweep.Export.sharded_status s)
+                  s.sh_p95_ms s.shed_rate );
             ])
   with
   | Ok path -> Format.printf "wrote %s@." path
@@ -1078,10 +1392,11 @@ let () =
       let metrics = Ir_obs.snapshot () in
       let scaling = experiment_scaling () in
       let serving = serving_bench () in
+      let serving_sharded = serving_sharded_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        ~scaling ~serving sweeps cells timings
+        ~scaling ~serving ~serving_sharded sweeps cells timings
   | `All ->
       experiment_tables ();
       let sweeps, timings, legs = experiment_table4 () in
@@ -1106,9 +1421,10 @@ let () =
       study_variation ();
       study_netlist ();
       let serving = serving_bench () in
+      let serving_sharded = serving_sharded_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        ~scaling ~serving sweeps cells timings;
+        ~scaling ~serving ~serving_sharded sweeps cells timings;
       run_bechamel ());
   Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

@@ -562,6 +562,38 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
+let tcp_conv =
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+          (Printf.sprintf "invalid TCP endpoint %S (expected PORT or HOST:PORT)"
+             s))
+    in
+    match String.rindex_opt s ':' with
+    | None -> (
+        match int_of_string_opt s with
+        | Some p when p >= 0 && p < 65536 -> Ok ("127.0.0.1", p)
+        | _ -> bad ())
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ -> bad ())
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some tcp_conv) None
+    & info [ "tcp" ] ~docv:"[HOST:]PORT"
+        ~doc:
+          "TCP endpoint (default host 127.0.0.1; port 0 picks an ephemeral \
+           port, logged on startup).")
+
 let serve_cmd =
   let stdio =
     Arg.(
@@ -609,52 +641,122 @@ let serve_cmd =
           ~doc:"Per-request deadline; a waiter past it receives a timeout \
                 error while the computation still populates the cache.")
   in
-  let run () stdio socket cache_dir cache_entries table_pool queue_capacity
-      workers request_timeout stats =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the daemon across $(docv) worker processes (forked from \
+             this binary), partitioned by warm-table family so no family \
+             is built twice.  With the default 1 everything runs in this \
+             process.")
+  in
+  let snapshot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist built warm DP tables under $(docv) (checksummed, \
+             validated on load); a restarted daemon restores them and \
+             answers warm immediately.")
+  in
+  let run () stdio socket tcp shards snapshot_dir cache_dir cache_entries
+      table_pool queue_capacity workers request_timeout stats =
     guard @@ fun () ->
-    let cache =
-      match Ir_serve.Cache.create ~capacity:cache_entries ?dir:cache_dir () with
-      | Ok c -> c
-      | Error e -> fail "cache: %s" e
+    let on_tcp_listen port =
+      let host = match tcp with Some (h, _) -> h | None -> "127.0.0.1" in
+      Logs.app (fun m -> m "serving on tcp %s:%d" host port)
     in
-    let srv =
-      Ir_serve.Server.create ~workers ~queue_capacity ~table_pool
-        ~request_timeout ~cache ()
-    in
-    let finish () =
-      Ir_serve.Server.shutdown srv;
-      Ir_serve.Server.join srv;
+    if shards > 1 then begin
+      if stdio then fail "--stdio cannot be combined with --shards";
+      if socket = None && tcp = None then
+        fail "serve --shards needs --socket PATH and/or --tcp [HOST:]PORT";
+      let dir =
+        match socket with
+        | Some s -> s ^ ".shards"
+        | None ->
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "ia-rank-shards-%d" (Unix.getpid ()))
+      in
+      let fleet =
+        match
+          Ir_serve.Shard.start ~workers ~cache_entries ~table_pool
+            ~queue_capacity ~request_timeout ?cache_dir ?snapshot_dir
+            ~exe:Sys.executable_name ~shards ~dir ()
+        with
+        | Ok f -> f
+        | Error e -> fail "shards: %s" e
+      in
+      let stop _ = Ir_serve.Shard.shutdown fleet in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Option.iter (fun s -> Logs.app (fun m -> m "serving on %s" s)) socket;
+      (match Ir_serve.Shard.serve fleet ?tcp ~on_tcp_listen ?socket () with
+      | Ok () -> ()
+      | Error e -> fail "serve: %s" e);
       print_stats stats
-    in
-    if stdio then begin
-      Ir_serve.Server.serve_stdio srv stdin stdout;
-      finish ()
     end
-    else
-      match socket with
-      | None -> fail "serve needs either --socket PATH or --stdio"
-      | Some path ->
-          (* [shutdown] is an atomic flag plus a self-pipe write, so it is
-             safe to call straight from the signal handler; the accept
-             loop notices via select and drains. *)
-          let stop _ = Ir_serve.Server.shutdown srv in
-          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-          Logs.app (fun m -> m "serving on %s" path);
-          (match Ir_serve.Server.serve_unix srv ~socket:path with
-          | Ok () -> ()
-          | Error e -> fail "serve: %s" e);
-          finish ()
+    else begin
+      let cache =
+        match
+          Ir_serve.Cache.create ~capacity:cache_entries ?dir:cache_dir ()
+        with
+        | Ok c -> c
+        | Error e -> fail "cache: %s" e
+      in
+      let snapshot =
+        Option.map
+          (fun d ->
+            match Ir_serve.Snapshot.create ~dir:d with
+            | Ok s -> s
+            | Error e -> fail "snapshot: %s" e)
+          snapshot_dir
+      in
+      let srv =
+        Ir_serve.Server.create ~workers ~queue_capacity ~table_pool
+          ~request_timeout ?snapshot ~cache ()
+      in
+      let finish () =
+        Ir_serve.Server.shutdown srv;
+        Ir_serve.Server.join srv;
+        print_stats stats
+      in
+      if stdio then begin
+        Ir_serve.Server.serve_stdio srv stdin stdout;
+        finish ()
+      end
+      else if socket = None && tcp = None then
+        fail "serve needs --socket PATH, --tcp [HOST:]PORT or --stdio"
+      else begin
+        (* [shutdown] is an atomic flag plus a self-pipe write, so it is
+           safe to call straight from the signal handler; the accept
+           loop notices via select and drains. *)
+        let stop _ = Ir_serve.Server.shutdown srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Option.iter (fun s -> Logs.app (fun m -> m "serving on %s" s)) socket;
+        (match
+           Ir_serve.Server.serve_listeners srv ?tcp ~on_tcp_listen ?socket ()
+         with
+        | Ok () -> ()
+        | Error e -> fail "serve: %s" e);
+        finish ()
+      end
+    end
   in
   let term =
     Term.(
-      const run $ logs_term $ stdio $ socket_arg $ cache_dir $ cache_entries
-      $ table_pool $ queue_capacity $ workers $ request_timeout $ stats_flag)
+      const run $ logs_term $ stdio $ socket_arg $ tcp_arg $ shards
+      $ snapshot_dir $ cache_dir $ cache_entries $ table_pool $ queue_capacity
+      $ workers $ request_timeout $ stats_flag)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the rank query daemon: content-addressed result cache, \
-             request coalescing, warm DP-table reuse.")
+             request coalescing, warm DP-table reuse; optionally sharded \
+             across processes behind a TCP listener.")
     term
 
 (* ---- query ------------------------------------------------------------ *)
@@ -695,24 +797,40 @@ let query_cmd =
       value & flag
       & info [ "ping" ] ~doc:"Just check that the server is answering.")
   in
-  let run () socket node gates clock fraction k m bunch_size rent fan_out
-      wld_file greedy json ping =
+  let server_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the server's counters instead of querying (against a \
+             sharded router: fleet-wide aggregated counters).")
+  in
+  let run () socket tcp node gates clock fraction k m bunch_size rent fan_out
+      wld_file greedy json ping server_stats =
     guard @@ fun () ->
-    let socket =
-      match socket with
-      | Some s -> s
-      | None -> fail "query needs --socket PATH"
-    in
     let client =
-      match Ir_serve.Client.connect ~socket with
-      | Ok c -> c
-      | Error e -> fail "%s" e
+      match (socket, tcp) with
+      | Some _, Some _ -> fail "query takes --socket or --tcp, not both"
+      | None, None -> fail "query needs --socket PATH or --tcp [HOST:]PORT"
+      | Some socket, None -> (
+          match Ir_serve.Client.connect ~socket with
+          | Ok c -> c
+          | Error e -> fail "%s" e)
+      | None, Some (host, port) -> (
+          match Ir_serve.Client.connect_tcp ~host ~port with
+          | Ok c -> c
+          | Error e -> fail "%s" e)
     in
     Fun.protect ~finally:(fun () -> Ir_serve.Client.close client)
     @@ fun () ->
     if ping then (
       match Ir_serve.Client.ping client with
       | Ok () -> Format.printf "pong@."
+      | Error e -> fail "%s" e)
+    else if server_stats then (
+      match Ir_serve.Client.stats client with
+      | Ok kvs ->
+          List.iter (fun (name, v) -> Format.printf "%s: %d@." name v) kvs
       | Error e -> fail "%s" e)
     else begin
       let wld_csv =
@@ -742,9 +860,9 @@ let query_cmd =
   in
   let term =
     Term.(
-      const run $ logs_term $ socket_arg $ node $ gates $ clock $ fraction
-      $ permittivity $ miller $ bunch_size $ rent $ fan_out $ wld_file
-      $ greedy $ json $ ping)
+      const run $ logs_term $ socket_arg $ tcp_arg $ node $ gates $ clock
+      $ fraction $ permittivity $ miller $ bunch_size $ rent $ fan_out
+      $ wld_file $ greedy $ json $ ping $ server_stats)
   in
   Cmd.v
     (Cmd.info "query"

@@ -219,6 +219,33 @@ let build_tables ?(max_pareto = 8) ?scratch problem =
 
 let table_truncations tables = tables.truncations
 
+(* ---- snapshot serialization ------------------------------------------- *)
+
+(* The problem is deliberately excluded from the blob: the caller rebuilds
+   it from the query fingerprint (it is cheap next to the DP build) and
+   passes it to [decode_tables], which only accepts the blob if its
+   geometry matches.  The blob itself is [Marshal] output — the front is
+   plain arrays and ints — so callers must checksum it externally before
+   decoding; [Marshal.from_string] on attacker-controlled bytes is not
+   safe, which is why {!Ir_serve.Snapshot} verifies an MD5 over the blob
+   (and a schema tag) before this function ever sees it. *)
+let encode_tables t =
+  Marshal.to_string (t.n, t.m, t.max_pareto, t.truncations, t.front) []
+
+let decode_tables problem blob =
+  match
+    (Marshal.from_string blob 0 : int * int * int * int * Front.t)
+  with
+  | exception _ -> None
+  | n, m, max_pareto, truncations, front ->
+      if
+        n = P.n_bunches problem
+        && m = P.n_pairs problem
+        && Array.length (Front.raw_len front) = (m + 1) * (n + 1)
+        && truncations >= 0
+      then Some { problem; front; n; m; max_pareto; truncations }
+      else None
+
 (* Can the top c bunches all meet their targets in some complete
    assignment?  Try every boundary pair j and every phase-A state of
    cell (j, i): bunches [i..c) meet on pair j, the rest is capacity-only.

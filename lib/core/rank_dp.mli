@@ -93,6 +93,21 @@ val table_truncations : tables -> int
     complete and any search over these tables is exact; positive means
     outcomes derived from them carry [exact = false] (a lower bound). *)
 
+val encode_tables : tables -> string
+(** Serializes the phase-A tables (everything except the problem) into a
+    binary blob for {!decode_tables} — the serve tier's warm-table
+    snapshot path.  The blob is [Marshal] output: it must only ever be
+    decoded after an external integrity check (the snapshot store
+    checksums it), never straight off an untrusted disk. *)
+
+val decode_tables : Ir_assign.Problem.t -> string -> tables option
+(** Rebinds a blob from {!encode_tables} to [problem] (the caller
+    reconstructs the problem the tables were built from — for the serve
+    pool, the family's query at repeater fraction 1.0).  [None] if the
+    blob does not parse or its dimensions disagree with [problem].
+    Searches over restored tables are byte-identical to searches over
+    the originals: the blob carries the complete phase-A state. *)
+
 val search_tables :
   ?exhaustive:bool ->
   ?memo:Ir_assign.Suffix_fit.t ->

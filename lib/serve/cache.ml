@@ -5,6 +5,7 @@ let stat_evictions = Ir_obs.counter "serve_cache/evictions"
 let stat_disk_corrupt = Ir_obs.counter "serve_cache/disk_corrupt"
 let stat_disk_errors = Ir_obs.counter "serve_cache/disk_errors"
 let stat_stores = Ir_obs.counter "serve_cache/stores"
+let stat_tmp_swept = Ir_obs.counter "serve_cache/tmp_swept"
 
 (* ---- in-memory LRU ---------------------------------------------------- *)
 
@@ -108,16 +109,52 @@ let disk_store t ~digest payload =
       (* Temp-file + rename: concurrent servers sharing a cache dir (or a
          crash mid-write) can never publish a torn entry — readers see
          the old file or the complete new one. *)
-      match
-        let tmp =
-          Filename.temp_file ~temp_dir:dir ("." ^ digest) ".tmp"
-        in
-        Out_channel.with_open_bin tmp (fun oc ->
-            Out_channel.output_string oc (render_entry ~digest payload));
-        Sys.rename tmp (entry_path ~dir ~digest)
-      with
-      | () -> ()
-      | exception Sys_error _ -> Ir_obs.incr stat_disk_errors)
+      match Filename.temp_file ~temp_dir:dir ("." ^ digest) ".tmp" with
+      | exception Sys_error _ -> Ir_obs.incr stat_disk_errors
+      | tmp -> (
+          match
+            Out_channel.with_open_bin tmp (fun oc ->
+                Out_channel.output_string oc (render_entry ~digest payload));
+            Sys.rename tmp (entry_path ~dir ~digest)
+          with
+          | () -> ()
+          | exception Sys_error _ ->
+              (* A failed write or rename must not leave the temp file
+                 behind: under steady traffic against a full or
+                 misbehaving disk the orphans would accumulate without
+                 bound (and each pins a directory entry the sweeps below
+                 then have to reap). *)
+              Ir_obs.incr stat_disk_errors;
+              (try Sys.remove tmp with Sys_error _ -> ())))
+
+(* Crash-orphaned temp files (a server killed between [temp_file] and the
+   rename) are reaped when a cache is opened over the directory.  Only
+   files demonstrably stale are touched: a concurrent server's in-flight
+   temp file is at most seconds old, so the age threshold keeps the sweep
+   safe against live writers sharing the directory. *)
+let tmp_stale_age = 600.0
+
+let sweep_stale_tmps dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun name ->
+          if
+            String.length name > 4
+            && name.[0] = '.'
+            && Filename.check_suffix name ".tmp"
+          then
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> ()
+            | st ->
+                if now -. st.Unix.st_mtime > tmp_stale_age then (
+                  match Sys.remove path with
+                  | () -> Ir_obs.incr stat_tmp_swept
+                  | exception Sys_error _ -> ()))
+        names
 
 let discard_corrupt ~path =
   Ir_obs.incr stat_disk_corrupt;
@@ -165,7 +202,9 @@ let create ?(capacity = 512) ?dir () =
   | None -> Ok (make ())
   | Some d -> (
       match Ir_sweep.Export.ensure_dir d with
-      | Ok () -> Ok (make ())
+      | Ok () ->
+          sweep_stale_tmps d;
+          Ok (make ())
       | Error e -> Error e)
 
 type source = Memory | Disk

@@ -23,14 +23,18 @@
     a lookup happens outside it only for the payload read, which the
     checksum then validates).  Counters land on [serve_cache/*]
     ({!Ir_obs}): [mem_hits], [disk_hits], [misses], [evictions],
-    [disk_corrupt], [stores]. *)
+    [disk_corrupt], [disk_errors], [stores], [tmp_swept]. *)
 
 type t
 
 val create : ?capacity:int -> ?dir:string -> unit -> (t, string) result
 (** [capacity] (default 512, clamped to >= 1) bounds the in-memory tier;
     [dir] enables the disk tier (created recursively if missing —
-    [Error] if a non-directory is in the way). *)
+    [Error] if a non-directory is in the way).  Opening a directory also
+    sweeps crash-orphaned write temp files ([.*.tmp] older than ten
+    minutes, counted on [serve_cache/tmp_swept]); the age threshold
+    keeps the sweep from racing a live concurrent writer's in-flight
+    temp file. *)
 
 type source = Memory | Disk
 

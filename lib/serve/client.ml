@@ -22,6 +22,18 @@ let connect ~socket =
         (Printf.sprintf "cannot connect to %s: %s" socket
            (Unix.error_message e))
 
+let connect_tcp ~host ~port =
+  match Tcp.connect_tcp ~host ~port with
+  | Ok fd ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          next_id = 0;
+        }
+  | Error e -> Error e
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let request t op =

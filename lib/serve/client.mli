@@ -9,6 +9,10 @@
 type t
 
 val connect : socket:string -> (t, string) result
+
+val connect_tcp : host:string -> port:int -> (t, string) result
+(** Same client over the TCP listener ([ia_rank serve --tcp]). *)
+
 val close : t -> unit
 
 val request : t -> Protocol.op -> (Protocol.body, string) result

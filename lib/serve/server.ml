@@ -6,6 +6,7 @@ let stat_computes = Ir_obs.counter "serve/computes"
 let stat_cold = Ir_obs.counter "serve/cold_computes"
 let stat_table_builds = Ir_obs.counter "serve/table_builds"
 let stat_table_hits = Ir_obs.counter "serve/table_hits"
+let stat_table_restores = Ir_obs.counter "serve/table_restores"
 let gauge_queue = Ir_obs.gauge "serve/queue_depth_max"
 let span_request = Ir_obs.span "serve/request"
 let span_compute = Ir_obs.span "serve/compute"
@@ -37,6 +38,7 @@ type pool_entry = {
 
 type t = {
   cache : Cache.t;
+  snapshot : Snapshot.t option;
   queue_capacity : int;
   table_pool : int;
   request_timeout : float;
@@ -51,6 +53,7 @@ type t = {
   ticker_stop : bool Atomic.t;
   stop_pipe_r : Unix.file_descr;
   stop_pipe_w : Unix.file_descr;
+  registry : Tcp.registry;  (* live socket connections *)
   mutable threads : Thread.t list;  (* workers + ticker *)
 }
 
@@ -106,22 +109,47 @@ let compute_outcome t (fp : Fingerprint.t) =
     match fp.algo with
     | Fingerprint.Greedy -> None
     | Fingerprint.Dp ->
-        let entry = pool_entry t (Fingerprint.table_key fp) in
+        let key = Fingerprint.table_key fp in
+        let entry = pool_entry t key in
         Mutex.lock entry.entry_lock;
         Fun.protect ~finally:(fun () -> Mutex.unlock entry.entry_lock)
         @@ fun () ->
         (match entry.state with
-        | Unbuilt ->
-            Ir_obs.incr stat_table_builds;
+        | Unbuilt -> (
             let full =
               Ir_assign.Problem.with_repeater_fraction (Fingerprint.problem fp)
                 1.0
             in
-            let tables = Ir_core.Rank_dp.build_tables_widened full in
-            entry.state <-
-              (if Ir_core.Rank_dp.table_truncations tables = 0 then
-                 Built { tables; memo = Ir_assign.Suffix_fit.create full }
-               else Truncated)
+            (* Prefer a snapshotted build from a previous process.  Only
+               truncation-free tables are ever saved, but re-check anyway
+               — the exactness invariant must not rest on what a disk
+               claims. *)
+            let restored =
+              match t.snapshot with
+              | None -> None
+              | Some s -> (
+                  match Snapshot.load s ~key ~problem:full with
+                  | Some tables
+                    when Ir_core.Rank_dp.table_truncations tables = 0 ->
+                      Some tables
+                  | Some _ | None -> None)
+            in
+            match restored with
+            | Some tables ->
+                Ir_obs.incr stat_table_restores;
+                entry.state <-
+                  Built { tables; memo = Ir_assign.Suffix_fit.create full }
+            | None ->
+                Ir_obs.incr stat_table_builds;
+                let tables = Ir_core.Rank_dp.build_tables_widened full in
+                if Ir_core.Rank_dp.table_truncations tables = 0 then begin
+                  entry.state <-
+                    Built { tables; memo = Ir_assign.Suffix_fit.create full };
+                  match t.snapshot with
+                  | Some s -> Snapshot.save s ~key tables
+                  | None -> ()
+                end
+                else entry.state <- Truncated)
         | Built _ | Truncated -> Ir_obs.incr stat_table_hits);
         match entry.state with
         | Built { tables; memo } ->
@@ -191,11 +219,13 @@ let ticker_loop t =
   done
 
 let create ?(workers = 2) ?(queue_capacity = 64) ?(table_pool = 8)
-    ?(request_timeout = 300.) ?(on_compute_start = fun _ -> ()) ~cache () =
+    ?(request_timeout = 300.) ?(on_compute_start = fun _ -> ()) ?snapshot
+    ~cache () =
   let stop_pipe_r, stop_pipe_w = Unix.pipe ~cloexec:true () in
   let t =
     {
       cache;
+      snapshot;
       queue_capacity = max 1 queue_capacity;
       table_pool = max 1 table_pool;
       request_timeout;
@@ -210,6 +240,7 @@ let create ?(workers = 2) ?(queue_capacity = 64) ?(table_pool = 8)
       ticker_stop = Atomic.make false;
       stop_pipe_r;
       stop_pipe_w;
+      registry = Tcp.registry ();
       threads = [];
     }
   in
@@ -329,90 +360,44 @@ let handle t (req : Protocol.request) =
 
 (* ---- transports ------------------------------------------------------- *)
 
+let handle_line t line =
+  match Protocol.decode_request line with
+  | Ok req -> Protocol.encode_response (handle t req)
+  | Error e ->
+      Protocol.encode_response { Protocol.id = ""; body = Protocol.Error e }
+
 let serve_stdio t ic oc =
+  (* A supervisor pipe can vanish as abruptly as a socket client: ignore
+     SIGPIPE and treat any channel error as end-of-conversation instead
+     of letting Sys_error unwind through the daemon. *)
+  Tcp.ignore_sigpipe ();
   let rec loop () =
     match In_channel.input_line ic with
+    | exception Sys_error _ -> ()
     | None -> ()
-    | Some line ->
-        let resp =
-          match Protocol.decode_request line with
-          | Ok req -> handle t req
-          | Error e -> { Protocol.id = ""; body = Protocol.Error e }
-        in
-        Out_channel.output_string oc (Protocol.encode_response resp);
-        Out_channel.output_char oc '\n';
-        Out_channel.flush oc;
-        loop ()
+    | Some line -> (
+        match
+          Out_channel.output_string oc (handle_line t line);
+          Out_channel.output_char oc '\n';
+          Out_channel.flush oc
+        with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
   in
   loop ()
 
-let serve_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (match serve_stdio t ic oc with () -> () | exception _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+let live_connections t = Tcp.live_connections t.registry
 
-let serve_unix t ~socket =
-  let ( let* ) = Result.bind in
-  let* () =
-    match (Unix.lstat socket).Unix.st_kind with
-    | Unix.S_SOCK ->
-        (* A previous server's leftover; safe to replace. *)
-        (match Unix.unlink socket with
-        | () -> Ok ()
-        | exception Unix.Unix_error (e, _, _) ->
-            Error
-              (Printf.sprintf "cannot remove stale socket %s: %s" socket
-                 (Unix.error_message e)))
-    | _ ->
-        Error
-          (Printf.sprintf
-             "%s exists and is not a socket; refusing to replace it" socket)
-    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (Printf.sprintf "%s: %s" socket (Unix.error_message e))
-  in
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-    Unix.listen listen_fd 64
-  with
-  | exception Unix.Unix_error (e, fn, _) ->
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      Error (Printf.sprintf "%s %s: %s" fn socket (Unix.error_message e))
-  | () ->
-      let conns = ref [] in
-      let rec accept_loop () =
-        if draining t then ()
-        else
-          (* Select on the stop pipe too, so [shutdown] (e.g. from a
-             SIGTERM handler) interrupts a blocked accept. *)
-          match Unix.select [ listen_fd; t.stop_pipe_r ] [] [] (-1.0) with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | ready, _, _ ->
-              if List.mem t.stop_pipe_r ready then ()
-              else begin
-                (match Unix.accept ~cloexec:true listen_fd with
-                | fd, _ ->
-                    conns :=
-                      (Thread.create (fun () -> serve_connection t fd) (), fd)
-                      :: !conns
-                | exception Unix.Unix_error _ -> ());
-                accept_loop ()
-              end
-      in
-      accept_loop ();
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      (try Unix.unlink socket with Unix.Unix_error _ -> ());
-      (* Unblock connection threads parked in [input_line] on clients
-         that never hang up (their in-progress requests already answer
-         [Shutting_down]); then wait for them and the workers. *)
-      List.iter
-        (fun (_, fd) ->
-          try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
-          with Unix.Unix_error _ -> ())
-        !conns;
-      List.iter (fun (th, _) -> try Thread.join th with _ -> ()) !conns;
+let serve_listeners t ?tcp ?on_tcp_listen ?socket () =
+  match Tcp.bind_listeners ?tcp ?on_tcp_listen ?socket () with
+  | Error e -> Error e
+  | Ok (fds, cleanup) ->
+      Tcp.serve_loop ~registry:t.registry ~stop:t.stop_pipe_r
+        ~draining:(fun () -> draining t)
+        ~handler:(handle_line t) fds;
+      cleanup ();
       shutdown t;
       join t;
       Ok ()
+
+let serve_unix t ~socket = serve_listeners t ~socket ()

@@ -32,7 +32,7 @@
     in {e waiting} (coalescing, socket I/O, backpressure), which is
     where a query service spends its life.  Counters land on [serve/*]:
     [requests], [coalesced], [shed], [timeouts], [computes],
-    [cold_computes], [table_builds], [table_hits]; gauge
+    [cold_computes], [table_builds], [table_hits], [table_restores]; gauge
     [serve/queue_depth_max]; spans [serve/request] and [serve/compute].
     All are deterministic for a sequentially replayed trace against a
     fresh server — the bench's serving leg asserts exactly that. *)
@@ -45,6 +45,7 @@ val create :
   ?table_pool:int ->
   ?request_timeout:float ->
   ?on_compute_start:(string -> unit) ->
+  ?snapshot:Snapshot.t ->
   cache:Cache.t ->
   unit ->
   t
@@ -55,7 +56,10 @@ val create :
     300 s) is each waiter's deadline.  [on_compute_start] runs in the
     worker thread just before a computation, with the job's digest — a
     test seam for making coalescing races deterministic; it must not
-    call back into the server. *)
+    call back into the server.  [snapshot] persists built warm tables
+    and restores them instead of rebuilding (counted on
+    [serve/table_restores]); only truncation-free tables are saved or
+    accepted, so the warm path's exactness guarantee is unchanged. *)
 
 val handle : t -> Protocol.request -> Protocol.response
 (** Serves one request to completion (blocking — call from a
@@ -88,16 +92,40 @@ val join : t -> unit
 
 val draining : t -> bool
 
+val handle_line : t -> string -> string
+(** One raw request line in, one response line out (neither carries its
+    newline) — {!handle} plus framing.  Never raises; malformed lines
+    answer [Bad_request] with an empty id. *)
+
 val serve_stdio : t -> in_channel -> out_channel -> unit
 (** Line-delimited request/response loop until EOF ([--stdio] mode: the
-    transport for tests, pipes and supervisors that speak stdin). *)
+    transport for tests, pipes and supervisors that speak stdin).
+    SIGPIPE is ignored and channel write failures (the peer vanished)
+    end the loop instead of raising. *)
+
+val serve_listeners :
+  t ->
+  ?tcp:string * int ->
+  ?on_tcp_listen:(int -> unit) ->
+  ?socket:string ->
+  unit ->
+  (unit, string) result
+(** Accepts and serves on every configured listener at once — a
+    Unix-domain [socket] ({!Tcp.listen_unix} semantics), a [tcp]
+    [(host, port)] endpoint ({!Tcp.listen_tcp}; port 0 binds an
+    ephemeral port, reported through [on_tcp_listen]), or both — until
+    {!shutdown}.  Each connection runs on its own thread through the
+    hardened {!Tcp.serve_loop} (bounded request lines, SIGPIPE-proof
+    writes, leak-free connection registry).  Installing a SIGTERM
+    handler is the caller's job ({!shutdown} is async-signal-usable
+    through a self-pipe).  Returns after the listeners closed, every
+    connection thread finished, and the workers were joined; the socket
+    file is removed on the way out.  [Error] if no listener was
+    requested or a bind failed. *)
 
 val serve_unix : t -> socket:string -> (unit, string) result
-(** Binds a Unix-domain socket at [socket] (an existing {e socket} file
-    is replaced; any other file is an error), accepts connections, and
-    serves each on its own thread until {!shutdown} — installing a
-    SIGTERM handler is the caller's job ({!Ir_serve.Server.shutdown} is
-    async-signal-usable through a self-pipe: the handler may simply call
-    [shutdown]).  Returns after the listener closed, every connection
-    thread finished, and the workers were joined; the socket file is
-    removed on the way out. *)
+(** [serve_listeners] with only the Unix-domain [socket]. *)
+
+val live_connections : t -> int
+(** Currently open socket connections (0 once clients disconnect) — the
+    leak detector the fd-churn regression test watches. *)

@@ -1,0 +1,110 @@
+(** Hardened line-protocol transport shared by every serve surface.
+
+    One module owns the hostile-client defenses so the unix-socket
+    server, the TCP listener and the shard router cannot drift apart:
+
+    - {b SIGPIPE is ignored} ({!ignore_sigpipe}) and every write goes
+      through {!write_all}, which turns a client disconnect mid-response
+      into a counted failure ([serve_net/write_failures]) instead of
+      process death.
+    - {b Reads are bounded} ({!read_line}): a request line longer than
+      {!default_max_line} gets a [Bad_request] answer and the connection
+      closed, rather than buffering without limit the way
+      [In_channel.input_line] would.
+    - {b Connections are registered} ({!registry}): each live connection
+      holds a slot it removes {e itself} from (closing its fd under the
+      registry lock) when it ends.  Drain shuts down only descriptors
+      still registered — never a closed fd whose number the kernel may
+      have reused for something unrelated — and the registry cannot grow
+      past the number of simultaneously live connections.
+
+    Counters land on [serve_net/*]: [connections], [overlong_lines],
+    [write_failures], [read_failures]. *)
+
+val ignore_sigpipe : unit -> unit
+(** Idempotently sets [SIGPIPE] to ignore (no-op on platforms without
+    it).  Called by {!serve_loop}; entry points that write to
+    possibly-dead peers outside a loop (stdio serving, the shard router)
+    call it themselves. *)
+
+val default_max_line : int
+(** Request-line size cap (8 MiB) applied by {!read_line} by default. *)
+
+(** {1 Bounded line I/O over raw descriptors} *)
+
+type line_reader
+(** Buffered newline-delimited reader over a file descriptor. *)
+
+val line_reader : Unix.file_descr -> line_reader
+
+val read_line :
+  ?max_bytes:int -> line_reader -> [ `Line of string | `Eof | `Overlong ]
+(** Next line (without its newline).  [`Overlong] once a single line
+    exceeds [max_bytes] — the stream is not resynchronized; close it.
+    Read errors count on [serve_net/read_failures] and surface as
+    end-of-stream. *)
+
+val write_all : Unix.file_descr -> bytes -> int -> int -> bool
+(** Full write of a byte range; [false] (plus a [write_failures] count)
+    if the peer is gone.  Never raises on I/O errors. *)
+
+val write_line : Unix.file_descr -> string -> bool
+(** [write_all] of [line] plus a newline. *)
+
+(** {1 Listeners} *)
+
+val listen_unix : socket:string -> (Unix.file_descr, string) result
+(** Bound, listening unix-domain socket at [socket].  A stale socket
+    file left by a dead server is replaced; any other kind of file in
+    the way is an error. *)
+
+val listen_tcp :
+  ?backlog:int ->
+  ?host:string ->
+  port:int ->
+  unit ->
+  (Unix.file_descr * int, string) result
+(** Bound, listening TCP socket on [host] (default 127.0.0.1) with
+    [SO_REUSEADDR].  Returns the fd and the bound port — pass [port:0]
+    for an ephemeral port and read the real one from the result. *)
+
+val connect_tcp :
+  host:string -> port:int -> (Unix.file_descr, string) result
+(** Client side of {!listen_tcp}. *)
+
+val bind_listeners :
+  ?tcp:string * int ->
+  ?on_tcp_listen:(int -> unit) ->
+  ?socket:string ->
+  unit ->
+  (Unix.file_descr list * (unit -> unit), string) result
+(** Binds whichever listeners are configured (at least one required):
+    [socket] via {!listen_unix}, [tcp] via {!listen_tcp} (the bound port
+    reported through [on_tcp_listen]).  Returns the listening fds and a
+    cleanup that closes them and unlinks the socket file. *)
+
+(** {1 Accept loop and connection registry} *)
+
+type registry
+(** Live-connection table of one serve loop. *)
+
+val registry : unit -> registry
+
+val live_connections : registry -> int
+(** Number of currently registered (open) connections — a leak detector
+    for tests: it returns to 0 once clients disconnect. *)
+
+val serve_loop :
+  registry:registry ->
+  stop:Unix.file_descr ->
+  draining:(unit -> bool) ->
+  handler:(string -> string) ->
+  Unix.file_descr list ->
+  unit
+(** Accepts on every listening fd in the list until the [stop] pipe
+    becomes readable or [draining ()] turns true, serving each
+    connection on its own thread through [handler] (one request line in,
+    one response line out — the handler must not raise).  On shutdown,
+    still-registered connections get their read side shut down (their
+    in-flight request still answers) and are joined before returning.
+    The listening fds are {e not} closed — the caller owns them. *)

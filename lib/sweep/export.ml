@@ -264,8 +264,56 @@ let json_serving s =
       ("counters_match", if s.counters_match then "true" else "false");
     ]
 
+type serving_sharded_report = {
+  shards : int;
+  clients : int;
+  storm_requests : int;
+  distinct_families : int;
+  sh_distinct_queries : int;
+  sh_p50_ms : float;
+  sh_p95_ms : float;
+  sh_p99_ms : float;
+  shed_rate : float;
+  coalesce_rate : float;
+  table_builds_per_shard : int list;
+  byte_identical : bool;
+}
+
+(* The CI gate reads [status]; anything but "ok" fails the build.  The
+   conditions mirror the serving tier's contracts: sharded answers must
+   be byte-identical to single-process cold computes; the fleet must
+   build each warm-table family at most once (that is what routing by
+   family buys); and backpressure must shed a bounded fraction, not the
+   majority, of a plausible storm. *)
+let sharded_status s =
+  if not s.byte_identical then "mismatch"
+  else if
+    List.fold_left ( + ) 0 s.table_builds_per_shard > s.distinct_families
+  then "duplicate_family_builds"
+  else if s.shed_rate > 0.5 then "shed_exceeded"
+  else "ok"
+
+let json_serving_sharded s =
+  json_obj
+    [
+      ("status", json_string (sharded_status s));
+      ("shards", string_of_int s.shards);
+      ("clients", string_of_int s.clients);
+      ("storm_requests", string_of_int s.storm_requests);
+      ("distinct_queries", string_of_int s.sh_distinct_queries);
+      ("distinct_families", string_of_int s.distinct_families);
+      ("p50_ms", json_float s.sh_p50_ms);
+      ("p95_ms", json_float s.sh_p95_ms);
+      ("p99_ms", json_float s.sh_p99_ms);
+      ("shed_rate", json_float s.shed_rate);
+      ("coalesce_rate", json_float s.coalesce_rate);
+      ( "table_builds_per_shard",
+        json_list string_of_int s.table_builds_per_shard );
+      ("byte_identical", if s.byte_identical then "true" else "false");
+    ]
+
 let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
-    ?serving ~sweeps ~cross () =
+    ?serving ?serving_sharded ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -314,7 +362,7 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/6");
+             ("schema", json_string "ia-rank/bench-sweeps/7");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
@@ -337,6 +385,9 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
           @ (match serving with
             | None -> []
             | Some s -> [ ("serving", json_serving s) ])
+          @ (match serving_sharded with
+            | None -> []
+            | Some s -> [ ("serving_sharded", json_serving_sharded s) ])
           @ (match metrics with
             | None -> []
             | Some snap -> [ ("metrics", json_metrics snap) ])

@@ -82,6 +82,37 @@ type serving_report = {
     a query trace replayed against an in-process server, summarized by
     hit rate, latency percentiles and the counter-identity verdict. *)
 
+type serving_sharded_report = {
+  shards : int;  (** worker processes in the fleet *)
+  clients : int;  (** concurrent storm client threads *)
+  storm_requests : int;  (** total requests the storm issued *)
+  distinct_families : int;
+      (** distinct warm-table families among the storm's DP queries *)
+  sh_distinct_queries : int;  (** distinct fingerprints in the storm *)
+  sh_p50_ms : float;  (** storm request latency percentiles, milliseconds *)
+  sh_p95_ms : float;
+  sh_p99_ms : float;
+  shed_rate : float;  (** [Overloaded] answers / storm requests *)
+  coalesce_rate : float;  (** fleet-wide [serve/coalesced] / [serve/requests] *)
+  table_builds_per_shard : int list;
+      (** each shard's [serve/table_builds] after the storm — their sum
+          must not exceed [distinct_families] (family-affinity routing) *)
+  byte_identical : bool;
+      (** post-storm: every distinct query re-asked through the router
+          matched a local cold compute byte-for-byte *)
+}
+(** The sharded load-generator leg, exported under ["serving_sharded"]
+    (since schema 7): a zipf-skewed client storm against a forked shard
+    fleet behind TCP.  Export derives a ["status"] the CI gate keys on:
+    ["ok"], ["mismatch"] (byte-identity broken),
+    ["duplicate_family_builds"] (some family's tables were built by more
+    than one shard), or ["shed_exceeded"] (more than half the storm was
+    shed). *)
+
+val sharded_status : serving_sharded_report -> string
+(** The derived ["status"] string described above — exposed so the bench
+    harness can print and gate on the same verdict the JSON exports. *)
+
 val write_bench_json :
   dir:string ->
   jobs:int ->
@@ -91,12 +122,13 @@ val write_bench_json :
   ?parallel:parallel_report ->
   ?scaling:scaling_report ->
   ?serving:serving_report ->
+  ?serving_sharded:serving_sharded_report ->
   sweeps:Table4.sweep list ->
   cross:Cross_node.cell list ->
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/6]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/7]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
     (e.g. the sequential and parallel table4 legs), an optional [kernel]
     timings object (flat name/seconds pairs from the kernel

@@ -626,6 +626,439 @@ let test_e2e_timeout () =
   S.shutdown srv;
   S.join srv
 
+(* ---- hostile clients: disconnects, fd churn, oversized lines ---------- *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let send_raw fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* A client that hangs up between request and response must cost the
+   server one failed write — the historical behaviour was death by
+   SIGPIPE on the response write. *)
+let test_e2e_disconnect_mid_response () =
+  Ir_obs.reset ();
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv =
+    S.create ~workers:1 ~cache
+      ~on_compute_start:(fun _ ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let socket = temp_socket () in
+  let server_thread = start_server srv socket in
+  let q = Pr.query ~bunch_size:500 ~node:"130nm" ~gates:20_000 () in
+  let fd = raw_connect socket in
+  send_raw fd (Pr.encode_request { Pr.id = "gone"; op = Pr.Query q } ^ "\n");
+  wait_for "compute to start" (fun () -> Atomic.get started);
+  (* The client vanishes while its answer is still being computed. *)
+  Unix.close fd;
+  Atomic.set release true;
+  wait_for "the response write to fail" (fun () ->
+      counter "serve_net/write_failures" >= 1);
+  wait_for "the dead connection to unregister" (fun () ->
+      S.live_connections srv = 0);
+  (* The daemon survived: a second client gets the (cached) answer. *)
+  let client = ok_exn "connect" (Cl.connect ~socket) in
+  (match Cl.query client q with
+  | Ok (_, source, _) -> Alcotest.(check string) "from cache" "memory" source
+  | Error e -> Alcotest.failf "query after disconnect: %s" e);
+  Cl.close client;
+  S.shutdown srv;
+  Thread.join server_thread
+
+(* Rapid connect/disconnect churn — instant hangups, garbage lines,
+   half-written requests — must leave zero registered connections and a
+   server that still answers.  The historical connection list grew
+   without bound and, at drain, shut down already-closed (reusable) fd
+   numbers. *)
+let test_e2e_fd_churn_storm () =
+  Ir_obs.reset ();
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv = S.create ~workers:1 ~cache () in
+  let socket = temp_socket () in
+  let server_thread = start_server srv socket in
+  for i = 0 to 59 do
+    let fd = raw_connect socket in
+    (match i mod 3 with
+    | 0 -> () (* connect and vanish *)
+    | 1 ->
+        (* garbage request: server answers Bad_request, client vanishes
+           without reading it *)
+        send_raw fd "this is not json\n"
+    | _ ->
+        (* half a request line, then gone *)
+        send_raw fd "{\"v\":1,\"id\":\"trunc");
+    Unix.close fd
+  done;
+  (* The accept loop may still be draining the listen backlog: wait for
+     every churned connection to have been accepted AND unregistered. *)
+  wait_for "every churned connection to unregister" (fun () ->
+      counter "serve_net/connections" >= 60 && S.live_connections srv = 0);
+  let client = ok_exn "connect" (Cl.connect ~socket) in
+  ok_exn "ping after the storm" (Cl.ping client);
+  Cl.close client;
+  S.shutdown srv;
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket removed on drain" false
+    (Sys.file_exists socket)
+
+(* A request line over the 8 MiB bound is answered with Bad_request and
+   the connection is dropped — bounded memory per connection, no
+   [input_line]-style unbounded buffering. *)
+let test_e2e_overlong_line () =
+  Ir_obs.reset ();
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv = S.create ~workers:1 ~cache () in
+  let socket = temp_socket () in
+  let server_thread = start_server srv socket in
+  let fd = raw_connect socket in
+  (* Exactly one byte over the bound: the server must consume every
+     byte before it can detect the overflow, so its close after the
+     Bad_request answer is a clean FIN (closing with unread inbound
+     data would RST the response away). *)
+  let chunk = String.make 65536 'a' in
+  let n = Ir_serve.Tcp.default_max_line / String.length chunk in
+  for _ = 1 to n do
+    send_raw fd chunk
+  done;
+  send_raw fd "a";
+  let ic = Unix.in_channel_of_descr fd in
+  (match In_channel.input_line ic with
+  | None -> Alcotest.fail "no response to an overlong line"
+  | Some line -> (
+      let resp = ok_exn "decode" (Pr.decode_response line) in
+      match resp.Pr.body with
+      | Pr.Error (Pr.Bad_request _) -> ()
+      | _ -> Alcotest.fail "expected Bad_request for an overlong line"));
+  Alcotest.(check bool) "connection dropped after the flood" true
+    (In_channel.input_line ic = None);
+  Unix.close fd;
+  Alcotest.(check int) "overlong line counted" 1
+    (counter "serve_net/overlong_lines");
+  S.shutdown srv;
+  Thread.join server_thread
+
+(* ---- cache: write failures and temp-file hygiene ---------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let temp_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ia_serve_%s_%d_%d" tag (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+
+(* The disk tier failing must degrade the daemon, not stop it: a store
+   that cannot write counts [disk_errors] and the query is still served
+   from memory. *)
+let test_cache_write_failure_keeps_serving () =
+  Ir_obs.reset ();
+  let dir = temp_path "badcache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cache = ok_exn "cache" (C.create ~capacity:16 ~dir ()) in
+  (* Yank the directory out from under the running cache: every disk
+     write from here on fails at [temp_file]. *)
+  rm_rf dir;
+  Out_channel.with_open_bin dir (fun _ -> ());
+  let srv = S.create ~workers:1 ~cache () in
+  let q = fp_at 0.3 in
+  (match S.submit_query srv q with
+  | Ok (payload, _) ->
+      Alcotest.(check string) "served despite the disk failure"
+        (Pr.result_payload (F.compute_cold q))
+        payload
+  | Error e -> Alcotest.failf "query: %s" (Pr.error_message e));
+  Alcotest.(check bool) "disk error counted" true
+    (counter "serve_cache/disk_errors" >= 1);
+  (match S.submit_query srv q with
+  | Ok (_, "memory") -> ()
+  | Ok (_, s) -> Alcotest.failf "expected memory hit, got %s" s
+  | Error e -> Alcotest.failf "second ask: %s" (Pr.error_message e));
+  S.shutdown srv;
+  S.join srv
+
+(* Crash-orphaned temp files are reaped on cache open; a live writer's
+   fresh temp file is left alone. *)
+let test_cache_tmp_sweep () =
+  Ir_obs.reset ();
+  let dir = temp_path "tmpsweep" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let _ = ok_exn "cache" (C.create ~dir ()) in
+  let stale = Filename.concat dir ".deadbeef.1234.tmp" in
+  let fresh = Filename.concat dir ".cafe.5678.tmp" in
+  Out_channel.with_open_bin stale (fun oc ->
+      Out_channel.output_string oc "orphan");
+  Unix.utimes stale 1.0 1.0;
+  Out_channel.with_open_bin fresh (fun oc ->
+      Out_channel.output_string oc "in-flight");
+  let _ = ok_exn "cache2" (C.create ~dir ()) in
+  Alcotest.(check int) "stale orphan swept" 1 (counter "serve_cache/tmp_swept");
+  Alcotest.(check bool) "stale orphan removed" false (Sys.file_exists stale);
+  Alcotest.(check bool) "fresh temp file untouched" true
+    (Sys.file_exists fresh)
+
+(* Several processes hammering one cache directory — concurrent writers
+   racing renames, readers opening mid-traffic — must never produce a
+   torn or wrong read.  Atomic temp-file + rename is the claim; this is
+   the multi-process proof. *)
+let test_cache_multiprocess_hammer () =
+  Ir_obs.reset ();
+  let dir = temp_path "hammer" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let entries =
+    List.init 12 (fun i ->
+        (digest_of (Printf.sprintf "hammer-%d" i),
+         Printf.sprintf "payload-%d-%s" i (String.make (100 * i) 'x')))
+  in
+  let writer () =
+    match Unix.fork () with
+    | 0 ->
+        (* Child: its own cache over the shared directory, storing every
+           entry repeatedly.  [_exit], not [exit]: the child must not
+           flush channels it shares with the parent. *)
+        (try
+           match C.create ~dir () with
+           | Error _ -> Unix._exit 1
+           | Ok c ->
+               for _ = 1 to 25 do
+                 List.iter
+                   (fun (digest, payload) -> C.store c ~digest payload)
+                   entries
+               done;
+               Unix._exit 0
+         with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  let pids = List.init 3 (fun _ -> writer ()) in
+  (* Parent: read through fresh caches while the writers race.  Every
+     observed entry must be complete and correct — a torn rename would
+     surface as either corruption (counted) or a wrong payload. *)
+  let before_corrupt = counter "serve_cache/disk_corrupt" in
+  for _ = 1 to 40 do
+    let c = ok_exn "reader cache" (C.create ~dir ()) in
+    List.iter
+      (fun (digest, payload) ->
+        match C.find c ~digest with
+        | None -> () (* not yet written: a miss, never a torn read *)
+        | Some (p, _) ->
+            Alcotest.(check string) "no torn or wrong payload" payload p)
+      entries;
+    Thread.delay 0.005
+  done;
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "writer process failed")
+    pids;
+  Alcotest.(check int) "no live-race corruption" before_corrupt
+    (counter "serve_cache/disk_corrupt");
+  (* Steady state: every entry present and byte-correct. *)
+  let c = ok_exn "final cache" (C.create ~dir ()) in
+  List.iter
+    (fun (digest, payload) ->
+      match C.find c ~digest with
+      | Some (p, _) -> Alcotest.(check string) "final payload" payload p
+      | None -> Alcotest.fail "entry missing after the hammer")
+    entries
+
+(* ---- warm-table snapshots --------------------------------------------- *)
+
+module Sn = Ir_serve.Snapshot
+
+(* A restarted server answers warm: the first server persists its built
+   family tables, the second restores them instead of rebuilding — and
+   the restored answer is byte-identical to a cold compute. *)
+let test_snapshot_warm_restart () =
+  Ir_obs.reset ();
+  let dir = temp_path "snap" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let snapshot = ok_exn "snapshot" (Sn.create ~dir) in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv = S.create ~workers:1 ~snapshot ~cache () in
+  let q = fp_at 0.3 in
+  let key = F.table_key q in
+  (match S.submit_query srv q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first ask: %s" (Pr.error_message e));
+  Alcotest.(check int) "family built once" 1 (counter "serve/table_builds");
+  wait_for "the snapshot to land on disk" (fun () ->
+      Sys.file_exists (Sn.entry_path snapshot ~key));
+  Alcotest.(check int) "save counted" 1 (counter "serve_snapshot/saves");
+  S.shutdown srv;
+  S.join srv;
+  (* Restart: fresh server, fresh cache, same snapshot directory.  A
+     different fraction of the same family must restore, not rebuild. *)
+  Ir_obs.reset ();
+  let snapshot2 = ok_exn "snapshot2" (Sn.create ~dir) in
+  let cache2 = ok_exn "cache2" (C.create ~capacity:16 ()) in
+  let srv2 = S.create ~workers:1 ~snapshot:snapshot2 ~cache:cache2 () in
+  let q2 = fp_at 0.55 in
+  (match S.submit_query srv2 q2 with
+  | Ok (payload, _) ->
+      Alcotest.(check string) "restored answer = cold"
+        (Pr.result_payload (F.compute_cold q2))
+        payload
+  | Error e -> Alcotest.failf "warm-restart ask: %s" (Pr.error_message e));
+  Alcotest.(check int) "tables restored, not rebuilt" 1
+    (counter "serve/table_restores");
+  Alcotest.(check int) "no rebuild" 0 (counter "serve/table_builds");
+  S.shutdown srv2;
+  S.join srv2
+
+(* A corrupted snapshot is discarded (and counted), never deserialized:
+   the server falls back to a cold build and still answers correctly. *)
+let test_snapshot_corrupt_fallback () =
+  Ir_obs.reset ();
+  let dir = temp_path "snapcorrupt" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let snapshot = ok_exn "snapshot" (Sn.create ~dir) in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv = S.create ~workers:1 ~snapshot ~cache () in
+  let q = fp_at 0.3 in
+  let key = F.table_key q in
+  (match S.submit_query srv q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed ask: %s" (Pr.error_message e));
+  wait_for "the snapshot to land on disk" (fun () ->
+      Sys.file_exists (Sn.entry_path snapshot ~key));
+  S.shutdown srv;
+  S.join srv;
+  (* Truncate the snapshot mid-blob. *)
+  let path = Sn.entry_path snapshot ~key in
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub bytes 0 (String.length bytes / 2)));
+  Ir_obs.reset ();
+  let snapshot2 = ok_exn "snapshot2" (Sn.create ~dir) in
+  let cache2 = ok_exn "cache2" (C.create ~capacity:16 ()) in
+  let srv2 = S.create ~workers:1 ~snapshot:snapshot2 ~cache:cache2 () in
+  (match S.submit_query srv2 q with
+  | Ok (payload, _) ->
+      Alcotest.(check string) "fallback answer = cold"
+        (Pr.result_payload (F.compute_cold q))
+        payload
+  | Error e -> Alcotest.failf "post-corruption ask: %s" (Pr.error_message e));
+  Alcotest.(check bool) "corruption counted" true
+    (counter "serve_snapshot/corrupt" >= 1);
+  Alcotest.(check int) "rebuilt cold" 1 (counter "serve/table_builds");
+  (* The corrupt file was discarded, then the rebuild re-saved a fresh
+     valid snapshot over it. *)
+  Alcotest.(check int) "fresh snapshot re-saved" 1
+    (counter "serve_snapshot/saves");
+  S.shutdown srv2;
+  S.join srv2
+
+(* ---- sharded fleet over TCP ------------------------------------------- *)
+
+module Sh = Ir_serve.Shard
+
+let ia_rank_exe () =
+  let abs p =
+    if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+  in
+  let candidate =
+    match Sys.getenv_opt "IA_RANK_EXE" with
+    | Some p when p <> "" -> abs p
+    | _ ->
+        (* test_serve.exe lives in _build/default/test/; the CLI binary
+           is a declared test dep at _build/default/bin/ia_rank.exe. *)
+        Filename.concat
+          (Filename.dirname (Filename.dirname (abs Sys.executable_name)))
+          (Filename.concat "bin" "ia_rank.exe")
+  in
+  if Sys.file_exists candidate then candidate
+  else Alcotest.failf "ia_rank binary not found at %s" candidate
+
+(* The acceptance bar for sharding: a mixed corpus asked through the
+   TCP router of a forked 2-shard fleet answers byte-identically to
+   local cold computes, and no warm-table family is built by more than
+   one shard. *)
+let test_sharded_tcp_byte_identity () =
+  Ir_obs.reset ();
+  let dir = temp_path "fleet" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let fleet =
+    ok_exn "fleet"
+      (Sh.start ~workers:1 ~exe:(ia_rank_exe ()) ~shards:2 ~dir ())
+  in
+  let port_set = Atomic.make 0 in
+  let serve_thread =
+    Thread.create
+      (fun () ->
+        ok_exn "shard serve"
+          (Sh.serve fleet
+             ~tcp:("127.0.0.1", 0)
+             ~on_tcp_listen:(fun p -> Atomic.set port_set p)
+             ()))
+      ()
+  in
+  wait_for "the router to listen" (fun () -> Atomic.get port_set <> 0);
+  let port = Atomic.get port_set in
+  let corpus =
+    [
+      Pr.query ~bunch_size:500 ~repeater_fraction:0.3 ~node:"130nm"
+        ~gates:20_000 ();
+      Pr.query ~bunch_size:500 ~repeater_fraction:0.5 ~node:"130nm"
+        ~gates:20_000 ();
+      Pr.query ~bunch_size:500 ~repeater_fraction:0.3 ~node:"90nm"
+        ~gates:20_000 ();
+      Pr.query ~bunch_size:500 ~repeater_fraction:0.5 ~node:"90nm"
+        ~gates:20_000 ();
+      Pr.query ~bunch_size:500 ~greedy:true ~node:"130nm" ~gates:20_000 ();
+    ]
+  in
+  let client = ok_exn "tcp connect" (Cl.connect_tcp ~host:"127.0.0.1" ~port) in
+  List.iteri
+    (fun i q ->
+      let fp = ok_exn "fp" (Pr.fingerprint_of_query q) in
+      match Cl.query client q with
+      | Ok (_, _, payload) ->
+          Alcotest.(check string)
+            (Printf.sprintf "corpus %d: sharded = cold" i)
+            (Pr.result_payload (F.compute_cold fp))
+            payload
+      | Error e -> Alcotest.failf "corpus %d: %s" i e)
+    corpus;
+  (* Family affinity: two DP families in the corpus, and across the
+     whole fleet each was built exactly once. *)
+  let builds =
+    Array.fold_left
+      (fun acc socket ->
+        let c = ok_exn "shard stats" (Cl.connect ~socket) in
+        let kvs = ok_exn "stats" (Cl.stats c) in
+        Cl.close c;
+        acc
+        + Option.value ~default:0 (List.assoc_opt "serve/table_builds" kvs))
+      0 (Sh.shard_sockets fleet)
+  in
+  Alcotest.(check int) "each family built exactly once fleet-wide" 2 builds;
+  (* The router's aggregated stats cover the same counters. *)
+  let agg =
+    let kvs = ok_exn "agg stats" (Cl.stats client) in
+    Option.value ~default:0 (List.assoc_opt "serve/table_builds" kvs)
+  in
+  Alcotest.(check int) "aggregated stats sum the fleet" 2 agg;
+  Cl.close client;
+  Sh.shutdown fleet;
+  Thread.join serve_thread
+
 let () =
   Alcotest.run "serve"
     [
@@ -671,5 +1104,31 @@ let () =
             test_e2e_coalescing_and_restart;
           Alcotest.test_case "shed and drain" `Quick test_e2e_shed;
           Alcotest.test_case "timeout" `Quick test_e2e_timeout;
+        ] );
+      ( "hostile clients",
+        [
+          Alcotest.test_case "disconnect mid-response" `Quick
+            test_e2e_disconnect_mid_response;
+          Alcotest.test_case "fd churn storm" `Quick test_e2e_fd_churn_storm;
+          Alcotest.test_case "overlong line" `Quick test_e2e_overlong_line;
+        ] );
+      ( "cache hardening",
+        [
+          Alcotest.test_case "write failure keeps serving" `Quick
+            test_cache_write_failure_keeps_serving;
+          Alcotest.test_case "tmp sweep" `Quick test_cache_tmp_sweep;
+          Alcotest.test_case "multi-process hammer" `Quick
+            test_cache_multiprocess_hammer;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "warm restart" `Quick test_snapshot_warm_restart;
+          Alcotest.test_case "corrupt fallback" `Quick
+            test_snapshot_corrupt_fallback;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "tcp byte identity" `Quick
+            test_sharded_tcp_byte_identity;
         ] );
     ]

@@ -278,6 +278,21 @@ let test_export () =
               table_builds = 1;
               counters_match = true;
             }
+          ~serving_sharded:
+            {
+              Ir_sweep.Export.shards = 2;
+              clients = 32;
+              storm_requests = 192;
+              distinct_families = 2;
+              sh_distinct_queries = 14;
+              sh_p50_ms = 1.0;
+              sh_p95_ms = 2.0;
+              sh_p99_ms = 3.0;
+              shed_rate = 0.0;
+              coalesce_rate = 0.25;
+              table_builds_per_shard = [ 1; 1 ];
+              byte_identical = true;
+            }
           ~sweeps:[ sweep ] ~cross:[] ()
       with
       | Error e -> Alcotest.failf "write_bench_json: %s" e
@@ -292,9 +307,12 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/6\"";
+              "\"schema\":\"ia-rank/bench-sweeps/7\"";
               "\"jobs\":4";
               "\"serving\":{\"trace_requests\":9";
+              "\"serving_sharded\":{\"status\":\"ok\"";
+              "\"table_builds_per_shard\":[1,1]";
+              "\"byte_identical\":true";
               "\"counters_match\":true";
               "\"hit_rate\":0.75";
               "\"requested_jobs\":4";
@@ -367,6 +385,36 @@ let test_export_single_core () =
             false
             (Astring_contains.contains contents needle))
         [ "\"jobsN_seconds\""; "\"parallel_regression\":true" ]
+
+(* The derived serving_sharded status the CI gate keys on: each failure
+   mode maps to its own verdict, checked worst-first. *)
+let test_sharded_status () =
+  let base =
+    {
+      Ir_sweep.Export.shards = 2;
+      clients = 8;
+      storm_requests = 64;
+      distinct_families = 2;
+      sh_distinct_queries = 6;
+      sh_p50_ms = 1.0;
+      sh_p95_ms = 2.0;
+      sh_p99_ms = 3.0;
+      shed_rate = 0.0;
+      coalesce_rate = 0.1;
+      table_builds_per_shard = [ 1; 1 ];
+      byte_identical = true;
+    }
+  in
+  let status = Ir_sweep.Export.sharded_status in
+  Alcotest.(check string) "clean run" "ok" (status base);
+  Alcotest.(check string) "byte identity dominates" "mismatch"
+    (status { base with byte_identical = false; shed_rate = 1.0 });
+  Alcotest.(check string) "a family built twice" "duplicate_family_builds"
+    (status { base with table_builds_per_shard = [ 2; 1 ] });
+  Alcotest.(check string) "over half the storm shed" "shed_exceeded"
+    (status { base with shed_rate = 0.6 });
+  Alcotest.(check string) "heavy but acceptable shed" "ok"
+    (status { base with shed_rate = 0.5 })
 
 let test_export_bad_dir () =
   match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
@@ -457,6 +505,7 @@ let () =
           Alcotest.test_case "round trip" `Slow test_export;
           Alcotest.test_case "single-core skip report" `Quick
             test_export_single_core;
+          Alcotest.test_case "sharded status" `Quick test_sharded_status;
           Alcotest.test_case "bad directory" `Quick test_export_bad_dir;
           Alcotest.test_case "recursive directory creation" `Quick
             test_ensure_dir_recursive;
