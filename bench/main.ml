@@ -403,6 +403,135 @@ let kernel_bench () =
     ("build_tables_seconds", build_s);
   ]
 
+(* Grid leg: the same Table-4 sweep through the historical per-point
+   scheduler and through the Rank_grid wavefront, at the same worker
+   count — the headline number of the grid engine — plus a perturb
+   micro-leg showing incremental re-evaluation touches strictly fewer
+   cells than a full rebuild.  The grid leg also reruns at jobs=1 to
+   assert the grid/* counters (and the results) are schedule-invariant.
+   Any identity violation fails the bench process; the speedup itself is
+   reported honestly, never gated. *)
+let grid_bench () =
+  section "Grid leg: per-point vs one-wavefront grid (same jobs)";
+  let config = sweep_config () in
+  let jobs =
+    if Ir_exec.hardware_jobs () <= 1 then 1 else par_jobs ()
+  in
+  Ir_obs.reset ();
+  let t0 = Ir_exec.now () in
+  let pp =
+    Ir_sweep.Table4.all ~jobs ~engine:Ir_sweep.Table4.Per_point ~config ()
+  in
+  let pp_s = Ir_exec.now () -. t0 in
+  Ir_obs.reset ();
+  let t0 = Ir_exec.now () in
+  let gr = Ir_sweep.Table4.all ~jobs ~engine:Ir_sweep.Table4.Grid ~config () in
+  let grid_s = Ir_exec.now () -. t0 in
+  let grid_snap = identity_snapshot () in
+  let engines_identical =
+    List.for_all2 (fun a b -> sweep_sig a = sweep_sig b) pp gr
+  in
+  (* The grid counters are structural (cells, planes, wavefront levels):
+     a jobs=1 rerun must reproduce them — and the ranks — exactly. *)
+  let counters_match, jobs1_identical =
+    if jobs = 1 then (true, true)
+    else begin
+      Ir_obs.reset ();
+      let gr1 =
+        Ir_sweep.Table4.all ~jobs:1 ~engine:Ir_sweep.Table4.Grid ~config ()
+      in
+      let snap1 = identity_snapshot () in
+      ( snap1.Ir_obs.counters = grid_snap.Ir_obs.counters
+        && snap1.Ir_obs.gauges = grid_snap.Ir_obs.gauges,
+        List.for_all2 (fun a b -> sweep_sig a = sweep_sig b) gr gr1 )
+    end
+  in
+  let gcounter name =
+    Option.value ~default:0 (Ir_obs.find_counter grid_snap name)
+  in
+  let points =
+    List.fold_left
+      (fun a (s : Ir_sweep.Table4.sweep) -> a + List.length s.rows)
+      0 gr
+  in
+  (* cells_evaluated - cells_shared = planes actually built: every cell
+     is either answered from a plane built for it or shared. *)
+  let planes =
+    gcounter "grid/cells_evaluated" - gcounter "grid/cells_shared"
+  in
+  (* Perturb micro-leg: a K x R micro grid built once, then one new K
+     value perturbed in — only the new cell's (single-cell) slice is
+     recomputed, never the other planes. *)
+  Ir_obs.reset ();
+  let micro_design = config.Ir_sweep.Table4.design in
+  let base = Ir_core.Rank.problem_of_design micro_design in
+  let micro_points =
+    Array.of_list
+      (List.concat_map
+         (fun k ->
+           List.map
+             (fun f ->
+               Ir_core.Rank_grid.point
+                 ~materials:(Ir_ia.Materials.v ~k ())
+                 ~fraction:f ())
+             [ 0.2; 0.3; 0.4 ])
+         [ 3.9; 3.3; 2.7 ])
+  in
+  let t0 = Ir_exec.now () in
+  let micro = Ir_core.Rank_grid.evaluate ~jobs base micro_points in
+  let full_eval_s = Ir_exec.now () -. t0 in
+  let t0 = Ir_exec.now () in
+  let changed =
+    Ir_core.Rank_grid.perturb micro
+      (Ir_core.Rank_grid.point
+         ~materials:(Ir_ia.Materials.v ~k:2.1 ())
+         ~fraction:0.3 ())
+  in
+  let perturb_s = Ir_exec.now () -. t0 in
+  Ir_obs.reset ();
+  let report =
+    {
+      Ir_sweep.Export.grid_points = points;
+      grid_planes = planes;
+      per_point_seconds = pp_s;
+      grid_seconds = grid_s;
+      grid_identical = engines_identical && jobs1_identical;
+      grid_counters_match = counters_match;
+      perturb_recomputed = Array.length changed;
+      perturb_grid_cells = Ir_core.Rank_grid.cells micro;
+      perturb_seconds = perturb_s;
+      full_eval_seconds = full_eval_s;
+    }
+  in
+  Ir_sweep.Report.table
+    ~header:[ "grid leg"; "wall time"; "speedup" ]
+    ~rows:
+      [
+        [ Printf.sprintf "per-point (jobs=%d)" jobs;
+          Printf.sprintf "%.2f s" pp_s; "1.00x" ];
+        [
+          Printf.sprintf "grid wavefront (jobs=%d)" jobs;
+          Printf.sprintf "%.2f s" grid_s;
+          Printf.sprintf "%.2fx" (pp_s /. Float.max 1e-9 grid_s);
+        ];
+      ]
+    Format.std_formatter;
+  Format.printf
+    "%d points over %d planes; perturb recomputed %d of %d cells (%.4f s \
+     vs %.4f s full build); status %s@."
+    points planes report.perturb_recomputed report.perturb_grid_cells
+    perturb_s full_eval_s
+    (Ir_sweep.Export.grid_status report);
+  if grid_s > 1.05 *. pp_s then
+    Format.printf
+      "@.*** WARNING: the grid leg (%.2f s) is SLOWER than per-point \
+       (%.2f s) on this machine/workload. ***@."
+      grid_s pp_s;
+  (match Ir_sweep.Export.grid_status report with
+  | "ok" -> ()
+  | status -> failwith ("grid leg: status " ^ status));
+  report
+
 (* Serving leg: replay a fixed query trace against an in-process rank
    server — fresh cache, fresh warm-table pool — once at jobs=1 and once
    at jobs=N, asserting the serve/serve_cache counter identity the rest
@@ -1189,10 +1318,15 @@ let study_netlist () =
      lengths; the@.closed form the paper adopts in footnote 2 tracks the \
      measured shape.)@."
 
-let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving
+let export_artifacts ?metrics ?kernel ?parallel ?scaling ?grid ?serving
     ?serving_sharded sweeps cells timings =
   section "Artifacts";
   let dir = results_dir () in
+  (* Say where the artifacts land: quick runs write results-quick/ (kept
+     out of git) so they can never clobber the committed full-workload
+     results/. *)
+  Format.printf "results directory: %s/%s@." dir
+    (if quick then "  (quick mode; gitignored)" else "");
   (match Ir_sweep.Export.write_sweeps ~dir sweeps with
   | Ok paths -> List.iter (Format.printf "wrote %s@.") paths
   | Error e -> Format.printf "sweep export failed: %s@." e);
@@ -1204,8 +1338,8 @@ let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving
         (parallel table4 leg plus cross-node), before the kernel
         microbenchmarks pollute the span registry. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ?metrics ?kernel ?parallel ?scaling ?serving ?serving_sharded ~sweeps
-       ~cross:cells ()
+       ?metrics ?kernel ?parallel ?scaling ?grid ?serving ?serving_sharded
+       ~sweeps ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);
@@ -1221,6 +1355,19 @@ let export_artifacts ?metrics ?kernel ?parallel ?scaling ?serving
                      (Ir_sweep.Table4.normalized s)
                      s.paper) ))
             sweeps
+        @ (match grid with
+          | None -> []
+          | Some (g : Ir_sweep.Export.grid_report) ->
+              [
+                ( "grid",
+                  Printf.sprintf
+                    "status %s: per-point %.2f s vs grid %.2f s (%.2fx); \
+                     perturb recomputed %d of %d cells"
+                    (Ir_sweep.Export.grid_status g)
+                    g.per_point_seconds g.grid_seconds
+                    (g.per_point_seconds /. Float.max 1e-9 g.grid_seconds)
+                    g.perturb_recomputed g.perturb_grid_cells );
+              ])
         @ (match serving with
           | None -> []
           | Some (s : Ir_sweep.Export.serving_report) ->
@@ -1391,12 +1538,13 @@ let () =
       let cells = experiment_cross_node () in
       let metrics = Ir_obs.snapshot () in
       let scaling = experiment_scaling () in
+      let grid = grid_bench () in
       let serving = serving_bench () in
       let serving_sharded = serving_sharded_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        ~scaling ~serving ~serving_sharded sweeps cells timings
+        ~scaling ~grid ~serving ~serving_sharded sweeps cells timings
   | `All ->
       experiment_tables ();
       let sweeps, timings, legs = experiment_table4 () in
@@ -1420,11 +1568,12 @@ let () =
       study_anneal ();
       study_variation ();
       study_netlist ();
+      let grid = grid_bench () in
       let serving = serving_bench () in
       let serving_sharded = serving_sharded_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        ~scaling ~serving ~serving_sharded sweeps cells timings;
+        ~scaling ~grid ~serving ~serving_sharded sweeps cells timings;
       run_bechamel ());
   Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

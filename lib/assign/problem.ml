@@ -208,6 +208,22 @@ let with_repeater_fraction t fraction =
   in
   { t with arch = Ir_ia.Arch.with_design t.arch design }
 
+(* A materials change (k, miller, cap model) moves the electricals —
+   line RC, optimal repeater sizing, noise verdicts — so eta and the
+   repeater prefixes are rebuilt against the re-derived architecture.
+   The targets (clock + l_max only), the bunching, the wire prefix and
+   the routing-area prefixes ([wire_area] is length * pitch, geometry
+   only) are reused verbatim: the rebuilt fields are bit-equal to a
+   from-scratch construction at the new materials because they are the
+   same float expressions over the same inputs. *)
+let with_materials t materials =
+  let arch = Ir_ia.Arch.with_materials t.arch materials in
+  let eta, rep_area_prefix, rep_count_prefix, bad_prefix =
+    repeater_tables ~arch ~noise_limit:t.noise_limit ~targets:t.targets
+      t.bunches
+  in
+  { t with arch; eta; rep_area_prefix; rep_count_prefix; bad_prefix }
+
 (* A clock change moves only the per-bunch targets and everything derived
    from them (eta and the repeater prefixes); the bunching, wire prefix
    and routing-area prefixes are geometry-only and are reused. *)

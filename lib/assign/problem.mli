@@ -130,3 +130,12 @@ val with_clock : t -> float -> t
     the bunching, wire and routing-area prefixes; recomputes the targets
     and the repeater tables they determine.
     @raise Invalid_argument if [f <= 0]. *)
+
+val with_materials : t -> Ir_ia.Materials.t -> t
+(** [with_materials t mats] is [t] with the dielectric/capacitance
+    materials replaced (the paper's Table 4 columns K and M).  Reuses the
+    bunching, targets (clock-only), wire and routing-area prefixes
+    (geometry-only); re-derives the architecture's electricals and the
+    repeater tables.  The result is bit-equal to constructing a fresh
+    instance at the new materials — the reused fields are the same
+    expressions over unchanged inputs. *)

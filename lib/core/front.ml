@@ -1,13 +1,22 @@
 (* Flat struct-of-arrays Pareto-front store for the phase-A rank DP.
 
    One [t] holds every (pair, bunch) cell of a DP build: per cell a
-   fixed-capacity slice of parallel arrays sorted area-ascending (hence,
-   by the Pareto invariant, count-descending).  Dominance checks are a
-   binary search over the slice, insertion is an in-place [Array.blit]
+   fixed-capacity slice of parallel Bigarray planes sorted area-ascending
+   (hence, by the Pareto invariant, count-descending).  Dominance checks
+   are a binary search over the slice, insertion is an in-place blit
    shift, and the interval splits previously carried by every state as an
    [int list] live in a compact parent-pointer arena instead — the hot
    loop allocates nothing per insert (the arena grows only for states
    that actually enter a front, by doubling).
+
+   The planes are flat [Bigarray.Array1] buffers rather than OCaml
+   arrays: unboxed float64 / native-int storage outside the OCaml heap,
+   so a grid of resident builds (the whole-sweep wavefront kernel holds
+   one store per parameter plane concurrently) costs the minor GC
+   nothing to scan, and a recycled scratch plane is a plain memset.
+   Access cost is the same as [float array] — [Array1] float64 reads are
+   unboxed — and the blit shift is a [memmove], which tolerates the
+   overlapping ranges the insertion shuffle produces.
 
    The semantics are exactly those of the historical list-based kernel
    (kept as the reference implementation in [test_core.ml]'s differential
@@ -16,14 +25,41 @@
    keeps the [width - 1] smallest-area states plus the min-count last
    one. *)
 
+type farray = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type iarray = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let falloc len : farray =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let ialloc ?(init = 0) len : iarray =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+  Bigarray.Array1.fill a init;
+  a
+
+(* memmove-backed blit between (possibly overlapping) ranges of the same
+   plane — the insertion shuffle moves a cell's tail up by one slot. *)
+let fblit (a : farray) ~src ~dst ~len =
+  if len > 0 then
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub a src len)
+      (Bigarray.Array1.sub a dst len)
+
+let iblit (a : iarray) ~src ~dst ~len =
+  if len > 0 then
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub a src len)
+      (Bigarray.Array1.sub a dst len)
+
 type t = {
   width : int;  (* max states per cell (max_pareto) *)
   stride : int;  (* width + 1: one slack slot for the overflow shuffle *)
   cells : int;
-  area : float array;  (* cells * stride, area-ascending per cell *)
-  count : int array;  (* cells * stride, count-descending per cell *)
-  state : int array;  (* cells * stride, arena id per element *)
-  len : int array;  (* cells *)
+  area : farray;  (* cells * stride, area-ascending per cell *)
+  count : iarray;  (* cells * stride, count-descending per cell *)
+  state : iarray;  (* cells * stride, arena id per element *)
+  len : iarray;  (* cells *)
   (* Parent-pointer arena: one (split, parent) pair per live state.  Ids
      are stable across growth.  Slots of evicted states are recycled
      through a free list threaded via [arena_parent]: the DP build only
@@ -36,8 +72,8 @@ type t = {
      10M-gate N90 bench cell reached 70.8M slots (~GBs of int arrays,
      doubling copies and page-fault churn) against a live-state peak
      three orders of magnitude smaller. *)
-  mutable arena_split : int array;
-  mutable arena_parent : int array;
+  mutable arena_split : iarray;
+  mutable arena_parent : iarray;
   mutable arena_len : int;  (* slots ever touched: free list + live *)
   mutable arena_free : int;  (* head of the free list, or [no_parent] *)
   mutable arena_live : int;
@@ -58,12 +94,12 @@ let create ~cells ~width =
     width;
     stride;
     cells;
-    area = Array.make (cells * stride) 0.0;
-    count = Array.make (cells * stride) 0;
-    state = Array.make (cells * stride) no_parent;
-    len = Array.make cells 0;
-    arena_split = Array.make 256 0;
-    arena_parent = Array.make 256 no_parent;
+    area = falloc (cells * stride);
+    count = ialloc (cells * stride);
+    state = ialloc ~init:no_parent (cells * stride);
+    len = ialloc cells;
+    arena_split = ialloc 256;
+    arena_parent = ialloc ~init:no_parent 256;
     arena_len = 0;
     arena_free = no_parent;
     arena_live = 0;
@@ -73,22 +109,24 @@ let create ~cells ~width =
     truncations = 0;
   }
 
-(* Rebind [old]'s backing arrays to a fresh logical store when they are
+(* Rebind [old]'s backing planes to a fresh logical store when they are
    big enough, else allocate.  Only [len] (the per-cell live lengths) and
    the arena bookkeeping need resetting: [seed]/[insert] never read an
    element beyond a cell's length, so stale [area]/[count]/[state]
-   contents are unreachable.  The arena arrays keep their grown capacity
+   contents are unreachable.  The arena planes keep their grown capacity
    — that is the point: a sweep reusing one scratch front stops paying
    the doubling climb per build.  The source becomes invalid (it shares
-   every array with the result). *)
+   every plane with the result). *)
 let recycle old ~cells ~width =
   if cells <= 0 then invalid_arg "Front.recycle: cells must be positive";
   if width <= 0 then invalid_arg "Front.recycle: width must be positive";
   let stride = width + 1 in
-  if cells * stride > Array.length old.area || cells > Array.length old.len
+  if
+    cells * stride > Bigarray.Array1.dim old.area
+    || cells > Bigarray.Array1.dim old.len
   then create ~cells ~width
   else begin
-    Array.fill old.len 0 cells 0;
+    Bigarray.Array1.fill (Bigarray.Array1.sub old.len 0 cells) 0;
     {
       width;
       stride;
@@ -110,16 +148,17 @@ let recycle old ~cells ~width =
   end
 
 let width t = t.width
-let length t cell = t.len.(cell)
-let area t cell k = t.area.((cell * t.stride) + k)
-let count t cell k = t.count.((cell * t.stride) + k)
-let state t cell k = t.state.((cell * t.stride) + k)
+let cells t = t.cells
+let length t cell = t.len.{cell}
+let area t cell k = t.area.{(cell * t.stride) + k}
+let count t cell k = t.count.{(cell * t.stride) + k}
+let state t cell k = t.state.{(cell * t.stride) + k}
 
 (* Area-ascending order makes the minimum the first element. *)
-let min_area t cell = t.area.(cell * t.stride)
+let min_area t cell = t.area.{cell * t.stride}
 let stride t = t.stride
 
-(* The array fields are never reallocated (only the arena grows), so
+(* The backing planes are never reallocated (only the arena grows), so
    these aliases stay valid for the lifetime of [t]. *)
 let raw_area t = t.area
 let raw_count t = t.count
@@ -133,16 +172,17 @@ let alloc_state t ~split ~parent =
   let id =
     if t.arena_free <> no_parent then begin
       let id = t.arena_free in
-      t.arena_free <- t.arena_parent.(id);
+      t.arena_free <- t.arena_parent.{id};
       id
     end
     else begin
-      let cap = Array.length t.arena_split in
+      let cap = Bigarray.Array1.dim t.arena_split in
       if t.arena_len = cap then begin
-        let splits = Array.make (2 * cap) 0 in
-        let parents = Array.make (2 * cap) no_parent in
-        Array.blit t.arena_split 0 splits 0 cap;
-        Array.blit t.arena_parent 0 parents 0 cap;
+        let splits = ialloc (2 * cap) in
+        let parents = ialloc ~init:no_parent (2 * cap) in
+        Bigarray.Array1.blit t.arena_split (Bigarray.Array1.sub splits 0 cap);
+        Bigarray.Array1.blit t.arena_parent
+          (Bigarray.Array1.sub parents 0 cap);
         t.arena_split <- splits;
         t.arena_parent <- parents
       end;
@@ -151,8 +191,8 @@ let alloc_state t ~split ~parent =
       id
     end
   in
-  t.arena_split.(id) <- split;
-  t.arena_parent.(id) <- parent;
+  t.arena_split.{id} <- split;
+  t.arena_parent.{id} <- parent;
   t.arena_live <- t.arena_live + 1;
   if t.arena_live > t.arena_hw then t.arena_hw <- t.arena_live;
   id
@@ -161,33 +201,33 @@ let alloc_state t ~split ~parent =
    the insert-before-expand discipline documented on the arena fields:
    nothing live can still point at [id]. *)
 let release_state t id =
-  t.arena_parent.(id) <- t.arena_free;
+  t.arena_parent.{id} <- t.arena_free;
   t.arena_free <- id;
   t.arena_live <- t.arena_live - 1
 
 let seed t cell ~area ~count =
-  if t.len.(cell) <> 0 then invalid_arg "Front.seed: cell not empty";
+  if t.len.{cell} <> 0 then invalid_arg "Front.seed: cell not empty";
   let base = cell * t.stride in
-  t.area.(base) <- area;
-  t.count.(base) <- count;
-  t.state.(base) <- alloc_state t ~split:(-1) ~parent:no_parent;
-  t.len.(cell) <- 1
+  t.area.{base} <- area;
+  t.count.{base} <- count;
+  t.state.{base} <- alloc_state t ~split:(-1) ~parent:no_parent;
+  t.len.{cell} <- 1
 
 let insert t cell ~area:a ~count:c ~split ~parent =
   t.inserts <- t.inserts + 1;
   let base = cell * t.stride in
-  let n = t.len.(cell) in
+  let n = t.len.{cell} in
   (* Upper bound: first index whose area exceeds [a]. *)
   let lo = ref 0 and hi = ref n in
   while !hi > !lo do
     let mid = (!lo + !hi) / 2 in
-    if t.area.(base + mid) <= a then lo := mid + 1 else hi := mid
+    if t.area.{base + mid} <= a then lo := mid + 1 else hi := mid
   done;
   let p = !lo in
   (* Everything in [0, p) has area <= a; counts descend, so the last of
      them carries their minimum count — it dominates the candidate iff
      any element does. *)
-  if p > 0 && t.count.(base + p - 1) <= c then
+  if p > 0 && t.count.{base + p - 1} <= c then
     t.dominated <- t.dominated + 1
   else begin
     (* Elements dominated by the candidate (area >= a and count >= c)
@@ -195,25 +235,23 @@ let insert t cell ~area:a ~count:c ~split ~parent =
        p — or at p - 1 when that element ties on area, in which case the
        dominance check above guarantees its count exceeds c — and
        count >= c is a prefix. *)
-    let s = if p > 0 && t.area.(base + p - 1) = a then p - 1 else p in
+    let s = if p > 0 && t.area.{base + p - 1} = a then p - 1 else p in
     let lo = ref s and hi = ref n in
     while !hi > !lo do
       let mid = (!lo + !hi) / 2 in
-      if t.count.(base + mid) >= c then lo := mid + 1 else hi := mid
+      if t.count.{base + mid} >= c then lo := mid + 1 else hi := mid
     done;
     let q = !lo in
     for d = s to q - 1 do
-      release_state t t.state.(base + d)
+      release_state t t.state.{base + d}
     done;
     let tail = n - q in
-    if tail > 0 then begin
-      Array.blit t.area (base + q) t.area (base + s + 1) tail;
-      Array.blit t.count (base + q) t.count (base + s + 1) tail;
-      Array.blit t.state (base + q) t.state (base + s + 1) tail
-    end;
-    t.area.(base + s) <- a;
-    t.count.(base + s) <- c;
-    t.state.(base + s) <- alloc_state t ~split ~parent;
+    fblit t.area ~src:(base + q) ~dst:(base + s + 1) ~len:tail;
+    iblit t.count ~src:(base + q) ~dst:(base + s + 1) ~len:tail;
+    iblit t.state ~src:(base + q) ~dst:(base + s + 1) ~len:tail;
+    t.area.{base + s} <- a;
+    t.count.{base + s} <- c;
+    t.state.{base + s} <- alloc_state t ~split ~parent;
     let n' = n - (q - s) + 1 in
     if n' > t.width then begin
       (* Dropping a non-dominated state: the DP may now under-report the
@@ -222,14 +260,14 @@ let insert t cell ~area:a ~count:c ~split ~parent =
          min-count last one (the same rule as the list kernel). *)
       t.truncations <- t.truncations + (n' - t.width);
       for d = t.width - 1 to n' - 2 do
-        release_state t t.state.(base + d)
+        release_state t t.state.{base + d}
       done;
-      t.area.(base + t.width - 1) <- t.area.(base + n' - 1);
-      t.count.(base + t.width - 1) <- t.count.(base + n' - 1);
-      t.state.(base + t.width - 1) <- t.state.(base + n' - 1);
-      t.len.(cell) <- t.width
+      t.area.{base + t.width - 1} <- t.area.{base + n' - 1};
+      t.count.{base + t.width - 1} <- t.count.{base + n' - 1};
+      t.state.{base + t.width - 1} <- t.state.{base + n' - 1};
+      t.len.{cell} <- t.width
     end
-    else t.len.(cell) <- n'
+    else t.len.{cell} <- n'
   end
 
 let splits t id =
@@ -239,7 +277,7 @@ let splits t id =
   let rec walk id acc =
     if id = no_parent then acc
     else
-      let split = t.arena_split.(id) in
-      if split < 0 then acc else walk t.arena_parent.(id) (split :: acc)
+      let split = t.arena_split.{id} in
+      if split < 0 then acc else walk t.arena_parent.{id} (split :: acc)
   in
   walk id []

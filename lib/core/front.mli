@@ -1,12 +1,15 @@
 (** Flat struct-of-arrays Pareto-front store for the phase-A rank DP.
 
     A single value holds the fronts of {e every} DP cell of one
-    {!Rank_dp.build_tables} run as pre-allocated parallel arrays: per
-    cell, areas ascend strictly and repeater counts descend strictly (the
-    Pareto invariant), so a dominance check is an O(log width) binary
-    search and an insertion an in-place [Array.blit] shift — the hot loop
-    performs no per-insert allocation.  The interval split carried by
-    each state lives in a compact growable parent-pointer arena;
+    {!Rank_dp.build_tables} run as pre-allocated parallel flat
+    [Bigarray.Array1] planes: per cell, areas ascend strictly and
+    repeater counts descend strictly (the Pareto invariant), so a
+    dominance check is an O(log width) binary search and an insertion an
+    in-place [memmove] shift — the hot loop performs no per-insert
+    allocation, and the planes live outside the OCaml heap so a grid of
+    resident stores (one per parameter plane of a {!Rank_grid} wavefront
+    run) adds nothing to minor-GC scan work.  The interval split carried
+    by each state lives in a compact growable parent-pointer arena;
     {!splits} rebuilds the historical [splits : int list] on demand (only
     for the O(log n) witness probes, never in the build loop).
 
@@ -17,6 +20,11 @@
     sequences. *)
 
 type t
+
+type farray =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type iarray = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 val create : cells : int -> width : int -> t
 (** [create ~cells ~width] pre-allocates [cells] empty fronts of capacity
@@ -38,6 +46,9 @@ val recycle : t -> cells : int -> width : int -> t
     positive. *)
 
 val width : t -> int
+
+val cells : t -> int
+(** The cell count the store was created (or last recycled) for. *)
 
 (** {1 Front access}
 
@@ -62,19 +73,19 @@ val min_area : t -> int -> float
 
 (** {1 Expert read-only access}
 
-    Aliases of the live internal arrays, for callers whose inner loop
+    Aliases of the live internal planes, for callers whose inner loop
     cannot afford a function call per element (without flambda, every
     call boxes float arguments and returns).  Element [k] of [cell]
     lives at index [cell * stride t + k]; the live length of a cell is
-    [(raw_len t).(cell)].  The aliases stay valid for the lifetime of
+    [(raw_len t).{cell}].  The aliases stay valid for the lifetime of
     [t] and reflect mutations made by {!insert}.  Never write through
     them — all updates must go through {!seed} and {!insert} or the
     Pareto invariant and the statistics break. *)
 
 val stride : t -> int
-val raw_area : t -> float array
-val raw_count : t -> int array
-val raw_len : t -> int array
+val raw_area : t -> farray
+val raw_count : t -> iarray
+val raw_len : t -> iarray
 
 (** {1 Building} *)
 

@@ -87,12 +87,34 @@ let with_scratch ?scratch f =
 
 exception Break
 
-let build_tables ?(max_pareto = 8) ?scratch problem =
-  Ir_obs.time span_build @@ fun () ->
+(* ---- incremental level-stepped build ----------------------------------- *)
+
+(* The phase-A build decomposed into per-boundary-pair steps: a [builder]
+   holds one build's front store plus the next level [j] to expand, and
+   [builder_step] runs exactly the [for i = 0 to n] body that the
+   monolithic loop ran for that [j].  [build_tables] below is the fused
+   create / step-to-completion / finish, so the per-point path and any
+   level-synchronous driver ([Rank_grid]'s wavefront, which interleaves
+   the levels of many builds) execute the {e same} expansion code on the
+   same state — byte-identical fronts, tallies and witnesses by
+   construction, not by reimplementation. *)
+type builder = {
+  b_problem : P.t;
+  b_front : Front.t;
+  b_n : int;
+  b_m : int;
+  b_max_pareto : int;
+  b_cap : float;
+  b_budget : float;
+  b_blocked_k : float array;
+  mutable b_level : int;  (* next boundary pair to expand *)
+  mutable b_states : int;
+  mutable b_skipped : int;
+}
+
+let builder ?(max_pareto = 8) ?scratch problem =
   let n = P.n_bunches problem in
   let m = P.n_pairs problem in
-  let cap = P.capacity problem in
-  let budget = P.budget problem in
   let width = max 1 max_pareto in
   let cells = (m + 1) * (n + 1) in
   let front =
@@ -110,18 +132,6 @@ let build_tables ?(max_pareto = 8) ?scratch problem =
         fr
   in
   Front.seed front (cell ~n 0 0) ~area:0.0 ~count:0;
-  (* Raw views into the front's arrays, for the inlined dominance
-     pre-check below.  Without flambda every [Front.insert] call boxes
-     its float [~area] argument, and ~99.7% of candidates are rejected
-     as dominated — running the same binary search here first skips the
-     call (and its allocation) on that path.  The atomics stay
-     byte-identical: each skip would have counted as one insert and one
-     dominated drop, so both are added back at the flush. *)
-  let f_area = Front.raw_area front in
-  let f_count = Front.raw_count front in
-  let f_len = Front.raw_len front in
-  let stride = Front.stride front in
-  let skipped = ref 0 in
   (* [P.blocked] depends on the pair, [wires_above], and the state's
      repeater count — not on the interval end — so one scratch fill per
      (pair, start) replaces a boxed call per (state, end). *)
@@ -132,20 +142,62 @@ let build_tables ?(max_pareto = 8) ?scratch problem =
     | None -> Array.make width 0.0
     | Some s -> Scratch.floats s.gf width
   in
-  let states = ref 0 in
-  for j = 0 to m - 1 do
+  {
+    b_problem = problem;
+    b_front = front;
+    b_n = n;
+    b_m = m;
+    b_max_pareto = max_pareto;
+    b_cap = P.capacity problem;
+    b_budget = P.budget problem;
+    b_blocked_k = blocked_k;
+    b_level = 0;
+    b_states = 0;
+    b_skipped = 0;
+  }
+
+let builder_levels b = b.b_m
+let builder_level b = b.b_level
+let builder_done b = b.b_level >= b.b_m
+
+(* Expand one boundary-pair level.  Returns [true] while more levels
+   remain.  The step touches only this builder's own state (front,
+   tallies), so independent builders may step on different domains —
+   provided each individual builder's steps are externally ordered (the
+   wavefront driver's per-level barrier). *)
+let builder_step b =
+  if builder_done b then false
+  else begin
+    let j = b.b_level in
+    let problem = b.b_problem in
+    let front = b.b_front in
+    let n = b.b_n in
+    let cap = b.b_cap in
+    let budget = b.b_budget in
+    let blocked_k = b.b_blocked_k in
+    (* Raw views into the front's planes, for the inlined dominance
+       pre-check below.  Without flambda every [Front.insert] call boxes
+       its float [~area] argument, and ~99.7% of candidates are rejected
+       as dominated — running the same binary search here first skips the
+       call (and its allocation) on that path.  The atomics stay
+       byte-identical: each skip would have counted as one insert and one
+       dominated drop, so both are added back at the flush. *)
+    let f_area = Front.raw_area front in
+    let f_count = Front.raw_count front in
+    let f_len = Front.raw_len front in
+    let stride = Front.stride front in
     for i = 0 to n do
       let src = cell ~n j i in
       let len = Front.length front src in
       if len > 0 then begin
-        states := !states + len;
+        b.b_states <- b.b_states + len;
         let wires_above = P.wires_before problem i in
         let min_area = Front.min_area front src in
         let sbase = src * stride in
         for k = 0 to len - 1 do
           blocked_k.(k) <-
             P.blocked problem ~pair:j ~wires_above
-              ~reps_above:f_count.(sbase + k)
+              ~reps_above:f_count.{sbase + k}
         done;
         try
           for i2 = i to n do
@@ -154,16 +206,17 @@ let build_tables ?(max_pareto = 8) ?scratch problem =
               let dst = cell ~n (j + 1) i in
               let dbase = dst * stride in
               for k = 0 to len - 1 do
-                let a = f_area.(sbase + k) in
-                let c = f_count.(sbase + k) in
-                let lo = ref 0 and hi = ref f_len.(dst) in
+                let a = f_area.{sbase + k} in
+                let c = f_count.{sbase + k} in
+                let lo = ref 0 and hi = ref f_len.{dst} in
                 while !hi > !lo do
                   let mid = (!lo + !hi) / 2 in
-                  if f_area.(dbase + mid) <= a then lo := mid + 1
+                  if f_area.{dbase + mid} <= a then lo := mid + 1
                   else hi := mid
                 done;
                 let p = !lo in
-                if p > 0 && f_count.(dbase + p - 1) <= c then incr skipped
+                if p > 0 && f_count.{dbase + p - 1} <= c then
+                  b.b_skipped <- b.b_skipped + 1
                 else
                   Front.insert front dst ~area:a ~count:c ~split:i
                     ~parent:(Front.state front src k)
@@ -180,18 +233,18 @@ let build_tables ?(max_pareto = 8) ?scratch problem =
               let dst = cell ~n (j + 1) i2 in
               let dbase = dst * stride in
               for k = 0 to len - 1 do
-                let a = f_area.(sbase + k) +. d_area in
-                let c = f_count.(sbase + k) + d_count in
+                let a = f_area.{sbase + k} +. d_area in
+                let c = f_count.{sbase + k} + d_count in
                 if a <= budget && routing +. blocked_k.(k) <= cap then begin
-                  let lo = ref 0 and hi = ref f_len.(dst) in
+                  let lo = ref 0 and hi = ref f_len.{dst} in
                   while !hi > !lo do
                     let mid = (!lo + !hi) / 2 in
-                    if f_area.(dbase + mid) <= a then lo := mid + 1
+                    if f_area.{dbase + mid} <= a then lo := mid + 1
                     else hi := mid
                   done;
                   let p = !lo in
-                  if p > 0 && f_count.(dbase + p - 1) <= c then
-                    incr skipped
+                  if p > 0 && f_count.{dbase + p - 1} <= c then
+                    b.b_skipped <- b.b_skipped + 1
                   else
                     Front.insert front dst ~area:a ~count:c ~split:i2
                       ~parent:(Front.state front src k)
@@ -201,21 +254,39 @@ let build_tables ?(max_pareto = 8) ?scratch problem =
           done
         with Break -> ()
       end
-    done
-  done;
-  Ir_obs.add stat_states !states;
-  Ir_obs.add stat_inserts (Front.inserts front + !skipped);
-  Ir_obs.add stat_dominated (Front.dominated front + !skipped);
+    done;
+    b.b_level <- j + 1;
+    b.b_level < b.b_m
+  end
+
+(* Flush the tallies and seal the build.  Must be called exactly once per
+   builder (the counters would double-count otherwise), after the last
+   level. *)
+let builder_finish b =
+  if not (builder_done b) then
+    invalid_arg "Rank_dp.builder_finish: build not complete";
+  let front = b.b_front in
+  Ir_obs.add stat_states b.b_states;
+  Ir_obs.add stat_inserts (Front.inserts front + b.b_skipped);
+  Ir_obs.add stat_dominated (Front.dominated front + b.b_skipped);
   Ir_obs.add stat_truncations (Front.truncations front);
   Ir_obs.set_max gauge_arena (Front.arena_states front);
   {
-    problem;
+    problem = b.b_problem;
     front;
-    n;
-    m;
-    max_pareto;
+    n = b.b_n;
+    m = b.b_m;
+    max_pareto = b.b_max_pareto;
     truncations = Front.truncations front;
   }
+
+let build_tables ?max_pareto ?scratch problem =
+  Ir_obs.time span_build @@ fun () ->
+  let b = builder ?max_pareto ?scratch problem in
+  while builder_step b do
+    ()
+  done;
+  builder_finish b
 
 let table_truncations tables = tables.truncations
 
@@ -224,27 +295,43 @@ let table_truncations tables = tables.truncations
 (* The problem is deliberately excluded from the blob: the caller rebuilds
    it from the query fingerprint (it is cheap next to the DP build) and
    passes it to [decode_tables], which only accepts the blob if its
-   geometry matches.  The blob itself is [Marshal] output — the front is
-   plain arrays and ints — so callers must checksum it externally before
-   decoding; [Marshal.from_string] on attacker-controlled bytes is not
-   safe, which is why {!Ir_serve.Snapshot} verifies an MD5 over the blob
-   (and a schema tag) before this function ever sees it. *)
+   geometry matches.  The payload is [Marshal] output — the front is
+   Bigarray planes and ints — prefixed with its own 16-byte MD5:
+   [Marshal.from_string] on corrupted bytes is not safe (it trusts the
+   embedded block sizes), so [decode_tables] verifies the digest before
+   unmarshaling anything.  Truncated, bit-flipped, or wrong-blob payloads
+   therefore return [None] without ever reaching [Marshal].  Callers
+   layering their own framing ({!Ir_serve.Snapshot}) still checksum the
+   whole blob externally; this internal digest is the last line of
+   defense, not a substitute for theirs. *)
 let encode_tables t =
-  Marshal.to_string (t.n, t.m, t.max_pareto, t.truncations, t.front) []
+  let payload =
+    Marshal.to_string (t.n, t.m, t.max_pareto, t.truncations, t.front) []
+  in
+  Digest.string payload ^ payload
 
 let decode_tables problem blob =
-  match
-    (Marshal.from_string blob 0 : int * int * int * int * Front.t)
-  with
-  | exception _ -> None
-  | n, m, max_pareto, truncations, front ->
-      if
-        n = P.n_bunches problem
-        && m = P.n_pairs problem
-        && Array.length (Front.raw_len front) = (m + 1) * (n + 1)
-        && truncations >= 0
-      then Some { problem; front; n; m; max_pareto; truncations }
-      else None
+  let digest_len = 16 in
+  let blen = String.length blob in
+  if blen < digest_len then None
+  else
+    let payload = String.sub blob digest_len (blen - digest_len) in
+    if not (String.equal (String.sub blob 0 digest_len) (Digest.string payload))
+    then None
+    else
+      match
+        (Marshal.from_string payload 0 : int * int * int * int * Front.t)
+      with
+      | exception _ -> None
+      | n, m, max_pareto, truncations, front ->
+          if
+            n = P.n_bunches problem
+            && m = P.n_pairs problem
+            && Front.cells front = (m + 1) * (n + 1)
+            && Front.width front = max 1 max_pareto
+            && truncations >= 0
+          then Some { problem; front; n; m; max_pareto; truncations }
+          else None
 
 (* Can the top c bunches all meet their targets in some complete
    assignment?  Try every boundary pair j and every phase-A state of
@@ -555,24 +642,43 @@ let default_widen_cap = 128
    pass a larger [max_pareto] explicitly.  Build cost grows superlinearly
    with the width, which is why the ladder is gated on convergence rather
    than run to [widen_cap] unconditionally. *)
+(* The ladder is split into [widen_attempt] (build one rung, then decide)
+   and [widen_continue] (the decision) so a caller that already built the
+   first rung elsewhere — the grid wavefront builds every plane's first
+   attempt in one batched pass — can resume the ladder from its tables and
+   retry through the {e same} code: [build_widened problem] and
+   [widen_tables (build_tables problem)] take identical rung sequences. *)
+let rec widen_attempt ~widen_on_overflow ~widen_cap ?scratch problem mp
+    prev_truncations =
+  (* Each widened retry recycles the abandoned attempt's store through
+     the scratch — the doubled width usually forces a fresh allocation
+     anyway, but the arena capacity carries over. *)
+  let tables = build_tables ~max_pareto:mp ?scratch problem in
+  widen_continue ~widen_on_overflow ~widen_cap ?scratch tables
+    prev_truncations
+
+and widen_continue ~widen_on_overflow ~widen_cap ?scratch tables
+    prev_truncations =
+  let t = tables.truncations in
+  let mp = tables.max_pareto in
+  let converging =
+    match prev_truncations with None -> true | Some p -> 2 * t <= p
+  in
+  if t > 0 && widen_on_overflow && mp < widen_cap && converging then begin
+    Ir_obs.incr stat_widen_retries;
+    widen_attempt ~widen_on_overflow ~widen_cap ?scratch tables.problem
+      (min widen_cap (2 * mp)) (Some t)
+  end
+  else tables
+
 let build_widened ?(max_pareto = 8) ?(widen_on_overflow = true)
     ?(widen_cap = default_widen_cap) ?scratch problem =
-  let rec attempt mp prev_truncations =
-    (* Each widened retry recycles the abandoned attempt's store through
-       the scratch — the doubled width usually forces a fresh allocation
-       anyway, but the arena capacity carries over. *)
-    let tables = build_tables ~max_pareto:mp ?scratch problem in
-    let t = tables.truncations in
-    let converging =
-      match prev_truncations with None -> true | Some p -> 2 * t <= p
-    in
-    if t > 0 && widen_on_overflow && mp < widen_cap && converging then begin
-      Ir_obs.incr stat_widen_retries;
-      attempt (min widen_cap (2 * mp)) (Some t)
-    end
-    else tables
-  in
-  attempt (max 1 max_pareto) None
+  widen_attempt ~widen_on_overflow ~widen_cap ?scratch problem
+    (max 1 max_pareto) None
+
+let widen_tables ?(widen_on_overflow = true) ?(widen_cap = default_widen_cap)
+    ?scratch tables =
+  widen_continue ~widen_on_overflow ~widen_cap ?scratch tables None
 
 let unfittable ?gf problem =
   (* Definition 3: if the WLD does not even fit ignoring delay, the rank
@@ -613,6 +719,51 @@ let compute_with_witness ?max_pareto ?widen_on_overflow problem =
    truncate, the displacement argument no longer holds and we fall back
    to independent per-fraction computes (paying the historical cost, but
    never a wrong answer). *)
+(* The post-build tail of [search_budgets], shared with the grid kernel
+   ([search_budgets_tables] below): answer every fraction from [shared]
+   when it is truncation-free, else fall back to per-fraction computes.
+   [?memo] lets the grid thread one family-wide suffix-fit memo through
+   every plane (sound because [Greedy_fill.fits] verdicts depend only on
+   capacity-side data, which the whole K x M x C x R family shares);
+   [?hint] seeds the first search (hints are probe-count optimizations,
+   never answer-changing — property-tested). *)
+let answer_budgets ~s ?max_pareto ?widen_on_overflow ?widen_cap ?memo ?hint
+    ~shared problem fractions =
+  if shared.truncations = 0 then begin
+    (* The greedy-fill verdict never reads the budget, so one
+       suffix-fit memo serves every fraction — the per-boundary probe
+       contexts repeat exactly across budgets and answer as cache
+       hits.  The boundary is monotone in the budget too, so each
+       fraction's result (fractions ascend in the Table-4 R column)
+       warm-starts the next search. *)
+    let memo =
+      match memo with
+      | Some m -> m
+      | None -> Ir_assign.Suffix_fit.create ~scratch:s.gf shared.problem
+    in
+    let hint = ref hint in
+    List.map
+      (fun f ->
+        let p = P.with_repeater_fraction problem f in
+        let outcome =
+          fst
+            (search_tables ~memo ?hint:!hint ~scratch:s
+               { shared with problem = p })
+        in
+        if outcome.Outcome.assignable then
+          hint := Some outcome.Outcome.boundary_bunch;
+        outcome)
+      fractions
+  end
+  else
+    (* [shared] is dead from here on (its front may be recycled by the
+       per-fraction builds below — they run through the same scratch). *)
+    List.map
+      (fun f ->
+        compute ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
+          (P.with_repeater_fraction problem f))
+      fractions
+
 let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap ?scratch problem
     fractions =
   with_scratch ?scratch @@ fun s ->
@@ -629,36 +780,42 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap ?scratch problem
         build_widened ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
           (P.with_repeater_fraction problem f_max)
       in
-      if shared.truncations = 0 then begin
-        (* The greedy-fill verdict never reads the budget, so one
-           suffix-fit memo serves every fraction — the per-boundary probe
-           contexts repeat exactly across budgets and answer as cache
-           hits.  The boundary is monotone in the budget too, so each
-           fraction's result (fractions ascend in the Table-4 R column)
-           warm-starts the next search. *)
-        let memo = Ir_assign.Suffix_fit.create ~scratch:s.gf shared.problem in
-        let hint = ref None in
-        List.map
-          (fun f ->
-            let p = P.with_repeater_fraction problem f in
-            let outcome =
-              fst
-                (search_tables ~memo ?hint:!hint ~scratch:s
-                   { shared with problem = p })
-            in
-            if outcome.Outcome.assignable then
-              hint := Some outcome.Outcome.boundary_bunch;
-            outcome)
-          fractions
-      end
-      else
-        (* [shared] is dead from here on (its front may be recycled by the
-           per-fraction builds below — they run through the same scratch). *)
-        List.map
-          (fun f ->
-            compute ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
-              (P.with_repeater_fraction problem f))
-          fractions
+      answer_budgets ~s ?max_pareto ?widen_on_overflow ?widen_cap ~shared
+        problem fractions
+
+(* [search_budgets] with the shared build performed externally: the grid
+   wavefront builds every plane's tables in one batched pass and hands
+   each plane here.  [shared] must be phase-A tables of
+   [with_repeater_fraction problem f_max] (f_max = max of [fractions]) at
+   the caller's widening policy — {!widen_tables} continues the ladder
+   from a plain {!build_tables} first rung.  Same answers as
+   [search_budgets] by shared code. *)
+let search_budgets_tables ?max_pareto ?widen_on_overflow ?widen_cap ?scratch
+    ?memo ?hint ~shared problem fractions =
+  with_scratch ?scratch @@ fun s ->
+  match fractions with
+  | [] -> []
+  | _ when unfittable ~gf:s.gf problem ->
+      List.map
+        (fun _ ->
+          Outcome.unassignable ~total_wires:(P.total_wires problem) ())
+        fractions
+  | _ ->
+      answer_budgets ~s ?max_pareto ?widen_on_overflow ?widen_cap ?memo ?hint
+        ~shared problem fractions
+
+(* [search] with the phase-A build performed externally (the batch
+   wavefront): same unfittable screen, ladder continuation and search as
+   [search ?hint problem], so outcomes and witnesses coincide by shared
+   code.  The heterogeneous-batch analogue of [search_budgets_tables]. *)
+let search_with_tables ?widen_on_overflow ?widen_cap ?hint ?probe_fan
+    ?scratch tables =
+  with_scratch ?scratch @@ fun s ->
+  if unfittable ~gf:s.gf tables.problem then
+    (Outcome.unassignable ~total_wires:(P.total_wires tables.problem) (), None)
+  else
+    search_tables ?hint ?probe_fan ~scratch:s
+      (widen_tables ?widen_on_overflow ?widen_cap tables)
 
 let build_tables_widened = build_widened
 

@@ -87,6 +87,46 @@ val build_tables : ?max_pareto:int -> ?scratch:scratch -> Ir_assign.Problem.t ->
     build recycles the scratch's previous store: cheaper, but the result
     is only valid until the next build through the same scratch. *)
 
+(** {2 Incremental level-stepped build}
+
+    The same phase-A tabulation, decomposed into one step per boundary
+    pair so a level-synchronous driver ({!Rank_grid}'s wavefront) can
+    interleave the levels of many concurrent builds.  {!build_tables} is
+    exactly [builder] / [builder_step]-to-completion / [builder_finish],
+    so stepped and monolithic builds produce byte-identical fronts,
+    counter tallies and witnesses by shared code, not by contract. *)
+
+type builder
+(** One in-progress phase-A build: the front store plus the next level to
+    expand.  Not domain-safe individually — all steps of one builder must
+    be externally ordered — but distinct builders may step concurrently
+    on different domains (each touches only its own state). *)
+
+val builder : ?max_pareto:int -> ?scratch:scratch -> Ir_assign.Problem.t -> builder
+(** Allocates the front store and seeds the root cell.  [?scratch] has
+    the {!build_tables} contract (recycled store, result transient).
+    Builders handed to other domains must not use a scratch — the arena
+    buffer inside is the owning domain's. *)
+
+val builder_levels : builder -> int
+(** Total number of boundary-pair levels ([Problem.n_pairs]). *)
+
+val builder_level : builder -> int
+(** Next level to expand: [0 .. levels]; equals [levels] when done. *)
+
+val builder_done : builder -> bool
+
+val builder_step : builder -> bool
+(** Expands one boundary-pair level.  Returns [true] while more levels
+    remain, [false] once the build is complete (further calls are
+    no-ops returning [false]). *)
+
+val builder_finish : builder -> tables
+(** Seals the build: flushes the per-build tallies to the [rank_dp/*]
+    counters (exactly once — call once per builder, from one domain) and
+    returns the tables.  Raises [Invalid_argument] before the last level
+    has been stepped. *)
+
 val table_truncations : tables -> int
 (** Number of non-dominated states dropped because a per-state Pareto set
     exceeded [max_pareto] during the build.  [0] means phase A is
@@ -96,9 +136,11 @@ val table_truncations : tables -> int
 val encode_tables : tables -> string
 (** Serializes the phase-A tables (everything except the problem) into a
     binary blob for {!decode_tables} — the serve tier's warm-table
-    snapshot path.  The blob is [Marshal] output: it must only ever be
-    decoded after an external integrity check (the snapshot store
-    checksums it), never straight off an untrusted disk. *)
+    snapshot path.  The blob is [Marshal] output prefixed with its own
+    16-byte MD5; {!decode_tables} verifies the digest before unmarshaling,
+    so truncated or bit-flipped blobs return [None] instead of crashing.
+    Stores should still layer their own framing checks (the snapshot
+    store checksums the whole blob externally). *)
 
 val decode_tables : Ir_assign.Problem.t -> string -> tables option
 (** Rebinds a blob from {!encode_tables} to [problem] (the caller
@@ -162,6 +204,56 @@ val build_tables_widened :
     holders — the {!Ir_serve} warm pool — get the same
     exactness-restoring behaviour as one-shot computes; check
     {!table_truncations} on the result before relying on exactness. *)
+
+val widen_tables :
+  ?widen_on_overflow:bool -> ?widen_cap:int -> ?scratch:scratch -> tables ->
+  tables
+(** Continues the {!build_tables_widened} ladder from an already-built
+    first rung: returns the tables unchanged when truncation-free (or
+    widening is off / capped), else rebuilds at doubled [max_pareto]
+    under the ladder's convergence gate.  [widen_tables (build_tables p)]
+    takes exactly the rung sequence of [build_tables_widened p] — this is
+    how the grid wavefront (which batch-builds every plane's first rung)
+    re-joins the per-point widening policy. *)
+
+val search_with_tables :
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?hint:int ->
+  ?probe_fan:int ->
+  ?scratch:scratch ->
+  tables ->
+  Outcome.t * witness option
+(** {!search} with the phase-A build performed externally: runs the same
+    unfittable screen, {!widen_tables} ladder continuation and phase-B
+    search, so the outcome and witness are those of
+    [search ?hint (tables.problem)] by shared code.  Used by the grid
+    kernel's heterogeneous batches ({!Ir_sweep.Cross_node},
+    {!Ir_ext.Optimizer}). *)
+
+val search_budgets_tables :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?scratch:scratch ->
+  ?memo:Ir_assign.Suffix_fit.t ->
+  ?hint:int ->
+  shared:tables ->
+  Ir_assign.Problem.t ->
+  float list ->
+  Outcome.t list
+(** {!search_budgets} with the shared build performed externally.
+    [shared] must be phase-A tables of
+    [with_repeater_fraction problem f_max] where [f_max] is the maximum
+    of [fractions], built under the caller's widening policy (see
+    {!widen_tables}).  Answers are those of [search_budgets problem
+    fractions] by shared code: exact sharing when [shared] is
+    truncation-free, transparent per-fraction compute fallback otherwise.
+    [?memo] substitutes a caller-held suffix-fit memo (the grid kernel
+    threads one family-wide memo across planes — sound because greedy-fill
+    verdicts depend only on capacity-side data shared by the family);
+    [?hint] warm-starts the first fraction's search.  Both change probe
+    counts only, never answers. *)
 
 val search_tables_rebudget :
   ?memo:Ir_assign.Suffix_fit.t ->

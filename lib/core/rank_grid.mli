@@ -1,0 +1,148 @@
+(** Grid-batched DP engine: evaluate a whole parameter sweep in one
+    level-synchronous wavefront pass, with incremental re-evaluation.
+
+    A Table-4-style grid perturbs one knob per point — dielectric K,
+    Miller factor M, clock C, repeater fraction R — over a fixed
+    technology/WLD family.  Points sharing (materials, clock) share their
+    entire phase-A DP (the budget enters no table), so the grid groups
+    points into planes, builds all planes boundary-pair-by-boundary-pair
+    in one batched wavefront (the {!Ir_exec} pool parallelizes across
+    planes {e inside} each level, with a barrier per level), and answers
+    every point from resident tables with one family-wide
+    {!Ir_assign.Suffix_fit} memo and boundary hints threaded grid-wide.
+
+    Outcomes — rank, [exact] flag and witness — are byte-identical to the
+    per-point {!Rank_dp} path: the wavefront drives
+    {!Rank_dp.builder_step} (the same expansion code as
+    {!Rank_dp.build_tables}) and phase B runs
+    {!Rank_dp.search_budgets_tables} / {!Rank_dp.search_with_tables}
+    (the same screen/ladder/search code as {!Rank_dp.compute}).
+
+    Counters: [grid/cells_evaluated], [grid/cells_shared] (points
+    answered from a plane built for another point),
+    [grid/wavefront_levels] (barrier rounds), [grid/perturb_recomputed]
+    (cells re-evaluated by {!perturb}) — all structural, jobs-invariant
+    quantities. *)
+
+type t
+(** A resident evaluated grid: per-point outcomes plus every plane's
+    phase-A tables, kept for {!perturb} and the serve tier's
+    neighboring-query path.  Not domain-safe — one owner at a time. *)
+
+type point = {
+  materials : Ir_ia.Materials.t option;  (** [None] = the base's *)
+  clock : float option;  (** Hz; [None] = the base's *)
+  fraction : float option;  (** repeater fraction; [None] = the base's *)
+}
+(** One grid cell, as overrides of the base problem.  Overrides equal to
+    the base value are canonicalized away, so e.g. a K sweep's base-k
+    point lands in the same plane as the R column. *)
+
+val point :
+  ?materials:Ir_ia.Materials.t ->
+  ?clock:float ->
+  ?fraction:float ->
+  unit ->
+  point
+
+val evaluate :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?jobs:int ->
+  Ir_assign.Problem.t ->
+  point array ->
+  t
+(** [evaluate base points] runs the batched wavefront and answers every
+    point.  Options are {!Rank_dp.compute}'s widening policy plus the
+    pool size; outcomes are independent of [jobs] (asserted by the bench
+    counter-identity table). *)
+
+val results : t -> Outcome.t array
+(** Per-point outcomes, in [points] order (a copy). *)
+
+val outcome : t -> int -> Outcome.t
+(** One cell's outcome (index into the original [points], or an index
+    returned by {!perturb}). *)
+
+val cells : t -> int
+(** Number of grid cells currently held (grows with {!perturb}). *)
+
+val planes : t -> int
+(** Number of distinct (materials, clock) planes built. *)
+
+val perturb : t -> point -> int array
+(** [perturb g pt] appends one cell for [pt] and recomputes {e only} the
+    wavefront slice the delta invalidates, returning the indices of the
+    recomputed cells (always including the new cell, [cells g - 1] after
+    the call):
+    - plane resident, fraction within its build, truncation-free: one
+      phase-B search, [[| new |]] — no phase-A work;
+    - fraction above the resident build (or plane truncated): that
+      plane's slice is rebuilt at the new maximum and all {e its} cells
+      re-answered (values are preserved by the displacement argument;
+      they are still reported as recomputed);
+    - new (materials, clock) value: one new plane built alone,
+      [[| new |]].
+    Every other plane's cells are untouched — strictly fewer cells than
+    re-running {!evaluate} whenever the grid holds more than one plane.
+    Mutates [g] in place. *)
+
+(** {2 Resident grids for the serve tier}
+
+    The warm-table pool keeps one resident grid per query {e family}
+    (everything but materials, clock and repeater fraction fixed) and
+    grows it one plane at a time: {!adopt} installs snapshot-restored
+    tables, {!query} answers a point from resident planes without
+    growing the grid, and a full {!perturb} builds the missing plane.
+    One family-wide suffix-fit memo and one boundary hint persist inside
+    the grid across calls. *)
+
+val resident :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?jobs:int ->
+  Ir_assign.Problem.t ->
+  t
+(** [resident base] is an empty grid (no cells, no planes) around
+    [base].  The serve tier passes the family's problem rebound to the
+    full repeater budget so every later fraction rebinds downward. *)
+
+val plane_tables : t -> point -> Rank_dp.tables option
+(** The resident phase-A tables of [point]'s (materials, clock) plane,
+    if that plane has been built or adopted — the serve tier's snapshot
+    source.  The point's fraction is ignored. *)
+
+val adopt : t -> point -> Rank_dp.tables -> unit
+(** [adopt g pt tables] installs externally built (snapshot-restored)
+    tables as the resident plane for [pt]'s (materials, clock) key,
+    replacing any current tables.  The tables must be truncation-free
+    and built at [g]'s base repeater fraction ({!resident}'s contract —
+    the serve tier only ever snapshots such planes).
+    @raise Invalid_argument if the tables are truncated. *)
+
+val query : t -> point -> Outcome.t option
+(** [query g pt] answers [pt] from resident planes only: [Some outcome]
+    — byte-identical to a cold per-point compute — when the plane is
+    resident, truncation-free and was built at a fraction [>=] the
+    point's; [None] otherwise (caller decides whether to {!perturb} or
+    fall through cold).  Unlike {!perturb} it never builds and never
+    grows the cell arrays, so a long-running server can answer
+    arbitrarily many queries from a bounded grid. *)
+
+val eval_batch :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?jobs:int ->
+  ?hint:int ->
+  ?probe_fan:int ->
+  Ir_assign.Problem.t array ->
+  Outcome.t array
+(** Heterogeneous batch (cross-node cells, optimizer candidates): each
+    problem is its own plane — no table sharing — but phase A still runs
+    as one batched wavefront and phase B threads boundary hints down the
+    batch.  Outcome [i] equals [Rank_dp.compute problems.(i)] (same
+    code path via {!Rank_dp.search_with_tables}; [hint]/[probe_fan] are
+    probe-schedule-only). *)

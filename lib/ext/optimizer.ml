@@ -74,22 +74,17 @@ let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
     Ir_wld.Coarsen.bunch ~bunch_size
       (Ir_wld.Dist.map_length (fun l -> l *. pitch) wld)
   in
-  let evaluate ?hint ~structure ~pitch_scale ~thickness_scale () =
-    let stack = scaled_stack base_stack ~pitch_scale ~thickness_scale in
-    match Ir_ia.Arch.make ~structure ~stack ~design () with
-    | exception Invalid_argument _ -> None
-    | arch ->
-        let problem =
-          Ir_assign.Problem.of_bunches ~target_model ~arch ~bunches ()
-        in
-        let outcome = Ir_core.Rank_dp.compute ?hint problem in
-        Some { structure; pitch_scale; thickness_scale; outcome }
-  in
-  (* Enumerate the grid first, then evaluate every candidate on the
-     Ir_exec pool.  Evaluations are independent (each builds its own arch
-     and problem; the WLD is shared read-only), and the result list keeps
-     grid order, so the [better] fold below picks the same winner as a
-     sequential scan. *)
+  (* Enumerate the grid first, drop candidates the stack cannot provide,
+     build every survivor's problem on the Ir_exec pool (independent —
+     each builds its own arch; the WLD is shared read-only), then rank
+     the whole batch as one [Rank_grid.eval_batch] wavefront.  The pool
+     parallelizes {e inside} each DP level instead of across candidates,
+     and the batch's sequential phase B threads each candidate's
+     boundary into the next search as its warm start — the same
+     column-locality the old anchor hint exploited, but deterministic
+     for the whole chain rather than one fixed anchor.  The result list
+     keeps grid order, so the [better] fold below picks the same winner
+     as a sequential scan. *)
   let combos =
     List.concat_map
       (fun sg ->
@@ -102,36 +97,36 @@ let optimize ?jobs ?(knobs = default_knobs) ?(bunch_size = 10000)
           knobs.global_pairs)
       knobs.semi_global_pairs
   in
-  let eval_combo ?hint (sg, gl, ps, ts) =
-    let structure =
-      { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
-        global_pairs = gl }
+  let metas =
+    List.filter_map
+      (fun (sg, gl, ps, ts) ->
+        let structure =
+          { Ir_ia.Arch.local_pairs = 1; semi_global_pairs = sg;
+            global_pairs = gl }
+        in
+        let stack = scaled_stack base_stack ~pitch_scale:ps
+            ~thickness_scale:ts in
+        match Ir_ia.Arch.make ~structure ~stack ~design () with
+        | exception Invalid_argument _ -> None
+        | arch -> Some (structure, ps, ts, arch))
+      combos
+  in
+  let candidates =
+    let problems =
+      Ir_exec.parallel_list_map ?jobs
+        (fun (_, _, _, arch) ->
+          Ir_assign.Problem.of_bunches ~target_model ~arch ~bunches ())
+        metas
     in
     Logs.debug (fun f ->
-        f "optimizer: sg=%d gl=%d pitch=%.2f thick=%.2f" sg gl ps ts);
-    evaluate ?hint ~structure ~pitch_scale:ps ~thickness_scale:ts ()
-  in
-  (* The whole grid searches boundaries over the {e same} bunch sequence,
-     so one candidate's boundary is a decent warm start for every other.
-     Evaluate the first combo sequentially as the anchor, then fan the
-     rest out with its boundary as the hint — a fixed value independent
-     of scheduling, so probe counters stay deterministic under any job
-     count (and results are hint-independent anyway). *)
-  let candidates =
-    match combos with
-    | [] -> []
-    | anchor_combo :: rest_combos ->
-        let anchor = eval_combo anchor_combo in
-        let hint =
-          match anchor with
-          | Some c when c.outcome.Ir_core.Outcome.assignable ->
-              Some c.outcome.Ir_core.Outcome.boundary_bunch
-          | _ -> None
-        in
-        let rest =
-          Ir_exec.parallel_list_map ?jobs (eval_combo ?hint) rest_combos
-        in
-        List.filter_map Fun.id (anchor :: rest)
+        f "optimizer: batching %d candidates" (List.length problems));
+    let outcomes =
+      Ir_core.Rank_grid.eval_batch ?jobs (Array.of_list problems)
+    in
+    List.mapi
+      (fun i (structure, pitch_scale, thickness_scale, _) ->
+        { structure; pitch_scale; thickness_scale; outcome = outcomes.(i) })
+      metas
   in
   match candidates with
   | [] -> invalid_arg "Optimizer.optimize: no buildable candidate"

@@ -41,9 +41,11 @@ val optimize :
     candidates the node's stack cannot provide) and returns the best
     candidate (largest rank; ties broken toward fewer pairs, then
     unscaled geometry) together with all evaluated candidates.
-    The WLD is generated once and shared; candidates are evaluated on the
-    {!Ir_exec} pool ([?jobs]) and reported in grid order, so the winner
-    does not depend on the job count.
+    The WLD is generated once and shared; candidate problems are built
+    on the {!Ir_exec} pool ([?jobs]) and ranked as one
+    {!Ir_core.Rank_grid.eval_batch} wavefront (pool parallelism inside
+    each DP level, boundary hints threaded down the batch), reported in
+    grid order, so the winner does not depend on the job count.
     @raise Invalid_argument if no candidate is buildable. *)
 
 val scaled_stack :

@@ -136,6 +136,22 @@ let table_key q =
   in
   Digest.to_hex (Digest.string (canonical_of_fields masked))
 
+(* The grid family additionally masks materials and clock: those are the
+   coordinates a resident {!Ir_core.Rank_grid} perturbs over (each value
+   pair is its own plane inside the grid), while the design size, WLD,
+   bunching and structure pin the family. *)
+let family_key q =
+  let masked =
+    List.map
+      (fun (name, v) ->
+        match name with
+        | "repeater_fraction" | "algo" | "k" | "miller" | "clock_hz" ->
+            (name, "*")
+        | _ -> (name, v))
+      (canonical_fields q)
+  in
+  Digest.to_hex (Digest.string (canonical_of_fields masked))
+
 let problem q =
   let d = design q in
   let materials = Ir_ia.Materials.v ~k:q.k ~miller:q.miller () in

@@ -81,6 +81,15 @@ val table_key : t -> string
 (** Hex digest of the canonical form with [repeater_fraction] and [algo]
     masked — the warm-table pool key (see above). *)
 
+val family_key : t -> string
+(** Hex digest with [repeater_fraction], [algo], [k], [miller] and
+    [clock_hz] masked — the resident-grid family key.  Queries sharing
+    it differ only in the coordinates a {!Ir_core.Rank_grid} perturbs
+    over (each (materials, clock) pair is a plane inside one grid), so
+    the pool answers neighboring-query misses from the family's resident
+    grid instead of starting cold.  Strictly coarser than
+    {!table_key}. *)
+
 val problem : t -> Ir_assign.Problem.t
 (** The assignment instance of the query, built exactly as the CLI
     builds it (same WLD generation, same architecture defaults), so a

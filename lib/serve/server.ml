@@ -7,6 +7,7 @@ let stat_cold = Ir_obs.counter "serve/cold_computes"
 let stat_table_builds = Ir_obs.counter "serve/table_builds"
 let stat_table_hits = Ir_obs.counter "serve/table_hits"
 let stat_table_restores = Ir_obs.counter "serve/table_restores"
+let stat_grid_hits = Ir_obs.counter "serve/grid_hits"
 let gauge_queue = Ir_obs.gauge "serve/queue_depth_max"
 let span_request = Ir_obs.span "serve/request"
 let span_compute = Ir_obs.span "serve/compute"
@@ -18,21 +19,20 @@ type job = {
   mutable attached : int;  (* coalesced waiters beyond the creator *)
 }
 
-(* One warm-table family ({!Fingerprint.table_key}).  [entry_lock]
-   serializes searches within the family: the suffix-fit memo and the
-   boundary hint are single-domain mutable state, and under systhreads
-   the computations could not overlap anyway. *)
-type entry_state =
-  | Unbuilt
-  | Built of { tables : Ir_core.Rank_dp.tables; memo : Ir_assign.Suffix_fit.t }
-  | Truncated
-      (* even the widened build truncated Pareto states: budget rebinding
-         would be a silent lower bound, so the family is pinned cold *)
-
+(* One resident grid family ({!Fingerprint.family_key}): a
+   {!Ir_core.Rank_grid} holding every (materials, clock) plane the
+   family's queries have touched, so a query that misses its own
+   {!Fingerprint.table_key} but neighbors a warm family is answered from
+   the resident grid (one plane build or — for a known plane — one
+   phase-B search) instead of starting cold.  [entry_lock] serializes
+   access within the family: the grid's suffix-fit memo and boundary
+   hint are single-domain mutable state, and under systhreads the
+   computations could not overlap anyway.  Truncated planes stay
+   resident but are never queried ({!Ir_core.Rank_grid.query} refuses
+   them), pinning those table keys cold without rebuild loops. *)
 type pool_entry = {
   entry_lock : Mutex.t;
-  mutable state : entry_state;
-  mutable hint : int option;  (* last boundary served for this family *)
+  mutable grid : Ir_core.Rank_grid.t option;  (* None until first query *)
   mutable last_used : int;  (* pool's logical clock, for LRU eviction *)
 }
 
@@ -83,14 +83,7 @@ let pool_entry t key =
           | Some (k, _) -> Hashtbl.remove t.pool k
           | None -> ()
         end;
-        let e =
-          {
-            entry_lock = Mutex.create ();
-            state = Unbuilt;
-            hint = None;
-            last_used = 0;
-          }
-        in
+        let e = { entry_lock = Mutex.create (); grid = None; last_used = 0 } in
         Hashtbl.replace t.pool key e;
         e
   in
@@ -99,27 +92,51 @@ let pool_entry t key =
   Mutex.unlock t.mutex;
   entry
 
-(* The warm path is taken only when provably exact: DP algorithm, pool
-   tables built at the full repeater budget with zero Pareto truncation
-   (the {!Ir_core.Rank_dp.search_budgets} displacement argument).
-   Everything else falls through to a cold compute, so served outcomes
-   are always byte-identical to [Fingerprint.compute_cold]. *)
+(* The warm path is taken only when provably exact: DP algorithm, the
+   query's (materials, clock) plane resident in the family grid, built
+   at the full repeater budget with zero Pareto truncation — then one
+   phase-B search rebinds the budget (the
+   {!Ir_core.Rank_dp.search_budgets} displacement argument, via
+   {!Ir_core.Rank_grid.query}).  Everything else falls through to a cold
+   compute, so served outcomes are always byte-identical to
+   [Fingerprint.compute_cold]. *)
 let compute_outcome t (fp : Fingerprint.t) =
   let warm () =
     match fp.algo with
     | Fingerprint.Greedy -> None
     | Fingerprint.Dp ->
-        let key = Fingerprint.table_key fp in
-        let entry = pool_entry t key in
+        let entry = pool_entry t (Fingerprint.family_key fp) in
         Mutex.lock entry.entry_lock;
         Fun.protect ~finally:(fun () -> Mutex.unlock entry.entry_lock)
         @@ fun () ->
-        (match entry.state with
-        | Unbuilt -> (
-            let full =
-              Ir_assign.Problem.with_repeater_fraction (Fingerprint.problem fp)
-                1.0
-            in
+        (* The family's full-budget problem.  Only the first query of a
+           family builds it from scratch; every later plane derives from
+           the resident grid's base via the rescale-reuse constructors
+           (bit-equal to from-scratch — [Problem.with_materials] /
+           [with_clock] rebuild exactly what the knob moves). *)
+        let full () =
+          Ir_assign.Problem.with_repeater_fraction (Fingerprint.problem fp)
+            1.0
+        in
+        let grid =
+          match entry.grid with
+          | Some g -> g
+          | None ->
+              let g = Ir_core.Rank_grid.resident (full ()) in
+              entry.grid <- Some g;
+              g
+        in
+        let materials = Ir_ia.Materials.v ~k:fp.k ~miller:fp.miller () in
+        let plane = Ir_core.Rank_grid.point ~materials ~clock:fp.clock () in
+        (match Ir_core.Rank_grid.plane_tables grid plane with
+        | Some _ -> Ir_obs.incr stat_table_hits
+        | None -> (
+            if Ir_core.Rank_grid.planes grid > 0 then
+              (* A neighboring family member left its grid resident:
+                 this table-key miss grows it by one plane instead of
+                 starting cold. *)
+              Ir_obs.incr stat_grid_hits;
+            let key = Fingerprint.table_key fp in
             (* Prefer a snapshotted build from a previous process.  Only
                truncation-free tables are ever saved, but re-check anyway
                — the exactness invariant must not rest on what a disk
@@ -128,7 +145,7 @@ let compute_outcome t (fp : Fingerprint.t) =
               match t.snapshot with
               | None -> None
               | Some s -> (
-                  match Snapshot.load s ~key ~problem:full with
+                  match Snapshot.load s ~key ~problem:(full ()) with
                   | Some tables
                     when Ir_core.Rank_dp.table_truncations tables = 0 ->
                       Some tables
@@ -137,30 +154,23 @@ let compute_outcome t (fp : Fingerprint.t) =
             match restored with
             | Some tables ->
                 Ir_obs.incr stat_table_restores;
-                entry.state <-
-                  Built { tables; memo = Ir_assign.Suffix_fit.create full }
-            | None ->
+                Ir_core.Rank_grid.adopt grid plane tables
+            | None -> (
                 Ir_obs.incr stat_table_builds;
-                let tables = Ir_core.Rank_dp.build_tables_widened full in
-                if Ir_core.Rank_dp.table_truncations tables = 0 then begin
-                  entry.state <-
-                    Built { tables; memo = Ir_assign.Suffix_fit.create full };
-                  match t.snapshot with
-                  | Some s -> Snapshot.save s ~key tables
-                  | None -> ()
-                end
-                else entry.state <- Truncated)
-        | Built _ | Truncated -> Ir_obs.incr stat_table_hits);
-        match entry.state with
-        | Built { tables; memo } ->
-            let outcome, _ =
-              Ir_core.Rank_dp.search_tables_rebudget ~memo ?hint:entry.hint
-                ~fraction:fp.repeater_fraction tables
-            in
-            if outcome.Ir_core.Outcome.assignable then
-              entry.hint <- Some outcome.Ir_core.Outcome.boundary_bunch;
-            Some outcome
-        | Unbuilt | Truncated -> None
+                (* The fraction-less point is the full-budget cell:
+                   [perturb] builds the plane at the grid's base
+                   fraction, 1.0. *)
+                ignore (Ir_core.Rank_grid.perturb grid plane);
+                match Ir_core.Rank_grid.plane_tables grid plane with
+                | Some tables
+                  when Ir_core.Rank_dp.table_truncations tables = 0 -> (
+                    match t.snapshot with
+                    | Some s -> Snapshot.save s ~key tables
+                    | None -> ())
+                | Some _ | None -> ())));
+        Ir_core.Rank_grid.query grid
+          (Ir_core.Rank_grid.point ~materials ~clock:fp.clock
+             ~fraction:fp.repeater_fraction ())
   in
   match warm () with
   | Some outcome -> outcome

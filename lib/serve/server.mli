@@ -12,15 +12,20 @@
     + otherwise the job is enqueued — unless the queue is at capacity, in
       which case the request is {e shed} with the retryable
       [Overloaded] error (backpressure, never unbounded memory);
-    + a worker computes it on the {e warm path} when it can: phase-A
-      tables are built once per (node, architecture, WLD, clock) family
-      ({!Fingerprint.table_key}) at the full repeater budget and answer
-      any repeater fraction by budget rebinding
-      ({!Ir_core.Rank_dp.search_tables_rebudget}), warm-started from the
-      family's last boundary.  The warm path is used only when it is
-      provably exact (no Pareto truncation in the pool build); anything
-      else — greedy-algorithm queries included — takes the cold path, so
-      a served payload is always byte-identical to a cold computation.
+    + a worker computes it on the {e warm path} when it can: the pool
+      holds one resident {!Ir_core.Rank_grid} per query family
+      ({!Fingerprint.family_key} — everything but materials, clock and
+      repeater fraction).  Each (materials, clock) value pair is one
+      plane inside the grid, built once ({!Fingerprint.table_key}) at
+      the full repeater budget; any repeater fraction is answered by
+      budget rebinding ({!Ir_core.Rank_grid.query}) with a family-wide
+      suffix-fit memo and boundary warm-starts, and a query whose own
+      plane is missing but whose {e family} grid is resident grows the
+      grid by one plane ([serve/grid_hits]) instead of starting cold.
+      The warm path is used only when it is provably exact (no Pareto
+      truncation in the plane build); anything else — greedy-algorithm
+      queries included — takes the cold path, so a served payload is
+      always byte-identical to a cold computation.
 
     Each waiter observes a per-request deadline; a timeout releases the
     {e waiter} with the [Timeout] error while the computation itself
@@ -51,7 +56,7 @@ val create :
   t
 (** Starts the worker and timeout-ticker threads immediately.
     [workers] (default 2) drain the queue; [queue_capacity] (default 64)
-    bounds it; [table_pool] (default 8) bounds the warm-table pool
+    bounds it; [table_pool] (default 8) bounds the resident-grid pool
     (least-recently-used family evicted); [request_timeout] (default
     300 s) is each waiter's deadline.  [on_compute_start] runs in the
     worker thread just before a computation, with the job's digest — a

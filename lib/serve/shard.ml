@@ -206,11 +206,12 @@ let forward t i line =
 
 (* ---- routing ----------------------------------------------------------- *)
 
-(* Partition by warm-table family, not by request digest: every repeater
-   fraction of a (node, architecture, WLD, clock) family must land on
-   the same shard so the fleet builds each family's phase-A tables
-   exactly once.  The key is already a uniformly distributed hex digest;
-   its leading 32 bits are hash enough. *)
+(* Partition by resident-grid family, not by request digest: every
+   repeater fraction, materials value and clock of a (node, WLD,
+   structure) family must land on the same shard so the fleet builds
+   each plane's phase-A tables exactly once and neighboring queries hit
+   that shard's resident grid.  The key is already a uniformly
+   distributed hex digest; its leading 32 bits are hash enough. *)
 let route_key t key =
   let prefix = String.sub key 0 (min 8 (String.length key)) in
   match int_of_string ("0x" ^ prefix) with
@@ -280,7 +281,7 @@ let handle_line t line =
             | Error msg ->
                 encode_error ~id:req.Protocol.id (Protocol.Bad_request msg)
             | Ok fp -> (
-                let i = route_key t (Fingerprint.table_key fp) in
+                let i = route_key t (Fingerprint.family_key fp) in
                 Ir_obs.incr stat_forwarded;
                 match forward t i line with
                 | Some resp -> resp

@@ -16,7 +16,9 @@ let stat_tmp_swept = Ir_obs.counter "serve_snapshot/tmp_swept"
    schema tag, the recorded key, the length and the checksum all verify.
    The tag versions the table encoding together with the DP semantics: a
    PR changing either bumps it and old snapshots self-invalidate. *)
-let schema_tag = "ia-rank/table-snapshot/1"
+let schema_tag = "ia-rank/table-snapshot/2"
+(* /2: the table encoding moved to digest-prefixed Bigarray planes
+   (PR 8's grid kernel storage) — /1 blobs no longer decode. *)
 
 type t = { dir : string }
 

@@ -17,20 +17,19 @@ let stat_cells = Ir_obs.counter "sweep/cross_cells"
 let span_cell_build = Ir_obs.span "sweep/cross_build"
 let span_cell_search = Ir_obs.span "sweep/cross_search"
 
-(* Matrix cells are independent (each builds its own design, WLD and
-   problem — distinct designs share no tables), so every cell is its own
-   scheduling group; the gate count is the weight, so the largest design
-   (which dominates the matrix wall time) is dispatched first instead of
-   possibly being claimed last by an otherwise-drained pool.  Results
-   come back in matrix order.  The spans split the per-cell cost into
-   WLD + architecture construction vs rank search.
+(* Matrix cells build independent problems (each its own design and WLD —
+   distinct designs share no tables), but their phase-A DPs now run as
+   {e one} batched [Rank_grid.eval_batch] wavefront: the pool
+   parallelizes across the cells' builders inside each boundary-pair
+   level instead of across whole cells, so the largest design no longer
+   bisects alone while drained workers idle.  Problem construction stays
+   a per-cell pool task (heaviest design first).  Results come back in
+   matrix order.  The spans split the matrix cost into WLD +
+   architecture construction vs the batched rank search.
 
-   The matrix is typically {e narrower} than the pool (a handful of
-   cells), so once the small cells drain, spare domains idle while the
-   largest cell bisects alone.  The default [probe_fan] hands those
-   spare domains to the boundary search as speculative probes: with
-   [w] effective workers over [k] cells each search fans
-   [max 1 (w / k)] wide.  That default is machine-coupled (the probe
+   The batch's phase B is a sequential hint chain, so the default
+   [probe_fan] hands the whole pool to each boundary search as
+   speculative probes.  That default is machine-coupled (the probe
    counters then depend on the core count); pass [~probe_fan:1] when
    counter totals must be machine-independent. *)
 let run ?jobs ?probe_fan ?(bunch_size = 10000) ?structure
@@ -39,28 +38,39 @@ let run ?jobs ?probe_fan ?(bunch_size = 10000) ?structure
     match probe_fan with
     | Some f -> max 1 f
     | None ->
-        let workers =
-          let requested =
-            match jobs with Some j -> j | None -> Ir_exec.default_jobs ()
-          in
-          min (max 1 requested) (Ir_exec.hardware_jobs ())
+        let requested =
+          match jobs with Some j -> j | None -> Ir_exec.default_jobs ()
         in
-        max 1 (workers / max 1 (List.length matrix))
+        min (max 1 requested) (Ir_exec.hardware_jobs ())
+  in
+  let built =
+    Ir_exec.parallel_group_map ?jobs
+      ~weight:(fun (_, gates) -> gates)
+      (fun (node, gates) ->
+        Ir_obs.incr stat_cells;
+        let design = Ir_core.Rank.baseline_design ~gates node in
+        let t0 = Ir_exec.now () in
+        let problem =
+          Ir_obs.time span_cell_build @@ fun () ->
+          Ir_core.Rank.problem_of_design ?structure ~bunch_size design
+        in
+        [| (node, gates, problem, Ir_exec.now () -. t0) |])
+      (Array.of_list matrix)
+  in
+  let built = Array.map (fun row -> row.(0)) built in
+  let t0 = Ir_exec.now () in
+  let outcomes =
+    Ir_obs.time span_cell_search @@ fun () ->
+    Ir_core.Rank_grid.eval_batch ?jobs ~probe_fan
+      (Array.map (fun (_, _, p, _) -> p) built)
+  in
+  (* The search is collective (one wavefront), so each cell reports its
+     own build time plus an even share of the batched search. *)
+  let per =
+    (Ir_exec.now () -. t0) /. float_of_int (max 1 (Array.length built))
   in
   Array.to_list
-    (Ir_exec.parallel_group_map ?jobs
-       ~weight:(fun (_, gates) -> gates)
-       (fun (node, gates) ->
-         Ir_obs.incr stat_cells;
-         let design = Ir_core.Rank.baseline_design ~gates node in
-         let t0 = Ir_exec.now () in
-         let problem =
-           Ir_obs.time span_cell_build @@ fun () ->
-           Ir_core.Rank.problem_of_design ?structure ~bunch_size design
-         in
-         let outcome =
-           Ir_obs.time span_cell_search @@ fun () ->
-           Ir_core.Rank.compute ~probe_fan problem
-         in
-         { node; gates; outcome; seconds = Ir_exec.now () -. t0 })
-       (Array.of_list matrix))
+    (Array.mapi
+       (fun i (node, gates, _, build_s) ->
+         { node; gates; outcome = outcomes.(i); seconds = build_s +. per })
+       built)

@@ -27,15 +27,17 @@ val run :
   cell list
 (** Computes the baseline (Table 2 parameters) rank for every matrix
     entry.  Gate counts of 10M are supported but take a few seconds
-    each.  Cells are evaluated on the {!Ir_exec} pool ([?jobs]); the
-    returned list keeps the matrix order and is independent of the job
-    count (timings aside).
+    each.  Problems are built on the {!Ir_exec} pool ([?jobs],
+    heaviest design first) and then ranked as {e one}
+    {!Ir_core.Rank_grid.eval_batch} wavefront — the pool parallelizes
+    inside each DP level rather than across whole cells, so the largest
+    design never runs alone on a drained pool.  The returned list keeps
+    the matrix order and is independent of the job count (timings
+    aside; the batched search cost is reported amortized evenly).
 
-    [probe_fan] is forwarded to each cell's boundary search
-    ({!Ir_core.Rank.compute}): the matrix usually has fewer cells than
-    the pool has workers, so by default every search fans out over the
-    spare hardware parallelism ([effective workers / cells], at least
-    1) with speculative concurrent probes.  Results are identical for
-    any fan; the probe {e counters} scale with it, so pass
-    [~probe_fan:1] when counter totals must not depend on the
-    machine. *)
+    [probe_fan] is forwarded to each cell's boundary search: the
+    batch's phase B is a sequential hint chain, so by default every
+    search fans out over the whole effective pool with speculative
+    concurrent probes.  Results are identical for any fan; the probe
+    {e counters} scale with it, so pass [~probe_fan:1] when counter
+    totals must not depend on the machine. *)

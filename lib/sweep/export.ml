@@ -264,6 +264,54 @@ let json_serving s =
       ("counters_match", if s.counters_match then "true" else "false");
     ]
 
+type grid_report = {
+  grid_points : int;
+  grid_planes : int;
+  per_point_seconds : float;
+  grid_seconds : float;
+  grid_identical : bool;
+  grid_counters_match : bool;
+  perturb_recomputed : int;
+  perturb_grid_cells : int;
+  perturb_seconds : float;
+  full_eval_seconds : float;
+}
+
+(* The CI gate reads [status]; anything but "ok" fails the build.  The
+   conditions are the grid engine's contracts — byte-identity with the
+   per-point path, jobs-invariant structural counters, and perturb
+   touching strictly fewer cells than a full re-evaluation.  The
+   measured speedup is reported but never gated: it is hardware truth,
+   not a correctness property. *)
+let grid_status g =
+  if not g.grid_identical then "mismatch"
+  else if not g.grid_counters_match then "counters_mismatch"
+  else if g.perturb_recomputed >= g.perturb_grid_cells then
+    "perturb_not_incremental"
+  else "ok"
+
+let json_grid g =
+  json_obj
+    [
+      ("status", json_string (grid_status g));
+      ("points", string_of_int g.grid_points);
+      ("planes", string_of_int g.grid_planes);
+      ("per_point_seconds", json_float g.per_point_seconds);
+      ("grid_seconds", json_float g.grid_seconds);
+      ( "speedup",
+        json_float (g.per_point_seconds /. Float.max 1e-9 g.grid_seconds) );
+      ("identical", if g.grid_identical then "true" else "false");
+      ("counters_match", if g.grid_counters_match then "true" else "false");
+      ( "perturb",
+        json_obj
+          [
+            ("recomputed_cells", string_of_int g.perturb_recomputed);
+            ("grid_cells", string_of_int g.perturb_grid_cells);
+            ("perturb_seconds", json_float g.perturb_seconds);
+            ("full_eval_seconds", json_float g.full_eval_seconds);
+          ] );
+    ]
+
 type serving_sharded_report = {
   shards : int;
   clients : int;
@@ -313,7 +361,7 @@ let json_serving_sharded s =
     ]
 
 let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
-    ?serving ?serving_sharded ~sweeps ~cross () =
+    ?grid ?serving ?serving_sharded ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -362,7 +410,7 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/7");
+             ("schema", json_string "ia-rank/bench-sweeps/8");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
@@ -382,6 +430,9 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
                     json_obj
                       (List.map (fun (k, v) -> (k, json_float v)) ks) );
                 ])
+          @ (match grid with
+            | None -> []
+            | Some g -> [ ("grid", json_grid g) ])
           @ (match serving with
             | None -> []
             | Some s -> [ ("serving", json_serving s) ])

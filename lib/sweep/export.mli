@@ -82,6 +82,42 @@ type serving_report = {
     a query trace replayed against an in-process server, summarized by
     hit rate, latency percentiles and the counter-identity verdict. *)
 
+type grid_report = {
+  grid_points : int;  (** cells the sweep grid evaluated *)
+  grid_planes : int;  (** distinct (materials, clock) planes it built *)
+  per_point_seconds : float;  (** Table4 wall time, {!Table4.Per_point} *)
+  grid_seconds : float;  (** same workload, same jobs, {!Table4.Grid} *)
+  grid_identical : bool;
+      (** rank / exact-flag identity between the two engines, and
+          between the grid leg's jobs=1 and jobs=N runs *)
+  grid_counters_match : bool;
+      (** [grid/*] (and all other) counter identity between the grid
+          leg's jobs=1 and jobs=N runs — the counters are structural *)
+  perturb_recomputed : int;
+      (** cells the perturb micro-leg re-evaluated for a one-parameter
+          delta *)
+  perturb_grid_cells : int;
+      (** cells a full re-evaluation of that micro grid would touch —
+          perturb must recompute strictly fewer *)
+  perturb_seconds : float;  (** wall time of the incremental path *)
+  full_eval_seconds : float;  (** wall time of the full micro-grid build *)
+}
+(** The grid-engine leg, exported under ["grid"] (schema 8): the same
+    Table-4 sweep run through the historical per-point scheduler and
+    through the {!Ir_core.Rank_grid} wavefront at the same worker count,
+    plus a perturb micro-leg on a small grid.  Export derives a
+    ["speedup"] (per-point seconds over grid seconds — reported, never
+    gated) and a ["status"] the CI gate keys on: ["ok"], ["mismatch"]
+    (the engines, or the grid's own jobs=1/jobs=N runs, disagree on a
+    rank or exact flag), ["counters_mismatch"] (the structural [grid/*]
+    counters varied with the worker count), or
+    ["perturb_not_incremental"] ({!Ir_core.Rank_grid.perturb} recomputed
+    as many cells as a full rebuild). *)
+
+val grid_status : grid_report -> string
+(** The derived ["status"] string described above — exposed so the bench
+    harness can print and gate on the same verdict the JSON exports. *)
+
 type serving_sharded_report = {
   shards : int;  (** worker processes in the fleet *)
   clients : int;  (** concurrent storm client threads *)
@@ -121,6 +157,7 @@ val write_bench_json :
   ?kernel:(string * float) list ->
   ?parallel:parallel_report ->
   ?scaling:scaling_report ->
+  ?grid:grid_report ->
   ?serving:serving_report ->
   ?serving_sharded:serving_sharded_report ->
   sweeps:Table4.sweep list ->
@@ -128,7 +165,7 @@ val write_bench_json :
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/7]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/8]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
     (e.g. the sequential and parallel table4 legs), an optional [kernel]
     timings object (flat name/seconds pairs from the kernel
@@ -140,7 +177,8 @@ val write_bench_json :
     [rank_dp/hinted_searches], [rank_dp/hint_saved_probes],
     [rank_dp/probe_fan_rounds] and [greedy_fill/fast_fails]), an optional
     [parallel] two-leg report (see {!parallel_report}), an optional
-    [scaling] jobs curve (see {!scaling_report}), every Table 4 row
+    [scaling] jobs curve (see {!scaling_report}), an optional [grid]
+    engine report (see {!grid_report}), every Table 4 row
     (param, normalized rank, rank wires, exactness, per-point seconds)
     and the cross-node cells.  [jobs] records the worker count the
     parallel leg requested. *)

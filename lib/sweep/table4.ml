@@ -72,9 +72,21 @@ type task =
 
 let chain_len = 6
 
+(* Which execution engine answers a run's points.  [Grid] batches the
+   whole fused run through [Rank_grid.evaluate]: one level-synchronous
+   wavefront builds every (materials, clock) plane's tables at once (the
+   pool parallelizes {e inside} each level, not across points) and the
+   budget column shares the base plane with the C column's base point.
+   [Per_point] is the historical chain/budget-group scheduler, kept
+   selectable so the bench can measure one against the other.  The DP
+   results are byte-identical either way; non-DP algos have no batched
+   kernel and always take the per-point path. *)
+type engine = Per_point | Grid
+
 let stat_points = Ir_obs.counter "sweep/points"
 let span_point_build = Ir_obs.span "sweep/point_build"
 let span_point_search = Ir_obs.span "sweep/point_search"
+let span_grid = Ir_obs.span "sweep/grid"
 
 let def_length d =
   match d.d_points with Each pts -> List.length pts | Budgets fs -> List.length fs
@@ -86,7 +98,85 @@ let task_weight = function
   | Chain { pts; _ } -> Array.length pts
   | Budget_group _ -> 2
 
-let run_defs ?jobs config defs =
+(* Scatter [(sweep, idx, row)] triples back into the defs' grid order. *)
+let assemble defs results =
+  let rows =
+    Array.of_list (List.map (fun d -> Array.make (def_length d) None) defs)
+  in
+  Array.iter
+    (Array.iter (fun (s, i, row) -> rows.(s).(i) <- Some row))
+    results;
+  List.mapi
+    (fun s d ->
+      {
+        name = d.d_name;
+        legend = d.d_legend;
+        paper = d.d_paper;
+        rows =
+          Array.to_list
+            (Array.map
+               (function Some r -> r | None -> assert false)
+               rows.(s));
+      })
+    defs
+
+(* The grid engine: flatten every def's points into [Rank_grid.point]
+   overrides of the shared base instance and evaluate them as one
+   batched wavefront.  The wall time is inherently collective (planes
+   are built level-by-level across the whole grid), so each row reports
+   the run's cost amortized evenly — the same convention budget groups
+   already use. *)
+let run_grid ?jobs problem_of_materials defs =
+  let cells =
+    List.concat
+      (List.mapi
+         (fun sweep d ->
+           match d.d_points with
+           | Each pts ->
+               List.mapi
+                 (fun idx (param, spec) ->
+                   let pt =
+                     match spec with
+                     | Rebuild materials ->
+                         Ir_core.Rank_grid.point ~materials ()
+                     | Rescale_clock clock ->
+                         Ir_core.Rank_grid.point ~clock ()
+                   in
+                   (sweep, idx, param, pt))
+                 pts
+           | Budgets fs ->
+               List.mapi
+                 (fun idx f ->
+                   (sweep, idx, f, Ir_core.Rank_grid.point ~fraction:f ()))
+                 fs)
+         defs)
+  in
+  let base = problem_of_materials Ir_ia.Materials.default in
+  let points =
+    Array.of_list (List.map (fun (_, _, _, pt) -> pt) cells)
+  in
+  Logs.debug (fun f ->
+      f "table4: grid of %d cells" (Array.length points));
+  let t0 = Ir_exec.now () in
+  let grid =
+    Ir_obs.time span_grid @@ fun () ->
+    Ir_core.Rank_grid.evaluate ?jobs base points
+  in
+  let per =
+    (Ir_exec.now () -. t0) /. float_of_int (max 1 (Array.length points))
+  in
+  let results =
+    Array.of_list
+      (List.mapi
+         (fun i (sweep, idx, param, _) ->
+           Ir_obs.incr stat_points;
+           let outcome = Ir_core.Rank_grid.outcome grid i in
+           (sweep, idx, { param; outcome; seconds = per }))
+         cells)
+  in
+  assemble defs [| results |]
+
+let run_defs ?jobs ?(engine = Grid) config defs =
   let wld = shared_wld config in
   (* Bunching depends only on the design (WLD + gate pitch), not on the
      materials, clock or budget a point varies — one bunching serves
@@ -104,6 +194,9 @@ let run_defs ?jobs config defs =
     Ir_assign.Problem.of_bunches ~target_model:config.target_model ~arch
       ~bunches ()
   in
+  match (engine, config.algo) with
+  | Grid, Ir_core.Rank.Dp -> run_grid ?jobs problem_of_materials defs
+  | (Grid | Per_point), _ ->
   (* The shared base instance for rescale/budget tasks is immutable after
      build, so they may all read it concurrently; build it eagerly rather
      than behind a [lazy] (forcing a [lazy] from several domains would
@@ -210,25 +303,7 @@ let run_defs ?jobs config defs =
     Ir_exec.parallel_group_map ?jobs ~weight:task_weight exec
       (Array.of_list tasks)
   in
-  let rows =
-    Array.of_list (List.map (fun d -> Array.make (def_length d) None) defs)
-  in
-  Array.iter
-    (Array.iter (fun (s, i, row) -> rows.(s).(i) <- Some row))
-    results;
-  List.mapi
-    (fun s d ->
-      {
-        name = d.d_name;
-        legend = d.d_legend;
-        paper = d.d_paper;
-        rows =
-          Array.to_list
-            (Array.map
-               (function Some r -> r | None -> assert false)
-               rows.(s));
-      })
-    defs
+  assemble defs results
 
 let grid_desc ~from ~until ~step =
   Ir_phys.Numeric.frange ~start:from ~stop:until ~step:(-.step)
@@ -277,17 +352,26 @@ let r_def () =
     d_points = Budgets [ 0.1; 0.2; 0.3; 0.4; 0.5 ];
   }
 
-let one ?jobs config d = List.hd (run_defs ?jobs config [ d ])
-let k_sweep ?jobs ?(config = default_config) () = one ?jobs config (k_def ())
-let m_sweep ?jobs ?(config = default_config) () = one ?jobs config (m_def ())
-let c_sweep ?jobs ?(config = default_config) () = one ?jobs config (c_def ())
-let r_sweep ?jobs ?(config = default_config) () = one ?jobs config (r_def ())
+let one ?jobs ?engine config d = List.hd (run_defs ?jobs ?engine config [ d ])
+
+let k_sweep ?jobs ?engine ?(config = default_config) () =
+  one ?jobs ?engine config (k_def ())
+
+let m_sweep ?jobs ?engine ?(config = default_config) () =
+  one ?jobs ?engine config (m_def ())
+
+let c_sweep ?jobs ?engine ?(config = default_config) () =
+  one ?jobs ?engine config (c_def ())
+
+let r_sweep ?jobs ?engine ?(config = default_config) () =
+  one ?jobs ?engine config (r_def ())
 
 (* The four columns fused into one pool run: with per-sweep runs the pool
    drains between columns (the tail of one sweep idles workers the next
-   could use); fusing exposes every task at once. *)
-let all ?jobs ?(config = default_config) () =
-  run_defs ?jobs config [ k_def (); m_def (); c_def (); r_def () ]
+   could use); fusing exposes every task — or, on the grid engine, every
+   plane of one wavefront — at once. *)
+let all ?jobs ?engine ?(config = default_config) () =
+  run_defs ?jobs ?engine config [ k_def (); m_def (); c_def (); r_def () ]
 
 let normalized sweep =
   List.map

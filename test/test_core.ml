@@ -885,6 +885,307 @@ let prop_feasible_boundary_monotone =
       if !bad then QCheck2.Test.fail_reportf "%s: non-monotone" label
       else true)
 
+(* ---- level-stepped builder & table codec ------------------------------ *)
+
+let test_builder_matches_build () =
+  (* The stepped builder must be byte-identical to the monolithic build:
+     same front planes, same arena layout, same tallies — checked at the
+     strongest level available, the serialized table bytes. *)
+  let p = baseline_130nm_small () in
+  let mono = Ir_core.Rank_dp.build_tables p in
+  let b = Ir_core.Rank_dp.builder p in
+  Alcotest.(check bool) "not done at start" false
+    (Ir_core.Rank_dp.builder_done b);
+  Alcotest.(check int) "levels = n_pairs" (P.n_pairs p)
+    (Ir_core.Rank_dp.builder_levels b);
+  let steps = ref 0 in
+  while Ir_core.Rank_dp.builder_step b do
+    incr steps
+  done;
+  Alcotest.(check int) "stepped once per level"
+    (Ir_core.Rank_dp.builder_levels b)
+    (!steps + 1);
+  let stepped = Ir_core.Rank_dp.builder_finish b in
+  Alcotest.(check string) "stepped tables = monolithic tables (bytes)"
+    (Ir_core.Rank_dp.encode_tables mono)
+    (Ir_core.Rank_dp.encode_tables stepped)
+
+let test_builder_finish_early () =
+  let p = baseline_130nm_small () in
+  let b = Ir_core.Rank_dp.builder p in
+  ignore (Ir_core.Rank_dp.builder_step b);
+  Alcotest.check_raises "finish before last level"
+    (Invalid_argument "Rank_dp.builder_finish: build not complete")
+    (fun () -> ignore (Ir_core.Rank_dp.builder_finish b))
+
+let test_decode_fuzz () =
+  let p = baseline_130nm_small () in
+  let t = Ir_core.Rank_dp.build_tables p in
+  let blob = Ir_core.Rank_dp.encode_tables t in
+  (match Ir_core.Rank_dp.decode_tables p blob with
+  | None -> Alcotest.fail "pristine blob rejected"
+  | Some restored ->
+      let o, w = Ir_core.Rank_dp.search_tables restored in
+      let o0, w0 = Ir_core.Rank_dp.search_tables t in
+      Alcotest.(check bool) "restored search identical" true
+        (Ir_core.Outcome.equal o o0 && w = w0));
+  let len = String.length blob in
+  (* Truncations at every regime: empty, inside the digest, digest-only,
+     mid-payload, one byte short — all must come back [None], never
+     raise (the digest check runs before [Marshal] ever sees bytes). *)
+  List.iter
+    (fun l ->
+      if l < len then
+        match Ir_core.Rank_dp.decode_tables p (String.sub blob 0 l) with
+        | None -> ()
+        | Some _ -> Alcotest.failf "truncated to %d bytes accepted" l)
+    [ 0; 1; 15; 16; 17; len / 4; len / 2; len - 1 ];
+  (* Single-bit flips striding the whole blob (digest and payload): a
+     flip in the payload breaks the digest, a flip in the digest breaks
+     the comparison — either way [None]. *)
+  let step = max 1 (len / 97) in
+  let pos = ref 0 in
+  while !pos < len do
+    let b = Bytes.of_string blob in
+    Bytes.set b !pos
+      (Char.chr (Char.code (Bytes.get b !pos) lxor (1 lsl (!pos mod 8))));
+    (match Ir_core.Rank_dp.decode_tables p (Bytes.to_string b) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "bit flip at offset %d accepted" !pos);
+    pos := !pos + step
+  done;
+  (* A valid blob presented against the wrong problem (different
+     bunching) must fail the dimension check. *)
+  let other = baseline_130nm_small ~bunch_size:100 () in
+  if P.n_bunches other <> P.n_bunches p then
+    match Ir_core.Rank_dp.decode_tables other blob with
+    | None -> ()
+    | Some _ -> Alcotest.fail "wrong-geometry blob accepted"
+
+(* ---- grid-batched engine ---------------------------------------------- *)
+
+let base_clock p = (P.arch p).Ir_ia.Arch.design.Ir_tech.Design.clock
+
+(* The reference path: derive the point's problem exactly as an
+   independent per-point sweep would and run the per-point DP on it. *)
+let reference_problem base (pt : Ir_core.Rank_grid.point) =
+  let p =
+    match pt.Ir_core.Rank_grid.materials with
+    | None -> base
+    | Some m -> P.with_materials base m
+  in
+  let p =
+    match pt.Ir_core.Rank_grid.clock with
+    | None -> p
+    | Some c -> P.with_clock p c
+  in
+  match pt.Ir_core.Rank_grid.fraction with
+  | None -> p
+  | Some f -> P.with_repeater_fraction p f
+
+let gen_grid_instance =
+  let open QCheck2.Gen in
+  let* inst = Helpers.gen_instance in
+  let* raw_points =
+    list_size (int_range 0 6)
+      (let* k = opt (float_range 1.5 4.2) in
+       let* miller = opt (float_range 1.0 2.0) in
+       let* clock_scale = opt (float_range 0.4 2.5) in
+       let* fraction = opt (float_range 0.02 0.95) in
+       return (k, miller, clock_scale, fraction))
+  in
+  return (inst, raw_points)
+
+let grid_points base raw =
+  Array.of_list
+    (List.map
+       (fun (k, miller, clock_scale, fraction) ->
+         let materials =
+           match (k, miller) with
+           | None, None -> None
+           | _ -> Some (Ir_ia.Materials.v ?k ?miller ())
+         in
+         let clock = Option.map (fun s -> s *. base_clock base) clock_scale in
+         { Ir_core.Rank_grid.materials; clock; fraction })
+       raw)
+
+let prop_grid_matches_per_point =
+  qtest ~count:60 "grid wavefront matches independent per-point computes"
+    gen_grid_instance (fun ({ problem; label }, raw) ->
+      let points = grid_points problem raw in
+      let grid = Ir_core.Rank_grid.evaluate problem points in
+      Array.iteri
+        (fun i pt ->
+          let g = Ir_core.Rank_grid.outcome grid i in
+          let ind = Ir_core.Rank_dp.compute (reference_problem problem pt) in
+          let ok =
+            Ir_core.Outcome.equal g ind
+            (* Same corner as the budget sweep: the shared (wider) build
+               can be exact where the individual ladder capped out. *)
+            || (g.Ir_core.Outcome.exact
+               && (not ind.Ir_core.Outcome.exact)
+               && g.Ir_core.Outcome.rank_wires >= ind.Ir_core.Outcome.rank_wires
+               )
+          in
+          if not ok then
+            QCheck2.Test.fail_reportf
+              "%s: cell #%d grid=%d/%b/%b individual=%d/%b/%b" label i
+              g.Ir_core.Outcome.rank_wires g.Ir_core.Outcome.assignable
+              g.Ir_core.Outcome.exact ind.Ir_core.Outcome.rank_wires
+              ind.Ir_core.Outcome.assignable ind.Ir_core.Outcome.exact)
+        points;
+      true)
+
+let prop_eval_batch_matches_compute =
+  qtest ~count:40 "heterogeneous batch matches per-problem computes"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 4) Helpers.gen_instance)
+    (fun insts ->
+      let problems =
+        Array.of_list (List.map (fun i -> i.Helpers.problem) insts)
+      in
+      let batch = Ir_core.Rank_grid.eval_batch problems in
+      Array.iteri
+        (fun i p ->
+          let ind = Ir_core.Rank_dp.compute p in
+          if not (Ir_core.Outcome.equal batch.(i) ind) then
+            QCheck2.Test.fail_reportf "batch cell #%d diverges" i)
+        problems;
+      true)
+
+let test_grid_budgets_column () =
+  (* Satellite: the grid's R column must be byte-identical to
+     [search_budgets] (which itself matches per-point computes). *)
+  let p = baseline_130nm_small () in
+  let fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  let budgets = Ir_core.Rank_dp.search_budgets p fractions in
+  let grid =
+    Ir_core.Rank_grid.evaluate p
+      (Array.of_list
+         (List.map
+            (fun f -> Ir_core.Rank_grid.point ~fraction:f ())
+            fractions))
+  in
+  Alcotest.(check int) "one plane" 1 (Ir_core.Rank_grid.planes grid);
+  List.iteri
+    (fun i b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fraction #%d identical" i)
+        true
+        (Ir_core.Outcome.equal b (Ir_core.Rank_grid.outcome grid i)))
+    budgets
+
+let test_grid_witness_identity () =
+  (* Witnesses, not just ranks: the stepped+widened+rebudgeted path must
+     return the exact witness of the per-point search. *)
+  let p = baseline_130nm_small () in
+  let b = Ir_core.Rank_dp.builder (P.with_repeater_fraction p 0.5) in
+  while Ir_core.Rank_dp.builder_step b do
+    ()
+  done;
+  let tables = Ir_core.Rank_dp.widen_tables (Ir_core.Rank_dp.builder_finish b) in
+  Alcotest.(check int) "baseline truncation-free" 0
+    (Ir_core.Rank_dp.table_truncations tables);
+  List.iter
+    (fun f ->
+      let go, gw = Ir_core.Rank_dp.search_tables_rebudget ~fraction:f tables in
+      let io, iw =
+        Ir_core.Rank_dp.compute_with_witness (P.with_repeater_fraction p f)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "outcome at %.1f" f)
+        true
+        (Ir_core.Outcome.equal go io);
+      if gw <> iw then Alcotest.failf "witness at %.1f diverges" f)
+    [ 0.1; 0.3; 0.5 ]
+
+let test_grid_perturb_touches_fewer () =
+  let p = baseline_130nm_small () in
+  let counter name =
+    Option.value ~default:0 (Ir_obs.find_counter (Ir_obs.snapshot ()) name)
+  in
+  let low_k = Ir_ia.Materials.v ~k:2.7 () in
+  let pt = Ir_core.Rank_grid.point in
+  let points =
+    [|
+      pt ~fraction:0.1 ();
+      pt ~fraction:0.3 ();
+      pt ~materials:low_k ~fraction:0.1 ();
+      pt ~materials:low_k ~fraction:0.3 ();
+    |]
+  in
+  let g = Ir_core.Rank_grid.evaluate p points in
+  Alcotest.(check int) "two planes" 2 (Ir_core.Rank_grid.planes g);
+  let before = counter "grid/perturb_recomputed" in
+  (* New R point under the resident budget: exactly one cell computed. *)
+  let c1 = Ir_core.Rank_grid.perturb g (pt ~fraction:0.2 ()) in
+  Alcotest.(check (array int)) "in-budget R delta recomputes 1 cell" [| 4 |] c1;
+  (* R point above the low-k plane's resident budget: that plane's slice
+     (cells 2, 3 and the new 5) — strictly fewer than the 6-cell grid. *)
+  let c2 =
+    Ir_core.Rank_grid.perturb g (pt ~materials:low_k ~fraction:0.5 ())
+  in
+  let sorted = Array.copy c2 in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "budget-growth delta recomputes its plane only"
+    [| 2; 3; 5 |] sorted;
+  Alcotest.(check bool) "strictly fewer than the grid" true
+    (Array.length c2 < Ir_core.Rank_grid.cells g);
+  (* New clock value: one fresh plane, one cell. *)
+  let c3 =
+    Ir_core.Rank_grid.perturb g (pt ~clock:(1.3 *. base_clock p) ())
+  in
+  Alcotest.(check (array int)) "new-plane delta recomputes 1 cell" [| 6 |] c3;
+  Alcotest.(check int) "three planes now" 3 (Ir_core.Rank_grid.planes g);
+  Alcotest.(check int) "perturb_recomputed counted every recompute" 5
+    (counter "grid/perturb_recomputed" - before);
+  (* Every cell — original, appended, and rebuilt — still matches the
+     independent per-point path. *)
+  let all_points =
+    Array.append points
+      [|
+        pt ~fraction:0.2 ();
+        pt ~materials:low_k ~fraction:0.5 ();
+        pt ~clock:(1.3 *. base_clock p) ();
+      |]
+  in
+  Array.iteri
+    (fun i ptd ->
+      let ind = Ir_core.Rank_dp.compute (reference_problem p ptd) in
+      Alcotest.(check bool)
+        (Printf.sprintf "cell #%d matches per-point" i)
+        true
+        (Ir_core.Outcome.equal ind (Ir_core.Rank_grid.outcome g i)))
+    all_points
+
+let test_with_materials_equals_fresh () =
+  (* [Problem.with_materials] must be indistinguishable from constructing
+     the instance from scratch at the new materials — strongest check:
+     identical phase-A table bytes. *)
+  let design =
+    Ir_tech.Design.v ~node:Ir_tech.Node.N130 ~gates:40_000 ~clock:8e8 ()
+  in
+  let bunches =
+    Array.init 6 (fun i ->
+        { Ir_wld.Dist.length = 2e-3 /. float_of_int (i + 1); count = 3 })
+  in
+  let base =
+    P.of_bunches ~arch:(Ir_ia.Arch.make ~design ()) ~bunches ()
+  in
+  let mats = Ir_ia.Materials.v ~k:2.2 ~miller:1.5 () in
+  let derived = P.with_materials base mats in
+  let fresh =
+    P.of_bunches
+      ~arch:(Ir_ia.Arch.make ~materials:mats ~design ())
+      ~bunches ()
+  in
+  Alcotest.(check string) "identical table bytes"
+    (Ir_core.Rank_dp.encode_tables (Ir_core.Rank_dp.build_tables fresh))
+    (Ir_core.Rank_dp.encode_tables (Ir_core.Rank_dp.build_tables derived));
+  let od = Ir_core.Rank_dp.compute derived in
+  let off = Ir_core.Rank_dp.compute fresh in
+  Alcotest.(check bool) "identical outcomes" true
+    (Ir_core.Outcome.equal od off)
+
 let () =
   Alcotest.run "core"
     [
@@ -912,6 +1213,24 @@ let () =
           prop_rank_monotone_in_k;
           prop_search_budgets_matches_individual;
           prop_scratch_reuse_invisible;
+          Alcotest.test_case "stepped builder = monolithic build" `Quick
+            test_builder_matches_build;
+          Alcotest.test_case "builder finish guard" `Quick
+            test_builder_finish_early;
+          Alcotest.test_case "table codec fuzz" `Quick test_decode_fuzz;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "R column = search_budgets" `Quick
+            test_grid_budgets_column;
+          Alcotest.test_case "witness identity" `Quick
+            test_grid_witness_identity;
+          Alcotest.test_case "perturb touches fewer cells" `Quick
+            test_grid_perturb_touches_fewer;
+          Alcotest.test_case "with_materials = fresh construction" `Quick
+            test_with_materials_equals_fresh;
+          prop_grid_matches_per_point;
+          prop_eval_batch_matches_compute;
         ] );
       ( "front",
         [

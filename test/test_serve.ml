@@ -115,6 +115,35 @@ let test_fp_table_key_masks () =
   Alcotest.(check bool) "node not masked" true
     (F.table_key (q 0.4 F.Dp) <> F.table_key other)
 
+let test_fp_family_key_masks () =
+  let q ?k ?miller ?clock ?repeater_fraction ?algo ?gates ?node () =
+    ok_exn "query"
+      (F.v ?k ?miller ?clock ?repeater_fraction ?algo
+         ~node:(Option.value ~default:"130nm" node)
+         ~gates:(Option.value ~default:1000 gates)
+         ())
+  in
+  let base = F.family_key (q ()) in
+  (* Everything a resident grid perturbs over is masked out... *)
+  Alcotest.(check string) "k masked" base (F.family_key (q ~k:2.7 ()));
+  Alcotest.(check string) "miller masked" base
+    (F.family_key (q ~miller:1.5 ()));
+  Alcotest.(check string) "clock masked" base
+    (F.family_key (q ~clock:1.0e9 ()));
+  Alcotest.(check string) "fraction masked" base
+    (F.family_key (q ~repeater_fraction:0.8 ()));
+  Alcotest.(check string) "algo masked" base
+    (F.family_key (q ~algo:F.Greedy ()));
+  (* ...while the family-pinning fields are not. *)
+  Alcotest.(check bool) "gates not masked" true
+    (base <> F.family_key (q ~gates:1001 ()));
+  Alcotest.(check bool) "node not masked" true
+    (base <> F.family_key (q ~node:"90nm" ()));
+  (* Strictly coarser than the table key: a k variant shares the family
+     but not the plane. *)
+  Alcotest.(check bool) "coarser than table_key" true
+    (F.table_key (q ()) <> F.table_key (q ~k:2.7 ()))
+
 let test_fp_validation () =
   (match F.v ~node:"bogus" ~gates:1000 () with
   | Error e ->
@@ -965,6 +994,145 @@ let test_snapshot_corrupt_fallback () =
   S.shutdown srv2;
   S.join srv2
 
+(* A snapshot republished under a different family's key, or with bits
+   flipped anywhere in it, is rejected before any unmarshaling — load
+   returns [None], counts the corruption and discards the file, never
+   crashes.  Fuzz companion to the decode_tables fuzz in test_core. *)
+let test_snapshot_hostile_payloads () =
+  Ir_obs.reset ();
+  let dir = temp_path "snaphostile" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let snapshot = ok_exn "snapshot" (Sn.create ~dir) in
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv = S.create ~workers:1 ~snapshot ~cache () in
+  let q = fp_at 0.3 in
+  let key = F.table_key q in
+  (match S.submit_query srv q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "seed ask: %s" (Pr.error_message e));
+  wait_for "the snapshot to land on disk" (fun () ->
+      Sys.file_exists (Sn.entry_path snapshot ~key));
+  S.shutdown srv;
+  S.join srv;
+  let path = Sn.entry_path snapshot ~key in
+  let pristine = In_channel.with_open_bin path In_channel.input_all in
+  let full fp =
+    Ir_assign.Problem.with_repeater_fraction (F.problem fp) 1.0
+  in
+  (* Sanity: the pristine file restores. *)
+  (match Sn.load snapshot ~key ~problem:(full q) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "pristine snapshot did not restore");
+  (* Wrong key: the same bytes republished under a neighboring family's
+     key are rejected by the header's recorded key — a snapshot cannot
+     be aliased onto a different problem. *)
+  let q_wrong =
+    ok_exn "neighbor"
+      (F.v ~k:2.7 ~repeater_fraction:0.3 ~bunch_size:500 ~node:"130nm"
+         ~gates:20_000 ())
+  in
+  let wrong_key = F.table_key q_wrong in
+  let wrong_path = Sn.entry_path snapshot ~key:wrong_key in
+  Out_channel.with_open_bin wrong_path (fun oc ->
+      Out_channel.output_string oc pristine);
+  let corrupt_before = counter "serve_snapshot/corrupt" in
+  (match Sn.load snapshot ~key:wrong_key ~problem:(full q_wrong) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "wrong-key snapshot accepted");
+  Alcotest.(check int) "wrong key counted corrupt" (corrupt_before + 1)
+    (counter "serve_snapshot/corrupt");
+  Alcotest.(check bool) "wrong-key file discarded" false
+    (Sys.file_exists wrong_path);
+  (* Bit flips, from the header through the deep blob: every one is
+     caught by the tag / key / length / MD5 ladder before Marshal sees a
+     byte. *)
+  let len = String.length pristine in
+  List.iter
+    (fun offset ->
+      let corrupted = Bytes.of_string pristine in
+      Bytes.set corrupted offset
+        (Char.chr (Char.code (Bytes.get corrupted offset) lxor 0x20));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc corrupted);
+      match Sn.load snapshot ~key ~problem:(full q) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "bit flip at %d accepted" offset)
+    [ 3; 40; len / 2; (3 * len / 4) + 1; len - 1 ];
+  (* Truncations at every scale, including an empty file. *)
+  List.iter
+    (fun keep ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub pristine 0 keep));
+      match Sn.load snapshot ~key ~problem:(full q) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "truncation to %d bytes accepted" keep)
+    [ 0; 1; 10; len / 3; len - 1 ];
+  (* End to end: a server facing the wrong-key file rebuilds cold and
+     still answers byte-identically. *)
+  Out_channel.with_open_bin wrong_path (fun oc ->
+      Out_channel.output_string oc pristine);
+  Ir_obs.reset ();
+  let snapshot2 = ok_exn "snapshot2" (Sn.create ~dir) in
+  let cache2 = ok_exn "cache2" (C.create ~capacity:16 ()) in
+  let srv2 = S.create ~workers:1 ~snapshot:snapshot2 ~cache:cache2 () in
+  (match S.submit_query srv2 q_wrong with
+  | Ok (payload, _) ->
+      Alcotest.(check string) "post-rejection answer = cold"
+        (Pr.result_payload (F.compute_cold q_wrong))
+        payload
+  | Error e -> Alcotest.failf "post-rejection ask: %s" (Pr.error_message e));
+  Alcotest.(check bool) "server counted the corruption" true
+    (counter "serve_snapshot/corrupt" >= 1);
+  Alcotest.(check int) "server rebuilt cold" 1 (counter "serve/table_builds");
+  S.shutdown srv2;
+  S.join srv2
+
+(* ---- resident grid pool ----------------------------------------------- *)
+
+(* Neighboring queries of one family are answered from a single resident
+   grid: a new (k, clock) plane grows the warm grid (serve/grid_hits)
+   instead of starting a fresh pool entry cold, fraction variants rebind
+   a resident plane's budget (serve/table_hits), and every served
+   payload stays byte-identical to a cold computation. *)
+let test_grid_neighbor_warm () =
+  Ir_obs.reset ();
+  let cache = ok_exn "cache" (C.create ~capacity:16 ()) in
+  let srv = S.create ~workers:1 ~cache () in
+  let fp ?k ?clock f =
+    ok_exn "fp"
+      (F.v ?k ?clock ~repeater_fraction:f ~bunch_size:500 ~node:"130nm"
+         ~gates:20_000 ())
+  in
+  let ask what q =
+    match S.submit_query srv q with
+    | Ok (payload, _) ->
+        Alcotest.(check string) (what ^ " = cold")
+          (Pr.result_payload (F.compute_cold q))
+          payload
+    | Error e -> Alcotest.failf "%s: %s" what (Pr.error_message e)
+  in
+  ask "base plane" (fp 0.3);
+  Alcotest.(check int) "base plane built" 1 (counter "serve/table_builds");
+  Alcotest.(check int) "no grid hit yet" 0 (counter "serve/grid_hits");
+  ask "low-k neighbor" (fp ~k:2.7 0.3);
+  Alcotest.(check int) "k plane grew the resident grid" 1
+    (counter "serve/grid_hits");
+  Alcotest.(check int) "k plane built" 2 (counter "serve/table_builds");
+  ask "clock neighbor" (fp ~clock:1.0e9 0.3);
+  Alcotest.(check int) "clock plane grew the grid" 2
+    (counter "serve/grid_hits");
+  Alcotest.(check int) "clock plane built" 3 (counter "serve/table_builds");
+  let hits = counter "serve/table_hits" in
+  ask "fraction rebind on the base plane" (fp 0.25);
+  ask "fraction rebind on the k plane" (fp ~k:2.7 0.6);
+  Alcotest.(check int) "fraction variants hit resident planes" (hits + 2)
+    (counter "serve/table_hits");
+  Alcotest.(check int) "no further builds" 3 (counter "serve/table_builds");
+  Alcotest.(check int) "nothing fell to the cold path" 0
+    (counter "serve/cold_computes");
+  S.shutdown srv;
+  S.join srv
+
 (* ---- sharded fleet over TCP ------------------------------------------- *)
 
 module Sh = Ir_serve.Shard
@@ -1073,6 +1241,8 @@ let () =
           Alcotest.test_case "inline wld canonical" `Quick
             test_fp_inline_wld_canonical;
           Alcotest.test_case "table key masks" `Quick test_fp_table_key_masks;
+          Alcotest.test_case "family key masks" `Quick
+            test_fp_family_key_masks;
           Alcotest.test_case "validation" `Quick test_fp_validation;
         ] );
       ( "json",
@@ -1125,6 +1295,13 @@ let () =
           Alcotest.test_case "warm restart" `Quick test_snapshot_warm_restart;
           Alcotest.test_case "corrupt fallback" `Quick
             test_snapshot_corrupt_fallback;
+          Alcotest.test_case "hostile payloads" `Quick
+            test_snapshot_hostile_payloads;
+        ] );
+      ( "resident grid",
+        [
+          Alcotest.test_case "neighbor queries answered warm" `Quick
+            test_grid_neighbor_warm;
         ] );
       ( "sharded",
         [

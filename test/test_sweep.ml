@@ -154,6 +154,42 @@ let test_parallel_determinism () =
            c.outcome.Ir_core.Outcome.rank_wires))
         cpar)
 
+(* The grid-engine acceptance: dispatching the whole fused Table-4 corpus
+   through one [Rank_grid] wavefront must reproduce the per-point
+   engine's outcomes — every rank, [exact] flag and boundary — exactly,
+   row for row. *)
+let test_grid_engine_identity () =
+  let strip (s : Ir_sweep.Table4.sweep) =
+    ( s.name,
+      List.map (fun (r : Ir_sweep.Table4.row) -> (r.param, r.outcome)) s.rows
+    )
+  in
+  let grid =
+    List.map strip
+      (Ir_sweep.Table4.all ~engine:Ir_sweep.Table4.Grid ~config:small_config
+         ())
+  in
+  let per =
+    List.map strip
+      (Ir_sweep.Table4.all ~engine:Ir_sweep.Table4.Per_point
+         ~config:small_config ())
+  in
+  Alcotest.(check int) "same sweep count" (List.length per) (List.length grid);
+  List.iter2
+    (fun (ng, rows_g) (np, rows_p) ->
+      Alcotest.(check string) "sweep order" np ng;
+      Alcotest.(check int) (ng ^ ": same rows") (List.length rows_p)
+        (List.length rows_g);
+      List.iter2
+        (fun (pg, og) (pp, op) ->
+          Alcotest.(check (float 0.0)) (ng ^ " param") pp pg;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s param %.4g: identical outcome" ng pg)
+            true
+            (Ir_core.Outcome.equal og op))
+        rows_g rows_p)
+    grid per
+
 let test_paper_data () =
   Alcotest.(check int) "K column size" 22 (List.length Ir_sweep.Paper_data.table4_k);
   Alcotest.(check int) "M column size" 21 (List.length Ir_sweep.Paper_data.table4_m);
@@ -266,6 +302,19 @@ let test_export () =
               Ir_sweep.Export.max_jobs = 4;
               points = [ (1, 4.0); (2, 2.0); (4, 1.95) ];
             }
+          ~grid:
+            {
+              Ir_sweep.Export.grid_points = 57;
+              grid_planes = 33;
+              per_point_seconds = 4.0;
+              grid_seconds = 1.6;
+              grid_identical = true;
+              grid_counters_match = true;
+              perturb_recomputed = 1;
+              perturb_grid_cells = 10;
+              perturb_seconds = 0.01;
+              full_eval_seconds = 0.4;
+            }
           ~serving:
             {
               Ir_sweep.Export.trace_requests = 9;
@@ -307,8 +356,15 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/7\"";
+              "\"schema\":\"ia-rank/bench-sweeps/8\"";
               "\"jobs\":4";
+              (* The grid leg: 4.0 s per-point over 1.6 s grid = 2.5x,
+                 perturb touching 1 of 10 cells. *)
+              "\"grid\":{\"status\":\"ok\"";
+              "\"points\":57";
+              "\"planes\":33";
+              "\"speedup\":2.5";
+              "\"perturb\":{\"recomputed_cells\":1,\"grid_cells\":10";
               "\"serving\":{\"trace_requests\":9";
               "\"serving_sharded\":{\"status\":\"ok\"";
               "\"table_builds_per_shard\":[1,1]";
@@ -416,6 +472,160 @@ let test_sharded_status () =
   Alcotest.(check string) "heavy but acceptable shed" "ok"
     (status { base with shed_rate = 0.5 })
 
+let grid_report_base =
+  {
+    Ir_sweep.Export.grid_points = 57;
+    grid_planes = 33;
+    per_point_seconds = 4.0;
+    grid_seconds = 1.6;
+    grid_identical = true;
+    grid_counters_match = true;
+    perturb_recomputed = 1;
+    perturb_grid_cells = 10;
+    perturb_seconds = 0.01;
+    full_eval_seconds = 0.4;
+  }
+
+let test_grid_status () =
+  let status = Ir_sweep.Export.grid_status in
+  Alcotest.(check string) "clean run" "ok" (status grid_report_base);
+  Alcotest.(check string) "byte identity dominates" "mismatch"
+    (status
+       {
+         grid_report_base with
+         grid_identical = false;
+         grid_counters_match = false;
+       });
+  Alcotest.(check string) "schedule-variant counters" "counters_mismatch"
+    (status { grid_report_base with grid_counters_match = false });
+  Alcotest.(check string) "perturb as costly as a rebuild"
+    "perturb_not_incremental"
+    (status { grid_report_base with perturb_recomputed = 10 });
+  (* The speedup is reported, never gated: a slower grid is still
+     honest. *)
+  Alcotest.(check string) "slow grid still ok" "ok"
+    (status { grid_report_base with grid_seconds = 9.0 })
+
+(* Satellite of the grid PR: the exported BENCH_sweeps.json must parse
+   as JSON and carry the schema-8 top-level contract — every object the
+   CI gates read, with the right shapes. *)
+let test_bench_schema () =
+  let dir = Filename.temp_file "ia_rank" "_schema" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+  @@ fun () ->
+  match
+    Ir_sweep.Export.write_bench_json ~dir ~jobs:2
+      ~timings:[ ("table4_jobs1_seconds", 2.0) ]
+      ~metrics:(Ir_obs.snapshot ())
+      ~kernel:[ ("front_insert_ns", 12.5) ]
+      ~parallel:
+        {
+          Ir_sweep.Export.requested_jobs = 2;
+          effective_jobs = 2;
+          jobs1_seconds = 2.0;
+          jobsn_seconds = Some 1.0;
+        }
+      ~scaling:
+        { Ir_sweep.Export.max_jobs = 2; points = [ (1, 2.0); (2, 1.0) ] }
+      ~grid:grid_report_base
+      ~serving:
+        {
+          Ir_sweep.Export.trace_requests = 9;
+          distinct_queries = 3;
+          hit_rate = 0.75;
+          p50_ms = 1.0;
+          p95_ms = 2.0;
+          p99_ms = 3.0;
+          computes = 3;
+          table_builds = 1;
+          counters_match = true;
+        }
+      ~serving_sharded:
+        {
+          Ir_sweep.Export.shards = 2;
+          clients = 32;
+          storm_requests = 192;
+          distinct_families = 2;
+          sh_distinct_queries = 14;
+          sh_p50_ms = 1.0;
+          sh_p95_ms = 2.0;
+          sh_p99_ms = 3.0;
+          shed_rate = 0.0;
+          coalesce_rate = 0.25;
+          table_builds_per_shard = [ 1; 1 ];
+          byte_identical = true;
+        }
+      ~sweeps:[] ~cross:[] ()
+  with
+  | Error e -> Alcotest.failf "write_bench_json: %s" e
+  | Ok path ->
+      let module Sj = Ir_serve.Json in
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      let json =
+        match Sj.of_string contents with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "bench json does not parse: %s" e
+      in
+      let mem k =
+        match Sj.member k json with
+        | Some v -> v
+        | None -> Alcotest.failf "missing top-level key %S" k
+      in
+      Alcotest.(check (option string))
+        "schema tag"
+        (Some "ia-rank/bench-sweeps/8")
+        (Sj.to_str (mem "schema"));
+      Alcotest.(check (option int)) "jobs" (Some 2) (Sj.to_int (mem "jobs"));
+      List.iter
+        (fun k ->
+          match mem k with
+          | Sj.Obj _ -> ()
+          | _ -> Alcotest.failf "top-level %S is not an object" k)
+        [
+          "timings"; "parallel"; "scaling"; "kernel"; "grid"; "serving";
+          "serving_sharded"; "metrics";
+        ];
+      List.iter
+        (fun k ->
+          match mem k with
+          | Sj.Arr _ -> ()
+          | _ -> Alcotest.failf "top-level %S is not an array" k)
+        [ "table4"; "cross_node" ];
+      (* The grid object carries exactly what the CI gate reads. *)
+      let grid = mem "grid" in
+      let gmem k =
+        match Sj.member k grid with
+        | Some v -> v
+        | None -> Alcotest.failf "grid object missing %S" k
+      in
+      Alcotest.(check (option string))
+        "grid status" (Some "ok")
+        (Sj.to_str (gmem "status"));
+      Alcotest.(check (option int)) "grid points" (Some 57)
+        (Sj.to_int (gmem "points"));
+      Alcotest.(check (option int)) "grid planes" (Some 33)
+        (Sj.to_int (gmem "planes"));
+      (match Sj.to_float (gmem "speedup") with
+      | Some s -> Alcotest.(check (float 1e-9)) "grid speedup" 2.5 s
+      | None -> Alcotest.fail "grid speedup is not a number");
+      let perturb = gmem "perturb" in
+      Alcotest.(check (option int))
+        "perturb recomputed" (Some 1)
+        (Sj.to_int
+           (Option.value ~default:Sj.Null
+              (Sj.member "recomputed_cells" perturb)));
+      Alcotest.(check (option int))
+        "perturb grid cells" (Some 10)
+        (Sj.to_int
+           (Option.value ~default:Sj.Null (Sj.member "grid_cells" perturb)))
+
 let test_export_bad_dir () =
   match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
   | Error _ -> ()
@@ -489,6 +699,8 @@ let () =
           Alcotest.test_case "R column" `Slow test_r_sweep;
           Alcotest.test_case "K and M interchangeable" `Slow
             test_k_m_interchangeable;
+          Alcotest.test_case "grid engine = per-point engine" `Slow
+            test_grid_engine_identity;
         ] );
       ( "equivalence",
         [ Alcotest.test_case "headline 38% K ~ 42% M" `Slow
@@ -506,6 +718,8 @@ let () =
           Alcotest.test_case "single-core skip report" `Quick
             test_export_single_core;
           Alcotest.test_case "sharded status" `Quick test_sharded_status;
+          Alcotest.test_case "grid status" `Quick test_grid_status;
+          Alcotest.test_case "bench json schema 8" `Quick test_bench_schema;
           Alcotest.test_case "bad directory" `Quick test_export_bad_dir;
           Alcotest.test_case "recursive directory creation" `Quick
             test_ensure_dir_recursive;
