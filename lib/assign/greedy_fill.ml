@@ -94,9 +94,55 @@ let max_take ~cap ~a_w ~wire_area ~via ~v ~base_wires ~reps ~suffix_above
       incr x;
       incr adjusted
     done;
-    Ir_obs.add stat_take_adjust !adjusted;
+    (* Only count the off-by-rounding cases: an exact-on-first-try
+       estimate is not an adjustment, and bumping the counter by zero
+       would make its event count (and any future rate math over it)
+       meaningless. *)
+    if !adjusted > 0 then Ir_obs.add stat_take_adjust !adjusted;
     !x
   end
+
+(* O(pairs) fast-fail before the O(bunches) packing loop: compare an
+   area {e demand lower bound} (the whole suffix routed at the
+   narrowest available pitch — any real split across pairs costs at
+   least that) against an {e availability upper bound} (per-pair
+   capacity minus the blockage floor: via stacks of the context wires
+   and repeaters only, as if no unplaced suffix wire ever crossed the
+   pair).  Demand strictly above availability is a certain reject; the
+   relative slack keeps float summation-order noise (both sides are
+   prefix-table differences, the packer accumulates in another order)
+   from ever rejecting a context the packer could satisfy.
+
+   Exposed on its own so the pruning layer (Ir_core.Bounds) can answer
+   a suffix query with {e this exact computation} — same expressions,
+   same evaluation order — before the memo or the packer is consulted:
+   the pre-screen then rejects precisely the contexts [run] would,
+   never more. *)
+let fast_reject t ctx =
+  let n = Problem.n_bunches t in
+  let m = Problem.n_pairs t in
+  let cap = Problem.capacity t in
+  let total_suffix =
+    Problem.total_wires t - Problem.wires_before t ctx.from_bunch
+  in
+  total_suffix > 0
+  &&
+  let demand_lb = ref infinity and avail_ub = ref 0.0 in
+  for q = ctx.top_pair to m - 1 do
+    let area = Problem.interval_area t ~pair:q ~lo:ctx.from_bunch ~hi:n in
+    if area < !demand_lb then demand_lb := area;
+    let at_top = q = ctx.top_pair in
+    let cap_q = if at_top then cap -. ctx.top_pair_used else cap in
+    let blocked_lb =
+      Problem.blocked t ~pair:q
+        ~wires_above:
+          (if at_top then ctx.wires_above_top else ctx.wires_above_below)
+        ~reps_above:
+          (if at_top then ctx.reps_above_top else ctx.reps_above_below)
+    in
+    avail_ub := !avail_ub +. Float.max 0.0 (cap_q -. blocked_lb)
+  done;
+  !demand_lb > !avail_ub *. (1.0 +. 1e-9)
 
 let run ?scratch t ctx ~record =
   Ir_obs.incr stat_calls;
@@ -115,37 +161,7 @@ let run ?scratch t ctx ~record =
   let total_suffix =
     Problem.total_wires t - Problem.wires_before t ctx.from_bunch
   in
-  (* O(pairs) fast-fail before the O(bunches) packing loop: compare an
-     area {e demand lower bound} (the whole suffix routed at the
-     narrowest available pitch — any real split across pairs costs at
-     least that) against an {e availability upper bound} (per-pair
-     capacity minus the blockage floor: via stacks of the context wires
-     and repeaters only, as if no unplaced suffix wire ever crossed the
-     pair).  Demand strictly above availability is a certain reject; the
-     relative slack keeps float summation-order noise (both sides are
-     prefix-table differences, the packer accumulates in another order)
-     from ever rejecting a context the packer could satisfy. *)
-  let fast_reject =
-    total_suffix > 0
-    &&
-    let demand_lb = ref infinity and avail_ub = ref 0.0 in
-    for q = ctx.top_pair to m - 1 do
-      let area = Problem.interval_area t ~pair:q ~lo:ctx.from_bunch ~hi:n in
-      if area < !demand_lb then demand_lb := area;
-      let at_top = q = ctx.top_pair in
-      let cap_q = if at_top then cap -. ctx.top_pair_used else cap in
-      let blocked_lb =
-        Problem.blocked t ~pair:q
-          ~wires_above:
-            (if at_top then ctx.wires_above_top else ctx.wires_above_below)
-          ~reps_above:
-            (if at_top then ctx.reps_above_top else ctx.reps_above_below)
-      in
-      avail_ub := !avail_ub +. Float.max 0.0 (cap_q -. blocked_lb)
-    done;
-    !demand_lb > !avail_ub *. (1.0 +. 1e-9)
-  in
-  if fast_reject then begin
+  if fast_reject t ctx then begin
     Ir_obs.incr stat_fast_fail;
     None
   end

@@ -23,6 +23,12 @@ type t = {
   rep_area_prefix : float array array;
   rep_count_prefix : int array array;
   bad_prefix : int array array;
+  (* min_rep_area_prefix.(i): lower bound on the repeater area needed to
+     meet bunches [0..i), letting every bunch pick its cheapest pair
+     independently (a fractional relaxation of the contiguous-split
+     constraint).  +infinity from the first bunch infeasible on every
+     pair onward: no assignment can meet past it. *)
+  min_rep_area_prefix : float array;
 }
 
 let arch t = t.arch
@@ -55,6 +61,8 @@ let meeting_area t ~pair ~lo ~hi =
 
 let meeting_count t ~pair ~lo ~hi =
   t.rep_count_prefix.(pair).(hi) - t.rep_count_prefix.(pair).(lo)
+
+let min_rep_area_before t i = t.min_rep_area_prefix.(i)
 
 let meeting_cost t ~pair ~lo ~hi =
   if meeting_feasible t ~pair ~lo ~hi then
@@ -144,7 +152,20 @@ let repeater_tables ~arch ~noise_limit ~targets bunches =
           bad_prefix.(j).(b + 1) <- bad_prefix.(j).(b) + 1
     done
   done;
-  (eta, rep_area_prefix, rep_count_prefix, bad_prefix)
+  (* Relaxation prefix: each bunch takes the cheapest pair that can meet
+     it, ignoring contiguity.  Any real split pays at least this much, so
+     the prefix is admissible for the pruning bound (Ir_core.Bounds). *)
+  let min_rep_area_prefix = Array.make (n + 1) 0.0 in
+  for b = 0 to n - 1 do
+    let best = ref infinity in
+    for j = 0 to m - 1 do
+      if eta.(j).(b) >= 0 then
+        let a = rep_area_prefix.(j).(b + 1) -. rep_area_prefix.(j).(b) in
+        if a < !best then best := a
+    done;
+    min_rep_area_prefix.(b + 1) <- min_rep_area_prefix.(b) +. !best
+  done;
+  (eta, rep_area_prefix, rep_count_prefix, bad_prefix, min_rep_area_prefix)
 
 let build ~arch ~target_model ~noise_limit bunches =
   let n = Array.length bunches in
@@ -165,7 +186,8 @@ let build ~arch ~target_model ~noise_limit bunches =
     wire_prefix.(i + 1) <- wire_prefix.(i) + bunches.(i).Ir_wld.Dist.count
   done;
   let area_prefix = area_tables ~arch bunches in
-  let eta, rep_area_prefix, rep_count_prefix, bad_prefix =
+  let eta, rep_area_prefix, rep_count_prefix, bad_prefix, min_rep_area_prefix
+      =
     repeater_tables ~arch ~noise_limit ~targets bunches
   in
   {
@@ -180,6 +202,7 @@ let build ~arch ~target_model ~noise_limit bunches =
     rep_area_prefix;
     rep_count_prefix;
     bad_prefix;
+    min_rep_area_prefix;
   }
 
 let of_bunches ?(target_model = Ir_delay.Target.Linear) ?noise_limit ~arch
@@ -218,11 +241,20 @@ let with_repeater_fraction t fraction =
    same float expressions over the same inputs. *)
 let with_materials t materials =
   let arch = Ir_ia.Arch.with_materials t.arch materials in
-  let eta, rep_area_prefix, rep_count_prefix, bad_prefix =
+  let eta, rep_area_prefix, rep_count_prefix, bad_prefix, min_rep_area_prefix
+      =
     repeater_tables ~arch ~noise_limit:t.noise_limit ~targets:t.targets
       t.bunches
   in
-  { t with arch; eta; rep_area_prefix; rep_count_prefix; bad_prefix }
+  {
+    t with
+    arch;
+    eta;
+    rep_area_prefix;
+    rep_count_prefix;
+    bad_prefix;
+    min_rep_area_prefix;
+  }
 
 (* A clock change moves only the per-bunch targets and everything derived
    from them (eta and the repeater prefixes); the bunching, wire prefix
@@ -231,7 +263,17 @@ let with_clock t clock =
   let design = Ir_tech.Design.with_clock t.arch.Ir_ia.Arch.design clock in
   let arch = Ir_ia.Arch.with_design t.arch design in
   let targets = targets_for ~arch ~target_model:t.target_model t.bunches in
-  let eta, rep_area_prefix, rep_count_prefix, bad_prefix =
+  let eta, rep_area_prefix, rep_count_prefix, bad_prefix, min_rep_area_prefix
+      =
     repeater_tables ~arch ~noise_limit:t.noise_limit ~targets t.bunches
   in
-  { t with arch; targets; eta; rep_area_prefix; rep_count_prefix; bad_prefix }
+  {
+    t with
+    arch;
+    targets;
+    eta;
+    rep_area_prefix;
+    rep_count_prefix;
+    bad_prefix;
+    min_rep_area_prefix;
+  }

@@ -213,6 +213,20 @@ let seed t cell ~area ~count =
   t.state.{base} <- alloc_state t ~split:(-1) ~parent:no_parent;
   t.len.{cell} <- 1
 
+let covers t cell ~area:a ~count:c =
+  let base = cell * t.stride in
+  let n = t.len.{cell} in
+  (* Same search as [insert]'s dominance pre-check: first index whose
+     area exceeds [a]; counts descend, so the last element at or below
+     [a] carries the minimum count among them. *)
+  let lo = ref 0 and hi = ref n in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if t.area.{base + mid} <= a then lo := mid + 1 else hi := mid
+  done;
+  let p = !lo in
+  p > 0 && t.count.{base + p - 1} <= c
+
 let insert t cell ~area:a ~count:c ~split ~parent =
   t.inserts <- t.inserts + 1;
   let base = cell * t.stride in

@@ -106,6 +106,14 @@ val insert :
     dropped.  [parent] is the arena id of the predecessor state
     ({!Front.state}), or [-1] for a root. *)
 
+val covers : t -> int -> area : float -> count : int -> bool
+(** [covers t cell ~area ~count]: does the cell already hold an element
+    with area [<= area] {e and} count [<= count]?  This is exactly
+    {!insert}'s dominance pre-check, without the insertion — the
+    ε-dominance mode of the DP calls it with an inflated area bound
+    ([a *. (1. +. epsilon)]) to drop candidates an existing state
+    almost-dominates.  O(log width), no statistics move. *)
+
 (** {1 Witness reconstruction} *)
 
 val splits : t -> int -> int list

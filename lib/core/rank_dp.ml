@@ -49,6 +49,23 @@ type tables = {
   truncations : int;
       (* non-dominated states dropped past max_pareto during the build;
          0 means the phase-A front is complete and the search is exact *)
+  bounds : Bounds.t option;
+      (* present iff the build ran with pruning: feasible_witness then
+         pre-screens suffix queries with the bound oracle *)
+  incumbent_floor : int;
+      (* largest boundary proven achievable during a pruned build; -1
+         for unpruned tables.  States that could only have certified
+         boundaries <= floor may have been pruned away, so searches must
+         start from the floor (never probe at or below it) — which is
+         also why the floor always travels with its witness below. *)
+  floor_witness : witness option;
+      (* the achievability certificate behind incumbent_floor; Some
+         whenever incumbent_floor >= 0 *)
+  approx_drops : int;
+      (* candidates dropped by epsilon-dominance (builder ~epsilon > 0);
+         like truncations, nonzero forfeits the exact claim — unlike
+         truncations it never triggers the widening ladder, because a
+         wider front would not bring the dropped states back *)
 }
 
 let cell ~n j i = (j * (n + 1)) + i
@@ -98,6 +115,57 @@ exception Break
    the levels of many builds) execute the {e same} expansion code on the
    same state — byte-identical fronts, tallies and witnesses by
    construction, not by reimplementation. *)
+(* One pruning context: the bound oracle, the shared incumbent cell, the
+   smallest budget any query of this build will run under (the floor's
+   witness must be achievable there — budget monotonicity extends it to
+   every larger fraction), and the witness of the currently published
+   incumbent.  [pr_witness] is only written from sequential sections
+   (prune_for, the barrier hook below), same convention as
+   [Incumbent.publish]. *)
+type prune = {
+  pr_bounds : Bounds.t;
+  pr_inc : Ir_exec.Incumbent.t;
+  pr_budget_min : float;
+  mutable pr_witness : witness option;
+}
+
+(* The floor witness is the probe's own certifying chain — a DP path
+   the exact build also constructs (Bounds.pessimistic_probe evaluates
+   the expansion screens with the DP's float expressions), re-packaged
+   in [feasible_witness]'s shape.  Witness payloads are internal
+   (outcomes carry rank / boundary / flags only), so the floor case
+   never leaks a non-canonical witness to an observable surface. *)
+let probe_witness (pb : Bounds.probe) =
+  {
+    boundary_pair = pb.Bounds.pb_pair;
+    prefix_splits = pb.Bounds.pb_splits;
+    meet_lo = pb.Bounds.pb_meet_lo;
+    meet_hi = pb.Bounds.pb_boundary;
+    reps_above = pb.Bounds.pb_reps_above;
+    reps_total = pb.Bounds.pb_reps_total;
+  }
+
+let prune_for ?gf ?budget_min problem =
+  let bounds = Bounds.create problem in
+  let budget_min =
+    match budget_min with Some b -> b | None -> P.budget problem
+  in
+  let pr =
+    {
+      pr_bounds = bounds;
+      pr_inc = Ir_exec.Incumbent.create ();
+      pr_budget_min = budget_min;
+      pr_witness = None;
+    }
+  in
+  let pb = Bounds.pessimistic_probe ?scratch:gf bounds ~budget:budget_min in
+  Ir_exec.Incumbent.offer pr.pr_inc pb.Bounds.pb_boundary;
+  if Ir_exec.Incumbent.publish pr.pr_inc then begin
+    Bounds.note_incumbent ();
+    pr.pr_witness <- Some (probe_witness pb)
+  end;
+  pr
+
 type builder = {
   b_problem : P.t;
   b_front : Front.t;
@@ -107,12 +175,18 @@ type builder = {
   b_cap : float;
   b_budget : float;
   b_blocked_k : float array;
+  b_prune : prune option;
+  b_epsilon : float;
+  b_thresh : float array;  (* per-column prune thresholds, len n + 1 *)
+  mutable b_thresh_inc : int;  (* incumbent the thresholds encode; -2 stale *)
   mutable b_level : int;  (* next boundary pair to expand *)
   mutable b_states : int;
   mutable b_skipped : int;
+  mutable b_pruned : int;
+  mutable b_eps_drops : int;
 }
 
-let builder ?(max_pareto = 8) ?scratch problem =
+let builder ?(max_pareto = 8) ?(epsilon = 0.0) ?prune ?scratch problem =
   let n = P.n_bunches problem in
   let m = P.n_pairs problem in
   let width = max 1 max_pareto in
@@ -142,6 +216,7 @@ let builder ?(max_pareto = 8) ?scratch problem =
     | None -> Array.make width 0.0
     | Some s -> Scratch.floats s.gf width
   in
+  if not (epsilon >= 0.0) then invalid_arg "Rank_dp.builder: epsilon < 0";
   {
     b_problem = problem;
     b_front = front;
@@ -151,9 +226,15 @@ let builder ?(max_pareto = 8) ?scratch problem =
     b_cap = P.capacity problem;
     b_budget = P.budget problem;
     b_blocked_k = blocked_k;
+    b_prune = prune;
+    b_epsilon = epsilon;
+    b_thresh = (match prune with None -> [||] | Some _ -> Array.make (n + 1) infinity);
+    b_thresh_inc = -2;
     b_level = 0;
     b_states = 0;
     b_skipped = 0;
+    b_pruned = 0;
+    b_eps_drops = 0;
   }
 
 let builder_levels b = b.b_m
@@ -186,56 +267,73 @@ let builder_step b =
     let f_count = Front.raw_count front in
     let f_len = Front.raw_len front in
     let stride = Front.stride front in
+    (* Pruning thresholds for this level.  The incumbent is read once,
+       here, and the level is expanded against that single value: the
+       cell is only published at sequential barriers (Incumbent's
+       contract), so every domain stepping builders of this wavefront
+       level sees the same thresholds and the prune tallies stay
+       jobs-invariant.  Refreshed only when the incumbent moved. *)
+    let pruning =
+      match b.b_prune with
+      | None -> false
+      | Some pr ->
+          let inc = Ir_exec.Incumbent.current pr.pr_inc in
+          if inc <> b.b_thresh_inc then begin
+            Bounds.fill_thresholds pr.pr_bounds ~budget:b.b_budget
+              ~incumbent:inc b.b_thresh;
+            b.b_thresh_inc <- inc
+          end;
+          inc >= 0
+    in
+    let thresh = b.b_thresh in
+    let epsilon = b.b_epsilon in
     for i = 0 to n do
       let src = cell ~n j i in
       let len = Front.length front src in
       if len > 0 then begin
-        b.b_states <- b.b_states + len;
-        let wires_above = P.wires_before problem i in
-        let min_area = Front.min_area front src in
         let sbase = src * stride in
-        for k = 0 to len - 1 do
-          blocked_k.(k) <-
-            P.blocked problem ~pair:j ~wires_above
-              ~reps_above:f_count.{sbase + k}
-        done;
-        try
-          for i2 = i to n do
-            if i2 = i then begin
-              (* Empty interval: pair j left unused. *)
-              let dst = cell ~n (j + 1) i in
-              let dbase = dst * stride in
-              for k = 0 to len - 1 do
-                let a = f_area.{sbase + k} in
-                let c = f_count.{sbase + k} in
-                let lo = ref 0 and hi = ref f_len.{dst} in
-                while !hi > !lo do
-                  let mid = (!lo + !hi) / 2 in
-                  if f_area.{dbase + mid} <= a then lo := mid + 1
-                  else hi := mid
-                done;
-                let p = !lo in
-                if p > 0 && f_count.{dbase + p - 1} <= c then
-                  b.b_skipped <- b.b_skipped + 1
-                else
-                  Front.insert front dst ~area:a ~count:c ~split:i
-                    ~parent:(Front.state front src k)
-              done
-            end
-            else if not (P.meeting_feasible problem ~pair:j ~lo:i ~hi:i2)
-            then raise Break
-            else begin
-              let d_area = P.meeting_area problem ~pair:j ~lo:i ~hi:i2 in
-              if min_area +. d_area > budget then raise Break;
-              let routing = P.interval_area problem ~pair:j ~lo:i ~hi:i2 in
-              if routing > cap then raise Break;
-              let d_count = P.meeting_count problem ~pair:j ~lo:i ~hi:i2 in
-              let dst = cell ~n (j + 1) i2 in
-              let dbase = dst * stride in
-              for k = 0 to len - 1 do
-                let a = f_area.{sbase + k} +. d_area in
-                let c = f_count.{sbase + k} + d_count in
-                if a <= budget && routing +. blocked_k.(k) <= cap then begin
+        (* Source-state pruning: a state over the column threshold
+           cannot reach boundary incumbent + 1 within the budget
+           (admissible bound, see Bounds), and neither can any successor
+           — extending a chain only adds at least the relaxed suffix
+           cost.  Areas ascend within a cell, so the prunable states are
+           a suffix: one binary search bounds the survivors.  (A NaN
+           threshold — infinite relaxation prefix — only occurs for
+           unreachable columns, whose cells are empty.) *)
+        let live =
+          if not pruning then len
+          else begin
+            let tl = thresh.(i) in
+            let lo = ref 0 and hi = ref len in
+            while !hi > !lo do
+              let mid = (!lo + !hi) / 2 in
+              if f_area.{sbase + mid} <= tl then lo := mid + 1
+              else hi := mid
+            done;
+            !lo
+          end
+        in
+        b.b_pruned <- b.b_pruned + (len - live);
+        if live > 0 then begin
+          b.b_states <- b.b_states + live;
+          let wires_above = P.wires_before problem i in
+          let min_area = Front.min_area front src in
+          for k = 0 to live - 1 do
+            blocked_k.(k) <-
+              P.blocked problem ~pair:j ~wires_above
+                ~reps_above:f_count.{sbase + k}
+          done;
+          try
+            for i2 = i to n do
+              if i2 = i then begin
+                (* Empty interval: pair j left unused.  Survivors are by
+                   definition within this column's threshold, so no
+                   candidate check is needed here. *)
+                let dst = cell ~n (j + 1) i in
+                let dbase = dst * stride in
+                for k = 0 to live - 1 do
+                  let a = f_area.{sbase + k} in
+                  let c = f_count.{sbase + k} in
                   let lo = ref 0 and hi = ref f_len.{dst} in
                   while !hi > !lo do
                     let mid = (!lo + !hi) / 2 in
@@ -245,14 +343,63 @@ let builder_step b =
                   let p = !lo in
                   if p > 0 && f_count.{dbase + p - 1} <= c then
                     b.b_skipped <- b.b_skipped + 1
+                  else if
+                    epsilon > 0.0
+                    && Front.covers front dst
+                         ~area:(a *. (1.0 +. epsilon))
+                         ~count:c
+                  then b.b_eps_drops <- b.b_eps_drops + 1
                   else
-                    Front.insert front dst ~area:a ~count:c ~split:i2
+                    Front.insert front dst ~area:a ~count:c ~split:i
                       ~parent:(Front.state front src k)
-                end
-              done
-            end
-          done
-        with Break -> ()
+                done
+              end
+              else if not (P.meeting_feasible problem ~pair:j ~lo:i ~hi:i2)
+              then raise Break
+              else begin
+                let d_area = P.meeting_area problem ~pair:j ~lo:i ~hi:i2 in
+                if min_area +. d_area > budget then raise Break;
+                let routing = P.interval_area problem ~pair:j ~lo:i ~hi:i2 in
+                if routing > cap then raise Break;
+                let d_count = P.meeting_count problem ~pair:j ~lo:i ~hi:i2 in
+                let dst = cell ~n (j + 1) i2 in
+                let dbase = dst * stride in
+                let t2 = if pruning then thresh.(i2) else infinity in
+                for k = 0 to live - 1 do
+                  let a = f_area.{sbase + k} +. d_area in
+                  let c = f_count.{sbase + k} + d_count in
+                  if a <= budget && routing +. blocked_k.(k) <= cap then begin
+                    if pruning && a > t2 then
+                      (* Candidate lands at column i2 already over that
+                         column's threshold: prune before the front is
+                         even consulted. *)
+                      b.b_pruned <- b.b_pruned + 1
+                    else begin
+                      let lo = ref 0 and hi = ref f_len.{dst} in
+                      while !hi > !lo do
+                        let mid = (!lo + !hi) / 2 in
+                        if f_area.{dbase + mid} <= a then lo := mid + 1
+                        else hi := mid
+                      done;
+                      let p = !lo in
+                      if p > 0 && f_count.{dbase + p - 1} <= c then
+                        b.b_skipped <- b.b_skipped + 1
+                      else if
+                        epsilon > 0.0
+                        && Front.covers front dst
+                             ~area:(a *. (1.0 +. epsilon))
+                             ~count:c
+                      then b.b_eps_drops <- b.b_eps_drops + 1
+                      else
+                        Front.insert front dst ~area:a ~count:c ~split:i2
+                          ~parent:(Front.state front src k)
+                    end
+                  end
+                done
+              end
+            done
+          with Break -> ()
+        end
       end
     done;
     b.b_level <- j + 1;
@@ -271,6 +418,22 @@ let builder_finish b =
   Ir_obs.add stat_dominated (Front.dominated front + b.b_skipped);
   Ir_obs.add stat_truncations (Front.truncations front);
   Ir_obs.set_max gauge_arena (Front.arena_states front);
+  Bounds.note_pruned b.b_pruned;
+  Bounds.note_epsilon b.b_eps_drops;
+  let bounds, incumbent_floor, floor_witness =
+    match b.b_prune with
+    | None -> (None, -1, None)
+    | Some pr ->
+        let floor = Ir_exec.Incumbent.current pr.pr_inc in
+        (* The floor is the largest incumbent any level pruned against:
+           the incumbent only grows, so every pruned state could at most
+           have certified a boundary <= floor — which the witness below
+           certifies anyway.  An incumbent always comes with its
+           certificate (prune_for and the barrier hook set both under
+           the same publish). *)
+        assert (floor < 0 || pr.pr_witness <> None);
+        (Some pr.pr_bounds, floor, pr.pr_witness)
+  in
   {
     problem = b.b_problem;
     front;
@@ -278,17 +441,106 @@ let builder_finish b =
     m = b.b_m;
     max_pareto = b.b_max_pareto;
     truncations = Front.truncations front;
+    bounds;
+    incumbent_floor;
+    floor_witness;
+    approx_drops = b.b_eps_drops;
   }
 
-let build_tables ?max_pareto ?scratch problem =
+(* Sequential-barrier hook: after a level completes (and before the next
+   one reads the incumbent), try to raise the incumbent from the freshly
+   built row.  Non-empty cells are scanned deepest-first and each cell's
+   cheapest state greedy-chain-extended over the remaining pairs
+   (Bounds.chain_probe: the exact expansion screens, then the largest
+   packer-certified boundary along the chain); the best certified
+   boundary of the scan is published.  Exact prefix plus greedy
+   completion typically lands within a bunch or two of the DP optimum,
+   which is what arms the thresholds for the heavy later levels — and
+   since a build has only [m] barriers, probing a handful of columns per
+   barrier costs noise next to the witness probes it saves.  The
+   optimistic-bound pre-check (O(log n), no packer) skips columns whose
+   relaxation cannot beat the best boundary seen, so the probe budget
+   [max_barrier_probes] is spent only on genuine contenders.  A probed
+   state's area must fit the smallest budget of the build's query family
+   ([pr_budget_min]): budget monotonicity then makes the floor valid for
+   every fraction the shared tables will answer.  Must only run from
+   sequential sections — it publishes (see Ir_exec.Incumbent). *)
+let max_barrier_probes = 32
+
+let builder_advance_incumbent ?gf b =
+  match b.b_prune with
+  | None -> ()
+  | Some pr ->
+      let row = b.b_level in
+      if row >= 1 && row < b.b_m then begin
+        let n = b.b_n in
+        let front = b.b_front in
+        let best = ref None in
+        let best_c = ref (Ir_exec.Incumbent.current pr.pr_inc) in
+        let probes = ref 0 in
+        let i = ref n in
+        while !probes < max_barrier_probes && !i >= 0 do
+          let src = cell ~n row !i in
+          if Front.length front src > 0 then begin
+            (* Element 0 is the cell's min-area state — the extender
+               with the most budget left for the suffix; if it is over
+               the family's smallest budget, every state in the cell
+               is. *)
+            let a0 = Front.min_area front src in
+            if
+              a0 <= pr.pr_budget_min
+              && Bounds.optimistic_boundary pr.pr_bounds
+                   ~budget:pr.pr_budget_min ~area:a0 ~from:!i
+                 > !best_c
+            then begin
+              incr probes;
+              let count = Front.count front src 0 in
+              match
+                Bounds.chain_probe ?scratch:gf pr.pr_bounds
+                  ~budget:pr.pr_budget_min ~from_pair:row ~from_col:!i
+                  ~area:a0 ~count
+              with
+              | Some pb when pb.Bounds.pb_boundary > !best_c ->
+                  best_c := pb.Bounds.pb_boundary;
+                  best := Some (pb, src)
+              | _ -> ()
+            end
+          end;
+          decr i
+        done;
+        match !best with
+        | Some (pb, src) ->
+            Ir_exec.Incumbent.offer pr.pr_inc pb.Bounds.pb_boundary;
+            if Ir_exec.Incumbent.publish pr.pr_inc then begin
+              Bounds.note_incumbent ();
+              pr.pr_witness <-
+                Some
+                  {
+                    boundary_pair = pb.Bounds.pb_pair;
+                    prefix_splits =
+                      Front.splits front (Front.state front src 0)
+                      @ pb.Bounds.pb_splits;
+                    meet_lo = pb.Bounds.pb_meet_lo;
+                    meet_hi = pb.Bounds.pb_boundary;
+                    reps_above = pb.Bounds.pb_reps_above;
+                    reps_total = pb.Bounds.pb_reps_total;
+                  }
+            end
+        | None -> ()
+      end
+
+let build_tables ?max_pareto ?epsilon ?prune ?scratch problem =
   Ir_obs.time span_build @@ fun () ->
-  let b = builder ?max_pareto ?scratch problem in
+  let b = builder ?max_pareto ?epsilon ?prune ?scratch problem in
+  let gf = Option.map (fun s -> s.gf) scratch in
   while builder_step b do
-    ()
+    builder_advance_incumbent ?gf b
   done;
   builder_finish b
 
 let table_truncations tables = tables.truncations
+let table_incumbent_floor tables = tables.incumbent_floor
+let table_approx_drops tables = tables.approx_drops
 
 (* ---- snapshot serialization ------------------------------------------- *)
 
@@ -305,6 +557,14 @@ let table_truncations tables = tables.truncations
    whole blob externally; this internal digest is the last line of
    defense, not a substitute for theirs. *)
 let encode_tables t =
+  (* Pruned or epsilon-compressed tables are deliberately not
+     snapshotable: a snapshot is replayed against arbitrary future
+     fractions (the floor's budget_min would not cover them) and the
+     blob format predates both modes.  The serve tier only ever encodes
+     unpruned pool builds, so this is an invariant check, not a
+     limitation anyone hits. *)
+  if t.incumbent_floor >= 0 || t.approx_drops > 0 then
+    invalid_arg "Rank_dp.encode_tables: pruned/approximate tables";
   let payload =
     Marshal.to_string (t.n, t.m, t.max_pareto, t.truncations, t.front) []
   in
@@ -330,7 +590,20 @@ let decode_tables problem blob =
             && Front.cells front = (m + 1) * (n + 1)
             && Front.width front = max 1 max_pareto
             && truncations >= 0
-          then Some { problem; front; n; m; max_pareto; truncations }
+          then
+            Some
+              {
+                problem;
+                front;
+                n;
+                m;
+                max_pareto;
+                truncations;
+                bounds = None;
+                incumbent_floor = -1;
+                floor_witness = None;
+                approx_drops = 0;
+              }
           else None
 
 (* Can the top c bunches all meet their targets in some complete
@@ -345,7 +618,7 @@ let decode_tables problem blob =
    areas only grow along a chain, so no over-budget prefix can lead to a
    within-budget witness). *)
 let feasible_witness ?memo ?gf tables c =
-  let { problem; front; n; m; _ } = tables in
+  let { problem; front; n; m; bounds; _ } = tables in
   let cap = P.capacity problem in
   let budget = P.budget problem in
   let wires_c = P.wires_before problem c in
@@ -367,6 +640,29 @@ let feasible_witness ?memo ?gf tables c =
           (GF.context ~top_pair_used ~wires_above_top ~reps_above_top
              ~wires_above_below:wires_c ~reps_above_below ~from_bunch:c
              ~top_pair ())
+  in
+  (* With a bound oracle installed (pruned builds), its O(pairs) screen
+     — the packer's own fast-fail, not a reimplementation — answers
+     certain-rejects before the memo or the packer run.  Each hit is an
+     oracle call saved; when a memo was installed it is also a query the
+     memo never saw, counted so the memo's hit-rate denominator stays
+     honest (Suffix_fit.note_preempted). *)
+  let bound_rejects ~top_pair_used ~wires_above_top ~reps_above_top
+      ~reps_above_below ~top_pair =
+    match bounds with
+    | None -> false
+    | Some bo ->
+        let r =
+          Bounds.suffix_reject bo
+            (GF.context ~top_pair_used ~wires_above_top ~reps_above_top
+               ~wires_above_below:wires_c ~reps_above_below ~from_bunch:c
+               ~top_pair ())
+        in
+        if r then begin
+          Bounds.note_saved ();
+          if memo <> None then Ir_assign.Suffix_fit.note_preempted ()
+        end;
+        r
   in
   let probes = ref 0 in
   let exception Found of witness in
@@ -398,6 +694,10 @@ let feasible_witness ?memo ?gf tables c =
                   in
                   if
                     used_j +. blocked_j <= cap
+                    && (not
+                          (bound_rejects ~top_pair_used:used_j
+                             ~wires_above_top:wires_i ~reps_above_top:count
+                             ~reps_above_below:(count + m_count) ~top_pair:j))
                     && suffix_fits ~top_pair_used:used_j
                          ~wires_above_top:wires_i ~reps_above_top:count
                          ~reps_above_below:(count + m_count) ~top_pair:j
@@ -479,15 +779,29 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) ?scratch
   let gf = s.gf in
   let problem = tables.problem in
   let n = tables.n in
-  let exact = tables.truncations = 0 in
+  let exact = tables.truncations = 0 && tables.approx_drops = 0 in
   let probes = ref 0 in
+  (* Pruned tables carry a pre-certified floor: boundaries at or below
+     it are known achievable (witness included), and states that could
+     only have certified those boundaries may be gone — so the search
+     starts from the floor and never probes at or below it.  Unpruned
+     tables have floor -1 and take the historical c = 0 probe. *)
+  let start =
+    match tables.floor_witness with
+    | Some w when tables.incumbent_floor >= 0 ->
+        Some (tables.incumbent_floor, w)
+    | _ -> (
+        match feasible_witness ?memo ~gf tables 0 with
+        | None -> None
+        | Some w0 -> Some (0, w0))
+  in
   let result =
-    match feasible_witness ?memo ~gf tables 0 with
+    match start with
     | None ->
         ( Outcome.unassignable ~exact ~total_wires:(P.total_wires problem) (),
           None )
-    | Some w0 ->
-        let best = ref 0 and best_w = ref w0 in
+    | Some (c0, w0) ->
+        let best = ref c0 and best_w = ref w0 in
         let try_c c =
           incr probes;
           match feasible_witness ?memo ~gf tables c with
@@ -500,8 +814,10 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) ?scratch
         (* Invariant threaded through every strategy below: [!best] is a
            boundary that produced a witness (feasible unconditionally),
            [hi] when < n + 1 was probed infeasible.  Monotonicity (proof
-           above) makes the final [best] also maximal. *)
-        let lo = ref 0 and hi = ref (n + 1) in
+           above) makes the final [best] also maximal.  [lo] starts at
+           the certified floor [c0] (0 for unpruned tables), and no
+           strategy probes at or below it. *)
+        let lo = ref c0 and hi = ref (n + 1) in
         let bisect () =
           while !hi - !lo > 1 do
             let mid = !lo + ((!hi - !lo) / 2) in
@@ -568,20 +884,21 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) ?scratch
         in
         if exhaustive then begin
           let c = ref n in
-          while !c > 0 && not (try_c !c) do
+          while !c > c0 && not (try_c !c) do
             decr c
           done
         end
         else begin
           (match hint with
-          | Some h when n > 0 ->
+          | Some h when n > c0 ->
               (* Warm start: bracket the boundary by galloping away from
                  the hint.  Any hint value is sound — the bracket is
                  established by probes, the hint only chooses where they
                  land — so stale or out-of-range hints cost extra probes,
-                 never a wrong rank. *)
+                 never a wrong rank.  Clamped above the floor: probes
+                 at or below [c0] are answered by its certificate. *)
               Ir_obs.incr stat_hinted;
-              let h = min (max h 1) n in
+              let h = min (max h (c0 + 1)) n in
               if try_c h then begin
                 lo := h;
                 let step = ref 1 in
@@ -600,8 +917,8 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) ?scratch
                 hi := h;
                 let step = ref 1 in
                 (try
-                   while !hi > 1 do
-                     let c = max 1 (!hi - !step) in
+                   while !hi > c0 + 1 do
+                     let c = max (c0 + 1) (!hi - !step) in
                      if try_c c then begin
                        lo := c;
                        raise Break
@@ -613,8 +930,9 @@ let search_tables ?(exhaustive = false) ?memo ?hint ?(probe_fan = 1) ?scratch
               end
           | _ ->
               (* Cold: probe [n] first (the historical path — also what
-                 the [cold_probe_cost] baseline models). *)
-              if try_c n then lo := n else hi := n);
+                 the [cold_probe_cost] baseline models).  A floor of [n]
+                 needs no probe at all. *)
+              if c0 < n then if try_c n then lo := n else hi := n);
           if !hi - !lo > 1 then
             if probe_fan > 1 then fan_rounds () else bisect ();
           if hint <> None then
@@ -648,37 +966,46 @@ let default_widen_cap = 128
    attempt in one batched pass — can resume the ladder from its tables and
    retry through the {e same} code: [build_widened problem] and
    [widen_tables (build_tables problem)] take identical rung sequences. *)
-let rec widen_attempt ~widen_on_overflow ~widen_cap ?scratch problem mp
-    prev_truncations =
+let rec widen_attempt ~widen_on_overflow ~widen_cap ?epsilon ?prune ?scratch
+    problem mp prev_truncations =
   (* Each widened retry recycles the abandoned attempt's store through
      the scratch — the doubled width usually forces a fresh allocation
-     anyway, but the arena capacity carries over. *)
-  let tables = build_tables ~max_pareto:mp ?scratch problem in
-  widen_continue ~widen_on_overflow ~widen_cap ?scratch tables
-    prev_truncations
+     anyway, but the arena capacity carries over.  A retry keeps the
+     prune context: the incumbent only grows, so a later rung prunes at
+     least as hard (and stays sound for the same reason the first rung
+     was). *)
+  let tables = build_tables ~max_pareto:mp ?epsilon ?prune ?scratch problem in
+  widen_continue ~widen_on_overflow ~widen_cap ?epsilon ?prune ?scratch
+    tables prev_truncations
 
-and widen_continue ~widen_on_overflow ~widen_cap ?scratch tables
-    prev_truncations =
+and widen_continue ~widen_on_overflow ~widen_cap ?epsilon ?prune ?scratch
+    tables prev_truncations =
   let t = tables.truncations in
   let mp = tables.max_pareto in
   let converging =
     match prev_truncations with None -> true | Some p -> 2 * t <= p
   in
+  (* Gated on truncations only: epsilon drops are deliberate lossiness —
+     a wider front would not bring those states back, so they must never
+     drive the ladder. *)
   if t > 0 && widen_on_overflow && mp < widen_cap && converging then begin
     Ir_obs.incr stat_widen_retries;
-    widen_attempt ~widen_on_overflow ~widen_cap ?scratch tables.problem
-      (min widen_cap (2 * mp)) (Some t)
+    widen_attempt ~widen_on_overflow ~widen_cap ?epsilon ?prune ?scratch
+      tables.problem
+      (min widen_cap (2 * mp))
+      (Some t)
   end
   else tables
 
 let build_widened ?(max_pareto = 8) ?(widen_on_overflow = true)
-    ?(widen_cap = default_widen_cap) ?scratch problem =
-  widen_attempt ~widen_on_overflow ~widen_cap ?scratch problem
-    (max 1 max_pareto) None
+    ?(widen_cap = default_widen_cap) ?epsilon ?prune ?scratch problem =
+  widen_attempt ~widen_on_overflow ~widen_cap ?epsilon ?prune ?scratch
+    problem (max 1 max_pareto) None
 
 let widen_tables ?(widen_on_overflow = true) ?(widen_cap = default_widen_cap)
-    ?scratch tables =
-  widen_continue ~widen_on_overflow ~widen_cap ?scratch tables None
+    ?epsilon ?prune ?scratch tables =
+  widen_continue ~widen_on_overflow ~widen_cap ?epsilon ?prune ?scratch
+    tables None
 
 let unfittable ?gf problem =
   (* Definition 3: if the WLD does not even fit ignoring delay, the rank
@@ -687,20 +1014,21 @@ let unfittable ?gf problem =
   not (GF.fits ?scratch:gf problem (GF.context ~from_bunch:0 ~top_pair:0 ()))
 
 let search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
-    ?probe_fan ?scratch problem =
+    ?probe_fan ?epsilon ?(prune = false) ?scratch problem =
   with_scratch ?scratch @@ fun s ->
   if unfittable ~gf:s.gf problem then
     (Outcome.unassignable ~total_wires:(P.total_wires problem) (), None)
   else
+    let pr = if prune then Some (prune_for ~gf:s.gf problem) else None in
     search_tables ?exhaustive ?hint ?probe_fan ~scratch:s
-      (build_widened ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
-         problem)
+      (build_widened ?max_pareto ?widen_on_overflow ?widen_cap ?epsilon
+         ?prune:pr ~scratch:s problem)
 
 let compute ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
-    ?probe_fan ?scratch problem =
+    ?probe_fan ?epsilon ?prune ?scratch problem =
   fst
     (search ?max_pareto ?widen_on_overflow ?widen_cap ?exhaustive ?hint
-       ?probe_fan ?scratch problem)
+       ?probe_fan ?epsilon ?prune ?scratch problem)
 
 let compute_with_witness ?max_pareto ?widen_on_overflow problem =
   search ?max_pareto ?widen_on_overflow problem
@@ -764,8 +1092,8 @@ let answer_budgets ~s ?max_pareto ?widen_on_overflow ?widen_cap ?memo ?hint
           (P.with_repeater_fraction problem f))
       fractions
 
-let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap ?scratch problem
-    fractions =
+let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap ?epsilon
+    ?(prune = false) ?scratch problem fractions =
   with_scratch ?scratch @@ fun s ->
   match fractions with
   | [] -> []
@@ -776,9 +1104,25 @@ let search_budgets ?max_pareto ?widen_on_overflow ?widen_cap ?scratch problem
         fractions
   | _ ->
       let f_max = List.fold_left Float.max neg_infinity fractions in
+      let build_problem = P.with_repeater_fraction problem f_max in
+      (* The shared build is pruned against the {e smallest} fraction's
+         budget on the achievable side (the floor must hold for every
+         fraction it answers — budget monotonicity lifts it upward) and
+         the largest on the optimistic side (the build's own budget),
+         which is what keeps the displacement argument above intact per
+         fraction. *)
+      let pr =
+        if prune then
+          let f_min = List.fold_left Float.min infinity fractions in
+          Some
+            (prune_for ~gf:s.gf
+               ~budget_min:(P.budget (P.with_repeater_fraction problem f_min))
+               build_problem)
+        else None
+      in
       let shared =
-        build_widened ?max_pareto ?widen_on_overflow ?widen_cap ~scratch:s
-          (P.with_repeater_fraction problem f_max)
+        build_widened ?max_pareto ?widen_on_overflow ?widen_cap ?epsilon
+          ?prune:pr ~scratch:s build_problem
       in
       answer_budgets ~s ?max_pareto ?widen_on_overflow ?widen_cap ~shared
         problem fractions

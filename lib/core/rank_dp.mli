@@ -80,12 +80,51 @@ type scratch
 val create_scratch : unit -> scratch
 (** A fresh private scratch, independent of any domain's. *)
 
-val build_tables : ?max_pareto:int -> ?scratch:scratch -> Ir_assign.Problem.t -> tables
+type prune
+(** One pruning context: the admissible bound oracle ({!Bounds}), the
+    shared incumbent cell ({!Ir_exec.Incumbent}), the smallest budget
+    any query of the build will run under, and the witness certifying
+    the published incumbent.  Create one per (plane, budget family) with
+    {!prune_for}; hand the {e same} value to every build rung and the
+    wavefront barrier hook so the incumbent accumulates. *)
+
+val prune_for :
+  ?gf:Ir_assign.Scratch.t ->
+  ?budget_min:float ->
+  Ir_assign.Problem.t ->
+  prune
+(** Creates a pruning context for [problem] (built at the {e largest}
+    budget of its query family) and seeds the incumbent with one
+    {!Bounds.pessimistic_probe} at [budget_min] (default: [problem]'s
+    own budget).  [budget_min] must be the smallest budget the tables
+    will ever be queried at — the probe's witness must hold there;
+    budget monotonicity lifts it to every larger fraction.  Sequential
+    code only (it publishes). *)
+
+val build_tables :
+  ?max_pareto:int ->
+  ?epsilon:float ->
+  ?prune:prune ->
+  ?scratch:scratch ->
+  Ir_assign.Problem.t ->
+  tables
 (** Tabulates phase A (default [max_pareto = 8]).  Without [?scratch]
     the tables own freshly allocated storage and stay valid forever —
     required for holders like the serve warm pool.  With [?scratch] the
     build recycles the scratch's previous store: cheaper, but the result
-    is only valid until the next build through the same scratch. *)
+    is only valid until the next build through the same scratch.
+
+    [?prune] threads a pruning context through the build: states (and
+    candidate insertions) whose admissible optimistic bound cannot beat
+    the published incumbent are dropped before any Front insertion, and
+    the incumbent is advanced between levels ({!builder_advance_incumbent}).
+    With the default [epsilon = 0.0] pruning is {e invisible} in results:
+    ranks, exact flags and payloads are byte-identical to an unpruned
+    build-and-search (QCheck-differential-tested); only the [bounds/*]
+    and work counters move.  [?epsilon > 0] additionally drops candidates
+    an existing state almost-dominates (area within a relative [epsilon]),
+    trading exactness ([exact = false] on any drop, reported via
+    {!table_approx_drops}) for a narrower front. *)
 
 (** {2 Incremental level-stepped build}
 
@@ -102,11 +141,20 @@ type builder
     be externally ordered — but distinct builders may step concurrently
     on different domains (each touches only its own state). *)
 
-val builder : ?max_pareto:int -> ?scratch:scratch -> Ir_assign.Problem.t -> builder
+val builder :
+  ?max_pareto:int ->
+  ?epsilon:float ->
+  ?prune:prune ->
+  ?scratch:scratch ->
+  Ir_assign.Problem.t ->
+  builder
 (** Allocates the front store and seeds the root cell.  [?scratch] has
     the {!build_tables} contract (recycled store, result transient).
     Builders handed to other domains must not use a scratch — the arena
-    buffer inside is the owning domain's. *)
+    buffer inside is the owning domain's.  [?epsilon]/[?prune] are as in
+    {!build_tables}; each {!builder_step} re-reads the published
+    incumbent once at entry, so all builders stepped between two
+    barriers prune against the same value regardless of scheduling. *)
 
 val builder_levels : builder -> int
 (** Total number of boundary-pair levels ([Problem.n_pairs]). *)
@@ -121,6 +169,18 @@ val builder_step : builder -> bool
     remain, [false] once the build is complete (further calls are
     no-ops returning [false]). *)
 
+val builder_advance_incumbent : ?gf:Ir_assign.Scratch.t -> builder -> unit
+(** Sequential-barrier hook for pruned builds (no-op otherwise): takes
+    the deepest state of the last completed level, greedy-chain-extends
+    it across the remaining pairs ({!Ir_core.Bounds.chain_probe} — the
+    DP's own expansion screens, then usually one packer call) and, if
+    the certified boundary beats the incumbent (within the context's
+    [budget_min]), offers and {e publishes} it.  An optimistic-bound
+    pre-check skips states whose relaxation cannot beat the incumbent.
+    Call between levels from sequential code only — the wavefront
+    driver calls it at its per-level barrier, {!build_tables} between
+    its own steps — never from inside a [parallel_map] body. *)
+
 val builder_finish : builder -> tables
 (** Seals the build: flushes the per-build tallies to the [rank_dp/*]
     counters (exactly once — call once per builder, from one domain) and
@@ -133,6 +193,22 @@ val table_truncations : tables -> int
     complete and any search over these tables is exact; positive means
     outcomes derived from them carry [exact = false] (a lower bound). *)
 
+val table_incumbent_floor : tables -> int
+(** Largest boundary proven achievable during a pruned build ([-1] for
+    unpruned tables).  Searches over these tables start from the floor
+    and never probe at or below it: states that could only have
+    certified smaller boundaries may have been pruned away, but the
+    floor's own witness travels with the tables.  The floor is only
+    valid for budgets at or above the [budget_min] the pruning context
+    was created with — {!Rank_grid} rebuilds a plane rather than query a
+    pruned one below that fraction. *)
+
+val table_approx_drops : tables -> int
+(** Candidates dropped by ε-dominance compression ([epsilon > 0]
+    builds); [0] for exact builds.  Like truncations this forfeits the
+    [exact] claim, but it never drives the widening ladder — a wider
+    front would not restore deliberately dropped states. *)
+
 val encode_tables : tables -> string
 (** Serializes the phase-A tables (everything except the problem) into a
     binary blob for {!decode_tables} — the serve tier's warm-table
@@ -140,7 +216,12 @@ val encode_tables : tables -> string
     16-byte MD5; {!decode_tables} verifies the digest before unmarshaling,
     so truncated or bit-flipped blobs return [None] instead of crashing.
     Stores should still layer their own framing checks (the snapshot
-    store checksums the whole blob externally). *)
+    store checksums the whole blob externally).
+
+    Raises [Invalid_argument] on pruned or ε-compressed tables: a
+    snapshot is replayed against arbitrary future fractions, which a
+    pruning floor's [budget_min] would not cover.  The serve tier only
+    snapshots unpruned pool builds. *)
 
 val decode_tables : Ir_assign.Problem.t -> string -> tables option
 (** Rebinds a blob from {!encode_tables} to [problem] (the caller
@@ -194,6 +275,8 @@ val build_tables_widened :
   ?max_pareto:int ->
   ?widen_on_overflow:bool ->
   ?widen_cap:int ->
+  ?epsilon:float ->
+  ?prune:prune ->
   ?scratch:scratch ->
   Ir_assign.Problem.t ->
   tables
@@ -206,12 +289,20 @@ val build_tables_widened :
     {!table_truncations} on the result before relying on exactness. *)
 
 val widen_tables :
-  ?widen_on_overflow:bool -> ?widen_cap:int -> ?scratch:scratch -> tables ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?epsilon:float ->
+  ?prune:prune ->
+  ?scratch:scratch ->
+  tables ->
   tables
 (** Continues the {!build_tables_widened} ladder from an already-built
     first rung: returns the tables unchanged when truncation-free (or
     widening is off / capped), else rebuilds at doubled [max_pareto]
-    under the ladder's convergence gate.  [widen_tables (build_tables p)]
+    under the ladder's convergence gate.  Rebuilds of a pruned first
+    rung keep pruning only if the {e same} [?prune] context is passed
+    back in (the wavefront driver does); ε-drops never trigger the
+    ladder.  [widen_tables (build_tables p)]
     takes exactly the rung sequence of [build_tables_widened p] — this is
     how the grid wavefront (which batch-builds every plane's first rung)
     re-joins the per-point widening policy. *)
@@ -275,6 +366,8 @@ val search_budgets :
   ?max_pareto:int ->
   ?widen_on_overflow:bool ->
   ?widen_cap:int ->
+  ?epsilon:float ->
+  ?prune:bool ->
   ?scratch:scratch ->
   Ir_assign.Problem.t ->
   float list ->
@@ -296,7 +389,15 @@ val search_budgets :
     across the fractions (the greedy-fill verdict ignores the budget, so
     repeated probe contexts answer as cache hits) and warm-starts each
     fraction's search with the previous fraction's boundary — pure probe
-    savings, same outcomes. *)
+    savings, same outcomes.
+
+    [~prune:true] builds the shared tables under a pruning context whose
+    achievable floor is probed at the {e smallest} fraction (so it holds
+    for every fraction answered — budget monotonicity) while optimistic
+    bounds use the build's own largest-fraction budget (preserving the
+    displacement argument).  With [epsilon = 0] the outcomes are
+    byte-identical to the unpruned path.  [~epsilon] as in
+    {!build_tables}. *)
 
 val compute :
   ?max_pareto:int ->
@@ -305,10 +406,16 @@ val compute :
   ?exhaustive:bool ->
   ?hint:int ->
   ?probe_fan:int ->
+  ?epsilon:float ->
+  ?prune:bool ->
   ?scratch:scratch ->
   Ir_assign.Problem.t ->
   Outcome.t
-(** [compute problem] returns the optimal rank.  [hint]/[probe_fan] are
+(** [compute problem] returns the optimal rank.  [~prune:true] runs the
+    build through the admissible-bound pruning layer ({!Bounds}) — with
+    the default [epsilon = 0.0] the outcome is byte-identical, only
+    cheaper; [epsilon > 0] additionally enables lossy ε-dominance
+    compression ([exact = false] on any drop).  [hint]/[probe_fan] are
     forwarded to {!search_tables} (same results, different probe
     schedule).  [max_pareto] bounds the
     per-state Pareto set (default 8; larger is slower and only matters on

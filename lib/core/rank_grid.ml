@@ -60,6 +60,12 @@ type plane = {
   pl_clock : float option;
   pl_problem : P.t;  (* at the base fraction; rebound per query *)
   mutable pl_f_max : float;
+  (* Smallest fraction the plane's pruning floor was certified at: a
+     pruned build's tables only answer budgets >= this fraction's (the
+     floor witness is only proven achievable there — budget
+     monotonicity covers everything above).  Unpruned planes keep it at
+     the smallest fraction seen, but nothing reads it then. *)
+  mutable pl_f_min : float;
   mutable pl_tables : Rank_dp.tables;
   mutable pl_points : int list;  (* grid cell indices, oldest first *)
 }
@@ -71,6 +77,7 @@ type t = {
   g_widen_on_overflow : bool option;
   g_widen_cap : int option;
   g_jobs : int option;
+  g_prune : bool;
   mutable g_points : point array;  (* canonicalized; index = grid cell *)
   mutable g_outcomes : Outcome.t array;  (* index = grid cell *)
   mutable g_planes : plane list;  (* oldest first *)
@@ -143,23 +150,37 @@ let point_fraction g pt =
    from level to level, and a scratch arena belongs to one domain.
    Finishing (counter flush) and the widening-ladder continuation run
    sequentially afterwards, so every [Ir_obs] tally is deterministic. *)
-let wavefront ?jobs ?max_pareto ?widen_on_overflow ?widen_cap problems =
+let wavefront ?jobs ?max_pareto ?widen_on_overflow ?widen_cap ?prunes
+    problems =
   Ir_obs.time span_wavefront @@ fun () ->
-  let builders = Array.map (fun p -> Rank_dp.builder ?max_pareto p) problems in
+  let prune_of i =
+    match prunes with None -> None | Some a -> a.(i)
+  in
+  let builders =
+    Array.mapi
+      (fun i p -> Rank_dp.builder ?max_pareto ?prune:(prune_of i) p)
+      problems
+  in
   let active = ref (Array.to_list builders) in
   while !active <> [] do
     let batch = Array.of_list !active in
     let more = Ir_exec.parallel_map ?jobs Rank_dp.builder_step batch in
     Ir_obs.incr stat_levels;
+    (* Sequential barrier: raise and {e publish} each plane's incumbent
+       from the level just built, in the deterministic batch order —
+       the only place the cells move, which is what keeps the bounds/*
+       tallies identical across jobs settings (a no-op for unpruned
+       builders).  The next level's thresholds then see the new floors. *)
+    Array.iter Rank_dp.builder_advance_incumbent batch;
     let still = ref [] in
     for i = Array.length batch - 1 downto 0 do
       if more.(i) then still := batch.(i) :: !still
     done;
     active := !still
   done;
-  Array.map
-    (fun b ->
-      Rank_dp.widen_tables ?widen_on_overflow ?widen_cap
+  Array.mapi
+    (fun i b ->
+      Rank_dp.widen_tables ?widen_on_overflow ?widen_cap ?prune:(prune_of i)
         (Rank_dp.builder_finish b))
     builders
 
@@ -207,6 +228,7 @@ type group = {
   gr_pt : point;
   gr_problem : P.t;
   mutable gr_f_max : float;
+  mutable gr_f_min : float;
   mutable gr_points : int list;  (* reversed during grouping *)
 }
 
@@ -225,6 +247,7 @@ let group_points g points =
       with
       | Some gr ->
           gr.gr_f_max <- Float.max gr.gr_f_max f;
+          gr.gr_f_min <- Float.min gr.gr_f_min f;
           gr.gr_points <- idx :: gr.gr_points;
           Ir_obs.incr stat_shared
       | None ->
@@ -233,13 +256,27 @@ let group_points g points =
               gr_pt = pt;
               gr_problem = plane_problem g.g_base pt;
               gr_f_max = f;
+              gr_f_min = f;
               gr_points = [ idx ];
             }
             :: !groups)
     points;
   List.rev !groups
 
-let evaluate ?max_pareto ?widen_on_overflow ?widen_cap ?jobs base points =
+(* A plane's pruning context: bounds and thresholds live at the build
+   problem (the plane's f_max budget — preserving the displacement
+   argument that lets one build answer every fraction), while the
+   incumbent floor is probed at the {e smallest} fraction any of the
+   plane's points asks for, so its witness holds for every query (budget
+   monotonicity).  Sequential: prune_for publishes. *)
+let plane_prune gr build_problem =
+  Rank_dp.prune_for
+    ~budget_min:
+      (P.budget (P.with_repeater_fraction gr.gr_problem gr.gr_f_min))
+    build_problem
+
+let evaluate ?max_pareto ?widen_on_overflow ?widen_cap ?jobs ?(prune = false)
+    base points =
   let points = Array.map (canonical base) points in
   let n = Array.length points in
   let g =
@@ -250,6 +287,7 @@ let evaluate ?max_pareto ?widen_on_overflow ?widen_cap ?jobs base points =
       g_widen_on_overflow = widen_on_overflow;
       g_widen_cap = widen_cap;
       g_jobs = jobs;
+      g_prune = prune;
       g_points = points;
       g_outcomes =
         Array.make (max 1 n)
@@ -261,12 +299,24 @@ let evaluate ?max_pareto ?widen_on_overflow ?widen_cap ?jobs base points =
   in
   let groups = group_points g points in
   (* One wavefront over every plane, at each plane's own f_max. *)
+  let build_problems =
+    Array.of_list
+      (List.map
+         (fun gr -> P.with_repeater_fraction gr.gr_problem gr.gr_f_max)
+         groups)
+  in
+  let prunes =
+    if not prune then None
+    else
+      Some
+        (Array.of_list
+           (List.mapi
+              (fun i gr -> Some (plane_prune gr build_problems.(i)))
+              groups))
+  in
   let shared =
-    wavefront ?jobs ?max_pareto ?widen_on_overflow ?widen_cap
-      (Array.of_list
-         (List.map
-            (fun gr -> P.with_repeater_fraction gr.gr_problem gr.gr_f_max)
-            groups))
+    wavefront ?jobs ?max_pareto ?widen_on_overflow ?widen_cap ?prunes
+      build_problems
   in
   g.g_planes <-
     List.mapi
@@ -276,6 +326,7 @@ let evaluate ?max_pareto ?widen_on_overflow ?widen_cap ?jobs base points =
           pl_clock = gr.gr_pt.clock;
           pl_problem = gr.gr_problem;
           pl_f_max = gr.gr_f_max;
+          pl_f_min = gr.gr_f_min;
           pl_tables = shared.(i);
           pl_points = List.rev gr.gr_points;
         })
@@ -304,7 +355,10 @@ let perturb g pt =
   let changed =
     match List.find_opt (fun pl -> plane_key_equal pl pt) g.g_planes with
     | Some pl
-      when f <= pl.pl_f_max && Rank_dp.table_truncations pl.pl_tables = 0 ->
+      when f <= pl.pl_f_max
+           && Rank_dp.table_truncations pl.pl_tables = 0
+           && (Rank_dp.table_incumbent_floor pl.pl_tables < 0
+              || f >= pl.pl_f_min) ->
         (* Resident plane already covers this budget: one phase-B search
            against the resident tables, nothing rebuilt. *)
         Ir_obs.incr stat_shared;
@@ -321,18 +375,36 @@ let perturb g pt =
         pl.pl_points <- pl.pl_points @ [ idx ];
         [| idx |]
     | Some pl ->
-        (* Budget grew past the resident build (or the plane is
-           truncated): rebuild this plane's slice at the new f_max and
-           re-answer {e its} points only — every other plane's cells are
-           untouched. *)
+        (* Budget grew past the resident build, the plane is truncated,
+           or a pruned plane is asked below its certified floor
+           fraction: rebuild this plane's slice over the widened
+           fraction range and re-answer {e its} points only — every
+           other plane's cells are untouched. *)
         pl.pl_f_max <- Float.max pl.pl_f_max f;
+        pl.pl_f_min <- Float.min pl.pl_f_min f;
         pl.pl_points <- pl.pl_points @ [ idx ];
         Ir_obs.incr stat_shared;
+        let build_problem =
+          P.with_repeater_fraction pl.pl_problem pl.pl_f_max
+        in
+        let prunes =
+          if not g.g_prune then None
+          else
+            Some
+              [|
+                Some
+                  (Rank_dp.prune_for
+                     ~budget_min:
+                       (P.budget
+                          (P.with_repeater_fraction pl.pl_problem
+                             pl.pl_f_min))
+                     build_problem);
+              |]
+        in
         let shared =
           wavefront ?jobs:g.g_jobs ?max_pareto:g.g_max_pareto
             ?widen_on_overflow:g.g_widen_on_overflow
-            ?widen_cap:g.g_widen_cap
-            [| P.with_repeater_fraction pl.pl_problem pl.pl_f_max |]
+            ?widen_cap:g.g_widen_cap ?prunes [| build_problem |]
         in
         pl.pl_tables <- shared.(0);
         answer_plane g pl;
@@ -340,11 +412,15 @@ let perturb g pt =
     | None ->
         (* New (materials, clock) value: one new plane, built alone. *)
         let problem = plane_problem g.g_base pt in
+        let build_problem = P.with_repeater_fraction problem f in
+        let prunes =
+          if not g.g_prune then None
+          else Some [| Some (Rank_dp.prune_for build_problem) |]
+        in
         let shared =
           wavefront ?jobs:g.g_jobs ?max_pareto:g.g_max_pareto
             ?widen_on_overflow:g.g_widen_on_overflow
-            ?widen_cap:g.g_widen_cap
-            [| P.with_repeater_fraction problem f |]
+            ?widen_cap:g.g_widen_cap ?prunes [| build_problem |]
         in
         let pl =
           {
@@ -352,6 +428,7 @@ let perturb g pt =
             pl_clock = pt.clock;
             pl_problem = problem;
             pl_f_max = f;
+            pl_f_min = f;
             pl_tables = shared.(0);
             pl_points = [ idx ];
           }
@@ -379,6 +456,7 @@ let resident ?max_pareto ?widen_on_overflow ?widen_cap ?jobs base =
     g_widen_on_overflow = widen_on_overflow;
     g_widen_cap = widen_cap;
     g_jobs = jobs;
+    g_prune = false;
     g_points = [||];
     g_outcomes = [||];
     g_planes = [];
@@ -395,11 +473,14 @@ let plane_tables g pt = Option.map (fun pl -> pl.pl_tables) (find_plane g pt)
 let adopt g pt tables =
   if Rank_dp.table_truncations tables <> 0 then
     invalid_arg "Rank_grid.adopt: truncated tables";
+  if Rank_dp.table_incumbent_floor tables >= 0 then
+    invalid_arg "Rank_grid.adopt: pruned tables";
   let pt = canonical g.g_base pt in
   match List.find_opt (fun pl -> plane_key_equal pl pt) g.g_planes with
   | Some pl ->
       pl.pl_tables <- tables;
-      pl.pl_f_max <- g.g_base_fraction
+      pl.pl_f_max <- g.g_base_fraction;
+      pl.pl_f_min <- g.g_base_fraction
   | None ->
       g.g_planes <-
         g.g_planes
@@ -409,6 +490,7 @@ let adopt g pt tables =
               pl_clock = pt.clock;
               pl_problem = plane_problem g.g_base pt;
               pl_f_max = g.g_base_fraction;
+              pl_f_min = g.g_base_fraction;
               pl_tables = tables;
               pl_points = [];
             };
@@ -419,7 +501,10 @@ let query g pt =
   let f = point_fraction g pt in
   match List.find_opt (fun pl -> plane_key_equal pl pt) g.g_planes with
   | Some pl
-    when f <= pl.pl_f_max && Rank_dp.table_truncations pl.pl_tables = 0 ->
+    when f <= pl.pl_f_max
+         && Rank_dp.table_truncations pl.pl_tables = 0
+         && (Rank_dp.table_incumbent_floor pl.pl_tables < 0
+            || f >= pl.pl_f_min) ->
       let outcomes =
         Rank_dp.search_budgets_tables ?max_pareto:g.g_max_pareto
           ?widen_on_overflow:g.g_widen_on_overflow ?widen_cap:g.g_widen_cap
@@ -441,9 +526,16 @@ let query g pt =
    sequential hint chain.  Identity with per-point [Rank_dp.search] is by
    [search_with_tables] running the same screen/ladder/search code. *)
 let eval_batch ?max_pareto ?widen_on_overflow ?widen_cap ?jobs ?hint
-    ?probe_fan problems =
+    ?probe_fan ?(prune = false) problems =
+  let prunes =
+    (* Heterogeneous cells each query at their own build budget, so the
+       default budget_min (the problem's own) is exactly right. *)
+    if not prune then None
+    else Some (Array.map (fun p -> Some (Rank_dp.prune_for p)) problems)
+  in
   let shared =
-    wavefront ?jobs ?max_pareto ?widen_on_overflow ?widen_cap problems
+    wavefront ?jobs ?max_pareto ?widen_on_overflow ?widen_cap ?prunes
+      problems
   in
   Ir_obs.add stat_cells (Array.length problems);
   let hint = ref hint in

@@ -50,13 +50,23 @@ val evaluate :
   ?widen_on_overflow:bool ->
   ?widen_cap:int ->
   ?jobs:int ->
+  ?prune:bool ->
   Ir_assign.Problem.t ->
   point array ->
   t
 (** [evaluate base points] runs the batched wavefront and answers every
     point.  Options are {!Rank_dp.compute}'s widening policy plus the
     pool size; outcomes are independent of [jobs] (asserted by the bench
-    counter-identity table). *)
+    counter-identity table).
+
+    [~prune:true] (default false) runs every plane's build through the
+    admissible-bound pruning layer: each plane gets one incumbent cell
+    seeded at its points' {e smallest} fraction, raised and published at
+    the wavefront's per-level sequential barrier, with thresholds at the
+    build's own largest-fraction budget.  Outcomes are byte-identical to
+    the unpruned grid ([epsilon] never enters the grid path); only the
+    work and [bounds/*] counters move, and they remain jobs-invariant
+    because the incumbent is only published at barriers. *)
 
 val results : t -> Outcome.t array
 (** Per-point outcomes, in [points] order (a copy). *)
@@ -78,9 +88,10 @@ val perturb : t -> point -> int array
     the call):
     - plane resident, fraction within its build, truncation-free: one
       phase-B search, [[| new |]] — no phase-A work;
-    - fraction above the resident build (or plane truncated): that
-      plane's slice is rebuilt at the new maximum and all {e its} cells
-      re-answered (values are preserved by the displacement argument;
+    - fraction above the resident build, plane truncated, or a pruned
+      plane queried below the fraction its incumbent floor was certified
+      at: that plane's slice is rebuilt over the widened fraction range
+      and all {e its} cells re-answered (values are preserved by the displacement argument;
       they are still reported as recomputed);
     - new (materials, clock) value: one new plane built alone,
       [[| new |]].
@@ -119,8 +130,10 @@ val adopt : t -> point -> Rank_dp.tables -> unit
     tables as the resident plane for [pt]'s (materials, clock) key,
     replacing any current tables.  The tables must be truncation-free
     and built at [g]'s base repeater fraction ({!resident}'s contract —
-    the serve tier only ever snapshots such planes).
-    @raise Invalid_argument if the tables are truncated. *)
+    the serve tier only ever snapshots such planes, and never pruned
+    ones — a pruning floor is only valid down to the fraction range it
+    was built for, which an adopted plane cannot know).
+    @raise Invalid_argument if the tables are truncated or pruned. *)
 
 val query : t -> point -> Outcome.t option
 (** [query g pt] answers [pt] from resident planes only: [Some outcome]
@@ -138,6 +151,7 @@ val eval_batch :
   ?jobs:int ->
   ?hint:int ->
   ?probe_fan:int ->
+  ?prune:bool ->
   Ir_assign.Problem.t array ->
   Outcome.t array
 (** Heterogeneous batch (cross-node cells, optimizer candidates): each
@@ -145,4 +159,5 @@ val eval_batch :
     as one batched wavefront and phase B threads boundary hints down the
     batch.  Outcome [i] equals [Rank_dp.compute problems.(i)] (same
     code path via {!Rank_dp.search_with_tables}; [hint]/[probe_fan] are
-    probe-schedule-only). *)
+    probe-schedule-only).  [~prune:true] as in {!evaluate}, with each
+    cell's incumbent probed at its own budget. *)

@@ -12,6 +12,7 @@ type t = {
   bunch_size : int;
   structure : Ir_ia.Arch.structure;
   algo : algo;
+  epsilon : float;
   wld : Ir_wld.Dist.t option;
 }
 
@@ -25,7 +26,7 @@ let design q =
 let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 0.5e9)
     ?(repeater_fraction = 0.4) ?(k = 3.9) ?(miller = 2.0)
     ?(bunch_size = 10_000) ?(structure = Ir_ia.Arch.baseline_structure)
-    ?(algo = Dp) ?wld ~node ~gates () =
+    ?(algo = Dp) ?(epsilon = 0.0) ?wld ~node ~gates () =
   match Ir_tech.Node.of_string node with
   | None ->
       Error
@@ -47,10 +48,13 @@ let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 0.5e9)
           bunch_size;
           structure;
           algo;
+          epsilon;
           wld;
         }
       in
       if bunch_size <= 0 then Error "bunch_size must be positive"
+      else if not (Float.is_finite epsilon) || epsilon < 0.0 then
+        Error "epsilon must be a finite non-negative number"
       else
         (* Drive every remaining validation through the real constructors
            so the accepted query space is exactly what the pipeline can
@@ -80,7 +84,13 @@ let version_tag = "ia-rank/fingerprint/1"
 let fl = Printf.sprintf "%.17g"
 
 let canonical_fields q =
-  [
+  (* [epsilon] joined the canonical form after the fingerprint scheme
+     shipped: emitting it only when it changes the answer (non-zero)
+     keeps every pre-existing exact query's digest — and therefore the
+     whole disk cache — valid, while distinct ε values key distinct
+     cache entries. *)
+  (if q.epsilon <> 0.0 then [ ("epsilon", fl q.epsilon) ] else [])
+  @ [
     ("algo", algo_name q.algo);
     ("bunch_size", string_of_int q.bunch_size);
     ("clock_hz", fl q.clock);
@@ -174,4 +184,4 @@ let compute_cold q =
     | Dp -> Ir_core.Rank.Dp
     | Greedy -> Ir_core.Rank.Greedy
   in
-  Ir_core.Rank.compute ~algo (problem q)
+  Ir_core.Rank.compute ~algo ~epsilon:q.epsilon (problem q)

@@ -38,6 +38,10 @@ type t = private {
   bunch_size : int;
   structure : Ir_ia.Arch.structure;
   algo : algo;
+  epsilon : float;
+      (** ε-dominance compression for [Dp] ([0.] = exact, the default);
+          non-zero values forfeit the warm-table path and the [exact]
+          claim — the payload's [exact] field reports it honestly *)
   wld : Ir_wld.Dist.t option;
       (** explicit WLD in gate pitches; [None] generates the design's
           Davis WLD, exactly as {!Ir_core.Rank.problem_of_design} does *)
@@ -53,6 +57,7 @@ val v :
   ?bunch_size:int ->
   ?structure:Ir_ia.Arch.structure ->
   ?algo:algo ->
+  ?epsilon:float ->
   ?wld:Ir_wld.Dist.t ->
   node:string ->
   gates:int ->
@@ -65,7 +70,10 @@ val v :
     ({!Ir_tech.Design.v}, {!Ir_ia.Arch.make}, {!Ir_wld.Davis.params}), so
     anything they reject — bad node strings, out-of-range parameters, a
     structure the node's stack cannot host — comes back as [Error]
-    with the constructor's message, never as a crash in the server. *)
+    with the constructor's message, never as a crash in the server.
+    [epsilon] must be finite and non-negative; it enters the canonical
+    form (and thus every digest) only when non-zero, so exact queries
+    keep their historical fingerprints. *)
 
 val canonical : t -> string
 (** The canonical text form the digest is computed over (one sorted

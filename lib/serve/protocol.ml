@@ -12,11 +12,12 @@ type query = {
   bunch_size : int option;
   structure : (int * int * int) option;
   greedy : bool;
+  epsilon : float option;
   wld_csv : string option;
 }
 
 let query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller ?bunch_size
-    ?structure ?(greedy = false) ?wld_csv ~node ~gates () =
+    ?structure ?(greedy = false) ?epsilon ?wld_csv ~node ~gates () =
   {
     node;
     gates;
@@ -29,6 +30,7 @@ let query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller ?bunch_size
     bunch_size;
     structure;
     greedy;
+    epsilon;
     wld_csv;
   }
 
@@ -90,7 +92,7 @@ let fingerprint_of_query q =
   in
   Fingerprint.v ?rent_p:q.rent_p ?fan_out:q.fan_out ?clock:q.clock
     ?repeater_fraction:q.repeater_fraction ?k:q.k ?miller:q.miller
-    ?bunch_size:q.bunch_size ?structure ?wld
+    ?bunch_size:q.bunch_size ?structure ?epsilon:q.epsilon ?wld
     ~algo:(if q.greedy then Fingerprint.Greedy else Fingerprint.Dp)
     ~node:q.node ~gates:q.gates ()
 
@@ -126,6 +128,7 @@ let json_of_query q =
         (fun (l, s, g) -> Json.Arr [ Json.Int l; Json.Int s; Json.Int g ])
         q.structure
     @ (if q.greedy then [ ("greedy", Json.Bool true) ] else [])
+    @ opt "epsilon" (fun f -> Json.Float f) q.epsilon
     @ opt "wld_csv" (fun s -> Json.Str s) q.wld_csv)
 
 let encode_request { id; op } =
@@ -227,6 +230,7 @@ let query_of_json j =
     let* b = opt_field "greedy" Json.to_bool "a bool" j in
     Ok (Option.value b ~default:false)
   in
+  let* epsilon = opt_field "epsilon" Json.to_float "a number" j in
   let* wld_csv = opt_field "wld_csv" Json.to_str "a string" j in
   Ok
     {
@@ -241,6 +245,7 @@ let query_of_json j =
       bunch_size;
       structure;
       greedy;
+      epsilon;
       wld_csv;
     }
 

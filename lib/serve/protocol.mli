@@ -36,6 +36,9 @@ type query = {
   structure : (int * int * int) option;
       (** (local, semi-global, global) pair counts *)
   greedy : bool;  (** [true] selects {!Fingerprint.Greedy} *)
+  epsilon : float option;
+      (** ε-dominance compression (DP only); omitted or [0.] = exact —
+          see {!Fingerprint.t} *)
   wld_csv : string option;
       (** inline WLD as CSV text; parsed strictly ({!Ir_wld.Io.of_string}
           with [strict = true]) because it crosses a trust boundary *)
@@ -54,6 +57,7 @@ val query :
   ?bunch_size:int ->
   ?structure:int * int * int ->
   ?greedy:bool ->
+  ?epsilon:float ->
   ?wld_csv:string ->
   node:string ->
   gates:int ->

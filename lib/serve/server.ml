@@ -104,6 +104,9 @@ let compute_outcome t (fp : Fingerprint.t) =
   let warm () =
     match fp.algo with
     | Fingerprint.Greedy -> None
+    (* ε-compressed queries are deliberately inexact; the pool only
+       holds exact full-budget tables, so they always compute cold. *)
+    | Fingerprint.Dp when fp.epsilon <> 0.0 -> None
     | Fingerprint.Dp ->
         let entry = pool_entry t (Fingerprint.family_key fp) in
         Mutex.lock entry.entry_lock;

@@ -126,7 +126,7 @@ let assemble defs results =
    are built level-by-level across the whole grid), so each row reports
    the run's cost amortized evenly — the same convention budget groups
    already use. *)
-let run_grid ?jobs problem_of_materials defs =
+let run_grid ?jobs ?prune problem_of_materials defs =
   let cells =
     List.concat
       (List.mapi
@@ -160,7 +160,7 @@ let run_grid ?jobs problem_of_materials defs =
   let t0 = Ir_exec.now () in
   let grid =
     Ir_obs.time span_grid @@ fun () ->
-    Ir_core.Rank_grid.evaluate ?jobs base points
+    Ir_core.Rank_grid.evaluate ?jobs ?prune base points
   in
   let per =
     (Ir_exec.now () -. t0) /. float_of_int (max 1 (Array.length points))
@@ -176,7 +176,7 @@ let run_grid ?jobs problem_of_materials defs =
   in
   assemble defs [| results |]
 
-let run_defs ?jobs ?(engine = Grid) config defs =
+let run_defs ?jobs ?(engine = Grid) ?prune config defs =
   let wld = shared_wld config in
   (* Bunching depends only on the design (WLD + gate pitch), not on the
      materials, clock or budget a point varies — one bunching serves
@@ -195,7 +195,7 @@ let run_defs ?jobs ?(engine = Grid) config defs =
       ~bunches ()
   in
   match (engine, config.algo) with
-  | Grid, Ir_core.Rank.Dp -> run_grid ?jobs problem_of_materials defs
+  | Grid, Ir_core.Rank.Dp -> run_grid ?jobs ?prune problem_of_materials defs
   | (Grid | Per_point), _ ->
   (* The shared base instance for rescale/budget tasks is immutable after
      build, so they may all read it concurrently; build it eagerly rather
@@ -352,26 +352,27 @@ let r_def () =
     d_points = Budgets [ 0.1; 0.2; 0.3; 0.4; 0.5 ];
   }
 
-let one ?jobs ?engine config d = List.hd (run_defs ?jobs ?engine config [ d ])
+let one ?jobs ?engine ?prune config d =
+  List.hd (run_defs ?jobs ?engine ?prune config [ d ])
 
-let k_sweep ?jobs ?engine ?(config = default_config) () =
-  one ?jobs ?engine config (k_def ())
+let k_sweep ?jobs ?engine ?prune ?(config = default_config) () =
+  one ?jobs ?engine ?prune config (k_def ())
 
-let m_sweep ?jobs ?engine ?(config = default_config) () =
-  one ?jobs ?engine config (m_def ())
+let m_sweep ?jobs ?engine ?prune ?(config = default_config) () =
+  one ?jobs ?engine ?prune config (m_def ())
 
-let c_sweep ?jobs ?engine ?(config = default_config) () =
-  one ?jobs ?engine config (c_def ())
+let c_sweep ?jobs ?engine ?prune ?(config = default_config) () =
+  one ?jobs ?engine ?prune config (c_def ())
 
-let r_sweep ?jobs ?engine ?(config = default_config) () =
-  one ?jobs ?engine config (r_def ())
+let r_sweep ?jobs ?engine ?prune ?(config = default_config) () =
+  one ?jobs ?engine ?prune config (r_def ())
 
 (* The four columns fused into one pool run: with per-sweep runs the pool
    drains between columns (the tail of one sweep idles workers the next
    could use); fusing exposes every task — or, on the grid engine, every
    plane of one wavefront — at once. *)
-let all ?jobs ?engine ?(config = default_config) () =
-  run_defs ?jobs ?engine config [ k_def (); m_def (); c_def (); r_def () ]
+let all ?jobs ?engine ?prune ?(config = default_config) () =
+  run_defs ?jobs ?engine ?prune config [ k_def (); m_def (); c_def (); r_def () ]
 
 let normalized sweep =
   List.map

@@ -482,6 +482,32 @@ let test_max_take_rounding () =
     (GF.max_take ~cap:10.0 ~a_w:0.0 ~wire_area:0.5 ~via:0.5 ~v:2
        ~base_wires:0 ~reps:0 ~suffix_above:7 ~available:7)
 
+(* Counter-hygiene regression (the pruning PR's bugfix): the
+   verify-and-adjust loop used to bump [greedy_fill/take_adjustments]
+   even when the closed-form estimate was already exact and the
+   adjustment was zero — every call looked like an adjustment event and
+   the counter was pure noise.  Now only a non-zero correction counts. *)
+let test_max_take_adjustment_counter () =
+  let adjustments () =
+    Option.value ~default:0
+      (Ir_obs.find_counter (Ir_obs.snapshot ()) "greedy_fill/take_adjustments")
+  in
+  let take ~cap ~wire_area ~available =
+    GF.max_take ~cap ~a_w:0.0 ~wire_area ~via:0.0 ~v:0 ~base_wires:0 ~reps:0
+      ~suffix_above:available ~available
+  in
+  (* 8 /. 0.5 = 16.0 is exact in binary: the estimate is already the
+     answer and no adjustment event may be recorded. *)
+  let before = adjustments () in
+  Alcotest.(check int) "exact estimate" 16
+    (take ~cap:8.0 ~wire_area:0.5 ~available:40);
+  Alcotest.(check int) "zero adjustment not counted" before (adjustments ());
+  (* The frozen undercount literal from [test_max_take_rounding] really
+     does adjust — the counter must still see those. *)
+  Alcotest.(check int) "adjusting estimate" 6
+    (take ~cap:2.2439999999999998 ~wire_area:0.374 ~available:10);
+  Alcotest.(check bool) "real adjustment counted" true (adjustments () > before)
+
 (* The returned count must always be maximal-feasible w.r.t. the exact
    inequality: taking it satisfies capacity, taking one more violates it
    (or exhausts the bunch). *)
@@ -563,6 +589,8 @@ let () =
             test_greedy_fill_ordering;
           Alcotest.test_case "max_take float rounding" `Quick
             test_max_take_rounding;
+          Alcotest.test_case "max_take adjustment counter" `Quick
+            test_max_take_adjustment_counter;
           Alcotest.test_case "capacity fast-fail" `Quick
             test_greedy_fill_fast_fail;
           prop_greedy_fill_monotone_budget;

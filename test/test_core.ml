@@ -1052,6 +1052,196 @@ let prop_eval_batch_matches_compute =
         problems;
       true)
 
+(* ---- admissible-bound pruning ----------------------------------------- *)
+
+(* The ε=0 soundness contract: pruning is observationally invisible.
+   Every outcome field — rank, assignability, boundary, exact flag —
+   must be byte-identical to the unpruned path on arbitrary instances,
+   not just the Table-4 corpus the bench gates. *)
+let prop_pruned_compute_identical =
+  qtest ~count:150 "pruned compute = exact compute (epsilon 0)"
+    Helpers.gen_instance (fun { problem; label } ->
+      let exact = Ir_core.Rank_dp.compute problem in
+      let pruned = Ir_core.Rank_dp.compute ~prune:true problem in
+      if not (Ir_core.Outcome.equal exact pruned) then
+        QCheck2.Test.fail_reportf "%s: pruned=%d/%b/%b exact=%d/%b/%b" label
+          pruned.Ir_core.Outcome.rank_wires pruned.Ir_core.Outcome.assignable
+          pruned.Ir_core.Outcome.exact exact.Ir_core.Outcome.rank_wires
+          exact.Ir_core.Outcome.assignable exact.Ir_core.Outcome.exact
+      else true)
+
+let prop_pruned_budgets_identical =
+  qtest ~count:80 "pruned budget sweep = exact budget sweep (epsilon 0)"
+    gen_budget_instance (fun ({ problem; label }, fractions) ->
+      let exact = Ir_core.Rank_dp.search_budgets problem fractions in
+      let pruned =
+        Ir_core.Rank_dp.search_budgets ~prune:true problem fractions
+      in
+      List.iteri
+        (fun i (e, p) ->
+          if not (Ir_core.Outcome.equal e p) then
+            QCheck2.Test.fail_reportf
+              "%s: fraction #%d pruned=%d/%b/%b exact=%d/%b/%b" label i
+              p.Ir_core.Outcome.rank_wires p.Ir_core.Outcome.assignable
+              p.Ir_core.Outcome.exact e.Ir_core.Outcome.rank_wires
+              e.Ir_core.Outcome.assignable e.Ir_core.Outcome.exact)
+        (List.combine exact pruned);
+      true)
+
+(* The two frozen adversarial instances from the truncation work are the
+   hard cases for pruning too: one overflows the default front width (the
+   widening ladder engages), the other loses the optimum behind a width-1
+   truncation.  Pruning must change nothing on either. *)
+let test_pruned_adversarial_identity () =
+  List.iter
+    (fun (name, p) ->
+      let exact = Ir_core.Rank_dp.compute p in
+      let pruned = Ir_core.Rank_dp.compute ~prune:true p in
+      Alcotest.(check bool) (name ^ ": identical outcome") true
+        (Ir_core.Outcome.equal exact pruned))
+    [
+      ("overflowing", overflowing_problem ());
+      ("rank-changing", rank_changing_problem ());
+    ]
+
+(* Admissibility of the bound oracle itself: the optimistic boundary from
+   the root state can never undershoot the DP's true boundary, and the
+   greedy-chain pessimistic floor can never overshoot it. *)
+let prop_bounds_bracket_boundary =
+  qtest ~count:120 "optimistic/pessimistic bounds bracket the boundary"
+    Helpers.gen_instance (fun { problem; label } ->
+      let o = Ir_core.Rank_dp.compute problem in
+      let b = Ir_core.Bounds.create problem in
+      let budget = P.budget problem in
+      let opt =
+        Ir_core.Bounds.optimistic_boundary b ~budget ~area:0.0 ~from:0
+      in
+      let pess =
+        (Ir_core.Bounds.pessimistic_probe b ~budget).Ir_core.Bounds.pb_boundary
+      in
+      if o.Ir_core.Outcome.assignable && opt < o.Ir_core.Outcome.boundary_bunch
+      then
+        QCheck2.Test.fail_reportf "%s: optimistic %d < boundary %d" label opt
+          o.Ir_core.Outcome.boundary_bunch
+      else if
+        o.Ir_core.Outcome.assignable
+        && o.Ir_core.Outcome.exact
+        && pess > o.Ir_core.Outcome.boundary_bunch
+      then
+        QCheck2.Test.fail_reportf "%s: pessimistic %d > boundary %d" label
+          pess o.Ir_core.Outcome.boundary_bunch
+      else if pess > 0 && not (Ir_core.Rank_dp.feasible_boundary problem pess)
+      then
+        QCheck2.Test.fail_reportf "%s: pessimistic %d not achievable" label
+          pess
+      else true)
+
+(* ε > 0 is deliberately lossy: the compressed rank may only ever be a
+   lower bound, and any deviation must surrender the exact claim. *)
+let prop_epsilon_flagged_lower_bound =
+  qtest ~count:100 "epsilon-compressed rank is a flagged lower bound"
+    Helpers.gen_instance (fun { problem; label } ->
+      let exact = Ir_core.Rank_dp.compute problem in
+      let eps = Ir_core.Rank_dp.compute ~prune:true ~epsilon:0.5 problem in
+      if eps.Ir_core.Outcome.rank_wires > exact.Ir_core.Outcome.rank_wires
+      then
+        QCheck2.Test.fail_reportf "%s: epsilon rank %d beats exact %d" label
+          eps.Ir_core.Outcome.rank_wires exact.Ir_core.Outcome.rank_wires
+      else if
+        eps.Ir_core.Outcome.rank_wires < exact.Ir_core.Outcome.rank_wires
+        && eps.Ir_core.Outcome.exact
+      then
+        QCheck2.Test.fail_reportf
+          "%s: epsilon dropped rank %d -> %d but still claims exact" label
+          exact.Ir_core.Outcome.rank_wires eps.Ir_core.Outcome.rank_wires
+      else true)
+
+let test_epsilon_zero_is_exact_mode () =
+  (* epsilon = 0.0 must take the exact code path bit for bit: the inflated
+     cover check is never even evaluated (a *. (1. +. 0.) = a would make
+     it the plain dominance check anyway, but the guard keeps the hot
+     loop untouched).  Also: a negative epsilon is a caller bug. *)
+  let p = baseline_130nm_small () in
+  let a = Ir_core.Rank_dp.compute p in
+  let b = Ir_core.Rank_dp.compute ~epsilon:0.0 p in
+  Alcotest.(check bool) "epsilon 0 identical" true (Ir_core.Outcome.equal a b);
+  Alcotest.check_raises "negative epsilon rejected"
+    (Invalid_argument "Rank_dp.builder: epsilon < 0") (fun () ->
+      ignore (Ir_core.Rank_dp.compute ~epsilon:(-0.1) p))
+
+(* Pruned tables remember their incumbent floor and refuse snapshot
+   encoding — a snapshot replays against arbitrary budgets the floor's
+   witness was never certified for. *)
+let test_pruned_tables_not_encodable () =
+  let p = baseline_130nm_small () in
+  let exact_t = Ir_core.Rank_dp.build_tables p in
+  Alcotest.(check int) "unpruned floor is -1" (-1)
+    (Ir_core.Rank_dp.table_incumbent_floor exact_t);
+  Alcotest.(check bool) "unpruned tables encode" true
+    (String.length (Ir_core.Rank_dp.encode_tables exact_t) > 0);
+  let pr = Ir_core.Rank_dp.prune_for p in
+  let pruned_t = Ir_core.Rank_dp.build_tables ~prune:pr p in
+  if Ir_core.Rank_dp.table_incumbent_floor pruned_t >= 0 then
+    Alcotest.check_raises "pruned tables refuse encoding"
+      (Invalid_argument "Rank_dp.encode_tables: pruned/approximate tables") (fun () ->
+        ignore (Ir_core.Rank_dp.encode_tables pruned_t))
+
+(* The grid engine with pruning: identical outcomes to the unpruned grid,
+   and the bounds/* counters (structural — the incumbent is published
+   only at the wavefront's sequential barriers) invariant across worker
+   counts. *)
+let prop_grid_pruned_identical =
+  qtest ~count:40 "pruned grid = exact grid, bounds counters jobs-invariant"
+    gen_grid_instance (fun ({ problem; label }, raw) ->
+      let points = grid_points problem raw in
+      let exact = Ir_core.Rank_grid.evaluate problem points in
+      Ir_obs.reset ();
+      let p1 = Ir_core.Rank_grid.evaluate ~jobs:1 ~prune:true problem points in
+      let snap1 = (Ir_obs.snapshot ()).Ir_obs.counters in
+      Ir_obs.reset ();
+      let pn = Ir_core.Rank_grid.evaluate ~jobs:4 ~prune:true problem points in
+      let snapn = (Ir_obs.snapshot ()).Ir_obs.counters in
+      Ir_obs.reset ();
+      Array.iteri
+        (fun i _ ->
+          let e = Ir_core.Rank_grid.outcome exact i in
+          let a = Ir_core.Rank_grid.outcome p1 i in
+          let b = Ir_core.Rank_grid.outcome pn i in
+          if not (Ir_core.Outcome.equal e a && Ir_core.Outcome.equal e b) then
+            QCheck2.Test.fail_reportf "%s: cell #%d diverges under pruning"
+              label i)
+        points;
+      let bounds snap =
+        List.filter
+          (fun (name, _) ->
+            String.length name >= 7 && String.sub name 0 7 = "bounds/")
+          snap
+      in
+      if bounds snap1 <> bounds snapn then
+        QCheck2.Test.fail_reportf "%s: bounds/* counters depend on jobs" label
+      else true)
+
+let test_grid_pruned_floor_requery () =
+  (* A pruned plane asked below the fraction its floor was certified at
+     must rebuild (the floor witness only holds for budgets >= the build
+     family's smallest), and the answer must match a cold compute. *)
+  let p = baseline_130nm_small () in
+  let grid =
+    Ir_core.Rank_grid.evaluate ~prune:true p
+      [| Ir_core.Rank_grid.point ~fraction:0.4 () |]
+  in
+  let changed =
+    Ir_core.Rank_grid.perturb grid (Ir_core.Rank_grid.point ~fraction:0.05 ())
+  in
+  let idx = Ir_core.Rank_grid.cells grid - 1 in
+  Alcotest.(check bool) "perturb reports the new cell" true
+    (Array.mem idx changed);
+  let cold =
+    Ir_core.Rank_dp.compute (P.with_repeater_fraction p 0.05)
+  in
+  Alcotest.(check bool) "below-floor query matches cold compute" true
+    (Ir_core.Outcome.equal cold (Ir_core.Rank_grid.outcome grid idx))
+
 let test_grid_budgets_column () =
   (* Satellite: the grid's R column must be byte-identical to
      [search_budgets] (which itself matches per-point computes). *)
@@ -1215,6 +1405,16 @@ let () =
           prop_scratch_reuse_invisible;
           Alcotest.test_case "stepped builder = monolithic build" `Quick
             test_builder_matches_build;
+          prop_pruned_compute_identical;
+          prop_pruned_budgets_identical;
+          Alcotest.test_case "pruned adversarial identity" `Quick
+            test_pruned_adversarial_identity;
+          prop_bounds_bracket_boundary;
+          prop_epsilon_flagged_lower_bound;
+          Alcotest.test_case "epsilon zero is exact mode" `Quick
+            test_epsilon_zero_is_exact_mode;
+          Alcotest.test_case "pruned tables not encodable" `Quick
+            test_pruned_tables_not_encodable;
           Alcotest.test_case "builder finish guard" `Quick
             test_builder_finish_early;
           Alcotest.test_case "table codec fuzz" `Quick test_decode_fuzz;
@@ -1231,6 +1431,9 @@ let () =
             test_with_materials_equals_fresh;
           prop_grid_matches_per_point;
           prop_eval_batch_matches_compute;
+          prop_grid_pruned_identical;
+          Alcotest.test_case "pruned plane floor re-query" `Quick
+            test_grid_pruned_floor_requery;
         ] );
       ( "front",
         [

@@ -215,6 +215,7 @@ let gen_query =
     option (triple (int_range 0 4) (int_range 0 4) (int_range 0 4))
   in
   let* greedy = bool in
+  let* epsilon = opt_f 0.0 1.0 in
   let* wld_csv =
     option (map (fun s -> s ^ "\n1,2") id_string)
   in
@@ -222,7 +223,7 @@ let gen_query =
   return
     ( id,
       Pr.query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller
-        ?bunch_size ?structure ~greedy ?wld_csv ~node ~gates () )
+        ?bunch_size ?structure ~greedy ?epsilon ?wld_csv ~node ~gates () )
 
 let prop_request_roundtrip =
   qtest ~count:200 "request encode/decode/encode is the identity" gen_query
