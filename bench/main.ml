@@ -34,6 +34,14 @@ let sweep_config () =
 
 let results_dir () = if quick then "results-quick" else "results"
 
+(* Honesty line printed by every leg: which results directory this
+   run's artifacts land in.  Quick runs export to results-quick/ —
+   gitignored — so a shrunk-workload run can never masquerade as the
+   committed full-workload results/. *)
+let leg_results_line leg =
+  Format.printf "[%s] artifacts export to %s/%s@." leg (results_dir ())
+    (if quick then " (quick mode; gitignored)" else "")
+
 (* ---------------------------------------------------------------------- *)
 (* Part 1: experiment regeneration                                         *)
 (* ---------------------------------------------------------------------- *)
@@ -202,6 +210,7 @@ let experiment_table4 () =
         failwith "table4: parallel ranks differ from sequential ranks";
       if not counters_identical then
         failwith "table4: parallel counters/gauges differ from sequential");
+  leg_results_line "table4";
   ( sweeps,
     (("table4_jobs1_seconds", seq_s)
     ::
@@ -285,6 +294,7 @@ let experiment_scaling () =
   else
     Format.printf "@.All %d points rank- and counter-identical to jobs=1.@."
       (List.length points);
+  leg_results_line "scaling";
   { Ir_sweep.Export.max_jobs = hw; points }
 
 let experiment_figure2 () =
@@ -344,6 +354,7 @@ let experiment_cross_node () =
          ~matrix:[ (Ir_tech.Node.N90, 10_000_000) ] ())
       Format.std_formatter
   end;
+  leg_results_line "cross_node";
   cells
 
 (* Kernel microbenchmarks for the BENCH_sweeps.json "kernel" object:
@@ -398,6 +409,7 @@ let kernel_bench () =
         ];
       ]
     Format.std_formatter;
+  leg_results_line "kernel";
   [
     ("front_insert_ns", per_insert_ns);
     ("build_tables_seconds", build_s);
@@ -527,6 +539,7 @@ let grid_bench () =
       "@.*** WARNING: the grid leg (%.2f s) is SLOWER than per-point \
        (%.2f s) on this machine/workload. ***@."
       grid_s pp_s;
+  leg_results_line "grid";
   (match Ir_sweep.Export.grid_status report with
   | "ok" -> ()
   | status -> failwith ("grid leg: status " ^ status));
@@ -640,10 +653,143 @@ let pruning_bench () =
     Format.printf
       "@.*** WARNING: the pruned leg (%.2f s) is SLOWER than the exact        leg (%.2f s) on this machine/workload. ***@."
       pruned_s base_s;
+  leg_results_line "pruning";
   (match Ir_sweep.Export.pruning_status report with
   | "ok" -> ()
   | status -> failwith ("pruning leg: status " ^ status));
   report
+
+(* Power leg: the dual-budget subsystem's four contracts, CI-gated
+   through the exported "power" status.  (a) The soundness anchor: the
+   full Table-4 corpus run power-free and rerun with an explicitly
+   threaded infinite power budget — at a deliberately non-default
+   activity, so the power tables genuinely differ — must be
+   byte-identical: every rank, every exact flag, every counter.  (b)
+   The Power_pareto frontier evaluated at jobs=1 and jobs=N must return
+   identical rows with identical power/* (and all other) counters.
+   (c) The sequential (Rank_dp.compute_pareto_power) and grid
+   (Rank_grid.compute_pareto_power) engines must agree point for point.
+   (d) The frontier is monotone and its fraction-1.0 point recovers the
+   unconstrained rank.  Any violation fails the bench process; the
+   frontier's shape goes to power_pareto.csv, reported, never gated. *)
+let power_bench () =
+  section "Power leg: rank-vs-power frontier and the infinite-budget anchor";
+  let config = sweep_config () in
+  let jobs = if Ir_exec.hardware_jobs () <= 1 then 1 else par_jobs () in
+  Ir_obs.reset ();
+  let plain = Ir_sweep.Table4.all ~jobs ~config () in
+  let plain_snap = identity_snapshot () in
+  Ir_obs.reset ();
+  let inf_config =
+    {
+      config with
+      Ir_sweep.Table4.activity = 2.0 *. Ir_assign.Problem.default_activity;
+      power_budget = infinity;
+    }
+  in
+  let inf = Ir_sweep.Table4.all ~jobs ~config:inf_config () in
+  let inf_snap = identity_snapshot () in
+  let identity_ok =
+    List.for_all2 (fun a b -> sweep_sig a = sweep_sig b) plain inf
+    && plain_snap.Ir_obs.counters = inf_snap.Ir_obs.counters
+    && plain_snap.Ir_obs.gauges = inf_snap.Ir_obs.gauges
+  in
+  (* Full-row frontier signature: fractions, budgets, ranks, exact
+     flags and witness watts — jobs=1 and jobs=N must agree on all of
+     it, and so must the two engines below. *)
+  let frontier_sig (r : Ir_sweep.Power_pareto.result) =
+    ( r.unconstrained.Ir_core.Outcome.rank_wires,
+      r.unconstrained_power,
+      List.map
+        (fun (row : Ir_sweep.Power_pareto.row) ->
+          ( row.fraction, row.budget,
+            row.outcome.Ir_core.Outcome.rank_wires,
+            row.outcome.Ir_core.Outcome.exact, row.power ))
+        r.rows )
+  in
+  Ir_obs.reset ();
+  let seq = Ir_sweep.Power_pareto.run ~jobs:1 ~config () in
+  let seq_snap = identity_snapshot () in
+  let counters_match =
+    if jobs = 1 then true
+    else begin
+      Ir_obs.reset ();
+      let par = Ir_sweep.Power_pareto.run ~jobs ~config () in
+      let par_snap = identity_snapshot () in
+      frontier_sig par = frontier_sig seq
+      && par_snap.Ir_obs.counters = seq_snap.Ir_obs.counters
+      && par_snap.Ir_obs.gauges = seq_snap.Ir_obs.gauges
+    end
+  in
+  Ir_obs.reset ();
+  (* Engine cross-check on outcomes only: the sequential engine chains
+     a suffix-fit memo and boundary hints the concurrent one must not
+     share, so its probe counters legitimately differ. *)
+  let engines_agree =
+    match seq.rows with
+    | [] -> true
+    | rows ->
+        let base = Ir_sweep.Table4.baseline_problem config in
+        let pts =
+          Ir_power.Power.pareto base
+            (List.map (fun (r : Ir_sweep.Power_pareto.row) -> r.budget) rows)
+        in
+        List.for_all2
+          (fun (row : Ir_sweep.Power_pareto.row)
+               (p : Ir_core.Rank_dp.power_point) ->
+            p.pp_budget = row.budget
+            && p.pp_outcome.Ir_core.Outcome.rank_wires
+               = row.outcome.Ir_core.Outcome.rank_wires
+            && p.pp_outcome.Ir_core.Outcome.exact
+               = row.outcome.Ir_core.Outcome.exact
+            && p.pp_power = row.power)
+          rows pts
+  in
+  Ir_obs.reset ();
+  let monotone = Ir_sweep.Power_pareto.monotone seq in
+  let report =
+    {
+      Ir_sweep.Export.power_points = List.length seq.rows;
+      unconstrained_power = seq.unconstrained_power;
+      power_identity_ok = identity_ok;
+      power_counters_match = counters_match;
+      power_engines_agree = engines_agree;
+      power_monotone = monotone;
+      power_seconds = seq.seconds;
+    }
+  in
+  Ir_sweep.Report.table
+    ~header:
+      [ "fraction"; "budget (W)"; "power (W)"; "rank (wires)"; "normalized" ]
+    ~rows:
+      (List.map
+         (fun (r : Ir_sweep.Power_pareto.row) ->
+           [
+             Printf.sprintf "%.2f" r.fraction;
+             Printf.sprintf "%.4g" r.budget;
+             Printf.sprintf "%.4g" r.power;
+             string_of_int r.outcome.Ir_core.Outcome.rank_wires;
+             Printf.sprintf "%.6f" (Ir_core.Outcome.normalized r.outcome);
+           ])
+         seq.rows)
+    Format.std_formatter;
+  Format.printf
+    "unconstrained: rank %d at %.4g W (activity %.2f); %d budget points in \
+     %.2f s@.infinite-budget identity %s, jobs=1 vs jobs=%d %s, engines %s, \
+     frontier %s; status %s@."
+    seq.unconstrained.Ir_core.Outcome.rank_wires seq.unconstrained_power
+    seq.activity (List.length seq.rows) seq.seconds
+    (if identity_ok then "byte-identical" else "BROKEN")
+    jobs
+    (if counters_match then "identical" else "MISMATCH")
+    (if engines_agree then "agree" else "DISAGREE")
+    (if monotone then "monotone" else "NOT MONOTONE")
+    (Ir_sweep.Export.power_status report);
+  leg_results_line "power";
+  (match Ir_sweep.Export.power_status report with
+  | "ok" -> ()
+  | status -> failwith ("power leg: status " ^ status));
+  (report, seq)
 
 (* Serving leg: replay a fixed query trace against an in-process rank
    server — fresh cache, fresh warm-table pool — once at jobs=1 and once
@@ -748,6 +894,7 @@ let serving_bench () =
     report.trace_requests report.distinct_queries report.hit_rate
     report.p50_ms report.p95_ms report.p99_ms report.computes
     report.table_builds;
+  leg_results_line "serving";
   report
 
 (* Sharded serving leg: a real fleet — N forked [ia_rank serve] worker
@@ -1049,6 +1196,7 @@ let serving_sharded_bench () =
     failwith
       "sharded serving leg: some warm-table family was built by more than \
        one shard (family-affinity routing broken)";
+  leg_results_line "serving_sharded";
   report
 
 let experiment_runtime_claim () =
@@ -1432,7 +1580,7 @@ let study_netlist () =
      measured shape.)@."
 
 let export_artifacts ?metrics ?kernel ?parallel ?scaling ?grid ?pruning
-    ?serving ?serving_sharded sweeps cells timings =
+    ?power ?serving ?serving_sharded sweeps cells timings =
   section "Artifacts";
   let dir = results_dir () in
   (* Say where the artifacts land: quick runs write results-quick/ (kept
@@ -1446,13 +1594,20 @@ let export_artifacts ?metrics ?kernel ?parallel ?scaling ?grid ?pruning
   (match Ir_sweep.Export.write_cross ~dir cells with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "cross export failed: %s@." e);
+  (match power with
+  | None -> ()
+  | Some (_, result) -> (
+      match Ir_sweep.Export.write_power_pareto ~dir result with
+      | Ok path -> Format.printf "wrote %s@." path
+      | Error e -> Format.printf "power pareto export failed: %s@." e));
   (match
      (* [metrics] is the snapshot taken right after the sweep sections
         (parallel table4 leg plus cross-node), before the kernel
         microbenchmarks pollute the span registry. *)
      Ir_sweep.Export.write_bench_json ~dir ~jobs:(par_jobs ()) ~timings
-       ?metrics ?kernel ?parallel ?scaling ?grid ?pruning ?serving
-       ?serving_sharded ~sweeps ~cross:cells ()
+       ?metrics ?kernel ?parallel ?scaling ?grid ?pruning
+       ?power:(Option.map fst power) ?serving ?serving_sharded ~sweeps
+       ~cross:cells ()
    with
   | Ok path -> Format.printf "wrote %s@." path
   | Error e -> Format.printf "bench json export failed: %s@." e);
@@ -1492,6 +1647,17 @@ let export_artifacts ?metrics ?kernel ?parallel ?scaling ?grid ?pruning
                     p.front_inserts_baseline p.front_inserts_pruned
                     p.witness_probes_baseline p.witness_probes_pruned
                     p.baseline_seconds p.pruned_seconds );
+              ])
+        @ (match power with
+          | None -> []
+          | Some ((p : Ir_sweep.Export.power_report), _) ->
+              [
+                ( "power",
+                  Printf.sprintf
+                    "status %s: %d budget points, unconstrained %.4g W, \
+                     frontier in %.2f s"
+                    (Ir_sweep.Export.power_status p)
+                    p.power_points p.unconstrained_power p.power_seconds );
               ])
         @ (match serving with
           | None -> []
@@ -1665,13 +1831,14 @@ let () =
       let scaling = experiment_scaling () in
       let grid = grid_bench () in
       let pruning = pruning_bench () in
+      let power = power_bench () in
       let serving = serving_bench () in
       let serving_sharded = serving_sharded_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        ~scaling ~grid ~pruning ~serving ~serving_sharded sweeps cells
-        timings
+        ~scaling ~grid ~pruning ~power ~serving ~serving_sharded sweeps
+        cells timings
   | `All ->
       experiment_tables ();
       let sweeps, timings, legs = experiment_table4 () in
@@ -1697,12 +1864,13 @@ let () =
       study_netlist ();
       let grid = grid_bench () in
       let pruning = pruning_bench () in
+      let power = power_bench () in
       let serving = serving_bench () in
       let serving_sharded = serving_sharded_bench () in
       let kernel = kernel_bench () @ kernel_entries metrics legs in
       export_artifacts ~metrics ~kernel
         ~parallel:(parallel_report legs)
-        ~scaling ~grid ~pruning ~serving ~serving_sharded sweeps cells
-        timings;
+        ~scaling ~grid ~pruning ~power ~serving ~serving_sharded sweeps
+        cells timings;
       run_bechamel ());
   Format.printf "@.total harness wall time: %.1f s@." (Ir_exec.now () -. t0)

@@ -132,6 +132,27 @@ let bunch_size =
     & info [ "bunch-size" ] ~docv:"B"
         ~doc:"WLD coarsening bunch size (the paper uses 10000).")
 
+let activity_arg =
+  Arg.(
+    value
+    & opt float Ir_assign.Problem.default_activity
+    & info [ "activity" ] ~docv:"A"
+        ~doc:
+          "Switching activity factor of the repeater power model, in (0, \
+           1] (default 0.15).  Only changes results under a finite \
+           $(b,--power-budget).")
+
+let power_budget_arg =
+  Arg.(
+    value
+    & opt float infinity
+    & info [ "power-budget" ] ~docv:"WATTS"
+        ~doc:
+          "Repeater power budget in watts ($(b,inf), the default, means \
+           unconstrained — byte-identical to not having the flag).  A \
+           finite budget runs the DP in power mode and requires the \
+           $(b,dp) algorithm.")
+
 let algo =
   let algo_conv =
     Arg.enum
@@ -189,15 +210,54 @@ let write_csv path f =
 (* ---- rank ------------------------------------------------------------- *)
 
 let rank_cmd =
-  let run () jobs node gates clock fraction k m bunch_size algo stats =
+  let run () jobs node gates clock fraction k m bunch_size algo activity
+      power_budget stats =
     guard @@ fun () ->
     set_jobs jobs;
+    if power_budget < infinity && algo <> Ir_core.Rank.Dp then
+      fail "--power-budget requires the dp algorithm";
     let design = design_of ~node ~gates ~clock ~fraction in
     let materials = Ir_ia.Materials.v ~k ~miller:m () in
     let outcome =
-      Ir_core.Rank.of_design ~algo ~materials ~bunch_size design
+      if
+        power_budget < infinity
+        || activity <> Ir_assign.Problem.default_activity
+      then begin
+        let problem =
+          Ir_assign.Problem.with_activity
+            (Ir_core.Rank.problem_of_design ~materials ~bunch_size design)
+            activity
+        in
+        if power_budget < infinity then begin
+          let problem =
+            Ir_assign.Problem.with_power_budget problem power_budget
+          in
+          let outcome, w = Ir_core.Rank_dp.compute_with_witness problem in
+          Format.printf "%a@." Ir_core.Outcome.pp_human outcome;
+          Option.iter
+            (fun w ->
+              Format.printf "repeater power %.4g W of %.4g W budget@."
+                (Ir_power.Power.of_witness problem w)
+                power_budget)
+            w;
+          outcome
+        end
+        else begin
+          let outcome = Ir_core.Rank.compute ~algo problem in
+          Format.printf "%a@." Ir_core.Outcome.pp_human outcome;
+          outcome
+        end
+      end
+      else begin
+        (* No power flag in play: the historical one-call path, so the
+           flags' defaults provably cannot perturb existing behavior. *)
+        let outcome =
+          Ir_core.Rank.of_design ~algo ~materials ~bunch_size design
+        in
+        Format.printf "%a@." Ir_core.Outcome.pp_human outcome;
+        outcome
+      end
     in
-    Format.printf "%a@." Ir_core.Outcome.pp_human outcome;
     (* Before the unassignable exit, so --stats is never swallowed. *)
     print_stats stats;
     if not outcome.assignable then exit 2
@@ -205,7 +265,8 @@ let rank_cmd =
   let term =
     Term.(
       const run $ logs_term $ jobs $ node $ gates $ clock $ fraction
-      $ permittivity $ miller $ bunch_size $ algo $ stats_flag)
+      $ permittivity $ miller $ bunch_size $ algo $ activity_arg
+      $ power_budget_arg $ stats_flag)
   in
   Cmd.v
     (Cmd.info "rank"
@@ -222,12 +283,19 @@ let table4_cmd =
       & info [ "columns" ] ~docv:"COLS"
           ~doc:"Comma-separated subset of K,M,C,R.")
   in
-  let run () jobs node gates bunch_size columns csv stats =
+  let run () jobs node gates bunch_size columns activity power_budget csv
+      stats =
     guard @@ fun () ->
     set_jobs jobs;
     let design = Ir_core.Rank.baseline_design ~gates node in
     let config =
-      { Ir_sweep.Table4.default_config with design; bunch_size }
+      {
+        Ir_sweep.Table4.default_config with
+        design;
+        bunch_size;
+        activity;
+        power_budget;
+      }
     in
     let wanted = List.map String.uppercase_ascii columns in
     let sweeps =
@@ -267,10 +335,79 @@ let table4_cmd =
   let term =
     Term.(
       const run $ logs_term $ jobs $ node $ gates $ bunch_size $ columns
-      $ csv_out $ stats_flag)
+      $ activity_arg $ power_budget_arg $ csv_out $ stats_flag)
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Regenerate the paper's Table 4 (K/M/C/R sweeps).")
+    term
+
+(* ---- power ------------------------------------------------------------- *)
+
+let power_cmd =
+  let fractions =
+    let frac_list = Arg.(list float) in
+    Arg.(
+      value
+      & opt (some frac_list) None
+      & info [ "fractions" ] ~docv:"F1,F2,..."
+          ~doc:
+            "Power budgets to evaluate, as fractions in (0, 1] of the \
+             unconstrained optimum's own repeater power (default: an \
+             11-point grid denser below 0.5, where the frontier bends).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write the frontier as $(docv)/power_pareto.csv.")
+  in
+  let run () jobs node gates bunch_size activity fractions out stats =
+    guard @@ fun () ->
+    set_jobs jobs;
+    let design = Ir_core.Rank.baseline_design ~gates node in
+    let config =
+      { Ir_sweep.Table4.default_config with design; bunch_size }
+    in
+    let r = Ir_sweep.Power_pareto.run ?fractions ~config ~activity () in
+    Format.printf "area-only optimum: %a@." Ir_core.Outcome.pp_human
+      r.Ir_sweep.Power_pareto.unconstrained;
+    Format.printf "unconstrained repeater power: %.4g W (activity %.2f)@.@."
+      r.Ir_sweep.Power_pareto.unconstrained_power
+      r.Ir_sweep.Power_pareto.activity;
+    if r.Ir_sweep.Power_pareto.rows = [] then
+      Format.printf
+        "no frontier: the baseline is unassignable or repeater-free@."
+    else begin
+      Format.printf "%-9s  %-11s  %-11s  %6s  %s@." "fraction" "budget(W)"
+        "power(W)" "rank" "normalized";
+      List.iter
+        (fun (row : Ir_sweep.Power_pareto.row) ->
+          Format.printf "%-9.2f  %-11.4g  %-11.4g  %6d  %.6f@."
+            row.fraction row.budget row.power
+            row.outcome.Ir_core.Outcome.rank_wires
+            (Ir_core.Outcome.normalized row.outcome))
+        r.Ir_sweep.Power_pareto.rows
+    end;
+    Option.iter
+      (fun dir ->
+        match Ir_sweep.Export.write_power_pareto ~dir r with
+        | Ok path -> Format.printf "wrote %s@." path
+        | Error e -> fail "cannot write power_pareto.csv: %s" e)
+      out;
+    print_stats stats
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ jobs $ node $ gates $ bunch_size $ activity_arg
+      $ fractions $ out $ stats_flag)
+  in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:
+         "The rank-vs-power Pareto frontier: how much rank the baseline \
+          keeps as the repeater power budget tightens (area budget held \
+          fixed).")
     term
 
 (* ---- cross ------------------------------------------------------------ *)
@@ -806,7 +943,7 @@ let query_cmd =
              sharded router: fleet-wide aggregated counters).")
   in
   let run () socket tcp node gates clock fraction k m bunch_size rent fan_out
-      wld_file greedy json ping server_stats =
+      wld_file greedy activity power_budget json ping server_stats =
     guard @@ fun () ->
     let client =
       match (socket, tcp) with
@@ -841,10 +978,23 @@ let query_cmd =
             | exception Sys_error e -> fail "cannot read %s: %s" path e)
           wld_file
       in
+      (* Send the power fields only when they can change the answer —
+         the same convention the fingerprint uses — so default-flag
+         queries keep their historical wire form and digests. *)
+      let power_budget =
+        if power_budget < infinity then Some power_budget else None
+      in
+      let activity =
+        if
+          activity <> Ir_assign.Problem.default_activity
+          && power_budget <> None
+        then Some activity
+        else None
+      in
       let q =
         Ir_serve.Protocol.query ~rent_p:rent ~fan_out ~clock:(clock *. 1e9)
           ~repeater_fraction:fraction ~k ~miller:m ~bunch_size ~greedy
-          ?wld_csv
+          ?power_budget ?activity ?wld_csv
           ~node:(Ir_tech.Node.name node)
           ~gates ()
       in
@@ -862,7 +1012,8 @@ let query_cmd =
     Term.(
       const run $ logs_term $ socket_arg $ tcp_arg $ node $ gates $ clock
       $ fraction $ permittivity $ miller $ bunch_size $ rent $ fan_out
-      $ wld_file $ greedy $ json $ ping $ server_stats)
+      $ wld_file $ greedy $ activity_arg $ power_budget_arg $ json $ ping
+      $ server_stats)
   in
   Cmd.v
     (Cmd.info "query"
@@ -879,6 +1030,6 @@ let () =
              ~doc:
                "Rank metric for interconnect architectures (DATE 2003 \
                 reproduction).")
-          [ rank_cmd; table4_cmd; cross_cmd; figure2_cmd; tables_cmd;
-            assign_cmd; layers_cmd; ntier_cmd; optimize_cmd; wld_cmd;
-            variation_cmd; serve_cmd; query_cmd ]))
+          [ rank_cmd; table4_cmd; power_cmd; cross_cmd; figure2_cmd;
+            tables_cmd; assign_cmd; layers_cmd; ntier_cmd; optimize_cmd;
+            wld_cmd; variation_cmd; serve_cmd; query_cmd ]))

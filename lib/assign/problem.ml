@@ -29,6 +29,22 @@ type t = {
      constraint).  +infinity from the first bunch infeasible on every
      pair onward: no assignment can meet past it. *)
   min_rep_area_prefix : float array;
+  (* Repeater power model (the second budget axis).  activity is the
+     switching activity factor; power_budget is in watts, infinity =
+     unconstrained (the default — the DP only enters power mode on a
+     finite budget, so infinite-budget instances take exactly the
+     historical code paths).  per_rep_power.(j): watts per repeater on
+     pair j — activity * C_in(s_opt) * Vdd^2 * f_clock dynamic term plus
+     s_opt-proportional leakage.  min_rep_power_prefix.(i): the power
+     analog of min_rep_area_prefix — each bunch takes the pair with the
+     cheapest power independently, so the prefix difference is an
+     admissible lower bound on any suffix's power (the bound may pick
+     different pairs per axis; each axis's bound is admissible on its
+     own). *)
+  activity : float;
+  power_budget : float;
+  per_rep_power : float array;
+  min_rep_power_prefix : float array;
 }
 
 let arch t = t.arch
@@ -62,7 +78,23 @@ let meeting_area t ~pair ~lo ~hi =
 let meeting_count t ~pair ~lo ~hi =
   t.rep_count_prefix.(pair).(hi) - t.rep_count_prefix.(pair).(lo)
 
+(* Interval power is count * per-repeater power — the count is exact (int
+   prefix difference), so this is the one float product per interval, and
+   summing intervals top-down reproduces the DP's own accumulation
+   byte-for-byte (same expressions in the same order). *)
+let meeting_power t ~pair ~lo ~hi =
+  float_of_int (t.rep_count_prefix.(pair).(hi) - t.rep_count_prefix.(pair).(lo))
+  *. t.per_rep_power.(pair)
+
 let min_rep_area_before t i = t.min_rep_area_prefix.(i)
+let activity t = t.activity
+let power_budget t = t.power_budget
+let power_budgeted t = t.power_budget < infinity
+let per_rep_power t ~pair = t.per_rep_power.(pair)
+let min_rep_power_before t i = t.min_rep_power_prefix.(i)
+let with_power_budget t b =
+  if not (b > 0.0) then invalid_arg "Problem.with_power_budget: budget <= 0";
+  { t with power_budget = b }
 
 let meeting_cost t ~pair ~lo ~hi =
   if meeting_feasible t ~pair ~lo ~hi then
@@ -167,7 +199,48 @@ let repeater_tables ~arch ~noise_limit ~targets bunches =
   done;
   (eta, rep_area_prefix, rep_count_prefix, bad_prefix, min_rep_area_prefix)
 
-let build ~arch ~target_model ~noise_limit bunches =
+(* Power tables: watts per repeater per pair, and the fractional-relaxation
+   power prefix.  Depends on eta (hence the clock / materials / noise
+   limit) and on the activity factor, but — like every repeater table —
+   not on either budget. *)
+let default_activity = 0.15
+
+let power_tables ~arch ~activity ~eta bunches =
+  let n = Array.length bunches in
+  let m = Ir_ia.Arch.pair_count arch in
+  let design = arch.Ir_ia.Arch.design in
+  let node = design.Ir_tech.Design.node in
+  let clock = design.Ir_tech.Design.clock in
+  let vdd = Ir_tech.Node.vdd node in
+  let leak = Ir_tech.Node.leakage_per_size node in
+  let c_o = arch.Ir_ia.Arch.device.Ir_tech.Device.c_o in
+  let per_rep_power =
+    Array.init m (fun j ->
+        let s = (Ir_ia.Arch.pair arch j).Ir_ia.Layer_pair.s_opt in
+        (* Dynamic switching: a size-s repeater presents s * c_o of input
+           capacitance, toggled at activity * f_clock; static: leakage
+           scales with the size.  Eq. per DESIGN section 17. *)
+        (activity *. s *. c_o *. vdd *. vdd *. clock) +. (leak *. s))
+  in
+  let min_rep_power_prefix = Array.make (n + 1) 0.0 in
+  for b = 0 to n - 1 do
+    let best = ref infinity in
+    for j = 0 to m - 1 do
+      let e = eta.(j).(b) in
+      if e >= 0 then begin
+        let w =
+          float_of_int (bunches.(b).Ir_wld.Dist.count * e)
+          *. per_rep_power.(j)
+        in
+        if w < !best then best := w
+      end
+    done;
+    min_rep_power_prefix.(b + 1) <- min_rep_power_prefix.(b) +. !best
+  done;
+  (per_rep_power, min_rep_power_prefix)
+
+let build ?(activity = default_activity) ?(power_budget = infinity) ~arch
+    ~target_model ~noise_limit bunches =
   let n = Array.length bunches in
   if n = 0 then invalid_arg "Problem: empty instance";
   Array.iter
@@ -180,6 +253,10 @@ let build ~arch ~target_model ~noise_limit bunches =
     if bunches.(i).Ir_wld.Dist.length > bunches.(i - 1).Ir_wld.Dist.length
     then invalid_arg "Problem: bunches must be sorted by non-increasing length"
   done;
+  if not (activity > 0.0 && activity <= 1.0) then
+    invalid_arg "Problem: activity must be in (0, 1]";
+  if not (power_budget > 0.0) then
+    invalid_arg "Problem: power budget must be positive";
   let targets = targets_for ~arch ~target_model bunches in
   let wire_prefix = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
@@ -189,6 +266,9 @@ let build ~arch ~target_model ~noise_limit bunches =
   let eta, rep_area_prefix, rep_count_prefix, bad_prefix, min_rep_area_prefix
       =
     repeater_tables ~arch ~noise_limit ~targets bunches
+  in
+  let per_rep_power, min_rep_power_prefix =
+    power_tables ~arch ~activity ~eta bunches
   in
   {
     arch;
@@ -203,21 +283,26 @@ let build ~arch ~target_model ~noise_limit bunches =
     rep_count_prefix;
     bad_prefix;
     min_rep_area_prefix;
+    activity;
+    power_budget;
+    per_rep_power;
+    min_rep_power_prefix;
   }
 
-let of_bunches ?(target_model = Ir_delay.Target.Linear) ?noise_limit ~arch
-    ~bunches () =
-  build ~arch ~target_model ~noise_limit (Array.copy bunches)
+let of_bunches ?(target_model = Ir_delay.Target.Linear) ?noise_limit
+    ?activity ?power_budget ~arch ~bunches () =
+  build ?activity ?power_budget ~arch ~target_model ~noise_limit
+    (Array.copy bunches)
 
-let make ?(target_model = Ir_delay.Target.Linear) ?noise_limit
-    ?(bunch_size = 10000) ~arch ~wld () =
+let make ?(target_model = Ir_delay.Target.Linear) ?noise_limit ?activity
+    ?power_budget ?(bunch_size = 10000) ~arch ~wld () =
   if Ir_wld.Dist.is_empty wld then invalid_arg "Problem.make: empty WLD";
   let pitch =
     Ir_tech.Design.effective_gate_pitch arch.Ir_ia.Arch.design
   in
   let meters = Ir_wld.Dist.map_length (fun l -> l *. pitch) wld in
   let bunches = Ir_wld.Coarsen.bunch ~bunch_size meters in
-  build ~arch ~target_model ~noise_limit bunches
+  build ?activity ?power_budget ~arch ~target_model ~noise_limit bunches
 
 (* ---- rescale-reuse paths ---------------------------------------------- *)
 
@@ -246,6 +331,10 @@ let with_materials t materials =
     repeater_tables ~arch ~noise_limit:t.noise_limit ~targets:t.targets
       t.bunches
   in
+  (* The electricals moved s_opt, hence the per-repeater power. *)
+  let per_rep_power, min_rep_power_prefix =
+    power_tables ~arch ~activity:t.activity ~eta t.bunches
+  in
   {
     t with
     arch;
@@ -254,6 +343,8 @@ let with_materials t materials =
     rep_count_prefix;
     bad_prefix;
     min_rep_area_prefix;
+    per_rep_power;
+    min_rep_power_prefix;
   }
 
 (* A clock change moves only the per-bunch targets and everything derived
@@ -267,6 +358,10 @@ let with_clock t clock =
       =
     repeater_tables ~arch ~noise_limit:t.noise_limit ~targets t.bunches
   in
+  (* The dynamic power term is proportional to the clock; eta moved too. *)
+  let per_rep_power, min_rep_power_prefix =
+    power_tables ~arch ~activity:t.activity ~eta t.bunches
+  in
   {
     t with
     arch;
@@ -276,4 +371,17 @@ let with_clock t clock =
     rep_count_prefix;
     bad_prefix;
     min_rep_area_prefix;
+    per_rep_power;
+    min_rep_power_prefix;
   }
+
+(* Only the power tables depend on the activity factor — everything else
+   is reused verbatim.  The eta matrix is private state; recompute the
+   power tables from it directly. *)
+let with_activity t activity =
+  if not (activity > 0.0 && activity <= 1.0) then
+    invalid_arg "Problem.with_activity: activity must be in (0, 1]";
+  let per_rep_power, min_rep_power_prefix =
+    power_tables ~arch:t.arch ~activity ~eta:t.eta t.bunches
+  in
+  { t with activity; per_rep_power; min_rep_power_prefix }

@@ -14,6 +14,8 @@ type t
 val make :
   ?target_model:Ir_delay.Target.t ->
   ?noise_limit:float ->
+  ?activity:float ->
+  ?power_budget:float ->
   ?bunch_size:int ->
   arch:Ir_ia.Arch.t ->
   wld:Ir_wld.Dist.t ->
@@ -28,11 +30,18 @@ val make :
     layer-pair whose {!Ir_rc.Noise.peak_ratio} exceeds it cannot host
     meeting wires at all — a noise-aware variant of the rank metric (the
     signal-integrity concern of the paper's Section 1).
+
+    [activity] (default {!default_activity}) is the switching activity
+    factor of the repeater power model; [power_budget] (watts, default
+    [infinity] = unconstrained) is the second budget axis.  Both are
+    validated: activity in (0, 1], budget positive.
     @raise Invalid_argument on an empty WLD. *)
 
 val of_bunches :
   ?target_model:Ir_delay.Target.t ->
   ?noise_limit:float ->
+  ?activity:float ->
+  ?power_budget:float ->
   arch:Ir_ia.Arch.t ->
   bunches:Ir_wld.Dist.bin array ->
   unit ->
@@ -72,6 +81,25 @@ val capacity : t -> float
 val budget : t -> float
 (** Repeater area budget A_R, m^2. *)
 
+val default_activity : float
+(** Default switching activity factor (0.15, the conventional estimate
+    for global interconnect). *)
+
+val activity : t -> float
+(** Switching activity factor of the power model. *)
+
+val power_budget : t -> float
+(** Repeater power budget P_R, watts; [infinity] when unconstrained. *)
+
+val power_budgeted : t -> bool
+(** [power_budget t < infinity] — whether the DP must run in power mode. *)
+
+val per_rep_power : t -> pair:int -> float
+(** Watts consumed by one repeater on [pair]:
+    [activity * (s_opt * c_o) * Vdd^2 * f_clock + s_opt * leakage].
+    Calibration constants come from {!Ir_tech.Node} ([vdd],
+    [leakage_per_size]); the activity factor is this instance's. *)
+
 val blocked : t -> pair:int -> wires_above:int -> reps_above:int -> float
 (** Via-blocked area on [pair] given wires and repeaters on pairs above. *)
 
@@ -105,6 +133,13 @@ val meeting_count : t -> pair:int -> lo:int -> hi:int -> int
     int)] per call — hundreds of millions of calls per table build in the
     rank DP made that option the dominant allocation source. *)
 
+val meeting_power : t -> pair:int -> lo:int -> hi:int -> float
+(** Watts the interval's repeaters burn: {!meeting_count} times
+    {!per_rep_power} — the O(1) incremental form the DP's power mode
+    accumulates along a chain.  Summing intervals top-down reproduces the
+    accumulated per-state power byte-for-byte (same float products in the
+    same order).  Meaningful only when {!meeting_feasible} holds. *)
+
 val min_rep_area_before : t -> int -> float
 (** [min_rep_area_before t i] is a {e lower bound} on the repeater area
     any assignment must spend to meet the targets of bunches [[0..i)]:
@@ -118,6 +153,14 @@ val min_rep_area_before : t -> int -> float
     as an admissible bound.  Like the other repeater tables this is
     budget-independent, so it survives {!with_repeater_fraction}
     verbatim. *)
+
+val min_rep_power_before : t -> int -> float
+(** The power analog of {!min_rep_area_before}: a lower bound (watts) on
+    the repeater power any assignment must spend to meet bunches
+    [[0..i)], each bunch independently on its power-cheapest pair.  The
+    per-axis minima may pick different pairs — each axis's bound is
+    admissible on its own, which is all the componentwise pruning bound
+    needs.  Budget-independent like the area prefix. *)
 
 val wire_delay_on_pair : t -> pair:int -> eta:int -> float -> float
 (** Eq. (3) delay of a single wire of the given length (m) on [pair] with
@@ -138,6 +181,20 @@ val with_repeater_fraction : t -> float -> t
     set to [r].  The budget enters no precomputed table, so every table is
     shared with [t] as-is.
     @raise Invalid_argument if [r] is outside [0, 1]. *)
+
+val with_power_budget : t -> float -> t
+(** [with_power_budget t p] is [t] with the repeater power budget set to
+    [p] watts — a pure rebind, every table shared verbatim (the power
+    budget, like the area budget, enters no precomputed table).  This is
+    what lets one power-mode build answer a whole power-budget sweep
+    ([Rank_dp.compute_pareto_power]'s displacement argument).
+    @raise Invalid_argument if [p <= 0] ([infinity] is allowed). *)
+
+val with_activity : t -> float -> t
+(** [with_activity t a] rebuilds only the power tables (per-repeater
+    power and its relaxation prefix) at activity factor [a]; everything
+    else is shared verbatim.
+    @raise Invalid_argument if [a] is outside (0, 1]. *)
 
 val with_clock : t -> float -> t
 (** [with_clock t f] is [t] with the target clock set to [f] Hz.  Reuses

@@ -444,3 +444,110 @@ val feasible_boundary : ?max_pareto:int -> Ir_assign.Problem.t -> int -> bool
 (** [feasible_boundary problem c] decides whether the top [c] bunches can
     all meet their targets in some feasible full assignment — the
     predicate the search maximizes; exposed for tests. *)
+
+(** {2 Power mode and the rank-vs-power Pareto sweep}
+
+    A problem with a {e finite} power budget
+    ({!Ir_assign.Problem.power_budgeted}) switches the build to power
+    mode: every state carries a third coordinate — the accumulated
+    repeater power, advanced by {!Ir_assign.Problem.meeting_power}
+    exactly as area is advanced by [meeting_area] — screened against the
+    power budget wherever area is screened against the area budget, with
+    3-way Pareto dominance ({!Front.insert_pw}).  Like the area budget,
+    the power budget is re-read from the problem at query time, so one
+    power-mode build answers a whole budget sweep
+    ({!compute_pareto_power}).  With an {e infinite} budget the
+    historical 2-way paths run untouched — ranks, exact flags and every
+    counter byte-identical to a build without this mode (the bench
+    identity leg asserts it).  Power mode refuses [epsilon > 0]
+    (ε-dominance is a 2-way notion), and power-mode tables refuse
+    {!encode_tables} (the snapshot blob predates the power plane).
+
+    The [power/*] counters ([power/sweep_points], [power/states],
+    [power/witness_rejects], [power/front_inserts]) move only in power
+    mode and are deterministic (jobs=1 ≡ jobs=N). *)
+
+val witness_power : Ir_assign.Problem.t -> witness -> float
+(** Repeater power (watts) the witness's assignment burns: the sum of
+    {!Ir_assign.Problem.meeting_power} over its meeting intervals,
+    top-down — the DP's own accumulation order, so the figure is
+    byte-identical to the power coordinate the power-mode build carried
+    for that state.  The capacity-only suffix holds no repeaters and
+    contributes nothing. *)
+
+type power_point = {
+  pp_budget : float;  (** the power budget this point was evaluated at *)
+  pp_outcome : Outcome.t;
+  pp_power : float;
+      (** repeater power (watts) of the returned witness; 0 when
+          unassignable *)
+}
+(** One point of the rank-vs-power frontier: the optimal rank at
+    [pp_budget] watts (and the fixed area budget), plus the witness's
+    actual power spend ([pp_power <= pp_budget] whenever assignable and
+    the budget is finite). *)
+
+val compute_pareto_power :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?scratch:scratch ->
+  Ir_assign.Problem.t ->
+  float list ->
+  power_point list
+(** [compute_pareto_power problem budgets] evaluates the rank at each
+    power budget (watts, in list order; [infinity] allowed) with the
+    area budget fixed at [problem]'s own — the rank-vs-power Pareto
+    surface at one area budget.  One power-mode build at the largest
+    {e finite} budget answers every finite point (the {!search_budgets}
+    displacement argument, componentwise: the power budget enters no
+    phase-A table, and a state admissible at a smaller budget survives
+    the widest build or is 3-way-dominated by one that answers the same
+    queries), sharing one suffix-fit memo and warm-starting each search
+    with the previous point's boundary.  If the shared build truncates,
+    points fall back transparently to independent per-budget computes.
+    [infinity] entries always take the historical area-only path — they
+    are {e not} answerable from the finite-budget build (states above
+    the build's power screen are absent from it), and running the
+    untouched 2-way code doubles as the byte-identity anchor.
+    @raise Invalid_argument on a budget [<= 0]. *)
+
+type power_prep
+(** The shared state of one power sweep — the base problem, the
+    power-mode shared build (when some budget is finite and the
+    instance fits), and the widening policy — prepared once and
+    consulted per point.  The shared tables are allocated scratch-free,
+    so points may be answered concurrently from several domains
+    ({!Rank_grid.compute_pareto_power}). *)
+
+val power_prepare :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?scratch:scratch ->
+  Ir_assign.Problem.t ->
+  float list ->
+  power_prep
+(** Builds the sweep's shared state for exactly the given budget list:
+    the unfittable screen, then the power-mode shared build at the
+    largest finite budget (absent when all budgets are infinite).
+    [?scratch] serves only the screen's greedy-fill scratch — the shared
+    tables never recycle through it.  Counts the points on
+    [power/sweep_points].  @raise Invalid_argument on a budget [<= 0]. *)
+
+val power_answer :
+  ?memo:Ir_assign.Suffix_fit.t ->
+  ?hint:int ->
+  ?scratch:scratch ->
+  power_prep ->
+  float ->
+  power_point
+(** One point of the sweep: finite budgets answer from the shared build
+    (power budget rebound per query) when it exists truncation-free,
+    everything else through an independent compute.  [?memo]/[?hint]
+    are probe-count optimizations exactly as in {!search_tables}
+    (single-domain state — parallel callers must omit them, which is
+    also what keeps their probe counters schedule-independent).
+    [power_answer (power_prepare problem budgets) b] for each [b] of
+    [budgets] is {!compute_pareto_power} minus the memo/hint chaining —
+    identical outcomes by shared code. *)

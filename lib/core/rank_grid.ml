@@ -548,3 +548,29 @@ let eval_batch ?max_pareto ?widen_on_overflow ?widen_cap ?jobs ?hint
       if o.Outcome.assignable then hint := Some o.Outcome.boundary_bunch;
       o)
     shared
+
+(* ---- rank-vs-power Pareto sweep ---------------------------------------- *)
+
+(* The grid engine's power sweep: one shared power-mode build
+   (Rank_dp.power_prepare — sequential, scratch-free so every domain may
+   read it), then the points answered concurrently on the pool.  No memo
+   and no hint chain — those are single-domain, order-dependent state;
+   dropping them is exactly what makes every per-point probe count
+   independent of scheduling, so the power/* and rank_dp/* counters stay
+   jobs=1 ≡ jobs=N (the bench power leg asserts it).  Outcomes equal
+   [Rank_dp.compute_pareto_power problem budgets] point for point by
+   shared code ([Rank_dp.power_answer]). *)
+let compute_pareto_power ?max_pareto ?widen_on_overflow ?widen_cap ?jobs
+    problem budgets =
+  match budgets with
+  | [] -> []
+  | _ ->
+      let prep =
+        Rank_dp.power_prepare ?max_pareto ?widen_on_overflow ?widen_cap
+          problem budgets
+      in
+      Ir_obs.add stat_cells (List.length budgets);
+      Array.to_list
+        (Ir_exec.parallel_map ?jobs
+           (fun b -> Rank_dp.power_answer prep b)
+           (Array.of_list budgets))

@@ -161,3 +161,20 @@ val eval_batch :
     code path via {!Rank_dp.search_with_tables}; [hint]/[probe_fan] are
     probe-schedule-only).  [~prune:true] as in {!evaluate}, with each
     cell's incumbent probed at its own budget. *)
+
+val compute_pareto_power :
+  ?max_pareto:int ->
+  ?widen_on_overflow:bool ->
+  ?widen_cap:int ->
+  ?jobs:int ->
+  Ir_assign.Problem.t ->
+  float list ->
+  Rank_dp.power_point list
+(** {!Rank_dp.compute_pareto_power} on the grid engine: the shared
+    power-mode build runs once (sequentially), then the points answer
+    concurrently on the {!Ir_exec} pool.  Point [i] equals the
+    sequential sweep's point [i] by shared code
+    ({!Rank_dp.power_answer}); the memo and hint chain are deliberately
+    dropped — they are single-domain, order-dependent state — which is
+    what keeps every counter jobs=1 ≡ jobs=N.
+    @raise Invalid_argument on a budget [<= 0]. *)

@@ -13,6 +13,8 @@ type t = {
   structure : Ir_ia.Arch.structure;
   algo : algo;
   epsilon : float;
+  power_budget : float;
+  activity : float;
   wld : Ir_wld.Dist.t option;
 }
 
@@ -26,7 +28,8 @@ let design q =
 let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 0.5e9)
     ?(repeater_fraction = 0.4) ?(k = 3.9) ?(miller = 2.0)
     ?(bunch_size = 10_000) ?(structure = Ir_ia.Arch.baseline_structure)
-    ?(algo = Dp) ?(epsilon = 0.0) ?wld ~node ~gates () =
+    ?(algo = Dp) ?(epsilon = 0.0) ?(power_budget = infinity)
+    ?(activity = Ir_assign.Problem.default_activity) ?wld ~node ~gates () =
   match Ir_tech.Node.of_string node with
   | None ->
       Error
@@ -49,12 +52,22 @@ let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 0.5e9)
           structure;
           algo;
           epsilon;
+          power_budget;
+          activity;
           wld;
         }
       in
       if bunch_size <= 0 then Error "bunch_size must be positive"
       else if not (Float.is_finite epsilon) || epsilon < 0.0 then
         Error "epsilon must be a finite non-negative number"
+      else if not (power_budget > 0.0) then
+        Error "power_budget must be positive (watts; omit for unlimited)"
+      else if not (activity > 0.0 && activity <= 1.0) then
+        Error "activity must be in (0, 1]"
+      else if power_budget < infinity && algo = Greedy then
+        Error "the greedy algorithm does not support a power budget"
+      else if power_budget < infinity && epsilon <> 0.0 then
+        Error "epsilon-dominance is unsupported under a power budget"
       else
         (* Drive every remaining validation through the real constructors
            so the accepted query space is exactly what the pipeline can
@@ -77,7 +90,15 @@ let v ?(rent_p = 0.6) ?(fan_out = 3.0) ?(clock = 0.5e9)
         | q -> Ok q
         | exception Invalid_argument msg -> Error msg)
 
-let version_tag = "ia-rank/fingerprint/1"
+(* Bumped 1 -> 2 when the power fields joined the canonical form: the
+   tag heads every canonical rendering, so the bump rotates every
+   digest at once — old persisted cache entries and warm-table
+   snapshots simply miss and recompute instead of aliasing pre-power
+   results onto power-aware semantics.  Within version 2 the power
+   fields follow the epsilon convention below (emitted only when they
+   change the answer), so a future field addition under the same rule
+   again preserves the digests of queries that don't use it. *)
+let version_tag = "ia-rank/fingerprint/2"
 
 (* %.17g round-trips every finite float, so bit-equal parameters — and
    only those — canonicalize identically. *)
@@ -90,6 +111,17 @@ let canonical_fields q =
      whole disk cache — valid, while distinct ε values key distinct
      cache entries. *)
   (if q.epsilon <> 0.0 then [ ("epsilon", fl q.epsilon) ] else [])
+  (* Same convention for the power fields: an unconstrained budget at
+     the default activity is semantically the pre-power query, and
+     activity only enters the answer under a finite budget. *)
+  @ (if q.power_budget < infinity then
+       [ ("power_budget", fl q.power_budget) ]
+     else [])
+  @ (if
+       q.activity <> Ir_assign.Problem.default_activity
+       && q.power_budget < infinity
+     then [ ("activity", fl q.activity) ]
+     else [])
   @ [
     ("algo", algo_name q.algo);
     ("bunch_size", string_of_int q.bunch_size);
@@ -176,7 +208,8 @@ let problem q =
           (Ir_wld.Davis.params ~gates:q.gates ~rent_p:q.rent_p
              ~fan_out:q.fan_out ())
   in
-  Ir_assign.Problem.make ~bunch_size:q.bunch_size ~arch ~wld ()
+  Ir_assign.Problem.make ~bunch_size:q.bunch_size ~activity:q.activity
+    ~power_budget:q.power_budget ~arch ~wld ()
 
 let compute_cold q =
   let algo =

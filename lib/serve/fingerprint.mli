@@ -13,7 +13,7 @@
     - floats are rendered [%.17g] (round-trips every finite value), so
       two queries fingerprint equal iff their parameters are bit-equal;
     - the canonical form opens with a version tag
-      ([ia-rank/fingerprint/1]); any future change to the canonical
+      ([ia-rank/fingerprint/2]); any future change to the canonical
       rules must bump it, which automatically invalidates every
       previously persisted cache entry instead of silently aliasing old
       results onto new semantics.
@@ -42,6 +42,16 @@ type t = private {
       (** ε-dominance compression for [Dp] ([0.] = exact, the default);
           non-zero values forfeit the warm-table path and the [exact]
           claim — the payload's [exact] field reports it honestly *)
+  power_budget : float;
+      (** repeater power budget, watts ([infinity] = unconstrained, the
+          default).  A finite budget runs the DP in power mode, which
+          forfeits the warm-table path (tables predate the power plane)
+          and requires [algo = Dp] with [epsilon = 0.] *)
+  activity : float;
+      (** switching activity factor of the power model (default
+          {!Ir_assign.Problem.default_activity}); enters the canonical
+          form only under a finite [power_budget] — it cannot change
+          the answer otherwise *)
   wld : Ir_wld.Dist.t option;
       (** explicit WLD in gate pitches; [None] generates the design's
           Davis WLD, exactly as {!Ir_core.Rank.problem_of_design} does *)
@@ -58,6 +68,8 @@ val v :
   ?structure:Ir_ia.Arch.structure ->
   ?algo:algo ->
   ?epsilon:float ->
+  ?power_budget:float ->
+  ?activity:float ->
   ?wld:Ir_wld.Dist.t ->
   node:string ->
   gates:int ->
@@ -73,7 +85,17 @@ val v :
     with the constructor's message, never as a crash in the server.
     [epsilon] must be finite and non-negative; it enters the canonical
     form (and thus every digest) only when non-zero, so exact queries
-    keep their historical fingerprints. *)
+    keep their historical fingerprints.  [power_budget] must be positive
+    ([infinity] = unconstrained); a finite budget requires [algo = Dp]
+    and [epsilon = 0.], and [activity] must lie in (0, 1].  The power
+    fields enter the canonical form only when they can change the
+    answer: a finite budget always, the activity only alongside one.
+
+    The version tag is [ia-rank/fingerprint/2] since the power fields
+    joined: the bump rotates every digest (old cache entries and
+    snapshots miss and recompute — never alias), and the compatibility
+    test in [test_serve] pins both the tag and the
+    default-power-fields-absent rule. *)
 
 val canonical : t -> string
 (** The canonical text form the digest is computed over (one sorted

@@ -13,11 +13,14 @@ type query = {
   structure : (int * int * int) option;
   greedy : bool;
   epsilon : float option;
+  power_budget : float option;
+  activity : float option;
   wld_csv : string option;
 }
 
 let query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller ?bunch_size
-    ?structure ?(greedy = false) ?epsilon ?wld_csv ~node ~gates () =
+    ?structure ?(greedy = false) ?epsilon ?power_budget ?activity ?wld_csv
+    ~node ~gates () =
   {
     node;
     gates;
@@ -31,6 +34,8 @@ let query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller ?bunch_size
     structure;
     greedy;
     epsilon;
+    power_budget;
+    activity;
     wld_csv;
   }
 
@@ -92,7 +97,8 @@ let fingerprint_of_query q =
   in
   Fingerprint.v ?rent_p:q.rent_p ?fan_out:q.fan_out ?clock:q.clock
     ?repeater_fraction:q.repeater_fraction ?k:q.k ?miller:q.miller
-    ?bunch_size:q.bunch_size ?structure ?epsilon:q.epsilon ?wld
+    ?bunch_size:q.bunch_size ?structure ?epsilon:q.epsilon
+    ?power_budget:q.power_budget ?activity:q.activity ?wld
     ~algo:(if q.greedy then Fingerprint.Greedy else Fingerprint.Dp)
     ~node:q.node ~gates:q.gates ()
 
@@ -129,6 +135,8 @@ let json_of_query q =
         q.structure
     @ (if q.greedy then [ ("greedy", Json.Bool true) ] else [])
     @ opt "epsilon" (fun f -> Json.Float f) q.epsilon
+    @ opt "power_budget" (fun f -> Json.Float f) q.power_budget
+    @ opt "activity" (fun f -> Json.Float f) q.activity
     @ opt "wld_csv" (fun s -> Json.Str s) q.wld_csv)
 
 let encode_request { id; op } =
@@ -231,6 +239,12 @@ let query_of_json j =
     Ok (Option.value b ~default:false)
   in
   let* epsilon = opt_field "epsilon" Json.to_float "a number" j in
+  (* Optional fields within protocol version 1: servers predating them
+     never see the keys (clients omit them at their defaults), and old
+     clients simply never send them — same compatibility stance as
+     [epsilon]. *)
+  let* power_budget = opt_field "power_budget" Json.to_float "a number" j in
+  let* activity = opt_field "activity" Json.to_float "a number" j in
   let* wld_csv = opt_field "wld_csv" Json.to_str "a string" j in
   Ok
     {
@@ -246,6 +260,8 @@ let query_of_json j =
       structure;
       greedy;
       epsilon;
+      power_budget;
+      activity;
       wld_csv;
     }
 

@@ -39,6 +39,13 @@ type query = {
   epsilon : float option;
       (** ε-dominance compression (DP only); omitted or [0.] = exact —
           see {!Fingerprint.t} *)
+  power_budget : float option;
+      (** repeater power budget in watts; omitted = unconstrained.
+          Optional within protocol version 1, like [epsilon]: old
+          clients never send the key, old servers never receive it *)
+  activity : float option;
+      (** switching activity factor of the power model; meaningful only
+          alongside [power_budget] — see {!Fingerprint.t} *)
   wld_csv : string option;
       (** inline WLD as CSV text; parsed strictly ({!Ir_wld.Io.of_string}
           with [strict = true]) because it crosses a trust boundary *)
@@ -58,6 +65,8 @@ val query :
   ?structure:int * int * int ->
   ?greedy:bool ->
   ?epsilon:float ->
+  ?power_budget:float ->
+  ?activity:float ->
   ?wld_csv:string ->
   node:string ->
   gates:int ->

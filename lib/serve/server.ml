@@ -107,6 +107,11 @@ let compute_outcome t (fp : Fingerprint.t) =
     (* ε-compressed queries are deliberately inexact; the pool only
        holds exact full-budget tables, so they always compute cold. *)
     | Fingerprint.Dp when fp.epsilon <> 0.0 -> None
+    (* Power-budgeted queries need the power plane, which the pool's
+       2-way tables predate; the budget-rebinding displacement argument
+       does not extend across that representation change, so they
+       compute cold (see DESIGN.md §17 on budget rebinding). *)
+    | Fingerprint.Dp when fp.power_budget < infinity -> None
     | Fingerprint.Dp ->
         let entry = pool_entry t (Fingerprint.family_key fp) in
         Mutex.lock entry.entry_lock;

@@ -2,6 +2,7 @@ let stat_requests = Ir_obs.counter "serve_router/requests"
 let stat_forwarded = Ir_obs.counter "serve_router/forwarded"
 let stat_retries = Ir_obs.counter "serve_router/retries"
 let stat_shard_errors = Ir_obs.counter "serve_router/shard_errors"
+let stat_restarts = Ir_obs.counter "serve_shard/restarts"
 
 (* One pooled connection to a shard: a raw fd plus its buffered reader
    (the reader must live with the fd — it may hold bytes of a previous
@@ -20,6 +21,9 @@ type t = {
   dir : string;
   links : link array;
   pids : int array;
+  exe : string;
+  argvs : string array array;  (* per-shard argv, kept for respawns *)
+  pid_mu : Mutex.t;  (* serializes death checks and respawns *)
   registry : Tcp.registry;
   draining : bool Atomic.t;
   stop_r : Unix.file_descr;
@@ -29,6 +33,7 @@ type t = {
 let shards t = t.shards
 let shard_socket dir i = Filename.concat dir (Printf.sprintf "shard%d.sock" i)
 let shard_sockets t = Array.init t.shards (fun i -> shard_socket t.dir i)
+let shard_pids t = Array.copy t.pids
 
 (* ---- spawning the fleet ------------------------------------------------ *)
 
@@ -96,15 +101,13 @@ let start ?(workers = 2) ?(cache_entries = 512) ?(table_pool = 8)
   match Ir_sweep.Export.ensure_dir dir with
   | Error e -> Error e
   | Ok () ->
-      let pids =
+      let argvs =
         Array.init shards (fun i ->
-            let argv =
-              child_argv ~exe ~socket:(shard_socket dir i) ~workers
-                ~cache_entries ~table_pool ~queue_capacity ~request_timeout
-                ~cache_dir ~snapshot_dir
-            in
-            spawn ~exe ~argv)
+            child_argv ~exe ~socket:(shard_socket dir i) ~workers
+              ~cache_entries ~table_pool ~queue_capacity ~request_timeout
+              ~cache_dir ~snapshot_dir)
       in
+      let pids = Array.map (fun argv -> spawn ~exe ~argv) argvs in
       (* A shard's socket file appears once it is bound and listening. *)
       let deadline = Unix.gettimeofday () +. 30.0 in
       let rec await i =
@@ -135,6 +138,9 @@ let start ?(workers = 2) ?(cache_entries = 512) ?(table_pool = 8)
                       free = [];
                     });
               pids;
+              exe;
+              argvs;
+              pid_mu = Mutex.create ();
               registry = Tcp.registry ();
               draining = Atomic.make false;
               stop_r;
@@ -186,6 +192,49 @@ let rpc_conn link conn line =
     None
   end
 
+(* Supervisor step: a request just failed on a {e fresh} connection, so
+   the shard is either wedged or dead.  [waitpid WNOHANG] tells them
+   apart — a reaped (or vanished) pid is proof of death, and only then
+   does the router fork one replacement onto the same socket path.
+   [pid_mu] serializes the check-and-respawn, so a storm of failing
+   requests yields one fork: whoever arrives second finds the fresh pid
+   un-reapable (alive) and simply reconnects.  Returns [true] when a
+   reconnect is worth attempting. *)
+let try_restart t i =
+  Mutex.lock t.pid_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.pid_mu) @@ fun () ->
+  if Atomic.get t.draining then false
+  else
+    let pid = t.pids.(i) in
+    let dead =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> false (* still running — wedged or just slow, not ours *)
+      | _ -> true
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not dead then false
+    else begin
+      let socket = shard_socket t.dir i in
+      (* The killed shard never unlinked its socket; the replacement
+         must bind the same path, so clear it first. *)
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      t.pids.(i) <- spawn ~exe:t.exe ~argv:t.argvs.(i);
+      Ir_obs.incr stat_restarts;
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec await () =
+        if Sys.file_exists socket then true
+        else if Unix.gettimeofday () > deadline then false
+        else begin
+          Thread.delay 0.02;
+          await ()
+        end
+      in
+      (* A replacement that never binds surfaces as the next failed
+         connection — and another supervisor pass. *)
+      await ()
+    end
+
 let forward t i line =
   let link = t.links.(i) in
   let first =
@@ -200,9 +249,21 @@ let forward t i line =
          restarted, idle teardown); one retry on a provably fresh
          connection separates that from a shard that is really gone. *)
       Ir_obs.incr stat_retries;
-      match connect_shard link with
-      | None -> None
-      | Some conn -> rpc_conn link conn line)
+      let fresh =
+        match connect_shard link with
+        | None -> None
+        | Some conn -> rpc_conn link conn line
+      in
+      match fresh with
+      | Some resp -> Some resp
+      | None -> (
+          (* Even the fresh connection failed: let the supervisor check
+             for a dead child and respawn it, then try once more. *)
+          if not (try_restart t i) then None
+          else
+            match connect_shard link with
+            | None -> None
+            | Some conn -> rpc_conn link conn line))
 
 (* ---- routing ----------------------------------------------------------- *)
 

@@ -15,9 +15,14 @@
     single-process one.
 
     Per shard the router keeps a small pool of idle connections, retried
-    once on a fresh connection when a pooled one turns out stale.  A
-    shard that is truly unreachable answers that query with the
-    [Internal] error while the rest of the fleet keeps serving.
+    once on a fresh connection when a pooled one turns out stale.  When
+    even the fresh connection fails, the router plays supervisor: a
+    [waitpid WNOHANG] that reaps the shard's pid is proof of death, and
+    the router forks one replacement onto the same socket path (counted
+    in [serve_shard/restarts]) and retries once more.  A shard that is
+    merely wedged — alive but unresponsive — is never killed or
+    replaced; its query answers with the [Internal] error while the rest
+    of the fleet keeps serving.
 
     [Ping] answers locally; [Stats] fans out to every shard and returns
     the summed counters plus the router's own [serve_router/*]
@@ -73,6 +78,11 @@ val shards : t -> int
 val shard_sockets : t -> string array
 (** Each shard's own unix socket — direct per-shard access for
     per-shard stats in the bench. *)
+
+val shard_pids : t -> int array
+(** A copy of the fleet's current pids (a restarted shard's entry is its
+    replacement's pid) — exposed so the crash-recovery test can SIGKILL
+    a real shard and assert the supervisor respawned it. *)
 
 val live_connections : t -> int
 (** Currently open router client connections. *)

@@ -74,6 +74,41 @@ let write_sweeps ~dir sweeps =
           in
           loop [] sweeps)
 
+let power_pareto_csv_path ~dir = Filename.concat dir "power_pareto.csv"
+
+let write_power_pareto ~dir (r : Power_pareto.result) =
+  match ensure_dir dir with
+  | Error msg -> Error msg
+  | Ok () ->
+      let buf = Buffer.create 1024 in
+      Report.csv
+        ~header:
+          [
+            "fraction"; "budget_watts"; "power_watts"; "rank_wires";
+            "total_wires"; "normalized"; "boundary_bunch"; "assignable";
+            "exact";
+          ]
+        ~rows:
+          (List.map
+             (fun (row : Power_pareto.row) ->
+               let o = row.outcome in
+               [
+                 Printf.sprintf "%.4f" row.fraction;
+                 (* %.6e keeps the golden file stable and readable; the
+                    byte-exact frontier lives in the tests, not here. *)
+                 Printf.sprintf "%.6e" row.budget;
+                 Printf.sprintf "%.6e" row.power;
+                 string_of_int o.Ir_core.Outcome.rank_wires;
+                 string_of_int o.Ir_core.Outcome.total_wires;
+                 Printf.sprintf "%.6f" (Ir_core.Outcome.normalized o);
+                 string_of_int o.Ir_core.Outcome.boundary_bunch;
+                 (if o.Ir_core.Outcome.assignable then "true" else "false");
+                 (if o.Ir_core.Outcome.exact then "true" else "false");
+               ])
+             r.Power_pareto.rows)
+        buf;
+      write_file (power_pareto_csv_path ~dir) (Buffer.contents buf)
+
 let write_cross ~dir cells =
   match ensure_dir dir with
   | Error msg -> Error msg
@@ -372,6 +407,46 @@ let json_pruning p =
         if p.pruning_counters_match then "true" else "false" );
     ]
 
+type power_report = {
+  power_points : int;
+  unconstrained_power : float;
+  power_identity_ok : bool;
+  power_counters_match : bool;
+  power_engines_agree : bool;
+  power_monotone : bool;
+  power_seconds : float;
+}
+
+(* The CI gate reads [status]; anything but "ok" fails the build.  The
+   power subsystem's contracts, in soundness order: an infinite budget
+   must leave every rank, exact flag and counter byte-identical to a
+   power-free run (the anchor everything else stands on); the [power/*]
+   counters must not depend on the worker count; the sequential and
+   grid sweep engines must agree point-for-point; and the frontier must
+   be monotone with the full-spend point recovering the unconstrained
+   rank.  The frontier's shape — where it bends, what rank a half-power
+   budget keeps — is data, never gated. *)
+let power_status p =
+  if not p.power_identity_ok then "identity_broken"
+  else if not p.power_counters_match then "counters_mismatch"
+  else if not p.power_engines_agree then "engine_mismatch"
+  else if not p.power_monotone then "frontier_not_monotone"
+  else "ok"
+
+let json_power p =
+  json_obj
+    [
+      ("status", json_string (power_status p));
+      ("points", string_of_int p.power_points);
+      ("unconstrained_power_watts", json_float p.unconstrained_power);
+      ("identity_ok", if p.power_identity_ok then "true" else "false");
+      ( "counters_match",
+        if p.power_counters_match then "true" else "false" );
+      ("engines_agree", if p.power_engines_agree then "true" else "false");
+      ("monotone", if p.power_monotone then "true" else "false");
+      ("seconds", json_float p.power_seconds);
+    ]
+
 type serving_sharded_report = {
   shards : int;
   clients : int;
@@ -421,7 +496,7 @@ let json_serving_sharded s =
     ]
 
 let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
-    ?grid ?pruning ?serving ?serving_sharded ~sweeps ~cross () =
+    ?grid ?pruning ?power ?serving ?serving_sharded ~sweeps ~cross () =
   match ensure_dir dir with
   | Error msg -> Error msg
   | Ok () ->
@@ -470,7 +545,7 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
       let contents =
         json_obj
           ([
-             ("schema", json_string "ia-rank/bench-sweeps/9");
+             ("schema", json_string "ia-rank/bench-sweeps/10");
              ("jobs", string_of_int jobs);
              ( "timings",
                json_obj (List.map (fun (k, v) -> (k, json_float v)) timings)
@@ -496,6 +571,9 @@ let write_bench_json ~dir ~jobs ~timings ?metrics ?kernel ?parallel ?scaling
           @ (match pruning with
             | None -> []
             | Some p -> [ ("pruning", json_pruning p) ])
+          @ (match power with
+            | None -> []
+            | Some p -> [ ("power", json_power p) ])
           @ (match serving with
             | None -> []
             | Some s -> [ ("serving", json_serving s) ])

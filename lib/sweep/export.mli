@@ -25,6 +25,16 @@ val write_sweeps : dir:string -> Table4.sweep list -> (string list, string) resu
 val write_cross : dir:string -> Cross_node.cell list -> (string, string) result
 (** Writes [<dir>/cross_node.csv]. *)
 
+val power_pareto_csv_path : dir:string -> string
+(** The file {!write_power_pareto} writes: [<dir>/power_pareto.csv]. *)
+
+val write_power_pareto :
+  dir:string -> Power_pareto.result -> (string, string) result
+(** Writes the rank-vs-power frontier as one CSV row per budget point
+    (fraction, budget and witness watts, rank, normalized rank,
+    boundary, flags).  The committed golden copy under [results/] is
+    what CI diffs and uploads. *)
+
 val write_manifest :
   dir:string -> entries:(string * string) list -> (string, string) result
 (** Writes [<dir>/MANIFEST.txt] with one [key: value] line per entry
@@ -148,6 +158,39 @@ val pruning_status : pruning_report -> string
 (** The derived ["status"] string described above — exposed so the bench
     harness can print and gate on the same verdict the JSON exports. *)
 
+type power_report = {
+  power_points : int;  (** budget points in the measured frontier *)
+  unconstrained_power : float;
+      (** watts the area-only optimum's witness burns — the sweep's
+          self-calibration anchor *)
+  power_identity_ok : bool;
+      (** infinite-budget runs over the full Table-4 corpus were
+          byte-identical — ranks, exact flags and every counter — to
+          power-free runs (the soundness anchor of the subsystem) *)
+  power_counters_match : bool;
+      (** [power/*] (and all other) counter identity between the
+          frontier's jobs=1 and jobs=N evaluations *)
+  power_engines_agree : bool;
+      (** the sequential ({!Ir_core.Rank_dp.compute_pareto_power}) and
+          grid ({!Ir_core.Rank_grid.compute_pareto_power}) engines
+          returned identical frontiers *)
+  power_monotone : bool;  (** {!Power_pareto.monotone} on the frontier *)
+  power_seconds : float;  (** wall time of the frontier sweep *)
+}
+(** The power-budget leg, exported under ["power"] (schema 10): the
+    {!Power_pareto} frontier on the Table 2 baseline plus the
+    subsystem's four contracts.  Export derives a ["status"] the CI gate
+    keys on: ["ok"], ["identity_broken"] (a power-free and an
+    infinite-budget run diverged somewhere on the Table-4 corpus),
+    ["counters_mismatch"] ([power/*] varied with the worker count),
+    ["engine_mismatch"] (sequential vs grid frontier disagreement) or
+    ["frontier_not_monotone"].  The frontier's shape is reported in
+    [results/power_pareto.csv], never gated. *)
+
+val power_status : power_report -> string
+(** The derived ["status"] string described above — exposed so the bench
+    harness can print and gate on the same verdict the JSON exports. *)
+
 type serving_sharded_report = {
   shards : int;  (** worker processes in the fleet *)
   clients : int;  (** concurrent storm client threads *)
@@ -189,6 +232,7 @@ val write_bench_json :
   ?scaling:scaling_report ->
   ?grid:grid_report ->
   ?pruning:pruning_report ->
+  ?power:power_report ->
   ?serving:serving_report ->
   ?serving_sharded:serving_sharded_report ->
   sweeps:Table4.sweep list ->
@@ -196,7 +240,7 @@ val write_bench_json :
   unit ->
   (string, string) result
 (** Writes the machine-readable sweep benchmark
-    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/9]) used to
+    ([<dir>/BENCH_sweeps.json], schema [ia-rank/bench-sweeps/10]) used to
     track the perf trajectory across PRs: the named wall-clock [timings]
     (e.g. the sequential and parallel table4 legs), an optional [kernel]
     timings object (flat name/seconds pairs from the kernel
@@ -210,7 +254,8 @@ val write_bench_json :
     [parallel] two-leg report (see {!parallel_report}), an optional
     [scaling] jobs curve (see {!scaling_report}), an optional [grid]
     engine report (see {!grid_report}), an optional [pruning] leg
-    (see {!pruning_report}, since schema 9), every Table 4 row
+    (see {!pruning_report}, since schema 9), an optional [power] leg
+    (see {!power_report}, since schema 10), every Table 4 row
     (param, normalized rank, rank wires, exactness, per-point seconds)
     and the cross-node cells.  [jobs] records the worker count the
     parallel leg requested. *)

@@ -14,6 +14,8 @@ type config = {
   bunch_size : int;
   target_model : Ir_delay.Target.t;
   algo : Ir_core.Rank.algo;
+  activity : float;
+  power_budget : float;
 }
 
 let default_config =
@@ -23,6 +25,8 @@ let default_config =
     bunch_size = 10000;
     target_model = Ir_delay.Target.Linear;
     algo = Ir_core.Rank.Dp;
+    activity = Ir_assign.Problem.default_activity;
+    power_budget = infinity;
   }
 
 let with_design config design = { config with design }
@@ -32,6 +36,25 @@ let shared_wld config =
   Ir_wld.Davis.generate
     (Ir_wld.Davis.params ~gates:d.Ir_tech.Design.gates
        ~rent_p:d.Ir_tech.Design.rent_p ~fan_out:d.Ir_tech.Design.fan_out ())
+
+(* The config's baseline instance — the point every sweep column
+   perturbs — built exactly as [run_defs] builds it (same WLD, same
+   bunching, default materials), exposed so companion experiments (the
+   power Pareto sweep) anchor on the grid's own base cell. *)
+let baseline_problem ?activity config =
+  let wld = shared_wld config in
+  let pitch = Ir_tech.Design.effective_gate_pitch config.design in
+  let bunches =
+    Ir_wld.Coarsen.bunch ~bunch_size:config.bunch_size
+      (Ir_wld.Dist.map_length (fun l -> l *. pitch) wld)
+  in
+  let arch =
+    Ir_ia.Arch.make ~structure:config.structure
+      ~materials:Ir_ia.Materials.default ~design:config.design ()
+  in
+  let activity = Option.value activity ~default:config.activity in
+  Ir_assign.Problem.of_bunches ~activity ~target_model:config.target_model
+    ~arch ~bunches ()
 
 (* How one sweep point differs from the baseline.  [Rebuild] changes the
    electrical model and needs a full instance (on the shared bunches —
@@ -191,12 +214,18 @@ let run_defs ?jobs ?(engine = Grid) ?prune config defs =
       Ir_ia.Arch.make ~structure:config.structure ~materials
         ~design:config.design ()
     in
-    Ir_assign.Problem.of_bunches ~target_model:config.target_model ~arch
-      ~bunches ()
+    Ir_assign.Problem.of_bunches ~activity:config.activity
+      ~power_budget:config.power_budget ~target_model:config.target_model
+      ~arch ~bunches ()
   in
-  match (engine, config.algo) with
-  | Grid, Ir_core.Rank.Dp -> run_grid ?jobs ?prune problem_of_materials defs
-  | (Grid | Per_point), _ ->
+  match (engine, config.algo, config.power_budget < infinity) with
+  | Grid, Ir_core.Rank.Dp, false ->
+      run_grid ?jobs ?prune problem_of_materials defs
+  (* A power-budgeted config takes the per-point scheduler: the grid
+     wavefront's plane-sharing has no power-mode story yet, while the
+     per-point path runs each (powered) instance through exactly the
+     code the power tests exercise. *)
+  | (Grid | Per_point), _, _ ->
   (* The shared base instance for rescale/budget tasks is immutable after
      build, so they may all read it concurrently; build it eagerly rather
      than behind a [lazy] (forcing a [lazy] from several domains would

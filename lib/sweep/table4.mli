@@ -55,13 +55,30 @@ type config = {
   bunch_size : int;
   target_model : Ir_delay.Target.t;
   algo : Ir_core.Rank.algo;
+  activity : float;
+      (** switching activity factor of the repeater power model *)
+  power_budget : float;
+      (** repeater power budget, watts; [infinity] (the default) keeps
+          every sweep on the historical area-only paths.  A finite
+          budget runs each point in power mode on the per-point
+          scheduler (the grid wavefront has no power-mode plane sharing)
+          and requires the DP algorithm. *)
 }
 
 val default_config : config
 (** The paper's Table 2 baseline: 130nm, 1M gates, p = 0.6, 500 MHz,
-    repeater fraction 0.4, bunch size 10000, linear targets, optimal DP. *)
+    repeater fraction 0.4, bunch size 10000, linear targets, optimal DP,
+    default activity, unconstrained power. *)
 
 val with_design : config -> Ir_tech.Design.t -> config
+
+val baseline_problem : ?activity:float -> config -> Ir_assign.Problem.t
+(** The config's baseline assignment instance (default materials, the
+    config's own WLD and bunching) — the base cell every sweep column
+    perturbs, exposed so companion experiments such as
+    {!Power_pareto.run} anchor on exactly the grid's base point.
+    [?activity] sets the power model's switching activity factor
+    (default {!Ir_assign.Problem.default_activity}). *)
 
 type engine =
   | Per_point  (** historical chain/budget-group scheduler *)

@@ -30,6 +30,28 @@ let resistivity = function
   | N90 -> Ir_phys.Const.rho_cu_bulk *. 1.45
   | Custom _ -> Ir_phys.Const.rho_cu_bulk *. 1.30
 
+let vdd = function
+  | N180 -> 1.8
+  | N130 -> 1.2
+  | N90 -> 1.0
+  | Custom { feature; _ } ->
+      (* ITRS-2001 trend: supply scales roughly with the square root of
+         the feature size, anchored at 1.0 V for 90nm.  Clamped to the
+         range real CMOS processes of the era shipped at so synthetic
+         test nodes stay physical. *)
+      Float.min 2.5 (Float.max 0.5 (1.0 *. sqrt (feature /. 90e-9)))
+
+let leakage_per_size = function
+  | N180 -> 1.0e-9
+  | N130 -> 5.0e-9
+  | N90 -> 2.0e-8
+  | Custom { feature; _ } ->
+      (* Subthreshold leakage grows steeply as the feature (and with it
+         the threshold voltage) shrinks; quadratic-in-inverse-feature is
+         a serviceable fit to the 180/130/90 anchors above. *)
+      let r = 90e-9 /. feature in
+      2.0e-8 *. r *. r
+
 let of_string s =
   let s = String.lowercase_ascii (String.trim s) in
   match s with

@@ -26,6 +26,19 @@ val resistivity : t -> float
 (** Effective metal resistivity in Ohm-m, including a barrier/liner penalty
     over the bulk value: Al-based at 180nm, Cu-based below. *)
 
+val vdd : t -> float
+(** Nominal supply voltage in volts (ITRS-2001-era: 1.8 / 1.2 / 1.0 V at
+    180/130/90nm; custom nodes follow a square-root-of-feature trend
+    clamped to [0.5, 2.5] V).  Drives the repeater power model's dynamic
+    switching term ([Ir_assign.Problem]'s per-repeater power tables). *)
+
+val leakage_per_size : t -> float
+(** Static (leakage) power of a minimum-sized inverter, watts — a
+    size-[s] repeater leaks [s] times this.  Grows steeply as the node
+    shrinks (1 nW at 180nm to 20 nW at 90nm), which is what makes the
+    power-optimal repeater plan diverge from the area-optimal one at
+    fine nodes. *)
+
 val of_string : string -> t option
 (** Parses the paper's nodes (["180nm"], ["180"], ["n180"], ...) and any
     other positive feature size — ["65nm"], ["45"], ["32.5nm"] — as a

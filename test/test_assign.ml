@@ -552,6 +552,76 @@ let prop_max_take_maximal =
       then QCheck2.Test.fail_reportf "take %d not maximal" x
       else true)
 
+(* ---- power tables ----------------------------------------------------- *)
+
+let test_power_tables () =
+  let p = fixed_instance () in
+  Alcotest.(check bool) "default problem is unconstrained" false
+    (P.power_budgeted p);
+  check_close "default activity" P.default_activity (P.activity p);
+  for j = 0 to P.n_pairs p - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "per_rep_power %d positive" j)
+      true
+      (P.per_rep_power p ~pair:j > 0.0)
+  done;
+  (* Rebinding the default activity must rebuild byte-identical tables
+     (same expressions over the same inputs). *)
+  let same = P.with_activity p P.default_activity in
+  for j = 0 to P.n_pairs p - 1 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "activity rebind at default, pair %d" j)
+      (P.per_rep_power p ~pair:j)
+      (P.per_rep_power same ~pair:j)
+  done;
+  let b = P.with_power_budget p 0.25 in
+  Alcotest.(check bool) "finite budget flips power_budgeted" true
+    (P.power_budgeted b);
+  check_close "budget readable back" 0.25 (P.power_budget b);
+  Alcotest.(check bool) "infinite rebind stays unconstrained" false
+    (P.power_budgeted (P.with_power_budget p infinity));
+  Alcotest.check_raises "budget 0 rejected"
+    (Invalid_argument "Problem.with_power_budget: budget <= 0") (fun () ->
+      ignore (P.with_power_budget p 0.0));
+  Alcotest.check_raises "activity 0 rejected"
+    (Invalid_argument "Problem.with_activity: activity must be in (0, 1]")
+    (fun () -> ignore (P.with_activity p 0.0));
+  Alcotest.check_raises "activity > 1 rejected"
+    (Invalid_argument "Problem.with_activity: activity must be in (0, 1]")
+    (fun () -> ignore (P.with_activity p 1.01))
+
+(* Interval power is one float product over an exact integer repeater
+   count, so splitting an interval anywhere loses at most rounding in
+   the final product — and the min-power prefix must be monotone (it is
+   the admissible floor the power-mode bound oracle subtracts). *)
+let prop_meeting_power_additive =
+  qtest ~count:60 "meeting power additive over splits; prefix monotone"
+    Helpers.gen_instance (fun { problem; label } ->
+      let n = P.n_bunches problem in
+      let ok = ref true in
+      for j = 0 to P.n_pairs problem - 1 do
+        for mid = 0 to n do
+          let whole = P.meeting_power problem ~pair:j ~lo:0 ~hi:n in
+          let parts =
+            P.meeting_power problem ~pair:j ~lo:0 ~hi:mid
+            +. P.meeting_power problem ~pair:j ~lo:mid ~hi:n
+          in
+          if
+            Float.abs (whole -. parts)
+            > 1e-12 *. Float.max 1.0 (Float.abs whole)
+          then ok := false
+        done
+      done;
+      for i = 0 to n - 1 do
+        if
+          P.min_rep_power_before problem (i + 1)
+          < P.min_rep_power_before problem i
+        then ok := false
+      done;
+      if not !ok then
+        QCheck2.Test.fail_reportf "%s: power tables inconsistent" label
+      else true)
+
 let () =
   Alcotest.run "assign"
     [
@@ -565,6 +635,8 @@ let () =
             test_problem_delay_consistency;
           Alcotest.test_case "validation" `Quick test_problem_validation;
           prop_meeting_cost_additive;
+          Alcotest.test_case "power tables" `Quick test_power_tables;
+          prop_meeting_power_additive;
         ] );
       ( "rescale reuse",
         [

@@ -601,6 +601,138 @@ let prop_front_recycle_matches_create =
         else true
       end)
 
+(* ---- powered (3-way) stores ------------------------------------------- *)
+
+(* Reference semantics of [insert_pw], mirrored from its documented
+   contract: 3-way dominance, survivors keep area-ascending order, the
+   candidate lands after every equal-or-smaller area, and width overflow
+   drops the largest-area element (one truncation). *)
+type pelt = { p_area : float; p_count : int; p_power : float }
+
+let pdominates a b =
+  a.p_area <= b.p_area && a.p_count <= b.p_count && a.p_power <= b.p_power
+
+let pinsert ~width ~stats set e =
+  stats.r_inserts <- stats.r_inserts + 1;
+  if List.exists (fun x -> pdominates x e) set then begin
+    stats.r_dominated <- stats.r_dominated + 1;
+    set
+  end
+  else begin
+    let survivors = List.filter (fun x -> not (pdominates e x)) set in
+    let rec land_after = function
+      | x :: rest when x.p_area <= e.p_area -> x :: land_after rest
+      | rest -> e :: rest
+    in
+    let merged = land_after survivors in
+    if List.length merged > width then begin
+      stats.r_truncations <- stats.r_truncations + 1;
+      List.filteri (fun k _ -> k < width) merged
+    end
+    else merged
+  end
+
+let gen_pw_insert_seq =
+  let open QCheck2.Gen in
+  let* width = int_range 1 8 in
+  let* ops =
+    list_size (int_range 1 60)
+      (triple
+         (map float_of_int (int_range 0 9))
+         (int_range 0 9)
+         (map float_of_int (int_range 0 9)))
+  in
+  return (width, ops)
+
+let prop_front_powered_matches_reference =
+  qtest ~count:500 "powered front insert matches the 3-way list reference"
+    gen_pw_insert_seq (fun (width, ops) ->
+      let label =
+        Printf.sprintf "pw width=%d n_ops=%d" width (List.length ops)
+      in
+      let stats = { r_inserts = 0; r_dominated = 0; r_truncations = 0 } in
+      let front = Front.create_powered ~cells:1 ~width in
+      if not (Front.powered front) then
+        QCheck2.Test.fail_reportf "%s: create_powered not powered" label;
+      let reference = ref [] in
+      List.iteri
+        (fun k (area, count, power) ->
+          reference :=
+            pinsert ~width ~stats !reference
+              { p_area = area; p_count = count; p_power = power };
+          Front.insert_pw front 0 ~area ~count ~power ~split:k ~parent:(-1);
+          let len = Front.length front 0 in
+          if len <> List.length !reference then
+            QCheck2.Test.fail_reportf "%s: after op %d length front=%d ref=%d"
+              label k len (List.length !reference);
+          List.iteri
+            (fun i r ->
+              if
+                Front.area front 0 i <> r.p_area
+                || Front.count front 0 i <> r.p_count
+                || Front.power front 0 i <> r.p_power
+              then
+                QCheck2.Test.fail_reportf
+                  "%s: after op %d elt %d front=(%g,%d,%g) ref=(%g,%d,%g)"
+                  label k i (Front.area front 0 i) (Front.count front 0 i)
+                  (Front.power front 0 i) r.p_area r.p_count r.p_power;
+              (* covers_pw must agree with the reference set's dominance
+                 view of every surviving element (probed exactly). *)
+              if
+                not
+                  (Front.covers_pw front 0 ~area:r.p_area ~count:r.p_count
+                     ~power:r.p_power)
+              then
+                QCheck2.Test.fail_reportf
+                  "%s: after op %d covers_pw misses its own element %d" label
+                  k i)
+            !reference)
+        ops;
+      check_stats_equal ~label front stats)
+
+(* [recycle_powered] must be indistinguishable from [create_powered],
+   whatever kind of store donates the planes. *)
+let prop_front_recycle_powered_matches_create =
+  qtest ~count:200 "recycled powered front matches a fresh create_powered"
+    gen_pw_insert_seq (fun (width, ops) ->
+      let label = Printf.sprintf "pw recycle width=%d" width in
+      (* donate once a 2-way store, once a powered one *)
+      List.for_all
+        (fun donor ->
+          let recycled = Front.recycle_powered donor ~cells:1 ~width in
+          let fresh = Front.create_powered ~cells:1 ~width in
+          List.iteri
+            (fun k (area, count, power) ->
+              Front.insert_pw fresh 0 ~area ~count ~power ~split:k
+                ~parent:(-1);
+              Front.insert_pw recycled 0 ~area ~count ~power ~split:k
+                ~parent:(-1))
+            ops;
+          let len = Front.length fresh 0 in
+          if len <> Front.length recycled 0 then
+            QCheck2.Test.fail_reportf "%s: lengths differ" label;
+          for k = 0 to len - 1 do
+            if
+              Front.area fresh 0 k <> Front.area recycled 0 k
+              || Front.count fresh 0 k <> Front.count recycled 0 k
+              || Front.power fresh 0 k <> Front.power recycled 0 k
+              || Front.splits fresh (Front.state fresh 0 k)
+                 <> Front.splits recycled (Front.state recycled 0 k)
+            then QCheck2.Test.fail_reportf "%s: element %d differs" label k
+          done;
+          Front.inserts fresh = Front.inserts recycled
+          && Front.dominated fresh = Front.dominated recycled
+          && Front.truncations fresh = Front.truncations recycled)
+        [
+          (let d = Front.create ~cells:2 ~width:3 in
+           Front.insert d 0 ~area:1.0 ~count:1 ~split:0 ~parent:(-1);
+           d);
+          (let d = Front.create_powered ~cells:2 ~width:3 in
+           Front.insert_pw d 0 ~area:1.0 ~count:1 ~power:1.0 ~split:0
+             ~parent:(-1);
+           d);
+        ])
+
 (* Replays the phase-A build loop of [Rank_dp.build_tables] — the same
    iteration order, prune conditions and insert sequence — into {e both}
    a reference list matrix and a [Front], then requires every cell, every
@@ -1186,6 +1318,38 @@ let test_pruned_tables_not_encodable () =
       (Invalid_argument "Rank_dp.encode_tables: pruned/approximate tables") (fun () ->
         ignore (Ir_core.Rank_dp.encode_tables pruned_t))
 
+(* The probe gate: every non-empty cell the optimistic pre-check turns
+   away at a barrier is a packer call that never ran, tallied in
+   bounds/probe_gated.  The counter is structural — the gate reads the
+   incumbent only at sequential barriers — so it must not move with the
+   worker count, and it must actually fire on the pruned baseline (a
+   gate that never gates is a dead counter). *)
+let test_probe_gated_jobs_invariant () =
+  let p = baseline_130nm_small () in
+  let gated () =
+    Option.value ~default:0
+      (Ir_obs.find_counter (Ir_obs.snapshot ()) "bounds/probe_gated")
+  in
+  Ir_obs.reset ();
+  ignore (Ir_core.Rank_dp.compute ~prune:true p);
+  let seq = gated () in
+  Alcotest.(check bool) "gate fires on the pruned baseline" true (seq > 0);
+  let points =
+    Array.of_list
+      (List.map
+         (fun f -> Ir_core.Rank_grid.point ~fraction:f ())
+         [ 0.2; 0.4; 0.6; 0.8 ])
+  in
+  Ir_obs.reset ();
+  ignore (Ir_core.Rank_grid.evaluate ~jobs:1 ~prune:true p points);
+  let g1 = gated () in
+  Ir_obs.reset ();
+  ignore (Ir_core.Rank_grid.evaluate ~jobs:4 ~prune:true p points);
+  let g4 = gated () in
+  Ir_obs.reset ();
+  Alcotest.(check int) "probe_gated identical at jobs=1 and jobs=4" g1 g4;
+  Alcotest.(check bool) "gate fired in the grid engine" true (g1 > 0)
+
 (* The grid engine with pruning: identical outcomes to the unpruned grid,
    and the bounds/* counters (structural — the incumbent is published
    only at the wavefront's sequential barriers) invariant across worker
@@ -1434,6 +1598,8 @@ let () =
           prop_grid_pruned_identical;
           Alcotest.test_case "pruned plane floor re-query" `Quick
             test_grid_pruned_floor_requery;
+          Alcotest.test_case "probe gate fires, jobs-invariant" `Quick
+            test_probe_gated_jobs_invariant;
         ] );
       ( "front",
         [
@@ -1442,6 +1608,8 @@ let () =
             test_front_mirror_adversarial;
           prop_front_insert_matches_reference;
           prop_front_recycle_matches_create;
+          prop_front_powered_matches_reference;
+          prop_front_recycle_powered_matches_create;
           prop_front_mirror_build;
         ] );
       ( "rank_greedy",

@@ -46,7 +46,7 @@ let test_fp_deterministic () =
   Alcotest.(check string) "same digest" (F.digest a) (F.digest b);
   Alcotest.(check bool) "version-tagged canonical form" true
     (String.length (F.canonical a) > 22
-    && String.sub (F.canonical a) 0 22 = "ia-rank/fingerprint/1\n")
+    && String.sub (F.canonical a) 0 22 = "ia-rank/fingerprint/2\n")
 
 let test_fp_node_spellings () =
   let d spelling =
@@ -157,6 +157,46 @@ let test_fp_validation () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "repeater fraction 1.5 accepted"
 
+(* The version-2 compatibility rule: the power fields enter the
+   canonical form only when they can change the answer, so every query
+   that doesn't use them keeps its (v2) digest no matter how the
+   defaults are spelled. *)
+let test_fp_power_fields () =
+  let q ?power_budget ?activity () =
+    ok_exn "query" (F.v ?power_budget ?activity ~node:"130nm" ~gates:1000 ())
+  in
+  let base = F.digest (q ()) in
+  Alcotest.(check string) "explicit infinite budget fingerprints as absent"
+    base
+    (F.digest (q ~power_budget:infinity ()));
+  Alcotest.(check string) "activity inert without a finite budget" base
+    (F.digest (q ~power_budget:infinity ~activity:0.5 ()));
+  Alcotest.(check bool) "finite budget changes the digest" true
+    (F.digest (q ~power_budget:0.5 ()) <> base);
+  Alcotest.(check bool) "activity matters under a finite budget" true
+    (F.digest (q ~power_budget:0.5 ~activity:0.3 ())
+    <> F.digest (q ~power_budget:0.5 ()));
+  (* A finite budget forfeits the warm-table path, so it must not alias
+     onto the family's shared table key either. *)
+  Alcotest.(check bool) "finite budget changes the table key" true
+    (F.table_key (q ~power_budget:0.5 ()) <> F.table_key (q ()));
+  let rejected what r =
+    match r with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  rejected "budget 0" (F.v ~power_budget:0.0 ~node:"130nm" ~gates:1000 ());
+  rejected "negative budget"
+    (F.v ~power_budget:(-1.0) ~node:"130nm" ~gates:1000 ());
+  rejected "activity 0"
+    (F.v ~power_budget:0.5 ~activity:0.0 ~node:"130nm" ~gates:1000 ());
+  rejected "activity > 1"
+    (F.v ~power_budget:0.5 ~activity:1.5 ~node:"130nm" ~gates:1000 ());
+  rejected "greedy under a finite budget"
+    (F.v ~power_budget:0.5 ~algo:F.Greedy ~node:"130nm" ~gates:1000 ());
+  rejected "epsilon under a finite budget"
+    (F.v ~power_budget:0.5 ~epsilon:0.1 ~node:"130nm" ~gates:1000 ())
+
 (* ---- JSON ------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -216,6 +256,8 @@ let gen_query =
   in
   let* greedy = bool in
   let* epsilon = opt_f 0.0 1.0 in
+  let* power_budget = opt_f 0.01 2.0 in
+  let* activity = opt_f 0.01 1.0 in
   let* wld_csv =
     option (map (fun s -> s ^ "\n1,2") id_string)
   in
@@ -223,7 +265,8 @@ let gen_query =
   return
     ( id,
       Pr.query ?rent_p ?fan_out ?clock ?repeater_fraction ?k ?miller
-        ?bunch_size ?structure ~greedy ?epsilon ?wld_csv ~node ~gates () )
+        ?bunch_size ?structure ~greedy ?epsilon ?power_budget ?activity
+        ?wld_csv ~node ~gates () )
 
 let prop_request_roundtrip =
   qtest ~count:200 "request encode/decode/encode is the identity" gen_query
@@ -274,6 +317,41 @@ let prop_response_roundtrip =
       match Pr.decode_response line with
       | Error _ -> false
       | Ok resp -> Pr.encode_response resp = line)
+
+(* Wire compatibility across the power fields: a pre-power client's
+   request line (no power keys) still decodes, and fingerprints exactly
+   like a new client sending nothing — while the new keys survive a
+   round trip and reach the fingerprint. *)
+let test_protocol_power_compat () =
+  let old_line =
+    "{\"v\":1,\"id\":\"old\",\"op\":\"query\",\"query\":"
+    ^ "{\"node\":\"130nm\",\"gates\":1000}}"
+  in
+  (match Pr.decode_request old_line with
+  | Error e ->
+      Alcotest.failf "pre-power line rejected: %s" (Pr.error_message e)
+  | Ok { Pr.op = Pr.Query q; _ } ->
+      let fp = ok_exn "old fp" (Pr.fingerprint_of_query q) in
+      let fresh =
+        ok_exn "fresh fp"
+          (Pr.fingerprint_of_query (Pr.query ~node:"130nm" ~gates:1000 ()))
+      in
+      Alcotest.(check string) "pre-power line fingerprints as default"
+        (F.digest fresh) (F.digest fp)
+  | Ok _ -> Alcotest.fail "pre-power line decoded to a non-query");
+  let powered =
+    Pr.query ~power_budget:0.25 ~activity:0.3 ~node:"130nm" ~gates:1000 ()
+  in
+  let line = Pr.encode_request { Pr.id = "p"; op = Pr.Query powered } in
+  match Pr.decode_request line with
+  | Error e -> Alcotest.failf "powered line rejected: %s" (Pr.error_message e)
+  | Ok { Pr.op = Pr.Query q; _ } ->
+      Alcotest.(check string) "identity round trip" line
+        (Pr.encode_request { Pr.id = "p"; op = Pr.Query q });
+      let fp = ok_exn "powered fp" (Pr.fingerprint_of_query q) in
+      Alcotest.(check bool) "budget reached the fingerprint" true
+        (fp.F.power_budget = 0.25 && fp.F.activity = 0.3)
+  | Ok _ -> Alcotest.fail "powered line decoded to a non-query"
 
 let test_protocol_errors () =
   let bad line =
@@ -1228,6 +1306,57 @@ let test_sharded_tcp_byte_identity () =
   Sh.shutdown fleet;
   Thread.join serve_thread
 
+(* Crash recovery: SIGKILL the shard that owns a family mid-session and
+   the router must reap it, respawn a replacement onto the same socket
+   (counted in serve_shard/restarts), and answer the re-ask
+   byte-identically to a cold compute. *)
+let test_shard_supervisor_restart () =
+  Ir_obs.reset ();
+  let dir = temp_path "fleet-restart" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let fleet =
+    ok_exn "fleet"
+      (Sh.start ~workers:1 ~exe:(ia_rank_exe ()) ~shards:2 ~dir ())
+  in
+  Fun.protect ~finally:(fun () -> Sh.stop fleet) @@ fun () ->
+  let q =
+    Pr.query ~bunch_size:500 ~repeater_fraction:0.3 ~node:"130nm"
+      ~gates:20_000 ()
+  in
+  let fp = ok_exn "fp" (Pr.fingerprint_of_query q) in
+  let cold = Pr.result_payload (F.compute_cold fp) in
+  let ask what =
+    let line = Pr.encode_request { Pr.id = what; op = Pr.Query q } in
+    match Pr.decode_response (Sh.handle_line fleet line) with
+    | Ok { Pr.body = Pr.Result { payload; _ }; _ } -> Ok payload
+    | Ok { Pr.body = Pr.Error e; _ } -> Error (Pr.error_message e)
+    | Ok _ -> Error "non-result response"
+    | Error e -> Error e
+  in
+  (match ask "before" with
+  | Ok payload -> Alcotest.(check string) "warm ask = cold" cold payload
+  | Error e -> Alcotest.failf "before kill: %s" e);
+  let victim = Sh.route_key fleet (F.family_key fp) in
+  let pids = Sh.shard_pids fleet in
+  Unix.kill pids.(victim) Sys.sigkill;
+  (* SIGKILL death is quick but not instantaneous — the supervisor's
+     waitpid WNOHANG is only proof of death once the process has
+     actually exited, so give the retry a few rounds. *)
+  let rec ask_until n =
+    match ask "after" with
+    | Ok payload -> payload
+    | Error e when n = 0 -> Alcotest.failf "after kill: %s" e
+    | Error _ ->
+        Thread.delay 0.1;
+        ask_until (n - 1)
+  in
+  Alcotest.(check string) "post-kill ask = cold" cold (ask_until 50);
+  Alcotest.(check bool) "supervisor counted the restart" true
+    (counter "serve_shard/restarts" >= 1);
+  let pids' = Sh.shard_pids fleet in
+  Alcotest.(check bool) "replacement has a fresh pid" true
+    (pids'.(victim) <> pids.(victim))
+
 let () =
   Alcotest.run "serve"
     [
@@ -1245,6 +1374,7 @@ let () =
           Alcotest.test_case "family key masks" `Quick
             test_fp_family_key_masks;
           Alcotest.test_case "validation" `Quick test_fp_validation;
+          Alcotest.test_case "power fields" `Quick test_fp_power_fields;
         ] );
       ( "json",
         [
@@ -1255,6 +1385,8 @@ let () =
         [
           prop_request_roundtrip;
           prop_response_roundtrip;
+          Alcotest.test_case "power compatibility" `Quick
+            test_protocol_power_compat;
           Alcotest.test_case "errors" `Quick test_protocol_errors;
         ] );
       ( "cache",
@@ -1308,5 +1440,7 @@ let () =
         [
           Alcotest.test_case "tcp byte identity" `Quick
             test_sharded_tcp_byte_identity;
+          Alcotest.test_case "supervisor restart" `Quick
+            test_shard_supervisor_restart;
         ] );
     ]

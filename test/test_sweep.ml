@@ -331,6 +331,16 @@ let test_export () =
               pruning_identical = true;
               pruning_counters_match = true;
             }
+          ~power:
+            {
+              Ir_sweep.Export.power_points = 11;
+              unconstrained_power = 0.4106;
+              power_identity_ok = true;
+              power_counters_match = true;
+              power_engines_agree = true;
+              power_monotone = true;
+              power_seconds = 0.5;
+            }
           ~serving:
             {
               Ir_sweep.Export.trace_requests = 9;
@@ -372,7 +382,7 @@ let test_export () =
                 true
                 (Astring_contains.contains contents needle))
             [
-              "\"schema\":\"ia-rank/bench-sweeps/9\"";
+              "\"schema\":\"ia-rank/bench-sweeps/10\"";
               "\"jobs\":4";
               (* The grid leg: 4.0 s per-point over 1.6 s grid = 2.5x,
                  perturb touching 1 of 10 cells. *)
@@ -390,6 +400,12 @@ let test_export () =
               "\"states_pruned\":400";
               "\"incumbent_updates\":12";
               "\"memo_preempted\":7";
+              (* The power leg: all four contracts green. *)
+              "\"power\":{\"status\":\"ok\"";
+              "\"unconstrained_power_watts\":0.4106";
+              "\"identity_ok\":true";
+              "\"engines_agree\":true";
+              "\"monotone\":true";
               "\"serving\":{\"trace_requests\":9";
               "\"serving_sharded\":{\"status\":\"ok\"";
               "\"table_builds_per_shard\":[1,1]";
@@ -532,7 +548,7 @@ let test_grid_status () =
     (status { grid_report_base with grid_seconds = 9.0 })
 
 (* Satellite of the grid PR: the exported BENCH_sweeps.json must parse
-   as JSON and carry the schema-9 top-level contract — every object the
+   as JSON and carry the schema-10 top-level contract — every object the
    CI gates read, with the right shapes. *)
 let test_bench_schema () =
   let dir = Filename.temp_file "ia_rank" "_schema" in
@@ -560,6 +576,16 @@ let test_bench_schema () =
       ~scaling:
         { Ir_sweep.Export.max_jobs = 2; points = [ (1, 2.0); (2, 1.0) ] }
       ~grid:grid_report_base
+      ~power:
+        {
+          Ir_sweep.Export.power_points = 4;
+          unconstrained_power = 0.2;
+          power_identity_ok = true;
+          power_counters_match = true;
+          power_engines_agree = true;
+          power_monotone = true;
+          power_seconds = 0.1;
+        }
       ~serving:
         {
           Ir_sweep.Export.trace_requests = 9;
@@ -605,7 +631,7 @@ let test_bench_schema () =
       in
       Alcotest.(check (option string))
         "schema tag"
-        (Some "ia-rank/bench-sweeps/9")
+        (Some "ia-rank/bench-sweeps/10")
         (Sj.to_str (mem "schema"));
       Alcotest.(check (option int)) "jobs" (Some 2) (Sj.to_int (mem "jobs"));
       List.iter
@@ -614,8 +640,8 @@ let test_bench_schema () =
           | Sj.Obj _ -> ()
           | _ -> Alcotest.failf "top-level %S is not an object" k)
         [
-          "timings"; "parallel"; "scaling"; "kernel"; "grid"; "serving";
-          "serving_sharded"; "metrics";
+          "timings"; "parallel"; "scaling"; "kernel"; "grid"; "power";
+          "serving"; "serving_sharded"; "metrics";
         ];
       List.iter
         (fun k ->
@@ -649,7 +675,23 @@ let test_bench_schema () =
       Alcotest.(check (option int))
         "perturb grid cells" (Some 10)
         (Sj.to_int
-           (Option.value ~default:Sj.Null (Sj.member "grid_cells" perturb)))
+           (Option.value ~default:Sj.Null (Sj.member "grid_cells" perturb)));
+      (* The power object carries exactly what the CI gate reads. *)
+      let power = mem "power" in
+      let pmem k =
+        match Sj.member k power with
+        | Some v -> v
+        | None -> Alcotest.failf "power object missing %S" k
+      in
+      Alcotest.(check (option string))
+        "power status" (Some "ok")
+        (Sj.to_str (pmem "status"));
+      Alcotest.(check (option int))
+        "power points" (Some 4)
+        (Sj.to_int (pmem "points"));
+      match Sj.to_float (pmem "unconstrained_power_watts") with
+      | Some w -> Alcotest.(check (float 1e-9)) "power watts" 0.2 w
+      | None -> Alcotest.fail "unconstrained_power_watts is not a number"
 
 let test_export_bad_dir () =
   match Ir_sweep.Export.write_manifest ~dir:"/proc/nope/never" ~entries:[] with
@@ -713,6 +755,118 @@ let test_sweep_csv_collision () =
   | Ok paths -> Alcotest.(check int) "two writes" 2 (List.length paths)
   | Error e -> Alcotest.failf "same-name sweeps should write: %s" e
 
+(* ---- power: the rank-vs-power frontier sweep -------------------------- *)
+
+let test_power_pareto_run () =
+  let r =
+    Ir_sweep.Power_pareto.run ~config:small_config
+      ~fractions:[ 0.25; 0.5; 1.0 ] ()
+  in
+  Alcotest.(check int) "three rows" 3 (List.length r.rows);
+  Alcotest.(check bool) "frontier monotone" true
+    (Ir_sweep.Power_pareto.monotone r);
+  Alcotest.(check bool) "unconstrained power positive" true
+    (r.unconstrained_power > 0.0);
+  List.iter
+    (fun (row : Ir_sweep.Power_pareto.row) ->
+      if row.outcome.Ir_core.Outcome.assignable then
+        Alcotest.(check bool) "witness within budget" true
+          (row.power <= row.budget))
+    r.rows;
+  let last = List.nth r.rows 2 in
+  Alcotest.(check int) "fraction 1.0 recovers the unconstrained rank"
+    r.unconstrained.Ir_core.Outcome.rank_wires
+    last.outcome.Ir_core.Outcome.rank_wires
+
+let test_power_pareto_bad_fraction () =
+  List.iter
+    (fun fractions ->
+      try
+        ignore (Ir_sweep.Power_pareto.run ~config:small_config ~fractions ());
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+    [ [ 0.0 ]; [ -0.5 ]; [ 1.5 ] ]
+
+let test_table4_power_budgeted () =
+  let base = Ir_sweep.Table4.baseline_problem small_config in
+  let _, w = Ir_core.Rank_dp.compute_with_witness base in
+  let p_inf =
+    match w with
+    | Some w -> Ir_power.Power.of_witness base w
+    | None -> Alcotest.fail "baseline unassignable"
+  in
+  let powered =
+    { small_config with Ir_sweep.Table4.power_budget = 0.5 *. p_inf }
+  in
+  (* Requesting the grid engine must transparently fall back to the
+     per-point scheduler in power mode. *)
+  let s =
+    Ir_sweep.Table4.r_sweep ~engine:Ir_sweep.Table4.Grid ~config:powered ()
+  in
+  let s0 = Ir_sweep.Table4.r_sweep ~config:small_config () in
+  List.iter2
+    (fun (b : Ir_sweep.Table4.row) (u : Ir_sweep.Table4.row) ->
+      Alcotest.(check bool) "budgeted rank <= unconstrained rank" true
+        (b.outcome.Ir_core.Outcome.rank_wires
+        <= u.outcome.Ir_core.Outcome.rank_wires))
+    s.rows s0.rows;
+  Alcotest.(check bool) "the half-spend budget binds somewhere" true
+    (List.exists2
+       (fun (b : Ir_sweep.Table4.row) (u : Ir_sweep.Table4.row) ->
+         b.outcome.Ir_core.Outcome.rank_wires
+         < u.outcome.Ir_core.Outcome.rank_wires)
+       s.rows s0.rows)
+
+let test_write_power_pareto () =
+  with_temp_root @@ fun root ->
+  let r =
+    Ir_sweep.Power_pareto.run ~config:small_config ~fractions:[ 0.5; 1.0 ] ()
+  in
+  match Ir_sweep.Export.write_power_pareto ~dir:root r with
+  | Error e -> Alcotest.failf "write_power_pareto: %s" e
+  | Ok path ->
+      Alcotest.(check string) "path"
+        (Ir_sweep.Export.power_pareto_csv_path ~dir:root)
+        path;
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check bool) "header" true
+        (Astring_contains.contains contents
+           "fraction,budget_watts,power_watts,rank_wires,total_wires,normalized,boundary_bunch,assignable,exact");
+      let lines = String.split_on_char '\n' (String.trim contents) in
+      Alcotest.(check int) "one line per row plus header" 3
+        (List.length lines)
+
+let power_report_base =
+  {
+    Ir_sweep.Export.power_points = 4;
+    unconstrained_power = 0.2;
+    power_identity_ok = true;
+    power_counters_match = true;
+    power_engines_agree = true;
+    power_monotone = true;
+    power_seconds = 0.1;
+  }
+
+(* Status precedence mirrors soundness severity: the identity anchor
+   outranks everything, then jobs-counter identity, then engine
+   agreement, then frontier shape. *)
+let test_power_status () =
+  let status = Ir_sweep.Export.power_status in
+  Alcotest.(check string) "ok" "ok" (status power_report_base);
+  Alcotest.(check string) "identity outranks monotone" "identity_broken"
+    (status
+       {
+         power_report_base with
+         power_identity_ok = false;
+         power_monotone = false;
+       });
+  Alcotest.(check string) "counters" "counters_mismatch"
+    (status { power_report_base with power_counters_match = false });
+  Alcotest.(check string) "engines" "engine_mismatch"
+    (status { power_report_base with power_engines_agree = false });
+  Alcotest.(check string) "monotone" "frontier_not_monotone"
+    (status { power_report_base with power_monotone = false })
+
 let () =
   Alcotest.run "sweep"
     [
@@ -737,6 +891,17 @@ let () =
             test_parallel_determinism ] );
       ( "paper data",
         [ Alcotest.test_case "columns" `Quick test_paper_data ] );
+      ( "power",
+        [
+          Alcotest.test_case "frontier run" `Slow test_power_pareto_run;
+          Alcotest.test_case "bad fractions" `Slow
+            test_power_pareto_bad_fraction;
+          Alcotest.test_case "table4 power-budgeted config" `Slow
+            test_table4_power_budgeted;
+          Alcotest.test_case "power_pareto.csv round trip" `Slow
+            test_write_power_pareto;
+          Alcotest.test_case "status derivation" `Quick test_power_status;
+        ] );
       ( "export",
         [
           Alcotest.test_case "round trip" `Slow test_export;
@@ -744,7 +909,7 @@ let () =
             test_export_single_core;
           Alcotest.test_case "sharded status" `Quick test_sharded_status;
           Alcotest.test_case "grid status" `Quick test_grid_status;
-          Alcotest.test_case "bench json schema 9" `Quick test_bench_schema;
+          Alcotest.test_case "bench json schema 10" `Quick test_bench_schema;
           Alcotest.test_case "bad directory" `Quick test_export_bad_dir;
           Alcotest.test_case "recursive directory creation" `Quick
             test_ensure_dir_recursive;
